@@ -1,0 +1,172 @@
+//! Criterion micro-benchmarks for PIP's hot paths: special functions,
+//! the consistency checker (Algorithm 3.2), independence decomposition,
+//! the expectation operator's strategies, `expected_max` early exit, and
+//! the c-table algebra. One group per ablation called out in DESIGN.md.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use pip_core::{DataType, Schema};
+use pip_dist::prelude::builtin;
+use pip_dist::special;
+use pip_expr::{atoms, independent_groups, Conjunction, Equation, RandomVar};
+use pip_ctable::{algebra, consistency_check, CRow, CTable};
+use pip_sampling::{conf, expectation, expected_max_const, SamplerConfig};
+
+fn normal_var() -> RandomVar {
+    RandomVar::create(builtin::normal(), &[0.0, 1.0]).unwrap()
+}
+
+fn bench_special(c: &mut Criterion) {
+    let mut g = c.benchmark_group("special");
+    g.bench_function("erf", |b| b.iter(|| special::erf(black_box(1.234))));
+    g.bench_function("inverse_normal_cdf", |b| {
+        b.iter(|| special::inverse_normal_cdf(black_box(0.7)))
+    });
+    g.bench_function("ln_gamma", |b| b.iter(|| special::ln_gamma(black_box(7.5))));
+    g.bench_function("gamma_p", |b| {
+        b.iter(|| special::gamma_p(black_box(3.0), black_box(2.5)))
+    });
+    g.finish();
+}
+
+fn chain_condition(n: usize) -> Conjunction {
+    // v0 > 0, v1 > v0, v2 > v1, ... — one long dependent chain.
+    let vars: Vec<RandomVar> = (0..n).map(|_| normal_var()).collect();
+    let mut atoms_v = vec![atoms::gt(Equation::from(vars[0].clone()), 0.0)];
+    for w in vars.windows(2) {
+        atoms_v.push(atoms::gt(
+            Equation::from(w[1].clone()),
+            Equation::from(w[0].clone()),
+        ));
+    }
+    Conjunction::of(atoms_v)
+}
+
+fn bench_consistency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("consistency");
+    for n in [4usize, 16, 64] {
+        let cond = chain_condition(n);
+        g.bench_function(format!("alg3.2_chain_{n}"), |b| {
+            b.iter(|| consistency_check(black_box(&cond)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_groups(c: &mut Criterion) {
+    let mut g = c.benchmark_group("independence");
+    // 32 disjoint single-variable atoms → 32 groups.
+    let disjoint = Conjunction::of(
+        (0..32)
+            .map(|_| atoms::gt(Equation::from(normal_var()), 0.0))
+            .collect(),
+    );
+    g.bench_function("decompose_disjoint_32", |b| {
+        b.iter(|| independent_groups(black_box(&disjoint), &[]))
+    });
+    let chained = chain_condition(32);
+    g.bench_function("decompose_chain_32", |b| {
+        b.iter(|| independent_groups(black_box(&chained), &[]))
+    });
+    g.finish();
+}
+
+fn bench_expectation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("expectation");
+    g.sample_size(20);
+    let y = normal_var();
+    let cond = Conjunction::of(vec![
+        atoms::gt(Equation::from(y.clone()), -1.0),
+        atoms::lt(Equation::from(y.clone()), 1.0),
+    ]);
+    let expr = Equation::from(y);
+    let cdf_cfg = SamplerConfig::fixed_samples(500);
+    g.bench_function("cdf_bounded_500", |b| {
+        b.iter(|| expectation(black_box(&expr), black_box(&cond), false, &cdf_cfg, 0))
+    });
+    let naive = SamplerConfig::naive(500);
+    g.bench_function("rejection_500", |b| {
+        b.iter(|| expectation(black_box(&expr), black_box(&cond), false, &naive, 0))
+    });
+    g.bench_function("conf_exact_cdf", |b| {
+        b.iter(|| conf(black_box(&cond), &cdf_cfg, 0))
+    });
+    g.finish();
+}
+
+fn max_table(n_rows: usize) -> CTable {
+    let schema = Schema::of(&[("v", DataType::Symbolic)]);
+    let mut t = CTable::empty(schema);
+    for i in 0..n_rows {
+        let y = normal_var();
+        let p = 0.9 / (1.0 + i as f64 * 0.1);
+        let z = special::inverse_normal_cdf(1.0 - p);
+        t.push(CRow::new(
+            vec![Equation::val((n_rows - i) as f64)],
+            Conjunction::single(atoms::gt(Equation::from(y), z)),
+        ))
+        .unwrap();
+    }
+    t
+}
+
+fn bench_expected_max(c: &mut Criterion) {
+    let mut g = c.benchmark_group("expected_max");
+    g.sample_size(20);
+    let t = max_table(200);
+    let cfg = SamplerConfig::default();
+    g.bench_function("full_scan", |b| {
+        b.iter(|| expected_max_const(black_box(&t), "v", &cfg, 0.0))
+    });
+    g.bench_function("early_exit_p0.1", |b| {
+        b.iter(|| expected_max_const(black_box(&t), "v", &cfg, 0.1))
+    });
+    g.finish();
+}
+
+fn bench_algebra(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ctable_algebra");
+    let schema = Schema::of(&[("v", DataType::Symbolic)]);
+    let mut t = CTable::empty(schema);
+    for _ in 0..256 {
+        let y = normal_var();
+        t.push(CRow::new(
+            vec![Equation::from(y.clone())],
+            Conjunction::single(atoms::gt(Equation::from(y), 0.0)),
+        ))
+        .unwrap();
+    }
+    g.bench_function("select_symbolic_256", |b| {
+        b.iter(|| {
+            algebra::select(black_box(&t), |cells| {
+                Ok(algebra::SelectOutcome::Conditional(vec![atoms::lt(
+                    cells[0].clone(),
+                    5.0,
+                )]))
+            })
+        })
+    });
+    g.bench_function("product_16x16", |b| {
+        let small = CTable::new(
+            t.schema().clone(),
+            t.rows()[..16].to_vec(),
+        )
+        .unwrap();
+        b.iter(|| algebra::product(black_box(&small), black_box(&small)))
+    });
+    g.bench_function("distinct_256", |b| {
+        b.iter(|| algebra::distinct(black_box(&t)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_special,
+    bench_consistency,
+    bench_groups,
+    bench_expectation,
+    bench_expected_max,
+    bench_algebra
+);
+criterion_main!(benches);

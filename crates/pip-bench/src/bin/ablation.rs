@@ -1,0 +1,145 @@
+//! **Ablations** — what each PIP optimization buys (DESIGN.md §3):
+//!
+//! 1. exact-CDF paths on/off (Q1: linearity of expectation; Q3/iceberg:
+//!    exact interval probabilities);
+//! 2. CDF-bounded sampling on/off (Q4 at selectivity 0.005);
+//! 3. independence decomposition on/off (Q3: profit ⊥ delivery);
+//! 4. `expected_max` early-exit precision sweep (Example 4.4).
+
+use serde::Serialize;
+use std::time::Instant;
+
+use pip_core::{DataType, Schema};
+use pip_dist::prelude::builtin;
+use pip_dist::special;
+use pip_expr::{atoms, Conjunction, Equation, RandomVar};
+use pip_ctable::{CRow, CTable};
+use pip_sampling::{expected_max_const, SamplerConfig};
+use pip_workloads::queries;
+use pip_workloads::tpch::{generate, TpchConfig};
+
+#[derive(Serialize)]
+struct Row {
+    experiment: String,
+    variant: String,
+    secs: f64,
+    rms_or_value: f64,
+}
+
+fn emit(experiment: &str, variant: &str, secs: f64, x: f64) {
+    let r = Row {
+        experiment: experiment.into(),
+        variant: variant.into(),
+        secs,
+        rms_or_value: x,
+    };
+    pip_bench::row(
+        &[
+            experiment.to_string(),
+            variant.to_string(),
+            format!("{secs:.4}"),
+            format!("{x:.5}"),
+        ],
+        &r,
+    );
+}
+
+fn main() {
+    let scale = pip_bench::scale();
+    let data = generate(&TpchConfig::scaled(0.2 * scale, 0xAB));
+    let n = (500.0 * scale) as usize;
+
+    println!("# Ablations: effect of individual PIP optimizations.");
+    pip_bench::header(&["experiment", "variant", "secs", "rms_or_value"]);
+
+    // 1. Exact paths: Q1 via linearity vs forced sampling.
+    {
+        let exact = queries::q1_exact(&data);
+        let t0 = Instant::now();
+        let on = queries::q1_pip(&data, &SamplerConfig::fixed_samples(n)).unwrap();
+        emit(
+            "exact_paths(q1)",
+            "on",
+            t0.elapsed().as_secs_f64(),
+            ((on.value - exact) / exact).abs(),
+        );
+        let mut cfg = SamplerConfig::fixed_samples(n);
+        cfg.use_exact_cdf = false;
+        let t1 = Instant::now();
+        let off = queries::q1_pip(&data, &cfg).unwrap();
+        emit(
+            "exact_paths(q1)",
+            "off",
+            t1.elapsed().as_secs_f64(),
+            ((off.value - exact) / exact).abs(),
+        );
+    }
+
+    // 2. CDF-bounded sampling: Q4 at selectivity 0.005.
+    {
+        let sel = 0.005;
+        let exact = queries::q4_exact(&data, sel);
+        for (variant, use_cdf) in [("on", true), ("off", false)] {
+            let mut cfg = SamplerConfig::fixed_samples((n / 5).max(20));
+            cfg.use_cdf_sampling = use_cdf;
+            cfg.use_exact_cdf = use_cdf;
+            let t = Instant::now();
+            let run = queries::q4_pip(&data, sel, &cfg).unwrap();
+            emit(
+                "cdf_sampling(q4)",
+                variant,
+                t.elapsed().as_secs_f64(),
+                queries::normalized_rms(&run.estimates, &exact),
+            );
+        }
+    }
+
+    // 3. Independence decomposition: Q3.
+    {
+        let sel = 0.1;
+        let exact = queries::q3_exact(&data, sel);
+        for (variant, indep) in [("on", true), ("off", false)] {
+            let mut cfg = SamplerConfig::fixed_samples(n / 2);
+            cfg.use_independence = indep;
+            cfg.use_exact_cdf = false; // keep P estimation by sampling
+            let t = Instant::now();
+            let run = queries::q3_pip(&data, sel, &cfg).unwrap();
+            emit(
+                "independence(q3)",
+                variant,
+                t.elapsed().as_secs_f64(),
+                ((run.value - exact) / exact).abs(),
+            );
+        }
+    }
+
+    // 4. expected_max early exit (Example 4.4 at table scale).
+    {
+        // Constant-valued rows with Normal-tail conditions of decreasing
+        // probability.
+        let schema = Schema::of(&[("v", DataType::Symbolic)]);
+        let mut t = CTable::empty(schema);
+        let n_rows = (400.0 * scale) as usize;
+        for i in 0..n_rows {
+            let y = RandomVar::create(builtin::normal(), &[0.0, 1.0]).unwrap();
+            let p = 0.9 / (1.0 + i as f64 * 0.1);
+            let z = special::inverse_normal_cdf(1.0 - p);
+            t.push(CRow::new(
+                vec![Equation::val((n_rows - i) as f64)],
+                Conjunction::single(atoms::gt(Equation::from(y), z)),
+            ))
+            .unwrap();
+        }
+        let cfg = SamplerConfig::default();
+        for precision in [0.0, 0.01, 0.1, 1.0] {
+            let t0 = Instant::now();
+            let r = expected_max_const(&t, "v", &cfg, precision).unwrap();
+            emit(
+                "expected_max_early_exit",
+                &format!("precision={precision}"),
+                t0.elapsed().as_secs_f64(),
+                r.value,
+            );
+        }
+    }
+}

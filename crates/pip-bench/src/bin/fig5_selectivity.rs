@@ -1,0 +1,77 @@
+//! **Figure 5** — time to complete a fixed-accuracy query vs selectivity.
+//!
+//! The paper runs Q4 variants at selectivities {0.25, 0.05, 0.01, 0.005}
+//! with PIP at 1000 samples and Sample-First at `1/selectivity × 1000`
+//! samples (to compensate for discarded worlds, per Figure 7a). PIP's
+//! time stays flat across selectivities (CDF sampling restricts the
+//! sampling bounds); Sample-First's grows like `1/selectivity`.
+
+use serde::Serialize;
+use std::time::Instant;
+
+use pip_sampling::SamplerConfig;
+use pip_workloads::queries;
+use pip_workloads::tpch::{generate, TpchConfig};
+
+#[derive(Serialize)]
+struct Row {
+    selectivity: f64,
+    pip_secs: f64,
+    sf_secs: f64,
+    pip_rms: f64,
+    sf_rms: f64,
+    sf_worlds: usize,
+}
+
+fn main() {
+    let scale = pip_bench::scale();
+    let data = generate(&TpchConfig::scaled(0.2 * scale, 0x515));
+    let n_samples = (200.0 * scale) as usize;
+    let selectivities = [0.25, 0.05, 0.01, 0.005];
+
+    println!("# Figure 5: time to complete a {n_samples}-sample query, accounting for");
+    println!("# selectivity-induced loss of accuracy (SF runs 1/sel x samples).");
+    pip_bench::header(&[
+        "selectivity",
+        "pip_secs",
+        "sf_secs",
+        "pip_rms",
+        "sf_rms",
+        "sf_worlds",
+    ]);
+
+    for &sel in &selectivities {
+        let exact = queries::q4_exact(&data, sel);
+        let cfg = SamplerConfig::fixed_samples(n_samples);
+
+        let t0 = Instant::now();
+        let pip = queries::q4_pip(&data, sel, &cfg).expect("pip q4");
+        let pip_secs = t0.elapsed().as_secs_f64();
+
+        // Sample-First needs 1/sel more worlds for comparable accuracy.
+        let sf_worlds = ((n_samples as f64 / sel) as usize).min(2_000_000);
+        let t1 = Instant::now();
+        let sf = queries::q4_sf(&data, sel, sf_worlds, 0xF5).expect("sf q4");
+        let sf_secs = t1.elapsed().as_secs_f64();
+
+        let r = Row {
+            selectivity: sel,
+            pip_secs,
+            sf_secs,
+            pip_rms: queries::normalized_rms(&pip.estimates, &exact),
+            sf_rms: queries::normalized_rms(&sf.estimates, &exact),
+            sf_worlds,
+        };
+        pip_bench::row(
+            &[
+                format!("{sel}"),
+                format!("{pip_secs:.3}"),
+                format!("{sf_secs:.3}"),
+                format!("{:.4}", r.pip_rms),
+                format!("{:.4}", r.sf_rms),
+                format!("{sf_worlds}"),
+            ],
+            &r,
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! **Figure 6** — query evaluation times for Q1–Q4 in PIP (split into
+//! query and sample phases) and Sample-First (sample count adjusted to
+//! match PIP's accuracy: ×1 for Q1/Q2 where nothing is discarded, ×10
+//! for Q3 at selectivity 0.1, ×200 for Q4 at selectivity 0.005 — the
+//! paper's "(2985 s)" off-the-chart bar).
+//!
+//! PIP runs with the exact-CDF shortcut disabled so that both systems
+//! genuinely draw the same number of samples, as in the paper's setup;
+//! the `ablation_exact` binary shows what the exact paths buy on top.
+
+use serde::Serialize;
+use std::time::Instant;
+
+use pip_sampling::SamplerConfig;
+use pip_workloads::queries::{self, Timed};
+use pip_workloads::tpch::{generate, TpchConfig};
+
+#[derive(Serialize)]
+struct Row {
+    query: &'static str,
+    pip_query_secs: f64,
+    pip_sample_secs: f64,
+    pip_total_secs: f64,
+    sf_total_secs: f64,
+    sf_worlds: usize,
+}
+
+fn emit(query: &'static str, pip: Timed, sf: Timed, sf_worlds: usize) {
+    let r = Row {
+        query,
+        pip_query_secs: pip.query_secs,
+        pip_sample_secs: pip.sample_secs,
+        pip_total_secs: pip.query_secs + pip.sample_secs,
+        sf_total_secs: sf.query_secs + sf.sample_secs,
+        sf_worlds,
+    };
+    pip_bench::row(
+        &[
+            query.to_string(),
+            format!("{:.3}", r.pip_query_secs),
+            format!("{:.3}", r.pip_sample_secs),
+            format!("{:.3}", r.pip_total_secs),
+            format!("{:.3}", r.sf_total_secs),
+            format!("{sf_worlds}"),
+        ],
+        &r,
+    );
+}
+
+fn main() {
+    let scale = pip_bench::scale();
+    let data = generate(&TpchConfig::scaled(scale, 0x66));
+    let n = (1000.0 * scale) as usize;
+
+    println!("# Figure 6: query evaluation times, PIP (query+sample) vs Sample-First.");
+    println!("# SF sample counts adjusted to match PIP accuracy (x10 for Q3, x200 for Q4).");
+    pip_bench::header(&[
+        "query",
+        "pip_query_secs",
+        "pip_sample_secs",
+        "pip_total_secs",
+        "sf_total_secs",
+        "sf_worlds",
+    ]);
+
+    // Force genuine sampling in PIP for an apples-to-apples "n samples"
+    // comparison (the paper's PIP also sampled these).
+    let mut cfg = SamplerConfig::fixed_samples(n);
+    cfg.use_exact_cdf = false;
+
+    // Q1 / Q2: no selection — SF needs no extra worlds.
+    let pip = queries::q1_pip(&data, &cfg).expect("q1 pip");
+    let sf = queries::q1_sf(&data, n, 1).expect("q1 sf");
+    emit("Q1", pip, sf, n);
+
+    let pip = queries::q2_pip(&data, &cfg, n).expect("q2 pip");
+    let sf = queries::q2_sf(&data, n, 2).expect("q2 sf");
+    emit("Q2", pip, sf, n);
+
+    // Q3: selectivity 0.1 → SF at 10×n.
+    let sel3 = 0.1;
+    let pip = queries::q3_pip(&data, sel3, &cfg).expect("q3 pip");
+    let sf_worlds = n * 10;
+    let sf = queries::q3_sf(&data, sel3, sf_worlds, 3).expect("q3 sf");
+    emit("Q3", pip, sf, sf_worlds);
+
+    // Q4: selectivity 0.005 → SF at 200×n (the paper's 2985 s outlier).
+    // Run Q4 over a reduced part table so the SF bar finishes in minutes
+    // rather than hours; the cap is printed, never silent.
+    let sel4 = 0.005;
+    let data4 = generate(&TpchConfig::scaled(0.2 * scale, 0x66));
+    let t0 = Instant::now();
+    let pip4 = queries::q4_pip(&data4, sel4, &cfg).expect("q4 pip");
+    let _ = t0;
+    let sf_worlds = ((n as f64 / sel4) as usize).min(100_000);
+    if sf_worlds < (n as f64 / sel4) as usize {
+        println!("# note: Q4 SF world count capped at {sf_worlds} (uncapped would be {}).",
+            (n as f64 / sel4) as usize);
+    }
+    println!("# note: Q4 row uses a 0.2x part table for both systems.");
+    let sf4 = queries::q4_sf(&data4, sel4, sf_worlds, 4).expect("q4 sf");
+    emit(
+        "Q4",
+        Timed {
+            value: f64::NAN,
+            query_secs: pip4.query_secs,
+            sample_secs: pip4.sample_secs,
+        },
+        Timed {
+            value: f64::NAN,
+            query_secs: sf4.query_secs,
+            sample_secs: sf4.sample_secs,
+        },
+        sf_worlds,
+    );
+}

@@ -1,0 +1,100 @@
+//! The error type shared by every PIP crate.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, PipError>;
+
+/// Errors produced anywhere in the PIP stack.
+///
+/// The engine is layered (values → equations → c-tables → sampling →
+/// query engine), and all layers surface failures through this single type
+/// so that callers of the public API only handle one error enum.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipError {
+    /// A value had the wrong runtime type for the requested operation.
+    Type(String),
+    /// Schema construction or column resolution failed.
+    Schema(String),
+    /// Expression evaluation failed (division by zero, unbound variable, ...).
+    Eval(String),
+    /// The sampling / integration layer could not produce an estimate.
+    Sampling(String),
+    /// A catalog object (table, distribution class, ...) was not found.
+    NotFound(String),
+    /// The operation is valid SQL/algebra but not supported by this engine.
+    Unsupported(String),
+    /// SQL lexing/parsing/binding failed.
+    Sql(String),
+    /// A c-table condition was detected to be unsatisfiable where a
+    /// satisfiable one was required.
+    Inconsistent,
+    /// Invalid distribution parameters (e.g. negative variance).
+    InvalidParameter(String),
+}
+
+impl fmt::Display for PipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipError::Type(m) => write!(f, "type error: {m}"),
+            PipError::Schema(m) => write!(f, "schema error: {m}"),
+            PipError::Eval(m) => write!(f, "evaluation error: {m}"),
+            PipError::Sampling(m) => write!(f, "sampling error: {m}"),
+            PipError::NotFound(m) => write!(f, "not found: {m}"),
+            PipError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            PipError::Sql(m) => write!(f, "SQL error: {m}"),
+            PipError::Inconsistent => write!(f, "inconsistent condition"),
+            PipError::InvalidParameter(m) => write!(f, "invalid parameter: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PipError {}
+
+impl PipError {
+    /// Build a [`PipError::Type`] from anything printable.
+    pub fn type_err(msg: impl fmt::Display) -> Self {
+        PipError::Type(msg.to_string())
+    }
+
+    /// Build a [`PipError::Eval`] from anything printable.
+    pub fn eval(msg: impl fmt::Display) -> Self {
+        PipError::Eval(msg.to_string())
+    }
+
+    /// Build a [`PipError::Sampling`] from anything printable.
+    pub fn sampling(msg: impl fmt::Display) -> Self {
+        PipError::Sampling(msg.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_prefixed_by_category() {
+        assert_eq!(
+            PipError::Type("bad".into()).to_string(),
+            "type error: bad"
+        );
+        assert_eq!(PipError::Inconsistent.to_string(), "inconsistent condition");
+        assert_eq!(
+            PipError::Sql("near token".into()).to_string(),
+            "SQL error: near token"
+        );
+    }
+
+    #[test]
+    fn helpers_build_expected_variants() {
+        assert!(matches!(PipError::type_err("x"), PipError::Type(_)));
+        assert!(matches!(PipError::eval("x"), PipError::Eval(_)));
+        assert!(matches!(PipError::sampling("x"), PipError::Sampling(_)));
+    }
+
+    #[test]
+    fn error_trait_object_works() {
+        let e: Box<dyn std::error::Error> = Box::new(PipError::Inconsistent);
+        assert!(e.to_string().contains("inconsistent"));
+    }
+}

@@ -1,0 +1,20 @@
+//! # pip-core
+//!
+//! Deterministic substrate of the PIP probabilistic database system
+//! (Kennedy & Koch, *PIP: A database system for great and small
+//! expectations*, ICDE 2010): typed values, schemas, tuples and the shared
+//! error type.
+//!
+//! Everything probabilistic (random variables, symbolic equations,
+//! c-tables, samplers) is layered on top of this crate; nothing here knows
+//! about probabilities.
+
+pub mod error;
+pub mod schema;
+pub mod tuple;
+pub mod value;
+
+pub use error::{PipError, Result};
+pub use schema::{Column, DataType, Schema};
+pub use tuple::Tuple;
+pub use value::Value;

@@ -1,0 +1,229 @@
+//! Table schemas: named, typed columns.
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{PipError, Result};
+
+/// Logical column type.
+///
+/// `Symbolic` marks a column whose cells may hold *equations* over random
+/// variables rather than deterministic values — the engine treats such
+/// columns as opaque until the sampling phase (Section III-A of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    Bool,
+    Int,
+    Float,
+    Str,
+    /// May contain a random-variable equation (a "pvar" in PIP's Postgres
+    /// plugin); deterministic numeric values are also allowed.
+    Symbolic,
+}
+
+impl DataType {
+    /// True for the types a numeric expression may produce.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int | DataType::Float | DataType::Symbolic)
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Bool => "BOOL",
+            DataType::Int => "INT",
+            DataType::Float => "FLOAT",
+            DataType::Str => "TEXT",
+            DataType::Symbolic => "SYMBOLIC",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Column {
+    pub name: String,
+    pub dtype: DataType,
+}
+
+impl Column {
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Column {
+            name: name.into(),
+            dtype,
+        }
+    }
+}
+
+/// An ordered list of columns; cheap to clone (shared `Arc`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    columns: Arc<Vec<Column>>,
+}
+
+impl Schema {
+    /// Build a schema, rejecting duplicate column names.
+    pub fn new(columns: Vec<Column>) -> Result<Self> {
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].iter().any(|p| p.name == c.name) {
+                return Err(PipError::Schema(format!(
+                    "duplicate column name '{}'",
+                    c.name
+                )));
+            }
+        }
+        Ok(Schema {
+            columns: Arc::new(columns),
+        })
+    }
+
+    /// Terse constructor: `Schema::of(&[("a", DataType::Int), ...])`.
+    pub fn of(cols: &[(&str, DataType)]) -> Self {
+        Schema::new(
+            cols.iter()
+                .map(|(n, t)| Column::new(*n, *t))
+                .collect::<Vec<_>>(),
+        )
+        .expect("Schema::of called with duplicate column names")
+    }
+
+    /// Empty schema (nullary relations — used in the paper's Section IV-A
+    /// example of a condition-only table).
+    pub fn empty() -> Self {
+        Schema {
+            columns: Arc::new(Vec::new()),
+        }
+    }
+
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Index of column `name`, or a schema error naming the candidates.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| {
+                PipError::Schema(format!(
+                    "no column '{name}' in ({})",
+                    self.columns
+                        .iter()
+                        .map(|c| c.name.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ))
+            })
+    }
+
+    /// Column by name.
+    pub fn column(&self, name: &str) -> Result<&Column> {
+        self.index_of(name).map(|i| &self.columns[i])
+    }
+
+    /// Concatenate two schemas (cross product). Name clashes get a
+    /// disambiguating `.right` suffix, mirroring how real engines rename.
+    pub fn join(&self, other: &Schema) -> Result<Schema> {
+        let mut cols = self.columns.as_ref().clone();
+        for c in other.columns.iter() {
+            if cols.iter().any(|p| p.name == c.name) {
+                cols.push(Column::new(format!("{}.right", c.name), c.dtype));
+            } else {
+                cols.push(c.clone());
+            }
+        }
+        Schema::new(cols)
+    }
+
+    /// Keep only the named columns, in the given order.
+    pub fn project(&self, names: &[&str]) -> Result<Schema> {
+        let cols = names
+            .iter()
+            .map(|n| self.column(n).cloned())
+            .collect::<Result<Vec<_>>>()?;
+        Schema::new(cols)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", c.name, c.dtype)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let r = Schema::new(vec![
+            Column::new("a", DataType::Int),
+            Column::new("a", DataType::Float),
+        ]);
+        assert!(matches!(r, Err(PipError::Schema(_))));
+    }
+
+    #[test]
+    fn index_and_lookup() {
+        let s = Schema::of(&[("a", DataType::Int), ("b", DataType::Str)]);
+        assert_eq!(s.index_of("b").unwrap(), 1);
+        assert!(s.index_of("c").is_err());
+        assert_eq!(s.column("a").unwrap().dtype, DataType::Int);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert!(Schema::empty().is_empty());
+    }
+
+    #[test]
+    fn join_renames_clashes() {
+        let l = Schema::of(&[("a", DataType::Int)]);
+        let r = Schema::of(&[("a", DataType::Float), ("b", DataType::Str)]);
+        let j = l.join(&r).unwrap();
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.columns()[1].name, "a.right");
+        assert_eq!(j.columns()[2].name, "b");
+    }
+
+    #[test]
+    fn project_selects_and_orders() {
+        let s = Schema::of(&[("a", DataType::Int), ("b", DataType::Str)]);
+        let p = s.project(&["b", "a"]).unwrap();
+        assert_eq!(p.columns()[0].name, "b");
+        assert_eq!(p.columns()[1].name, "a");
+        assert!(s.project(&["zzz"]).is_err());
+    }
+
+    #[test]
+    fn display() {
+        let s = Schema::of(&[("a", DataType::Int), ("b", DataType::Symbolic)]);
+        assert_eq!(s.to_string(), "(a INT, b SYMBOLIC)");
+        assert_eq!(DataType::Float.to_string(), "FLOAT");
+    }
+
+    #[test]
+    fn numeric_types() {
+        assert!(DataType::Int.is_numeric());
+        assert!(DataType::Symbolic.is_numeric());
+        assert!(!DataType::Str.is_numeric());
+    }
+}

@@ -1,0 +1,136 @@
+//! Deterministic tuples (rows of [`Value`]s).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{PipError, Result};
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// A deterministic row. Symbolic rows (cells holding random-variable
+/// equations) live in `pip-ctable`; this type is what a possible world, a
+/// sample instantiation, or a fully deterministic query produces.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Tuple {
+    values: Vec<Value>,
+}
+
+impl Tuple {
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple { values }
+    }
+
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Value at position `i`, with a bounds-checked error.
+    pub fn get(&self, i: usize) -> Result<&Value> {
+        self.values
+            .get(i)
+            .ok_or_else(|| PipError::Eval(format!("tuple index {i} out of range ({})", self.len())))
+    }
+
+    /// Value of the column named `name` under `schema`.
+    pub fn get_named(&self, schema: &Schema, name: &str) -> Result<&Value> {
+        self.get(schema.index_of(name)?)
+    }
+
+    /// Concatenate two tuples (cross product row).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut values = Vec::with_capacity(self.len() + other.len());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(&other.values);
+        Tuple { values }
+    }
+
+    /// Keep positions `idx`, in order (projection).
+    pub fn project(&self, idx: &[usize]) -> Result<Tuple> {
+        let values = idx
+            .iter()
+            .map(|&i| self.get(i).cloned())
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Tuple { values })
+    }
+
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple::new(values)
+    }
+}
+
+/// Build a tuple from a heterogeneous list: `tuple![1i64, 2.5, "x"]`.
+#[macro_export]
+macro_rules! tuple {
+    ($($v:expr),* $(,)?) => {
+        $crate::Tuple::new(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::DataType;
+
+    #[test]
+    fn get_and_named_access() {
+        let s = Schema::of(&[("a", DataType::Int), ("b", DataType::Str)]);
+        let t = tuple![4i64, "hello"];
+        assert_eq!(t.get(0).unwrap(), &Value::Int(4));
+        assert_eq!(t.get_named(&s, "b").unwrap(), &Value::str("hello"));
+        assert!(t.get(5).is_err());
+        assert!(t.get_named(&s, "zz").is_err());
+    }
+
+    #[test]
+    fn concat_and_project() {
+        let t = tuple![1i64, 2i64].concat(&tuple![3i64]);
+        assert_eq!(t.len(), 3);
+        let p = t.project(&[2, 0]).unwrap();
+        assert_eq!(p.values(), &[Value::Int(3), Value::Int(1)]);
+        assert!(t.project(&[9]).is_err());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(tuple![1i64, "x"].to_string(), "(1, 'x')");
+        assert_eq!(Tuple::new(vec![]).to_string(), "()");
+        assert!(Tuple::new(vec![]).is_empty());
+    }
+
+    #[test]
+    fn macro_mixes_types() {
+        let t = tuple![true, 2i64, 2.5, "s"];
+        assert_eq!(t.values().len(), 4);
+        assert_eq!(t.get(3).unwrap(), &Value::str("s"));
+        let vs = t.into_values();
+        assert_eq!(vs[0], Value::Bool(true));
+    }
+}

@@ -1,0 +1,274 @@
+//! Deterministic runtime values.
+//!
+//! PIP treats random variables as *opaque* during relational processing;
+//! the deterministic value type below is what those symbolic expressions
+//! eventually evaluate to once a sample assigns every variable a number.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{PipError, Result};
+
+/// A deterministic value stored in (or produced from) a PIP table.
+///
+/// `Float` uses IEEE-754 `f64`; ordering and hashing use a total order
+/// (`f64::total_cmp` / bit patterns) so values can serve as group-by and
+/// sort keys. `Null` sorts before everything, mirroring `NULLS FIRST`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit IEEE-754 float.
+    Float(f64),
+    /// Immutable UTF-8 string (cheaply clonable).
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// True if this is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view: `Int` and `Float` (and `Bool` as 0/1) convert, others fail.
+    pub fn as_f64(&self) -> Result<f64> {
+        match self {
+            Value::Int(i) => Ok(*i as f64),
+            Value::Float(f) => Ok(*f),
+            Value::Bool(b) => Ok(if *b { 1.0 } else { 0.0 }),
+            other => Err(PipError::Type(format!("{other} is not numeric"))),
+        }
+    }
+
+    /// Integer view; floats convert only when they are integral.
+    pub fn as_i64(&self) -> Result<i64> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            Value::Float(f) if f.fract() == 0.0 && f.is_finite() => Ok(*f as i64),
+            other => Err(PipError::Type(format!("{other} is not an integer"))),
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Result<bool> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(PipError::Type(format!("{other} is not a boolean"))),
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Result<&str> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(PipError::Type(format!("{other} is not a string"))),
+        }
+    }
+
+    /// True if the value is `Int` or `Float` (or `Bool`, which coerces).
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Value::Int(_) | Value::Float(_) | Value::Bool(_))
+    }
+
+    /// Total order used for sorting and group-by keys.
+    ///
+    /// `Null < Bool < Int/Float (numeric order) < Str`. `Int` and `Float`
+    /// compare numerically against each other so `Int(1) == Float(1.0)`
+    /// as a key; NaN sorts above all other floats via `total_cmp`.
+    pub fn cmp_total(&self, other: &Value) -> Ordering {
+        use Value::*;
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Null => 0,
+                Bool(_) => 1,
+                Int(_) | Float(_) => 2,
+                Str(_) => 3,
+            }
+        }
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.as_ref().cmp(b.as_ref()),
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+
+    /// SQL-style equality used by joins and `distinct`.
+    pub fn sql_eq(&self, other: &Value) -> bool {
+        self.cmp_total(other) == Ordering::Equal
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp_total(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp_total(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_total(other)
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            // Int and Float must hash identically when numerically equal,
+            // because cmp_total treats Int(1) == Float(1.0).
+            Value::Int(i) => {
+                2u8.hash(state);
+                (*i as f64).to_bits().hash(state);
+            }
+            Value::Float(f) => {
+                2u8.hash(state);
+                f.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                3u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn h(v: &Value) -> u64 {
+        let mut s = DefaultHasher::new();
+        v.hash(&mut s);
+        s.finish()
+    }
+
+    #[test]
+    fn numeric_cross_type_equality() {
+        assert_eq!(Value::Int(3), Value::Float(3.0));
+        assert_ne!(Value::Int(3), Value::Float(3.5));
+        assert_eq!(h(&Value::Int(3)), h(&Value::Float(3.0)));
+    }
+
+    #[test]
+    fn null_sorts_first() {
+        let mut vs = vec![Value::str("a"), Value::Int(1), Value::Null, Value::Bool(true)];
+        vs.sort();
+        assert_eq!(vs[0], Value::Null);
+        assert_eq!(vs[3], Value::str("a"));
+    }
+
+    #[test]
+    fn nan_has_a_home_in_the_total_order() {
+        let nan = Value::Float(f64::NAN);
+        assert_eq!(nan.cmp_total(&nan), Ordering::Equal);
+        assert_eq!(nan.cmp_total(&Value::Float(1.0)), Ordering::Greater);
+    }
+
+    #[test]
+    fn coercions() {
+        assert_eq!(Value::Int(7).as_f64().unwrap(), 7.0);
+        assert_eq!(Value::Float(7.0).as_i64().unwrap(), 7);
+        assert!(Value::Float(7.5).as_i64().is_err());
+        assert_eq!(Value::Bool(true).as_f64().unwrap(), 1.0);
+        assert!(Value::str("x").as_f64().is_err());
+        assert_eq!(Value::str("x").as_str().unwrap(), "x");
+        assert!(Value::Null.is_null());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(-2).to_string(), "-2");
+        assert_eq!(Value::str("hi").to_string(), "'hi'");
+        assert_eq!(Value::Bool(false).to_string(), "false");
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(5i32), Value::Int(5));
+        assert_eq!(Value::from(5i64), Value::Int(5));
+        assert_eq!(Value::from(2.5), Value::Float(2.5));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("s"), Value::str("s"));
+        assert_eq!(Value::from("s".to_string()), Value::str("s"));
+    }
+}

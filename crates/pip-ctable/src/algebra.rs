@@ -1,0 +1,579 @@
+//! Relational algebra on c-tables (paper Figure 1).
+//!
+//! Every operator manipulates conditions *symbolically* and never touches
+//! the probability distribution — that is the key property that lets PIP
+//! defer all sampling until the expression to be measured is fully known.
+//!
+//! Rows whose condition simplifies to `false` (statically detectable
+//! inconsistency, Section III-C) are dropped as we go; deeper
+//! interval-based inconsistency is the job of [`crate::consistency`].
+
+use std::collections::HashMap;
+
+use pip_core::{PipError, Result, Schema, Value};
+use pip_expr::{simplify_row_condition, Atom, Conjunction, Dnf, Equation};
+
+use crate::ctable::{CRow, CTable};
+
+/// Outcome of evaluating a selection predicate on one row's cells.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectOutcome {
+    /// Predicate is statically true for this row.
+    Keep,
+    /// Predicate is statically false — drop the row.
+    Drop,
+    /// Predicate depends on random variables: conjoin these atoms to the
+    /// row's condition (the CTYPE hoisting of Section V-A).
+    Conditional(Vec<Atom>),
+}
+
+/// σ — selection with a per-row predicate.
+///
+/// `Cσψ(R) = {| (r, φ ∧ ψ[r]) | (r, φ) ∈ CR |}`
+pub fn select<F>(table: &CTable, mut pred: F) -> Result<CTable>
+where
+    F: FnMut(&[Equation]) -> Result<SelectOutcome>,
+{
+    let mut out = CTable::empty(table.schema().clone());
+    for row in table.rows() {
+        match pred(&row.cells)? {
+            SelectOutcome::Drop => {}
+            SelectOutcome::Keep => out.push(row.clone())?,
+            SelectOutcome::Conditional(atoms) => {
+                let mut cond = row.condition.clone();
+                for a in atoms {
+                    cond = cond.and_atom(a);
+                }
+                if let Some(cond) = simplify_row_condition(cond) {
+                    out.push(CRow::new(row.cells.clone(), cond))?;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// π — projection onto named columns.
+///
+/// `Cπ_A(R) = {| (r.A, φ) | (r, φ) ∈ CR |}`
+pub fn project(table: &CTable, names: &[&str]) -> Result<CTable> {
+    let idx = names
+        .iter()
+        .map(|n| table.schema().index_of(n))
+        .collect::<Result<Vec<_>>>()?;
+    let schema = table.schema().project(names)?;
+    let mut out = CTable::empty(schema);
+    for row in table.rows() {
+        let cells = idx.iter().map(|&i| row.cells[i].clone()).collect();
+        out.push(CRow::new(cells, row.condition.clone()))?;
+    }
+    Ok(out)
+}
+
+/// Generalized projection: compute new cells from old ones (`SELECT`
+/// target lists with arithmetic — `A * B AS C`).
+pub fn map<F>(table: &CTable, schema: Schema, mut f: F) -> Result<CTable>
+where
+    F: FnMut(&[Equation]) -> Result<Vec<Equation>>,
+{
+    let mut out = CTable::empty(schema);
+    for row in table.rows() {
+        let cells = f(&row.cells)?;
+        out.push(CRow::new(cells, row.condition.clone()))?;
+    }
+    Ok(out)
+}
+
+/// × — cross product.
+///
+/// `C_{R×S} = {| (r, s, φ ∧ ψ) | (r, φ) ∈ CR, (s, ψ) ∈ CS |}`
+pub fn product(left: &CTable, right: &CTable) -> Result<CTable> {
+    let schema = left.schema().join(right.schema())?;
+    let mut out = CTable::empty(schema);
+    for l in left.rows() {
+        for r in right.rows() {
+            let cond = l.condition.and(&r.condition);
+            if let Some(cond) = simplify_row_condition(cond) {
+                let mut cells = l.cells.clone();
+                cells.extend(r.cells.iter().cloned());
+                out.push(CRow::new(cells, cond))?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// ∪ — bag union (list concatenation).
+pub fn union(left: &CTable, right: &CTable) -> Result<CTable> {
+    if left.schema().len() != right.schema().len() {
+        return Err(PipError::Schema(format!(
+            "union arity mismatch: {} vs {}",
+            left.schema().len(),
+            right.schema().len()
+        )));
+    }
+    let mut out = CTable::empty(left.schema().clone());
+    for r in left.rows().iter().chain(right.rows()) {
+        out.push(r.clone())?;
+    }
+    Ok(out)
+}
+
+/// Group rows by (structurally) identical cell vectors, preserving first-
+/// appearance order. The DNF per group is the disjunction of the rows'
+/// conditions — the condition Figure 1 assigns to `distinct`.
+pub fn distinct_groups(table: &CTable) -> Vec<(Vec<Equation>, Dnf)> {
+    let mut order: Vec<Vec<Equation>> = Vec::new();
+    let mut groups: HashMap<Vec<Equation>, Dnf> = HashMap::new();
+    for row in table.rows() {
+        let entry = groups.entry(row.cells.clone()).or_insert_with(|| {
+            order.push(row.cells.clone());
+            Dnf::bottom()
+        });
+        entry.or(row.condition.clone());
+    }
+    order
+        .into_iter()
+        .map(|cells| {
+            let dnf = groups.remove(&cells).expect("group exists");
+            (cells, dnf)
+        })
+        .collect()
+}
+
+/// `distinct` — duplicate elimination.
+///
+/// PIP keeps row conditions conjunctive, so the DNF condition of Figure 1
+/// is encoded in *bag* form: one output row per distinct `(cells,
+/// disjunct)` pair (Figure 4's internal representation). Probability-
+/// aware consumers must use `aconf`-style joint integration over the
+/// groups returned by [`distinct_groups`]; a trivially-true disjunct
+/// collapses the group to a single unconditional row.
+pub fn distinct(table: &CTable) -> Result<CTable> {
+    let mut out = CTable::empty(table.schema().clone());
+    for (cells, dnf) in distinct_groups(table) {
+        if dnf.is_trivially_true() {
+            out.push(CRow::unconditional(cells))?;
+            continue;
+        }
+        let mut seen: Vec<&Conjunction> = Vec::new();
+        for conj in dnf.disjuncts() {
+            if seen.iter().any(|s| *s == conj) {
+                continue;
+            }
+            seen.push(conj);
+            out.push(CRow::new(cells.clone(), conj.clone()))?;
+        }
+    }
+    Ok(out)
+}
+
+/// − — multiset-free difference (Figure 1; both sides deduplicated).
+///
+/// `C_{R−S} = {| (r, φ ∧ ψ) | (r, φ) ∈ distinct(R), ψ = ¬π if
+/// (r, π) ∈ distinct(S) else true |}`
+///
+/// The negated DNF `¬π` re-expands into DNF, so one logical result row
+/// may be encoded as several conjunctive rows (bag semantics again).
+pub fn difference(left: &CTable, right: &CTable) -> Result<CTable> {
+    if left.schema().len() != right.schema().len() {
+        return Err(PipError::Schema(format!(
+            "difference arity mismatch: {} vs {}",
+            left.schema().len(),
+            right.schema().len()
+        )));
+    }
+    let right_groups: HashMap<Vec<Equation>, Dnf> =
+        distinct_groups(right).into_iter().collect();
+    let mut out = CTable::empty(left.schema().clone());
+    for (cells, phi) in distinct_groups(left) {
+        let neg = match right_groups.get(&cells) {
+            Some(pi) => pi.negate(),
+            None => Dnf::of(vec![Conjunction::top()]), // true
+        };
+        for phi_disjunct in phi.disjuncts() {
+            for nu in neg.disjuncts() {
+                let cond = phi_disjunct.and(nu);
+                if let Some(cond) = simplify_row_condition(cond) {
+                    out.push(CRow::new(cells.clone(), cond))?;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Partition rows by deterministic group-by columns.
+///
+/// The paper (Section II-C) supports group-by only on nonprobabilistic
+/// columns; a symbolic (non-constant) cell in a group column is an error.
+/// Returns `(key, sub-table)` pairs in first-appearance order.
+pub fn partition_by(table: &CTable, cols: &[&str]) -> Result<Vec<(Vec<Value>, CTable)>> {
+    let idx = cols
+        .iter()
+        .map(|n| table.schema().index_of(n))
+        .collect::<Result<Vec<_>>>()?;
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    let mut parts: HashMap<Vec<Value>, Vec<CRow>> = HashMap::new();
+    for row in table.rows() {
+        let key = idx
+            .iter()
+            .map(|&i| {
+                row.cells[i]
+                    .as_const()
+                    .cloned()
+                    .ok_or_else(|| {
+                        PipError::Unsupported(format!(
+                            "group-by on uncertain column '{}'",
+                            table.schema().columns()[i].name
+                        ))
+                    })
+            })
+            .collect::<Result<Vec<Value>>>()?;
+        parts
+            .entry(key.clone())
+            .or_insert_with(|| {
+                order.push(key);
+                Vec::new()
+            })
+            .push(row.clone());
+    }
+    order
+        .into_iter()
+        .map(|key| {
+            let rows = parts.remove(&key).expect("partition exists");
+            Ok((key.clone(), CTable::new(table.schema().clone(), rows)?))
+        })
+        .collect()
+}
+
+/// Equi-join on named columns: product + selection, with symbolic cells
+/// producing condition atoms and deterministic cells filtering directly.
+pub fn equi_join(left: &CTable, right: &CTable, on: &[(&str, &str)]) -> Result<CTable> {
+    let l_idx = on
+        .iter()
+        .map(|(l, _)| left.schema().index_of(l))
+        .collect::<Result<Vec<_>>>()?;
+    let r_idx = on
+        .iter()
+        .map(|(_, r)| right.schema().index_of(r))
+        .collect::<Result<Vec<_>>>()?;
+    let n_left = left.schema().len();
+    let prod = product(left, right)?;
+    select(&prod, |cells| {
+        let mut atoms = Vec::new();
+        for (&li, &ri) in l_idx.iter().zip(&r_idx) {
+            let l = &cells[li];
+            let r = &cells[n_left + ri];
+            match (l.as_const(), r.as_const()) {
+                (Some(a), Some(b)) => {
+                    if !a.sql_eq(b) {
+                        return Ok(SelectOutcome::Drop);
+                    }
+                }
+                _ => atoms.push(Atom::new(l.clone(), pip_expr::CmpOp::Eq, r.clone())),
+            }
+        }
+        if atoms.is_empty() {
+            Ok(SelectOutcome::Keep)
+        } else {
+            Ok(SelectOutcome::Conditional(atoms))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pip_core::{tuple, DataType, Tuple};
+    use pip_dist::prelude::builtin;
+    use pip_expr::{atoms, Assignment, RandomVar};
+
+    fn yvar() -> RandomVar {
+        RandomVar::create(builtin::normal(), &[0.0, 1.0]).unwrap()
+    }
+
+    /// The paper's running example (Examples 1.1 / 2.1): Orders and
+    /// Shipping with symbolic prices and durations.
+    fn running_example() -> (CTable, CTable, RandomVar, RandomVar, RandomVar, RandomVar) {
+        let x1 = yvar();
+        let x2 = yvar();
+        let x3 = yvar();
+        let x4 = yvar();
+        let orders = CTable::new(
+            Schema::of(&[
+                ("cust", DataType::Str),
+                ("ship_to", DataType::Str),
+                ("price", DataType::Symbolic),
+            ]),
+            vec![
+                CRow::unconditional(vec![
+                    Equation::val("Joe"),
+                    Equation::val("NY"),
+                    Equation::from(x1.clone()),
+                ]),
+                CRow::unconditional(vec![
+                    Equation::val("Bob"),
+                    Equation::val("LA"),
+                    Equation::from(x3.clone()),
+                ]),
+            ],
+        )
+        .unwrap();
+        let shipping = CTable::new(
+            Schema::of(&[("dest", DataType::Str), ("duration", DataType::Symbolic)]),
+            vec![
+                CRow::unconditional(vec![Equation::val("NY"), Equation::from(x2.clone())]),
+                CRow::unconditional(vec![Equation::val("LA"), Equation::from(x4.clone())]),
+            ],
+        )
+        .unwrap();
+        (orders, shipping, x1, x2, x3, x4)
+    }
+
+    #[test]
+    fn paper_example_2_1_full_query() {
+        let (orders, shipping, x1, x2, _x3, _x4) = running_example();
+        // σ_{Cust='Joe'}(Order)
+        let joe = select(&orders, |cells| {
+            Ok(match cells[0].as_const() {
+                Some(v) if v.sql_eq(&Value::str("Joe")) => SelectOutcome::Keep,
+                _ => SelectOutcome::Drop,
+            })
+        })
+        .unwrap();
+        assert_eq!(joe.len(), 1);
+
+        // σ_{Duration≥7}(Shipping) — symbolic: becomes condition atoms.
+        let late = select(&shipping, |cells| {
+            Ok(SelectOutcome::Conditional(vec![atoms::ge(
+                cells[1].clone(),
+                7.0,
+            )]))
+        })
+        .unwrap();
+        assert_eq!(late.len(), 2);
+        assert_eq!(late.rows()[0].condition.atoms().len(), 1);
+
+        // product + σ_{ShipTo=Dest} + π_Price
+        let joined = equi_join(&joe, &late, &[("ship_to", "dest")]).unwrap();
+        assert_eq!(joined.len(), 1, "only the NY shipping row matches Joe");
+        let result = project(&joined, &["price"]).unwrap();
+        let row = &result.rows()[0];
+        assert_eq!(row.cells[0], Equation::from(x1.clone()));
+        // condition is X2 >= 7
+        assert_eq!(row.condition.atoms().len(), 1);
+        let c = &row.condition.atoms()[0];
+        assert!(c.variables().iter().any(|v| v.key == x2.key));
+
+        // Semantics check: instantiate at X2 = 9 → row present with X1's value.
+        let mut a = Assignment::new();
+        a.set(x1.key, 100.0);
+        a.set(x2.key, 9.0);
+        assert_eq!(result.instantiate(&a).unwrap(), vec![tuple![100.0]]);
+        a.set(x2.key, 3.0);
+        assert!(result.instantiate(&a).unwrap().is_empty());
+    }
+
+    #[test]
+    fn select_static_false_drops_row() {
+        let (orders, ..) = running_example();
+        let none = select(&orders, |_| Ok(SelectOutcome::Drop)).unwrap();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn select_simplifies_dead_conditions() {
+        let (orders, ..) = running_example();
+        // Conjoining a statically-false atom kills the row.
+        let dead = select(&orders, |_| {
+            Ok(SelectOutcome::Conditional(vec![atoms::gt(1.0, 2.0)]))
+        })
+        .unwrap();
+        assert!(dead.is_empty());
+    }
+
+    #[test]
+    fn product_conjoins_conditions() {
+        let y = yvar();
+        let z = yvar();
+        let s = Schema::of(&[("v", DataType::Symbolic)]);
+        let l = CTable::new(
+            s.clone(),
+            vec![CRow::new(
+                vec![Equation::from(y.clone())],
+                Conjunction::single(atoms::gt(Equation::from(y.clone()), 4.0)),
+            )],
+        )
+        .unwrap();
+        let r = CTable::new(
+            s,
+            vec![CRow::new(
+                vec![Equation::from(z.clone())],
+                Conjunction::single(atoms::gt(Equation::from(z.clone()), 2.0)),
+            )],
+        )
+        .unwrap();
+        let p = product(&l, &r).unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.rows()[0].condition.atoms().len(), 2);
+        assert_eq!(p.schema().len(), 2);
+        assert_eq!(p.schema().columns()[1].name, "v.right");
+    }
+
+    #[test]
+    fn union_is_bag_concat() {
+        let s = Schema::of(&[("a", DataType::Int)]);
+        let t1 = CTable::from_tuples(s.clone(), &[tuple![1i64]]).unwrap();
+        let t2 = CTable::from_tuples(s.clone(), &[tuple![1i64], tuple![2i64]]).unwrap();
+        let u = union(&t1, &t2).unwrap();
+        assert_eq!(u.len(), 3);
+        let bad = CTable::from_tuples(
+            Schema::of(&[("a", DataType::Int), ("b", DataType::Int)]),
+            &[],
+        )
+        .unwrap();
+        assert!(union(&t1, &bad).is_err());
+    }
+
+    #[test]
+    fn distinct_merges_equal_cells() {
+        let y = yvar();
+        let s = Schema::of(&[("a", DataType::Int)]);
+        let mut t = CTable::empty(s);
+        // Same cell value under two different conditions plus one
+        // unconditional duplicate pair.
+        t.push(CRow::new(
+            vec![Equation::val(1i64)],
+            Conjunction::single(atoms::gt(Equation::from(y.clone()), 0.0)),
+        ))
+        .unwrap();
+        t.push(CRow::new(
+            vec![Equation::val(1i64)],
+            Conjunction::single(atoms::lt(Equation::from(y.clone()), -1.0)),
+        ))
+        .unwrap();
+        t.push(CRow::unconditional(vec![Equation::val(2i64)])).unwrap();
+        t.push(CRow::unconditional(vec![Equation::val(2i64)])).unwrap();
+
+        let groups = distinct_groups(&t);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].1.disjuncts().len(), 2);
+
+        let d = distinct(&t).unwrap();
+        // value 1 keeps two disjunct-rows; value 2 collapses to one.
+        assert_eq!(d.len(), 3);
+        let twos: Vec<_> = d
+            .rows()
+            .iter()
+            .filter(|r| r.cells[0] == Equation::val(2i64))
+            .collect();
+        assert_eq!(twos.len(), 1);
+        assert!(twos[0].condition.is_trivially_true());
+    }
+
+    #[test]
+    fn difference_unconditional() {
+        let s = Schema::of(&[("a", DataType::Int)]);
+        let l = CTable::from_tuples(s.clone(), &[tuple![1i64], tuple![2i64], tuple![2i64]]).unwrap();
+        let r = CTable::from_tuples(s.clone(), &[tuple![2i64]]).unwrap();
+        let d = difference(&l, &r).unwrap();
+        // 2 is removed entirely (its negated condition is false); 1 stays.
+        let world = d.instantiate(&Assignment::new()).unwrap();
+        assert_eq!(world, vec![tuple![1i64]]);
+    }
+
+    #[test]
+    fn difference_with_conditions_matches_world_semantics() {
+        let y = yvar();
+        let s = Schema::of(&[("a", DataType::Int)]);
+        let l = CTable::from_tuples(s.clone(), &[tuple![1i64]]).unwrap();
+        let mut r = CTable::empty(s);
+        r.push(CRow::new(
+            vec![Equation::val(1i64)],
+            Conjunction::single(atoms::gt(Equation::from(y.clone()), 0.0)),
+        ))
+        .unwrap();
+        let d = difference(&l, &r).unwrap();
+        // World semantics: 1 ∈ R−S iff ¬(y > 0).
+        let mut a = Assignment::new();
+        a.set(y.key, 5.0);
+        assert!(d.instantiate(&a).unwrap().is_empty());
+        a.set(y.key, -5.0);
+        assert_eq!(d.instantiate(&a).unwrap(), vec![tuple![1i64]]);
+    }
+
+    #[test]
+    fn partition_by_deterministic_keys() {
+        let s = Schema::of(&[("g", DataType::Str), ("v", DataType::Int)]);
+        let t = CTable::from_tuples(
+            s,
+            &[tuple!["a", 1i64], tuple!["b", 2i64], tuple!["a", 3i64]],
+        )
+        .unwrap();
+        let parts = partition_by(&t, &["g"]).unwrap();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].0, vec![Value::str("a")]);
+        assert_eq!(parts[0].1.len(), 2);
+        assert_eq!(parts[1].1.len(), 1);
+    }
+
+    #[test]
+    fn partition_by_rejects_symbolic_keys() {
+        let y = yvar();
+        let s = Schema::of(&[("g", DataType::Symbolic)]);
+        let t = CTable::new(
+            s,
+            vec![CRow::unconditional(vec![Equation::from(y)])],
+        )
+        .unwrap();
+        assert!(matches!(
+            partition_by(&t, &["g"]),
+            Err(PipError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn map_computes_new_cells() {
+        let s = Schema::of(&[("a", DataType::Int), ("b", DataType::Int)]);
+        let t = CTable::from_tuples(s, &[tuple![2i64, 3i64]]).unwrap();
+        let out_schema = Schema::of(&[("c", DataType::Symbolic)]);
+        let m = map(&t, out_schema, |cells| {
+            Ok(vec![(cells[0].clone() * cells[1].clone()).simplify()])
+        })
+        .unwrap();
+        assert_eq!(
+            m.rows()[0].cells[0].as_const().unwrap().as_f64().unwrap(),
+            6.0
+        );
+    }
+
+    /// Property-style check of the c-table identity: instantiate-then-
+    /// evaluate == evaluate-then-instantiate for the product operator.
+    #[test]
+    fn product_commutes_with_instantiation() {
+        use pip_dist::rng_from_seed;
+        use rand::Rng;
+        let (orders, shipping, x1, x2, x3, x4) = running_example();
+        let sym = product(&orders, &shipping).unwrap();
+        let mut rng = rng_from_seed(99);
+        for _ in 0..25 {
+            let mut a = Assignment::new();
+            for v in [&x1, &x2, &x3, &x4] {
+                a.set(v.key, rng.gen_range(-10.0..10.0));
+            }
+            // evaluate symbolically, then instantiate
+            let w1 = sym.instantiate(&a).unwrap();
+            // instantiate inputs, then cross product on tuples
+            let lo = orders.instantiate(&a).unwrap();
+            let ro = shipping.instantiate(&a).unwrap();
+            let mut w2: Vec<Tuple> = Vec::new();
+            for l in &lo {
+                for r in &ro {
+                    w2.push(l.concat(r));
+                }
+            }
+            assert_eq!(w1, w2);
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! The probabilistic c-table (paper Section II): a multiset of rows, each
+//! carrying symbolic cells (equations) and a local condition
+//! (a conjunction of constraint atoms).
+
+use std::fmt;
+
+use pip_core::{PipError, Result, Schema, Tuple, Value};
+use pip_expr::{Assignment, Conjunction, Equation, RandomVar};
+
+/// One c-table row: cells plus the local condition under which the row
+/// exists.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CRow {
+    pub cells: Vec<Equation>,
+    pub condition: Conjunction,
+}
+
+impl CRow {
+    pub fn new(cells: Vec<Equation>, condition: Conjunction) -> Self {
+        CRow { cells, condition }
+    }
+
+    /// A row with trivially-true condition.
+    pub fn unconditional(cells: Vec<Equation>) -> Self {
+        CRow::new(cells, Conjunction::top())
+    }
+
+    /// Build from a deterministic tuple.
+    pub fn from_tuple(t: &Tuple) -> Self {
+        CRow::unconditional(t.values().iter().cloned().map(Equation::Const).collect())
+    }
+
+    /// All distinct variables in cells and condition.
+    pub fn variables(&self) -> Vec<RandomVar> {
+        let mut out = Vec::new();
+        for c in &self.cells {
+            c.collect_vars(&mut out);
+        }
+        for v in self.condition.variables() {
+            if !out.iter().any(|o| o.key == v.key) {
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    /// True if the row has no symbolic content at all.
+    pub fn is_deterministic(&self) -> bool {
+        self.condition.is_trivially_true() && self.cells.iter().all(|c| c.is_deterministic())
+    }
+
+    /// Instantiate under an assignment: `None` when the condition fails.
+    pub fn instantiate(&self, a: &Assignment) -> Result<Option<Tuple>> {
+        if !self.condition.eval(a)? {
+            return Ok(None);
+        }
+        let vals = self
+            .cells
+            .iter()
+            .map(|c| c.eval_value(a))
+            .collect::<Result<Vec<Value>>>()?;
+        Ok(Some(Tuple::new(vals)))
+    }
+}
+
+impl fmt::Display for CRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.cells.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ") | {}", self.condition)
+    }
+}
+
+/// A probabilistic c-table: a schema plus a multiset of conditioned rows.
+///
+/// Rows are stored with *conjunctive* conditions only; disjunction is
+/// encoded by duplicate rows (bag semantics) and re-coalesced by
+/// `distinct`/`aconf` (paper Sections III-B and V-C).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CTable {
+    schema: Schema,
+    rows: Vec<CRow>,
+}
+
+impl CTable {
+    pub fn new(schema: Schema, rows: Vec<CRow>) -> Result<Self> {
+        for (i, r) in rows.iter().enumerate() {
+            if r.cells.len() != schema.len() {
+                return Err(PipError::Schema(format!(
+                    "row {i} has {} cells, schema has {} columns",
+                    r.cells.len(),
+                    schema.len()
+                )));
+            }
+        }
+        Ok(CTable { schema, rows })
+    }
+
+    pub fn empty(schema: Schema) -> Self {
+        CTable {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Lift a deterministic relation into a c-table.
+    pub fn from_tuples(schema: Schema, tuples: &[Tuple]) -> Result<Self> {
+        CTable::new(schema, tuples.iter().map(CRow::from_tuple).collect())
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn rows(&self) -> &[CRow] {
+        &self.rows
+    }
+
+    pub fn rows_mut(&mut self) -> &mut Vec<CRow> {
+        &mut self.rows
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    pub fn push(&mut self, row: CRow) -> Result<()> {
+        if row.cells.len() != self.schema.len() {
+            return Err(PipError::Schema(format!(
+                "row has {} cells, schema has {} columns",
+                row.cells.len(),
+                self.schema.len()
+            )));
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// All distinct variables anywhere in the table.
+    pub fn variables(&self) -> Vec<RandomVar> {
+        let mut out = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for r in &self.rows {
+            for v in r.variables() {
+                if seen.insert(v.key) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// The possible world selected by `assignment` (paper Section II-A):
+    /// each row appears iff its condition holds, with cells evaluated.
+    pub fn instantiate(&self, a: &Assignment) -> Result<Vec<Tuple>> {
+        let mut out = Vec::with_capacity(self.rows.len());
+        for r in &self.rows {
+            if let Some(t) = r.instantiate(a)? {
+                out.push(t);
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for CTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.schema)?;
+        for r in &self.rows {
+            writeln!(f, "  {r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pip_core::{tuple, DataType};
+    use pip_dist::prelude::builtin;
+    use pip_expr::atoms;
+
+    fn yvar() -> RandomVar {
+        RandomVar::create(builtin::normal(), &[0.0, 1.0]).unwrap()
+    }
+
+    #[test]
+    fn from_tuples_and_instantiate_identity() {
+        let s = Schema::of(&[("a", DataType::Int), ("b", DataType::Str)]);
+        let ts = vec![tuple![1i64, "x"], tuple![2i64, "y"]];
+        let ct = CTable::from_tuples(s, &ts).unwrap();
+        assert_eq!(ct.len(), 2);
+        assert!(ct.rows()[0].is_deterministic());
+        let world = ct.instantiate(&Assignment::new()).unwrap();
+        assert_eq!(world, ts);
+    }
+
+    #[test]
+    fn conditioned_row_appears_only_when_condition_holds() {
+        let y = yvar();
+        let s = Schema::of(&[("price", DataType::Symbolic)]);
+        let row = CRow::new(
+            vec![Equation::from(y.clone())],
+            Conjunction::single(atoms::ge(Equation::from(y.clone()), 7.0)),
+        );
+        let ct = CTable::new(s, vec![row]).unwrap();
+        let mut a = Assignment::new();
+        a.set(y.key, 10.0);
+        assert_eq!(ct.instantiate(&a).unwrap(), vec![tuple![10.0]]);
+        a.set(y.key, 3.0);
+        assert!(ct.instantiate(&a).unwrap().is_empty());
+    }
+
+    #[test]
+    fn schema_arity_enforced() {
+        let s = Schema::of(&[("a", DataType::Int)]);
+        let bad = CRow::unconditional(vec![Equation::val(1.0), Equation::val(2.0)]);
+        assert!(CTable::new(s.clone(), vec![bad.clone()]).is_err());
+        let mut ct = CTable::empty(s);
+        assert!(ct.push(bad).is_err());
+        assert!(ct.is_empty());
+    }
+
+    #[test]
+    fn variables_collects_cells_and_conditions() {
+        let y = yvar();
+        let z = yvar();
+        let s = Schema::of(&[("v", DataType::Symbolic)]);
+        let row = CRow::new(
+            vec![Equation::from(y.clone())],
+            Conjunction::single(atoms::gt(Equation::from(z.clone()), 0.0)),
+        );
+        let ct = CTable::new(s, vec![row]).unwrap();
+        let vars = ct.variables();
+        assert_eq!(vars.len(), 2);
+        assert!(vars.iter().any(|v| v.key == y.key));
+        assert!(vars.iter().any(|v| v.key == z.key));
+    }
+
+    #[test]
+    fn display_contains_condition() {
+        let y = yvar();
+        let s = Schema::of(&[("v", DataType::Symbolic)]);
+        let row = CRow::new(
+            vec![Equation::from(y.clone())],
+            Conjunction::single(atoms::ge(Equation::from(y), 7.0)),
+        );
+        let ct = CTable::new(s, vec![row]).unwrap();
+        let txt = ct.to_string();
+        assert!(txt.contains(">= 7"), "{txt}");
+    }
+}

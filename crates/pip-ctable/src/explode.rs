@@ -1,0 +1,211 @@
+//! Discrete-variable explosion (paper Section III-C).
+//!
+//! "Rather than using abstract representations, every row containing
+//! discrete variables may be exploded into one row for every possible
+//! valuation. Condition atoms matching each variable to its valuation are
+//! used to ensure mutual exclusion of each row." After explosion the
+//! discrete columns are plain constants, and the deterministic query
+//! optimizer filters them as early as any other predicate.
+
+use pip_core::{PipError, Result};
+use pip_expr::{atoms, Assignment, Equation, RandomVar};
+
+use crate::ctable::{CRow, CTable};
+
+/// Enumerate the (finite) integer domain of a discrete variable from its
+/// support; fails when the support is unbounded (e.g. Poisson) or larger
+/// than `max_domain`.
+pub fn discrete_domain(var: &RandomVar, max_domain: usize) -> Result<Vec<f64>> {
+    if !var.is_discrete() {
+        return Err(PipError::Unsupported(format!(
+            "{} is not discrete",
+            var.key.id
+        )));
+    }
+    let (lo, hi) = var.class.support(&var.params);
+    if !lo.is_finite() || !hi.is_finite() {
+        return Err(PipError::Unsupported(format!(
+            "discrete variable {} has unbounded support",
+            var.key.id
+        )));
+    }
+    let n = (hi - lo) as usize + 1;
+    if n > max_domain {
+        return Err(PipError::Unsupported(format!(
+            "domain of {} has {n} values (cap {max_domain})",
+            var.key.id
+        )));
+    }
+    Ok((0..n).map(|i| lo + i as f64).collect())
+}
+
+/// Explode every finite-domain discrete variable occurring in the *cells*
+/// of `table` into per-valuation rows.
+///
+/// Each output row gets `X = v` atoms appended to its condition and the
+/// variable replaced by the constant `v` in its cells. Variables that are
+/// discrete but unbounded (Poisson) are left symbolic — the sampler
+/// handles them like continuous ones.
+pub fn explode_discrete(table: &CTable, max_domain: usize) -> Result<CTable> {
+    let mut out = CTable::empty(table.schema().clone());
+    for row in table.rows() {
+        // Discrete, finite-support variables in this row's cells.
+        let mut dvars: Vec<RandomVar> = Vec::new();
+        for cell in &row.cells {
+            for v in cell.variables() {
+                if v.is_discrete()
+                    && discrete_domain(&v, max_domain).is_ok()
+                    && !dvars.iter().any(|d| d.key == v.key)
+                {
+                    dvars.push(v);
+                }
+            }
+        }
+        if dvars.is_empty() {
+            out.push(row.clone())?;
+            continue;
+        }
+        // Cartesian product over the domains.
+        let domains: Vec<Vec<f64>> = dvars
+            .iter()
+            .map(|v| discrete_domain(v, max_domain))
+            .collect::<Result<_>>()?;
+        let mut counters = vec![0usize; dvars.len()];
+        loop {
+            // Build the valuation as an Assignment for substitution.
+            let mut asg = Assignment::new();
+            let mut cond = row.condition.clone();
+            for (v, (&c, dom)) in dvars.iter().zip(counters.iter().zip(&domains)) {
+                asg.set(v.key, dom[c]);
+                cond = cond.and_atom(atoms::eq(Equation::from(v.clone()), dom[c]));
+            }
+            // Substitute in cells: any cell whose variables are all
+            // assigned becomes a constant.
+            let cells = row
+                .cells
+                .iter()
+                .map(|cell| {
+                    if cell.is_deterministic() {
+                        return Ok(cell.clone());
+                    }
+                    let vars = cell.variables();
+                    if vars.iter().all(|v| asg.get(v.key).is_some()) {
+                        Ok(Equation::Const(cell.eval_value(&asg)?))
+                    } else {
+                        Ok(cell.clone())
+                    }
+                })
+                .collect::<Result<Vec<_>>>()?;
+            if let Some(cond) = pip_expr::simplify_row_condition(cond) {
+                out.push(CRow::new(cells, cond))?;
+            }
+            // Advance the mixed-radix counter.
+            let mut i = 0;
+            loop {
+                if i == counters.len() {
+                    break;
+                }
+                counters[i] += 1;
+                if counters[i] < domains[i].len() {
+                    break;
+                }
+                counters[i] = 0;
+                i += 1;
+            }
+            if i == counters.len() {
+                break;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pip_core::{DataType, Schema};
+    use pip_dist::prelude::builtin;
+    use pip_expr::Conjunction;
+
+    fn die() -> RandomVar {
+        RandomVar::create(builtin::discrete_uniform(), &[1.0, 6.0]).unwrap()
+    }
+
+    #[test]
+    fn domain_enumeration() {
+        let d = die();
+        assert_eq!(
+            discrete_domain(&d, 10).unwrap(),
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+        );
+        assert!(discrete_domain(&d, 3).is_err());
+        let cont = RandomVar::create(builtin::normal(), &[0.0, 1.0]).unwrap();
+        assert!(discrete_domain(&cont, 10).is_err());
+        let pois = RandomVar::create(builtin::poisson(), &[3.0]).unwrap();
+        assert!(discrete_domain(&pois, 10).is_err(), "unbounded support");
+    }
+
+    #[test]
+    fn explode_single_die() {
+        let d = die();
+        let s = Schema::of(&[("roll", DataType::Symbolic)]);
+        let t = CTable::new(
+            s,
+            vec![CRow::unconditional(vec![Equation::from(d.clone())])],
+        )
+        .unwrap();
+        let x = explode_discrete(&t, 16).unwrap();
+        assert_eq!(x.len(), 6);
+        // Every row is now a constant cell with an X=v condition.
+        for (i, row) in x.rows().iter().enumerate() {
+            let v = row.cells[0].as_const().unwrap().as_f64().unwrap();
+            assert_eq!(v, (i + 1) as f64);
+            assert_eq!(row.condition.atoms().len(), 1);
+        }
+    }
+
+    #[test]
+    fn explode_two_dice_product_domain() {
+        let d1 = die();
+        let d2 = die();
+        let s = Schema::of(&[("sum", DataType::Symbolic)]);
+        let t = CTable::new(
+            s,
+            vec![CRow::unconditional(vec![
+                (Equation::from(d1) + Equation::from(d2)).simplify(),
+            ])],
+        )
+        .unwrap();
+        let x = explode_discrete(&t, 16).unwrap();
+        assert_eq!(x.len(), 36);
+        // Cells are fully substituted constants 2..=12.
+        let min = x
+            .rows()
+            .iter()
+            .map(|r| r.cells[0].as_const().unwrap().as_f64().unwrap())
+            .fold(f64::INFINITY, f64::min);
+        let max = x
+            .rows()
+            .iter()
+            .map(|r| r.cells[0].as_const().unwrap().as_f64().unwrap())
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!((min, max), (2.0, 12.0));
+    }
+
+    #[test]
+    fn rows_without_discrete_vars_pass_through() {
+        let y = RandomVar::create(builtin::normal(), &[0.0, 1.0]).unwrap();
+        let s = Schema::of(&[("v", DataType::Symbolic)]);
+        let t = CTable::new(
+            s,
+            vec![CRow::new(
+                vec![Equation::from(y.clone())],
+                Conjunction::single(atoms::gt(Equation::from(y), 0.0)),
+            )],
+        )
+        .unwrap();
+        let x = explode_discrete(&t, 16).unwrap();
+        assert_eq!(x.len(), 1);
+        assert_eq!(x.rows()[0], t.rows()[0]);
+    }
+}

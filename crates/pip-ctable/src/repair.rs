@@ -1,0 +1,236 @@
+//! The `repair-key` operator (paper Section V-A, footnote 2): PIP's
+//! MayBMS-style constructor for *discrete* probabilistic tables.
+//!
+//! `repair_key(R, key_cols, weight_col)` interprets `R` as a set of
+//! weighted alternatives per key: within each key group exactly one row
+//! exists in any possible world, chosen with probability proportional to
+//! its weight. Implementation: one fresh `Categorical` variable per key
+//! group; alternative `i` gets the condition `X_g = i` appended, which
+//! makes the alternatives mutually exclusive and the group's confidences
+//! sum to 1 — the block-independent-disjoint building block that (with
+//! relational algebra on top) can represent any finite distribution.
+
+use std::sync::Arc;
+
+use pip_core::{PipError, Result, Value};
+use pip_dist::prelude::builtin;
+use pip_expr::{atoms, Equation, RandomVar, VarId, VarKey};
+
+use crate::ctable::{CRow, CTable};
+
+/// Apply repair-key. `key_cols` may be empty (the whole table is one
+/// group — a single categorical choice). The weight column must hold
+/// deterministic non-negative numbers; it is retained in the output.
+///
+/// Returns the repaired table plus the per-group variables (group key →
+/// variable), so callers can express cross-table correlations.
+pub fn repair_key(
+    table: &CTable,
+    key_cols: &[&str],
+    weight_col: &str,
+) -> Result<(CTable, Vec<(Vec<Value>, RandomVar)>)> {
+    let key_idx = key_cols
+        .iter()
+        .map(|c| table.schema().index_of(c))
+        .collect::<Result<Vec<_>>>()?;
+    let w_idx = table.schema().index_of(weight_col)?;
+
+    // Group rows by key, preserving first-appearance order.
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    let mut groups: std::collections::HashMap<Vec<Value>, Vec<usize>> =
+        std::collections::HashMap::new();
+    for (i, row) in table.rows().iter().enumerate() {
+        if !row.condition.is_trivially_true() {
+            return Err(PipError::Unsupported(
+                "repair_key over an already-conditioned table".into(),
+            ));
+        }
+        let key = key_idx
+            .iter()
+            .map(|&k| {
+                row.cells[k].as_const().cloned().ok_or_else(|| {
+                    PipError::Unsupported("repair_key key columns must be deterministic".into())
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        groups
+            .entry(key.clone())
+            .or_insert_with(|| {
+                order.push(key);
+                Vec::new()
+            })
+            .push(i);
+    }
+
+    let mut out = CTable::empty(table.schema().clone());
+    let mut vars = Vec::with_capacity(order.len());
+    for key in order {
+        let members = groups.remove(&key).expect("group exists");
+        let weights = members
+            .iter()
+            .map(|&i| {
+                let w = table.rows()[i].cells[w_idx]
+                    .as_const()
+                    .ok_or_else(|| {
+                        PipError::Unsupported(
+                            "repair_key weight column must be deterministic".into(),
+                        )
+                    })?
+                    .as_f64()?;
+                if !(w >= 0.0) || !w.is_finite() {
+                    return Err(PipError::InvalidParameter(format!(
+                        "repair_key: weight {w} invalid"
+                    )));
+                }
+                Ok(w)
+            })
+            .collect::<Result<Vec<f64>>>()?;
+        let var = RandomVar::create(builtin::categorical(), &weights)?;
+        for (alt, &i) in members.iter().enumerate() {
+            let row = &table.rows()[i];
+            let cond = row
+                .condition
+                .and_atom(atoms::eq(Equation::from(var.clone()), alt as f64));
+            out.push(CRow::new(row.cells.clone(), cond))?;
+        }
+        vars.push((key, var));
+    }
+    Ok((out, vars))
+}
+
+/// Convenience for tests and callers that need the key of a variable.
+pub fn repair_var_key(id: VarId) -> VarKey {
+    VarKey { id, subscript: 0 }
+}
+
+/// Validate a repaired table: within every group the alternatives'
+/// conditions are mutually exclusive and exhaustive by construction;
+/// this checks the weights actually normalize (useful after manual edits).
+pub fn group_probabilities(vars: &[(Vec<Value>, RandomVar)]) -> Vec<(Vec<Value>, Vec<f64>)> {
+    vars.iter()
+        .map(|(k, v)| {
+            let total: f64 = v.params.iter().sum();
+            let probs = v.params.iter().map(|w| w / total).collect();
+            (k.clone(), probs)
+        })
+        .collect()
+}
+
+/// Expose the weights of a repaired group's variable (diagnostics).
+pub fn weights_of(var: &RandomVar) -> Arc<[f64]> {
+    Arc::clone(&var.params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pip_core::{tuple, DataType, Schema};
+    use pip_expr::Assignment;
+
+    fn weather_table() -> CTable {
+        // The classic MayBMS example: per-city weather alternatives.
+        let s = Schema::of(&[
+            ("city", DataType::Str),
+            ("weather", DataType::Str),
+            ("w", DataType::Float),
+        ]);
+        CTable::from_tuples(
+            s,
+            &[
+                tuple!["nyc", "sun", 3.0],
+                tuple!["nyc", "rain", 1.0],
+                tuple!["ithaca", "snow", 1.0],
+                tuple!["ithaca", "sun", 1.0],
+                tuple!["ithaca", "rain", 2.0],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn groups_get_one_variable_each() {
+        let t = weather_table();
+        let (rep, vars) = repair_key(&t, &["city"], "w").unwrap();
+        assert_eq!(rep.len(), 5);
+        assert_eq!(vars.len(), 2);
+        assert_eq!(vars[0].0, vec![Value::str("nyc")]);
+        // nyc group weights normalize to 0.75/0.25.
+        let probs = group_probabilities(&vars);
+        assert_eq!(probs[0].1, vec![0.75, 0.25]);
+        assert_eq!(probs[1].1, vec![0.25, 0.25, 0.5]);
+        assert_eq!(weights_of(&vars[0].1).len(), 2);
+    }
+
+    #[test]
+    fn alternatives_are_mutually_exclusive() {
+        let t = weather_table();
+        let (rep, vars) = repair_key(&t, &["city"], "w").unwrap();
+        // Fix a world: nyc picks alternative 1 (rain), ithaca picks 0.
+        let mut a = Assignment::new();
+        a.set(vars[0].1.key, 1.0);
+        a.set(vars[1].1.key, 0.0);
+        let world = rep.instantiate(&a).unwrap();
+        assert_eq!(world.len(), 2);
+        assert_eq!(world[0].get(1).unwrap(), &Value::str("rain"));
+        assert_eq!(world[1].get(1).unwrap(), &Value::str("snow"));
+    }
+
+    #[test]
+    fn confidences_match_normalized_weights() {
+        use pip_sampling_stub::conf_exact;
+        let t = weather_table();
+        let (rep, _) = repair_key(&t, &["city"], "w").unwrap();
+        // Exact per-row probability via the Categorical CDF path.
+        let p0 = conf_exact(&rep.rows()[0].condition);
+        assert!((p0 - 0.75).abs() < 1e-12, "{p0}");
+        let p1 = conf_exact(&rep.rows()[1].condition);
+        assert!((p1 - 0.25).abs() < 1e-12, "{p1}");
+        // Group confidences sum to 1.
+        let total: f64 = rep.rows()[..2]
+            .iter()
+            .map(|r| conf_exact(&r.condition))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    /// Minimal exact-confidence helper (pip-sampling depends on this
+    /// crate, so tests here cannot use it; single-variable equality on a
+    /// Categorical has a closed form).
+    mod pip_sampling_stub {
+        use pip_expr::{CmpOp, Conjunction, Equation};
+
+        pub fn conf_exact(cond: &Conjunction) -> f64 {
+            assert_eq!(cond.atoms().len(), 1);
+            let a = &cond.atoms()[0];
+            assert_eq!(a.op, CmpOp::Eq);
+            let v = match &a.left {
+                Equation::Var(v) => v,
+                other => panic!("unexpected lhs {other:?}"),
+            };
+            let alt = a.right.as_const().unwrap().as_f64().unwrap();
+            v.class.pdf(&v.params, alt).unwrap()
+        }
+    }
+
+    #[test]
+    fn empty_key_is_one_global_group() {
+        let s = Schema::of(&[("opt", DataType::Str), ("w", DataType::Float)]);
+        let t = CTable::from_tuples(s, &[tuple!["a", 1.0], tuple!["b", 1.0]]).unwrap();
+        let (rep, vars) = repair_key(&t, &[], "w").unwrap();
+        assert_eq!(vars.len(), 1);
+        // Exactly one row exists per world.
+        let mut a = Assignment::new();
+        a.set(vars[0].1.key, 0.0);
+        assert_eq!(rep.instantiate(&a).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let s = Schema::of(&[("k", DataType::Str), ("w", DataType::Float)]);
+        let bad_w = CTable::from_tuples(s.clone(), &[tuple!["a", -1.0]]).unwrap();
+        assert!(repair_key(&bad_w, &["k"], "w").is_err());
+        let t = CTable::from_tuples(s, &[tuple!["a", 1.0]]).unwrap();
+        assert!(repair_key(&t, &["k"], "nope").is_err());
+        assert!(repair_key(&t, &["nope"], "w").is_err());
+    }
+}

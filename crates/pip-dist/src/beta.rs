@@ -1,0 +1,157 @@
+//! The Beta distribution class: `Beta(alpha, beta)` on (0, 1).
+//!
+//! Not used by the paper's evaluation queries, but a natural member of
+//! PIP's extensible class registry (Section V-B): rates, proportions and
+//! probabilities-of-probabilities all live on (0,1). Demonstrates that a
+//! user-supplied class with full `PDF`/`CDF`/`CDF⁻¹` capabilities gets
+//! every optimization (CDF-bounded sampling, exact interval
+//! probabilities) for free.
+
+use pip_core::{PipError, Result};
+
+use crate::distribution::DistributionClass;
+use crate::gamma::Gamma;
+use crate::rng::{open01, PipRng};
+use crate::special;
+
+/// `Beta(α, β)`, α, β > 0, supported on (0, 1).
+///
+/// `Generate` uses the Gamma-ratio construction `X/(X+Y)` with
+/// `X ~ Gamma(α, 1)`, `Y ~ Gamma(β, 1)` (Marsaglia–Tsang under the
+/// hood); `CDF` is the regularized incomplete beta `I_x(α, β)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Beta;
+
+impl Beta {
+    fn gamma_draw(shape: f64, rng: &mut PipRng) -> f64 {
+        if shape >= 1.0 {
+            Gamma::sample_mt(shape, rng)
+        } else {
+            let u = open01(rng);
+            Gamma::sample_mt(shape + 1.0, rng) * u.powf(1.0 / shape)
+        }
+    }
+}
+
+impl DistributionClass for Beta {
+    fn name(&self) -> &'static str {
+        "Beta"
+    }
+
+    fn arity(&self) -> usize {
+        2
+    }
+
+    fn validate(&self, params: &[f64]) -> Result<()> {
+        let (a, b) = (params[0], params[1]);
+        if !(a > 0.0) || !a.is_finite() || !(b > 0.0) || !b.is_finite() {
+            return Err(PipError::InvalidParameter(format!(
+                "Beta: need alpha > 0 and beta > 0, got ({a}, {b})"
+            )));
+        }
+        Ok(())
+    }
+
+    fn generate(&self, params: &[f64], rng: &mut PipRng) -> f64 {
+        let x = Self::gamma_draw(params[0], rng);
+        let y = Self::gamma_draw(params[1], rng);
+        x / (x + y)
+    }
+
+    fn pdf(&self, params: &[f64], x: f64) -> Option<f64> {
+        let (a, b) = (params[0], params[1]);
+        if !(0.0..=1.0).contains(&x) || x == 0.0 || x == 1.0 {
+            return Some(0.0);
+        }
+        Some(((a - 1.0) * x.ln() + (b - 1.0) * (1.0 - x).ln() - special::ln_beta(a, b)).exp())
+    }
+
+    fn cdf(&self, params: &[f64], x: f64) -> Option<f64> {
+        Some(special::beta_inc(params[0], params[1], x))
+    }
+
+    fn inverse_cdf(&self, params: &[f64], p: f64) -> Option<f64> {
+        let (a, b) = (params[0], params[1]);
+        let cdf = |x: f64| special::beta_inc(a, b, x);
+        Some(special::invert_cdf(cdf, p, 0.0, 1.0, a / (a + b)))
+    }
+
+    fn mean(&self, params: &[f64]) -> Option<f64> {
+        Some(params[0] / (params[0] + params[1]))
+    }
+
+    fn variance(&self, params: &[f64]) -> Option<f64> {
+        let (a, b) = (params[0], params[1]);
+        let s = a + b;
+        Some(a * b / (s * s * (s + 1.0)))
+    }
+
+    fn support(&self, _params: &[f64]) -> (f64, f64) {
+        (0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+
+    const P: [f64; 2] = [2.0, 3.0];
+
+    #[test]
+    fn validation() {
+        assert!(Beta.check_params(&P).is_ok());
+        assert!(Beta.check_params(&[0.0, 1.0]).is_err());
+        assert!(Beta.check_params(&[1.0, -1.0]).is_err());
+    }
+
+    #[test]
+    fn uniform_special_case() {
+        // Beta(1,1) is Uniform(0,1): CDF(x) = x.
+        for &x in &[0.1, 0.5, 0.9] {
+            assert!((Beta.cdf(&[1.0, 1.0], x).unwrap() - x).abs() < 1e-10);
+            assert!((Beta.pdf(&[1.0, 1.0], x).unwrap() - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn cdf_reference_values() {
+        // I_{0.5}(2,3) = 0.6875 (closed form: 1-(1-x)^3(1+3x) pattern).
+        let c = Beta.cdf(&P, 0.5).unwrap();
+        assert!((c - 0.6875).abs() < 1e-9, "{c}");
+        assert_eq!(Beta.cdf(&P, -0.5).unwrap(), 0.0);
+        assert_eq!(Beta.cdf(&P, 1.5).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn quantile_round_trip() {
+        for &p in &[0.05, 0.3, 0.5, 0.8, 0.99] {
+            let x = Beta.inverse_cdf(&P, p).unwrap();
+            assert!((Beta.cdf(&P, x).unwrap() - p).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn moments_and_samples() {
+        assert!((Beta.mean(&P).unwrap() - 0.4).abs() < 1e-12);
+        assert!((Beta.variance(&P).unwrap() - 0.04).abs() < 1e-12);
+        let mut rng = rng_from_seed(31);
+        let n = 20_000;
+        let mut s = 0.0;
+        for _ in 0..n {
+            let x = Beta.generate(&P, &mut rng);
+            assert!((0.0..=1.0).contains(&x));
+            s += x;
+        }
+        assert!((s / n as f64 - 0.4).abs() < 0.01);
+    }
+
+    #[test]
+    fn small_shape_sampling() {
+        let mut rng = rng_from_seed(32);
+        let p = [0.5, 0.5];
+        let n = 10_000;
+        let s: f64 = (0..n).map(|_| Beta.generate(&p, &mut rng)).sum();
+        assert!((s / n as f64 - 0.5).abs() < 0.02);
+    }
+}

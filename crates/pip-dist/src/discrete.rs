@@ -1,0 +1,227 @@
+//! Simple discrete distribution classes: `Bernoulli(p)` and
+//! `DiscreteUniform(a, b)`.
+//!
+//! Discrete variables with small finite domains are what the c-table layer
+//! can *explode* into per-valuation rows with mutually exclusive conditions
+//! (paper Section III-C), after which deterministic query optimization
+//! handles them; these two classes are the canonical inputs for that path.
+
+use pip_core::{PipError, Result};
+
+use crate::distribution::DistributionClass;
+use crate::rng::PipRng;
+use rand::Rng;
+
+/// `Bernoulli(p)`: 1 with probability p, else 0.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Bernoulli;
+
+impl DistributionClass for Bernoulli {
+    fn name(&self) -> &'static str {
+        "Bernoulli"
+    }
+
+    fn is_discrete(&self) -> bool {
+        true
+    }
+
+    fn arity(&self) -> usize {
+        1
+    }
+
+    fn validate(&self, params: &[f64]) -> Result<()> {
+        if !(0.0..=1.0).contains(&params[0]) {
+            return Err(PipError::InvalidParameter(format!(
+                "Bernoulli: p must be in [0,1], got {}",
+                params[0]
+            )));
+        }
+        Ok(())
+    }
+
+    fn generate(&self, params: &[f64], rng: &mut PipRng) -> f64 {
+        let u: f64 = rng.gen();
+        if u < params[0] {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    fn pdf(&self, params: &[f64], x: f64) -> Option<f64> {
+        Some(match x {
+            v if v == 1.0 => params[0],
+            v if v == 0.0 => 1.0 - params[0],
+            _ => 0.0,
+        })
+    }
+
+    fn cdf(&self, params: &[f64], x: f64) -> Option<f64> {
+        Some(if x < 0.0 {
+            0.0
+        } else if x < 1.0 {
+            1.0 - params[0]
+        } else {
+            1.0
+        })
+    }
+
+    fn inverse_cdf(&self, params: &[f64], p: f64) -> Option<f64> {
+        Some(if p <= 1.0 - params[0] { 0.0 } else { 1.0 })
+    }
+
+    fn mean(&self, params: &[f64]) -> Option<f64> {
+        Some(params[0])
+    }
+
+    fn variance(&self, params: &[f64]) -> Option<f64> {
+        Some(params[0] * (1.0 - params[0]))
+    }
+
+    fn support(&self, _params: &[f64]) -> (f64, f64) {
+        (0.0, 1.0)
+    }
+}
+
+/// `DiscreteUniform(a, b)`: integers a..=b with equal probability.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DiscreteUniform;
+
+impl DiscreteUniform {
+    fn bounds(params: &[f64]) -> (i64, i64) {
+        (params[0] as i64, params[1] as i64)
+    }
+}
+
+impl DistributionClass for DiscreteUniform {
+    fn name(&self) -> &'static str {
+        "DiscreteUniform"
+    }
+
+    fn is_discrete(&self) -> bool {
+        true
+    }
+
+    fn arity(&self) -> usize {
+        2
+    }
+
+    fn validate(&self, params: &[f64]) -> Result<()> {
+        if params[0].fract() != 0.0 || params[1].fract() != 0.0 || params[0] > params[1] {
+            return Err(PipError::InvalidParameter(format!(
+                "DiscreteUniform: need integers a <= b, got ({}, {})",
+                params[0], params[1]
+            )));
+        }
+        Ok(())
+    }
+
+    fn generate(&self, params: &[f64], rng: &mut PipRng) -> f64 {
+        let (a, b) = Self::bounds(params);
+        rng.gen_range(a..=b) as f64
+    }
+
+    fn pdf(&self, params: &[f64], x: f64) -> Option<f64> {
+        let (a, b) = Self::bounds(params);
+        let n = (b - a + 1) as f64;
+        Some(if x.fract() == 0.0 && (a..=b).contains(&(x as i64)) {
+            1.0 / n
+        } else {
+            0.0
+        })
+    }
+
+    fn cdf(&self, params: &[f64], x: f64) -> Option<f64> {
+        let (a, b) = Self::bounds(params);
+        let n = (b - a + 1) as f64;
+        let k = x.floor();
+        Some(if k < a as f64 {
+            0.0
+        } else if k >= b as f64 {
+            1.0
+        } else {
+            (k - a as f64 + 1.0) / n
+        })
+    }
+
+    fn inverse_cdf(&self, params: &[f64], p: f64) -> Option<f64> {
+        let (a, b) = Self::bounds(params);
+        let n = (b - a + 1) as f64;
+        let k = a as f64 + (p * n).ceil() - 1.0;
+        Some(k.clamp(a as f64, b as f64))
+    }
+
+    fn mean(&self, params: &[f64]) -> Option<f64> {
+        Some(0.5 * (params[0] + params[1]))
+    }
+
+    fn variance(&self, params: &[f64]) -> Option<f64> {
+        let n = params[1] - params[0] + 1.0;
+        Some((n * n - 1.0) / 12.0)
+    }
+
+    fn support(&self, params: &[f64]) -> (f64, f64) {
+        (params[0], params[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+
+    #[test]
+    fn bernoulli_validation_and_closed_forms() {
+        assert!(Bernoulli.check_params(&[0.3]).is_ok());
+        assert!(Bernoulli.check_params(&[1.5]).is_err());
+        assert!(Bernoulli.check_params(&[-0.1]).is_err());
+        assert_eq!(Bernoulli.pdf(&[0.3], 1.0), Some(0.3));
+        assert_eq!(Bernoulli.pdf(&[0.3], 0.0), Some(0.7));
+        assert_eq!(Bernoulli.pdf(&[0.3], 0.5), Some(0.0));
+        assert_eq!(Bernoulli.cdf(&[0.3], 0.5), Some(0.7));
+        assert_eq!(Bernoulli.mean(&[0.3]), Some(0.3));
+        assert!((Bernoulli.variance(&[0.3]).unwrap() - 0.21).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bernoulli_frequency() {
+        let mut rng = rng_from_seed(21);
+        let n = 20_000;
+        let s: f64 = (0..n).map(|_| Bernoulli.generate(&[0.3], &mut rng)).sum();
+        assert!((s / n as f64 - 0.3).abs() < 0.02);
+    }
+
+    #[test]
+    fn discrete_uniform_validation() {
+        assert!(DiscreteUniform.check_params(&[1.0, 6.0]).is_ok());
+        assert!(DiscreteUniform.check_params(&[1.5, 6.0]).is_err());
+        assert!(DiscreteUniform.check_params(&[6.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn discrete_uniform_die() {
+        let p = [1.0, 6.0];
+        assert_eq!(DiscreteUniform.pdf(&p, 3.0), Some(1.0 / 6.0));
+        assert_eq!(DiscreteUniform.pdf(&p, 3.5), Some(0.0));
+        assert_eq!(DiscreteUniform.pdf(&p, 7.0), Some(0.0));
+        assert!((DiscreteUniform.cdf(&p, 3.0).unwrap() - 0.5).abs() < 1e-12);
+        assert_eq!(DiscreteUniform.cdf(&p, 0.0), Some(0.0));
+        assert_eq!(DiscreteUniform.cdf(&p, 9.0), Some(1.0));
+        assert_eq!(DiscreteUniform.mean(&p), Some(3.5));
+        // quantile: smallest k with CDF(k) >= p
+        assert_eq!(DiscreteUniform.inverse_cdf(&p, 0.5), Some(3.0));
+        assert_eq!(DiscreteUniform.inverse_cdf(&p, 0.51), Some(4.0));
+    }
+
+    #[test]
+    fn discrete_uniform_samples_in_range() {
+        let mut rng = rng_from_seed(22);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            let x = DiscreteUniform.generate(&[1.0, 6.0], &mut rng);
+            assert!(x.fract() == 0.0 && (1.0..=6.0).contains(&x));
+            seen[x as usize - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all faces should appear");
+    }
+}

@@ -1,0 +1,176 @@
+//! The distribution-class framework (paper Section V-B).
+//!
+//! A *distribution class* is PIP's unit of extensibility: every class must
+//! provide `Generate`; `PDF`, `CDF` and `InverseCDF` are optional
+//! capabilities that the sampling layer exploits when present (inverse-CDF
+//! constrained sampling, exact probability computation, Metropolis
+//! proposals). This mirrors the C-function vtable of the Postgres plugin.
+
+use std::fmt;
+use std::sync::Arc;
+
+use pip_core::{PipError, Result};
+
+use crate::rng::PipRng;
+
+/// A parametrized class of univariate probability distributions.
+///
+/// Implementations must be deterministic functions of `(params, rng)`;
+/// PIP derives the rng from `(world seed, variable id)` so that a variable
+/// appearing at several places in a query takes one consistent value per
+/// sampled world.
+pub trait DistributionClass: Send + Sync + fmt::Debug {
+    /// Class name used by `CREATE_VARIABLE('Normal', ...)` and the registry.
+    fn name(&self) -> &'static str;
+
+    /// Discrete classes produce integer-valued samples and are handled by
+    /// the c-table layer via enumeration/exploding where possible
+    /// (Section III-C of the paper).
+    fn is_discrete(&self) -> bool {
+        false
+    }
+
+    /// Number of parameters this class expects.
+    fn arity(&self) -> usize;
+
+    /// Classes like `Categorical` take a variable-length parameter
+    /// vector; when true, [`DistributionClass::check_params`] skips the
+    /// arity check (validation still runs).
+    fn variable_arity(&self) -> bool {
+        false
+    }
+
+    /// Validate a parameter vector (`Err` aborts `CREATE_VARIABLE`).
+    fn validate(&self, params: &[f64]) -> Result<()>;
+
+    /// **Required capability**: draw one sample.
+    fn generate(&self, params: &[f64], rng: &mut PipRng) -> f64;
+
+    /// Optional capability: probability density (mass for discrete) at `x`.
+    fn pdf(&self, _params: &[f64], _x: f64) -> Option<f64> {
+        None
+    }
+
+    /// Optional capability: `P[X ≤ x]`.
+    fn cdf(&self, _params: &[f64], _x: f64) -> Option<f64> {
+        None
+    }
+
+    /// Optional capability: smallest `x` with `CDF(x) ≥ p`.
+    fn inverse_cdf(&self, _params: &[f64], _p: f64) -> Option<f64> {
+        None
+    }
+
+    /// Optional capability: exact mean (lets `expectation()` skip sampling
+    /// entirely for unconstrained variables).
+    fn mean(&self, _params: &[f64]) -> Option<f64> {
+        None
+    }
+
+    /// Optional capability: exact variance.
+    fn variance(&self, _params: &[f64]) -> Option<f64> {
+        None
+    }
+
+    /// Support of the distribution, `(lo, hi)`; used to intersect with
+    /// condition-derived bounds before constrained sampling.
+    fn support(&self, _params: &[f64]) -> (f64, f64) {
+        (f64::NEG_INFINITY, f64::INFINITY)
+    }
+
+    /// Check the parameter count, then `validate`.
+    fn check_params(&self, params: &[f64]) -> Result<()> {
+        if !self.variable_arity() && params.len() != self.arity() {
+            return Err(PipError::InvalidParameter(format!(
+                "{} expects {} parameter(s), got {}",
+                self.name(),
+                self.arity(),
+                params.len()
+            )));
+        }
+        self.validate(params)
+    }
+}
+
+/// Shared handle to a distribution class.
+pub type DistRef = Arc<dyn DistributionClass>;
+
+/// Capability summary, used by the sampler to pick a strategy and by
+/// EXPLAIN-style diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Capabilities {
+    pub has_pdf: bool,
+    pub has_cdf: bool,
+    pub has_inverse_cdf: bool,
+    pub has_mean: bool,
+}
+
+/// Probe which optional functions a class implements for given params.
+pub fn capabilities(class: &dyn DistributionClass, params: &[f64]) -> Capabilities {
+    // Probing at a support midpoint: classes return None unconditionally
+    // when they lack a capability, so any probe point works.
+    let (lo, hi) = class.support(params);
+    let probe = if lo.is_finite() && hi.is_finite() {
+        0.5 * (lo + hi)
+    } else if lo.is_finite() {
+        lo + 1.0
+    } else if hi.is_finite() {
+        hi - 1.0
+    } else {
+        0.0
+    };
+    Capabilities {
+        has_pdf: class.pdf(params, probe).is_some(),
+        has_cdf: class.cdf(params, probe).is_some(),
+        has_inverse_cdf: class.inverse_cdf(params, 0.5).is_some(),
+        has_mean: class.mean(params).is_some(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+
+    /// A deliberately bare-bones class: Generate only (like an MCDB
+    /// "VG function" black box).
+    #[derive(Debug)]
+    struct BlackBox;
+
+    impl DistributionClass for BlackBox {
+        fn name(&self) -> &'static str {
+            "BlackBox"
+        }
+        fn arity(&self) -> usize {
+            1
+        }
+        fn validate(&self, _params: &[f64]) -> Result<()> {
+            Ok(())
+        }
+        fn generate(&self, params: &[f64], _rng: &mut PipRng) -> f64 {
+            params[0]
+        }
+    }
+
+    #[test]
+    fn default_capabilities_are_all_absent() {
+        let caps = capabilities(&BlackBox, &[1.0]);
+        assert!(!caps.has_pdf && !caps.has_cdf && !caps.has_inverse_cdf && !caps.has_mean);
+    }
+
+    #[test]
+    fn check_params_enforces_arity() {
+        assert!(BlackBox.check_params(&[1.0]).is_ok());
+        let err = BlackBox.check_params(&[]).unwrap_err();
+        assert!(matches!(err, PipError::InvalidParameter(_)));
+    }
+
+    #[test]
+    fn generate_works_through_trait_object() {
+        let d: DistRef = Arc::new(BlackBox);
+        let mut rng = rng_from_seed(0);
+        assert_eq!(d.generate(&[3.5], &mut rng), 3.5);
+        assert!(!d.is_discrete());
+        assert_eq!(d.support(&[3.5]), (f64::NEG_INFINITY, f64::INFINITY));
+    }
+}

@@ -1,0 +1,223 @@
+//! The Poisson distribution class: `Poisson(lambda)`.
+//!
+//! Q1/Q4 of the paper's evaluation parametrize a Poisson with each
+//! customer's historical purchase-increase rate, so this class gets both a
+//! fast sampler and exact CDF support (needed for the closed-form "correct
+//! values" in the Figure 7 RMS-error experiments).
+
+use pip_core::{PipError, Result};
+
+use crate::distribution::DistributionClass;
+use crate::rng::{open01, PipRng};
+use crate::special;
+
+/// `Poisson(λ)`, λ > 0, supported on {0, 1, 2, ...}.
+///
+/// Sampling: Knuth's product-of-uniforms for λ ≤ 30 and the PTRS
+/// transformed-rejection sampler (Hörmann 1993) for larger rates.
+/// `CDF(k) = Q(⌊k⌋+1, λ)` via the regularized upper incomplete gamma.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Poisson;
+
+impl Poisson {
+    fn knuth(lambda: f64, rng: &mut PipRng) -> f64 {
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= open01(rng);
+            if p <= l {
+                return k as f64;
+            }
+            k += 1;
+        }
+    }
+
+    /// PTRS: transformed rejection with squeeze, valid for λ ≥ 10.
+    fn ptrs(lambda: f64, rng: &mut PipRng) -> f64 {
+        let slam = lambda.sqrt();
+        let loglam = lambda.ln();
+        let b = 0.931 + 2.53 * slam;
+        let a = -0.059 + 0.02483 * b;
+        let inv_alpha = 1.1239 + 1.1328 / (b - 3.4);
+        let v_r = 0.9277 - 3.6224 / (b - 2.0);
+        loop {
+            let u = open01(rng) - 0.5;
+            let v = open01(rng);
+            let us = 0.5 - u.abs();
+            let k = ((2.0 * a / us + b) * u + lambda + 0.43).floor();
+            if us >= 0.07 && v <= v_r {
+                return k;
+            }
+            if k < 0.0 || (us < 0.013 && v > us) {
+                continue;
+            }
+            if v.ln() + inv_alpha.ln() - (a / (us * us) + b).ln()
+                <= k * loglam - lambda - special::ln_gamma(k + 1.0)
+            {
+                return k;
+            }
+        }
+    }
+}
+
+impl DistributionClass for Poisson {
+    fn name(&self) -> &'static str {
+        "Poisson"
+    }
+
+    fn is_discrete(&self) -> bool {
+        true
+    }
+
+    fn arity(&self) -> usize {
+        1
+    }
+
+    fn validate(&self, params: &[f64]) -> Result<()> {
+        if !(params[0] > 0.0) || !params[0].is_finite() {
+            return Err(PipError::InvalidParameter(format!(
+                "Poisson: lambda must be finite and > 0, got {}",
+                params[0]
+            )));
+        }
+        Ok(())
+    }
+
+    fn generate(&self, params: &[f64], rng: &mut PipRng) -> f64 {
+        let lambda = params[0];
+        if lambda <= 30.0 {
+            Self::knuth(lambda, rng)
+        } else {
+            Self::ptrs(lambda, rng)
+        }
+    }
+
+    fn pdf(&self, params: &[f64], x: f64) -> Option<f64> {
+        let lambda = params[0];
+        if x < 0.0 || x.fract() != 0.0 {
+            return Some(0.0);
+        }
+        Some((x * lambda.ln() - lambda - special::ln_gamma(x + 1.0)).exp())
+    }
+
+    fn cdf(&self, params: &[f64], x: f64) -> Option<f64> {
+        let lambda = params[0];
+        if x < 0.0 {
+            return Some(0.0);
+        }
+        // P[X <= k] = Q(k+1, lambda)
+        Some(special::gamma_q(x.floor() + 1.0, lambda))
+    }
+
+    fn inverse_cdf(&self, params: &[f64], p: f64) -> Option<f64> {
+        // Discrete quantile: smallest k with CDF(k) >= p. Sequential scan
+        // from a normal-approximation start point.
+        let lambda = params[0];
+        if p <= 0.0 {
+            return Some(0.0);
+        }
+        if p >= 1.0 {
+            return Some(f64::INFINITY);
+        }
+        let guess = (lambda + lambda.sqrt() * special::inverse_normal_cdf(p))
+            .floor()
+            .max(0.0);
+        let mut k = guess;
+        // Walk down while the previous value still satisfies CDF >= p.
+        while k > 0.0 && self.cdf(params, k - 1.0).unwrap() >= p {
+            k -= 1.0;
+        }
+        // Walk up while we do not yet satisfy it.
+        while self.cdf(params, k).unwrap() < p {
+            k += 1.0;
+        }
+        Some(k)
+    }
+
+    fn mean(&self, params: &[f64]) -> Option<f64> {
+        Some(params[0])
+    }
+
+    fn variance(&self, params: &[f64]) -> Option<f64> {
+        Some(params[0])
+    }
+
+    fn support(&self, _params: &[f64]) -> (f64, f64) {
+        (0.0, f64::INFINITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+
+    #[test]
+    fn validation() {
+        assert!(Poisson.check_params(&[3.0]).is_ok());
+        assert!(Poisson.check_params(&[0.0]).is_err());
+        assert!(Poisson.check_params(&[-2.0]).is_err());
+        assert!(Poisson.is_discrete());
+    }
+
+    #[test]
+    fn pmf_reference_values() {
+        // P[X=0 | λ=2] = e^-2, P[X=3 | λ=2] = 2^3 e^-2 / 6
+        let p0 = Poisson.pdf(&[2.0], 0.0).unwrap();
+        assert!((p0 - (-2.0f64).exp()).abs() < 1e-12);
+        let p3 = Poisson.pdf(&[2.0], 3.0).unwrap();
+        assert!((p3 - 8.0 * (-2.0f64).exp() / 6.0).abs() < 1e-12);
+        assert_eq!(Poisson.pdf(&[2.0], 2.5), Some(0.0));
+        assert_eq!(Poisson.pdf(&[2.0], -1.0), Some(0.0));
+    }
+
+    #[test]
+    fn cdf_sums_pmf() {
+        let lambda = [4.0];
+        let mut acc = 0.0;
+        for k in 0..15 {
+            acc += Poisson.pdf(&lambda, k as f64).unwrap();
+            let cdf = Poisson.cdf(&lambda, k as f64).unwrap();
+            assert!((acc - cdf).abs() < 1e-10, "k={k}: {acc} vs {cdf}");
+        }
+    }
+
+    #[test]
+    fn quantile_is_discrete_inverse() {
+        let lambda = [7.5];
+        for &p in &[0.01, 0.2, 0.5, 0.8, 0.99] {
+            let k = Poisson.inverse_cdf(&lambda, p).unwrap();
+            assert!(Poisson.cdf(&lambda, k).unwrap() >= p);
+            if k > 0.0 {
+                assert!(Poisson.cdf(&lambda, k - 1.0).unwrap() < p);
+            }
+        }
+    }
+
+    #[test]
+    fn knuth_sampler_mean() {
+        let mut rng = rng_from_seed(11);
+        let n = 20_000;
+        let s: f64 = (0..n).map(|_| Poisson.generate(&[3.0], &mut rng)).sum();
+        assert!((s / n as f64 - 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn ptrs_sampler_moments() {
+        let mut rng = rng_from_seed(12);
+        let n = 20_000;
+        let lambda = 100.0;
+        let (mut s, mut s2) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = Poisson.generate(&[lambda], &mut rng);
+            assert!(x >= 0.0 && x.fract() == 0.0);
+            s += x;
+            s2 += x * x;
+        }
+        let mean = s / n as f64;
+        let var = s2 / n as f64 - mean * mean;
+        assert!((mean - lambda).abs() < 0.5, "mean {mean}");
+        assert!((var - lambda).abs() < 5.0, "var {var}");
+    }
+}

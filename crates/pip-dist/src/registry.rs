@@ -1,0 +1,172 @@
+//! Registry of distribution classes, keyed by class name.
+//!
+//! Mirrors the paper's `CREATE VARIABLE(distribution, params...)` SQL
+//! function: user code names a class, the registry resolves it, validates
+//! the parameters, and hands back a shared [`DistRef`]. Registries are
+//! extensible — new classes can be registered at runtime (Section V-B).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use pip_core::{PipError, Result};
+
+use crate::beta::Beta;
+use crate::categorical::Categorical;
+use crate::discrete::{Bernoulli, DiscreteUniform};
+use crate::distribution::DistRef;
+use crate::exponential::Exponential;
+use crate::gamma::Gamma;
+use crate::normal::Normal;
+use crate::poisson::Poisson;
+use crate::uniform::Uniform;
+
+/// Name → class registry.
+#[derive(Debug, Clone, Default)]
+pub struct DistributionRegistry {
+    classes: HashMap<String, DistRef>,
+}
+
+impl DistributionRegistry {
+    /// Empty registry (no classes at all).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Registry pre-loaded with every built-in class.
+    pub fn with_builtins() -> Self {
+        let mut r = Self::empty();
+        r.register(Arc::new(Normal));
+        r.register(Arc::new(Beta));
+        r.register(Arc::new(Categorical));
+        r.register(Arc::new(Uniform));
+        r.register(Arc::new(Exponential));
+        r.register(Arc::new(Gamma));
+        r.register(Arc::new(Poisson));
+        r.register(Arc::new(Bernoulli));
+        r.register(Arc::new(DiscreteUniform));
+        r
+    }
+
+    /// Register (or replace) a class under its own name.
+    pub fn register(&mut self, class: DistRef) {
+        self.classes.insert(class.name().to_string(), class);
+    }
+
+    /// Look a class up by name (case-sensitive, as in the paper's SQL API).
+    pub fn get(&self, name: &str) -> Result<DistRef> {
+        self.classes
+            .get(name)
+            .cloned()
+            .ok_or_else(|| PipError::NotFound(format!("distribution class '{name}'")))
+    }
+
+    /// Resolve `name` and validate `params` in one step.
+    pub fn resolve(&self, name: &str, params: &[f64]) -> Result<DistRef> {
+        let class = self.get(name)?;
+        class.check_params(params)?;
+        Ok(class)
+    }
+
+    /// Names of all registered classes, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        let mut ns: Vec<&str> = self.classes.keys().map(String::as_str).collect();
+        ns.sort_unstable();
+        ns
+    }
+}
+
+/// Convenience handles to the built-in classes (avoids registry lookups in
+/// library code and tests).
+pub mod builtin {
+    use super::*;
+
+    pub fn normal() -> DistRef {
+        Arc::new(Normal)
+    }
+    pub fn beta() -> DistRef {
+        Arc::new(Beta)
+    }
+    pub fn categorical() -> DistRef {
+        Arc::new(Categorical)
+    }
+    pub fn uniform() -> DistRef {
+        Arc::new(Uniform)
+    }
+    pub fn exponential() -> DistRef {
+        Arc::new(Exponential)
+    }
+    pub fn gamma() -> DistRef {
+        Arc::new(Gamma)
+    }
+    pub fn poisson() -> DistRef {
+        Arc::new(Poisson)
+    }
+    pub fn bernoulli() -> DistRef {
+        Arc::new(Bernoulli)
+    }
+    pub fn discrete_uniform() -> DistRef {
+        Arc::new(DiscreteUniform)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::DistributionClass;
+    use crate::rng::PipRng;
+
+    #[test]
+    fn builtins_present() {
+        let r = DistributionRegistry::with_builtins();
+        assert_eq!(
+            r.names(),
+            vec![
+                "Bernoulli",
+                "Beta",
+                "Categorical",
+                "DiscreteUniform",
+                "Exponential",
+                "Gamma",
+                "Normal",
+                "Poisson",
+                "Uniform"
+            ]
+        );
+    }
+
+    #[test]
+    fn resolve_validates() {
+        let r = DistributionRegistry::with_builtins();
+        assert!(r.resolve("Normal", &[0.0, 1.0]).is_ok());
+        assert!(r.resolve("Normal", &[0.0, -1.0]).is_err());
+        assert!(r.resolve("Normal", &[0.0]).is_err());
+        assert!(matches!(
+            r.resolve("NoSuchDist", &[]),
+            Err(PipError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn user_extension_replaces_and_extends() {
+        #[derive(Debug)]
+        struct Dirac;
+        impl DistributionClass for Dirac {
+            fn name(&self) -> &'static str {
+                "Dirac"
+            }
+            fn arity(&self) -> usize {
+                1
+            }
+            fn validate(&self, _p: &[f64]) -> Result<()> {
+                Ok(())
+            }
+            fn generate(&self, p: &[f64], _rng: &mut PipRng) -> f64 {
+                p[0]
+            }
+        }
+        let mut r = DistributionRegistry::with_builtins();
+        r.register(Arc::new(Dirac));
+        assert!(r.get("Dirac").is_ok());
+        assert_eq!(r.names().len(), 10);
+    }
+}

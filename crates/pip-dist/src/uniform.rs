@@ -1,0 +1,110 @@
+//! The continuous Uniform distribution class: `Uniform(a, b)`.
+
+use pip_core::{PipError, Result};
+
+use crate::distribution::DistributionClass;
+use crate::rng::PipRng;
+use rand::Rng;
+
+/// `Uniform(a, b)` on the half-open interval `[a, b)`, `a < b`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Uniform;
+
+impl DistributionClass for Uniform {
+    fn name(&self) -> &'static str {
+        "Uniform"
+    }
+
+    fn arity(&self) -> usize {
+        2
+    }
+
+    fn validate(&self, params: &[f64]) -> Result<()> {
+        let (a, b) = (params[0], params[1]);
+        if !a.is_finite() || !b.is_finite() || !(a < b) {
+            return Err(PipError::InvalidParameter(format!(
+                "Uniform: need finite a < b, got ({a}, {b})"
+            )));
+        }
+        Ok(())
+    }
+
+    fn generate(&self, params: &[f64], rng: &mut PipRng) -> f64 {
+        let u: f64 = rng.gen();
+        params[0] + u * (params[1] - params[0])
+    }
+
+    fn pdf(&self, params: &[f64], x: f64) -> Option<f64> {
+        let (a, b) = (params[0], params[1]);
+        Some(if (a..b).contains(&x) { 1.0 / (b - a) } else { 0.0 })
+    }
+
+    fn cdf(&self, params: &[f64], x: f64) -> Option<f64> {
+        let (a, b) = (params[0], params[1]);
+        Some(((x - a) / (b - a)).clamp(0.0, 1.0))
+    }
+
+    fn inverse_cdf(&self, params: &[f64], p: f64) -> Option<f64> {
+        let (a, b) = (params[0], params[1]);
+        Some(a + p.clamp(0.0, 1.0) * (b - a))
+    }
+
+    fn mean(&self, params: &[f64]) -> Option<f64> {
+        Some(0.5 * (params[0] + params[1]))
+    }
+
+    fn variance(&self, params: &[f64]) -> Option<f64> {
+        let w = params[1] - params[0];
+        Some(w * w / 12.0)
+    }
+
+    fn support(&self, params: &[f64]) -> (f64, f64) {
+        (params[0], params[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+
+    const P: [f64; 2] = [2.0, 6.0];
+
+    #[test]
+    fn validation() {
+        assert!(Uniform.check_params(&P).is_ok());
+        assert!(Uniform.check_params(&[3.0, 3.0]).is_err());
+        assert!(Uniform.check_params(&[5.0, 1.0]).is_err());
+        assert!(Uniform.check_params(&[f64::INFINITY, 1.0]).is_err());
+    }
+
+    #[test]
+    fn cdf_pdf_quantile_consistency() {
+        assert_eq!(Uniform.cdf(&P, 1.0), Some(0.0));
+        assert_eq!(Uniform.cdf(&P, 4.0), Some(0.5));
+        assert_eq!(Uniform.cdf(&P, 9.0), Some(1.0));
+        assert_eq!(Uniform.pdf(&P, 4.0), Some(0.25));
+        assert_eq!(Uniform.pdf(&P, 1.0), Some(0.0));
+        assert_eq!(Uniform.inverse_cdf(&P, 0.25), Some(3.0));
+        assert_eq!(Uniform.mean(&P), Some(4.0));
+        assert!((Uniform.variance(&P).unwrap() - 16.0 / 12.0).abs() < 1e-12);
+        assert_eq!(Uniform.support(&P), (2.0, 6.0));
+    }
+
+    #[test]
+    fn samples_stay_in_support() {
+        let mut rng = rng_from_seed(1);
+        for _ in 0..5000 {
+            let x = Uniform.generate(&P, &mut rng);
+            assert!((2.0..6.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn sample_mean_converges() {
+        let mut rng = rng_from_seed(2);
+        let n = 20_000;
+        let s: f64 = (0..n).map(|_| Uniform.generate(&P, &mut rng)).sum();
+        assert!((s / n as f64 - 4.0).abs() < 0.05);
+    }
+}

@@ -1,0 +1,164 @@
+//! The database catalog: named c-tables plus the distribution registry.
+//!
+//! Plays the role Postgres plays for the paper's plugin — a place to
+//! create tables, insert (possibly symbolic) rows, and allocate random
+//! variables via `CREATE_VARIABLE(distribution, params)` (Section V-A).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use pip_core::{PipError, Result, Schema, Tuple};
+use pip_dist::{DistributionRegistry};
+use pip_expr::RandomVar;
+
+use pip_ctable::{CRow, CTable};
+
+/// An in-memory probabilistic database.
+#[derive(Debug)]
+pub struct Database {
+    registry: DistributionRegistry,
+    tables: RwLock<HashMap<String, Arc<CTable>>>,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Database {
+    /// A fresh database with the built-in distribution classes.
+    pub fn new() -> Self {
+        Database {
+            registry: DistributionRegistry::with_builtins(),
+            tables: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The distribution registry (mutable access requires construction
+    /// time registration via [`Database::with_registry`]).
+    pub fn registry(&self) -> &DistributionRegistry {
+        &self.registry
+    }
+
+    /// Build with a custom registry (user-defined distribution classes).
+    pub fn with_registry(registry: DistributionRegistry) -> Self {
+        Database {
+            registry,
+            tables: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// `CREATE VARIABLE(distribution, params)` — allocate a fresh random
+    /// variable of a registered class.
+    pub fn create_variable(&self, class: &str, params: &[f64]) -> Result<RandomVar> {
+        RandomVar::create_named(&self.registry, class, params)
+    }
+
+    /// Create an empty table. Errors if the name is taken.
+    pub fn create_table(&self, name: &str, schema: Schema) -> Result<()> {
+        let mut tables = self.tables.write();
+        if tables.contains_key(name) {
+            return Err(PipError::Schema(format!("table '{name}' already exists")));
+        }
+        tables.insert(name.to_string(), Arc::new(CTable::empty(schema)));
+        Ok(())
+    }
+
+    /// Register (or replace) a table with existing contents.
+    pub fn register_table(&self, name: &str, table: CTable) {
+        self.tables.write().insert(name.to_string(), Arc::new(table));
+    }
+
+    /// Drop a table.
+    pub fn drop_table(&self, name: &str) -> Result<()> {
+        self.tables
+            .write()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| PipError::NotFound(format!("table '{name}'")))
+    }
+
+    /// Shared snapshot of a table.
+    pub fn table(&self, name: &str) -> Result<Arc<CTable>> {
+        self.tables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| PipError::NotFound(format!("table '{name}'")))
+    }
+
+    /// Append symbolic rows to a table.
+    pub fn insert_rows(&self, name: &str, rows: Vec<CRow>) -> Result<()> {
+        let mut tables = self.tables.write();
+        let table = tables
+            .get(name)
+            .ok_or_else(|| PipError::NotFound(format!("table '{name}'")))?;
+        let mut new = (**table).clone();
+        for r in rows {
+            new.push(r)?;
+        }
+        tables.insert(name.to_string(), Arc::new(new));
+        Ok(())
+    }
+
+    /// Append deterministic tuples to a table.
+    pub fn insert_tuples(&self, name: &str, tuples: &[Tuple]) -> Result<()> {
+        self.insert_rows(name, tuples.iter().map(CRow::from_tuple).collect())
+    }
+
+    /// Names of all tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pip_core::{tuple, DataType};
+
+    #[test]
+    fn create_insert_read() {
+        let db = Database::new();
+        db.create_table("t", Schema::of(&[("a", DataType::Int)])).unwrap();
+        assert!(db.create_table("t", Schema::empty()).is_err());
+        db.insert_tuples("t", &[tuple![1i64], tuple![2i64]]).unwrap();
+        assert_eq!(db.table("t").unwrap().len(), 2);
+        assert!(db.table("missing").is_err());
+        assert_eq!(db.table_names(), vec!["t"]);
+        db.drop_table("t").unwrap();
+        assert!(db.drop_table("t").is_err());
+    }
+
+    #[test]
+    fn create_variable_through_registry() {
+        let db = Database::new();
+        let v = db.create_variable("Normal", &[0.0, 1.0]).unwrap();
+        assert_eq!(v.class.name(), "Normal");
+        assert!(db.create_variable("Normal", &[0.0, -1.0]).is_err());
+        assert!(db.create_variable("NoSuch", &[]).is_err());
+    }
+
+    #[test]
+    fn snapshots_are_immutable() {
+        let db = Database::new();
+        db.create_table("t", Schema::of(&[("a", DataType::Int)])).unwrap();
+        let before = db.table("t").unwrap();
+        db.insert_tuples("t", &[tuple![1i64]]).unwrap();
+        assert_eq!(before.len(), 0, "snapshot unaffected by later insert");
+        assert_eq!(db.table("t").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn insert_arity_checked() {
+        let db = Database::new();
+        db.create_table("t", Schema::of(&[("a", DataType::Int)])).unwrap();
+        assert!(db.insert_tuples("t", &[tuple![1i64, 2i64]]).is_err());
+        assert!(db.insert_tuples("zzz", &[tuple![1i64]]).is_err());
+    }
+}

@@ -1,0 +1,389 @@
+//! Logical plan optimizer.
+//!
+//! The paper leans on the host DBMS for deterministic optimization
+//! ("deterministic database query optimizers do a satisfactory job of
+//! ensuring that constraints over discrete variables are filtered as
+//! soon as possible", Section III-C). Our engine provides the moral
+//! equivalent: predicate pushdown through products/joins, conjunct
+//! splitting, and select fusion — all purely deterministic rewrites that
+//! shrink intermediate c-tables before any sampling happens.
+
+use pip_core::{Result, Schema};
+
+use crate::catalog::Database;
+use crate::plan::{Plan, ScalarExpr};
+
+/// Compute the output schema of a plan (column names drive pushdown
+/// decisions).
+pub fn plan_schema(db: &Database, plan: &Plan) -> Result<Schema> {
+    Ok(match plan {
+        Plan::Scan(name) => db.table(name)?.schema().clone(),
+        Plan::Select { input, .. } => plan_schema(db, input)?,
+        Plan::Project { exprs, .. } => {
+            // Types don't matter for pushdown; mark everything symbolic.
+            Schema::new(
+                exprs
+                    .iter()
+                    .map(|(n, _)| pip_core::Column::new(n.clone(), pip_core::DataType::Symbolic))
+                    .collect(),
+            )?
+        }
+        Plan::Product { left, right } | Plan::EquiJoin { left, right, .. } => {
+            plan_schema(db, left)?.join(&plan_schema(db, right)?)?
+        }
+        Plan::Union { left, .. } => plan_schema(db, left)?,
+        Plan::Distinct(input) => plan_schema(db, input)?,
+        Plan::Difference { left, .. } => plan_schema(db, left)?,
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            let in_schema = plan_schema(db, input)?;
+            let mut cols = Vec::new();
+            for g in group_by {
+                cols.push(in_schema.column(g)?.clone());
+            }
+            for a in aggs {
+                cols.push(pip_core::Column::new(
+                    a.output_name(),
+                    pip_core::DataType::Float,
+                ));
+            }
+            Schema::new(cols)?
+        }
+        Plan::Conf(input) => {
+            let in_schema = plan_schema(db, input)?;
+            let mut cols = in_schema.columns().to_vec();
+            cols.push(pip_core::Column::new("conf()", pip_core::DataType::Float));
+            Schema::new(cols)?
+        }
+        Plan::Sort { input, .. } | Plan::Limit { input, .. } => plan_schema(db, input)?,
+    })
+}
+
+/// Column names referenced by an expression.
+fn columns_of(e: &ScalarExpr, out: &mut Vec<String>) {
+    match e {
+        ScalarExpr::Column(c) => {
+            if !out.contains(c) {
+                out.push(c.clone());
+            }
+        }
+        ScalarExpr::Literal(_) | ScalarExpr::Var(_) | ScalarExpr::CreateVariable { .. } => {}
+        ScalarExpr::Binary { left, right, .. } | ScalarExpr::Cmp { left, right, .. } => {
+            columns_of(left, out);
+            columns_of(right, out);
+        }
+        ScalarExpr::Neg(e) => columns_of(e, out),
+        ScalarExpr::And(ps) => {
+            for p in ps {
+                columns_of(p, out);
+            }
+        }
+    }
+}
+
+/// Split a predicate into its top-level conjuncts.
+fn conjuncts(pred: ScalarExpr) -> Vec<ScalarExpr> {
+    match pred {
+        ScalarExpr::And(ps) => ps.into_iter().flat_map(conjuncts).collect(),
+        other => vec![other],
+    }
+}
+
+/// Rebuild a conjunction from parts (None when empty).
+fn rebuild(mut parts: Vec<ScalarExpr>) -> Option<ScalarExpr> {
+    match parts.len() {
+        0 => None,
+        1 => Some(parts.pop().expect("len checked")),
+        _ => Some(ScalarExpr::And(parts)),
+    }
+}
+
+/// Optimize a plan: recursively push selection conjuncts below products
+/// and equi-joins when they reference only one side's columns, and fuse
+/// adjacent selects.
+pub fn optimize(db: &Database, plan: Plan) -> Result<Plan> {
+    Ok(match plan {
+        Plan::Select { input, predicate } => {
+            let input = optimize(db, *input)?;
+            push_select(db, input, predicate)?
+        }
+        Plan::Project { input, exprs } => Plan::Project {
+            input: Box::new(optimize(db, *input)?),
+            exprs,
+        },
+        Plan::Product { left, right } => Plan::Product {
+            left: Box::new(optimize(db, *left)?),
+            right: Box::new(optimize(db, *right)?),
+        },
+        Plan::EquiJoin { left, right, on } => Plan::EquiJoin {
+            left: Box::new(optimize(db, *left)?),
+            right: Box::new(optimize(db, *right)?),
+            on,
+        },
+        Plan::Union { left, right } => Plan::Union {
+            left: Box::new(optimize(db, *left)?),
+            right: Box::new(optimize(db, *right)?),
+        },
+        Plan::Distinct(input) => Plan::Distinct(Box::new(optimize(db, *input)?)),
+        Plan::Difference { left, right } => Plan::Difference {
+            left: Box::new(optimize(db, *left)?),
+            right: Box::new(optimize(db, *right)?),
+        },
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => Plan::Aggregate {
+            input: Box::new(optimize(db, *input)?),
+            group_by,
+            aggs,
+        },
+        Plan::Conf(input) => Plan::Conf(Box::new(optimize(db, *input)?)),
+        Plan::Sort { input, keys } => Plan::Sort {
+            input: Box::new(optimize(db, *input)?),
+            keys,
+        },
+        Plan::Limit { input, n } => Plan::Limit {
+            input: Box::new(optimize(db, *input)?),
+            n,
+        },
+        leaf @ Plan::Scan(_) => leaf,
+    })
+}
+
+/// Place `predicate` as low as possible over `input`.
+fn push_select(db: &Database, input: Plan, predicate: ScalarExpr) -> Result<Plan> {
+    match input {
+        // Fuse Select(Select(x)) into one conjunction, then retry.
+        Plan::Select {
+            input: inner,
+            predicate: inner_pred,
+        } => {
+            let combined = inner_pred.and(predicate);
+            push_select(db, *inner, combined)
+        }
+        Plan::Product { left, right } => {
+            push_through_binary(db, *left, *right, predicate, |l, r| Plan::Product {
+                left: Box::new(l),
+                right: Box::new(r),
+            })
+        }
+        Plan::EquiJoin { left, right, on } => {
+            let on2 = on.clone();
+            push_through_binary(db, *left, *right, predicate, move |l, r| Plan::EquiJoin {
+                left: Box::new(l),
+                right: Box::new(r),
+                on: on2.clone(),
+            })
+        }
+        other => Plan::Select {
+            input: Box::new(other),
+            predicate,
+        }
+        .pipe_ok(),
+    }
+}
+
+/// Distribute conjuncts to the sides of a binary node where possible.
+fn push_through_binary(
+    db: &Database,
+    left: Plan,
+    right: Plan,
+    predicate: ScalarExpr,
+    rebuild_node: impl Fn(Plan, Plan) -> Plan,
+) -> Result<Plan> {
+    let l_schema = plan_schema(db, &left)?;
+    let r_schema = plan_schema(db, &right)?;
+    let has = |s: &Schema, c: &str| s.index_of(c).is_ok();
+
+    let mut left_parts = Vec::new();
+    let mut right_parts = Vec::new();
+    let mut keep = Vec::new();
+    for part in conjuncts(predicate) {
+        let mut cols = Vec::new();
+        columns_of(&part, &mut cols);
+        let all_left = cols.iter().all(|c| has(&l_schema, c));
+        // A column present on BOTH sides is ambiguous after the join
+        // rename; only push when it binds unambiguously.
+        let any_right = cols.iter().any(|c| has(&r_schema, c));
+        let all_right = cols.iter().all(|c| has(&r_schema, c));
+        let any_left = cols.iter().any(|c| has(&l_schema, c));
+        if all_left && !any_right {
+            left_parts.push(part);
+        } else if all_right && !any_left {
+            right_parts.push(part);
+        } else {
+            keep.push(part);
+        }
+    }
+
+    let new_left = match rebuild(left_parts) {
+        Some(p) => push_select(db, left, p)?,
+        None => left,
+    };
+    let new_right = match rebuild(right_parts) {
+        Some(p) => push_select(db, right, p)?,
+        None => right,
+    };
+    let node = rebuild_node(new_left, new_right);
+    Ok(match rebuild(keep) {
+        Some(p) => Plan::Select {
+            input: Box::new(node),
+            predicate: p,
+        },
+        None => node,
+    })
+}
+
+/// Tiny Ok-wrapping helper to keep match arms tidy.
+trait PipeOk: Sized {
+    fn pipe_ok(self) -> Result<Self> {
+        Ok(self)
+    }
+}
+
+impl PipeOk for Plan {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::PlanBuilder;
+    use pip_core::{tuple, DataType};
+    use pip_sampling::SamplerConfig;
+
+    fn setup() -> Database {
+        let db = Database::new();
+        db.create_table(
+            "l",
+            Schema::of(&[("a", DataType::Int), ("b", DataType::Int)]),
+        )
+        .unwrap();
+        db.create_table(
+            "r",
+            Schema::of(&[("c", DataType::Int), ("d", DataType::Int)]),
+        )
+        .unwrap();
+        db.insert_tuples("l", &[tuple![1i64, 10i64], tuple![2i64, 20i64]])
+            .unwrap();
+        db.insert_tuples("r", &[tuple![1i64, 100i64], tuple![3i64, 300i64]])
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn single_side_conjuncts_are_pushed() {
+        let db = setup();
+        let plan = PlanBuilder::scan("l")
+            .product(PlanBuilder::scan("r"))
+            .select(
+                ScalarExpr::col("a")
+                    .eq(ScalarExpr::lit(1i64))
+                    .and(ScalarExpr::col("d").gt(ScalarExpr::lit(0i64)))
+                    .and(ScalarExpr::col("a").eq(ScalarExpr::col("c"))),
+            )
+            .unwrap()
+            .build();
+        let opt = optimize(&db, plan.clone()).unwrap();
+        // Expect: Select(cross-side) over Product(Select(l), Select(r)).
+        match &opt {
+            Plan::Select { input, predicate } => {
+                let mut cols = Vec::new();
+                columns_of(predicate, &mut cols);
+                assert_eq!(cols, vec!["a".to_string(), "c".to_string()]);
+                match &**input {
+                    Plan::Product { left, right } => {
+                        assert!(matches!(**left, Plan::Select { .. }), "{left:?}");
+                        assert!(matches!(**right, Plan::Select { .. }), "{right:?}");
+                    }
+                    other => panic!("expected product, got {other:?}"),
+                }
+            }
+            other => panic!("expected top select, got {other:?}"),
+        }
+        // Semantics preserved.
+        let cfg = SamplerConfig::default();
+        let a = crate::exec::execute(&db, &plan, &cfg).unwrap();
+        let b = crate::exec::execute(&db, &opt, &cfg).unwrap();
+        assert_eq!(a.rows(), b.rows());
+    }
+
+    #[test]
+    fn select_fusion() {
+        let db = setup();
+        let plan = PlanBuilder::scan("l")
+            .select(ScalarExpr::col("a").gt(ScalarExpr::lit(0i64)))
+            .unwrap()
+            .select(ScalarExpr::col("b").gt(ScalarExpr::lit(0i64)))
+            .unwrap()
+            .build();
+        let opt = optimize(&db, plan).unwrap();
+        // One fused Select over the scan.
+        match opt {
+            Plan::Select { input, predicate } => {
+                assert!(matches!(*input, Plan::Scan(_)));
+                assert!(matches!(predicate, ScalarExpr::And(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn ambiguous_columns_not_pushed() {
+        let db = setup();
+        db.create_table("l2", Schema::of(&[("a", DataType::Int)])).unwrap();
+        db.create_table("r2", Schema::of(&[("a", DataType::Int)])).unwrap();
+        let plan = PlanBuilder::scan("l2")
+            .product(PlanBuilder::scan("r2"))
+            .select(ScalarExpr::col("a").gt(ScalarExpr::lit(0i64)))
+            .unwrap()
+            .build();
+        let opt = optimize(&db, plan).unwrap();
+        // `a` exists on both sides → predicate must stay above.
+        match opt {
+            Plan::Select { input, .. } => {
+                assert!(matches!(*input, Plan::Product { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn pushdown_through_equijoin_preserves_results() {
+        let db = setup();
+        let plan = PlanBuilder::scan("l")
+            .equi_join(PlanBuilder::scan("r"), vec![("a", "c")])
+            .select(ScalarExpr::col("b").ge(ScalarExpr::lit(10i64)))
+            .unwrap()
+            .build();
+        let opt = optimize(&db, plan.clone()).unwrap();
+        let cfg = SamplerConfig::default();
+        let a = crate::exec::execute(&db, &plan, &cfg).unwrap();
+        let b = crate::exec::execute(&db, &opt, &cfg).unwrap();
+        assert_eq!(a.rows(), b.rows());
+        // And the filter moved below the join.
+        match opt {
+            Plan::EquiJoin { left, .. } => {
+                assert!(matches!(*left, Plan::Select { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn plan_schema_shapes() {
+        let db = setup();
+        let s = plan_schema(&db, &Plan::Scan("l".into())).unwrap();
+        assert_eq!(s.len(), 2);
+        let agg = PlanBuilder::scan("l")
+            .aggregate(vec!["a"], vec![crate::plan::AggFunc::ExpectedCount])
+            .build();
+        let s = plan_schema(&db, &agg).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.columns()[1].name, "expected_count(*)");
+        let conf = PlanBuilder::scan("l").conf().build();
+        assert_eq!(plan_schema(&db, &conf).unwrap().len(), 3);
+    }
+}

@@ -1,0 +1,469 @@
+//! Logical plans and scalar expressions over named columns.
+//!
+//! Scalar expressions compile, per row, into symbolic [`Equation`]s;
+//! boolean expressions compile into condition atoms (the CTYPE hoisting
+//! of Section V-A happens in [`crate::rewrite`]). Plans are built either
+//! programmatically via [`PlanBuilder`] or from SQL.
+
+use pip_core::{PipError, Result, Value};
+use pip_expr::{BinOp, CmpOp, RandomVar};
+
+/// A scalar (value-producing) or boolean (predicate) expression over the
+/// columns of a plan node's schema.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScalarExpr {
+    /// A column reference by name.
+    Column(String),
+    /// A literal value.
+    Literal(Value),
+    /// A pre-created random variable (injected by workload builders).
+    Var(RandomVar),
+    /// `CREATE_VARIABLE(class, params)` — allocates a *fresh* variable
+    /// each time the expression is evaluated on a row (Section V-A).
+    CreateVariable { class: String, params: Vec<f64> },
+    /// Arithmetic.
+    Binary {
+        op: BinOp,
+        left: Box<ScalarExpr>,
+        right: Box<ScalarExpr>,
+    },
+    /// Negation.
+    Neg(Box<ScalarExpr>),
+    /// Comparison (boolean-valued; only legal inside predicates).
+    Cmp {
+        op: CmpOp,
+        left: Box<ScalarExpr>,
+        right: Box<ScalarExpr>,
+    },
+    /// Conjunction of predicates.
+    And(Vec<ScalarExpr>),
+}
+
+impl ScalarExpr {
+    pub fn col(name: impl Into<String>) -> Self {
+        ScalarExpr::Column(name.into())
+    }
+
+    pub fn lit(v: impl Into<Value>) -> Self {
+        ScalarExpr::Literal(v.into())
+    }
+
+    pub fn var(v: RandomVar) -> Self {
+        ScalarExpr::Var(v)
+    }
+
+    pub fn add(self, rhs: ScalarExpr) -> Self {
+        self.bin(BinOp::Add, rhs)
+    }
+
+    pub fn sub(self, rhs: ScalarExpr) -> Self {
+        self.bin(BinOp::Sub, rhs)
+    }
+
+    pub fn mul(self, rhs: ScalarExpr) -> Self {
+        self.bin(BinOp::Mul, rhs)
+    }
+
+    pub fn div(self, rhs: ScalarExpr) -> Self {
+        self.bin(BinOp::Div, rhs)
+    }
+
+    fn bin(self, op: BinOp, rhs: ScalarExpr) -> Self {
+        ScalarExpr::Binary {
+            op,
+            left: Box::new(self),
+            right: Box::new(rhs),
+        }
+    }
+
+    pub fn cmp(self, op: CmpOp, rhs: ScalarExpr) -> Self {
+        ScalarExpr::Cmp {
+            op,
+            left: Box::new(self),
+            right: Box::new(rhs),
+        }
+    }
+
+    pub fn gt(self, rhs: ScalarExpr) -> Self {
+        self.cmp(CmpOp::Gt, rhs)
+    }
+
+    pub fn ge(self, rhs: ScalarExpr) -> Self {
+        self.cmp(CmpOp::Ge, rhs)
+    }
+
+    pub fn lt(self, rhs: ScalarExpr) -> Self {
+        self.cmp(CmpOp::Lt, rhs)
+    }
+
+    pub fn le(self, rhs: ScalarExpr) -> Self {
+        self.cmp(CmpOp::Le, rhs)
+    }
+
+    pub fn eq(self, rhs: ScalarExpr) -> Self {
+        self.cmp(CmpOp::Eq, rhs)
+    }
+
+    pub fn and(self, rhs: ScalarExpr) -> Self {
+        match self {
+            ScalarExpr::And(mut v) => {
+                v.push(rhs);
+                ScalarExpr::And(v)
+            }
+            other => ScalarExpr::And(vec![other, rhs]),
+        }
+    }
+
+    /// True if the expression is a predicate (produces a boolean).
+    pub fn is_predicate(&self) -> bool {
+        matches!(self, ScalarExpr::Cmp { .. } | ScalarExpr::And(_))
+    }
+}
+
+/// Aggregate functions available at the head of a plan (the paper's
+/// probability-removing functions, Section V-A).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggFunc {
+    /// `expected_sum(col)`.
+    ExpectedSum(String),
+    /// `expected_count(*)`.
+    ExpectedCount,
+    /// `expected_avg(col)`.
+    ExpectedAvg(String),
+    /// `expected_max(col)` with the given early-exit precision.
+    ExpectedMax { column: String, precision: f64 },
+    /// `conf()` — confidence that the group is non-empty... for grouped
+    /// plans; for ungrouped use the `Conf` plan node on rows instead.
+    Conf,
+}
+
+impl AggFunc {
+    /// Output column name for the aggregate.
+    pub fn output_name(&self) -> String {
+        match self {
+            AggFunc::ExpectedSum(c) => format!("expected_sum({c})"),
+            AggFunc::ExpectedCount => "expected_count(*)".to_string(),
+            AggFunc::ExpectedAvg(c) => format!("expected_avg({c})"),
+            AggFunc::ExpectedMax { column, .. } => format!("expected_max({column})"),
+            AggFunc::Conf => "conf()".to_string(),
+        }
+    }
+}
+
+/// A logical query plan over c-tables.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Plan {
+    /// Scan a catalog table.
+    Scan(String),
+    /// Filter rows; symbolic comparisons hoist into row conditions.
+    Select {
+        input: Box<Plan>,
+        predicate: ScalarExpr,
+    },
+    /// Compute output columns (generalized projection).
+    Project {
+        input: Box<Plan>,
+        exprs: Vec<(String, ScalarExpr)>,
+    },
+    /// Cross product.
+    Product { left: Box<Plan>, right: Box<Plan> },
+    /// Equi-join on column pairs.
+    EquiJoin {
+        left: Box<Plan>,
+        right: Box<Plan>,
+        on: Vec<(String, String)>,
+    },
+    /// Bag union.
+    Union { left: Box<Plan>, right: Box<Plan> },
+    /// Duplicate elimination (bag-encoded DNF).
+    Distinct(Box<Plan>),
+    /// Multiset-free difference.
+    Difference { left: Box<Plan>, right: Box<Plan> },
+    /// Group by deterministic keys and apply aggregate sampling
+    /// operators; output is a *deterministic* table.
+    Aggregate {
+        input: Box<Plan>,
+        group_by: Vec<String>,
+        aggs: Vec<AggFunc>,
+    },
+    /// Append a `conf()` column with each row's confidence and strip the
+    /// condition (the row-level confidence operator, Section IV-B).
+    Conf(Box<Plan>),
+    /// Sort by deterministic columns (uncertain sort keys are rejected at
+    /// execution time, like group-by keys).
+    Sort {
+        input: Box<Plan>,
+        keys: Vec<(String, bool)>, // (column, descending)
+    },
+    /// Keep the first `n` rows.
+    Limit { input: Box<Plan>, n: usize },
+}
+
+impl Plan {
+    /// EXPLAIN-style rendering, one node per line with indentation.
+    fn explain_into(&self, depth: usize, out: &mut String) {
+        use std::fmt::Write;
+        let pad = "  ".repeat(depth);
+        match self {
+            Plan::Scan(t) => {
+                let _ = writeln!(out, "{pad}Scan: {t}");
+            }
+            Plan::Select { input, predicate } => {
+                let _ = writeln!(out, "{pad}Select: {predicate:?}");
+                input.explain_into(depth + 1, out);
+            }
+            Plan::Project { input, exprs } => {
+                let names: Vec<&str> = exprs.iter().map(|(n, _)| n.as_str()).collect();
+                let _ = writeln!(out, "{pad}Project: [{}]", names.join(", "));
+                input.explain_into(depth + 1, out);
+            }
+            Plan::Product { left, right } => {
+                let _ = writeln!(out, "{pad}Product");
+                left.explain_into(depth + 1, out);
+                right.explain_into(depth + 1, out);
+            }
+            Plan::EquiJoin { left, right, on } => {
+                let pairs: Vec<String> =
+                    on.iter().map(|(a, b)| format!("{a}={b}")).collect();
+                let _ = writeln!(out, "{pad}EquiJoin: {}", pairs.join(" AND "));
+                left.explain_into(depth + 1, out);
+                right.explain_into(depth + 1, out);
+            }
+            Plan::Union { left, right } => {
+                let _ = writeln!(out, "{pad}Union");
+                left.explain_into(depth + 1, out);
+                right.explain_into(depth + 1, out);
+            }
+            Plan::Distinct(input) => {
+                let _ = writeln!(out, "{pad}Distinct");
+                input.explain_into(depth + 1, out);
+            }
+            Plan::Difference { left, right } => {
+                let _ = writeln!(out, "{pad}Difference");
+                left.explain_into(depth + 1, out);
+                right.explain_into(depth + 1, out);
+            }
+            Plan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                let names: Vec<String> = aggs.iter().map(|a| a.output_name()).collect();
+                let _ = writeln!(
+                    out,
+                    "{pad}Aggregate: [{}] group by [{}]",
+                    names.join(", "),
+                    group_by.join(", ")
+                );
+                input.explain_into(depth + 1, out);
+            }
+            Plan::Conf(input) => {
+                let _ = writeln!(out, "{pad}Conf");
+                input.explain_into(depth + 1, out);
+            }
+            Plan::Sort { input, keys } => {
+                let ks: Vec<String> = keys
+                    .iter()
+                    .map(|(c, desc)| format!("{c}{}", if *desc { " DESC" } else { "" }))
+                    .collect();
+                let _ = writeln!(out, "{pad}Sort: [{}]", ks.join(", "));
+                input.explain_into(depth + 1, out);
+            }
+            Plan::Limit { input, n } => {
+                let _ = writeln!(out, "{pad}Limit: {n}");
+                input.explain_into(depth + 1, out);
+            }
+        }
+    }
+
+    /// Human-readable plan tree (the engine's EXPLAIN).
+    pub fn explain(&self) -> String {
+        let mut s = String::new();
+        self.explain_into(0, &mut s);
+        s
+    }
+}
+
+impl std::fmt::Display for Plan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.explain())
+    }
+}
+
+/// Fluent plan construction.
+#[derive(Debug, Clone)]
+pub struct PlanBuilder {
+    plan: Plan,
+}
+
+impl PlanBuilder {
+    pub fn scan(table: impl Into<String>) -> Self {
+        PlanBuilder {
+            plan: Plan::Scan(table.into()),
+        }
+    }
+
+    pub fn select(self, predicate: ScalarExpr) -> Result<Self> {
+        if !predicate.is_predicate() {
+            return Err(PipError::Sql(format!(
+                "WHERE clause must be a predicate, got {predicate:?}"
+            )));
+        }
+        Ok(PlanBuilder {
+            plan: Plan::Select {
+                input: Box::new(self.plan),
+                predicate,
+            },
+        })
+    }
+
+    pub fn project(self, exprs: Vec<(impl Into<String>, ScalarExpr)>) -> Self {
+        PlanBuilder {
+            plan: Plan::Project {
+                input: Box::new(self.plan),
+                exprs: exprs.into_iter().map(|(n, e)| (n.into(), e)).collect(),
+            },
+        }
+    }
+
+    pub fn product(self, right: PlanBuilder) -> Self {
+        PlanBuilder {
+            plan: Plan::Product {
+                left: Box::new(self.plan),
+                right: Box::new(right.plan),
+            },
+        }
+    }
+
+    pub fn equi_join(self, right: PlanBuilder, on: Vec<(&str, &str)>) -> Self {
+        PlanBuilder {
+            plan: Plan::EquiJoin {
+                left: Box::new(self.plan),
+                right: Box::new(right.plan),
+                on: on
+                    .into_iter()
+                    .map(|(a, b)| (a.to_string(), b.to_string()))
+                    .collect(),
+            },
+        }
+    }
+
+    pub fn union(self, right: PlanBuilder) -> Self {
+        PlanBuilder {
+            plan: Plan::Union {
+                left: Box::new(self.plan),
+                right: Box::new(right.plan),
+            },
+        }
+    }
+
+    pub fn distinct(self) -> Self {
+        PlanBuilder {
+            plan: Plan::Distinct(Box::new(self.plan)),
+        }
+    }
+
+    pub fn difference(self, right: PlanBuilder) -> Self {
+        PlanBuilder {
+            plan: Plan::Difference {
+                left: Box::new(self.plan),
+                right: Box::new(right.plan),
+            },
+        }
+    }
+
+    pub fn aggregate(self, group_by: Vec<&str>, aggs: Vec<AggFunc>) -> Self {
+        PlanBuilder {
+            plan: Plan::Aggregate {
+                input: Box::new(self.plan),
+                group_by: group_by.into_iter().map(String::from).collect(),
+                aggs,
+            },
+        }
+    }
+
+    pub fn conf(self) -> Self {
+        PlanBuilder {
+            plan: Plan::Conf(Box::new(self.plan)),
+        }
+    }
+
+    /// Sort by `(column, descending)` keys.
+    pub fn sort(self, keys: Vec<(&str, bool)>) -> Self {
+        PlanBuilder {
+            plan: Plan::Sort {
+                input: Box::new(self.plan),
+                keys: keys
+                    .into_iter()
+                    .map(|(c, d)| (c.to_string(), d))
+                    .collect(),
+            },
+        }
+    }
+
+    pub fn limit(self, n: usize) -> Self {
+        PlanBuilder {
+            plan: Plan::Limit {
+                input: Box::new(self.plan),
+                n,
+            },
+        }
+    }
+
+    pub fn build(self) -> Plan {
+        self.plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_composes() {
+        let plan = PlanBuilder::scan("orders")
+            .select(ScalarExpr::col("price").gt(ScalarExpr::lit(5.0)))
+            .unwrap()
+            .project(vec![("p", ScalarExpr::col("price"))])
+            .build();
+        match plan {
+            Plan::Project { input, exprs } => {
+                assert_eq!(exprs[0].0, "p");
+                assert!(matches!(*input, Plan::Select { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_requires_predicate() {
+        let r = PlanBuilder::scan("t").select(ScalarExpr::lit(1i64));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn expr_builders() {
+        let e = ScalarExpr::col("a")
+            .mul(ScalarExpr::lit(2.0))
+            .add(ScalarExpr::lit(1.0));
+        assert!(matches!(e, ScalarExpr::Binary { op: BinOp::Add, .. }));
+        let p = ScalarExpr::col("a")
+            .gt(ScalarExpr::lit(0.0))
+            .and(ScalarExpr::col("b").le(ScalarExpr::lit(9.0)));
+        assert!(p.is_predicate());
+        match p {
+            ScalarExpr::And(v) => assert_eq!(v.len(), 2),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn agg_output_names() {
+        assert_eq!(
+            AggFunc::ExpectedSum("x".into()).output_name(),
+            "expected_sum(x)"
+        );
+        assert_eq!(AggFunc::ExpectedCount.output_name(), "expected_count(*)");
+        assert_eq!(AggFunc::Conf.output_name(), "conf()");
+    }
+}

@@ -1,0 +1,248 @@
+//! SQL lexer: a hand-written scanner producing a flat token stream.
+
+use pip_core::{PipError, Result};
+
+/// One SQL token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (keywords are recognized case-insensitively
+    /// by the parser; the original spelling is preserved here).
+    Ident(String),
+    /// Numeric literal.
+    Number(f64),
+    /// Single-quoted string literal.
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Semicolon,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    /// Dot (qualified names, e.g. `o.price`).
+    Dot,
+}
+
+impl Token {
+    /// Case-insensitive keyword check.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenize a SQL string.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let bytes = sql.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semicolon);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                // Line comment `--`
+                if i + 1 < bytes.len() && bytes[i + 1] == b'-' {
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                } else {
+                    out.push(Token::Minus);
+                    i += 1;
+                }
+            }
+            '/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token::Le);
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(PipError::Sql("unexpected '!'".into()));
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(PipError::Sql("unterminated string literal".into()));
+                    }
+                    if bytes[i] == b'\'' {
+                        // Escaped quote ''
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        s.push(bytes[i] as char);
+                        i += 1;
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_digit()
+                        || bytes[i] == b'.'
+                        || bytes[i] == b'e'
+                        || bytes[i] == b'E'
+                        || ((bytes[i] == b'+' || bytes[i] == b'-')
+                            && i > start
+                            && (bytes[i - 1] == b'e' || bytes[i - 1] == b'E')))
+                {
+                    i += 1;
+                }
+                let text = &sql[start..i];
+                let n: f64 = text
+                    .parse()
+                    .map_err(|_| PipError::Sql(format!("bad number '{text}'")))?;
+                out.push(Token::Number(n));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Token::Ident(sql[start..i].to_string()));
+            }
+            other => return Err(PipError::Sql(format!("unexpected character '{other}'"))),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let ts = tokenize("SELECT a, b*2 FROM t WHERE x >= 7;").unwrap();
+        assert!(ts[0].is_kw("select"));
+        assert_eq!(ts[1], Token::Ident("a".into()));
+        assert_eq!(ts[2], Token::Comma);
+        assert_eq!(ts[4], Token::Star);
+        assert_eq!(ts[5], Token::Number(2.0));
+        assert!(ts.contains(&Token::Ge));
+        assert_eq!(*ts.last().unwrap(), Token::Semicolon);
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        let ts = tokenize("'Joe' 'O''Brien'").unwrap();
+        assert_eq!(ts[0], Token::Str("Joe".into()));
+        assert_eq!(ts[1], Token::Str("O'Brien".into()));
+        assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn numbers() {
+        let ts = tokenize("1 2.5 1e3 2.5e-2").unwrap();
+        assert_eq!(
+            ts,
+            vec![
+                Token::Number(1.0),
+                Token::Number(2.5),
+                Token::Number(1000.0),
+                Token::Number(0.025)
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let ts = tokenize("< <= > >= = <> !=").unwrap();
+        assert_eq!(
+            ts,
+            vec![
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge,
+                Token::Eq,
+                Token::Ne,
+                Token::Ne
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ts = tokenize("a -- comment here\n b").unwrap();
+        assert_eq!(ts.len(), 2);
+    }
+
+    #[test]
+    fn bad_characters_error() {
+        assert!(tokenize("a ? b").is_err());
+        assert!(tokenize("a ! b").is_err());
+    }
+}

@@ -1,0 +1,185 @@
+//! SQL front-end: lexer, parser, and statement execution.
+//!
+//! ```
+//! use pip_engine::{Database, sql};
+//! use pip_sampling::SamplerConfig;
+//!
+//! let db = Database::new();
+//! let cfg = SamplerConfig::default();
+//! sql::run(&db, "CREATE TABLE orders (cust TEXT, price SYMBOLIC)", &cfg).unwrap();
+//! sql::run(
+//!     &db,
+//!     "INSERT INTO orders VALUES ('Joe', create_variable('Normal', 100, 10))",
+//!     &cfg,
+//! )
+//! .unwrap();
+//! let r = sql::run(&db, "SELECT expected_sum(price) FROM orders", &cfg).unwrap();
+//! let v = pip_engine::scalar_result(&r).unwrap();
+//! assert!((v - 100.0).abs() < 1e-9);
+//! ```
+
+pub mod lexer;
+pub mod parser;
+
+use pip_core::{Column, Result, Schema};
+use pip_expr::Equation;
+use pip_sampling::SamplerConfig;
+
+use pip_ctable::{CRow, CTable};
+
+use crate::catalog::Database;
+use crate::exec::execute;
+use crate::rewrite::compile_scalar;
+
+pub use parser::{parse, Statement};
+
+/// Parse and run one SQL statement. DDL/DML return an empty table;
+/// SELECT returns its result.
+pub fn run(db: &Database, sql: &str, cfg: &SamplerConfig) -> Result<CTable> {
+    match parse(sql)? {
+        Statement::CreateTable { name, columns } => {
+            let schema = Schema::new(
+                columns
+                    .into_iter()
+                    .map(|(n, t)| Column::new(n, t))
+                    .collect(),
+            )?;
+            db.create_table(&name, schema)?;
+            Ok(CTable::empty(Schema::empty()))
+        }
+        Statement::Insert { table, rows } => {
+            let schema = db.table(&table)?.schema().clone();
+            let empty_cells: Vec<Equation> = Vec::new();
+            let mut crows = Vec::with_capacity(rows.len());
+            for row in rows {
+                let cells = row
+                    .iter()
+                    .map(|e| {
+                        // INSERT expressions see no input columns.
+                        compile_scalar(e, &Schema::empty(), &empty_cells, db)
+                            .map(|eq| eq.simplify())
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                if cells.len() != schema.len() {
+                    return Err(pip_core::PipError::Sql(format!(
+                        "INSERT arity {} does not match table '{}' ({})",
+                        cells.len(),
+                        table,
+                        schema.len()
+                    )));
+                }
+                crows.push(CRow::unconditional(cells));
+            }
+            db.insert_rows(&table, crows)?;
+            Ok(CTable::empty(Schema::empty()))
+        }
+        Statement::Select(plan) => {
+            let plan = crate::optimize::optimize(db, plan)?;
+            execute(db, &plan, cfg)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::scalar_result;
+    use pip_dist::special;
+
+    fn db_with_orders() -> (Database, SamplerConfig) {
+        let db = Database::new();
+        let cfg = SamplerConfig::default();
+        run(
+            &db,
+            "CREATE TABLE orders (cust TEXT, ship_to TEXT, price SYMBOLIC)",
+            &cfg,
+        )
+        .unwrap();
+        run(
+            &db,
+            "CREATE TABLE shipping (dest TEXT, duration SYMBOLIC)",
+            &cfg,
+        )
+        .unwrap();
+        run(
+            &db,
+            "INSERT INTO orders VALUES \
+             ('Joe', 'NY', create_variable('Normal', 100, 10)), \
+             ('Bob', 'LA', create_variable('Normal', 50, 5))",
+            &cfg,
+        )
+        .unwrap();
+        run(
+            &db,
+            "INSERT INTO shipping VALUES \
+             ('NY', create_variable('Normal', 5, 2)), \
+             ('LA', create_variable('Normal', 9, 2))",
+            &cfg,
+        )
+        .unwrap();
+        (db, cfg)
+    }
+
+    #[test]
+    fn full_paper_query_via_sql() {
+        let (db, cfg) = db_with_orders();
+        let r = run(
+            &db,
+            "SELECT expected_sum(price) FROM orders, shipping \
+             WHERE ship_to = dest AND cust = 'Joe' AND duration >= 7",
+            &cfg,
+        )
+        .unwrap();
+        let v = scalar_result(&r).unwrap();
+        let truth = 100.0 * (1.0 - special::normal_cdf(1.0));
+        assert!((v - truth).abs() < 2.0, "{v} vs {truth}");
+    }
+
+    #[test]
+    fn ddl_dml_select_round_trip() {
+        let db = Database::new();
+        let cfg = SamplerConfig::default();
+        run(&db, "CREATE TABLE t (a INT, b FLOAT)", &cfg).unwrap();
+        run(&db, "INSERT INTO t VALUES (1, 2.5), (2, 3.5)", &cfg).unwrap();
+        let r = run(&db, "SELECT expected_sum(b) FROM t", &cfg).unwrap();
+        assert_eq!(scalar_result(&r).unwrap(), 6.0);
+        // Arity mismatch caught.
+        assert!(run(&db, "INSERT INTO t VALUES (1)", &cfg).is_err());
+        // Unknown table caught.
+        assert!(run(&db, "SELECT * FROM ghost", &cfg).is_err());
+    }
+
+    #[test]
+    fn conf_query_via_sql() {
+        let (db, cfg) = db_with_orders();
+        let r = run(
+            &db,
+            "SELECT dest, conf() FROM shipping WHERE duration >= 7",
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(r.len(), 2);
+        let p_ny = r.rows()[0].cells[1].as_const().unwrap().as_f64().unwrap();
+        assert!((p_ny - (1.0 - special::normal_cdf(1.0))).abs() < 1e-3);
+    }
+
+    #[test]
+    fn group_by_via_sql() {
+        let db = Database::new();
+        let cfg = SamplerConfig::default();
+        run(&db, "CREATE TABLE s (region TEXT, amount FLOAT)", &cfg).unwrap();
+        run(
+            &db,
+            "INSERT INTO s VALUES ('e', 10), ('e', 20), ('w', 5)",
+            &cfg,
+        )
+        .unwrap();
+        let r = run(
+            &db,
+            "SELECT region, expected_sum(amount), expected_count(*) FROM s GROUP BY region",
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(r.len(), 2);
+    }
+}

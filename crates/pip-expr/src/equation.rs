@@ -1,0 +1,518 @@
+//! The *equation* datatype (paper Section III-B): a flattened parse tree
+//! of an arithmetic expression whose leaves are random variables or
+//! constants. An equation itself describes a (composite) random variable,
+//! so the paper — and this crate — uses "equation" and "random variable"
+//! interchangeably.
+
+use std::fmt;
+use std::ops;
+use std::sync::Arc;
+
+use pip_core::{PipError, Result, Value};
+
+use crate::vars::{Assignment, RandomVar, VarKey};
+
+/// Binary arithmetic operators admitted in equations.
+///
+/// The paper's implementation "limits users to simple algebraic
+/// operators, thus all variable expressions are polynomial" — we admit
+/// division too (used by its own examples), which keeps expressions
+/// rational; the consistency checker simply skips non-degree-1 atoms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+impl BinOp {
+    pub fn apply(self, l: f64, r: f64) -> Result<f64> {
+        Ok(match self {
+            BinOp::Add => l + r,
+            BinOp::Sub => l - r,
+            BinOp::Mul => l * r,
+            BinOp::Div => {
+                if r == 0.0 {
+                    return Err(PipError::Eval("division by zero".into()));
+                }
+                l / r
+            }
+        })
+    }
+
+    fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    Neg,
+}
+
+/// A symbolic arithmetic expression over random variables and constants.
+///
+/// Shared subtrees use `Arc` so that relational operators can copy cells
+/// between tuples for free — exactly the property that makes PIP's
+/// "evaluate the query first, sample later" strategy cheap.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Equation {
+    /// A deterministic constant (any [`Value`], including strings).
+    Const(Value),
+    /// A reference to a random variable.
+    Var(RandomVar),
+    /// `left op right`.
+    Binary {
+        op: BinOp,
+        left: Arc<Equation>,
+        right: Arc<Equation>,
+    },
+    /// `op expr`.
+    Unary { op: UnOp, expr: Arc<Equation> },
+}
+
+impl Equation {
+    /// Constant constructor.
+    pub fn val(v: impl Into<Value>) -> Self {
+        Equation::Const(v.into())
+    }
+
+    /// Variable constructor.
+    pub fn var(v: RandomVar) -> Self {
+        Equation::Var(v)
+    }
+
+    pub fn binary(op: BinOp, left: Equation, right: Equation) -> Self {
+        Equation::Binary {
+            op,
+            left: Arc::new(left),
+            right: Arc::new(right),
+        }
+    }
+
+    pub fn neg(self) -> Self {
+        Equation::Unary {
+            op: UnOp::Neg,
+            expr: Arc::new(self),
+        }
+    }
+
+    /// The constant value, if this equation is deterministic *at the root*
+    /// (after [`Equation::simplify`], any deterministic tree is a root
+    /// constant).
+    pub fn as_const(&self) -> Option<&Value> {
+        match self {
+            Equation::Const(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// True if no random variable occurs anywhere in the tree.
+    pub fn is_deterministic(&self) -> bool {
+        match self {
+            Equation::Const(_) => true,
+            Equation::Var(_) => false,
+            Equation::Binary { left, right, .. } => {
+                left.is_deterministic() && right.is_deterministic()
+            }
+            Equation::Unary { expr, .. } => expr.is_deterministic(),
+        }
+    }
+
+    /// Append every distinct variable occurring in the tree to `out`.
+    pub fn collect_vars(&self, out: &mut Vec<RandomVar>) {
+        match self {
+            Equation::Const(_) => {}
+            Equation::Var(v) => {
+                if !out.iter().any(|o| o.key == v.key) {
+                    out.push(v.clone());
+                }
+            }
+            Equation::Binary { left, right, .. } => {
+                left.collect_vars(out);
+                right.collect_vars(out);
+            }
+            Equation::Unary { expr, .. } => expr.collect_vars(out),
+        }
+    }
+
+    /// All distinct variables in the tree.
+    pub fn variables(&self) -> Vec<RandomVar> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    /// Evaluate to a numeric value under `assignment`.
+    ///
+    /// Errors if a variable is unassigned or a non-numeric constant is
+    /// reached by an arithmetic operator.
+    pub fn eval_f64(&self, assignment: &Assignment) -> Result<f64> {
+        match self {
+            Equation::Const(v) => v.as_f64(),
+            Equation::Var(v) => assignment.get(v.key).ok_or_else(|| {
+                PipError::Eval(format!("variable {} not assigned", v.key.id))
+            }),
+            Equation::Binary { op, left, right } => {
+                op.apply(left.eval_f64(assignment)?, right.eval_f64(assignment)?)
+            }
+            Equation::Unary { op: UnOp::Neg, expr } => Ok(-expr.eval_f64(assignment)?),
+        }
+    }
+
+    /// Evaluate to a [`Value`]: constants pass through (so string cells
+    /// survive), anything with variables goes down the numeric path.
+    pub fn eval_value(&self, assignment: &Assignment) -> Result<Value> {
+        match self {
+            Equation::Const(v) => Ok(v.clone()),
+            other => Ok(Value::Float(other.eval_f64(assignment)?)),
+        }
+    }
+
+    /// Bottom-up constant folding plus neutral-element elimination
+    /// (`x+0`, `x*1`, `x*0 → 0`, `--x → x`).
+    pub fn simplify(&self) -> Equation {
+        match self {
+            Equation::Const(_) | Equation::Var(_) => self.clone(),
+            Equation::Unary { op: UnOp::Neg, expr } => {
+                let e = expr.simplify();
+                match e {
+                    Equation::Const(v) => match v.as_f64() {
+                        Ok(x) => Equation::val(-x),
+                        Err(_) => Equation::Const(v).neg(),
+                    },
+                    Equation::Unary { op: UnOp::Neg, expr } => (*expr).clone(),
+                    other => other.neg(),
+                }
+            }
+            Equation::Binary { op, left, right } => {
+                let l = left.simplify();
+                let r = right.simplify();
+                // Constant folding when both sides folded to numerics.
+                if let (Some(lv), Some(rv)) = (l.as_const(), r.as_const()) {
+                    if let (Ok(lf), Ok(rf)) = (lv.as_f64(), rv.as_f64()) {
+                        if let Ok(folded) = op.apply(lf, rf) {
+                            return Equation::val(folded);
+                        }
+                    }
+                }
+                let is_zero = |e: &Equation| {
+                    matches!(e.as_const().and_then(|v| v.as_f64().ok()), Some(x) if x == 0.0)
+                };
+                let is_one = |e: &Equation| {
+                    matches!(e.as_const().and_then(|v| v.as_f64().ok()), Some(x) if x == 1.0)
+                };
+                match op {
+                    BinOp::Add if is_zero(&l) => r,
+                    BinOp::Add | BinOp::Sub if is_zero(&r) => l,
+                    BinOp::Mul if is_one(&l) => r,
+                    BinOp::Mul | BinOp::Div if is_one(&r) => l,
+                    BinOp::Mul if is_zero(&l) || is_zero(&r) => Equation::val(0.0),
+                    _ => Equation::binary(*op, l, r),
+                }
+            }
+        }
+    }
+
+    /// If the equation is an *affine* (degree-1) polynomial
+    /// `c + Σ aᵢ·Xᵢ`, return `(coefficients, constant)`; otherwise `None`.
+    ///
+    /// This is what `tighten1` in Algorithm 3.2 consumes. Products of two
+    /// variable-bearing subtrees, or division *by* a variable, make the
+    /// expression non-affine.
+    pub fn linear_coeffs(&self) -> Option<(std::collections::HashMap<VarKey, f64>, f64)> {
+        use std::collections::HashMap;
+        fn go(eq: &Equation, scale: f64, coeffs: &mut HashMap<VarKey, f64>, c: &mut f64) -> bool {
+            match eq {
+                Equation::Const(v) => match v.as_f64() {
+                    Ok(x) => {
+                        *c += scale * x;
+                        true
+                    }
+                    Err(_) => false,
+                },
+                Equation::Var(v) => {
+                    *coeffs.entry(v.key).or_insert(0.0) += scale;
+                    true
+                }
+                Equation::Unary { op: UnOp::Neg, expr } => go(expr, -scale, coeffs, c),
+                Equation::Binary { op, left, right } => match op {
+                    BinOp::Add => {
+                        go(left, scale, coeffs, c) && go(right, scale, coeffs, c)
+                    }
+                    BinOp::Sub => {
+                        go(left, scale, coeffs, c) && go(right, -scale, coeffs, c)
+                    }
+                    BinOp::Mul => {
+                        // One side must be deterministic.
+                        if left.is_deterministic() {
+                            match left.simplify().as_const().and_then(|v| v.as_f64().ok()) {
+                                Some(k) => go(right, scale * k, coeffs, c),
+                                None => false,
+                            }
+                        } else if right.is_deterministic() {
+                            match right.simplify().as_const().and_then(|v| v.as_f64().ok()) {
+                                Some(k) => go(left, scale * k, coeffs, c),
+                                None => false,
+                            }
+                        } else {
+                            false
+                        }
+                    }
+                    BinOp::Div => {
+                        if right.is_deterministic() {
+                            match right.simplify().as_const().and_then(|v| v.as_f64().ok()) {
+                                Some(k) if k != 0.0 => go(left, scale / k, coeffs, c),
+                                _ => false,
+                            }
+                        } else {
+                            false
+                        }
+                    }
+                },
+            }
+        }
+        let mut coeffs = HashMap::new();
+        let mut c = 0.0;
+        if go(self, 1.0, &mut coeffs, &mut c) {
+            coeffs.retain(|_, v| *v != 0.0);
+            Some((coeffs, c))
+        } else {
+            None
+        }
+    }
+
+    /// Polynomial degree in the random variables: 0 for deterministic,
+    /// 1 for affine, 2+ for products; `None` when the expression is not
+    /// polynomial (division by a variable).
+    pub fn degree(&self) -> Option<u32> {
+        match self {
+            Equation::Const(_) => Some(0),
+            Equation::Var(_) => Some(1),
+            Equation::Unary { expr, .. } => expr.degree(),
+            Equation::Binary { op, left, right } => {
+                let l = left.degree()?;
+                let r = right.degree()?;
+                match op {
+                    BinOp::Add | BinOp::Sub => Some(l.max(r)),
+                    BinOp::Mul => Some(l + r),
+                    BinOp::Div => {
+                        if r == 0 {
+                            Some(l)
+                        } else {
+                            None
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Equation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Equation::Const(v) => write!(f, "{v}"),
+            Equation::Var(v) => write!(f, "{}", v.key.id),
+            Equation::Binary { op, left, right } => {
+                write!(f, "({} {} {})", left, op.symbol(), right)
+            }
+            Equation::Unary { op: UnOp::Neg, expr } => write!(f, "(-{expr})"),
+        }
+    }
+}
+
+impl From<RandomVar> for Equation {
+    fn from(v: RandomVar) -> Self {
+        Equation::Var(v)
+    }
+}
+
+impl From<f64> for Equation {
+    fn from(v: f64) -> Self {
+        Equation::val(v)
+    }
+}
+
+impl From<i64> for Equation {
+    fn from(v: i64) -> Self {
+        Equation::val(v)
+    }
+}
+
+impl From<Value> for Equation {
+    fn from(v: Value) -> Self {
+        Equation::Const(v)
+    }
+}
+
+// Operator overloading so query/workload code reads like arithmetic:
+// `price * Equation::from(x) + 3.0`.
+macro_rules! impl_bin {
+    ($trait:ident, $method:ident, $op:expr) => {
+        impl ops::$trait for Equation {
+            type Output = Equation;
+            fn $method(self, rhs: Equation) -> Equation {
+                Equation::binary($op, self, rhs)
+            }
+        }
+        impl ops::$trait<f64> for Equation {
+            type Output = Equation;
+            fn $method(self, rhs: f64) -> Equation {
+                Equation::binary($op, self, Equation::val(rhs))
+            }
+        }
+        impl ops::$trait<Equation> for f64 {
+            type Output = Equation;
+            fn $method(self, rhs: Equation) -> Equation {
+                Equation::binary($op, Equation::val(self), rhs)
+            }
+        }
+    };
+}
+
+impl_bin!(Add, add, BinOp::Add);
+impl_bin!(Sub, sub, BinOp::Sub);
+impl_bin!(Mul, mul, BinOp::Mul);
+impl_bin!(Div, div, BinOp::Div);
+
+impl ops::Neg for Equation {
+    type Output = Equation;
+    fn neg(self) -> Equation {
+        Equation::neg(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pip_dist::prelude::builtin;
+
+    fn x() -> RandomVar {
+        RandomVar::create(builtin::normal(), &[0.0, 1.0]).unwrap()
+    }
+
+    #[test]
+    fn eval_arithmetic() {
+        let v = x();
+        let mut a = Assignment::new();
+        a.set(v.key, 4.0);
+        let eq = (Equation::from(v.clone()) * 3.0 + 1.0) / 2.0;
+        assert_eq!(eq.eval_f64(&a).unwrap(), 6.5);
+        let neg = -Equation::from(v);
+        assert_eq!(neg.eval_f64(&a).unwrap(), -4.0);
+    }
+
+    #[test]
+    fn eval_errors() {
+        let v = x();
+        let a = Assignment::new();
+        assert!(Equation::from(v).eval_f64(&a).is_err());
+        let div0 = Equation::val(1.0) / Equation::val(0.0);
+        assert!(div0.eval_f64(&a).is_err());
+        let s = Equation::val(Value::str("hi")) + Equation::val(1.0);
+        assert!(s.eval_f64(&a).is_err());
+    }
+
+    #[test]
+    fn eval_value_passes_strings_through() {
+        let a = Assignment::new();
+        assert_eq!(
+            Equation::val(Value::str("NY")).eval_value(&a).unwrap(),
+            Value::str("NY")
+        );
+        assert_eq!(
+            (Equation::val(2.0) * 2.0).eval_value(&a).unwrap(),
+            Value::Float(4.0)
+        );
+    }
+
+    #[test]
+    fn variables_dedup() {
+        let v = x();
+        let w = x();
+        let eq = Equation::from(v.clone()) + Equation::from(w.clone()) * Equation::from(v.clone());
+        let vars = eq.variables();
+        assert_eq!(vars.len(), 2);
+        assert!(vars.contains(&v) && vars.contains(&w));
+    }
+
+    #[test]
+    fn simplify_folds_constants() {
+        let e = (Equation::val(2.0) + Equation::val(3.0)) * Equation::val(4.0);
+        assert_eq!(e.simplify().as_const().unwrap().as_f64().unwrap(), 20.0);
+        let v = x();
+        let e = Equation::from(v.clone()) + Equation::val(0.0);
+        assert_eq!(e.simplify(), Equation::from(v.clone()));
+        let e = Equation::from(v.clone()) * Equation::val(0.0);
+        assert_eq!(e.simplify().as_const().unwrap().as_f64().unwrap(), 0.0);
+        let e = Equation::val(1.0) * Equation::from(v.clone());
+        assert_eq!(e.simplify(), Equation::from(v.clone()));
+        let e = -(-Equation::from(v.clone()));
+        assert_eq!(e.simplify(), Equation::from(v));
+    }
+
+    #[test]
+    fn simplify_preserves_semantics() {
+        let v = x();
+        let mut a = Assignment::new();
+        a.set(v.key, 2.5);
+        let e = (Equation::from(v.clone()) * 2.0 + 0.0) * (Equation::val(3.0) - 1.0);
+        assert_eq!(e.simplify().eval_f64(&a).unwrap(), e.eval_f64(&a).unwrap());
+    }
+
+    #[test]
+    fn linear_coefficients_of_affine() {
+        let v = x();
+        let w = x();
+        // 3v - 2w/4 + 7
+        let eq = Equation::from(v.clone()) * 3.0 - Equation::from(w.clone()) * 2.0 / 4.0 + 7.0;
+        let (coeffs, c) = eq.linear_coeffs().unwrap();
+        assert_eq!(coeffs[&v.key], 3.0);
+        assert_eq!(coeffs[&w.key], -0.5);
+        assert_eq!(c, 7.0);
+    }
+
+    #[test]
+    fn nonlinear_rejected_by_linear_coeffs() {
+        let v = x();
+        let w = x();
+        let prod = Equation::from(v.clone()) * Equation::from(w.clone());
+        assert!(prod.linear_coeffs().is_none());
+        let div = Equation::val(1.0) / Equation::from(v.clone());
+        assert!(div.linear_coeffs().is_none());
+        // but (v * deterministic) is fine
+        let scaled = Equation::from(v) * (Equation::val(2.0) + Equation::val(1.0));
+        assert!(scaled.linear_coeffs().is_some());
+    }
+
+    #[test]
+    fn degree_computation() {
+        let v = x();
+        let w = x();
+        assert_eq!(Equation::val(3.0).degree(), Some(0));
+        assert_eq!(Equation::from(v.clone()).degree(), Some(1));
+        let sq = Equation::from(v.clone()) * Equation::from(v.clone());
+        assert_eq!(sq.degree(), Some(2));
+        let mixed = sq.clone() + Equation::from(w.clone());
+        assert_eq!(mixed.degree(), Some(2));
+        let rational = Equation::val(1.0) / Equation::from(w);
+        assert_eq!(rational.degree(), None);
+        assert_eq!((Equation::from(v) / 2.0).degree(), Some(1));
+    }
+
+    #[test]
+    fn display() {
+        let v = x();
+        let e = Equation::from(v.clone()) * 3.0;
+        let s = e.to_string();
+        assert!(s.contains('*') && s.contains('3'), "{s}");
+    }
+}

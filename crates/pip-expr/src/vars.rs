@@ -1,0 +1,244 @@
+//! Random-variable identities (paper Section III-B).
+//!
+//! A PIP random variable is a *reference*: a unique identifier plus a
+//! subscript (for multivariate distributions), a distribution class, and
+//! that class's parameters. The identifier — not the struct instance — is
+//! a variable's identity: the same variable may appear at many points in a
+//! database, and any sample must assign it one consistent value.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use pip_dist::{DistRef, DistributionRegistry};
+use pip_core::Result;
+
+/// Unique variable identifier, allocated by [`VarId::fresh`] or assigned
+/// explicitly by test/workload code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u64);
+
+static NEXT_VAR_ID: AtomicU64 = AtomicU64::new(1);
+
+impl VarId {
+    /// Allocate a process-unique id (the `CREATE_VARIABLE` counter).
+    pub fn fresh() -> Self {
+        VarId(NEXT_VAR_ID.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "X{}", self.0)
+    }
+}
+
+/// `(id, subscript)` pair — the key under which samplers store assigned
+/// values. Two [`RandomVar`]s with equal keys *are* the same variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarKey {
+    pub id: VarId,
+    pub subscript: u32,
+}
+
+/// A symbolic random variable: identity plus its distribution class and
+/// parameters.
+///
+/// Equality and hashing are by [`VarKey`] only; the class/params are
+/// carried along so the sampling layer never needs a side lookup, but the
+/// id fully determines them (one `CREATE_VARIABLE` call per id).
+#[derive(Debug, Clone)]
+pub struct RandomVar {
+    pub key: VarKey,
+    pub class: DistRef,
+    pub params: Arc<[f64]>,
+}
+
+impl RandomVar {
+    /// Create a fresh univariate variable of the given class.
+    pub fn create(class: DistRef, params: &[f64]) -> Result<Self> {
+        class.check_params(params)?;
+        Ok(RandomVar {
+            key: VarKey {
+                id: VarId::fresh(),
+                subscript: 0,
+            },
+            class,
+            params: Arc::from(params),
+        })
+    }
+
+    /// Create via the registry, mirroring SQL `CREATE_VARIABLE('Normal', …)`.
+    pub fn create_named(
+        registry: &DistributionRegistry,
+        name: &str,
+        params: &[f64],
+    ) -> Result<Self> {
+        let class = registry.resolve(name, params)?;
+        Ok(Self::create(class, params).expect("params already validated"))
+    }
+
+    /// A sibling component of the same joint (multivariate) variable.
+    ///
+    /// Components share the id — the independence analysis in
+    /// `pip-sampling` treats all subscripts of one id as one dependent
+    /// block, exactly as the paper prescribes for `MVNormal`-style
+    /// distributions (Section IV-A(c)).
+    pub fn component(&self, subscript: u32) -> Self {
+        RandomVar {
+            key: VarKey {
+                id: self.key.id,
+                subscript,
+            },
+            class: Arc::clone(&self.class),
+            params: Arc::clone(&self.params),
+        }
+    }
+
+    pub fn id(&self) -> VarId {
+        self.key.id
+    }
+
+    pub fn is_discrete(&self) -> bool {
+        self.class.is_discrete()
+    }
+}
+
+impl PartialEq for RandomVar {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+
+impl Eq for RandomVar {}
+
+impl Hash for RandomVar {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.key.hash(state);
+    }
+}
+
+impl fmt::Display for RandomVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.key.id)?;
+        if self.key.subscript != 0 {
+            write!(f, "[{}]", self.key.subscript)?;
+        }
+        write!(f, "~{}(", self.class.name())?;
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// An assignment of concrete values to variables — one sampled world
+/// restricted to the variables a query mentions.
+#[derive(Debug, Clone, Default)]
+pub struct Assignment {
+    map: std::collections::HashMap<VarKey, f64>,
+}
+
+impl Assignment {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn set(&mut self, key: VarKey, value: f64) {
+        self.map.insert(key, value);
+    }
+
+    pub fn get(&self, key: VarKey) -> Option<f64> {
+        self.map.get(&key).copied()
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn clear(&mut self) {
+        self.map.clear()
+    }
+
+    /// Merge `other` into `self` (later wins on conflicts).
+    pub fn extend(&mut self, other: &Assignment) {
+        for (k, v) in &other.map {
+            self.map.insert(*k, *v);
+        }
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&VarKey, &f64)> {
+        self.map.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pip_dist::prelude::builtin;
+
+    #[test]
+    fn fresh_ids_are_unique() {
+        let a = VarId::fresh();
+        let b = VarId::fresh();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn create_validates_params() {
+        assert!(RandomVar::create(builtin::normal(), &[0.0, 1.0]).is_ok());
+        assert!(RandomVar::create(builtin::normal(), &[0.0, -1.0]).is_err());
+    }
+
+    #[test]
+    fn create_named_resolves_registry() {
+        let reg = DistributionRegistry::with_builtins();
+        let v = RandomVar::create_named(&reg, "Exponential", &[2.0]).unwrap();
+        assert_eq!(v.class.name(), "Exponential");
+        assert!(RandomVar::create_named(&reg, "Nope", &[]).is_err());
+    }
+
+    #[test]
+    fn equality_is_by_key_not_params() {
+        let v = RandomVar::create(builtin::normal(), &[0.0, 1.0]).unwrap();
+        let mut w = v.clone();
+        w.params = Arc::from(&[9.0, 9.0][..]); // same key, different params
+        assert_eq!(v, w);
+        let c = v.component(1);
+        assert_ne!(v, c);
+        assert_eq!(c.id(), v.id());
+    }
+
+    #[test]
+    fn display_forms() {
+        let v = RandomVar::create(builtin::normal(), &[0.0, 1.0]).unwrap();
+        let s = v.to_string();
+        assert!(s.contains("~Normal(0,1)"), "{s}");
+        let c = v.component(2);
+        assert!(c.to_string().contains("[2]~Normal"));
+    }
+
+    #[test]
+    fn assignment_set_get_extend() {
+        let v = RandomVar::create(builtin::uniform(), &[0.0, 1.0]).unwrap();
+        let mut a = Assignment::new();
+        assert!(a.is_empty());
+        a.set(v.key, 0.25);
+        assert_eq!(a.get(v.key), Some(0.25));
+        let mut b = Assignment::new();
+        b.set(v.key, 0.75);
+        a.extend(&b);
+        assert_eq!(a.get(v.key), Some(0.75));
+        assert_eq!(a.len(), 1);
+        a.clear();
+        assert!(a.get(v.key).is_none());
+    }
+}

@@ -1,0 +1,182 @@
+//! Aggregation over tuple bundles: the end of a Sample-First pipeline.
+//!
+//! All estimates are simple Monte Carlo means over the sampled worlds;
+//! worlds discarded by upstream selections contribute nothing, so the
+//! *effective* sample count is `n_worlds × selectivity` — the source of
+//! the accuracy gap Figures 5 and 7 of the paper measure.
+
+use pip_core::Result;
+
+use crate::bundle::BundleTable;
+
+/// Per-world sums of a column over present bundles.
+pub fn per_world_sums(t: &BundleTable, col: &str) -> Result<Vec<f64>> {
+    let c = t.col(col)?;
+    let mut sums = vec![0.0; t.n_worlds()];
+    for b in t.bundles() {
+        for w in b.presence.iter_ones() {
+            sums[w] += b.cells[c].f64_at(w)?;
+        }
+    }
+    Ok(sums)
+}
+
+/// Per-world maxima of a column over present bundles (0 when no bundle is
+/// present in a world, matching PIP's convention).
+pub fn per_world_maxes(t: &BundleTable, col: &str) -> Result<Vec<f64>> {
+    let c = t.col(col)?;
+    let mut maxes: Vec<Option<f64>> = vec![None; t.n_worlds()];
+    for b in t.bundles() {
+        for w in b.presence.iter_ones() {
+            let v = b.cells[c].f64_at(w)?;
+            maxes[w] = Some(match maxes[w] {
+                None => v,
+                Some(m) => m.max(v),
+            });
+        }
+    }
+    Ok(maxes.into_iter().map(|m| m.unwrap_or(0.0)).collect())
+}
+
+/// `expected_sum(col)` — mean of the per-world sums.
+pub fn expected_sum(t: &BundleTable, col: &str) -> Result<f64> {
+    let sums = per_world_sums(t, col)?;
+    if sums.is_empty() {
+        return Ok(0.0);
+    }
+    Ok(sums.iter().sum::<f64>() / sums.len() as f64)
+}
+
+/// `expected_max(col)` — mean of the per-world maxima.
+pub fn expected_max(t: &BundleTable, col: &str) -> Result<f64> {
+    let maxes = per_world_maxes(t, col)?;
+    if maxes.is_empty() {
+        return Ok(0.0);
+    }
+    Ok(maxes.iter().sum::<f64>() / maxes.len() as f64)
+}
+
+/// `expected_count()` — mean number of present bundles per world.
+pub fn expected_count(t: &BundleTable) -> f64 {
+    if t.n_worlds() == 0 {
+        return 0.0;
+    }
+    let present: usize = t.bundles().iter().map(|b| b.presence.count()).sum();
+    present as f64 / t.n_worlds() as f64
+}
+
+/// Per-bundle conditional mean: `E[col | present]`, estimated over the
+/// surviving worlds only. Returns NaN for a bundle present nowhere —
+/// the sample-first failure mode on selective queries (the estimate rests
+/// on `selectivity × n_worlds` effective samples).
+pub fn conditional_mean(t: &BundleTable, col: &str) -> Result<Vec<f64>> {
+    let c = t.col(col)?;
+    let mut out = Vec::with_capacity(t.len());
+    for b in t.bundles() {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for w in b.presence.iter_ones() {
+            sum += b.cells[c].f64_at(w)?;
+            n += 1;
+        }
+        out.push(if n == 0 { f64::NAN } else { sum / n as f64 });
+    }
+    Ok(out)
+}
+
+/// Per-bundle presence probability estimate (`conf()` equivalent).
+pub fn presence_probability(t: &BundleTable) -> Vec<f64> {
+    t.bundles()
+        .iter()
+        .map(|b| b.presence.count() as f64 / t.n_worlds().max(1) as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pip_core::{DataType, Schema, Value};
+    use pip_dist::prelude::builtin;
+    use pip_expr::{atoms, Conjunction, Equation, RandomVar};
+    use pip_ctable::{CRow, CTable};
+    use crate::bundle::BundleTable;
+    use crate::ops::filter_cmp_const;
+
+    fn uniform_table(n_worlds: usize) -> (BundleTable, RandomVar) {
+        let y = RandomVar::create(builtin::uniform(), &[0.0, 1.0]).unwrap();
+        let s = Schema::of(&[("v", DataType::Symbolic)]);
+        let ct = CTable::new(
+            s,
+            vec![CRow::unconditional(vec![Equation::from(y.clone())])],
+        )
+        .unwrap();
+        (BundleTable::instantiate(&ct, n_worlds, 21).unwrap(), y)
+    }
+
+    #[test]
+    fn expected_sum_of_uniform() {
+        let (t, _) = uniform_table(4000);
+        let s = expected_sum(&t, "v").unwrap();
+        assert!((s - 0.5).abs() < 0.03, "{s}");
+    }
+
+    #[test]
+    fn selective_filter_reduces_effective_samples() {
+        let (t, _) = uniform_table(4000);
+        let f = filter_cmp_const(&t, "v", pip_expr::CmpOp::Gt, 0.9).unwrap();
+        let means = conditional_mean(&f, "v").unwrap();
+        // E[U | U > 0.9] = 0.95, estimated from ~400 surviving worlds.
+        assert!((means[0] - 0.95).abs() < 0.02, "{}", means[0]);
+        let p = presence_probability(&f);
+        assert!((p[0] - 0.1).abs() < 0.03, "{}", p[0]);
+        // Count: ~0.1 present bundles per world.
+        assert!((expected_count(&f) - 0.1).abs() < 0.03);
+    }
+
+    #[test]
+    fn conditional_mean_nan_when_never_present() {
+        let y = RandomVar::create(builtin::uniform(), &[0.0, 1.0]).unwrap();
+        let s = Schema::of(&[("v", DataType::Symbolic)]);
+        let ct = CTable::new(
+            s,
+            vec![CRow::new(
+                vec![Equation::from(y.clone())],
+                // impossible condition
+                Conjunction::single(atoms::gt(Equation::from(y.clone()), 2.0)),
+            )],
+        )
+        .unwrap();
+        let t = BundleTable::instantiate(&ct, 64, 5).unwrap();
+        let means = conditional_mean(&t, "v").unwrap();
+        assert!(means[0].is_nan());
+        assert_eq!(presence_probability(&t)[0], 0.0);
+    }
+
+    #[test]
+    fn per_world_max_with_absent_rows() {
+        let y = RandomVar::create(builtin::uniform(), &[0.0, 1.0]).unwrap();
+        let s = Schema::of(&[("v", DataType::Symbolic)]);
+        let ct = CTable::new(
+            s,
+            vec![
+                CRow::unconditional(vec![Equation::val(Value::Float(0.25))]),
+                CRow::new(
+                    vec![Equation::val(Value::Float(10.0))],
+                    Conjunction::single(atoms::gt(Equation::from(y.clone()), 0.5)),
+                ),
+            ],
+        )
+        .unwrap();
+        let t = BundleTable::instantiate(&ct, 2000, 9).unwrap();
+        let m = expected_max(&t, "v").unwrap();
+        // E[max] = 0.5·10 + 0.5·0.25 = 5.125.
+        assert!((m - 5.125).abs() < 0.3, "{m}");
+    }
+
+    #[test]
+    fn empty_table_aggregates() {
+        let t = BundleTable::new(Schema::of(&[("v", DataType::Float)]), 0);
+        assert_eq!(expected_sum(&t, "v").unwrap(), 0.0);
+        assert_eq!(expected_count(&t), 0.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Densely packed per-world presence bitmaps.
+//!
+//! The paper's Sample-First implementation represents "the tuple bundle's
+//! presence in each sampled world … using a densely packed array of
+//! booleans" (Section VI). This is that array.
+
+/// A fixed-length bitmap, one bit per sampled world.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// All-ones bitmap of length `len` (present in every world).
+    pub fn ones(len: usize) -> Self {
+        let mut words = vec![u64::MAX; len.div_ceil(64)];
+        if len % 64 != 0 {
+            if let Some(last) = words.last_mut() {
+                *last = (1u64 << (len % 64)) - 1;
+            }
+        }
+        Bitmap { words, len }
+    }
+
+    /// All-zeros bitmap.
+    pub fn zeros(len: usize) -> Self {
+        Bitmap {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    #[inline]
+    pub fn set(&mut self, i: usize, v: bool) {
+        debug_assert!(i < self.len);
+        if v {
+            self.words[i / 64] |= 1u64 << (i % 64);
+        } else {
+            self.words[i / 64] &= !(1u64 << (i % 64));
+        }
+    }
+
+    /// In-place intersection (`self &= other`): presence under a
+    /// conjunction of conditions.
+    pub fn and_with(&mut self, other: &Bitmap) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// Number of worlds in which the tuple is present.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if present in no world (the bundle can be discarded).
+    pub fn all_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterate over the indices of set bits.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(move |&i| self.get(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ones_and_zeros() {
+        let o = Bitmap::ones(70);
+        assert_eq!(o.count(), 70);
+        assert!(o.get(0) && o.get(69));
+        let z = Bitmap::zeros(70);
+        assert_eq!(z.count(), 0);
+        assert!(z.all_zero());
+        assert!(!o.all_zero());
+        assert_eq!(o.len(), 70);
+    }
+
+    #[test]
+    fn padding_bits_are_clear() {
+        // ones(70) must not count the 58 padding bits of the last word.
+        let o = Bitmap::ones(70);
+        assert_eq!(o.iter_ones().count(), 70);
+        // Exactly divisible case.
+        let o64 = Bitmap::ones(64);
+        assert_eq!(o64.count(), 64);
+    }
+
+    #[test]
+    fn set_get_and() {
+        let mut a = Bitmap::ones(10);
+        a.set(3, false);
+        assert!(!a.get(3));
+        assert_eq!(a.count(), 9);
+        let mut b = Bitmap::zeros(10);
+        b.set(3, true);
+        b.set(4, true);
+        a.and_with(&b);
+        assert_eq!(a.count(), 1);
+        assert!(a.get(4));
+        assert_eq!(a.iter_ones().collect::<Vec<_>>(), vec![4]);
+    }
+}

@@ -1,0 +1,42 @@
+//! # pip-samplefirst
+//!
+//! The **Sample-First** baseline of the paper's evaluation (Section VI):
+//! a reimplementation of MCDB's tuple-bundle approach on the same
+//! substrate as PIP, for fair comparison. Sampling happens *before*
+//! query processing — every variable is drawn for every world up front —
+//! so selective predicates discard work and shrink the effective sample
+//! count, which is exactly the effect Figures 5–8 measure.
+//!
+//! ```
+//! use pip_core::{DataType, Schema};
+//! use pip_dist::prelude::builtin;
+//! use pip_expr::{Equation, RandomVar, CmpOp};
+//! use pip_ctable::{CRow, CTable};
+//! use pip_samplefirst::{BundleTable, ops, agg};
+//!
+//! let y = RandomVar::create(builtin::uniform(), &[0.0, 1.0]).unwrap();
+//! let ct = CTable::new(
+//!     Schema::of(&[("v", DataType::Symbolic)]),
+//!     vec![CRow::unconditional(vec![Equation::from(y)])],
+//! ).unwrap();
+//! let t = BundleTable::instantiate(&ct, 1000, 42).unwrap();
+//! let f = ops::filter_cmp_const(&t, "v", CmpOp::Gt, 0.5).unwrap();
+//! let mean = agg::conditional_mean(&f, "v").unwrap()[0];
+//! assert!((mean - 0.75).abs() < 0.05);
+//! ```
+
+pub mod agg;
+pub mod bitmap;
+pub mod bundle;
+pub mod ops;
+
+pub use bitmap::Bitmap;
+pub use bundle::{Bundle, BundleCell, BundleTable};
+
+/// Glob-import surface.
+pub mod prelude {
+    pub use crate::agg;
+    pub use crate::bitmap::Bitmap;
+    pub use crate::bundle::{Bundle, BundleCell, BundleTable};
+    pub use crate::ops;
+}

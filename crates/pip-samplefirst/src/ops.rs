@@ -1,0 +1,294 @@
+//! Relational operators over tuple bundles.
+//!
+//! Mirrors the hand-constructed query pipelines of the paper's Section VI
+//! evaluation: selections update presence bitmaps (or drop whole
+//! bundles), joins AND bitmaps together, and arithmetic produces new
+//! sampled arrays. Worlds discarded by a selection are *gone* — the
+//! sample-first approach must re-run the whole pipeline with more worlds
+//! to regain accuracy, which is precisely the behaviour Figures 5–7 of
+//! the paper measure.
+
+use std::sync::Arc;
+
+use pip_core::{Column, DataType, PipError, Result, Schema, Value};
+use pip_expr::CmpOp;
+
+use crate::bundle::{Bundle, BundleCell, BundleTable};
+
+/// σ on a deterministic column: whole bundles survive or drop.
+pub fn filter_det<F>(t: &BundleTable, col: &str, pred: F) -> Result<BundleTable>
+where
+    F: Fn(&Value) -> bool,
+{
+    let c = t.col(col)?;
+    let mut out = BundleTable::new(t.schema().clone(), t.n_worlds());
+    for b in t.bundles() {
+        if pred(b.cells[c].as_det()?) {
+            out.push(b.clone())?;
+        }
+    }
+    Ok(out)
+}
+
+/// σ comparing a column against a constant: presence bits are cleared in
+/// worlds where the predicate fails; bundles absent everywhere drop.
+pub fn filter_cmp_const(
+    t: &BundleTable,
+    col: &str,
+    op: CmpOp,
+    threshold: f64,
+) -> Result<BundleTable> {
+    let c = t.col(col)?;
+    filter_worlds(t, |b, w| Ok(op.eval_f64(b.cells[c].f64_at(w)?, threshold)))
+}
+
+/// σ comparing two columns per world.
+pub fn filter_cmp_cols(t: &BundleTable, left: &str, op: CmpOp, right: &str) -> Result<BundleTable> {
+    let l = t.col(left)?;
+    let r = t.col(right)?;
+    filter_worlds(t, |b, w| {
+        Ok(op.eval_f64(b.cells[l].f64_at(w)?, b.cells[r].f64_at(w)?))
+    })
+}
+
+/// Generic per-world filter.
+pub fn filter_worlds<F>(t: &BundleTable, pred: F) -> Result<BundleTable>
+where
+    F: Fn(&Bundle, usize) -> Result<bool>,
+{
+    let mut out = BundleTable::new(t.schema().clone(), t.n_worlds());
+    for b in t.bundles() {
+        let mut presence = b.presence.clone();
+        for w in b.presence.iter_ones() {
+            if !pred(b, w)? {
+                presence.set(w, false);
+            }
+        }
+        if !presence.all_zero() {
+            out.push(Bundle {
+                cells: b.cells.clone(),
+                presence,
+            })?;
+        }
+    }
+    Ok(out)
+}
+
+/// Equi-join on deterministic columns; presence bitmaps AND together.
+pub fn equi_join(
+    left: &BundleTable,
+    right: &BundleTable,
+    on: &[(&str, &str)],
+) -> Result<BundleTable> {
+    if left.n_worlds() != right.n_worlds() {
+        return Err(PipError::Schema(
+            "joining bundle tables with different world counts".into(),
+        ));
+    }
+    let l_idx = on
+        .iter()
+        .map(|(l, _)| left.col(l))
+        .collect::<Result<Vec<_>>>()?;
+    let r_idx = on
+        .iter()
+        .map(|(_, r)| right.col(r))
+        .collect::<Result<Vec<_>>>()?;
+    let schema = left.schema().join(right.schema())?;
+    let mut out = BundleTable::new(schema, left.n_worlds());
+    for lb in left.bundles() {
+        for rb in right.bundles() {
+            let matches = l_idx
+                .iter()
+                .zip(&r_idx)
+                .map(|(&li, &ri)| {
+                    Ok(lb.cells[li].as_det()?.sql_eq(rb.cells[ri].as_det()?))
+                })
+                .collect::<Result<Vec<bool>>>()?
+                .into_iter()
+                .all(|m| m);
+            if !matches {
+                continue;
+            }
+            let mut presence = lb.presence.clone();
+            presence.and_with(&rb.presence);
+            if presence.all_zero() {
+                continue;
+            }
+            let mut cells = lb.cells.clone();
+            cells.extend(rb.cells.iter().cloned());
+            out.push(Bundle { cells, presence })?;
+        }
+    }
+    Ok(out)
+}
+
+/// Append a computed numeric column (`f` sees the bundle and the world).
+pub fn with_column<F>(t: &BundleTable, name: &str, f: F) -> Result<BundleTable>
+where
+    F: Fn(&Bundle, usize) -> Result<f64>,
+{
+    let mut cols = t.schema().columns().to_vec();
+    cols.push(Column::new(name, DataType::Symbolic));
+    let schema = Schema::new(cols)?;
+    let mut out = BundleTable::new(schema, t.n_worlds());
+    for b in t.bundles() {
+        let mut xs = vec![0.0; t.n_worlds()];
+        for w in 0..t.n_worlds() {
+            // Values are computed for every world, present or not —
+            // faithfully paying the sample-first cost.
+            xs[w] = f(b, w)?;
+        }
+        let mut cells = b.cells.clone();
+        cells.push(BundleCell::Sampled(Arc::new(xs)));
+        out.push(Bundle {
+            cells,
+            presence: b.presence.clone(),
+        })?;
+    }
+    Ok(out)
+}
+
+/// Keep only the named columns.
+pub fn project(t: &BundleTable, cols: &[&str]) -> Result<BundleTable> {
+    let idx = cols
+        .iter()
+        .map(|c| t.col(c))
+        .collect::<Result<Vec<_>>>()?;
+    let schema = t.schema().project(cols)?;
+    let mut out = BundleTable::new(schema, t.n_worlds());
+    for b in t.bundles() {
+        out.push(Bundle {
+            cells: idx.iter().map(|&i| b.cells[i].clone()).collect(),
+            presence: b.presence.clone(),
+        })?;
+    }
+    Ok(out)
+}
+
+/// Partition by a deterministic column, preserving first-appearance order.
+pub fn partition_det(t: &BundleTable, col: &str) -> Result<Vec<(Value, BundleTable)>> {
+    let c = t.col(col)?;
+    let mut order: Vec<Value> = Vec::new();
+    let mut parts: std::collections::HashMap<Value, BundleTable> = std::collections::HashMap::new();
+    for b in t.bundles() {
+        let key = b.cells[c].as_det()?.clone();
+        let part = parts.entry(key.clone()).or_insert_with(|| {
+            order.push(key);
+            BundleTable::new(t.schema().clone(), t.n_worlds())
+        });
+        part.push(b.clone())?;
+    }
+    Ok(order
+        .into_iter()
+        .map(|k| {
+            let t = parts.remove(&k).expect("partition exists");
+            (k, t)
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pip_core::tuple;
+    use pip_dist::prelude::builtin;
+    use pip_expr::{Equation, RandomVar};
+    use pip_ctable::{CRow, CTable};
+
+    fn sampled_table(n_worlds: usize) -> (BundleTable, RandomVar) {
+        let y = RandomVar::create(builtin::uniform(), &[0.0, 1.0]).unwrap();
+        let s = Schema::of(&[("name", DataType::Str), ("v", DataType::Symbolic)]);
+        let ct = CTable::new(
+            s,
+            vec![
+                CRow::unconditional(vec![
+                    Equation::val(Value::str("a")),
+                    Equation::from(y.clone()),
+                ]),
+                CRow::unconditional(vec![
+                    Equation::val(Value::str("b")),
+                    (Equation::from(y.clone()) + 1.0).simplify(),
+                ]),
+            ],
+        )
+        .unwrap();
+        (BundleTable::instantiate(&ct, n_worlds, 11).unwrap(), y)
+    }
+
+    #[test]
+    fn det_filter_drops_whole_bundles() {
+        let (t, _) = sampled_table(8);
+        let f = filter_det(&t, "name", |v| v.sql_eq(&Value::str("a"))).unwrap();
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn world_filter_clears_bits() {
+        let (t, _) = sampled_table(256);
+        let f = filter_cmp_const(&t, "v", CmpOp::Gt, 0.5).unwrap();
+        // Row "a" ~ U(0,1): about half the worlds survive.
+        let a = &f.bundles()[0];
+        let frac = a.presence.count() as f64 / 256.0;
+        assert!((frac - 0.5).abs() < 0.15, "{frac}");
+        // Row "b" = v+1 > 0.5 always: all survive.
+        let b = &f.bundles()[1];
+        assert_eq!(b.presence.count(), 256);
+    }
+
+    #[test]
+    fn col_vs_col_filter() {
+        let (t, _) = sampled_table(64);
+        // v < v+1 always true.
+        let f = filter_cmp_cols(&t, "v", CmpOp::Lt, "v").unwrap();
+        // comparing a column against itself with < is always false →
+        // every bundle's presence empties and all are dropped.
+        assert_eq!(f.len(), 0);
+    }
+
+    #[test]
+    fn join_ands_presence() {
+        let s = Schema::of(&[("k", DataType::Str)]);
+        let ct = CTable::from_tuples(s, &[tuple!["x"]]).unwrap();
+        let l = BundleTable::instantiate(&ct, 8, 1).unwrap();
+        let r = BundleTable::instantiate(&ct, 8, 2).unwrap();
+        let j = equi_join(&l, &r, &[("k", "k")]).unwrap();
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.schema().len(), 2);
+        assert_eq!(j.bundles()[0].presence.count(), 8);
+        let bad = BundleTable::instantiate(&CTable::from_tuples(
+            Schema::of(&[("k", DataType::Str)]),
+            &[],
+        )
+        .unwrap(), 4, 3)
+        .unwrap();
+        assert!(equi_join(&l, &bad, &[("k", "k")]).is_err());
+    }
+
+    #[test]
+    fn computed_columns_and_projection() {
+        let (t, _) = sampled_table(16);
+        let c = t.col("v").unwrap();
+        let t2 = with_column(&t, "double", |b, w| Ok(2.0 * b.cells[c].f64_at(w)?)).unwrap();
+        assert_eq!(t2.schema().len(), 3);
+        for b in t2.bundles() {
+            for w in 0..16 {
+                assert!(
+                    (b.cells[2].f64_at(w).unwrap() - 2.0 * b.cells[1].f64_at(w).unwrap()).abs()
+                        < 1e-12
+                );
+            }
+        }
+        let p = project(&t2, &["double"]).unwrap();
+        assert_eq!(p.schema().len(), 1);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn partition_by_det_column() {
+        let (t, _) = sampled_table(8);
+        let parts = partition_det(&t, "name").unwrap();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].0, Value::str("a"));
+        assert_eq!(parts[0].1.len(), 1);
+    }
+}

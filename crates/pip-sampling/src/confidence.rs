@@ -1,0 +1,231 @@
+//! The confidence operators `conf()` and `aconf()` (paper Section V-C).
+//!
+//! * `conf` — probability of one row's (conjunctive) condition: product
+//!   over independent groups of exact CDF integrals where available and
+//!   Monte Carlo acceptance estimates elsewhere.
+//! * `aconf` — joint probability of a *disjunction* of conditions (the
+//!   coalesced condition of duplicate rows after `distinct`): general
+//!   Monte Carlo integration over all variables of the DNF.
+
+use pip_core::Result;
+use pip_dist::{mix64, rng_from_seed};
+use pip_expr::{independent_groups, Assignment, Conjunction, Dnf};
+
+use pip_ctable::{consistency_check, BoundsMap, Consistency};
+
+use crate::config::SamplerConfig;
+use crate::strategy::{exact_group_probability, GroupSampler};
+
+/// `P[condition]` for a conjunctive row condition.
+pub fn conf(condition: &Conjunction, cfg: &SamplerConfig, site: u64) -> Result<f64> {
+    let (condition, truth) = condition.simplify();
+    match truth {
+        pip_expr::Truth::False => return Ok(0.0),
+        pip_expr::Truth::True => return Ok(1.0),
+        pip_expr::Truth::Unknown => {}
+    }
+    let bounds = if cfg.use_consistency {
+        match consistency_check(&condition) {
+            Consistency::Inconsistent => return Ok(0.0),
+            Consistency::Consistent { bounds, .. } => bounds,
+        }
+    } else {
+        BoundsMap::new()
+    };
+    let groups = if cfg.use_independence {
+        independent_groups(&condition, &[])
+    } else {
+        vec![pip_expr::VarGroup {
+            atoms: condition.atoms().to_vec(),
+            vars: condition.variables(),
+        }]
+    };
+    let mut rng = rng_from_seed(mix64(cfg.world_seed ^ site ^ 0xC0FF));
+    let mut prob = 1.0;
+    for g in groups {
+        if g.atoms.is_empty() {
+            continue;
+        }
+        if cfg.use_exact_cdf {
+            if let Some(p) = exact_group_probability(&g) {
+                prob *= p;
+                continue;
+            }
+        }
+        let mut s = GroupSampler::new(g, &bounds, cfg);
+        let budget = cfg.max_samples.max(cfg.min_samples).max(1) as u64;
+        prob *= s.estimate_probability(&mut rng, budget)?;
+    }
+    Ok(prob)
+}
+
+/// `P[φ₁ ∨ … ∨ φₖ]` for the DNF of a distinct group.
+///
+/// Disjuncts generally share variables, so the factorized per-group path
+/// of `conf` does not apply; `aconf` samples all variables of the DNF
+/// jointly from their *unconditioned* distributions and counts worlds
+/// satisfying any disjunct. With a single disjunct it defers to [`conf`].
+pub fn aconf(dnf: &Dnf, cfg: &SamplerConfig, site: u64) -> Result<f64> {
+    if dnf.is_trivially_false() {
+        return Ok(0.0);
+    }
+    if dnf.is_trivially_true() {
+        return Ok(1.0);
+    }
+    let disjuncts = dnf.disjuncts();
+    if disjuncts.len() == 1 {
+        return conf(&disjuncts[0], cfg, site);
+    }
+    // Prune statically-dead disjuncts first; re-check triviality.
+    let mut live: Vec<Conjunction> = Vec::new();
+    for d in disjuncts {
+        match consistency_check(d) {
+            Consistency::Inconsistent => {}
+            Consistency::Consistent { .. } => live.push(d.clone()),
+        }
+    }
+    if live.is_empty() {
+        return Ok(0.0);
+    }
+    if live.len() == 1 {
+        return conf(&live[0], cfg, site);
+    }
+    let dnf = Dnf::of(live);
+    let vars = dnf.variables();
+    let mut rng = rng_from_seed(mix64(cfg.world_seed ^ site ^ 0xACED));
+    let mut a = Assignment::new();
+    let n = cfg.max_samples.max(cfg.min_samples).max(1);
+    let mut hits = 0usize;
+    for _ in 0..n {
+        for v in &vars {
+            a.set(v.key, v.class.generate(&v.params, &mut rng));
+        }
+        if dnf.eval(&a)? {
+            hits += 1;
+        }
+    }
+    Ok(hits as f64 / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pip_dist::prelude::builtin;
+    use pip_dist::special;
+    use pip_expr::{atoms, Equation, RandomVar};
+
+    fn normal() -> RandomVar {
+        RandomVar::create(builtin::normal(), &[0.0, 1.0]).unwrap()
+    }
+
+    #[test]
+    fn conf_trivial_cases() {
+        let cfg = SamplerConfig::default();
+        assert_eq!(conf(&Conjunction::top(), &cfg, 0).unwrap(), 1.0);
+        let dead = Conjunction::single(atoms::gt(1.0, 2.0));
+        assert_eq!(conf(&dead, &cfg, 0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn conf_exact_via_cdf() {
+        let y = normal();
+        let cond = Conjunction::single(atoms::gt(Equation::from(y), 1.0));
+        let cfg = SamplerConfig::default();
+        let p = conf(&cond, &cfg, 1).unwrap();
+        assert!((p - (1.0 - special::normal_cdf(1.0))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conf_factorizes_independent_groups() {
+        // P[(Y1 > 0) ∧ (Y2 > 1)] = P[Y1>0]·P[Y2>1] exactly.
+        let y1 = normal();
+        let y2 = normal();
+        let cond = Conjunction::of(vec![
+            atoms::gt(Equation::from(y1), 0.0),
+            atoms::gt(Equation::from(y2), 1.0),
+        ]);
+        let cfg = SamplerConfig::default();
+        let p = conf(&cond, &cfg, 2).unwrap();
+        let truth = 0.5 * (1.0 - special::normal_cdf(1.0));
+        assert!((p - truth).abs() < 1e-9, "{p} vs {truth}");
+    }
+
+    #[test]
+    fn conf_monte_carlo_for_cross_variable_atoms() {
+        // P[Y1 > Y2] for iid normals = 0.5 — needs sampling.
+        let y1 = normal();
+        let y2 = normal();
+        let cond = Conjunction::single(atoms::gt(
+            Equation::from(y1),
+            Equation::from(y2),
+        ));
+        let cfg = SamplerConfig::fixed_samples(4000);
+        let p = conf(&cond, &cfg, 3).unwrap();
+        assert!((p - 0.5).abs() < 0.05, "{p}");
+    }
+
+    #[test]
+    fn aconf_trivia() {
+        let cfg = SamplerConfig::default();
+        assert_eq!(aconf(&Dnf::bottom(), &cfg, 0).unwrap(), 0.0);
+        assert_eq!(
+            aconf(&Dnf::of(vec![Conjunction::top()]), &cfg, 0).unwrap(),
+            1.0
+        );
+    }
+
+    #[test]
+    fn aconf_single_disjunct_defers_to_conf() {
+        let y = normal();
+        let d = Dnf::of(vec![Conjunction::single(atoms::gt(
+            Equation::from(y),
+            1.0,
+        ))]);
+        let cfg = SamplerConfig::default();
+        let p = aconf(&d, &cfg, 4).unwrap();
+        assert!((p - (1.0 - special::normal_cdf(1.0))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aconf_overlapping_disjuncts_not_double_counted() {
+        // (Y > 0) ∨ (Y > 1) = (Y > 0): probability 0.5, NOT 0.5 + P[Y>1].
+        let y = normal();
+        let d = Dnf::of(vec![
+            Conjunction::single(atoms::gt(Equation::from(y.clone()), 0.0)),
+            Conjunction::single(atoms::gt(Equation::from(y), 1.0)),
+        ]);
+        let cfg = SamplerConfig::fixed_samples(4000);
+        let p = aconf(&d, &cfg, 5).unwrap();
+        assert!((p - 0.5).abs() < 0.05, "{p}");
+    }
+
+    #[test]
+    fn aconf_disjoint_disjuncts_add_up() {
+        // (Y < -1) ∨ (Y > 1): 2·(1−Φ(1)) ≈ 0.3173.
+        let y = normal();
+        let d = Dnf::of(vec![
+            Conjunction::single(atoms::lt(Equation::from(y.clone()), -1.0)),
+            Conjunction::single(atoms::gt(Equation::from(y), 1.0)),
+        ]);
+        let cfg = SamplerConfig::fixed_samples(6000);
+        let p = aconf(&d, &cfg, 6).unwrap();
+        let truth = 2.0 * (1.0 - special::normal_cdf(1.0));
+        assert!((p - truth).abs() < 0.05, "{p} vs {truth}");
+    }
+
+    #[test]
+    fn aconf_prunes_dead_disjuncts() {
+        let y = normal();
+        let dead = Conjunction::of(vec![
+            atoms::gt(Equation::from(y.clone()), 5.0),
+            atoms::lt(Equation::from(y.clone()), 3.0),
+        ]);
+        let live = Conjunction::single(atoms::gt(Equation::from(y), 1.0));
+        let d = Dnf::of(vec![dead, live]);
+        let cfg = SamplerConfig::default();
+        let p = aconf(&d, &cfg, 7).unwrap();
+        // Only the live disjunct matters — and it goes through the exact
+        // CDF path because pruning leaves a single conjunction.
+        assert!((p - (1.0 - special::normal_cdf(1.0))).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,476 @@
+//! The expectation operator — Algorithm 4.3 of the paper.
+//!
+//! Given an expression `E` and a context condition `C`, compute
+//! `E[E | C]` (and optionally `P[C]`) with ε–δ precision:
+//!
+//! 1. run the consistency check; an inconsistent context yields
+//!    `(NAN, 0)` immediately;
+//! 2. partition `C` into minimal independent variable groups; only groups
+//!    sharing variables with `E` need to be sampled inside the averaging
+//!    loop;
+//! 3. per group pick a strategy: CDF-bounded inverse transform when
+//!    bounds + capabilities allow, else rejection, escalating to
+//!    Metropolis past the rejection threshold;
+//! 4. adaptively stop when the running confidence interval is within the
+//!    relative precision goal;
+//! 5. for `P[C]`, multiply the per-group acceptance estimates, finishing
+//!    off expression-disjoint groups exactly via CDF where possible
+//!    (lines 29–35).
+
+use pip_core::{Result};
+use pip_dist::{mix64, rng_from_seed, PipRng};
+use pip_expr::{independent_groups, Assignment, Conjunction, Equation};
+
+use pip_ctable::{consistency_check, BoundsMap, Consistency};
+
+use crate::config::SamplerConfig;
+use crate::strategy::{exact_group_probability, GroupSampler};
+
+/// Result of the expectation operator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpectationResult {
+    /// `E[expr | condition]`; NAN when the condition is unsatisfiable.
+    pub expectation: f64,
+    /// `P[condition]` (1.0 for a trivially-true condition); only reliable
+    /// when `want_probability` was requested, 0 for unsatisfiable.
+    pub probability: f64,
+    /// Samples actually drawn by the averaging loop.
+    pub n_samples: usize,
+    /// Standard error of the expectation estimate (0 for exact paths).
+    pub std_error: f64,
+    /// True if any group fell back to Metropolis.
+    pub used_metropolis: bool,
+}
+
+impl ExpectationResult {
+    fn nan() -> Self {
+        ExpectationResult {
+            expectation: f64::NAN,
+            probability: 0.0,
+            n_samples: 0,
+            std_error: 0.0,
+            used_metropolis: false,
+        }
+    }
+}
+
+/// State shared by [`expectation`] and the histogram variant.
+struct Prepared {
+    samplers: Vec<GroupSampler>,
+    /// Indices of samplers relevant to the expression (must be sampled in
+    /// the averaging loop).
+    relevant: Vec<usize>,
+    bounds: BoundsMap,
+    condition: Conjunction,
+}
+
+/// Consistency + grouping + strategy selection (lines 1–10).
+fn prepare(expr: &Equation, condition: &Conjunction, cfg: &SamplerConfig) -> Option<Prepared> {
+    let (condition, truth) = condition.simplify();
+    if truth == pip_expr::Truth::False {
+        return None;
+    }
+    let bounds = if cfg.use_consistency {
+        match consistency_check(&condition) {
+            Consistency::Inconsistent => return None,
+            Consistency::Consistent { bounds, .. } => bounds,
+        }
+    } else {
+        BoundsMap::new()
+    };
+    let expr_vars = expr.variables();
+    let groups = if cfg.use_independence {
+        independent_groups(&condition, &expr_vars)
+    } else {
+        // Ablation: one monolithic group holding everything.
+        let mut gs = independent_groups(&Conjunction::top(), &[]);
+        debug_assert!(gs.is_empty());
+        let mut vars = condition.variables();
+        for v in &expr_vars {
+            if !vars.iter().any(|o| o.key == v.key) {
+                vars.push(v.clone());
+            }
+        }
+        if !vars.is_empty() || !condition.atoms().is_empty() {
+            gs.push(pip_expr::VarGroup {
+                atoms: condition.atoms().to_vec(),
+                vars,
+            });
+        }
+        gs
+    };
+    let expr_ids: Vec<_> = expr_vars.iter().map(|v| v.key.id).collect();
+    let mut samplers = Vec::with_capacity(groups.len());
+    let mut relevant = Vec::new();
+    for (i, g) in groups.into_iter().enumerate() {
+        if g.touches(&expr_ids) {
+            relevant.push(i);
+        }
+        samplers.push(GroupSampler::new(g, &bounds, cfg));
+    }
+    Some(Prepared {
+        samplers,
+        relevant,
+        bounds,
+        condition,
+    })
+}
+
+/// Deterministic per-call RNG: callers at different sites pass distinct
+/// `site` values so results don't correlate across rows.
+fn rng_for_site(cfg: &SamplerConfig, site: u64) -> PipRng {
+    rng_from_seed(mix64(cfg.world_seed ^ site))
+}
+
+/// Compute `E[expr | condition]` and optionally `P[condition]`.
+///
+/// `site` seeds the operator deterministically (use e.g. the row index).
+pub fn expectation(
+    expr: &Equation,
+    condition: &Conjunction,
+    want_probability: bool,
+    cfg: &SamplerConfig,
+    site: u64,
+) -> Result<ExpectationResult> {
+    // Fast path: deterministic expression under a trivially-true
+    // condition (after simplification).
+    let expr = expr.simplify();
+    let mut prep = match prepare(&expr, condition, cfg) {
+        None => return Ok(ExpectationResult::nan()),
+        Some(p) => p,
+    };
+    let mut rng = rng_for_site(cfg, site);
+
+    if let Some(v) = expr.as_const() {
+        let expectation = v.as_f64()?;
+        let probability = if want_probability {
+            condition_probability(&mut prep, &[], cfg, &mut rng)?
+        } else {
+            1.0
+        };
+        return Ok(ExpectationResult {
+            expectation,
+            probability,
+            n_samples: 0,
+            std_error: 0.0,
+            used_metropolis: false,
+        });
+    }
+
+    // Exact shortcut (linearity of expectation): an unconstrained affine
+    // expression `c + Σ aᵢXᵢ` has expectation `c + Σ aᵢ·E[Xᵢ]` whenever
+    // every class exposes its mean — no sampling at all.
+    if prep.condition.is_trivially_true() && cfg.use_exact_cdf {
+        if let Some((coeffs, c)) = expr.linear_coeffs() {
+            let mut acc = Some(c);
+            let vars = expr.variables();
+            for (key, a) in &coeffs {
+                let mean = vars
+                    .iter()
+                    .find(|v| v.key == *key)
+                    .and_then(|v| v.class.mean(&v.params));
+                acc = match (acc, mean) {
+                    (Some(t), Some(m)) => Some(t + a * m),
+                    _ => None,
+                };
+            }
+            if let Some(expectation) = acc {
+                return Ok(ExpectationResult {
+                    expectation,
+                    probability: 1.0,
+                    n_samples: 0,
+                    std_error: 0.0,
+                    used_metropolis: false,
+                });
+            }
+        }
+    }
+
+    // Averaging loop (lines 11–28).
+    let target = cfg.z_target();
+    let mut a = Assignment::new();
+    let (mut n, mut sum, mut sum_sq) = (0usize, 0.0f64, 0.0f64);
+    let mut sampling_error: Option<pip_core::PipError> = None;
+    while n < cfg.max_samples {
+        for &i in &prep.relevant {
+            let s = &mut prep.samplers[i];
+            if let Err(e) = s.sample_into(&mut rng, cfg, &prep.bounds, &mut a) {
+                sampling_error = Some(e);
+                break;
+            }
+        }
+        if sampling_error.is_some() {
+            break;
+        }
+        let value = expr.eval_f64(&a)?;
+        n += 1;
+        sum += value;
+        sum_sq += value * value;
+
+        // Stopping rule: z·SE ≤ δ·|mean| once past the floor.
+        if n >= cfg.min_samples {
+            let mean = sum / n as f64;
+            let var = (sum_sq / n as f64 - mean * mean).max(0.0);
+            let se = (var / n as f64).sqrt();
+            if target * se <= cfg.delta * mean.abs() {
+                break;
+            }
+        }
+    }
+    if n == 0 {
+        // Could not draw a single satisfying sample: treat the context as
+        // (numerically) unsatisfiable, per Algorithm 4.3 line 25.
+        return Ok(ExpectationResult::nan());
+    }
+
+    let mean = sum / n as f64;
+    let var = (sum_sq / n as f64 - mean * mean).max(0.0);
+    let std_error = (var / n as f64).sqrt();
+    let used_metropolis = prep.samplers.iter().any(|s| s.uses_metropolis());
+
+    let probability = if want_probability {
+        let relevant = prep.relevant.clone();
+        condition_probability(&mut prep, &relevant, cfg, &mut rng)?
+    } else {
+        f64::NAN
+    };
+
+    Ok(ExpectationResult {
+        expectation: mean,
+        probability,
+        n_samples: n,
+        std_error,
+        used_metropolis,
+    })
+}
+
+/// `P[C]` as the product over independent groups (lines 29–35):
+/// already-sampled groups contribute their acceptance estimate; the rest
+/// use the exact CDF path when available and sampling otherwise.
+fn condition_probability(
+    prep: &mut Prepared,
+    already_sampled: &[usize],
+    cfg: &SamplerConfig,
+    rng: &mut PipRng,
+) -> Result<f64> {
+    let mut prob = 1.0;
+    for (i, s) in prep.samplers.iter_mut().enumerate() {
+        if s.group.atoms.is_empty() {
+            continue;
+        }
+        if already_sampled.contains(&i) && !s.uses_metropolis() && s.attempts > 0 {
+            // Free by-product of the averaging loop... unless an exact
+            // path gives a sharper answer at constant cost.
+            if cfg.use_exact_cdf {
+                if let Some(p) = s.exact_probability() {
+                    prob *= p;
+                    continue;
+                }
+            }
+            prob *= s.probability_estimate();
+            continue;
+        }
+        if cfg.use_exact_cdf {
+            if let Some(p) = exact_group_probability(&s.group) {
+                prob *= p;
+                continue;
+            }
+        }
+        // Estimate by direct Monte Carlo over candidates of this group.
+        let budget = cfg.max_samples.max(cfg.min_samples).max(1) as u64;
+        prob *= s.estimate_probability(rng, budget)?;
+    }
+    Ok(prob)
+}
+
+/// Sampling variant that returns the raw conditional samples of `expr`
+/// (the `expected_*_hist` functions of Section V-C build histograms from
+/// this).
+pub fn expectation_samples(
+    expr: &Equation,
+    condition: &Conjunction,
+    n: usize,
+    cfg: &SamplerConfig,
+    site: u64,
+) -> Result<Vec<f64>> {
+    let expr = expr.simplify();
+    let mut prep = match prepare(&expr, condition, cfg) {
+        None => return Ok(Vec::new()),
+        Some(p) => p,
+    };
+    let mut rng = rng_for_site(cfg, site);
+    let mut a = Assignment::new();
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        for &i in &prep.relevant {
+            prep.samplers[i].sample_into(&mut rng, cfg, &prep.bounds, &mut a)?;
+        }
+        // Unconstrained expression variables missing from every group
+        // (possible when the condition is empty and use_independence is
+        // off with no vars) — prepare() puts them in singleton groups, so
+        // by now `a` covers everything expr needs.
+        out.push(expr.eval_f64(&a)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pip_dist::prelude::builtin;
+    use pip_dist::special;
+    use pip_expr::{atoms, RandomVar};
+
+    fn normal(mu: f64, sigma: f64) -> RandomVar {
+        RandomVar::create(builtin::normal(), &[mu, sigma]).unwrap()
+    }
+
+    #[test]
+    fn unconditional_mean_is_exact() {
+        let y = normal(5.0, 2.0);
+        let cfg = SamplerConfig::default();
+        let r = expectation(&Equation::from(y), &Conjunction::top(), true, &cfg, 0).unwrap();
+        assert_eq!(r.expectation, 5.0);
+        assert_eq!(r.probability, 1.0);
+        assert_eq!(r.n_samples, 0, "exact path must not sample");
+    }
+
+    #[test]
+    fn paper_example_4_1_truncated_mean() {
+        // [Y ⇒ Normal(5, σ=10)] with (Y > −3) AND (Y < 2) → E ≈ 0.17… but
+        // the exact truncated-normal mean: μ + σ(φ(a)−φ(b))/(Φ(b)−Φ(a))
+        // with a=(−3−5)/10=−0.8, b=(2−5)/10=−0.3.
+        let y = normal(5.0, 10.0);
+        let cond = Conjunction::of(vec![
+            atoms::gt(Equation::from(y.clone()), -3.0),
+            atoms::lt(Equation::from(y.clone()), 2.0),
+        ]);
+        let (a, b) = (-0.8, -0.3);
+        let truth = 5.0
+            + 10.0 * (special::normal_pdf(a) - special::normal_pdf(b))
+                / (special::normal_cdf(b) - special::normal_cdf(a));
+        let cfg = SamplerConfig::fixed_samples(4000);
+        let r = expectation(&Equation::from(y), &cond, true, &cfg, 1).unwrap();
+        assert!(
+            (r.expectation - truth).abs() < 0.15,
+            "{} vs {truth}",
+            r.expectation
+        );
+        // Probability exact via CDF: Φ(−0.3) − Φ(−0.8).
+        let p_truth = special::normal_cdf(b) - special::normal_cdf(a);
+        assert!((r.probability - p_truth).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inconsistent_context_yields_nan_zero() {
+        let y = normal(0.0, 1.0);
+        let cond = Conjunction::of(vec![
+            atoms::gt(Equation::from(y.clone()), 5.0),
+            atoms::lt(Equation::from(y.clone()), 3.0),
+        ]);
+        let cfg = SamplerConfig::default();
+        let r = expectation(&Equation::from(y), &cond, true, &cfg, 2).unwrap();
+        assert!(r.expectation.is_nan());
+        assert_eq!(r.probability, 0.0);
+    }
+
+    #[test]
+    fn independence_means_unrelated_constraint_not_sampled_in_loop() {
+        // Paper Example 3.1: price Y1, shipping Y2 independent; condition
+        // touches only Y2, expression only Y1. The probability multiplies
+        // in exactly (exact CDF), the expectation is just E[Y1].
+        let y1 = normal(100.0, 5.0);
+        let y2 = normal(4.0, 2.0);
+        let cond = Conjunction::single(atoms::ge(Equation::from(y2), 7.0));
+        let cfg = SamplerConfig::default();
+        let r = expectation(&Equation::from(y1), &cond, true, &cfg, 3).unwrap();
+        // E[Y1 | Y2 ≥ 7] = E[Y1] = 100 — exact because the groups are
+        // independent and Y1 is unconstrained... but the loop does sample
+        // Y1's group (no atoms → no rejection). The estimate converges.
+        assert!((r.expectation - 100.0).abs() < 1.5, "{}", r.expectation);
+        let p_truth = 1.0 - special::normal_cdf((7.0 - 4.0) / 2.0);
+        assert!((r.probability - p_truth).abs() < 1e-9, "{}", r.probability);
+    }
+
+    #[test]
+    fn composite_expression_expectation() {
+        // E[2·Y + 3 | Y > 0] for Y ~ Normal(0,1): 2·E[Y|Y>0] + 3 =
+        // 2·φ(0)/ (1−Φ(0)) + 3 = 2·0.79788… + 3 ≈ 4.5958.
+        let y = normal(0.0, 1.0);
+        let expr = Equation::from(y.clone()) * 2.0 + 3.0;
+        let cond = Conjunction::single(atoms::gt(Equation::from(y), 0.0));
+        let cfg = SamplerConfig::fixed_samples(4000);
+        let r = expectation(&expr, &cond, false, &cfg, 4).unwrap();
+        let truth = 2.0 * special::normal_pdf(0.0) / 0.5 + 3.0;
+        assert!((r.expectation - truth).abs() < 0.1, "{}", r.expectation);
+    }
+
+    #[test]
+    fn adaptive_stop_kicks_in_for_low_variance() {
+        // Nearly-deterministic expression: Uniform(0.999, 1.001).
+        let u = RandomVar::create(builtin::uniform(), &[0.999, 1.001]).unwrap();
+        let cfg = SamplerConfig {
+            min_samples: 16,
+            max_samples: 100_000,
+            ..Default::default()
+        };
+        let r = expectation(&Equation::from(u), &Conjunction::top(), false, &cfg, 5).unwrap();
+        assert!(r.n_samples < 1000, "stopped after {} samples", r.n_samples);
+        assert!((r.expectation - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn deterministic_expression_with_probabilistic_condition() {
+        // E[42 | Y > 1] = 42, P = 1−Φ(1).
+        let y = normal(0.0, 1.0);
+        let cond = Conjunction::single(atoms::gt(Equation::from(y), 1.0));
+        let cfg = SamplerConfig::default();
+        let r = expectation(&Equation::val(42.0), &cond, true, &cfg, 6).unwrap();
+        assert_eq!(r.expectation, 42.0);
+        let truth = 1.0 - special::normal_cdf(1.0);
+        assert!((r.probability - truth).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seeded_determinism() {
+        let y = normal(0.0, 1.0);
+        let cond = Conjunction::single(atoms::gt(Equation::from(y.clone()), 0.5));
+        let cfg = SamplerConfig::fixed_samples(200);
+        let a = expectation(&Equation::from(y.clone()), &cond, true, &cfg, 7).unwrap();
+        let b = expectation(&Equation::from(y.clone()), &cond, true, &cfg, 7).unwrap();
+        assert_eq!(a, b);
+        let c = expectation(&Equation::from(y), &cond, true, &cfg, 8).unwrap();
+        assert_ne!(a.expectation, c.expectation, "different sites decorrelate");
+    }
+
+    #[test]
+    fn histogram_samples_respect_condition() {
+        let y = normal(0.0, 1.0);
+        let cond = Conjunction::single(atoms::gt(Equation::from(y.clone()), 1.0));
+        let cfg = SamplerConfig::default();
+        let xs = expectation_samples(&Equation::from(y), &cond, 500, &cfg, 9).unwrap();
+        assert_eq!(xs.len(), 500);
+        assert!(xs.iter().all(|&x| x > 1.0));
+        // Unsatisfiable → empty.
+        let z = normal(0.0, 1.0);
+        let dead = Conjunction::of(vec![
+            atoms::gt(Equation::from(z.clone()), 5.0),
+            atoms::lt(Equation::from(z), 3.0),
+        ]);
+        assert!(expectation_samples(&Equation::val(1.0), &dead, 10, &cfg, 10)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn naive_ablation_still_converges() {
+        let y = normal(0.0, 1.0);
+        let cond = Conjunction::single(atoms::gt(Equation::from(y.clone()), 1.0));
+        let cfg = SamplerConfig::naive(3000);
+        let r = expectation(&Equation::from(y), &cond, true, &cfg, 11).unwrap();
+        // E[Y|Y>1] = φ(1)/(1−Φ(1)) ≈ 1.5251.
+        assert!((r.expectation - 1.5251).abs() < 0.1, "{}", r.expectation);
+        // P estimated by rejection, not exact.
+        assert!((r.probability - (1.0 - special::normal_cdf(1.0))).abs() < 0.05);
+    }
+}

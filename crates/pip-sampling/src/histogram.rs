@@ -1,0 +1,143 @@
+//! Histogram construction from raw sample arrays (the output of the
+//! `expected_*_hist` operators, Section V-C).
+
+/// An equi-width histogram over a sample array.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Inclusive lower edge of the first bucket.
+    pub lo: f64,
+    /// Exclusive upper edge of the last bucket (the max sample is counted
+    /// in the final bucket).
+    pub hi: f64,
+    /// Bucket counts.
+    pub counts: Vec<u64>,
+    /// Number of samples represented.
+    pub n: usize,
+}
+
+impl Histogram {
+    /// Build from samples with `buckets` equal-width bins spanning the
+    /// sample range. Empty input or a degenerate range produces a single
+    /// bucket holding everything.
+    pub fn from_samples(samples: &[f64], buckets: usize) -> Histogram {
+        let n = samples.len();
+        if n == 0 {
+            return Histogram {
+                lo: 0.0,
+                hi: 0.0,
+                counts: vec![0; buckets.max(1)],
+                n: 0,
+            };
+        }
+        let lo = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let buckets = buckets.max(1);
+        if !(hi > lo) {
+            let mut counts = vec![0u64; buckets];
+            counts[0] = n as u64;
+            return Histogram { lo, hi, counts, n };
+        }
+        let width = (hi - lo) / buckets as f64;
+        let mut counts = vec![0u64; buckets];
+        for &x in samples {
+            let b = (((x - lo) / width) as usize).min(buckets - 1);
+            counts[b] += 1;
+        }
+        Histogram { lo, hi, counts, n }
+    }
+
+    /// Fraction of mass in bucket `i`.
+    pub fn density(&self, i: usize) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.counts[i] as f64 / self.n as f64
+        }
+    }
+
+    /// Bucket edges `(lo_i, hi_i)`.
+    pub fn edges(&self, i: usize) -> (f64, f64) {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        (self.lo + i as f64 * width, self.lo + (i + 1) as f64 * width)
+    }
+
+    /// Sample mean of the represented data (bucket midpoints, so an
+    /// approximation).
+    pub fn approx_mean(&self) -> f64 {
+        if self.n == 0 {
+            return f64::NAN;
+        }
+        let mut acc = 0.0;
+        for i in 0..self.counts.len() {
+            let (l, h) = self.edges(i);
+            acc += 0.5 * (l + h) * self.counts[i] as f64;
+        }
+        acc / self.n as f64
+    }
+}
+
+/// Empirical quantile of a sample array (`q` in [0,1], nearest-rank).
+pub fn quantile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return f64::NAN;
+    }
+    let mut xs = samples.to_vec();
+    xs.sort_by(f64::total_cmp);
+    let idx = ((q.clamp(0.0, 1.0)) * (xs.len() - 1) as f64).round() as usize;
+    xs[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_counts_sum_to_n() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let h = Histogram::from_samples(&xs, 10);
+        assert_eq!(h.counts.iter().sum::<u64>(), 100);
+        assert_eq!(h.counts, vec![10; 10]);
+        assert_eq!(h.n, 100);
+        assert!((h.density(0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_sample_lands_in_last_bucket() {
+        let xs = vec![0.0, 1.0];
+        let h = Histogram::from_samples(&xs, 4);
+        assert_eq!(h.counts[3], 1);
+        assert_eq!(h.counts[0], 1);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let h = Histogram::from_samples(&[], 5);
+        assert_eq!(h.n, 0);
+        assert!(h.approx_mean().is_nan());
+        let h = Histogram::from_samples(&[3.0, 3.0, 3.0], 5);
+        assert_eq!(h.counts[0], 3);
+    }
+
+    #[test]
+    fn approx_mean_close_to_true_mean() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64) / 999.0).collect();
+        let h = Histogram::from_samples(&xs, 50);
+        assert!((h.approx_mean() - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn quantiles() {
+        let xs: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        assert_eq!(quantile(&xs, 0.0), 0.0);
+        assert_eq!(quantile(&xs, 0.5), 50.0);
+        assert_eq!(quantile(&xs, 1.0), 100.0);
+        assert!(quantile(&[], 0.5).is_nan());
+    }
+
+    #[test]
+    fn edges_partition_range() {
+        let h = Histogram::from_samples(&[0.0, 10.0], 5);
+        assert_eq!(h.edges(0), (0.0, 2.0));
+        assert_eq!(h.edges(4), (8.0, 10.0));
+    }
+}

@@ -1,0 +1,527 @@
+//! Per-group sampling strategies (paper Section IV-A).
+//!
+//! A [`GroupSampler`] owns one minimal independent subset of constraint
+//! atoms and produces joint samples of its variables that satisfy those
+//! atoms. It combines, in order of preference:
+//!
+//! * **exact CDF integration** — single-variable interval constraints
+//!   need no sampling at all to compute their probability;
+//! * **inverse-CDF bounded sampling** — the uniform input is restricted
+//!   to `[CDF(lo), CDF(hi)]` using the consistency checker's bounds map,
+//!   so generated values land inside the box by construction;
+//! * **rejection sampling** — candidates are always re-checked against
+//!   the *exact* atoms, so coarser-than-atom bounds stay correct;
+//! * **Metropolis** — engaged when the observed rejection rate crosses
+//!   the configured threshold (Algorithm 4.3 lines 19–24).
+
+use pip_core::{PipError, Result};
+use pip_dist::PipRng;
+use pip_expr::{Assignment, CmpOp, RandomVar, VarGroup};
+use rand::Rng;
+
+use pip_ctable::{BoundsMap, Interval};
+
+use crate::config::SamplerConfig;
+use crate::metropolis::MetropolisState;
+
+/// Hard cap on consecutive rejections for a single sample; reaching it
+/// means the constraint is (numerically) unsatisfiable and the caller
+/// receives NAN, mirroring Algorithm 4.3 line 25.
+const MAX_ATTEMPTS_PER_SAMPLE: u64 = 200_000;
+
+/// How a single variable is generated inside the rejection loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum VarStrategy {
+    /// Plain `Generate` from the distribution class.
+    Natural,
+    /// Inverse-CDF transform with the uniform input restricted to
+    /// `[p_lo, p_hi]`.
+    CdfBounded { p_lo: f64, p_hi: f64 },
+}
+
+/// Sampler for one independent variable group.
+#[derive(Debug)]
+pub struct GroupSampler {
+    pub group: VarGroup,
+    strategies: Vec<VarStrategy>,
+    /// Probability mass of the CDF-restricted box (product over bounded
+    /// variables of `p_hi − p_lo`); 1.0 when nothing is bounded.
+    box_mass: f64,
+    /// Rejection-loop counters: candidates generated / accepted.
+    pub attempts: u64,
+    pub accepts: u64,
+    metropolis: Option<MetropolisState>,
+    /// Counters frozen at the moment of the Metropolis switch — the last
+    /// unbiased acceptance estimate available for probabilities.
+    frozen: Option<(u64, u64)>,
+}
+
+/// `P[X ≤ x]` helper that tolerates infinite arguments.
+fn cdf_at(v: &RandomVar, x: f64) -> Option<f64> {
+    if x == f64::INFINITY {
+        return Some(1.0);
+    }
+    if x == f64::NEG_INFINITY {
+        return Some(0.0);
+    }
+    v.class.cdf(&v.params, x)
+}
+
+/// Lower CDF endpoint for interval `[lo, ·]`: for discrete variables the
+/// mass strictly below `lo` is `CDF(lo − 1)` on the integer grid.
+fn cdf_below(v: &RandomVar, lo: f64) -> Option<f64> {
+    if lo == f64::NEG_INFINITY {
+        return Some(0.0);
+    }
+    if v.is_discrete() {
+        cdf_at(v, lo.ceil() - 1.0)
+    } else {
+        cdf_at(v, lo)
+    }
+}
+
+impl GroupSampler {
+    /// Build a sampler for `group`, exploiting `bounds` when the config
+    /// allows CDF-bounded generation.
+    pub fn new(group: VarGroup, bounds: &BoundsMap, cfg: &SamplerConfig) -> Self {
+        let mut strategies = Vec::with_capacity(group.vars.len());
+        let mut box_mass = 1.0;
+        for v in &group.vars {
+            let iv = bounds.get(v.key);
+            let strategy = if cfg.use_cdf_sampling && !iv.is_unbounded() {
+                match (
+                    cdf_below(v, iv.lo),
+                    cdf_at(v, iv.hi),
+                    v.class.inverse_cdf(&v.params, 0.5),
+                ) {
+                    (Some(p_lo), Some(p_hi), Some(_)) if p_hi > p_lo => {
+                        box_mass *= p_hi - p_lo;
+                        VarStrategy::CdfBounded { p_lo, p_hi }
+                    }
+                    _ => VarStrategy::Natural,
+                }
+            } else {
+                VarStrategy::Natural
+            };
+            strategies.push(strategy);
+        }
+        GroupSampler {
+            group,
+            strategies,
+            box_mass,
+            attempts: 0,
+            accepts: 0,
+            metropolis: None,
+            frozen: None,
+        }
+    }
+
+    /// True once the sampler has switched to Metropolis.
+    pub fn uses_metropolis(&self) -> bool {
+        self.metropolis.is_some()
+    }
+
+    /// Generate one candidate point (no atom check) into `out`.
+    fn generate_candidate(&self, rng: &mut PipRng, out: &mut Assignment) {
+        for (v, s) in self.group.vars.iter().zip(&self.strategies) {
+            let x = match s {
+                VarStrategy::Natural => v.class.generate(&v.params, rng),
+                VarStrategy::CdfBounded { p_lo, p_hi } => {
+                    let u: f64 = rng.gen();
+                    let p = p_lo + u * (p_hi - p_lo);
+                    v.class
+                        .inverse_cdf(&v.params, p)
+                        .expect("strategy guaranteed inverse CDF")
+                }
+            };
+            out.set(v.key, x);
+        }
+    }
+
+    /// Check the group's atoms at the current contents of `out`.
+    fn satisfied(&self, out: &Assignment) -> Result<bool> {
+        for atom in &self.group.atoms {
+            if !atom.eval(out)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Draw one joint sample satisfying the group's atoms into `out`.
+    ///
+    /// `bounds` is only consulted if a mid-flight Metropolis switch needs
+    /// a start point.
+    pub fn sample_into(
+        &mut self,
+        rng: &mut PipRng,
+        cfg: &SamplerConfig,
+        bounds: &BoundsMap,
+        out: &mut Assignment,
+    ) -> Result<()> {
+        if let Some(m) = self.metropolis.as_mut() {
+            return m.sample_into(&self.group, rng, cfg.metropolis_thinning, out);
+        }
+        let mut local_attempts: u64 = 0;
+        loop {
+            self.attempts += 1;
+            local_attempts += 1;
+            self.generate_candidate(rng, out);
+            if self.satisfied(out)? {
+                self.accepts += 1;
+                return Ok(());
+            }
+            // Metropolis switch (Algorithm 4.3 line 19): when the overall
+            // rejection fraction exceeds the threshold and we have enough
+            // evidence it isn't a fluke.
+            if cfg.use_metropolis
+                && self.attempts >= 256
+                && self.rejection_rate() > cfg.metropolis_threshold
+            {
+                match MetropolisState::init(
+                    &self.group,
+                    bounds,
+                    rng,
+                    cfg.metropolis_burn_in,
+                    100_000,
+                ) {
+                    Ok(m) => {
+                        self.frozen = Some((self.attempts, self.accepts));
+                        self.metropolis = Some(m);
+                        return self
+                            .metropolis
+                            .as_mut()
+                            .expect("just set")
+                            .sample_into(&self.group, rng, cfg.metropolis_thinning, out);
+                    }
+                    Err(_) => {
+                        // No PDF or no start point: keep rejecting (the
+                        // attempt cap below will eventually fire).
+                    }
+                }
+            }
+            if local_attempts >= MAX_ATTEMPTS_PER_SAMPLE {
+                return Err(PipError::Sampling(format!(
+                    "group rejected {MAX_ATTEMPTS_PER_SAMPLE} consecutive candidates"
+                )));
+            }
+        }
+    }
+
+    fn rejection_rate(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            1.0 - self.accepts as f64 / self.attempts as f64
+        }
+    }
+
+    /// Monte-Carlo estimate of `P[group atoms]`.
+    ///
+    /// Sampling happens inside the CDF box, so the estimate is
+    /// `box_mass · accepts/attempts`. After a Metropolis switch the
+    /// counters frozen at switch time are used (the walk itself carries
+    /// no acceptance information).
+    pub fn probability_estimate(&self) -> f64 {
+        let (attempts, accepts) = self.frozen.unwrap_or((self.attempts, self.accepts));
+        if attempts == 0 {
+            // No sampling happened: either the group has no atoms
+            // (probability 1) or only exact paths were used.
+            if self.group.atoms.is_empty() {
+                return self.box_mass;
+            }
+            return f64::NAN;
+        }
+        self.box_mass * accepts as f64 / attempts as f64
+    }
+
+    /// Exact probability via CDF integration, when the group is a single
+    /// univariate variable constrained only by affine atoms (Algorithm
+    /// 4.3 lines 32–33). Returns `None` when inapplicable.
+    pub fn exact_probability(&self) -> Option<f64> {
+        exact_group_probability(&self.group)
+    }
+
+    /// Estimate `P[group atoms]` with a fixed number of candidate draws
+    /// (cheaper than `sample_into` for selective conditions, where one
+    /// accepted sample may cost thousands of candidates).
+    pub fn estimate_probability(&mut self, rng: &mut PipRng, n_attempts: u64) -> Result<f64> {
+        let mut scratch = Assignment::new();
+        for _ in 0..n_attempts {
+            self.attempts += 1;
+            self.generate_candidate(rng, &mut scratch);
+            if self.satisfied(&scratch)? {
+                self.accepts += 1;
+            }
+        }
+        Ok(self.probability_estimate())
+    }
+}
+
+/// Exact interval of a single-variable affine constraint set, honouring
+/// strictness on the integer grid for discrete variables.
+fn single_var_interval(group: &VarGroup) -> Option<(RandomVar, Interval)> {
+    if group.vars.len() != 1 {
+        return None;
+    }
+    let v = group.vars[0].clone();
+    let discrete = v.is_discrete();
+    let mut iv = {
+        let (lo, hi) = v.class.support(&v.params);
+        Interval::new(lo, hi)
+    };
+    for atom in &group.atoms {
+        let (expr, op) = atom.normalized();
+        let (coeffs, c) = expr.linear_coeffs()?;
+        if coeffs.len() != 1 {
+            return None;
+        }
+        let (&key, &a) = coeffs.iter().next()?;
+        if key != v.key || a == 0.0 {
+            return None;
+        }
+        // a·x + c (op) 0  →  x (op') t
+        let t = -c / a;
+        let op = if a < 0.0 { op.flip() } else { op };
+        let bound = match op {
+            CmpOp::Gt => {
+                let lo = if discrete { grid_above(t) } else { t };
+                Interval::new(lo, f64::INFINITY)
+            }
+            CmpOp::Ge => {
+                let lo = if discrete { t.ceil() } else { t };
+                Interval::new(lo, f64::INFINITY)
+            }
+            CmpOp::Lt => {
+                let hi = if discrete { grid_below(t) } else { t };
+                Interval::new(f64::NEG_INFINITY, hi)
+            }
+            CmpOp::Le => {
+                let hi = if discrete { t.floor() } else { t };
+                Interval::new(f64::NEG_INFINITY, hi)
+            }
+            CmpOp::Eq => Interval::new(t, t),
+            CmpOp::Ne => return None,
+        };
+        iv = iv.intersect(&bound);
+    }
+    Some((v, iv))
+}
+
+/// Largest integer strictly below `t`.
+fn grid_below(t: f64) -> f64 {
+    if t.fract() == 0.0 {
+        t - 1.0
+    } else {
+        t.floor()
+    }
+}
+
+/// Smallest integer strictly above `t`.
+fn grid_above(t: f64) -> f64 {
+    if t.fract() == 0.0 {
+        t + 1.0
+    } else {
+        t.ceil()
+    }
+}
+
+/// `P[atoms]` for a single-variable affine group via two CDF evaluations
+/// (the paper's headline exact path).
+pub fn exact_group_probability(group: &VarGroup) -> Option<f64> {
+    let (v, iv) = single_var_interval(group)?;
+    if iv.is_empty() {
+        return Some(0.0);
+    }
+    let hi = cdf_at(&v, iv.hi)?;
+    let lo = cdf_below(&v, iv.lo)?;
+    Some((hi - lo).clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pip_ctable::consistency_check;
+    use pip_dist::prelude::builtin;
+    use pip_dist::{rng_from_seed, special};
+    use pip_expr::{atoms, independent_groups, Conjunction, Equation};
+
+    fn make(cond: &Conjunction, cfg: &SamplerConfig) -> (Vec<GroupSampler>, BoundsMap) {
+        let bounds = consistency_check(cond).bounds();
+        let samplers = independent_groups(cond, &[])
+            .into_iter()
+            .map(|g| GroupSampler::new(g, &bounds, cfg))
+            .collect();
+        (samplers, bounds)
+    }
+
+    #[test]
+    fn unconstrained_group_always_accepts() {
+        let y = RandomVar::create(builtin::normal(), &[5.0, 1.0]).unwrap();
+        let cfg = SamplerConfig::default();
+        let cond = Conjunction::top();
+        let groups = independent_groups(&cond, &[y.clone()]);
+        let mut s = GroupSampler::new(groups.into_iter().next().unwrap(), &BoundsMap::new(), &cfg);
+        let mut rng = rng_from_seed(1);
+        let mut a = Assignment::new();
+        for _ in 0..100 {
+            s.sample_into(&mut rng, &cfg, &BoundsMap::new(), &mut a).unwrap();
+            assert!(a.get(y.key).unwrap().is_finite());
+        }
+        assert_eq!(s.accepts, 100);
+        assert_eq!(s.probability_estimate(), 1.0);
+    }
+
+    #[test]
+    fn cdf_bounded_sampling_never_rejects_box_constraints() {
+        // (Y > -3) AND (Y < 2) on Normal(5,10): Example 4.1 of the paper.
+        let y = RandomVar::create(builtin::normal(), &[5.0, 10.0]).unwrap();
+        let cond = Conjunction::of(vec![
+            atoms::gt(Equation::from(y.clone()), -3.0),
+            atoms::lt(Equation::from(y.clone()), 2.0),
+        ]);
+        let cfg = SamplerConfig::default();
+        let (mut samplers, bounds) = make(&cond, &cfg);
+        assert_eq!(samplers.len(), 1);
+        let s = &mut samplers[0];
+        let mut rng = rng_from_seed(2);
+        let mut a = Assignment::new();
+        let n = 2000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            s.sample_into(&mut rng, &cfg, &bounds, &mut a).unwrap();
+            let x = a.get(y.key).unwrap();
+            assert!(x > -3.0 && x < 2.0, "{x}");
+            sum += x;
+        }
+        // With CDF bounds the box is sampled directly: zero rejections.
+        assert_eq!(s.accepts, s.attempts);
+        // Truncated-normal mean: μ + σ(φ(a)−φ(b))/(Φ(b)−Φ(a)),
+        // a = (−3−5)/10 = −0.8, b = (2−5)/10 = −0.3.
+        let (za, zb) = (-0.8, -0.3);
+        let truth = 5.0
+            + 10.0 * (special::normal_pdf(za) - special::normal_pdf(zb))
+                / (special::normal_cdf(zb) - special::normal_cdf(za));
+        let mean = sum / n as f64;
+        assert!((mean - truth).abs() < 0.2, "mean {mean} vs {truth}");
+    }
+
+    #[test]
+    fn naive_config_rejects_instead() {
+        let y = RandomVar::create(builtin::normal(), &[0.0, 1.0]).unwrap();
+        let cond = Conjunction::single(atoms::gt(Equation::from(y.clone()), 1.0));
+        let cfg = SamplerConfig::naive(100);
+        let (mut samplers, bounds) = make(&cond, &cfg);
+        let s = &mut samplers[0];
+        let mut rng = rng_from_seed(3);
+        let mut a = Assignment::new();
+        for _ in 0..50 {
+            s.sample_into(&mut rng, &cfg, &bounds, &mut a).unwrap();
+            assert!(a.get(y.key).unwrap() > 1.0);
+        }
+        assert!(s.attempts > s.accepts, "rejection must be happening");
+        // Estimate approximates P[Y > 1] ≈ 0.1587.
+        let est = s.probability_estimate();
+        assert!((est - 0.1587).abs() < 0.08, "{est}");
+    }
+
+    #[test]
+    fn probability_estimate_with_cdf_box_is_consistent() {
+        // Constraint exactly a box → estimate == box_mass exactly.
+        let y = RandomVar::create(builtin::normal(), &[0.0, 1.0]).unwrap();
+        let cond = Conjunction::of(vec![
+            atoms::gt(Equation::from(y.clone()), -1.0),
+            atoms::lt(Equation::from(y.clone()), 1.0),
+        ]);
+        let cfg = SamplerConfig::default();
+        let (mut samplers, bounds) = make(&cond, &cfg);
+        let s = &mut samplers[0];
+        let mut rng = rng_from_seed(4);
+        let mut a = Assignment::new();
+        for _ in 0..500 {
+            s.sample_into(&mut rng, &cfg, &bounds, &mut a).unwrap();
+        }
+        let expected = special::normal_cdf(1.0) - special::normal_cdf(-1.0);
+        assert!((s.probability_estimate() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_probability_single_var_interval() {
+        let y = RandomVar::create(builtin::normal(), &[0.0, 1.0]).unwrap();
+        let cond = Conjunction::of(vec![
+            atoms::ge(Equation::from(y.clone()), -1.0),
+            atoms::le(Equation::from(y.clone()), 2.0),
+        ]);
+        let cfg = SamplerConfig::default();
+        let (samplers, _) = make(&cond, &cfg);
+        let p = samplers[0].exact_probability().unwrap();
+        let truth = special::normal_cdf(2.0) - special::normal_cdf(-1.0);
+        assert!((p - truth).abs() < 1e-9, "{p} vs {truth}");
+    }
+
+    #[test]
+    fn exact_probability_discrete_strictness() {
+        // X ~ DiscreteUniform(1,6); P[X < 3] = P[X ≤ 2] = 2/6.
+        let x = RandomVar::create(builtin::discrete_uniform(), &[1.0, 6.0]).unwrap();
+        let cond = Conjunction::single(atoms::lt(Equation::from(x.clone()), 3.0));
+        let g = independent_groups(&cond, &[]).into_iter().next().unwrap();
+        let p = exact_group_probability(&g).unwrap();
+        assert!((p - 2.0 / 6.0).abs() < 1e-12, "{p}");
+        // P[X ≤ 3] = 3/6.
+        let cond = Conjunction::single(atoms::le(Equation::from(x.clone()), 3.0));
+        let g = independent_groups(&cond, &[]).into_iter().next().unwrap();
+        assert!((exact_group_probability(&g).unwrap() - 0.5).abs() < 1e-12);
+        // P[X > 6] = 0.
+        let cond = Conjunction::single(atoms::gt(Equation::from(x), 6.0));
+        let g = independent_groups(&cond, &[]).into_iter().next().unwrap();
+        assert_eq!(exact_group_probability(&g), Some(0.0));
+    }
+
+    #[test]
+    fn exact_probability_refuses_multivar() {
+        let a = RandomVar::create(builtin::normal(), &[0.0, 1.0]).unwrap();
+        let b = RandomVar::create(builtin::normal(), &[0.0, 1.0]).unwrap();
+        let cond = Conjunction::single(atoms::gt(
+            Equation::from(a.clone()),
+            Equation::from(b.clone()),
+        ));
+        let g = independent_groups(&cond, &[]).into_iter().next().unwrap();
+        assert_eq!(exact_group_probability(&g), None);
+    }
+
+    #[test]
+    fn metropolis_switch_engages_on_extreme_selectivity() {
+        // P[Y > 4] ≈ 3.2e-5 on Normal(0,1) — with CDF sampling disabled,
+        // rejection alone would need ~31k tries per sample; the switch
+        // must fire.
+        let y = RandomVar::create(builtin::normal(), &[0.0, 1.0]).unwrap();
+        let cond = Conjunction::single(atoms::gt(Equation::from(y.clone()), 4.0));
+        let mut cfg = SamplerConfig::default();
+        cfg.use_cdf_sampling = false;
+        let (mut samplers, bounds) = make(&cond, &cfg);
+        let s = &mut samplers[0];
+        let mut rng = rng_from_seed(5);
+        let mut a = Assignment::new();
+        for _ in 0..20 {
+            s.sample_into(&mut rng, &cfg, &bounds, &mut a).unwrap();
+            assert!(a.get(y.key).unwrap() > 4.0);
+        }
+        assert!(s.uses_metropolis());
+    }
+
+    #[test]
+    fn impossible_constraint_errors_out() {
+        // Uniform[0,1] with Y > 2 and CDF sampling disabled: rejection
+        // can never succeed, Metropolis can't start → sampling error.
+        let y = RandomVar::create(builtin::uniform(), &[0.0, 1.0]).unwrap();
+        let cond = Conjunction::single(atoms::gt(Equation::from(y.clone()), 2.0));
+        let cfg = SamplerConfig::naive(10);
+        // Bypass consistency (naive config) — build group directly.
+        let g = independent_groups(&cond, &[]).into_iter().next().unwrap();
+        let mut s = GroupSampler::new(g, &BoundsMap::new(), &cfg);
+        let mut rng = rng_from_seed(6);
+        let mut a = Assignment::new();
+        let err = s.sample_into(&mut rng, &cfg, &BoundsMap::new(), &mut a);
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,21 @@
+//! # pip-workloads
+//!
+//! Workload generators and the paper's evaluation queries (Section VI):
+//! a deterministic TPC-H-flavoured generator, queries Q1–Q5 in both PIP
+//! (symbolic c-table) and Sample-First (tuple bundle) form with exact
+//! references where they exist, and the NSIDC-style iceberg
+//! danger-estimation scenario of Figure 8.
+
+pub mod iceberg;
+pub mod queries;
+pub mod tpch;
+
+pub use queries::{normalized_rms, PerRow, Timed};
+pub use tpch::{generate as generate_tpch, TpchConfig, TpchData};
+
+/// Glob-import surface.
+pub mod prelude {
+    pub use crate::iceberg;
+    pub use crate::queries::{self, normalized_rms, PerRow, Timed};
+    pub use crate::tpch::{self, TpchConfig, TpchData};
+}

@@ -1,0 +1,194 @@
+//! A deterministic TPC-H-flavoured data generator.
+//!
+//! The paper evaluates over a 1 GB TPC-H database; the queries only need
+//! the *shape* of that data — customers with purchase histories, parts
+//! with prices and popularity, suppliers with manufacturing/shipping
+//! statistics — so this generator synthesizes exactly those columns with
+//! realistic skew, deterministically from a seed (DESIGN.md §2 records
+//! the substitution).
+
+use pip_dist::{rng_from_seed};
+use rand::Rng;
+
+/// One customer: purchase history over two past years plus a
+/// satisfaction threshold on delivery time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Customer {
+    pub id: u64,
+    /// Average revenue per order.
+    pub spend: f64,
+    /// Orders two years ago.
+    pub purchases_y1: f64,
+    /// Orders last year.
+    pub purchases_y2: f64,
+    /// Delivery days beyond which the customer is dissatisfied.
+    pub satisfaction_threshold: f64,
+}
+
+impl Customer {
+    /// The rate parametrizing the Poisson purchase-increase model of Q1:
+    /// proportional to the observed year-over-year increase.
+    pub fn increase_rate(&self) -> f64 {
+        (self.purchases_y2 / self.purchases_y1.max(1.0)).max(0.1) * 3.0
+    }
+}
+
+/// One part: price plus the sales-model parameters used by Q4/Q5.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Part {
+    pub id: u64,
+    pub price: f64,
+    /// Poisson rate of the sales-increase model.
+    pub sales_rate: f64,
+    /// Rate of the Exponential popularity multiplier (mean = 1/rate).
+    pub popularity_rate: f64,
+}
+
+/// One supplier: nation plus manufacturing and shipping statistics
+/// (the "mean and standard deviation of manufacturing and shipping
+/// times" Q2 estimates from past orders).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Supplier {
+    pub id: u64,
+    pub japanese: bool,
+    pub mfg_mean: f64,
+    pub mfg_std: f64,
+    pub ship_mean: f64,
+    pub ship_std: f64,
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TpchConfig {
+    pub n_customers: usize,
+    pub n_parts: usize,
+    pub n_suppliers: usize,
+    pub seed: u64,
+}
+
+impl Default for TpchConfig {
+    fn default() -> Self {
+        TpchConfig {
+            n_customers: 200,
+            n_parts: 500,
+            n_suppliers: 50,
+            seed: 0x7C9,
+        }
+    }
+}
+
+impl TpchConfig {
+    /// Scale every table by `factor` (the benches sweep this).
+    pub fn scaled(factor: f64, seed: u64) -> Self {
+        let d = TpchConfig::default();
+        TpchConfig {
+            n_customers: ((d.n_customers as f64 * factor) as usize).max(1),
+            n_parts: ((d.n_parts as f64 * factor) as usize).max(1),
+            n_suppliers: ((d.n_suppliers as f64 * factor) as usize).max(1),
+            seed,
+        }
+    }
+}
+
+/// The generated database.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TpchData {
+    pub customers: Vec<Customer>,
+    pub parts: Vec<Part>,
+    pub suppliers: Vec<Supplier>,
+}
+
+/// Generate deterministically from `cfg.seed`.
+pub fn generate(cfg: &TpchConfig) -> TpchData {
+    let mut rng = rng_from_seed(cfg.seed);
+    let customers = (0..cfg.n_customers)
+        .map(|i| {
+            let y1 = rng.gen_range(1.0..40.0_f64).floor().max(1.0);
+            // Year-over-year drift between -40% and +120%.
+            let growth = rng.gen_range(0.6..2.2);
+            Customer {
+                id: i as u64,
+                spend: rng.gen_range(20.0..500.0),
+                purchases_y1: y1,
+                purchases_y2: (y1 * growth).floor().max(1.0),
+                satisfaction_threshold: rng.gen_range(7.0..21.0),
+            }
+        })
+        .collect();
+    let parts = (0..cfg.n_parts)
+        .map(|i| Part {
+            id: i as u64,
+            price: rng.gen_range(1.0..100.0),
+            sales_rate: rng.gen_range(0.5..12.0),
+            popularity_rate: rng.gen_range(0.5..2.0),
+        })
+        .collect();
+    let suppliers = (0..cfg.n_suppliers)
+        .map(|i| Supplier {
+            id: i as u64,
+            japanese: rng.gen_bool(0.2),
+            mfg_mean: rng.gen_range(3.0..10.0),
+            mfg_std: rng.gen_range(0.5..3.0),
+            ship_mean: rng.gen_range(2.0..12.0),
+            ship_std: rng.gen_range(0.5..4.0),
+        })
+        .collect();
+    TpchData {
+        customers,
+        parts,
+        suppliers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = TpchConfig::default();
+        assert_eq!(generate(&cfg), generate(&cfg));
+        let other = TpchConfig {
+            seed: 999,
+            ..cfg
+        };
+        assert_ne!(generate(&cfg), generate(&other));
+    }
+
+    #[test]
+    fn sizes_match_config() {
+        let cfg = TpchConfig {
+            n_customers: 7,
+            n_parts: 11,
+            n_suppliers: 3,
+            seed: 1,
+        };
+        let d = generate(&cfg);
+        assert_eq!(d.customers.len(), 7);
+        assert_eq!(d.parts.len(), 11);
+        assert_eq!(d.suppliers.len(), 3);
+    }
+
+    #[test]
+    fn value_ranges_sane() {
+        let d = generate(&TpchConfig::default());
+        for c in &d.customers {
+            assert!(c.spend >= 20.0 && c.spend <= 500.0);
+            assert!(c.purchases_y1 >= 1.0);
+            assert!(c.increase_rate() > 0.0 && c.increase_rate() < 10.0);
+        }
+        for p in &d.parts {
+            assert!(p.sales_rate > 0.0 && p.popularity_rate > 0.0);
+        }
+        assert!(d.suppliers.iter().any(|s| s.japanese));
+    }
+
+    #[test]
+    fn scaling() {
+        let s = TpchConfig::scaled(0.1, 5);
+        assert_eq!(s.n_customers, 20);
+        assert_eq!(s.n_parts, 50);
+        let up = TpchConfig::scaled(2.0, 5);
+        assert_eq!(up.n_customers, 400);
+    }
+}

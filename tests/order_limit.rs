@@ -1,0 +1,102 @@
+//! ORDER BY / LIMIT integration tests: useful on their own, and the
+//! natural preparation step for the sorted-scan `expected_max`
+//! (Example 4.4 requires "a table sorted by the target expression in
+//! descending order").
+
+use pip::prelude::*;
+
+fn db_with_scores() -> (Database, SamplerConfig) {
+    let db = Database::new();
+    let cfg = SamplerConfig::default();
+    sql::run(&db, "CREATE TABLE s (name TEXT, score FLOAT)", &cfg).unwrap();
+    sql::run(
+        &db,
+        "INSERT INTO s VALUES ('a', 3), ('b', 1), ('c', 2)",
+        &cfg,
+    )
+    .unwrap();
+    (db, cfg)
+}
+
+#[test]
+fn order_by_ascending_and_descending() {
+    let (db, cfg) = db_with_scores();
+    let t = sql::run(&db, "SELECT * FROM s ORDER BY score", &cfg).unwrap();
+    let names: Vec<String> = t
+        .rows()
+        .iter()
+        .map(|r| r.cells[0].as_const().unwrap().as_str().unwrap().to_string())
+        .collect();
+    assert_eq!(names, vec!["b", "c", "a"]);
+    let t = sql::run(&db, "SELECT * FROM s ORDER BY score DESC", &cfg).unwrap();
+    assert_eq!(
+        t.rows()[0].cells[0].as_const().unwrap().as_str().unwrap(),
+        "a"
+    );
+}
+
+#[test]
+fn limit_truncates() {
+    let (db, cfg) = db_with_scores();
+    let t = sql::run(
+        &db,
+        "SELECT * FROM s ORDER BY score DESC LIMIT 2",
+        &cfg,
+    )
+    .unwrap();
+    assert_eq!(t.len(), 2);
+    let t = sql::run(&db, "SELECT * FROM s LIMIT 0", &cfg).unwrap();
+    assert!(t.is_empty());
+    assert!(sql::run(&db, "SELECT * FROM s LIMIT 1.5", &cfg).is_err());
+}
+
+#[test]
+fn order_by_with_aggregates() {
+    let (db, cfg) = db_with_scores();
+    sql::run(&db, "INSERT INTO s VALUES ('a', 10)", &cfg).unwrap();
+    let t = sql::run(
+        &db,
+        "SELECT name, expected_sum(score) FROM s GROUP BY name ORDER BY name DESC LIMIT 2",
+        &cfg,
+    )
+    .unwrap();
+    assert_eq!(t.len(), 2);
+    assert_eq!(
+        t.rows()[0].cells[0].as_const().unwrap().as_str().unwrap(),
+        "c"
+    );
+}
+
+#[test]
+fn order_by_uncertain_column_rejected() {
+    let db = Database::new();
+    let cfg = SamplerConfig::default();
+    sql::run(&db, "CREATE TABLE t (v SYMBOLIC)", &cfg).unwrap();
+    sql::run(
+        &db,
+        "INSERT INTO t VALUES (create_variable('Normal', 0, 1))",
+        &cfg,
+    )
+    .unwrap();
+    let r = sql::run(&db, "SELECT * FROM t ORDER BY v", &cfg);
+    assert!(matches!(r, Err(PipError::Unsupported(_))), "{r:?}");
+}
+
+#[test]
+fn sort_then_expected_max_sorted_scan() {
+    // The Example 4.4 workflow: sort a constant-target table descending,
+    // then expected_max consumes it with early exit.
+    let (db, cfg) = db_with_scores();
+    let plan = PlanBuilder::scan("s")
+        .sort(vec![("score", true)])
+        .aggregate(
+            vec![],
+            vec![AggFunc::ExpectedMax {
+                column: "score".into(),
+                precision: 0.0,
+            }],
+        )
+        .build();
+    let t = execute(&db, &plan, &cfg).unwrap();
+    assert_eq!(scalar_result(&t).unwrap(), 3.0);
+}

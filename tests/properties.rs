@@ -1,0 +1,197 @@
+//! Property-based tests (proptest) of the core invariants listed in
+//! DESIGN.md §5: c-table possible-world semantics, consistency-check
+//! soundness, special-function identities, and sampler agreement.
+
+use proptest::prelude::*;
+
+use pip::ctable::{algebra, consistency_check, CRow, CTable, Consistency, SelectOutcome};
+use pip::dist::prelude::*;
+use pip::dist::special;
+use pip::expr::{atoms, Assignment, Conjunction, Equation, RandomVar};
+use pip::prelude::{DataType, Schema, Value};
+use pip::sampling::{conf, expectation, SamplerConfig};
+
+/// A small pool of variables with assigned values, for world-semantics
+/// checks.
+fn var_pool(n: usize) -> Vec<RandomVar> {
+    (0..n)
+        .map(|_| RandomVar::create(builtin::normal(), &[0.0, 1.0]).unwrap())
+        .collect()
+}
+
+/// Strategy: an assignment over the pool.
+fn assignment(pool: &[RandomVar]) -> impl Strategy<Value = Assignment> {
+    let keys: Vec<_> = pool.iter().map(|v| v.key).collect();
+    proptest::collection::vec(-10.0f64..10.0, keys.len()).prop_map(move |vals| {
+        let mut a = Assignment::new();
+        for (k, v) in keys.iter().zip(vals) {
+            a.set(*k, v);
+        }
+        a
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// σ commutes with instantiation: filtering symbolically and then
+    /// instantiating equals instantiating and filtering the world.
+    #[test]
+    fn select_commutes_with_instantiation(
+        thr in -5.0f64..5.0,
+        seed_world in 0usize..16,
+    ) {
+        let pool = var_pool(4);
+        let mut runner_a = Assignment::new();
+        // Deterministic pseudo-world from seed_world.
+        for (i, v) in pool.iter().enumerate() {
+            runner_a.set(v.key, ((seed_world * 7 + i * 13) % 19) as f64 - 9.0);
+        }
+        let schema = Schema::of(&[("v", DataType::Symbolic)]);
+        let mut t = CTable::empty(schema);
+        for v in &pool {
+            t.push(CRow::unconditional(vec![Equation::from(v.clone())])).unwrap();
+        }
+        let selected = algebra::select(&t, |cells| {
+            Ok(SelectOutcome::Conditional(vec![atoms::gt(cells[0].clone(), thr)]))
+        }).unwrap();
+        let w1 = selected.instantiate(&runner_a).unwrap();
+        let w2: Vec<_> = t
+            .instantiate(&runner_a).unwrap()
+            .into_iter()
+            .filter(|tp| tp.get(0).unwrap().as_f64().unwrap() > thr)
+            .collect();
+        prop_assert_eq!(w1, w2);
+    }
+
+    /// distinct: instantiated world of distinct(R) == dedup of
+    /// instantiated world of R (set semantics).
+    #[test]
+    fn distinct_matches_world_dedup(a in prop::collection::vec(-3i64..3, 1..8)) {
+        let schema = Schema::of(&[("v", DataType::Int)]);
+        let tuples: Vec<_> = a.iter().map(|&x| pip::core::tuple![x]).collect();
+        let t = CTable::from_tuples(schema, &tuples).unwrap();
+        let d = algebra::distinct(&t).unwrap();
+        let mut w = d.instantiate(&Assignment::new()).unwrap();
+        w.sort();
+        let mut expect: Vec<_> = tuples.clone();
+        expect.sort();
+        expect.dedup();
+        prop_assert_eq!(w, expect);
+    }
+
+    /// Consistency soundness: any assignment satisfying the condition is
+    /// inside the returned bounds, and satisfiable conditions are never
+    /// declared inconsistent.
+    #[test]
+    fn consistency_never_refutes_a_witness(world in assignment(&var_pool(3))) {
+        // Build the pool fresh but copy keys from the generated world.
+        let keys: Vec<_> = world.iter().map(|(k, _)| *k).collect();
+        prop_assume!(keys.len() == 3);
+        let vars: Vec<RandomVar> = keys
+            .iter()
+            .map(|k| {
+                let mut v = RandomVar::create(builtin::normal(), &[0.0, 1.0]).unwrap();
+                v.key = *k;
+                v
+            })
+            .collect();
+        // Condition: box around each witness value plus one chain atom.
+        let mut atoms_v = Vec::new();
+        for v in &vars {
+            let x = world.get(v.key).unwrap();
+            atoms_v.push(atoms::ge(Equation::from(v.clone()), x - 1.0));
+            atoms_v.push(atoms::le(Equation::from(v.clone()), x + 1.0));
+        }
+        let cond = Conjunction::of(atoms_v);
+        prop_assert!(cond.eval(&world).unwrap());
+        match consistency_check(&cond) {
+            Consistency::Inconsistent => prop_assert!(false, "witness refuted"),
+            Consistency::Consistent { bounds, .. } => {
+                for v in &vars {
+                    let iv = bounds.get(v.key);
+                    let x = world.get(v.key).unwrap();
+                    prop_assert!(iv.contains(x));
+                }
+            }
+        }
+    }
+
+    /// Special functions: CDF/quantile round trips.
+    #[test]
+    fn normal_quantile_round_trip(p in 1e-6f64..0.999999) {
+        let x = special::inverse_normal_cdf(p);
+        prop_assert!((special::normal_cdf(x) - p).abs() < 1e-8);
+    }
+
+    #[test]
+    fn erf_odd_symmetry(x in -5.0f64..5.0) {
+        prop_assert!((special::erf(x) + special::erf(-x)).abs() < 1e-12);
+        prop_assert!((special::erf(x) + special::erfc(x) - 1.0).abs() < 1e-10);
+        prop_assert!((special::erfc(-x) - (2.0 - special::erfc(x))).abs() < 1e-10);
+    }
+
+    #[test]
+    fn gamma_pq_sum_to_one(a in 0.1f64..50.0, x in 0.0f64..80.0) {
+        let s = special::gamma_p(a, x) + special::gamma_q(a, x);
+        prop_assert!((s - 1.0).abs() < 1e-9, "{}", s);
+    }
+
+    /// conf() via exact CDF equals the closed-form tail for arbitrary
+    /// Normal parameters and thresholds.
+    #[test]
+    fn conf_matches_closed_form(mu in -10.0f64..10.0, sigma in 0.1f64..5.0, t in -20.0f64..20.0) {
+        let v = RandomVar::create(builtin::normal(), &[mu, sigma]).unwrap();
+        let cond = Conjunction::single(atoms::gt(Equation::from(v), t));
+        let cfg = SamplerConfig::default();
+        let p = conf(&cond, &cfg, 0).unwrap();
+        let truth = 1.0 - special::normal_cdf((t - mu) / sigma);
+        prop_assert!((p - truth).abs() < 1e-9);
+    }
+
+    /// Linearity fast path equals the analytical mean for affine
+    /// combinations of mixed distributions.
+    #[test]
+    fn linear_expectation_exact(a in -5.0f64..5.0, b in -5.0f64..5.0, lam in 0.5f64..10.0) {
+        let x = RandomVar::create(builtin::poisson(), &[lam]).unwrap();
+        let u = RandomVar::create(builtin::uniform(), &[0.0, 2.0]).unwrap();
+        let expr = Equation::from(x) * a + Equation::from(u) * b + 1.0;
+        let cfg = SamplerConfig::default();
+        let r = expectation(&expr, &Conjunction::top(), false, &cfg, 0).unwrap();
+        let truth = a * lam + b * 1.0 + 1.0;
+        prop_assert!((r.expectation - truth).abs() < 1e-9);
+        prop_assert_eq!(r.n_samples, 0);
+    }
+
+    /// Equation simplification preserves semantics under random
+    /// assignments.
+    #[test]
+    fn simplify_preserves_eval(x in -10.0f64..10.0, y in -10.0f64..10.0, c in -3.0f64..3.0) {
+        let vx = RandomVar::create(builtin::normal(), &[0.0, 1.0]).unwrap();
+        let vy = RandomVar::create(builtin::normal(), &[0.0, 1.0]).unwrap();
+        let mut a = Assignment::new();
+        a.set(vx.key, x);
+        a.set(vy.key, y);
+        let e = (Equation::from(vx.clone()) * c + Equation::from(vy.clone()) * 0.0)
+            * (Equation::val(1.0) + Equation::val(0.0))
+            - (-Equation::from(vy.clone()));
+        let s = e.simplify();
+        let (ev, sv) = (e.eval_f64(&a).unwrap(), s.eval_f64(&a).unwrap());
+        prop_assert!((ev - sv).abs() < 1e-9);
+    }
+
+    /// Values survive a serde round trip (bench result rows rely on it).
+    #[test]
+    fn value_total_order_is_transitive(a in -5i64..5, b in -5.0f64..5.0, s in "[a-z]{0,3}") {
+        let vals = [Value::Int(a), Value::Float(b), Value::str(&s), Value::Null];
+        for x in &vals {
+            for y in &vals {
+                for z in &vals {
+                    if x.cmp_total(y).is_le() && y.cmp_total(z).is_le() {
+                        prop_assert!(x.cmp_total(z).is_le());
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Integration tests for the repair-key operator (discrete probabilistic
+//! table construction, paper Section V-A footnote 2) and the engine's
+//! EXPLAIN output.
+
+use pip::prelude::*;
+use pip::ctable::repair_key;
+
+#[test]
+fn repair_key_feeds_the_full_query_stack() {
+    // Weather alternatives per city, repaired into a probabilistic table,
+    // then queried through conf() and expected_count.
+    let db = Database::new();
+    let cfg = SamplerConfig::default();
+    let schema = Schema::of(&[
+        ("city", DataType::Str),
+        ("weather", DataType::Str),
+        ("w", DataType::Float),
+    ]);
+    let base = CTable::from_tuples(
+        schema,
+        &[
+            pip::core::tuple!["nyc", "sun", 3.0],
+            pip::core::tuple!["nyc", "rain", 1.0],
+            pip::core::tuple!["ithaca", "snow", 1.0],
+            pip::core::tuple!["ithaca", "rain", 3.0],
+        ],
+    )
+    .unwrap();
+    let (repaired, vars) = repair_key(&base, &["city"], "w").unwrap();
+    assert_eq!(vars.len(), 2);
+    db.register_table("weather", repaired);
+
+    // P[rain] per city through the row-level conf operator.
+    let t = sql::run(
+        &db,
+        "SELECT city, conf() FROM weather WHERE weather = 'rain'",
+        &cfg,
+    )
+    .unwrap();
+    assert_eq!(t.len(), 2);
+    let p_nyc = t.rows()[0].cells[1].as_const().unwrap().as_f64().unwrap();
+    let p_ith = t.rows()[1].cells[1].as_const().unwrap().as_f64().unwrap();
+    assert!((p_nyc - 0.25).abs() < 1e-9, "{p_nyc}");
+    assert!((p_ith - 0.75).abs() < 1e-9, "{p_ith}");
+
+    // Expected number of rainy cities = 0.25 + 0.75 = 1.
+    let t = sql::run(
+        &db,
+        "SELECT expected_count(*) FROM weather WHERE weather = 'rain'",
+        &cfg,
+    )
+    .unwrap();
+    assert!((scalar_result(&t).unwrap() - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn repaired_alternatives_are_exclusive_under_join() {
+    // Self-joining a repaired table on the key never pairs two different
+    // alternatives of the same group (their conditions contradict).
+    let db = Database::new();
+    let cfg = SamplerConfig::default();
+    let schema = Schema::of(&[("k", DataType::Str), ("v", DataType::Int), ("w", DataType::Float)]);
+    let base = CTable::from_tuples(
+        schema,
+        &[pip::core::tuple!["a", 1i64, 1.0], pip::core::tuple!["a", 2i64, 1.0]],
+    )
+    .unwrap();
+    let (repaired, _) = repair_key(&base, &["k"], "w").unwrap();
+    db.register_table("t", repaired);
+    // Count pairs with different v: expected 0 (mutually exclusive).
+    let plan = PlanBuilder::scan("t")
+        .product(PlanBuilder::scan("t"))
+        .aggregate(vec![], vec![AggFunc::ExpectedCount])
+        .build();
+    let out = execute(&db, &plan, &cfg).unwrap();
+    // 4 candidate pairs; only the 2 same-alternative pairs are possible,
+    // each with probability 1/2 → expected count 1.
+    let c = scalar_result(&out).unwrap();
+    assert!((c - 1.0).abs() < 0.05, "{c}");
+}
+
+#[test]
+fn explain_renders_the_tree() {
+    let plan = PlanBuilder::scan("orders")
+        .select(ScalarExpr::col("price").gt(ScalarExpr::lit(5.0)))
+        .unwrap()
+        .equi_join(PlanBuilder::scan("shipping"), vec![("ship_to", "dest")])
+        .aggregate(vec![], vec![AggFunc::ExpectedSum("price".into())])
+        .build();
+    let text = plan.explain();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines[0].starts_with("Aggregate: [expected_sum(price)]"), "{text}");
+    assert!(lines[1].trim_start().starts_with("EquiJoin: ship_to=dest"));
+    assert!(lines[2].trim_start().starts_with("Select:"));
+    assert!(lines[3].trim_start().starts_with("Scan: orders"));
+    assert!(lines[4].trim_start().starts_with("Scan: shipping"));
+    // Display goes through explain().
+    assert_eq!(format!("{plan}"), text);
+}
+
+#[test]
+fn optimizer_output_explains_pushdown() {
+    let db = Database::new();
+    db.create_table("l", Schema::of(&[("a", DataType::Int)])).unwrap();
+    db.create_table("r", Schema::of(&[("b", DataType::Int)])).unwrap();
+    let plan = PlanBuilder::scan("l")
+        .product(PlanBuilder::scan("r"))
+        .select(
+            ScalarExpr::col("a")
+                .gt(ScalarExpr::lit(0i64))
+                .and(ScalarExpr::col("b").gt(ScalarExpr::lit(0i64))),
+        )
+        .unwrap()
+        .build();
+    let opt = optimize(&db, plan).unwrap();
+    let text = opt.explain();
+    // After pushdown the top node is the product, selects sit below it.
+    assert!(text.starts_with("Product"), "{text}");
+    assert_eq!(text.matches("Select").count(), 2, "{text}");
+}
