@@ -6,10 +6,10 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use pip_core::{DataType, Schema};
+use pip_ctable::{algebra, consistency_check, CRow, CTable};
 use pip_dist::prelude::builtin;
 use pip_dist::special;
 use pip_expr::{atoms, independent_groups, Conjunction, Equation, RandomVar};
-use pip_ctable::{algebra, consistency_check, CRow, CTable};
 use pip_sampling::{conf, expectation, expected_max_const, SamplerConfig};
 
 fn normal_var() -> RandomVar {
@@ -147,11 +147,7 @@ fn bench_algebra(c: &mut Criterion) {
         })
     });
     g.bench_function("product_16x16", |b| {
-        let small = CTable::new(
-            t.schema().clone(),
-            t.rows()[..16].to_vec(),
-        )
-        .unwrap();
+        let small = CTable::new(t.schema().clone(), t.rows()[..16].to_vec()).unwrap();
         b.iter(|| algebra::product(black_box(&small), black_box(&small)))
     });
     g.bench_function("distinct_256", |b| {

@@ -10,10 +10,10 @@ use serde::Serialize;
 use std::time::Instant;
 
 use pip_core::{DataType, Schema};
+use pip_ctable::{CRow, CTable};
 use pip_dist::prelude::builtin;
 use pip_dist::special;
 use pip_expr::{atoms, Conjunction, Equation, RandomVar};
-use pip_ctable::{CRow, CTable};
 use pip_sampling::{expected_max_const, SamplerConfig};
 use pip_workloads::queries;
 use pip_workloads::tpch::{generate, TpchConfig};

@@ -94,8 +94,10 @@ fn main() {
     let _ = t0;
     let sf_worlds = ((n as f64 / sel4) as usize).min(100_000);
     if sf_worlds < (n as f64 / sel4) as usize {
-        println!("# note: Q4 SF world count capped at {sf_worlds} (uncapped would be {}).",
-            (n as f64 / sel4) as usize);
+        println!(
+            "# note: Q4 SF world count capped at {sf_worlds} (uncapped would be {}).",
+            (n as f64 / sel4) as usize
+        );
     }
     println!("# note: Q4 row uses a 0.2x part table for both systems.");
     let sf4 = queries::q4_sf(&data4, sel4, sf_worlds, 4).expect("q4 sf");

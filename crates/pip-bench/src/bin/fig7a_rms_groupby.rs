@@ -32,7 +32,13 @@ fn main() {
 
     println!("# Figure 7(a): RMS error across {n_trials} trials of the group-by query Q4");
     println!("# (selectivity {sel:.4}), normalized by the exact per-part value.");
-    pip_bench::header(&["n_samples", "pip_rms", "pip_rms_std", "sf_rms", "sf_rms_std"]);
+    pip_bench::header(&[
+        "n_samples",
+        "pip_rms",
+        "pip_rms_std",
+        "sf_rms",
+        "sf_rms_std",
+    ]);
 
     for &n in &[1usize, 10, 100, 1000] {
         let pip_errs = pip_bench::parallel_trials(n_trials, |seed| {

@@ -29,7 +29,13 @@ fn main() {
 
     println!("# Figure 7(b): RMS error across {n_trials} trials of the complex selection");
     println!("# query Q5 (avg selectivity ~0.05), normalized by the exact value.");
-    pip_bench::header(&["n_samples", "pip_rms", "pip_rms_std", "sf_rms", "sf_rms_std"]);
+    pip_bench::header(&[
+        "n_samples",
+        "pip_rms",
+        "pip_rms_std",
+        "sf_rms",
+        "sf_rms_std",
+    ]);
 
     for &n in &[1usize, 10, 100, 1000] {
         let pip_errs = pip_bench::parallel_trials(n_trials, |seed| {

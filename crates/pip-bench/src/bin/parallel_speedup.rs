@@ -1,0 +1,233 @@
+//! Parallel sampling throughput on the Figure 7(a) RMS workload.
+//!
+//! Part 1 sweeps the thread count over the grouped Q4 query's per-part
+//! expectations (`fixed_samples` budget, CDF-bounded sampling) and
+//! reports samples/second plus speedup vs one thread, asserting that
+//! every thread count reproduces the 1-thread estimates bit-for-bit.
+//! Part 2 measures end-to-end service throughput: concurrent TCP
+//! clients issuing the same aggregate query against one `pip-server`
+//! catalog with per-client seeds (distinct cache keys → real sampling).
+//!
+//! Output: TSV on stdout; with `PIP_BENCH_JSON=1`, a single JSON
+//! summary object on stderr — `BENCH_parallel.json` at the repo root is
+//! a recorded run (its `cores` field documents the hardware caveat).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde::Serialize;
+
+use pip_engine::Database;
+use pip_sampling::parallel::ParallelSampler;
+use pip_sampling::{expectation, SamplerConfig};
+use pip_server::server::{serve, ServerOptions};
+use pip_workloads::queries;
+use pip_workloads::tpch::{generate, TpchConfig};
+
+#[derive(Serialize)]
+struct SamplingRow {
+    threads: usize,
+    rows: usize,
+    samples: usize,
+    secs: f64,
+    samples_per_sec: f64,
+    speedup: f64,
+    bit_identical: bool,
+}
+
+#[derive(Serialize)]
+struct ServiceRow {
+    clients: usize,
+    queries: usize,
+    secs: f64,
+    queries_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct Summary {
+    cores: usize,
+    scale: f64,
+    n_samples: usize,
+    sampling: Vec<SamplingRow>,
+    service: Vec<ServiceRow>,
+}
+
+/// Per-row expectations of the Q4 c-table on `threads` executors
+/// (row-indexed sites — the same fan-out `expected_sum` uses).
+fn run_q4(
+    table: &pip_ctable::CTable,
+    cfg: &SamplerConfig,
+    pool: &ParallelSampler,
+) -> (Vec<f64>, usize) {
+    let rows = table.rows();
+    let results = pool.run(cfg.threads, rows.len(), |i| {
+        expectation(&rows[i].cells[1], &rows[i].condition, false, cfg, i as u64)
+            .expect("q4 expectation")
+    });
+    let samples = results.iter().map(|r| r.n_samples).sum();
+    (
+        results.into_iter().map(|r| r.expectation).collect(),
+        samples,
+    )
+}
+
+fn main() {
+    let scale = pip_bench::scale();
+    let n_samples = 1000;
+    let sel = (-5.29f64).exp();
+    let data = generate(&TpchConfig::scaled(0.2 * scale, 0x7A));
+    let table = queries::q4_ctable(&data, sel).expect("q4 table");
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    println!("# Parallel sampling speedup on the fig7a RMS workload (Q4, selectivity {sel:.4})");
+    println!(
+        "# {} rows x {n_samples} samples; host has {cores} core(s)",
+        table.len()
+    );
+    pip_bench::header(&[
+        "threads",
+        "secs",
+        "samples_per_sec",
+        "speedup",
+        "bit_identical",
+    ]);
+
+    let mut sampling = Vec::new();
+    let mut baseline: Option<(Vec<f64>, f64)> = None;
+    for &threads in &[1usize, 2, 4, 8] {
+        let pool = ParallelSampler::new(threads);
+        let cfg = SamplerConfig::fixed_samples(n_samples).with_threads(threads);
+        // Warm-up pass (page in the workload), then the timed pass.
+        let _ = run_q4(&table, &cfg, &pool);
+        let t0 = Instant::now();
+        let (estimates, samples) = run_q4(&table, &cfg, &pool);
+        let secs = t0.elapsed().as_secs_f64();
+
+        let (bit_identical, speedup) = match &baseline {
+            None => {
+                baseline = Some((estimates.clone(), secs));
+                (true, 1.0)
+            }
+            Some((base_est, base_secs)) => (base_est == &estimates, base_secs / secs),
+        };
+        assert!(
+            bit_identical,
+            "thread count {threads} changed the estimates — determinism regression"
+        );
+        let row = SamplingRow {
+            threads,
+            rows: table.len(),
+            samples,
+            secs,
+            samples_per_sec: samples as f64 / secs,
+            speedup,
+            bit_identical,
+        };
+        pip_bench::row(
+            &[
+                format!("{threads}"),
+                format!("{secs:.4}"),
+                format!("{:.0}", row.samples_per_sec),
+                format!("{speedup:.2}"),
+                format!("{bit_identical}"),
+            ],
+            &row,
+        );
+        sampling.push(row);
+    }
+
+    // ---- Part 2: service throughput over TCP. ----
+    let queries_per_client = 8usize;
+    println!("\n# Service throughput: concurrent sessions, per-client seeds (no cache hits)");
+    pip_bench::header(&["clients", "queries", "secs", "queries_per_sec"]);
+
+    let db = Arc::new(Database::new());
+    {
+        let cfg = SamplerConfig::default();
+        pip_engine::sql::run(&db, "CREATE TABLE t (g TEXT, x SYMBOLIC)", &cfg).unwrap();
+        for i in 0..32 {
+            pip_engine::sql::run(
+                &db,
+                &format!(
+                    "INSERT INTO t VALUES ('g{}', create_variable('Normal', {}, 3))",
+                    i % 4,
+                    10 + i
+                ),
+                &cfg,
+            )
+            .unwrap();
+        }
+    }
+    let server =
+        serve(Arc::clone(&db), "127.0.0.1:0", ServerOptions::default()).expect("bench server");
+    let addr = server.addr();
+
+    let mut service = Vec::new();
+    for &clients in &[1usize, 2, 4, 8] {
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for c in 0..clients {
+                s.spawn(move || {
+                    let stream = TcpStream::connect(addr).expect("connect");
+                    let mut writer = stream.try_clone().expect("clone");
+                    let mut reader = BufReader::new(stream);
+                    let mut line = String::new();
+                    reader.read_line(&mut line).expect("banner");
+                    for q in 0..queries_per_client {
+                        writer
+                            .write_all(
+                                format!(
+                                    "SET SEED {}\nQUERY SELECT g, expected_sum(x), conf() \
+                                     FROM t WHERE x > 12 GROUP BY g\n",
+                                    1 + c * queries_per_client + q
+                                )
+                                .as_bytes(),
+                            )
+                            .expect("send");
+                        loop {
+                            line.clear();
+                            reader.read_line(&mut line).expect("recv");
+                            if line.trim_end() == "END" || line.starts_with("ERR") {
+                                break;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let secs = t0.elapsed().as_secs_f64();
+        let queries = clients * queries_per_client;
+        let row = ServiceRow {
+            clients,
+            queries,
+            secs,
+            queries_per_sec: queries as f64 / secs,
+        };
+        pip_bench::row(
+            &[
+                format!("{clients}"),
+                format!("{queries}"),
+                format!("{secs:.4}"),
+                format!("{:.1}", row.queries_per_sec),
+            ],
+            &row,
+        );
+        service.push(row);
+    }
+    server.shutdown();
+
+    if std::env::var("PIP_BENCH_JSON").as_deref() == Ok("1") {
+        let summary = Summary {
+            cores,
+            scale,
+            n_samples,
+            sampling,
+            service,
+        };
+        eprintln!("{}", serde_json::to_string(&summary).expect("summary json"));
+    }
+}

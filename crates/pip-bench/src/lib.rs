@@ -65,15 +65,14 @@ where
     T: Send,
 {
     let mut out: Vec<Option<T>> = (0..n_trials).map(|_| None).collect();
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (i, slot) in out.iter_mut().enumerate() {
             let f = &f;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 *slot = Some(f(i as u64 + 1));
             });
         }
-    })
-    .expect("trial thread panicked");
+    });
     out.into_iter().map(|o| o.expect("trial ran")).collect()
 }
 

@@ -74,10 +74,7 @@ mod tests {
 
     #[test]
     fn display_is_prefixed_by_category() {
-        assert_eq!(
-            PipError::Type("bad".into()).to_string(),
-            "type error: bad"
-        );
+        assert_eq!(PipError::Type("bad".into()).to_string(), "type error: bad");
         assert_eq!(PipError::Inconsistent.to_string(), "inconsistent condition");
         assert_eq!(
             PipError::Sql("near token".into()).to_string(),

@@ -126,7 +126,7 @@ impl Eq for Value {}
 
 impl PartialOrd for Value {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp_total(other))
+        Some(self.cmp(other))
     }
 }
 
@@ -230,7 +230,12 @@ mod tests {
 
     #[test]
     fn null_sorts_first() {
-        let mut vs = vec![Value::str("a"), Value::Int(1), Value::Null, Value::Bool(true)];
+        let mut vs = [
+            Value::str("a"),
+            Value::Int(1),
+            Value::Null,
+            Value::Bool(true),
+        ];
         vs.sort();
         assert_eq!(vs[0], Value::Null);
         assert_eq!(vs[3], Value::str("a"));

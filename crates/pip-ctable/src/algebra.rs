@@ -158,7 +158,7 @@ pub fn distinct(table: &CTable) -> Result<CTable> {
         }
         let mut seen: Vec<&Conjunction> = Vec::new();
         for conj in dnf.disjuncts() {
-            if seen.iter().any(|s| *s == conj) {
+            if seen.contains(&conj) {
                 continue;
             }
             seen.push(conj);
@@ -183,8 +183,7 @@ pub fn difference(left: &CTable, right: &CTable) -> Result<CTable> {
             right.schema().len()
         )));
     }
-    let right_groups: HashMap<Vec<Equation>, Dnf> =
-        distinct_groups(right).into_iter().collect();
+    let right_groups: HashMap<Vec<Equation>, Dnf> = distinct_groups(right).into_iter().collect();
     let mut out = CTable::empty(left.schema().clone());
     for (cells, phi) in distinct_groups(left) {
         let neg = match right_groups.get(&cells) {
@@ -219,15 +218,12 @@ pub fn partition_by(table: &CTable, cols: &[&str]) -> Result<Vec<(Vec<Value>, CT
         let key = idx
             .iter()
             .map(|&i| {
-                row.cells[i]
-                    .as_const()
-                    .cloned()
-                    .ok_or_else(|| {
-                        PipError::Unsupported(format!(
-                            "group-by on uncertain column '{}'",
-                            table.schema().columns()[i].name
-                        ))
-                    })
+                row.cells[i].as_const().cloned().ok_or_else(|| {
+                    PipError::Unsupported(format!(
+                        "group-by on uncertain column '{}'",
+                        table.schema().columns()[i].name
+                    ))
+                })
             })
             .collect::<Result<Vec<Value>>>()?;
         parts
@@ -453,8 +449,10 @@ mod tests {
             Conjunction::single(atoms::lt(Equation::from(y.clone()), -1.0)),
         ))
         .unwrap();
-        t.push(CRow::unconditional(vec![Equation::val(2i64)])).unwrap();
-        t.push(CRow::unconditional(vec![Equation::val(2i64)])).unwrap();
+        t.push(CRow::unconditional(vec![Equation::val(2i64)]))
+            .unwrap();
+        t.push(CRow::unconditional(vec![Equation::val(2i64)]))
+            .unwrap();
 
         let groups = distinct_groups(&t);
         assert_eq!(groups.len(), 2);
@@ -475,7 +473,8 @@ mod tests {
     #[test]
     fn difference_unconditional() {
         let s = Schema::of(&[("a", DataType::Int)]);
-        let l = CTable::from_tuples(s.clone(), &[tuple![1i64], tuple![2i64], tuple![2i64]]).unwrap();
+        let l =
+            CTable::from_tuples(s.clone(), &[tuple![1i64], tuple![2i64], tuple![2i64]]).unwrap();
         let r = CTable::from_tuples(s.clone(), &[tuple![2i64]]).unwrap();
         let d = difference(&l, &r).unwrap();
         // 2 is removed entirely (its negated condition is false); 1 stays.
@@ -522,11 +521,7 @@ mod tests {
     fn partition_by_rejects_symbolic_keys() {
         let y = yvar();
         let s = Schema::of(&[("g", DataType::Symbolic)]);
-        let t = CTable::new(
-            s,
-            vec![CRow::unconditional(vec![Equation::from(y)])],
-        )
-        .unwrap();
+        let t = CTable::new(s, vec![CRow::unconditional(vec![Equation::from(y)])]).unwrap();
         assert!(matches!(
             partition_by(&t, &["g"]),
             Err(PipError::Unsupported(_))

@@ -276,10 +276,7 @@ mod tests {
     fn coefficients_scale_correctly() {
         let v = y();
         // -2v + 6 >= 0  →  v <= 3
-        let cond = Conjunction::single(atoms::ge(
-            Equation::from(v.clone()) * -2.0 + 6.0,
-            0.0,
-        ));
+        let cond = Conjunction::single(atoms::ge(Equation::from(v.clone()) * -2.0 + 6.0, 0.0));
         let bounds = consistency_check(&cond).bounds();
         assert_eq!(bounds.get(v.key).hi, 3.0);
     }
@@ -359,10 +356,7 @@ mod tests {
             let cond = Conjunction::of(vec![
                 atoms::ge(Equation::from(a.clone()), la),
                 atoms::le(Equation::from(a.clone()), ha),
-                atoms::le(
-                    Equation::from(b.clone()),
-                    Equation::from(a.clone()) + 1.0,
-                ),
+                atoms::le(Equation::from(b.clone()), Equation::from(a.clone()) + 1.0),
             ]);
             // Witness: pick a in box, b below a+1.
             let wa = rng.gen_range(la..ha);

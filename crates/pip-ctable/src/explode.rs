@@ -171,9 +171,9 @@ mod tests {
         let s = Schema::of(&[("sum", DataType::Symbolic)]);
         let t = CTable::new(
             s,
-            vec![CRow::unconditional(vec![
-                (Equation::from(d1) + Equation::from(d2)).simplify(),
-            ])],
+            vec![CRow::unconditional(vec![(Equation::from(d1)
+                + Equation::from(d2))
+            .simplify()])],
         )
         .unwrap();
         let x = explode_discrete(&t, 16).unwrap();

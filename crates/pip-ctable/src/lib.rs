@@ -19,8 +19,8 @@ pub mod explode;
 pub mod repair;
 
 pub use algebra::{
-    difference, distinct, distinct_groups, equi_join, map, partition_by, product, project,
-    select, union, SelectOutcome,
+    difference, distinct, distinct_groups, equi_join, map, partition_by, product, project, select,
+    union, SelectOutcome,
 };
 pub use bounds::{BoundsMap, Interval};
 pub use consistency::{consistency_check, Consistency};

@@ -18,6 +18,10 @@ use pip_expr::{atoms, Equation, RandomVar, VarId, VarKey};
 
 use crate::ctable::{CRow, CTable};
 
+/// Per-group choice variables produced by [`repair_key`]: group key →
+/// the categorical variable selecting that group's surviving row.
+pub type GroupVars = Vec<(Vec<Value>, RandomVar)>;
+
 /// Apply repair-key. `key_cols` may be empty (the whole table is one
 /// group — a single categorical choice). The weight column must hold
 /// deterministic non-negative numbers; it is retained in the output.
@@ -28,7 +32,7 @@ pub fn repair_key(
     table: &CTable,
     key_cols: &[&str],
     weight_col: &str,
-) -> Result<(CTable, Vec<(Vec<Value>, RandomVar)>)> {
+) -> Result<(CTable, GroupVars)> {
     let key_idx = key_cols
         .iter()
         .map(|c| table.schema().index_of(c))

@@ -49,10 +49,12 @@ impl DistributionClass for Bernoulli {
     }
 
     fn pdf(&self, params: &[f64], x: f64) -> Option<f64> {
-        Some(match x {
-            v if v == 1.0 => params[0],
-            v if v == 0.0 => 1.0 - params[0],
-            _ => 0.0,
+        Some(if x == 1.0 {
+            params[0]
+        } else if x == 0.0 {
+            1.0 - params[0]
+        } else {
+            0.0
         })
     }
 

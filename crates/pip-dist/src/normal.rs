@@ -35,7 +35,9 @@ impl DistributionClass for Normal {
 
     fn validate(&self, params: &[f64]) -> Result<()> {
         if !params[0].is_finite() {
-            return Err(PipError::InvalidParameter("Normal: mu must be finite".into()));
+            return Err(PipError::InvalidParameter(
+                "Normal: mu must be finite".into(),
+            ));
         }
         if !(params[1] > 0.0) || !params[1].is_finite() {
             return Err(PipError::InvalidParameter(format!(

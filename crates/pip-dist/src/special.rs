@@ -442,7 +442,13 @@ mod tests {
 
     #[test]
     fn gamma_p_q_complementarity() {
-        for &(a, x) in &[(0.5, 0.3), (1.0, 1.0), (3.0, 2.0), (10.0, 14.0), (100.0, 90.0)] {
+        for &(a, x) in &[
+            (0.5, 0.3),
+            (1.0, 1.0),
+            (3.0, 2.0),
+            (10.0, 14.0),
+            (100.0, 90.0),
+        ] {
             assert_close(gamma_p(a, x) + gamma_q(a, x), 1.0, 1e-12);
         }
     }

@@ -36,7 +36,11 @@ impl DistributionClass for Uniform {
 
     fn pdf(&self, params: &[f64], x: f64) -> Option<f64> {
         let (a, b) = (params[0], params[1]);
-        Some(if (a..b).contains(&x) { 1.0 / (b - a) } else { 0.0 })
+        Some(if (a..b).contains(&x) {
+            1.0 / (b - a)
+        } else {
+            0.0
+        })
     }
 
     fn cdf(&self, params: &[f64], x: f64) -> Option<f64> {

@@ -5,12 +5,13 @@
 //! variables via `CREATE_VARIABLE(distribution, params)` (Section V-A).
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
 
 use pip_core::{PipError, Result, Schema, Tuple};
-use pip_dist::{DistributionRegistry};
+use pip_dist::DistributionRegistry;
 use pip_expr::RandomVar;
 
 use pip_ctable::{CRow, CTable};
@@ -20,6 +21,10 @@ use pip_ctable::{CRow, CTable};
 pub struct Database {
     registry: DistributionRegistry,
     tables: RwLock<HashMap<String, Arc<CTable>>>,
+    /// Monotonic catalog generation, bumped by every DDL/DML mutation.
+    /// Cache layers (e.g. the server's sample-result cache) key on it so
+    /// stale entries can never be served after a mutation.
+    version: AtomicU64,
 }
 
 impl Default for Database {
@@ -34,6 +39,7 @@ impl Database {
         Database {
             registry: DistributionRegistry::with_builtins(),
             tables: RwLock::new(HashMap::new()),
+            version: AtomicU64::new(0),
         }
     }
 
@@ -48,6 +54,7 @@ impl Database {
         Database {
             registry,
             tables: RwLock::new(HashMap::new()),
+            version: AtomicU64::new(0),
         }
     }
 
@@ -57,6 +64,17 @@ impl Database {
         RandomVar::create_named(&self.registry, class, params)
     }
 
+    /// Current catalog generation. Changes on every successful mutation
+    /// (create/register/drop/insert); equal versions guarantee the same
+    /// table contents for cache-key purposes.
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    fn bump_version(&self) {
+        self.version.fetch_add(1, Ordering::AcqRel);
+    }
+
     /// Create an empty table. Errors if the name is taken.
     pub fn create_table(&self, name: &str, schema: Schema) -> Result<()> {
         let mut tables = self.tables.write();
@@ -64,12 +82,17 @@ impl Database {
             return Err(PipError::Schema(format!("table '{name}' already exists")));
         }
         tables.insert(name.to_string(), Arc::new(CTable::empty(schema)));
+        drop(tables);
+        self.bump_version();
         Ok(())
     }
 
     /// Register (or replace) a table with existing contents.
     pub fn register_table(&self, name: &str, table: CTable) {
-        self.tables.write().insert(name.to_string(), Arc::new(table));
+        self.tables
+            .write()
+            .insert(name.to_string(), Arc::new(table));
+        self.bump_version();
     }
 
     /// Drop a table.
@@ -77,7 +100,7 @@ impl Database {
         self.tables
             .write()
             .remove(name)
-            .map(|_| ())
+            .map(|_| self.bump_version())
             .ok_or_else(|| PipError::NotFound(format!("table '{name}'")))
     }
 
@@ -101,6 +124,8 @@ impl Database {
             new.push(r)?;
         }
         tables.insert(name.to_string(), Arc::new(new));
+        drop(tables);
+        self.bump_version();
         Ok(())
     }
 
@@ -125,9 +150,11 @@ mod tests {
     #[test]
     fn create_insert_read() {
         let db = Database::new();
-        db.create_table("t", Schema::of(&[("a", DataType::Int)])).unwrap();
+        db.create_table("t", Schema::of(&[("a", DataType::Int)]))
+            .unwrap();
         assert!(db.create_table("t", Schema::empty()).is_err());
-        db.insert_tuples("t", &[tuple![1i64], tuple![2i64]]).unwrap();
+        db.insert_tuples("t", &[tuple![1i64], tuple![2i64]])
+            .unwrap();
         assert_eq!(db.table("t").unwrap().len(), 2);
         assert!(db.table("missing").is_err());
         assert_eq!(db.table_names(), vec!["t"]);
@@ -147,7 +174,8 @@ mod tests {
     #[test]
     fn snapshots_are_immutable() {
         let db = Database::new();
-        db.create_table("t", Schema::of(&[("a", DataType::Int)])).unwrap();
+        db.create_table("t", Schema::of(&[("a", DataType::Int)]))
+            .unwrap();
         let before = db.table("t").unwrap();
         db.insert_tuples("t", &[tuple![1i64]]).unwrap();
         assert_eq!(before.len(), 0, "snapshot unaffected by later insert");
@@ -155,9 +183,28 @@ mod tests {
     }
 
     #[test]
+    fn version_tracks_mutations() {
+        let db = Database::new();
+        let v0 = db.version();
+        db.create_table("t", Schema::of(&[("a", DataType::Int)]))
+            .unwrap();
+        let v1 = db.version();
+        assert!(v1 > v0);
+        db.insert_tuples("t", &[tuple![1i64]]).unwrap();
+        let v2 = db.version();
+        assert!(v2 > v1);
+        // Failed mutations leave the version unchanged.
+        assert!(db.drop_table("nope").is_err());
+        assert_eq!(db.version(), v2);
+        db.drop_table("t").unwrap();
+        assert!(db.version() > v2);
+    }
+
+    #[test]
     fn insert_arity_checked() {
         let db = Database::new();
-        db.create_table("t", Schema::of(&[("a", DataType::Int)])).unwrap();
+        db.create_table("t", Schema::of(&[("a", DataType::Int)]))
+            .unwrap();
         assert!(db.insert_tuples("t", &[tuple![1i64, 2i64]]).is_err());
         assert!(db.insert_tuples("zzz", &[tuple![1i64]]).is_err());
     }

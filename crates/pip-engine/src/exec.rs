@@ -9,10 +9,11 @@
 
 use std::time::Instant;
 
-use pip_core::{PipError, Result, Schema, DataType, Column};
+use pip_core::{Column, DataType, PipError, Result, Schema};
 use pip_expr::Equation;
 
 use pip_ctable::{algebra, CRow, CTable};
+use pip_sampling::parallel::{conf_rows_parallel, ParallelSampler};
 use pip_sampling::{
     aconf, conf, expected_avg, expected_count, expected_max_const, expected_sum, SamplerConfig,
 };
@@ -54,9 +55,8 @@ fn run(db: &Database, plan: &Plan, cfg: &SamplerConfig, stats: &mut QueryStats) 
             let t = run(db, input, cfg, stats)?;
             let start = Instant::now();
             let schema = t.schema().clone();
-            let out = algebra::select(&t, |cells| {
-                compile_predicate(predicate, &schema, cells, db)
-            })?;
+            let out =
+                algebra::select(&t, |cells| compile_predicate(predicate, &schema, cells, db))?;
             stats.query_secs += start.elapsed().as_secs_f64();
             Ok(out)
         }
@@ -223,16 +223,19 @@ fn aggregate(
         algebra::partition_by(table, &keys)?
     };
 
-    for (key, part) in groups {
-        let mut cells: Vec<Equation> =
-            key.into_iter().map(Equation::Const).collect();
+    // Per-group sampling sites derive from the group's row contents (row
+    // index within the part), never from scheduling, so groups can fan
+    // out onto the shared pool without changing any number; the fold
+    // back into the result table stays in group order.
+    let group_row = |(key, part): &(Vec<pip_core::Value>, CTable)| -> Result<Vec<Equation>> {
+        let mut cells: Vec<Equation> = key.iter().cloned().map(Equation::Const).collect();
         for a in aggs {
             let v = match a {
-                AggFunc::ExpectedSum(col) => expected_sum(&part, col, cfg)?.value,
-                AggFunc::ExpectedCount => expected_count(&part, cfg)?.value,
-                AggFunc::ExpectedAvg(col) => expected_avg(&part, col, cfg)?.value,
+                AggFunc::ExpectedSum(col) => expected_sum(part, col, cfg)?.value,
+                AggFunc::ExpectedCount => expected_count(part, cfg)?.value,
+                AggFunc::ExpectedAvg(col) => expected_avg(part, col, cfg)?.value,
                 AggFunc::ExpectedMax { column, precision } => {
-                    expected_max_const(&part, column, cfg, *precision)?.value
+                    expected_max_const(part, column, cfg, *precision)?.value
                 }
                 AggFunc::Conf => {
                     // Probability the group is non-empty: aconf over the
@@ -245,19 +248,42 @@ fn aggregate(
             };
             cells.push(Equation::val(v));
         }
-        out.push(CRow::unconditional(cells))?;
+        Ok(cells)
+    };
+
+    let rows: Vec<Result<Vec<Equation>>> = if cfg.threads > 1 && groups.len() > 1 {
+        let pool = ParallelSampler::global();
+        pool.run(cfg.threads, groups.len(), |i| group_row(&groups[i]))
+    } else {
+        groups.iter().map(group_row).collect()
+    };
+    for cells in rows {
+        out.push(CRow::unconditional(cells?))?;
     }
     Ok(out)
 }
 
 /// The row-level confidence operator: append `conf()`, strip conditions.
+///
+/// Each row's `conf` is seeded by its row index, so with `threads > 1`
+/// the rows fan out onto the shared pool bit-identically to the serial
+/// loop.
 fn conf_table(table: &CTable, cfg: &SamplerConfig) -> Result<CTable> {
     let mut cols = table.schema().columns().to_vec();
     cols.push(Column::new("conf()", DataType::Float));
     let out_schema = Schema::new(cols)?;
     let mut out = CTable::empty(out_schema);
-    for (i, row) in table.rows().iter().enumerate() {
-        let p = conf(&row.condition, cfg, i as u64)?;
+    let probs: Vec<f64> = if cfg.threads > 1 {
+        conf_rows_parallel(table, cfg, ParallelSampler::global())?
+    } else {
+        table
+            .rows()
+            .iter()
+            .enumerate()
+            .map(|(i, row)| conf(&row.condition, cfg, i as u64))
+            .collect::<Result<_>>()?
+    };
+    for (row, p) in table.rows().iter().zip(probs) {
         let mut cells = row.cells.clone();
         cells.push(Equation::val(p));
         out.push(CRow::unconditional(cells))?;
@@ -327,14 +353,8 @@ mod tests {
         db.insert_rows(
             "shipping",
             vec![
-                CRow::unconditional(vec![
-                    Equation::val(Value::str("NY")),
-                    Equation::from(x2),
-                ]),
-                CRow::unconditional(vec![
-                    Equation::val(Value::str("LA")),
-                    Equation::from(x4),
-                ]),
+                CRow::unconditional(vec![Equation::val(Value::str("NY")), Equation::from(x2)]),
+                CRow::unconditional(vec![Equation::val(Value::str("LA")), Equation::from(x4)]),
             ],
         )
         .unwrap();
@@ -424,7 +444,8 @@ mod tests {
         let db = Database::new();
         db.create_table("base", Schema::of(&[("x", DataType::Float)]))
             .unwrap();
-        db.insert_tuples("base", &[tuple![3.0], tuple![4.0]]).unwrap();
+        db.insert_tuples("base", &[tuple![3.0], tuple![4.0]])
+            .unwrap();
         let plan = PlanBuilder::scan("base")
             .project(vec![
                 ("doubled", ScalarExpr::col("x").mul(ScalarExpr::lit(2.0))),
@@ -453,8 +474,10 @@ mod tests {
     #[test]
     fn union_distinct_difference_through_plans() {
         let db = Database::new();
-        db.create_table("a", Schema::of(&[("v", DataType::Int)])).unwrap();
-        db.create_table("b", Schema::of(&[("v", DataType::Int)])).unwrap();
+        db.create_table("a", Schema::of(&[("v", DataType::Int)]))
+            .unwrap();
+        db.create_table("b", Schema::of(&[("v", DataType::Int)]))
+            .unwrap();
         db.insert_tuples("a", &[tuple![1i64], tuple![2i64], tuple![2i64]])
             .unwrap();
         db.insert_tuples("b", &[tuple![2i64]]).unwrap();
@@ -481,6 +504,45 @@ mod tests {
         .unwrap();
         let world = diff.instantiate(&pip_expr::Assignment::new()).unwrap();
         assert_eq!(world, vec![tuple![1i64]]);
+    }
+
+    #[test]
+    fn thread_count_never_changes_query_results() {
+        let db = shipping_db();
+        let agg_plan = PlanBuilder::scan("orders")
+            .equi_join(PlanBuilder::scan("shipping"), vec![("ship_to", "dest")])
+            .select(ScalarExpr::col("duration").ge(ScalarExpr::lit(7.0)))
+            .unwrap()
+            .aggregate(
+                vec!["cust"],
+                vec![
+                    AggFunc::ExpectedSum("price".into()),
+                    AggFunc::ExpectedCount,
+                    AggFunc::Conf,
+                ],
+            )
+            .build();
+        let conf_plan = PlanBuilder::scan("shipping")
+            .select(ScalarExpr::col("duration").ge(ScalarExpr::lit(7.0)))
+            .unwrap()
+            .conf()
+            .build();
+        let serial = SamplerConfig::default();
+        let t1_agg = execute(&db, &agg_plan, &serial).unwrap();
+        let t1_conf = execute(&db, &conf_plan, &serial).unwrap();
+        for threads in [2usize, 4, 8] {
+            let par = serial.clone().with_threads(threads);
+            assert_eq!(
+                execute(&db, &agg_plan, &par).unwrap().rows(),
+                t1_agg.rows(),
+                "aggregate head diverged at {threads} threads"
+            );
+            assert_eq!(
+                execute(&db, &conf_plan, &par).unwrap().rows(),
+                t1_conf.rows(),
+                "conf head diverged at {threads} threads"
+            );
+        }
     }
 
     #[test]

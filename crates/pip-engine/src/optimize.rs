@@ -333,8 +333,10 @@ mod tests {
     #[test]
     fn ambiguous_columns_not_pushed() {
         let db = setup();
-        db.create_table("l2", Schema::of(&[("a", DataType::Int)])).unwrap();
-        db.create_table("r2", Schema::of(&[("a", DataType::Int)])).unwrap();
+        db.create_table("l2", Schema::of(&[("a", DataType::Int)]))
+            .unwrap();
+        db.create_table("r2", Schema::of(&[("a", DataType::Int)]))
+            .unwrap();
         let plan = PlanBuilder::scan("l2")
             .product(PlanBuilder::scan("r2"))
             .select(ScalarExpr::col("a").gt(ScalarExpr::lit(0i64)))

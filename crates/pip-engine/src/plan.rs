@@ -223,8 +223,7 @@ impl Plan {
                 right.explain_into(depth + 1, out);
             }
             Plan::EquiJoin { left, right, on } => {
-                let pairs: Vec<String> =
-                    on.iter().map(|(a, b)| format!("{a}={b}")).collect();
+                let pairs: Vec<String> = on.iter().map(|(a, b)| format!("{a}={b}")).collect();
                 let _ = writeln!(out, "{pad}EquiJoin: {}", pairs.join(" AND "));
                 left.explain_into(depth + 1, out);
                 right.explain_into(depth + 1, out);
@@ -393,10 +392,7 @@ impl PlanBuilder {
         PlanBuilder {
             plan: Plan::Sort {
                 input: Box::new(self.plan),
-                keys: keys
-                    .into_iter()
-                    .map(|(c, d)| (c.to_string(), d))
-                    .collect(),
+                keys: keys.into_iter().map(|(c, d)| (c.to_string(), d)).collect(),
             },
         }
     }

@@ -113,10 +113,7 @@ mod tests {
 
     fn setup() -> (Database, Schema, Vec<Equation>) {
         let db = Database::new();
-        let schema = Schema::of(&[
-            ("name", DataType::Str),
-            ("price", DataType::Symbolic),
-        ]);
+        let schema = Schema::of(&[("name", DataType::Str), ("price", DataType::Symbolic)]);
         let y = db.create_variable("Normal", &[100.0, 10.0]).unwrap();
         let cells = vec![Equation::val(Value::str("Joe")), Equation::from(y)];
         (db, schema, cells)

@@ -36,7 +36,13 @@ pub use parser::{parse, Statement};
 /// Parse and run one SQL statement. DDL/DML return an empty table;
 /// SELECT returns its result.
 pub fn run(db: &Database, sql: &str, cfg: &SamplerConfig) -> Result<CTable> {
-    match parse(sql)? {
+    run_statement(db, parse(sql)?, cfg)
+}
+
+/// Run an already-parsed statement (the server's prepared-statement path
+/// parses once and executes many times).
+pub fn run_statement(db: &Database, stmt: Statement, cfg: &SamplerConfig) -> Result<CTable> {
+    match stmt {
         Statement::CreateTable { name, columns } => {
             let schema = Schema::new(
                 columns

@@ -635,15 +635,13 @@ mod tests {
     fn expected_max_with_precision() {
         let s = parse("SELECT expected_max(v, 0.1) FROM t").unwrap();
         match s {
-            Statement::Select(Plan::Aggregate { aggs, .. }) =>
-
-                assert_eq!(
-                    aggs,
-                    vec![AggFunc::ExpectedMax {
-                        column: "v".into(),
-                        precision: 0.1
-                    }]
-                ),
+            Statement::Select(Plan::Aggregate { aggs, .. }) => assert_eq!(
+                aggs,
+                vec![AggFunc::ExpectedMax {
+                    column: "v".into(),
+                    precision: 0.1
+                }]
+            ),
             other => panic!("{other:?}"),
         }
     }

@@ -131,9 +131,10 @@ impl Atom {
         if let (Some(l), Some(r)) = (self.left.as_const(), self.right.as_const()) {
             return Ok(self.op.eval_value(l, r));
         }
-        Ok(self
-            .op
-            .eval_f64(self.left.eval_f64(assignment)?, self.right.eval_f64(assignment)?))
+        Ok(self.op.eval_f64(
+            self.left.eval_f64(assignment)?,
+            self.right.eval_f64(assignment)?,
+        ))
     }
 
     /// All distinct variables mentioned by the atom.
@@ -147,10 +148,7 @@ impl Atom {
     /// Rewrite as `expr θ 0` (left minus right), simplified. The
     /// normalized form feeds the linear bounds propagation.
     pub fn normalized(&self) -> (Equation, CmpOp) {
-        (
-            (self.left.clone() - self.right.clone()).simplify(),
-            self.op,
-        )
+        ((self.left.clone() - self.right.clone()).simplify(), self.op)
     }
 
     /// Equality atom over continuous variables carries zero probability
@@ -161,10 +159,7 @@ impl Atom {
         self.op == CmpOp::Eq
             && !self.is_deterministic()
             && self.left != self.right
-            && self
-                .variables()
-                .iter()
-                .any(|v| !v.is_discrete())
+            && self.variables().iter().any(|v| !v.is_discrete())
     }
 
     /// Dual of [`Atom::is_zero_measure_eq`]: `Y ≠ (·)` is almost surely
@@ -173,10 +168,7 @@ impl Atom {
         self.op == CmpOp::Ne
             && !self.is_deterministic()
             && self.left != self.right
-            && self
-                .variables()
-                .iter()
-                .any(|v| !v.is_discrete())
+            && self.variables().iter().any(|v| !v.is_discrete())
     }
 }
 
@@ -214,8 +206,8 @@ pub mod atoms {
 mod tests {
     use super::atoms::*;
     use super::*;
-    use pip_dist::prelude::builtin;
     use crate::vars::RandomVar;
+    use pip_dist::prelude::builtin;
 
     fn y() -> RandomVar {
         RandomVar::create(builtin::normal(), &[0.0, 1.0]).unwrap()
@@ -227,7 +219,14 @@ mod tests {
 
     #[test]
     fn negate_and_flip_are_involutions_through_eval() {
-        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne] {
+        for op in [
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+            CmpOp::Eq,
+            CmpOp::Ne,
+        ] {
             for (l, r) in [(1.0, 2.0), (2.0, 2.0), (3.0, 2.0)] {
                 assert_eq!(op.eval_f64(l, r), !op.negate().eval_f64(l, r));
                 assert_eq!(op.eval_f64(l, r), op.flip().eval_f64(r, l));

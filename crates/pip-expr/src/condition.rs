@@ -187,7 +187,9 @@ pub struct Dnf {
 impl Dnf {
     /// The trivially-false condition (empty disjunction).
     pub fn bottom() -> Self {
-        Dnf { disjuncts: Vec::new() }
+        Dnf {
+            disjuncts: Vec::new(),
+        }
     }
 
     pub fn of(disjuncts: Vec<Conjunction>) -> Self {
@@ -297,8 +299,8 @@ pub fn simplify_row_condition(cond: Conjunction) -> Option<Conjunction> {
 mod tests {
     use super::*;
     use crate::atom::atoms::*;
-    use pip_dist::prelude::builtin;
     use crate::vars::RandomVar;
+    use pip_dist::prelude::builtin;
 
     fn y() -> RandomVar {
         RandomVar::create(builtin::normal(), &[0.0, 1.0]).unwrap()

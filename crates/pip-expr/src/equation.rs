@@ -157,13 +157,16 @@ impl Equation {
     pub fn eval_f64(&self, assignment: &Assignment) -> Result<f64> {
         match self {
             Equation::Const(v) => v.as_f64(),
-            Equation::Var(v) => assignment.get(v.key).ok_or_else(|| {
-                PipError::Eval(format!("variable {} not assigned", v.key.id))
-            }),
+            Equation::Var(v) => assignment
+                .get(v.key)
+                .ok_or_else(|| PipError::Eval(format!("variable {} not assigned", v.key.id))),
             Equation::Binary { op, left, right } => {
                 op.apply(left.eval_f64(assignment)?, right.eval_f64(assignment)?)
             }
-            Equation::Unary { op: UnOp::Neg, expr } => Ok(-expr.eval_f64(assignment)?),
+            Equation::Unary {
+                op: UnOp::Neg,
+                expr,
+            } => Ok(-expr.eval_f64(assignment)?),
         }
     }
 
@@ -181,14 +184,20 @@ impl Equation {
     pub fn simplify(&self) -> Equation {
         match self {
             Equation::Const(_) | Equation::Var(_) => self.clone(),
-            Equation::Unary { op: UnOp::Neg, expr } => {
+            Equation::Unary {
+                op: UnOp::Neg,
+                expr,
+            } => {
                 let e = expr.simplify();
                 match e {
                     Equation::Const(v) => match v.as_f64() {
                         Ok(x) => Equation::val(-x),
                         Err(_) => Equation::Const(v).neg(),
                     },
-                    Equation::Unary { op: UnOp::Neg, expr } => (*expr).clone(),
+                    Equation::Unary {
+                        op: UnOp::Neg,
+                        expr,
+                    } => (*expr).clone(),
                     other => other.neg(),
                 }
             }
@@ -203,12 +212,8 @@ impl Equation {
                         }
                     }
                 }
-                let is_zero = |e: &Equation| {
-                    matches!(e.as_const().and_then(|v| v.as_f64().ok()), Some(x) if x == 0.0)
-                };
-                let is_one = |e: &Equation| {
-                    matches!(e.as_const().and_then(|v| v.as_f64().ok()), Some(x) if x == 1.0)
-                };
+                let is_zero = |e: &Equation| matches!(e.as_const().and_then(|v| v.as_f64().ok()), Some(x) if x == 0.0);
+                let is_one = |e: &Equation| matches!(e.as_const().and_then(|v| v.as_f64().ok()), Some(x) if x == 1.0);
                 match op {
                     BinOp::Add if is_zero(&l) => r,
                     BinOp::Add | BinOp::Sub if is_zero(&r) => l,
@@ -242,14 +247,13 @@ impl Equation {
                     *coeffs.entry(v.key).or_insert(0.0) += scale;
                     true
                 }
-                Equation::Unary { op: UnOp::Neg, expr } => go(expr, -scale, coeffs, c),
+                Equation::Unary {
+                    op: UnOp::Neg,
+                    expr,
+                } => go(expr, -scale, coeffs, c),
                 Equation::Binary { op, left, right } => match op {
-                    BinOp::Add => {
-                        go(left, scale, coeffs, c) && go(right, scale, coeffs, c)
-                    }
-                    BinOp::Sub => {
-                        go(left, scale, coeffs, c) && go(right, -scale, coeffs, c)
-                    }
+                    BinOp::Add => go(left, scale, coeffs, c) && go(right, scale, coeffs, c),
+                    BinOp::Sub => go(left, scale, coeffs, c) && go(right, -scale, coeffs, c),
                     BinOp::Mul => {
                         // One side must be deterministic.
                         if left.is_deterministic() {
@@ -324,7 +328,10 @@ impl fmt::Display for Equation {
             Equation::Binary { op, left, right } => {
                 write!(f, "({} {} {})", left, op.symbol(), right)
             }
-            Equation::Unary { op: UnOp::Neg, expr } => write!(f, "(-{expr})"),
+            Equation::Unary {
+                op: UnOp::Neg,
+                expr,
+            } => write!(f, "(-{expr})"),
         }
     }
 }

@@ -67,18 +67,17 @@ pub fn independent_groups(condition: &Conjunction, extra_vars: &[RandomVar]) -> 
     // Map each distinct VarId to a dense index.
     let mut id_index: HashMap<VarId, usize> = HashMap::new();
     let mut id_vars: Vec<Vec<RandomVar>> = Vec::new(); // all keys per id
-    let intern = |v: &RandomVar,
-                      id_index: &mut HashMap<VarId, usize>,
-                      id_vars: &mut Vec<Vec<RandomVar>>| {
-        let idx = *id_index.entry(v.key.id).or_insert_with(|| {
-            id_vars.push(Vec::new());
-            id_vars.len() - 1
-        });
-        if !id_vars[idx].iter().any(|o| o.key == v.key) {
-            id_vars[idx].push(v.clone());
-        }
-        idx
-    };
+    let intern =
+        |v: &RandomVar, id_index: &mut HashMap<VarId, usize>, id_vars: &mut Vec<Vec<RandomVar>>| {
+            let idx = *id_index.entry(v.key.id).or_insert_with(|| {
+                id_vars.push(Vec::new());
+                id_vars.len() - 1
+            });
+            if !id_vars[idx].iter().any(|o| o.key == v.key) {
+                id_vars[idx].push(v.clone());
+            }
+            idx
+        };
 
     let atom_vars: Vec<Vec<usize>> = condition
         .atoms()
@@ -105,7 +104,7 @@ pub fn independent_groups(condition: &Conjunction, extra_vars: &[RandomVar]) -> 
     // Collect groups keyed by DSU root.
     let mut root_to_group: HashMap<usize, usize> = HashMap::new();
     let mut groups: Vec<VarGroup> = Vec::new();
-    for idx in 0..n {
+    for (idx, vars) in id_vars.iter().enumerate().take(n) {
         let root = dsu.find(idx);
         let g = *root_to_group.entry(root).or_insert_with(|| {
             groups.push(VarGroup {
@@ -114,7 +113,7 @@ pub fn independent_groups(condition: &Conjunction, extra_vars: &[RandomVar]) -> 
             });
             groups.len() - 1
         });
-        groups[g].vars.extend(id_vars[idx].iter().cloned());
+        groups[g].vars.extend(vars.iter().cloned());
     }
     for (atom, vars) in condition.atoms().iter().zip(&atom_vars) {
         if let Some(&first) = vars.first() {
@@ -188,7 +187,7 @@ mod tests {
         let v = y();
         let w = y();
         let cond = Conjunction::single(gt(Equation::from(v.clone()), 0.0));
-        let groups = independent_groups(&cond, &[w.clone()]);
+        let groups = independent_groups(&cond, std::slice::from_ref(&w));
         assert_eq!(groups.len(), 2);
         let lonely = groups.iter().find(|g| g.atoms.is_empty()).unwrap();
         assert_eq!(lonely.vars[0].key, w.key);

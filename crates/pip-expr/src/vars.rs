@@ -11,8 +11,8 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use pip_dist::{DistRef, DistributionRegistry};
 use pip_core::Result;
+use pip_dist::{DistRef, DistributionRegistry};
 
 /// Unique variable identifier, allocated by [`VarId::fresh`] or assigned
 /// explicitly by test/workload code.

@@ -95,12 +95,12 @@ pub fn presence_probability(t: &BundleTable) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pip_core::{DataType, Schema, Value};
-    use pip_dist::prelude::builtin;
-    use pip_expr::{atoms, Conjunction, Equation, RandomVar};
-    use pip_ctable::{CRow, CTable};
     use crate::bundle::BundleTable;
     use crate::ops::filter_cmp_const;
+    use pip_core::{DataType, Schema, Value};
+    use pip_ctable::{CRow, CTable};
+    use pip_dist::prelude::builtin;
+    use pip_expr::{atoms, Conjunction, Equation, RandomVar};
 
     fn uniform_table(n_worlds: usize) -> (BundleTable, RandomVar) {
         let y = RandomVar::create(builtin::uniform(), &[0.0, 1.0]).unwrap();

@@ -15,7 +15,7 @@ impl Bitmap {
     /// All-ones bitmap of length `len` (present in every world).
     pub fn ones(len: usize) -> Self {
         let mut words = vec![u64::MAX; len.div_ceil(64)];
-        if len % 64 != 0 {
+        if !len.is_multiple_of(64) {
             if let Some(last) = words.last_mut() {
                 *last = (1u64 << (len % 64)) - 1;
             }

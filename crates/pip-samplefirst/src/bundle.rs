@@ -179,9 +179,9 @@ impl BundleTable {
 mod tests {
     use super::*;
     use pip_core::{tuple, DataType};
+    use pip_ctable::CRow;
     use pip_dist::prelude::builtin;
     use pip_expr::{atoms, Conjunction, Equation, RandomVar};
-    use pip_ctable::CRow;
 
     #[test]
     fn instantiate_deterministic_table() {

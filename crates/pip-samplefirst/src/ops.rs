@@ -100,9 +100,7 @@ pub fn equi_join(
             let matches = l_idx
                 .iter()
                 .zip(&r_idx)
-                .map(|(&li, &ri)| {
-                    Ok(lb.cells[li].as_det()?.sql_eq(rb.cells[ri].as_det()?))
-                })
+                .map(|(&li, &ri)| Ok(lb.cells[li].as_det()?.sql_eq(rb.cells[ri].as_det()?)))
                 .collect::<Result<Vec<bool>>>()?
                 .into_iter()
                 .all(|m| m);
@@ -133,10 +131,10 @@ where
     let mut out = BundleTable::new(schema, t.n_worlds());
     for b in t.bundles() {
         let mut xs = vec![0.0; t.n_worlds()];
-        for w in 0..t.n_worlds() {
+        for (w, x) in xs.iter_mut().enumerate() {
             // Values are computed for every world, present or not —
             // faithfully paying the sample-first cost.
-            xs[w] = f(b, w)?;
+            *x = f(b, w)?;
         }
         let mut cells = b.cells.clone();
         cells.push(BundleCell::Sampled(Arc::new(xs)));
@@ -150,10 +148,7 @@ where
 
 /// Keep only the named columns.
 pub fn project(t: &BundleTable, cols: &[&str]) -> Result<BundleTable> {
-    let idx = cols
-        .iter()
-        .map(|c| t.col(c))
-        .collect::<Result<Vec<_>>>()?;
+    let idx = cols.iter().map(|c| t.col(c)).collect::<Result<Vec<_>>>()?;
     let schema = t.schema().project(cols)?;
     let mut out = BundleTable::new(schema, t.n_worlds());
     for b in t.bundles() {
@@ -191,9 +186,9 @@ pub fn partition_det(t: &BundleTable, col: &str) -> Result<Vec<(Value, BundleTab
 mod tests {
     use super::*;
     use pip_core::tuple;
+    use pip_ctable::{CRow, CTable};
     use pip_dist::prelude::builtin;
     use pip_expr::{Equation, RandomVar};
-    use pip_ctable::{CRow, CTable};
 
     fn sampled_table(n_worlds: usize) -> (BundleTable, RandomVar) {
         let y = RandomVar::create(builtin::uniform(), &[0.0, 1.0]).unwrap();
@@ -255,11 +250,11 @@ mod tests {
         assert_eq!(j.len(), 1);
         assert_eq!(j.schema().len(), 2);
         assert_eq!(j.bundles()[0].presence.count(), 8);
-        let bad = BundleTable::instantiate(&CTable::from_tuples(
-            Schema::of(&[("k", DataType::Str)]),
-            &[],
+        let bad = BundleTable::instantiate(
+            &CTable::from_tuples(Schema::of(&[("k", DataType::Str)]), &[]).unwrap(),
+            4,
+            3,
         )
-        .unwrap(), 4, 3)
         .unwrap();
         assert!(equi_join(&l, &bad, &[("k", "k")]).is_err());
     }

@@ -13,8 +13,8 @@ use pip_core::{PipError, Result};
 
 use pip_ctable::CTable;
 
-use crate::config::SamplerConfig;
 use crate::confidence::conf;
+use crate::config::SamplerConfig;
 use crate::expectation::expectation;
 use crate::worlds::sample_worlds;
 
@@ -39,6 +39,14 @@ fn column_exprs<'t>(table: &'t CTable, col: &str) -> Result<(usize, &'t CTable)>
 /// Per-row sample budgets are relaxed by √N (law of large numbers: the
 /// per-row errors average out in the sum, Section IV-C).
 pub fn expected_sum(table: &CTable, col: &str, cfg: &SamplerConfig) -> Result<AggregateResult> {
+    if cfg.threads > 1 {
+        return crate::parallel::expected_sum_parallel(
+            table,
+            col,
+            cfg,
+            crate::parallel::ParallelSampler::global(),
+        );
+    }
     let (idx, table) = column_exprs(table, col)?;
     let row_cfg = cfg.scaled_for_rows(table.len());
     let mut total = 0.0;
@@ -59,6 +67,13 @@ pub fn expected_sum(table: &CTable, col: &str, cfg: &SamplerConfig) -> Result<Ag
 
 /// `expected_count()` — Σ rows P[φ] (the `h ≡ 1` special case).
 pub fn expected_count(table: &CTable, cfg: &SamplerConfig) -> Result<AggregateResult> {
+    if cfg.threads > 1 {
+        return crate::parallel::expected_count_parallel(
+            table,
+            cfg,
+            crate::parallel::ParallelSampler::global(),
+        );
+    }
     let mut total = 0.0;
     for (i, row) in table.rows().iter().enumerate() {
         total += conf(&row.condition, cfg, i as u64)?;
@@ -106,6 +121,15 @@ pub fn expected_max_const(
     cfg: &SamplerConfig,
     precision: f64,
 ) -> Result<AggregateResult> {
+    if cfg.threads > 1 {
+        return crate::parallel::expected_max_const_parallel(
+            table,
+            col,
+            cfg,
+            precision,
+            crate::parallel::ParallelSampler::global(),
+        );
+    }
     let (idx, table) = column_exprs(table, col)?;
     let mut rows: Vec<(f64, usize)> = Vec::with_capacity(table.len());
     for (i, row) in table.rows().iter().enumerate() {
@@ -164,7 +188,10 @@ enum WorldAgg {
     Max,
 }
 
-/// Evaluate `col` in every sampled world, aggregating across present rows.
+/// Evaluate `col` in every sampled world, aggregating across present
+/// rows. Worlds are independent (world `i` is seeded by `i` alone), so
+/// with `cfg.threads > 1` their evaluation fans out onto the shared
+/// [`crate::parallel::ParallelSampler`]; outputs stay in world order.
 fn per_world_aggregate(
     table: &CTable,
     col: &str,
@@ -174,8 +201,7 @@ fn per_world_aggregate(
 ) -> Result<Vec<f64>> {
     let idx = table.schema().index_of(col)?;
     let worlds = sample_worlds(table, n_worlds, cfg)?;
-    let mut out = Vec::with_capacity(worlds.len());
-    for w in &worlds {
+    let eval_world = |w: &pip_expr::Assignment| -> Result<f64> {
         let mut acc: Option<f64> = None;
         for row in table.rows() {
             if !row.condition.eval(w)? {
@@ -188,9 +214,16 @@ fn per_world_aggregate(
                 (Some(a), WorldAgg::Max) => a.max(v),
             });
         }
-        out.push(acc.unwrap_or(0.0));
+        Ok(acc.unwrap_or(0.0))
+    };
+    if cfg.threads > 1 {
+        let pool = crate::parallel::ParallelSampler::global();
+        return pool
+            .run(cfg.threads, worlds.len(), |i| eval_world(&worlds[i]))
+            .into_iter()
+            .collect();
     }
-    Ok(out)
+    worlds.iter().map(eval_world).collect()
 }
 
 /// `expected_sum_hist(col)` — the raw per-world sums (paper Section V-C:
@@ -219,10 +252,10 @@ pub fn expected_max_hist(
 mod tests {
     use super::*;
     use pip_core::{DataType, Schema};
+    use pip_ctable::CRow;
     use pip_dist::prelude::builtin;
     use pip_dist::special;
     use pip_expr::{atoms, Conjunction, Equation, RandomVar};
-    use pip_ctable::CRow;
 
     fn normal(mu: f64, sigma: f64) -> RandomVar {
         RandomVar::create(builtin::normal(), &[mu, sigma]).unwrap()
@@ -245,7 +278,11 @@ mod tests {
         .unwrap();
         let cfg = SamplerConfig::default();
         let r = expected_sum(&t, "v", &cfg).unwrap();
-        assert!((r.value - 10.0).abs() < 1e-9, "exact mean path: {}", r.value);
+        assert!(
+            (r.value - 10.0).abs() < 1e-9,
+            "exact mean path: {}",
+            r.value
+        );
     }
 
     #[test]
@@ -336,12 +373,7 @@ mod tests {
         };
         CTable::new(
             sym_schema(),
-            vec![
-                mk(5.0, 0.7),
-                mk(4.0, 0.8),
-                mk(1.0, 0.3),
-                mk(0.0, 0.6),
-            ],
+            vec![mk(5.0, 0.7), mk(4.0, 0.8), mk(1.0, 0.3), mk(0.0, 0.6)],
         )
         .unwrap()
     }
@@ -405,6 +437,47 @@ mod tests {
         let cfg = SamplerConfig::default();
         let r = expected_max_sampled(&t, "v", &cfg, 3000).unwrap();
         assert!((r.value - 3.0).abs() < 0.1, "{}", r.value);
+    }
+
+    #[test]
+    fn thread_count_never_changes_aggregate_results() {
+        let y = normal(2.0, 1.0);
+        let gate = normal(0.0, 1.0);
+        let t = CTable::new(
+            sym_schema(),
+            vec![
+                CRow::unconditional(vec![Equation::from(y.clone())]),
+                CRow::new(
+                    vec![Equation::from(y)],
+                    Conjunction::single(atoms::gt(Equation::from(gate), 0.3)),
+                ),
+            ],
+        )
+        .unwrap();
+        let serial = SamplerConfig::fixed_samples(300);
+        for threads in [2usize, 4, 8] {
+            let par = serial.clone().with_threads(threads);
+            assert_eq!(
+                expected_sum(&t, "v", &serial).unwrap(),
+                expected_sum(&t, "v", &par).unwrap(),
+                "expected_sum, threads={threads}"
+            );
+            assert_eq!(
+                expected_count(&t, &serial).unwrap(),
+                expected_count(&t, &par).unwrap(),
+                "expected_count, threads={threads}"
+            );
+            assert_eq!(
+                expected_avg(&t, "v", &serial).unwrap(),
+                expected_avg(&t, "v", &par).unwrap(),
+                "expected_avg, threads={threads}"
+            );
+            assert_eq!(
+                expected_sum_hist(&t, "v", &serial, 64).unwrap(),
+                expected_sum_hist(&t, "v", &par, 64).unwrap(),
+                "expected_sum_hist, threads={threads}"
+            );
+        }
     }
 
     #[test]

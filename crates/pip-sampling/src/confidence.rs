@@ -155,10 +155,7 @@ mod tests {
         // P[Y1 > Y2] for iid normals = 0.5 — needs sampling.
         let y1 = normal();
         let y2 = normal();
-        let cond = Conjunction::single(atoms::gt(
-            Equation::from(y1),
-            Equation::from(y2),
-        ));
+        let cond = Conjunction::single(atoms::gt(Equation::from(y1), Equation::from(y2)));
         let cfg = SamplerConfig::fixed_samples(4000);
         let p = conf(&cond, &cfg, 3).unwrap();
         assert!((p - 0.5).abs() < 0.05, "{p}");
@@ -177,10 +174,7 @@ mod tests {
     #[test]
     fn aconf_single_disjunct_defers_to_conf() {
         let y = normal();
-        let d = Dnf::of(vec![Conjunction::single(atoms::gt(
-            Equation::from(y),
-            1.0,
-        ))]);
+        let d = Dnf::of(vec![Conjunction::single(atoms::gt(Equation::from(y), 1.0))]);
         let cfg = SamplerConfig::default();
         let p = aconf(&d, &cfg, 4).unwrap();
         assert!((p - (1.0 - special::normal_cdf(1.0))).abs() < 1e-9);

@@ -36,6 +36,17 @@ pub struct SamplerConfig {
     pub use_exact_cdf: bool,
     /// Seed from which all per-world, per-variable generator seeds derive.
     pub world_seed: u64,
+    /// Worker threads for the parallel Monte-Carlo runtime. `1` keeps
+    /// every operator on the caller's thread; `> 1` routes aggregate and
+    /// confidence heads through [`crate::parallel`]. Results are
+    /// bit-identical for every thread count (per-row / per-chunk RNG
+    /// streams are derived from `(world_seed, site)` alone).
+    pub threads: usize,
+    /// Samples per work chunk in the chunked expectation executor
+    /// ([`crate::parallel::expectation_chunked`]). Chunk boundaries are
+    /// part of the result's definition: the adaptive stopping rule is
+    /// evaluated at chunk granularity, in chunk order.
+    pub chunk_samples: usize,
 }
 
 impl Default for SamplerConfig {
@@ -54,6 +65,8 @@ impl Default for SamplerConfig {
             use_metropolis: true,
             use_exact_cdf: true,
             world_seed: 0x5151_5151,
+            threads: 1,
+            chunk_samples: 128,
         }
     }
 }
@@ -73,6 +86,13 @@ impl SamplerConfig {
     /// Change the seed (distinct trials in the benchmarks).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.world_seed = seed;
+        self
+    }
+
+    /// Change the worker-thread count for the parallel runtime. Thread
+    /// count never changes results, only wall-clock time.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
         self
     }
 
@@ -99,8 +119,7 @@ impl SamplerConfig {
         let factor = (n_rows.max(1) as f64).sqrt();
         SamplerConfig {
             delta: self.delta * factor,
-            max_samples: ((self.max_samples as f64 / factor).ceil() as usize)
-                .max(self.min_samples),
+            max_samples: ((self.max_samples as f64 / factor).ceil() as usize).max(self.min_samples),
             ..self.clone()
         }
     }
@@ -147,6 +166,15 @@ mod tests {
         assert!((s.delta - c.delta * 10.0).abs() < 1e-12);
         assert!(s.max_samples <= c.max_samples);
         assert!(s.max_samples >= s.min_samples);
+    }
+
+    #[test]
+    fn threads_default_serial_and_clamped() {
+        let c = SamplerConfig::default();
+        assert_eq!(c.threads, 1);
+        assert!(c.chunk_samples > 0);
+        assert_eq!(c.clone().with_threads(0).threads, 1);
+        assert_eq!(c.clone().with_threads(8).threads, 8);
     }
 
     #[test]

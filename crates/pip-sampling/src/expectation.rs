@@ -17,7 +17,7 @@
 //!    off expression-disjoint groups exactly via CDF where possible
 //!    (lines 29–35).
 
-use pip_core::{Result};
+use pip_core::Result;
 use pip_dist::{mix64, rng_from_seed, PipRng};
 use pip_expr::{independent_groups, Assignment, Conjunction, Equation};
 
@@ -43,7 +43,7 @@ pub struct ExpectationResult {
 }
 
 impl ExpectationResult {
-    fn nan() -> Self {
+    pub(crate) fn nan() -> Self {
         ExpectationResult {
             expectation: f64::NAN,
             probability: 0.0,
@@ -54,18 +54,35 @@ impl ExpectationResult {
     }
 }
 
-/// State shared by [`expectation`] and the histogram variant.
-struct Prepared {
-    samplers: Vec<GroupSampler>,
+/// State shared by [`expectation`], the histogram variant, and the
+/// chunked parallel executor in [`crate::parallel`].
+pub(crate) struct Prepared {
+    pub(crate) samplers: Vec<GroupSampler>,
     /// Indices of samplers relevant to the expression (must be sampled in
     /// the averaging loop).
-    relevant: Vec<usize>,
-    bounds: BoundsMap,
-    condition: Conjunction,
+    pub(crate) relevant: Vec<usize>,
+    pub(crate) bounds: BoundsMap,
+    pub(crate) condition: Conjunction,
+}
+
+impl Prepared {
+    /// Fresh, state-free samplers over the same groups and bounds — the
+    /// chunked executor gives every chunk its own sampler state so chunk
+    /// results depend only on the chunk's RNG stream.
+    pub(crate) fn fresh_samplers(&self, cfg: &SamplerConfig) -> Vec<GroupSampler> {
+        self.samplers
+            .iter()
+            .map(|s| GroupSampler::new(s.group.clone(), &self.bounds, cfg))
+            .collect()
+    }
 }
 
 /// Consistency + grouping + strategy selection (lines 1–10).
-fn prepare(expr: &Equation, condition: &Conjunction, cfg: &SamplerConfig) -> Option<Prepared> {
+pub(crate) fn prepare(
+    expr: &Equation,
+    condition: &Conjunction,
+    cfg: &SamplerConfig,
+) -> Option<Prepared> {
     let (condition, truth) = condition.simplify();
     if truth == pip_expr::Truth::False {
         return None;
@@ -122,6 +139,31 @@ fn rng_for_site(cfg: &SamplerConfig, site: u64) -> PipRng {
     rng_from_seed(mix64(cfg.world_seed ^ site))
 }
 
+/// Exact shortcut (linearity of expectation): an unconstrained affine
+/// expression `c + Σ aᵢXᵢ` has expectation `c + Σ aᵢ·E[Xᵢ]` whenever
+/// every class exposes its mean — no sampling at all. Shared with the
+/// chunked parallel executor, which must take the same fast path to stay
+/// bit-identical with the serial operator.
+pub(crate) fn linear_exact(expr: &Equation, prep: &Prepared, cfg: &SamplerConfig) -> Option<f64> {
+    if !prep.condition.is_trivially_true() || !cfg.use_exact_cdf {
+        return None;
+    }
+    let (coeffs, c) = expr.linear_coeffs()?;
+    let mut acc = Some(c);
+    let vars = expr.variables();
+    for (key, a) in &coeffs {
+        let mean = vars
+            .iter()
+            .find(|v| v.key == *key)
+            .and_then(|v| v.class.mean(&v.params));
+        acc = match (acc, mean) {
+            (Some(t), Some(m)) => Some(t + a * m),
+            _ => None,
+        };
+    }
+    acc
+}
+
 /// Compute `E[expr | condition]` and optionally `P[condition]`.
 ///
 /// `site` seeds the operator deterministically (use e.g. the row index).
@@ -157,33 +199,14 @@ pub fn expectation(
         });
     }
 
-    // Exact shortcut (linearity of expectation): an unconstrained affine
-    // expression `c + Σ aᵢXᵢ` has expectation `c + Σ aᵢ·E[Xᵢ]` whenever
-    // every class exposes its mean — no sampling at all.
-    if prep.condition.is_trivially_true() && cfg.use_exact_cdf {
-        if let Some((coeffs, c)) = expr.linear_coeffs() {
-            let mut acc = Some(c);
-            let vars = expr.variables();
-            for (key, a) in &coeffs {
-                let mean = vars
-                    .iter()
-                    .find(|v| v.key == *key)
-                    .and_then(|v| v.class.mean(&v.params));
-                acc = match (acc, mean) {
-                    (Some(t), Some(m)) => Some(t + a * m),
-                    _ => None,
-                };
-            }
-            if let Some(expectation) = acc {
-                return Ok(ExpectationResult {
-                    expectation,
-                    probability: 1.0,
-                    n_samples: 0,
-                    std_error: 0.0,
-                    used_metropolis: false,
-                });
-            }
-        }
+    if let Some(expectation) = linear_exact(&expr, &prep, cfg) {
+        return Ok(ExpectationResult {
+            expectation,
+            probability: 1.0,
+            n_samples: 0,
+            std_error: 0.0,
+            used_metropolis: false,
+        });
     }
 
     // Averaging loop (lines 11–28).
@@ -247,7 +270,7 @@ pub fn expectation(
 /// `P[C]` as the product over independent groups (lines 29–35):
 /// already-sampled groups contribute their acceptance estimate; the rest
 /// use the exact CDF path when available and sampling otherwise.
-fn condition_probability(
+pub(crate) fn condition_probability(
     prep: &mut Prepared,
     already_sampled: &[usize],
     cfg: &SamplerConfig,
@@ -457,9 +480,11 @@ mod tests {
             atoms::gt(Equation::from(z.clone()), 5.0),
             atoms::lt(Equation::from(z), 3.0),
         ]);
-        assert!(expectation_samples(&Equation::val(1.0), &dead, 10, &cfg, 10)
-            .unwrap()
-            .is_empty());
+        assert!(
+            expectation_samples(&Equation::val(1.0), &dead, 10, &cfg, 10)
+                .unwrap()
+                .is_empty()
+        );
     }
 
     #[test]

@@ -27,11 +27,12 @@
 //! ```
 
 pub mod aggregate;
-pub mod config;
 pub mod confidence;
+pub mod config;
 pub mod expectation;
 pub mod histogram;
 pub mod metropolis;
+pub mod parallel;
 pub mod strategy;
 pub mod worlds;
 
@@ -39,23 +40,25 @@ pub use aggregate::{
     expected_avg, expected_count, expected_max_const, expected_max_hist, expected_max_sampled,
     expected_sum, expected_sum_hist, AggregateResult,
 };
-pub use config::SamplerConfig;
 pub use confidence::{aconf, conf};
+pub use config::SamplerConfig;
 pub use expectation::{expectation, expectation_samples, ExpectationResult};
 pub use histogram::{quantile, Histogram};
+pub use parallel::{expectation_chunked, ChunkAccumulator, ParallelSampler};
 pub use strategy::{exact_group_probability, GroupSampler};
 pub use worlds::sample_worlds;
 
 /// Glob-import surface.
 pub mod prelude {
     pub use crate::aggregate::{
-        expected_avg, expected_count, expected_max_const, expected_max_hist,
-        expected_max_sampled, expected_sum, expected_sum_hist, AggregateResult,
+        expected_avg, expected_count, expected_max_const, expected_max_hist, expected_max_sampled,
+        expected_sum, expected_sum_hist, AggregateResult,
     };
-    pub use crate::config::SamplerConfig;
     pub use crate::confidence::{aconf, conf};
+    pub use crate::config::SamplerConfig;
     pub use crate::expectation::{expectation, expectation_samples, ExpectationResult};
     pub use crate::histogram::{quantile, Histogram};
+    pub use crate::parallel::{expectation_chunked, ChunkAccumulator, ParallelSampler};
     pub use crate::strategy::{exact_group_probability, GroupSampler};
     pub use crate::worlds::sample_worlds;
 }

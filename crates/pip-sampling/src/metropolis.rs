@@ -8,7 +8,7 @@
 //! `W = n / (1 − P[reject])`.
 
 use pip_core::{PipError, Result};
-use pip_dist::{PipRng, special};
+use pip_dist::{special, PipRng};
 use pip_expr::{Assignment, VarGroup};
 use rand::Rng;
 
@@ -213,10 +213,10 @@ impl MetropolisState {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pip_ctable::{consistency_check, Consistency};
     use pip_dist::prelude::builtin;
     use pip_dist::rng_from_seed;
     use pip_expr::{atoms, Equation, RandomVar};
-    use pip_ctable::{consistency_check, Consistency};
 
     fn group_tail() -> (VarGroup, RandomVar) {
         // Y ~ Normal(0,1), condition Y > 2.3 (P ≈ 0.0107 — heavy rejection).

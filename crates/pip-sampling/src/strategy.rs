@@ -188,11 +188,12 @@ impl GroupSampler {
                     Ok(m) => {
                         self.frozen = Some((self.attempts, self.accepts));
                         self.metropolis = Some(m);
-                        return self
-                            .metropolis
-                            .as_mut()
-                            .expect("just set")
-                            .sample_into(&self.group, rng, cfg.metropolis_thinning, out);
+                        return self.metropolis.as_mut().expect("just set").sample_into(
+                            &self.group,
+                            rng,
+                            cfg.metropolis_thinning,
+                            out,
+                        );
                     }
                     Err(_) => {
                         // No PDF or no start point: keep rejecting (the
@@ -360,12 +361,13 @@ mod tests {
         let y = RandomVar::create(builtin::normal(), &[5.0, 1.0]).unwrap();
         let cfg = SamplerConfig::default();
         let cond = Conjunction::top();
-        let groups = independent_groups(&cond, &[y.clone()]);
+        let groups = independent_groups(&cond, std::slice::from_ref(&y));
         let mut s = GroupSampler::new(groups.into_iter().next().unwrap(), &BoundsMap::new(), &cfg);
         let mut rng = rng_from_seed(1);
         let mut a = Assignment::new();
         for _ in 0..100 {
-            s.sample_into(&mut rng, &cfg, &BoundsMap::new(), &mut a).unwrap();
+            s.sample_into(&mut rng, &cfg, &BoundsMap::new(), &mut a)
+                .unwrap();
             assert!(a.get(y.key).unwrap().is_finite());
         }
         assert_eq!(s.accepts, 100);
@@ -496,8 +498,10 @@ mod tests {
         // must fire.
         let y = RandomVar::create(builtin::normal(), &[0.0, 1.0]).unwrap();
         let cond = Conjunction::single(atoms::gt(Equation::from(y.clone()), 4.0));
-        let mut cfg = SamplerConfig::default();
-        cfg.use_cdf_sampling = false;
+        let cfg = SamplerConfig {
+            use_cdf_sampling: false,
+            ..Default::default()
+        };
         let (mut samplers, bounds) = make(&cond, &cfg);
         let s = &mut samplers[0];
         let mut rng = rng_from_seed(5);

@@ -39,9 +39,9 @@ pub fn sample_worlds(table: &CTable, n: usize, cfg: &SamplerConfig) -> Result<Ve
 mod tests {
     use super::*;
     use pip_core::{DataType, Schema};
+    use pip_ctable::CRow;
     use pip_dist::prelude::builtin;
     use pip_expr::{atoms, Conjunction, Equation, RandomVar};
-    use pip_ctable::CRow;
 
     #[test]
     fn worlds_cover_all_variables_consistently() {

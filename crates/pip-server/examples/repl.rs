@@ -1,0 +1,144 @@
+//! Interactive REPL for the PIP query service.
+//!
+//! ```text
+//! cargo run -p pip-server --example repl            # in-process demo server
+//! cargo run -p pip-server --example repl -- --serve 127.0.0.1:7app
+//! cargo run -p pip-server --example repl -- 127.0.0.1:7777   # connect only
+//! ```
+//!
+//! With no arguments a demo server is started on a loopback port and
+//! pre-loaded with the paper's running example (uncertain order prices
+//! and shipping durations), then the REPL connects to it over TCP like
+//! any other client. Raw SQL input is wrapped in a `QUERY` command;
+//! protocol commands (`PREPARE`, `EXEC`, `SET`, `STATS`, `PING`,
+//! `QUIT`) pass through unchanged.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use pip_engine::Database;
+use pip_sampling::SamplerConfig;
+use pip_server::server::{serve, ServerOptions};
+
+/// The paper's running example: orders with uncertain prices, shipping
+/// legs with uncertain durations.
+fn demo_database() -> Arc<Database> {
+    let db = Arc::new(Database::new());
+    let cfg = SamplerConfig::default();
+    for stmt in [
+        "CREATE TABLE orders (cust TEXT, ship_to TEXT, price SYMBOLIC)",
+        "CREATE TABLE shipping (dest TEXT, duration SYMBOLIC)",
+        "INSERT INTO orders VALUES \
+         ('Joe', 'NY', create_variable('Normal', 100, 10)), \
+         ('Bob', 'LA', create_variable('Normal', 50, 5))",
+        "INSERT INTO shipping VALUES \
+         ('NY', create_variable('Normal', 5, 2)), \
+         ('LA', create_variable('Normal', 9, 2))",
+    ] {
+        pip_engine::sql::run(&db, stmt, &cfg).expect("demo data");
+    }
+    db
+}
+
+const KNOWN_COMMANDS: [&str; 9] = [
+    "QUERY",
+    "PREPARE",
+    "EXEC",
+    "EXECUTE",
+    "DEALLOCATE",
+    "SET",
+    "STATS",
+    "PING",
+    "QUIT",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (server, addr) = match args.as_slice() {
+        [] => {
+            let handle = serve(demo_database(), "127.0.0.1:0", ServerOptions::default())
+                .expect("start demo server");
+            let addr = handle.addr();
+            eprintln!("demo server listening on {addr}");
+            eprintln!("try: SELECT expected_sum(price) FROM orders, shipping");
+            eprintln!("     WHERE ship_to = dest AND cust = 'Joe' AND duration >= 7");
+            (Some(handle), addr)
+        }
+        [flag, addr] if flag == "--serve" => {
+            let handle = serve(demo_database(), addr.as_str(), ServerOptions::default())
+                .expect("start server");
+            let bound = handle.addr();
+            eprintln!("serving demo catalog on {bound}; press ctrl-c to stop");
+            // Serve-only mode: block forever.
+            loop {
+                std::thread::park();
+            }
+        }
+        [addr] => (None, addr.parse().expect("address must be host:port")),
+        _ => {
+            eprintln!("usage: repl [ADDR | --serve ADDR]");
+            std::process::exit(2);
+        }
+    };
+
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    let mut banner = String::new();
+    reader.read_line(&mut banner).expect("banner");
+    print!("{banner}");
+
+    let stdin = std::io::stdin();
+    let interactive = args.is_empty() || args.len() == 1;
+    loop {
+        if interactive {
+            print!("pip> ");
+            std::io::stdout().flush().ok();
+        }
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break; // EOF
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        // Bare SQL is sugar for `QUERY <sql>`.
+        let first_word = trimmed
+            .split_whitespace()
+            .next()
+            .unwrap_or("")
+            .to_ascii_uppercase();
+        let request = if KNOWN_COMMANDS.contains(&first_word.as_str()) {
+            trimmed.to_string()
+        } else {
+            format!("QUERY {trimmed}")
+        };
+        writer
+            .write_all(format!("{request}\n").as_bytes())
+            .expect("send");
+
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("recv");
+        print!("{reply}");
+        let is_table = reply.starts_with("OK") && reply.contains(" rows ");
+        if is_table {
+            loop {
+                let mut row = String::new();
+                reader.read_line(&mut row).expect("recv row");
+                print!("{row}");
+                if row.trim_end() == "END" {
+                    break;
+                }
+            }
+        }
+        if reply.starts_with("BYE") {
+            break;
+        }
+    }
+
+    if let Some(handle) = server {
+        handle.shutdown();
+    }
+}

@@ -1,0 +1,316 @@
+//! The line-oriented wire protocol.
+//!
+//! Requests are single lines; keywords are case-insensitive:
+//!
+//! ```text
+//! QUERY <sql>              run one SQL statement
+//! PREPARE <name> AS <sql>  parse + plan a SELECT once
+//! EXEC <name>              run a prepared statement
+//! DEALLOCATE <name>        forget a prepared statement
+//! SET <key> <value>        THREADS | SEED | SAMPLES | EPSILON | DELTA
+//! STATS                    session counters and sampler settings
+//! PING                     liveness probe
+//! QUIT                     close the connection
+//! ```
+//!
+//! Result-set responses are `OK <n> rows (<fresh|cached>)`, a tab
+//! separated header line, one line per row (rows still carrying a
+//! non-trivial c-table condition render it after an `IF`), then `END`.
+//! All other successes answer with a single `OK ...` line; failures
+//! answer `ERR <message>` and keep the connection open.
+
+use pip_ctable::CTable;
+
+use crate::session::Session;
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    Query(String),
+    Prepare { name: String, sql: String },
+    Exec(String),
+    Deallocate(String),
+    Set { key: String, value: String },
+    Stats,
+    Ping,
+    Quit,
+}
+
+/// Parse one request line.
+pub fn parse_command(line: &str) -> Result<Command, String> {
+    let line = line.trim();
+    let (word, rest) = match line.split_once(char::is_whitespace) {
+        Some((w, r)) => (w, r.trim()),
+        None => (line, ""),
+    };
+    match word.to_ascii_uppercase().as_str() {
+        "QUERY" if !rest.is_empty() => Ok(Command::Query(rest.to_string())),
+        "QUERY" => Err("QUERY requires a SQL statement".into()),
+        "PREPARE" => {
+            // PREPARE <name> AS <sql>
+            let (name, tail) = rest
+                .split_once(char::is_whitespace)
+                .ok_or("usage: PREPARE <name> AS <sql>")?;
+            let tail = tail.trim();
+            let sql = tail
+                .strip_prefix("AS ")
+                .or_else(|| tail.strip_prefix("as "))
+                .or_else(|| tail.strip_prefix("As "))
+                .or_else(|| tail.strip_prefix("aS "))
+                .ok_or("usage: PREPARE <name> AS <sql>")?;
+            Ok(Command::Prepare {
+                name: name.to_string(),
+                sql: sql.trim().to_string(),
+            })
+        }
+        "EXEC" | "EXECUTE" if !rest.is_empty() => Ok(Command::Exec(rest.to_string())),
+        "EXEC" | "EXECUTE" => Err("usage: EXEC <name>".into()),
+        "DEALLOCATE" if !rest.is_empty() => Ok(Command::Deallocate(rest.to_string())),
+        "DEALLOCATE" => Err("usage: DEALLOCATE <name>".into()),
+        "SET" => {
+            let (key, value) = rest
+                .split_once(char::is_whitespace)
+                .ok_or("usage: SET <key> <value>")?;
+            Ok(Command::Set {
+                key: key.to_ascii_uppercase(),
+                value: value.trim().to_string(),
+            })
+        }
+        "STATS" => Ok(Command::Stats),
+        "PING" => Ok(Command::Ping),
+        "QUIT" | "EXIT" => Ok(Command::Quit),
+        "" => Err("empty request".into()),
+        other => Err(format!(
+            "unknown command '{other}' (try QUERY/PREPARE/EXEC/SET/STATS/PING/QUIT)"
+        )),
+    }
+}
+
+/// One protocol reply: response text (one or more `\n`-terminated
+/// lines) plus whether the connection should close.
+pub struct Reply {
+    pub text: String,
+    pub close: bool,
+}
+
+impl Reply {
+    fn line(text: impl Into<String>) -> Reply {
+        Reply {
+            text: format!("{}\n", text.into()),
+            close: false,
+        }
+    }
+
+    fn err(msg: impl std::fmt::Display) -> Reply {
+        let one_line = msg.to_string().replace('\n', "; ");
+        Reply::line(format!("ERR {one_line}"))
+    }
+}
+
+/// Render a result table as the multi-line `OK ... END` block.
+fn render_table(table: &CTable, cached: bool) -> String {
+    let mut out = String::new();
+    let freshness = if cached { "cached" } else { "fresh" };
+    out.push_str(&format!("OK {} rows ({freshness})\n", table.len()));
+    let header: Vec<&str> = table
+        .schema()
+        .columns()
+        .iter()
+        .map(|c| c.name.as_str())
+        .collect();
+    out.push_str(&header.join("\t"));
+    out.push('\n');
+    for row in table.rows() {
+        let cells: Vec<String> = row.cells.iter().map(|c| format!("{c}")).collect();
+        out.push_str(&cells.join("\t"));
+        if !row.condition.is_trivially_true() {
+            out.push_str(&format!("\tIF {}", row.condition));
+        }
+        out.push('\n');
+    }
+    out.push_str("END\n");
+    out
+}
+
+fn apply_set(session: &mut Session, key: &str, value: &str) -> Result<String, String> {
+    match key {
+        "THREADS" => {
+            let n: usize = value.parse().map_err(|_| "THREADS expects an integer")?;
+            session.cfg = session.cfg.clone().with_threads(n);
+            Ok(format!("OK threads={}", session.cfg.threads))
+        }
+        "SEED" => {
+            let n: u64 = value.parse().map_err(|_| "SEED expects an integer")?;
+            session.cfg.world_seed = n;
+            Ok(format!("OK seed={n}"))
+        }
+        "SAMPLES" => {
+            let n: usize = value.parse().map_err(|_| "SAMPLES expects an integer")?;
+            if n == 0 {
+                return Err("SAMPLES must be positive".into());
+            }
+            session.cfg.min_samples = n;
+            session.cfg.max_samples = n;
+            Ok(format!("OK samples={n}"))
+        }
+        "EPSILON" => {
+            let x: f64 = value.parse().map_err(|_| "EPSILON expects a number")?;
+            if !(0.0..1.0).contains(&x) || x == 0.0 {
+                return Err("EPSILON must be in (0, 1)".into());
+            }
+            session.cfg.epsilon = x;
+            Ok(format!("OK epsilon={x}"))
+        }
+        "DELTA" => {
+            let x: f64 = value.parse().map_err(|_| "DELTA expects a number")?;
+            if x <= 0.0 {
+                return Err("DELTA must be positive".into());
+            }
+            session.cfg.delta = x;
+            Ok(format!("OK delta={x}"))
+        }
+        other => Err(format!(
+            "unknown setting '{other}' (THREADS, SEED, SAMPLES, EPSILON, DELTA)"
+        )),
+    }
+}
+
+/// Execute one request line against a session.
+pub fn handle_line(session: &mut Session, line: &str) -> Reply {
+    let cmd = match parse_command(line) {
+        Ok(c) => c,
+        Err(e) => return Reply::err(e),
+    };
+    match cmd {
+        Command::Query(sql) => match session.query(&sql) {
+            Ok(r) => Reply {
+                text: render_table(&r.table, r.cached),
+                close: false,
+            },
+            Err(e) => Reply::err(e),
+        },
+        Command::Prepare { name, sql } => match session.prepare(&name, &sql) {
+            Ok(()) => Reply::line(format!("OK prepared {name}")),
+            Err(e) => Reply::err(e),
+        },
+        Command::Exec(name) => match session.exec_prepared(&name) {
+            Ok(r) => Reply {
+                text: render_table(&r.table, r.cached),
+                close: false,
+            },
+            Err(e) => Reply::err(e),
+        },
+        Command::Deallocate(name) => match session.deallocate(&name) {
+            Ok(()) => Reply::line(format!("OK deallocated {name}")),
+            Err(e) => Reply::err(e),
+        },
+        Command::Set { key, value } => match apply_set(session, &key, &value) {
+            Ok(msg) => Reply::line(msg),
+            Err(e) => Reply::err(e),
+        },
+        Command::Stats => {
+            let s = session.stats();
+            Reply::line(format!(
+                "OK session={} queries={} cache_hits={} prepared={} threads={} seed={} samples={}..{}",
+                session.id(),
+                s.queries,
+                s.cache_hits,
+                s.prepared,
+                session.cfg.threads,
+                session.cfg.world_seed,
+                session.cfg.min_samples,
+                session.cfg.max_samples,
+            ))
+        }
+        Command::Ping => Reply::line("PONG"),
+        Command::Quit => Reply {
+            text: "BYE\n".to_string(),
+            close: true,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pip_engine::Database;
+    use pip_sampling::SamplerConfig;
+    use std::sync::Arc;
+
+    use crate::session::SessionManager;
+
+    fn session() -> Session {
+        let mgr = SessionManager::new(Arc::new(Database::new()), SamplerConfig::default());
+        mgr.open()
+    }
+
+    #[test]
+    fn command_parsing() {
+        assert_eq!(
+            parse_command("query SELECT 1").unwrap(),
+            Command::Query("SELECT 1".into())
+        );
+        assert_eq!(
+            parse_command("PREPARE p AS SELECT * FROM t").unwrap(),
+            Command::Prepare {
+                name: "p".into(),
+                sql: "SELECT * FROM t".into()
+            }
+        );
+        assert_eq!(parse_command("exec p").unwrap(), Command::Exec("p".into()));
+        assert_eq!(
+            parse_command("SET threads 4").unwrap(),
+            Command::Set {
+                key: "THREADS".into(),
+                value: "4".into()
+            }
+        );
+        assert_eq!(parse_command("ping").unwrap(), Command::Ping);
+        assert_eq!(parse_command("QUIT").unwrap(), Command::Quit);
+        assert!(parse_command("").is_err());
+        assert!(parse_command("QUERY").is_err());
+        assert!(parse_command("PREPARE p SELECT 1").is_err());
+        assert!(parse_command("FROBNICATE").is_err());
+    }
+
+    #[test]
+    fn end_to_end_lines() {
+        let mut s = session();
+        let r = handle_line(&mut s, "QUERY CREATE TABLE t (x SYMBOLIC)");
+        assert!(r.text.starts_with("OK"), "{}", r.text);
+        handle_line(
+            &mut s,
+            "QUERY INSERT INTO t VALUES (create_variable('Normal', 7, 1))",
+        );
+        let r = handle_line(&mut s, "QUERY SELECT expected_sum(x) FROM t");
+        assert!(r.text.starts_with("OK 1 rows (fresh)\n"), "{}", r.text);
+        assert!(r.text.contains("expected_sum(x)"), "{}", r.text);
+        assert!(r.text.trim_end().ends_with("END"), "{}", r.text);
+        let r = handle_line(&mut s, "QUERY SELECT expected_sum(x) FROM t");
+        assert!(r.text.starts_with("OK 1 rows (cached)"), "{}", r.text);
+        let r = handle_line(&mut s, "QUERY SELECT nothing FROM ghost");
+        assert!(r.text.starts_with("ERR "), "{}", r.text);
+        assert!(!r.close);
+        let r = handle_line(&mut s, "STATS");
+        assert!(r.text.contains("cache_hits=1"), "{}", r.text);
+        let r = handle_line(&mut s, "QUIT");
+        assert!(r.close);
+    }
+
+    #[test]
+    fn set_validation() {
+        let mut s = session();
+        assert!(handle_line(&mut s, "SET THREADS 4").text.starts_with("OK"));
+        assert_eq!(s.cfg.threads, 4);
+        assert!(handle_line(&mut s, "SET SEED 99").text.starts_with("OK"));
+        assert_eq!(s.cfg.world_seed, 99);
+        assert!(handle_line(&mut s, "SET SAMPLES 500")
+            .text
+            .starts_with("OK"));
+        assert_eq!((s.cfg.min_samples, s.cfg.max_samples), (500, 500));
+        assert!(handle_line(&mut s, "SET SAMPLES 0").text.starts_with("ERR"));
+        assert!(handle_line(&mut s, "SET EPSILON 2").text.starts_with("ERR"));
+        assert!(handle_line(&mut s, "SET BOGUS 1").text.starts_with("ERR"));
+        assert!(handle_line(&mut s, "SET THREADS x").text.starts_with("ERR"));
+    }
+}

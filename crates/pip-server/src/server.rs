@@ -1,0 +1,233 @@
+//! The TCP front-end: one listener, one thread per connection, one
+//! [`Session`](crate::session::Session) per connection over the shared
+//! catalog.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use pip_engine::Database;
+use pip_sampling::SamplerConfig;
+
+use crate::protocol;
+use crate::session::SessionManager;
+
+/// Live connections: the socket handle (for shutdown) and its serving
+/// thread (for join).
+type ConnRegistry = Arc<Mutex<Vec<(TcpStream, JoinHandle<()>)>>>;
+
+/// Service configuration.
+#[derive(Clone)]
+pub struct ServerOptions {
+    /// Default per-session sampler configuration (sessions override it
+    /// with `SET ...`).
+    pub default_config: SamplerConfig,
+    /// Per-session prepared-statement LRU capacity.
+    pub prepared_cache: usize,
+    /// Per-session sample-result LRU capacity.
+    pub result_cache: usize,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            default_config: SamplerConfig::default(),
+            prepared_cache: 32,
+            result_cache: 64,
+        }
+    }
+}
+
+/// A running server; dropping the handle shuts it down (accept loop
+/// stopped, established connections closed and joined).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
+    accept_thread: Option<JoinHandle<()>>,
+    conns: ConnRegistry,
+    manager: Arc<SessionManager>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections currently being served.
+    pub fn active_connections(&self) -> usize {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    /// Sessions opened since startup.
+    pub fn sessions_created(&self) -> u64 {
+        self.manager.sessions_created()
+    }
+
+    /// Stop the service: the accept loop exits, every established
+    /// connection's socket is shut down (a blocked read returns EOF),
+    /// and all connection threads are joined before this returns.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        // Poke the blocking accept loop awake.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        let conns = std::mem::take(&mut *self.conns.lock().unwrap_or_else(|e| e.into_inner()));
+        for (stream, thread) in conns {
+            let _ = stream.shutdown(Shutdown::Both);
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.stop();
+        }
+    }
+}
+
+/// Bind `addr` (e.g. `"127.0.0.1:0"`) and serve the shared catalog.
+pub fn serve(
+    db: Arc<Database>,
+    addr: impl ToSocketAddrs,
+    options: ServerOptions,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let manager = Arc::new(
+        SessionManager::new(db, options.default_config.clone())
+            .with_cache_capacities(options.prepared_cache, options.result_cache),
+    );
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let active = Arc::new(AtomicUsize::new(0));
+    let conns: ConnRegistry = Arc::new(Mutex::new(Vec::new()));
+
+    let accept_thread = {
+        let manager = Arc::clone(&manager);
+        let shutdown = Arc::clone(&shutdown);
+        let active = Arc::clone(&active);
+        let conns = Arc::clone(&conns);
+        std::thread::Builder::new()
+            .name("pip-server-accept".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let stream = match stream {
+                        Ok(s) => s,
+                        Err(_) => continue,
+                    };
+                    let Ok(stream_handle) = stream.try_clone() else {
+                        continue;
+                    };
+                    let manager = Arc::clone(&manager);
+                    let conn_active = Arc::clone(&active);
+                    active.fetch_add(1, Ordering::Relaxed);
+                    let spawned = std::thread::Builder::new()
+                        .name("pip-server-conn".into())
+                        .spawn(move || {
+                            let _ = handle_connection(stream, &manager);
+                            conn_active.fetch_sub(1, Ordering::Relaxed);
+                        });
+                    match spawned {
+                        Ok(thread) => {
+                            let mut c = conns.lock().unwrap_or_else(|e| e.into_inner());
+                            // Finished threads' entries are pruned here,
+                            // bounding the registry by peak concurrency.
+                            c.retain(|(_, t)| !t.is_finished());
+                            c.push((stream_handle, thread));
+                        }
+                        Err(_) => {
+                            active.fetch_sub(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            })?
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        active,
+        accept_thread: Some(accept_thread),
+        conns,
+        manager,
+    })
+}
+
+/// Hard cap on one request line. Anything longer is rejected (and the
+/// oversized line drained) instead of buffering unbounded client input.
+const MAX_REQUEST_BYTES: usize = 1 << 20;
+
+/// Read one `\n`-terminated request of at most `MAX_REQUEST_BYTES`.
+/// Returns `Ok(None)` at EOF; an oversized request is fully consumed
+/// and flagged via the returned bool so the caller can reject it.
+fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<Option<(String, bool)>> {
+    let mut line = String::new();
+    let n =
+        std::io::Read::take(&mut *reader, (MAX_REQUEST_BYTES + 1) as u64).read_line(&mut line)?;
+    if n == 0 && line.is_empty() {
+        return Ok(None); // clean EOF
+    }
+    if n == 0 || line.ends_with('\n') {
+        // Complete request (or EOF terminating an unfinished line).
+        return Ok(Some((line, false)));
+    }
+    // The cap cut the line mid-way: drain the rest of the oversized
+    // line in bounded bites. `read_until` stops at the newline, so any
+    // pipelined next request stays buffered intact.
+    loop {
+        let mut throwaway = Vec::new();
+        let n = std::io::Read::take(&mut *reader, 64 * 1024).read_until(b'\n', &mut throwaway)?;
+        if n == 0 {
+            return Ok(None); // EOF inside the oversized line
+        }
+        if throwaway.ends_with(b"\n") {
+            break;
+        }
+    }
+    Ok(Some((String::new(), true)))
+}
+
+fn handle_connection(stream: TcpStream, manager: &SessionManager) -> io::Result<()> {
+    let mut session = manager.open();
+    let mut writer = stream.try_clone()?;
+    writer.write_all(
+        format!(
+            "PIP server ready (session {}); commands: QUERY/PREPARE/EXEC/SET/STATS/PING/QUIT\n",
+            session.id()
+        )
+        .as_bytes(),
+    )?;
+    let mut reader = BufReader::new(stream);
+    while let Some((line, truncated)) = read_request(&mut reader)? {
+        if truncated {
+            writer
+                .write_all(format!("ERR request exceeds {MAX_REQUEST_BYTES} bytes\n").as_bytes())?;
+            writer.flush()?;
+            continue;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = protocol::handle_line(&mut session, &line);
+        writer.write_all(reply.text.as_bytes())?;
+        writer.flush()?;
+        if reply.close {
+            break;
+        }
+    }
+    Ok(())
+}

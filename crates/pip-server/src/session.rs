@@ -1,0 +1,338 @@
+//! Query sessions over a shared catalog.
+//!
+//! Every client connection owns a [`Session`]: a view of the shared
+//! [`Database`] (internally synchronized — concurrent sessions read and
+//! write the catalog through its own reader–writer lock) plus
+//! session-local state:
+//!
+//! * a per-session [`SamplerConfig`] (`SET THREADS/SEED/SAMPLES`),
+//! * an LRU cache of prepared statements (`PREPARE` / `EXEC`),
+//! * an LRU cache of sampled query results, keyed by the statement text,
+//!   the sampling parameters that define the result, and the catalog
+//!   version — a mutation anywhere invalidates by construction, and the
+//!   thread count is deliberately *not* part of the key because the
+//!   parallel runtime is bit-deterministic in it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use pip_core::{PipError, Result};
+use pip_ctable::CTable;
+use pip_engine::sql::{self, Statement};
+use pip_engine::{optimize, Database, Plan};
+use pip_sampling::SamplerConfig;
+
+use crate::lru::Lru;
+
+/// A statement captured by `PREPARE`.
+struct PreparedStatement {
+    plan: Arc<Plan>,
+    /// Distinguishes re-prepared statements with the same name in the
+    /// result-cache key.
+    generation: u64,
+}
+
+/// Counters reported by the `STATS` command.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Statements executed (QUERY + EXEC, including cache hits).
+    pub queries: u64,
+    /// Executions served from the sample-result cache.
+    pub cache_hits: u64,
+    /// Statements currently prepared.
+    pub prepared: usize,
+}
+
+/// Result of one session statement.
+pub struct QueryReply {
+    pub table: Arc<CTable>,
+    /// Served from the sample-result cache.
+    pub cached: bool,
+}
+
+/// One client's view of the service.
+pub struct Session {
+    id: u64,
+    db: Arc<Database>,
+    /// Session-local sampler configuration.
+    pub cfg: SamplerConfig,
+    prepared: Lru<String, PreparedStatement>,
+    results: Lru<String, Arc<CTable>>,
+    next_generation: u64,
+    stats: SessionStats,
+}
+
+impl Session {
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            prepared: self.prepared.len(),
+            ..self.stats
+        }
+    }
+
+    /// The portion of the result-cache key that pins the *numbers*: the
+    /// sampling parameters a result depends on, plus the catalog
+    /// version. Thread count is excluded — the parallel runtime returns
+    /// bit-identical results for any `threads`, so a hit stays valid.
+    fn cache_suffix(&self) -> String {
+        format!(
+            "|seed={}|min={}|max={}|eps={}|delta={}|chunk={}|v={}",
+            self.cfg.world_seed,
+            self.cfg.min_samples,
+            self.cfg.max_samples,
+            self.cfg.epsilon,
+            self.cfg.delta,
+            self.cfg.chunk_samples,
+            self.db.version()
+        )
+    }
+
+    /// Parse and run one SQL statement, consulting the sample-result
+    /// cache for `SELECT`s.
+    pub fn query(&mut self, sql_text: &str) -> Result<QueryReply> {
+        self.stats.queries += 1;
+        let stmt = sql::parse(sql_text)?;
+        match stmt {
+            Statement::Select(_) => {
+                let key = format!("Q:{}{}", sql_text.trim(), self.cache_suffix());
+                if let Some(hit) = self.results.get(&key) {
+                    self.stats.cache_hits += 1;
+                    return Ok(QueryReply {
+                        table: Arc::clone(hit),
+                        cached: true,
+                    });
+                }
+                let table = Arc::new(sql::run_statement(&self.db, stmt, &self.cfg)?);
+                self.results.put(key, Arc::clone(&table));
+                Ok(QueryReply {
+                    table,
+                    cached: false,
+                })
+            }
+            other => {
+                // DDL/DML: the catalog version bump retires stale cache
+                // keys on its own.
+                let table = Arc::new(sql::run_statement(&self.db, other, &self.cfg)?);
+                Ok(QueryReply {
+                    table,
+                    cached: false,
+                })
+            }
+        }
+    }
+
+    /// `PREPARE name AS SELECT ...` — parse and plan once.
+    pub fn prepare(&mut self, name: &str, sql_text: &str) -> Result<()> {
+        if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            return Err(PipError::Sql(format!(
+                "invalid prepared-statement name '{name}'"
+            )));
+        }
+        match sql::parse(sql_text)? {
+            Statement::Select(plan) => {
+                self.next_generation += 1;
+                self.prepared.put(
+                    name.to_string(),
+                    PreparedStatement {
+                        plan: Arc::new(plan),
+                        generation: self.next_generation,
+                    },
+                );
+                Ok(())
+            }
+            _ => Err(PipError::Sql(
+                "only SELECT statements can be prepared".into(),
+            )),
+        }
+    }
+
+    /// `EXEC name` — run a prepared statement through the result cache.
+    pub fn exec_prepared(&mut self, name: &str) -> Result<QueryReply> {
+        self.stats.queries += 1;
+        let (plan, generation) = match self.prepared.get(&name.to_string()) {
+            Some(p) => (Arc::clone(&p.plan), p.generation),
+            None => return Err(PipError::NotFound(format!("prepared statement '{name}'"))),
+        };
+        let key = format!("E:{name}#{generation}{}", self.cache_suffix());
+        if let Some(hit) = self.results.get(&key) {
+            self.stats.cache_hits += 1;
+            return Ok(QueryReply {
+                table: Arc::clone(hit),
+                cached: true,
+            });
+        }
+        // Optimization is catalog-dependent (schema lookups), so it runs
+        // per execution against the current catalog.
+        let optimized = optimize(&self.db, (*plan).clone())?;
+        let table = Arc::new(pip_engine::execute(&self.db, &optimized, &self.cfg)?);
+        self.results.put(key, Arc::clone(&table));
+        Ok(QueryReply {
+            table,
+            cached: false,
+        })
+    }
+
+    /// Forget one prepared statement.
+    pub fn deallocate(&mut self, name: &str) -> Result<()> {
+        self.prepared
+            .remove(&name.to_string())
+            .map(|_| ())
+            .ok_or_else(|| PipError::NotFound(format!("prepared statement '{name}'")))
+    }
+}
+
+/// Factory for sessions sharing one catalog.
+pub struct SessionManager {
+    db: Arc<Database>,
+    default_cfg: SamplerConfig,
+    prepared_capacity: usize,
+    result_capacity: usize,
+    next_id: AtomicU64,
+}
+
+impl SessionManager {
+    pub fn new(db: Arc<Database>, default_cfg: SamplerConfig) -> Self {
+        SessionManager {
+            db,
+            default_cfg,
+            prepared_capacity: 32,
+            result_capacity: 64,
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Override the per-session cache capacities.
+    pub fn with_cache_capacities(mut self, prepared: usize, results: usize) -> Self {
+        self.prepared_capacity = prepared;
+        self.result_capacity = results;
+        self
+    }
+
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// Sessions handed out so far.
+    pub fn sessions_created(&self) -> u64 {
+        self.next_id.load(Ordering::Relaxed) - 1
+    }
+
+    /// Open a new session.
+    pub fn open(&self) -> Session {
+        Session {
+            id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            db: Arc::clone(&self.db),
+            cfg: self.default_cfg.clone(),
+            prepared: Lru::new(self.prepared_capacity),
+            results: Lru::new(self.result_capacity),
+            next_generation: 0,
+            stats: SessionStats::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pip_engine::scalar_result;
+
+    fn manager() -> SessionManager {
+        let db = Arc::new(Database::new());
+        let mgr = SessionManager::new(db, SamplerConfig::default());
+        let mut s = mgr.open();
+        s.query("CREATE TABLE t (x SYMBOLIC)").unwrap();
+        s.query("INSERT INTO t VALUES (create_variable('Normal', 10, 2))")
+            .unwrap();
+        mgr
+    }
+
+    #[test]
+    fn query_caches_selects_until_mutation() {
+        let mgr = manager();
+        let mut s = mgr.open();
+        let q = "SELECT expected_sum(x) FROM t";
+        let a = s.query(q).unwrap();
+        assert!(!a.cached);
+        let b = s.query(q).unwrap();
+        assert!(b.cached);
+        assert_eq!(
+            scalar_result(&a.table).unwrap(),
+            scalar_result(&b.table).unwrap()
+        );
+        // A catalog mutation retires the cached entry.
+        s.query("INSERT INTO t VALUES (create_variable('Normal', 5, 1))")
+            .unwrap();
+        let c = s.query(q).unwrap();
+        assert!(!c.cached);
+        assert!(scalar_result(&c.table).unwrap() > scalar_result(&a.table).unwrap());
+        let stats = s.stats();
+        assert_eq!(stats.queries, 4);
+        assert_eq!(stats.cache_hits, 1);
+    }
+
+    #[test]
+    fn seed_change_bypasses_cache() {
+        let mgr = manager();
+        let mut s = mgr.open();
+        let q = "SELECT conf() FROM t WHERE x > 9";
+        s.query(q).unwrap();
+        s.cfg.world_seed ^= 1;
+        assert!(!s.query(q).unwrap().cached);
+    }
+
+    #[test]
+    fn prepared_statements_round_trip() {
+        let mgr = manager();
+        let mut s = mgr.open();
+        s.prepare("total", "SELECT expected_sum(x) FROM t").unwrap();
+        let a = s.exec_prepared("total").unwrap();
+        assert!(!a.cached);
+        let b = s.exec_prepared("total").unwrap();
+        assert!(b.cached);
+        assert!((scalar_result(&a.table).unwrap() - 10.0).abs() < 1e-9);
+        assert!(s.exec_prepared("missing").is_err());
+        s.deallocate("total").unwrap();
+        assert!(s.exec_prepared("total").is_err());
+        // Only SELECT may be prepared; names are validated.
+        assert!(s.prepare("p", "CREATE TABLE u (a INT)").is_err());
+        assert!(s.prepare("bad name", "SELECT * FROM t").is_err());
+    }
+
+    #[test]
+    fn sessions_share_the_catalog() {
+        let mgr = manager();
+        let mut a = mgr.open();
+        let mut b = mgr.open();
+        assert_ne!(a.id(), b.id());
+        a.query("CREATE TABLE shared (v FLOAT)").unwrap();
+        a.query("INSERT INTO shared VALUES (1.5)").unwrap();
+        let r = b.query("SELECT expected_sum(v) FROM shared").unwrap();
+        assert_eq!(scalar_result(&r.table).unwrap(), 1.5);
+        assert_eq!(mgr.sessions_created(), 3); // manager() opened one
+    }
+
+    #[test]
+    fn thread_setting_reuses_cache() {
+        let mgr = manager();
+        let mut s = mgr.open();
+        let q = "SELECT expected_sum(x) FROM t";
+        let serial = s.query(q).unwrap();
+        s.cfg = s.cfg.clone().with_threads(4);
+        let parallel = s.query(q).unwrap();
+        // Bit-determinism makes the cached serial result valid at any
+        // thread count.
+        assert!(parallel.cached);
+        assert_eq!(
+            scalar_result(&serial.table).unwrap(),
+            scalar_result(&parallel.table).unwrap()
+        );
+    }
+}

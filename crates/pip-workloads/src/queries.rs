@@ -20,9 +20,7 @@ use pip_expr::{atoms, Conjunction, Equation, RandomVar};
 
 use pip_ctable::{CRow, CTable};
 use pip_samplefirst::{agg as sf_agg, BundleTable};
-use pip_sampling::{
-    expectation, expected_max_sampled, expected_sum, SamplerConfig,
-};
+use pip_sampling::{expectation, expected_max_sampled, expected_sum, SamplerConfig};
 
 use crate::tpch::TpchData;
 
@@ -56,9 +54,9 @@ pub fn q1_ctable(data: &TpchData) -> Result<CTable> {
     let mut t = CTable::empty(schema);
     for c in &data.customers {
         let x = RandomVar::create(builtin::poisson(), &[c.increase_rate()])?;
-        t.push(CRow::unconditional(vec![
-            (Equation::val(c.spend) * Equation::from(x)).simplify(),
-        ]))?;
+        t.push(CRow::unconditional(vec![(Equation::val(c.spend)
+            * Equation::from(x))
+        .simplify()]))?;
     }
     Ok(t)
 }
@@ -112,9 +110,9 @@ pub fn q2_ctable(data: &TpchData) -> Result<CTable> {
     for s in data.suppliers.iter().filter(|s| s.japanese) {
         let m = RandomVar::create(builtin::normal(), &[s.mfg_mean, s.mfg_std])?;
         let sh = RandomVar::create(builtin::normal(), &[s.ship_mean, s.ship_std])?;
-        t.push(CRow::unconditional(vec![
-            (Equation::from(m) + Equation::from(sh)).simplify(),
-        ]))?;
+        t.push(CRow::unconditional(vec![(Equation::from(m)
+            + Equation::from(sh))
+        .simplify()]))?;
     }
     Ok(t)
 }
@@ -271,12 +269,7 @@ pub fn q4_pip(data: &TpchData, selectivity: f64, cfg: &SamplerConfig) -> Result<
 
 /// Sample-First evaluation of Q4: conditional means over surviving
 /// worlds (NaN when no world survives the popularity filter).
-pub fn q4_sf(
-    data: &TpchData,
-    selectivity: f64,
-    n_worlds: usize,
-    seed: u64,
-) -> Result<PerRow> {
+pub fn q4_sf(data: &TpchData, selectivity: f64, n_worlds: usize, seed: u64) -> Result<PerRow> {
     let t0 = Instant::now();
     let ct = q4_ctable(data, selectivity)?;
     let bt = BundleTable::instantiate(&ct, n_worlds, seed)?;
@@ -349,8 +342,8 @@ pub fn q5_exact(data: &TpchData) -> Vec<f64> {
                 let pk = log_pk.exp();
                 let kk = k as f64;
                 let surv = 1.0 - (-r * kk).exp(); // P[S < k]
-                // E[(k − S)·1{S<k}] = k·P[S<k] − E[S·1{S<k}]
-                // E[S·1{S<k}] = (1/r)(1 − e^{−rk}) − k·e^{−rk}
+                                                  // E[(k − S)·1{S<k}] = k·P[S<k] − E[S·1{S<k}]
+                                                  // E[S·1{S<k}] = (1/r)(1 − e^{−rk}) − k·e^{−rk}
                 let es = (1.0 / r) * (1.0 - (-r * kk).exp()) - kk * (-r * kk).exp();
                 num += pk * (kk * surv - es);
                 den += pk * surv;
@@ -456,7 +449,11 @@ mod tests {
         let data = small();
         let exact = q1_exact(&data);
         let r = q1_sf(&data, 3000, 1).unwrap();
-        assert!((r.value - exact).abs() / exact < 0.1, "{} vs {exact}", r.value);
+        assert!(
+            (r.value - exact).abs() / exact < 0.1,
+            "{} vs {exact}",
+            r.value
+        );
     }
 
     #[test]
@@ -536,7 +533,11 @@ mod tests {
         let exact = q5_exact(&data);
         let pip = q5_pip(&data, &SamplerConfig::fixed_samples(3000)).unwrap();
         let err = normalized_rms(&pip.estimates, &exact);
-        assert!(err < 0.15, "err {err}, est {:?} vs {exact:?}", pip.estimates);
+        assert!(
+            err < 0.15,
+            "err {err}, est {:?} vs {exact:?}",
+            pip.estimates
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! realistic skew, deterministically from a seed (DESIGN.md §2 records
 //! the substitution).
 
-use pip_dist::{rng_from_seed};
+use pip_dist::rng_from_seed;
 use rand::Rng;
 
 /// One customer: purchase history over two past years plus a
@@ -148,10 +148,7 @@ mod tests {
     fn deterministic_per_seed() {
         let cfg = TpchConfig::default();
         assert_eq!(generate(&cfg), generate(&cfg));
-        let other = TpchConfig {
-            seed: 999,
-            ..cfg
-        };
+        let other = TpchConfig { seed: 999, ..cfg };
         assert_ne!(generate(&cfg), generate(&other));
     }
 

@@ -1,0 +1,138 @@
+//! Offline stand-in for `criterion`: a minimal benchmark harness with the
+//! `Criterion` / `BenchmarkGroup` / `Bencher` API subset PIP's micro
+//! benches use. Each benchmark is auto-calibrated to a short measurement
+//! window and reports median ns/iteration on stdout.
+//!
+//! Run with `cargo bench`; set `CRITERION_SHIM_MEAS_MS` to lengthen the
+//! per-benchmark measurement window (default 100 ms).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+fn measurement_window() -> Duration {
+    let ms = std::env::var("CRITERION_SHIM_MEAS_MS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100u64);
+    Duration::from_millis(ms)
+}
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbench group: {name}");
+        BenchmarkGroup {
+            _c: self,
+            name,
+            sample_size: 10,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one("", &id.into(), 10, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Criterion API: number of samples; the shim scales its measurement
+    /// repetitions from it.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.name, &id.into(), self.sample_size, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: &str, id: &str, samples: usize, mut f: F) {
+    // Calibration pass: find an iteration count that fills a fraction of
+    // the measurement window, then collect `samples` timed runs.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = (b.elapsed.as_nanos().max(1)) as f64 / b.iters as f64;
+    let window = measurement_window();
+    let budget_ns = window.as_nanos() as f64 / samples.max(1) as f64;
+    let iters = ((budget_ns / per_iter).ceil() as u64).clamp(1, 10_000_000);
+
+    let mut per_iter_samples = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter_samples.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
+    }
+    per_iter_samples.sort_by(f64::total_cmp);
+    let median = per_iter_samples[per_iter_samples.len() / 2];
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    println!("  {label:<40} {median:>12.1} ns/iter ({iters} iters x {samples} samples)");
+}
+
+/// Timing context passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Group benchmark functions into one runnable entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` for `cargo bench` with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

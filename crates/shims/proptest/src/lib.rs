@@ -1,0 +1,355 @@
+//! Offline stand-in for `proptest`: deterministic random-input testing
+//! with the API subset PIP's property tests use — `proptest!` with
+//! `pat in strategy` bindings and `#![proptest_config]`, range and
+//! `collection::vec` strategies, `prop_map`, and the `prop_assert*` /
+//! `prop_assume!` macros.
+//!
+//! Unlike real proptest there is no shrinking: a failing case reports its
+//! case number and message. Streams are seeded from the test name, so
+//! runs are reproducible.
+
+use std::fmt;
+use std::ops::Range;
+
+/// Deterministic SplitMix64 stream for test-case generation.
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Stream for `(test name, case index)` — stable across runs.
+    pub fn for_case(name: &str, case: u64) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+/// Outcome of a single generated test case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// Assertion failure — the property does not hold.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs — try another case.
+    Reject,
+}
+
+/// Runner configuration (`cases` = number of accepted cases to run).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of test inputs.
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as i128 - self.start as i128).max(1) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+int_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize);
+
+/// String strategies from a `[c1-c2]{m,n}`-shaped pattern literal (the
+/// only regex form PIP's tests use). Unrecognized patterns yield short
+/// ASCII-lowercase strings.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (lo, hi, min, max) = parse_class_pattern(self).unwrap_or(('a', 'z', 0, 8));
+        let len = min + rng.below((max - min + 1) as u64) as usize;
+        (0..len)
+            .map(|_| {
+                let span = hi as u32 - lo as u32 + 1;
+                char::from_u32(lo as u32 + rng.below(span as u64) as u32).unwrap_or(lo)
+            })
+            .collect()
+    }
+}
+
+fn parse_class_pattern(p: &str) -> Option<(char, char, usize, usize)> {
+    // Shape: [X-Y]{m,n}
+    let rest = p.strip_prefix('[')?;
+    let (class, rest) = rest.split_once(']')?;
+    let mut cs = class.chars();
+    let lo = cs.next()?;
+    if cs.next()? != '-' {
+        return None;
+    }
+    let hi = cs.next()?;
+    let counts = rest.strip_prefix('{')?.strip_suffix('}')?;
+    let (m, n) = counts.split_once(',')?;
+    Some((lo, hi, m.trim().parse().ok()?, n.trim().parse().ok()?))
+}
+
+/// `proptest::collection` — vector strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Accepted vector-length specifications.
+    pub trait IntoLen {
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl IntoLen for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoLen for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            self.start + rng.below((self.end - self.start).max(1) as u64) as usize
+        }
+    }
+
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    pub fn vec<S: Strategy, L: IntoLen>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy, L: IntoLen> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Glob-import surface mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Internal: panic formatting for a failed case.
+pub fn fail_case(name: &str, case: u64, msg: &str) -> ! {
+    panic!("proptest '{name}' failed at case {case}: {msg}")
+}
+
+/// Internal: value formatting used by `prop_assert_eq!`.
+pub fn debug_str<T: fmt::Debug>(v: &T) -> String {
+    format!("{v:?}")
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: {} == {}\n  left: {}\n right: {}",
+            stringify!($a),
+            stringify!($b),
+            $crate::debug_str(a),
+            $crate::debug_str(b)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: {} != {}\n  both: {}",
+            stringify!($a),
+            stringify!($b),
+            $crate::debug_str(a)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// The test-defining macro. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` accepted random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg); $($rest)*);
+    };
+    (@run ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let mut accepted: u32 = 0;
+            let mut case: u64 = 0;
+            let max_cases: u64 = cfg.cases as u64 * 32 + 64;
+            while accepted < cfg.cases {
+                if case >= max_cases {
+                    panic!(
+                        "proptest '{}' rejected too many cases ({accepted}/{} accepted)",
+                        stringify!($name),
+                        cfg.cases
+                    );
+                }
+                let mut __rng = $crate::TestRng::for_case(stringify!($name), case);
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)*
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => accepted += 1,
+                    ::std::result::Result::Err($crate::TestCaseError::Reject) => {}
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        $crate::fail_case(stringify!($name), case, &msg)
+                    }
+                }
+                case += 1;
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_in_bounds(x in -2.0f64..2.0, n in 1i64..5) {
+            prop_assert!((-2.0..2.0).contains(&x));
+            prop_assert!((1..5).contains(&n));
+        }
+
+        #[test]
+        fn vec_and_map(v in prop::collection::vec(0i64..10, 1..4)) {
+            prop_assert!(!v.is_empty() && v.len() < 4);
+            prop_assert!(v.iter().all(|&x| (0..10).contains(&x)));
+        }
+
+        #[test]
+        fn assume_filters(x in -5.0f64..5.0) {
+            prop_assume!(x > 0.0);
+            prop_assert!(x > 0.0);
+        }
+
+        #[test]
+        fn string_pattern(s in "[a-z]{0,3}") {
+            prop_assert!(s.len() <= 3);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn prop_map_composes() {
+        let strat = (0i64..10).prop_map(|x| x * 2);
+        let mut rng = crate::TestRng::for_case("map", 0);
+        for _ in 0..20 {
+            let v = strat.generate(&mut rng);
+            assert!(v % 2 == 0 && (0..20).contains(&v));
+        }
+    }
+}

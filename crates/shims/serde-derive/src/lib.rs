@@ -1,0 +1,275 @@
+//! Offline stand-in for `serde_derive`: `#[derive(Serialize)]` generates
+//! an implementation of the shim `serde::Serialize` trait (a direct JSON
+//! writer), `#[derive(Deserialize)]` implements the marker trait.
+//!
+//! Parsing is done by hand on the raw token stream (no `syn`/`quote`),
+//! which is sufficient for the non-generic structs and enums PIP derives
+//! on. Output shapes follow serde's externally-tagged default:
+//! named struct → object, tuple struct → array (newtype → inner value),
+//! unit enum variant → string, payload variant → single-key object.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(i) => i,
+        Err(e) => return compile_error(&e),
+    };
+    gen_serialize(&item).parse().expect("generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(i) => i,
+        Err(e) => return compile_error(&e),
+    };
+    format!("impl ::serde::Deserialize for {} {{}}", item.name)
+        .parse()
+        .expect("generated impl parses")
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+enum Body {
+    /// Named fields, in declaration order.
+    Struct(Vec<String>),
+    /// Number of positional fields.
+    TupleStruct(usize),
+    /// Variants: name + shape.
+    Enum(Vec<(String, VariantShape)>),
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+/// Split a token sequence on top-level commas, treating `<...>` generic
+/// argument lists as nested (groups are already atomic in a TokenStream).
+fn split_top_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle = 0i32;
+    for t in tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle += 1;
+                cur.push(t.clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle -= 1;
+                cur.push(t.clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            _ => cur.push(t.clone()),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Drop leading `#[...]` attributes and a `pub` / `pub(...)` visibility.
+fn strip_attrs_and_vis(tokens: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // '#' + [..]
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    &tokens[i..]
+}
+
+/// First identifier of a (attribute/vis-stripped) field chunk: its name.
+fn field_name(chunk: &[TokenTree]) -> Result<String, String> {
+    match strip_attrs_and_vis(chunk).first() {
+        Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+        other => Err(format!("expected field name, found {other:?}")),
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let tokens = strip_attrs_and_vis(&tokens);
+    let mut it = tokens.iter();
+    let kind = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, found {other:?}")),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    let rest: Vec<TokenTree> = it.cloned().collect();
+    if matches!(rest.first(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim derive does not support generics on {name}"
+        ));
+    }
+    let body_group = rest.iter().find_map(|t| match t {
+        TokenTree::Group(g)
+            if g.delimiter() == Delimiter::Brace || g.delimiter() == Delimiter::Parenthesis =>
+        {
+            Some(g.clone())
+        }
+        _ => None,
+    });
+    let body = match (kind.as_str(), body_group) {
+        ("struct", Some(g)) if g.delimiter() == Delimiter::Brace => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            let fields = split_top_commas(&inner)
+                .iter()
+                .map(|c| field_name(c))
+                .collect::<Result<Vec<_>, _>>()?;
+            Body::Struct(fields)
+        }
+        ("struct", Some(g)) => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            Body::TupleStruct(split_top_commas(&inner).len())
+        }
+        ("struct", None) => Body::TupleStruct(0),
+        ("enum", Some(g)) if g.delimiter() == Delimiter::Brace => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            let mut variants = Vec::new();
+            for chunk in split_top_commas(&inner) {
+                let chunk = strip_attrs_and_vis(&chunk);
+                let vname = match chunk.first() {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    other => return Err(format!("expected variant name, found {other:?}")),
+                };
+                let shape = match chunk.get(1) {
+                    None => VariantShape::Unit,
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        VariantShape::Tuple(split_top_commas(&inner).len())
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        let fields = split_top_commas(&inner)
+                            .iter()
+                            .map(|c| field_name(c))
+                            .collect::<Result<Vec<_>, _>>()?;
+                        VariantShape::Named(fields)
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == '=' => VariantShape::Unit,
+                    other => return Err(format!("unsupported variant shape: {other:?}")),
+                };
+                variants.push((vname, shape));
+            }
+            Body::Enum(variants)
+        }
+        _ => return Err(format!("cannot derive serde shim for {kind} {name}")),
+    };
+    Ok(Item { name, body })
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let mut s = String::from("out.push('{');\n");
+            for (i, f) in fields.iter().enumerate() {
+                if i > 0 {
+                    s.push_str("out.push(',');\n");
+                }
+                s.push_str(&format!(
+                    "out.push_str(\"\\\"{f}\\\":\");\n\
+                     ::serde::Serialize::serialize_json(&self.{f}, out);\n"
+                ));
+            }
+            s.push_str("out.push('}');");
+            s
+        }
+        Body::TupleStruct(0) => "out.push_str(\"null\");".to_string(),
+        Body::TupleStruct(1) => "::serde::Serialize::serialize_json(&self.0, out);".to_string(),
+        Body::TupleStruct(n) => {
+            let mut s = String::from("out.push('[');\n");
+            for i in 0..*n {
+                if i > 0 {
+                    s.push_str("out.push(',');\n");
+                }
+                s.push_str(&format!(
+                    "::serde::Serialize::serialize_json(&self.{i}, out);\n"
+                ));
+            }
+            s.push_str("out.push(']');");
+            s
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for (v, shape) in variants {
+                match shape {
+                    VariantShape::Unit => {
+                        arms.push_str(&format!("{name}::{v} => out.push_str(\"\\\"{v}\\\"\"),\n"))
+                    }
+                    VariantShape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let pat = binders.join(", ");
+                        let mut writes = format!("out.push_str(\"{{\\\"{v}\\\":\");\n");
+                        if *n == 1 {
+                            writes.push_str("::serde::Serialize::serialize_json(__f0, out);\n");
+                        } else {
+                            writes.push_str("out.push('[');\n");
+                            for (i, b) in binders.iter().enumerate() {
+                                if i > 0 {
+                                    writes.push_str("out.push(',');\n");
+                                }
+                                writes.push_str(&format!(
+                                    "::serde::Serialize::serialize_json({b}, out);\n"
+                                ));
+                            }
+                            writes.push_str("out.push(']');\n");
+                        }
+                        writes.push_str("out.push('}');");
+                        arms.push_str(&format!("{name}::{v}({pat}) => {{ {writes} }}\n"));
+                    }
+                    VariantShape::Named(fields) => {
+                        let pat = fields.join(", ");
+                        let mut writes = format!("out.push_str(\"{{\\\"{v}\\\":{{\");\n");
+                        for (i, f) in fields.iter().enumerate() {
+                            if i > 0 {
+                                writes.push_str("out.push(',');\n");
+                            }
+                            writes.push_str(&format!(
+                                "out.push_str(\"\\\"{f}\\\":\");\n\
+                                 ::serde::Serialize::serialize_json({f}, out);\n"
+                            ));
+                        }
+                        writes.push_str("out.push_str(\"}}\");");
+                        arms.push_str(&format!("{name}::{v} {{ {pat} }} => {{ {writes} }}\n"));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_json(&self, out: &mut String) {{\n{body}\n}}\n\
+         }}"
+    )
+}

@@ -1,0 +1,33 @@
+//! Offline stand-in for `serde_json`: only [`to_string`], driving the
+//! shim `serde::Serialize` JSON writer.
+
+use std::fmt;
+
+/// Serialization error (the shim writer is infallible, so this is never
+/// actually produced; the type exists for API compatibility).
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json shim error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize `value` as a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn round_trip_via_trait() {
+        assert_eq!(super::to_string(&vec![1i64, 2, 3]).unwrap(), "[1,2,3]");
+        assert_eq!(super::to_string("hi").unwrap(), "\"hi\"");
+    }
+}

@@ -41,7 +41,11 @@ fn main() -> Result<()> {
     let pip_err = relative_errors(&pip, &exact);
     let sf_err = relative_errors(&sf, &exact);
     let max = |v: &[f64]| v.iter().copied().fold(0.0, f64::max);
-    println!("\nmax relative error — PIP: {:.2e}, SF: {:.3}", max(&pip_err), max(&sf_err));
+    println!(
+        "\nmax relative error — PIP: {:.2e}, SF: {:.3}",
+        max(&pip_err),
+        max(&sf_err)
+    );
 
     // PIP's answer is exact up to floating-point noise.
     assert!(max(&pip_err) < 1e-9);

@@ -21,14 +21,11 @@ fn main() -> Result<()> {
     for (name, lambda) in parts {
         // demand ~ Poisson(λ); supply ~ Exponential(rate 1/(20λ)).
         let demand = RandomVar::create(builtin::poisson(), &[lambda])?;
-        let supply =
-            RandomVar::create(builtin::exponential(), &[1.0 / (20.0 * lambda)])?;
+        let supply = RandomVar::create(builtin::exponential(), &[1.0 / (20.0 * lambda)])?;
 
         let shortfall = Equation::from(demand.clone()) - Equation::from(supply.clone());
-        let condition = Conjunction::single(atoms::gt(
-            Equation::from(demand),
-            Equation::from(supply),
-        ));
+        let condition =
+            Conjunction::single(atoms::gt(Equation::from(demand), Equation::from(supply)));
 
         let r = expectation(&shortfall, &condition, true, &cfg, lambda as u64)?;
         println!(
@@ -45,10 +42,7 @@ fn main() -> Result<()> {
     let demand = RandomVar::create(builtin::poisson(), &[4.0])?;
     let supply = RandomVar::create(builtin::exponential(), &[1.0 / 80.0])?;
     let shortfall = Equation::from(demand.clone()) - Equation::from(supply.clone());
-    let condition = Conjunction::single(atoms::gt(
-        Equation::from(demand),
-        Equation::from(supply),
-    ));
+    let condition = Conjunction::single(atoms::gt(Equation::from(demand), Equation::from(supply)));
     let samples = expectation_samples(&shortfall, &condition, 2000, &cfg, 99)?;
     let hist = Histogram::from_samples(&samples, 10);
     println!("\nwidget shortfall histogram ({} samples):", hist.n);

@@ -1,8 +1,8 @@
 //! End-to-end integration tests spanning the whole stack: SQL → plans →
 //! c-table algebra → sampling operators, checked against closed forms.
 
-use pip::prelude::*;
 use pip::dist::special;
+use pip::prelude::*;
 
 fn setup() -> (Database, SamplerConfig) {
     (Database::new(), SamplerConfig::default())
@@ -119,7 +119,12 @@ fn group_by_with_uncertain_measures() {
 fn discrete_and_continuous_mix_in_one_query() {
     // A Bernoulli gate on a Normal payout: E = p · μ.
     let (db, cfg) = setup();
-    sql::run(&db, "CREATE TABLE deals (gate SYMBOLIC, payout SYMBOLIC)", &cfg).unwrap();
+    sql::run(
+        &db,
+        "CREATE TABLE deals (gate SYMBOLIC, payout SYMBOLIC)",
+        &cfg,
+    )
+    .unwrap();
     sql::run(
         &db,
         "INSERT INTO deals VALUES \
@@ -127,12 +132,7 @@ fn discrete_and_continuous_mix_in_one_query() {
         &cfg,
     )
     .unwrap();
-    let r = sql::run(
-        &db,
-        "SELECT expected_sum(gate * payout) FROM deals",
-        &cfg,
-    )
-    .unwrap();
+    let r = sql::run(&db, "SELECT expected_sum(gate * payout) FROM deals", &cfg).unwrap();
     let v = scalar_result(&r).unwrap();
     assert!((v - 0.25 * 80.0).abs() < 1.5, "{v}");
 }

@@ -38,12 +38,7 @@ fn order_by_ascending_and_descending() {
 #[test]
 fn limit_truncates() {
     let (db, cfg) = db_with_scores();
-    let t = sql::run(
-        &db,
-        "SELECT * FROM s ORDER BY score DESC LIMIT 2",
-        &cfg,
-    )
-    .unwrap();
+    let t = sql::run(&db, "SELECT * FROM s ORDER BY score DESC LIMIT 2", &cfg).unwrap();
     assert_eq!(t.len(), 2);
     let t = sql::run(&db, "SELECT * FROM s LIMIT 0", &cfg).unwrap();
     assert!(t.is_empty());

@@ -2,8 +2,8 @@
 //! table construction, paper Section V-A footnote 2) and the engine's
 //! EXPLAIN output.
 
-use pip::prelude::*;
 use pip::ctable::repair_key;
+use pip::prelude::*;
 
 #[test]
 fn repair_key_feeds_the_full_query_stack() {
@@ -59,10 +59,17 @@ fn repaired_alternatives_are_exclusive_under_join() {
     // alternatives of the same group (their conditions contradict).
     let db = Database::new();
     let cfg = SamplerConfig::default();
-    let schema = Schema::of(&[("k", DataType::Str), ("v", DataType::Int), ("w", DataType::Float)]);
+    let schema = Schema::of(&[
+        ("k", DataType::Str),
+        ("v", DataType::Int),
+        ("w", DataType::Float),
+    ]);
     let base = CTable::from_tuples(
         schema,
-        &[pip::core::tuple!["a", 1i64, 1.0], pip::core::tuple!["a", 2i64, 1.0]],
+        &[
+            pip::core::tuple!["a", 1i64, 1.0],
+            pip::core::tuple!["a", 2i64, 1.0],
+        ],
     )
     .unwrap();
     let (repaired, _) = repair_key(&base, &["k"], "w").unwrap();
@@ -89,7 +96,10 @@ fn explain_renders_the_tree() {
         .build();
     let text = plan.explain();
     let lines: Vec<&str> = text.lines().collect();
-    assert!(lines[0].starts_with("Aggregate: [expected_sum(price)]"), "{text}");
+    assert!(
+        lines[0].starts_with("Aggregate: [expected_sum(price)]"),
+        "{text}"
+    );
     assert!(lines[1].trim_start().starts_with("EquiJoin: ship_to=dest"));
     assert!(lines[2].trim_start().starts_with("Select:"));
     assert!(lines[3].trim_start().starts_with("Scan: orders"));
@@ -101,8 +111,10 @@ fn explain_renders_the_tree() {
 #[test]
 fn optimizer_output_explains_pushdown() {
     let db = Database::new();
-    db.create_table("l", Schema::of(&[("a", DataType::Int)])).unwrap();
-    db.create_table("r", Schema::of(&[("b", DataType::Int)])).unwrap();
+    db.create_table("l", Schema::of(&[("a", DataType::Int)]))
+        .unwrap();
+    db.create_table("r", Schema::of(&[("b", DataType::Int)]))
+        .unwrap();
     let plan = PlanBuilder::scan("l")
         .product(PlanBuilder::scan("r"))
         .select(

@@ -3,11 +3,11 @@
 //! estimate the same conditional expectations, and PIP and Sample-First
 //! must converge to the same answers as samples grow (invariant 7).
 
+use pip::ctable::{CRow, CTable};
 use pip::dist::prelude::*;
 use pip::dist::special;
 use pip::expr::{atoms, Conjunction, Equation, RandomVar};
 use pip::prelude::{DataType, Schema};
-use pip::ctable::{CRow, CTable};
 use pip::samplefirst::{agg as sf_agg, BundleTable};
 use pip::sampling::{expectation, SamplerConfig};
 
@@ -30,12 +30,20 @@ fn all_pip_strategies_agree_on_truncated_normal() {
     // CDF-bounded.
     let cdf_cfg = SamplerConfig::fixed_samples(4000);
     let r1 = expectation(&expr, &cond, true, &cdf_cfg, 1).unwrap();
-    assert!((r1.expectation - truth).abs() < 0.05, "cdf: {}", r1.expectation);
+    assert!(
+        (r1.expectation - truth).abs() < 0.05,
+        "cdf: {}",
+        r1.expectation
+    );
 
     // Pure rejection.
     let rej = SamplerConfig::naive(4000);
     let r2 = expectation(&expr, &cond, true, &rej, 2).unwrap();
-    assert!((r2.expectation - truth).abs() < 0.05, "rej: {}", r2.expectation);
+    assert!(
+        (r2.expectation - truth).abs() < 0.05,
+        "rej: {}",
+        r2.expectation
+    );
 
     // Metropolis (force the switch: disable CDF, threshold 0 so any
     // rejection triggers it).
@@ -44,7 +52,11 @@ fn all_pip_strategies_agree_on_truncated_normal() {
     mh.metropolis_threshold = 0.2;
     let r3 = expectation(&expr, &cond, false, &mh, 3).unwrap();
     assert!(r3.used_metropolis, "expected the Metropolis fallback");
-    assert!((r3.expectation - truth).abs() < 0.1, "mh: {}", r3.expectation);
+    assert!(
+        (r3.expectation - truth).abs() < 0.1,
+        "mh: {}",
+        r3.expectation
+    );
 
     // Exact probability from the CDF path.
     let p_truth = special::normal_cdf(2.0) - special::normal_cdf(1.0);
@@ -103,14 +115,7 @@ fn discrete_explosion_equals_symbolic_evaluation() {
     }
     assert!((acc - 3.5).abs() < 1e-9);
     // Symbolic path: linearity fast path gives the mean directly.
-    let r = expectation(
-        &Equation::from(d),
-        &Conjunction::top(),
-        false,
-        &cfg,
-        0,
-    )
-    .unwrap();
+    let r = expectation(&Equation::from(d), &Conjunction::top(), false, &cfg, 0).unwrap();
     assert!((r.expectation - 3.5).abs() < 1e-9);
 }
 
@@ -124,11 +129,7 @@ fn seeded_runs_are_fully_reproducible_across_the_stack() {
     assert_eq!(a, b);
 
     let schema = Schema::of(&[("v", DataType::Symbolic)]);
-    let ct = CTable::new(
-        schema,
-        vec![CRow::unconditional(vec![Equation::from(y)])],
-    )
-    .unwrap();
+    let ct = CTable::new(schema, vec![CRow::unconditional(vec![Equation::from(y)])]).unwrap();
     let t1 = BundleTable::instantiate(&ct, 64, 5).unwrap();
     let t2 = BundleTable::instantiate(&ct, 64, 5).unwrap();
     assert_eq!(t1, t2);
