@@ -11,7 +11,11 @@
 use serde::Serialize;
 use std::time::Instant;
 
+use pip_engine::{
+    execute_materialized_with_stats, execute_with_stats, optimize, scalar_result, Database, Plan,
+};
 use pip_sampling::SamplerConfig;
+use pip_workloads::plans;
 use pip_workloads::queries::{self, Timed};
 use pip_workloads::tpch::{generate, TpchConfig};
 
@@ -47,10 +51,125 @@ fn emit(query: &'static str, pip: Timed, sf: Timed, sf_worlds: usize) {
     );
 }
 
+/// One timed executor run: (query-phase secs, result value).
+fn timed_exec(db: &Database, plan: &Plan, cfg: &SamplerConfig, materialized: bool) -> (f64, f64) {
+    let (table, stats) = if materialized {
+        execute_materialized_with_stats(db, plan, cfg).expect("materialized exec")
+    } else {
+        execute_with_stats(db, plan, cfg).expect("streaming exec")
+    };
+    (stats.query_secs, scalar_result(&table).expect("scalar"))
+}
+
+/// Best-of-`trials` query-phase seconds, plus the (deterministic, hence
+/// trial-invariant) result value for the cross-variant bit check.
+fn best_of(
+    trials: usize,
+    db: &Database,
+    plan: &Plan,
+    cfg: &SamplerConfig,
+    materialized: bool,
+) -> (f64, f64) {
+    let mut best = f64::INFINITY;
+    let mut value = f64::NAN;
+    for _ in 0..trials {
+        let (secs, v) = timed_exec(db, plan, cfg, materialized);
+        best = best.min(secs);
+        value = v;
+    }
+    (best, value)
+}
+
+#[derive(Serialize)]
+struct ExecSummary {
+    workload: &'static str,
+    customers: usize,
+    suppliers: usize,
+    selectivity: f64,
+    /// Legacy materializing executor on the predicate-pushdown-only plan
+    /// (the pre-refactor engine configuration).
+    materialized_query_secs: f64,
+    /// Materializing executor plus projection pushdown: isolates what
+    /// column pruning buys when intermediates are cloned wholesale.
+    materialized_pushdown_query_secs: f64,
+    /// Pipelined executor, predicate pushdown only.
+    streaming_query_secs: f64,
+    /// Pipelined executor plus projection pushdown (the shipped default).
+    streaming_pushdown_query_secs: f64,
+    executor_speedup: f64,
+    pushdown_speedup_materialized: f64,
+    pushdown_speedup_streaming: f64,
+    total_speedup: f64,
+    bit_identical: bool,
+}
+
+/// The fig6 join workload (Q3's selective join as a full engine plan),
+/// run through the materializing executor and the pipelined executor
+/// before/after projection pushdown; writes `BENCH_exec.json`.
+fn exec_comparison(scale: f64) {
+    let data = generate(&TpchConfig::scaled(scale, 0x33));
+    let sel = 0.1;
+    let db = plans::join_db(&data, sel).expect("join db");
+    let raw = plans::join_plan();
+    let pred_only = pip_engine::optimize::push_selects(&db, raw.clone()).expect("push_selects");
+    let full = optimize(&db, raw).expect("optimize");
+    // A fixed sampling budget keeps the sample phase identical across
+    // variants; only the query phase is under test.
+    let cfg = SamplerConfig::fixed_samples(200);
+    let trials = 3;
+
+    println!("\n# Executor comparison on the fig6 join workload (Q3 shape, sel {sel}):");
+    println!("# materializing (pre-refactor) vs pipelined, before/after projection pushdown.");
+    pip_bench::header(&["variant", "query_secs", "value"]);
+    let (mat_secs, mat_v) = best_of(trials, &db, &pred_only, &cfg, true);
+    println!("materialized\t{mat_secs:.4}\t{mat_v:.3}");
+    let (mat_push_secs, mat_push_v) = best_of(trials, &db, &full, &cfg, true);
+    println!("materialized+pushdown\t{mat_push_secs:.4}\t{mat_push_v:.3}");
+    let (stream_secs, stream_v) = best_of(trials, &db, &pred_only, &cfg, false);
+    println!("streaming\t{stream_secs:.4}\t{stream_v:.3}");
+    let (push_secs, push_v) = best_of(trials, &db, &full, &cfg, false);
+    println!("streaming+pushdown\t{push_secs:.4}\t{push_v:.3}");
+
+    let bit_identical = [mat_push_v, stream_v, push_v]
+        .iter()
+        .all(|v| v.to_bits() == mat_v.to_bits());
+    assert!(
+        bit_identical,
+        "executor variants disagree: {mat_v} / {mat_push_v} / {stream_v} / {push_v}"
+    );
+    let summary = ExecSummary {
+        workload: "fig6_q3_join",
+        customers: data.customers.len(),
+        suppliers: data.suppliers.len(),
+        selectivity: sel,
+        materialized_query_secs: mat_secs,
+        materialized_pushdown_query_secs: mat_push_secs,
+        streaming_query_secs: stream_secs,
+        streaming_pushdown_query_secs: push_secs,
+        executor_speedup: mat_secs / stream_secs,
+        pushdown_speedup_materialized: mat_secs / mat_push_secs,
+        pushdown_speedup_streaming: stream_secs / push_secs,
+        total_speedup: mat_secs / push_secs,
+        bit_identical,
+    };
+    println!(
+        "# speedup: executor {:.2}x, pushdown (materialized) {:.2}x, pushdown (streaming) {:.2}x, total {:.2}x",
+        summary.executor_speedup,
+        summary.pushdown_speedup_materialized,
+        summary.pushdown_speedup_streaming,
+        summary.total_speedup
+    );
+    let path = std::env::var("PIP_BENCH_EXEC_OUT").unwrap_or_else(|_| "BENCH_exec.json".into());
+    let json = serde_json::to_string(&summary).expect("summary json");
+    std::fs::write(&path, format!("{json}\n")).expect("write BENCH_exec.json");
+    println!("# wrote {path}");
+}
+
 fn main() {
-    let scale = pip_bench::scale();
+    let quick = pip_bench::quick();
+    let scale = pip_bench::scale() * if quick { 0.05 } else { 1.0 };
     let data = generate(&TpchConfig::scaled(scale, 0x66));
-    let n = (1000.0 * scale) as usize;
+    let n = ((1000.0 * scale) as usize).max(20);
 
     println!("# Figure 6: query evaluation times, PIP (query+sample) vs Sample-First.");
     println!("# SF sample counts adjusted to match PIP accuracy (x10 for Q3, x200 for Q4).");
@@ -115,4 +234,8 @@ fn main() {
         },
         sf_worlds,
     );
+
+    // The join workload runs 4x the figure scale: query-phase cost is
+    // what the executor comparison measures, so give it enough rows.
+    exec_comparison(4.0 * scale);
 }

@@ -74,8 +74,9 @@ fn run_q4(
 }
 
 fn main() {
-    let scale = pip_bench::scale();
-    let n_samples = 1000;
+    let quick = pip_bench::quick();
+    let scale = pip_bench::scale() * if quick { 0.25 } else { 1.0 };
+    let n_samples = if quick { 300 } else { 1000 };
     let sel = (-5.29f64).exp();
     let data = generate(&TpchConfig::scaled(0.2 * scale, 0x7A));
     let table = queries::q4_ctable(&data, sel).expect("q4 table");
@@ -96,9 +97,10 @@ fn main() {
         "bit_identical",
     ]);
 
+    let thread_counts: &[usize] = if quick { &[1, 2, 4] } else { &[1, 2, 4, 8] };
     let mut sampling = Vec::new();
     let mut baseline: Option<(Vec<f64>, f64)> = None;
-    for &threads in &[1usize, 2, 4, 8] {
+    for &threads in thread_counts {
         let pool = ParallelSampler::new(threads);
         let cfg = SamplerConfig::fixed_samples(n_samples).with_threads(threads);
         // Warm-up pass (page in the workload), then the timed pass.
@@ -141,7 +143,7 @@ fn main() {
     }
 
     // ---- Part 2: service throughput over TCP. ----
-    let queries_per_client = 8usize;
+    let queries_per_client = if quick { 4usize } else { 8usize };
     println!("\n# Service throughput: concurrent sessions, per-client seeds (no cache hits)");
     pip_bench::header(&["clients", "queries", "secs", "queries_per_sec"]);
 
@@ -166,8 +168,9 @@ fn main() {
         serve(Arc::clone(&db), "127.0.0.1:0", ServerOptions::default()).expect("bench server");
     let addr = server.addr();
 
+    let client_counts: &[usize] = if quick { &[1, 2, 4] } else { &[1, 2, 4, 8] };
     let mut service = Vec::new();
-    for &clients in &[1usize, 2, 4, 8] {
+    for &clients in client_counts {
         let t0 = Instant::now();
         std::thread::scope(|s| {
             for c in 0..clients {

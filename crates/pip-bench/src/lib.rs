@@ -26,6 +26,13 @@ pub fn trials() -> usize {
         .unwrap_or(10)
 }
 
+/// Quick (CI smoke) mode, from `PIP_BENCH_QUICK=1`: binaries shrink
+/// their workloads to finish in seconds while still exercising every
+/// code path and determinism assertion.
+pub fn quick() -> bool {
+    std::env::var("PIP_BENCH_QUICK").as_deref() == Ok("1")
+}
+
 /// Print a header row.
 pub fn header(cols: &[&str]) {
     println!("{}", cols.join("\t"));

@@ -6,6 +6,8 @@
 //!
 //! * [`ctable`] — the table type: rows of equations plus local conditions.
 //! * [`algebra`] — σ, π, ×, ∪, distinct, −, group-by (Figure 1).
+//! * [`stream`] — the σ/π/× kernels one row at a time, for the
+//!   pipelined executor.
 //! * [`bounds`] / [`consistency`] — Algorithm 3.2: interval propagation
 //!   that prunes statically inconsistent rows and feeds the CDF sampler.
 //! * [`explode`] — finite discrete variables expanded to per-valuation
@@ -17,6 +19,7 @@ pub mod consistency;
 pub mod ctable;
 pub mod explode;
 pub mod repair;
+pub mod stream;
 
 pub use algebra::{
     difference, distinct, distinct_groups, equi_join, map, partition_by, product, project, select,
@@ -27,6 +30,7 @@ pub use consistency::{consistency_check, Consistency};
 pub use ctable::{CRow, CTable};
 pub use explode::{discrete_domain, explode_discrete};
 pub use repair::{group_probabilities, repair_key};
+pub use stream::{filter_row, join_rows, map_row};
 
 /// Glob-import surface.
 pub mod prelude {
@@ -39,4 +43,5 @@ pub mod prelude {
     pub use crate::ctable::{CRow, CTable};
     pub use crate::explode::{discrete_domain, explode_discrete};
     pub use crate::repair::{group_probabilities, repair_key};
+    pub use crate::stream::{filter_row, join_rows, map_row};
 }

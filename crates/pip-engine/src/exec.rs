@@ -1,15 +1,26 @@
-//! The plan executor: logical plans → c-tables (and, at aggregate heads,
-//! deterministic result tables).
+//! The plan executors: logical plans → c-tables (and, at aggregate
+//! heads, deterministic result tables).
 //!
 //! Query evaluation in PIP is split into two phases (paper Section IV):
 //! the *query phase* manipulates c-tables symbolically, the *sampling
 //! phase* (aggregate / conf nodes) converts symbolic results into
-//! numbers. [`execute`] runs both; [`QueryStats`] reports where the time
-//! went, which is exactly the query/sample split of Figure 6.
+//! numbers. Two executors implement that contract:
+//!
+//! * [`execute`] — the default path: lowers the plan through
+//!   [`crate::physical`] into a pipelined operator tree (zero-copy
+//!   scans, fused select/project stages, hash joins) and streams rows
+//!   into the sampling heads. [`QueryStats`] carries the query/sample
+//!   phase split of Figure 6 plus per-operator row counts and timings.
+//! * [`execute_materialized`] — the original recursive interpreter that
+//!   materializes every intermediate c-table. It is kept as the
+//!   executable semantics reference: `tests/physical_equivalence.rs`
+//!   asserts the two produce identical tables and bit-identical sampled
+//!   numbers.
 
+use std::sync::Arc;
 use std::time::Instant;
 
-use pip_core::{Column, DataType, PipError, Result, Schema};
+use pip_core::{Column, DataType, PipError, Result, Schema, Value};
 use pip_expr::Equation;
 
 use pip_ctable::{algebra, CRow, CTable};
@@ -19,38 +30,86 @@ use pip_sampling::{
 };
 
 use crate::catalog::Database;
+use crate::physical::{self, OpProfile};
 use crate::plan::{AggFunc, Plan, ScalarExpr};
 use crate::rewrite::{compile_predicate, compile_scalar};
 
 /// Wall-clock breakdown of one query execution.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct QueryStats {
     /// Seconds spent in the symbolic (relational algebra) phase.
     pub query_secs: f64,
     /// Seconds spent sampling / integrating.
     pub sample_secs: f64,
+    /// Per-operator profiles of the physical tree, pre-order (empty for
+    /// the materializing executor, which has no operator tree).
+    pub ops: Vec<OpProfile>,
 }
 
-/// Execute `plan` against `db`, returning the result table and the
-/// query/sample phase timing split.
+/// Execute `plan` against `db` through the pipelined physical layer,
+/// returning the result table and the query/sample timing split with
+/// per-operator profiles.
 pub fn execute_with_stats(
+    db: &Database,
+    plan: &Plan,
+    cfg: &SamplerConfig,
+) -> Result<(CTable, QueryStats)> {
+    let mut phys = physical::lower(db, plan, cfg)?;
+    let t0 = Instant::now();
+    let table = phys.collect()?;
+    let total = t0.elapsed().as_secs_f64();
+    let ops = phys.profiles();
+    let sample_secs: f64 = ops
+        .iter()
+        .filter(|p| p.sampling)
+        .map(|p| p.exclusive_secs)
+        .sum();
+    Ok((
+        table,
+        QueryStats {
+            query_secs: (total - sample_secs).max(0.0),
+            sample_secs,
+            ops,
+        },
+    ))
+}
+
+/// Execute `plan` against `db` (pipelined executor).
+pub fn execute(db: &Database, plan: &Plan, cfg: &SamplerConfig) -> Result<CTable> {
+    execute_with_stats(db, plan, cfg).map(|(t, _)| t)
+}
+
+/// Execute `plan` with the legacy materializing interpreter (the
+/// semantics reference for the pipelined executor).
+pub fn execute_materialized(db: &Database, plan: &Plan, cfg: &SamplerConfig) -> Result<CTable> {
+    execute_materialized_with_stats(db, plan, cfg).map(|(t, _)| t)
+}
+
+/// [`execute_materialized`] with the query/sample timing split.
+pub fn execute_materialized_with_stats(
     db: &Database,
     plan: &Plan,
     cfg: &SamplerConfig,
 ) -> Result<(CTable, QueryStats)> {
     let mut stats = QueryStats::default();
     let table = run(db, plan, cfg, &mut stats)?;
+    // The root result is owned unless the plan is a bare table scan, in
+    // which case the catalog still shares it and one clone is due.
+    let table = Arc::try_unwrap(table).unwrap_or_else(|arc| (*arc).clone());
     Ok((table, stats))
 }
 
-/// Execute `plan` against `db`.
-pub fn execute(db: &Database, plan: &Plan, cfg: &SamplerConfig) -> Result<CTable> {
-    execute_with_stats(db, plan, cfg).map(|(t, _)| t)
-}
-
-fn run(db: &Database, plan: &Plan, cfg: &SamplerConfig, stats: &mut QueryStats) -> Result<CTable> {
+/// The recursive materializing interpreter. Base-table scans hand back
+/// the catalog's shared [`Arc`] snapshot — operators above borrow it, so
+/// scans never copy the table.
+fn run(
+    db: &Database,
+    plan: &Plan,
+    cfg: &SamplerConfig,
+    stats: &mut QueryStats,
+) -> Result<Arc<CTable>> {
     match plan {
-        Plan::Scan(name) => Ok((*db.table(name)?).clone()),
+        Plan::Scan(name) => db.table(name),
         Plan::Select { input, predicate } => {
             let t = run(db, input, cfg, stats)?;
             let start = Instant::now();
@@ -58,7 +117,7 @@ fn run(db: &Database, plan: &Plan, cfg: &SamplerConfig, stats: &mut QueryStats) 
             let out =
                 algebra::select(&t, |cells| compile_predicate(predicate, &schema, cells, db))?;
             stats.query_secs += start.elapsed().as_secs_f64();
-            Ok(out)
+            Ok(Arc::new(out))
         }
         Plan::Project { input, exprs } => {
             let t = run(db, input, cfg, stats)?;
@@ -73,11 +132,11 @@ fn run(db: &Database, plan: &Plan, cfg: &SamplerConfig, stats: &mut QueryStats) 
             let out = algebra::map(&t, out_schema, |cells| {
                 exprs
                     .iter()
-                    .map(|(_, e)| Ok(compile_scalar(e, &in_schema, cells, db)?.simplify()))
+                    .map(|(_, e)| project_cell(e, &in_schema, cells, db))
                     .collect()
             })?;
             stats.query_secs += start.elapsed().as_secs_f64();
-            Ok(out)
+            Ok(Arc::new(out))
         }
         Plan::Product { left, right } => {
             let l = run(db, left, cfg, stats)?;
@@ -85,7 +144,7 @@ fn run(db: &Database, plan: &Plan, cfg: &SamplerConfig, stats: &mut QueryStats) 
             let start = Instant::now();
             let out = algebra::product(&l, &r)?;
             stats.query_secs += start.elapsed().as_secs_f64();
-            Ok(out)
+            Ok(Arc::new(out))
         }
         Plan::EquiJoin { left, right, on } => {
             let l = run(db, left, cfg, stats)?;
@@ -95,7 +154,7 @@ fn run(db: &Database, plan: &Plan, cfg: &SamplerConfig, stats: &mut QueryStats) 
                 on.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
             let out = algebra::equi_join(&l, &r, &pairs)?;
             stats.query_secs += start.elapsed().as_secs_f64();
-            Ok(out)
+            Ok(Arc::new(out))
         }
         Plan::Union { left, right } => {
             let l = run(db, left, cfg, stats)?;
@@ -103,14 +162,14 @@ fn run(db: &Database, plan: &Plan, cfg: &SamplerConfig, stats: &mut QueryStats) 
             let start = Instant::now();
             let out = algebra::union(&l, &r)?;
             stats.query_secs += start.elapsed().as_secs_f64();
-            Ok(out)
+            Ok(Arc::new(out))
         }
         Plan::Distinct(input) => {
             let t = run(db, input, cfg, stats)?;
             let start = Instant::now();
             let out = algebra::distinct(&t)?;
             stats.query_secs += start.elapsed().as_secs_f64();
-            Ok(out)
+            Ok(Arc::new(out))
         }
         Plan::Difference { left, right } => {
             let l = run(db, left, cfg, stats)?;
@@ -118,7 +177,7 @@ fn run(db: &Database, plan: &Plan, cfg: &SamplerConfig, stats: &mut QueryStats) 
             let start = Instant::now();
             let out = algebra::difference(&l, &r)?;
             stats.query_secs += start.elapsed().as_secs_f64();
-            Ok(out)
+            Ok(Arc::new(out))
         }
         Plan::Aggregate {
             input,
@@ -129,14 +188,14 @@ fn run(db: &Database, plan: &Plan, cfg: &SamplerConfig, stats: &mut QueryStats) 
             let start = Instant::now();
             let out = aggregate(&t, group_by, aggs, cfg)?;
             stats.sample_secs += start.elapsed().as_secs_f64();
-            Ok(out)
+            Ok(Arc::new(out))
         }
         Plan::Conf(input) => {
             let t = run(db, input, cfg, stats)?;
             let start = Instant::now();
             let out = conf_table(&t, cfg)?;
             stats.sample_secs += start.elapsed().as_secs_f64();
-            Ok(out)
+            Ok(Arc::new(out))
         }
         Plan::Sort { input, keys } => {
             let t = run(db, input, cfg, stats)?;
@@ -145,44 +204,38 @@ fn run(db: &Database, plan: &Plan, cfg: &SamplerConfig, stats: &mut QueryStats) 
                 .iter()
                 .map(|(c, d)| Ok((t.schema().index_of(c)?, *d)))
                 .collect::<Result<Vec<_>>>()?;
-            // Sort keys must be deterministic, like group-by keys.
-            for row in t.rows() {
-                for &(i, _) in &idx {
-                    if row.cells[i].as_const().is_none() {
-                        return Err(PipError::Unsupported(format!(
-                            "ORDER BY on uncertain column '{}'",
-                            t.schema().columns()[i].name
-                        )));
-                    }
-                }
-            }
-            let mut rows = t.rows().to_vec();
-            rows.sort_by(|a, b| {
-                for &(i, desc) in &idx {
-                    let av = a.cells[i].as_const().expect("validated");
-                    let bv = b.cells[i].as_const().expect("validated");
-                    let ord = av.cmp_total(bv);
-                    let ord = if desc { ord.reverse() } else { ord };
-                    if !ord.is_eq() {
-                        return ord;
-                    }
-                }
-                std::cmp::Ordering::Equal
-            });
+            let rows = sort_rows(t.schema(), t.rows().to_vec(), &idx)?;
             let out = CTable::new(t.schema().clone(), rows)?;
             stats.query_secs += start.elapsed().as_secs_f64();
-            Ok(out)
+            Ok(Arc::new(out))
         }
         Plan::Limit { input, n } => {
             let t = run(db, input, cfg, stats)?;
             let rows = t.rows().iter().take(*n).cloned().collect();
-            Ok(CTable::new(t.schema().clone(), rows)?)
+            Ok(Arc::new(CTable::new(t.schema().clone(), rows)?))
         }
     }
 }
 
+/// Compute one projection cell. A bare column reference is an identity
+/// projection — the cell is copied verbatim (no re-simplification);
+/// computed expressions compile and simplify. Both executors share this.
+pub(crate) fn project_cell(
+    expr: &ScalarExpr,
+    schema: &Schema,
+    cells: &[Equation],
+    db: &Database,
+) -> Result<Equation> {
+    let eq = compile_scalar(expr, schema, cells, db)?;
+    Ok(if matches!(expr, ScalarExpr::Column(_)) {
+        eq
+    } else {
+        eq.simplify()
+    })
+}
+
 /// Static output type inference for projection expressions.
-fn output_type(expr: &ScalarExpr, schema: &Schema) -> DataType {
+pub(crate) fn output_type(expr: &ScalarExpr, schema: &Schema) -> DataType {
     match expr {
         ScalarExpr::Column(name) => schema
             .column(name)
@@ -199,35 +252,69 @@ fn output_type(expr: &ScalarExpr, schema: &Schema) -> DataType {
     }
 }
 
-/// Execute the aggregate head: group, then run sampling operators.
-fn aggregate(
-    table: &CTable,
+/// The ORDER BY kernel both executors share: validate that every sort
+/// key cell is deterministic (like group-by keys), then stably sort by
+/// `(column index, descending)` keys under the total value order.
+pub(crate) fn sort_rows(
+    schema: &Schema,
+    mut rows: Vec<CRow>,
+    keys: &[(usize, bool)],
+) -> Result<Vec<CRow>> {
+    for row in &rows {
+        for &(i, _) in keys {
+            if row.cells[i].as_const().is_none() {
+                return Err(PipError::Unsupported(format!(
+                    "ORDER BY on uncertain column '{}'",
+                    schema.columns()[i].name
+                )));
+            }
+        }
+    }
+    rows.sort_by(|a, b| {
+        for &(i, desc) in keys {
+            let av = a.cells[i].as_const().expect("validated");
+            let bv = b.cells[i].as_const().expect("validated");
+            let ord = av.cmp_total(bv);
+            let ord = if desc { ord.reverse() } else { ord };
+            if !ord.is_eq() {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(rows)
+}
+
+/// Output schema of an aggregate head: the group keys followed by one
+/// Float column per aggregate.
+pub(crate) fn aggregate_schema(
+    in_schema: &Schema,
     group_by: &[String],
     aggs: &[AggFunc],
-    cfg: &SamplerConfig,
-) -> Result<CTable> {
+) -> Result<Schema> {
     let mut cols: Vec<Column> = Vec::new();
     for g in group_by {
-        cols.push(table.schema().column(g)?.clone());
+        cols.push(in_schema.column(g)?.clone());
     }
     for a in aggs {
         cols.push(Column::new(a.output_name(), DataType::Float));
     }
-    let out_schema = Schema::new(cols)?;
-    let mut out = CTable::empty(out_schema);
+    Schema::new(cols)
+}
 
-    let groups: Vec<(Vec<pip_core::Value>, CTable)> = if group_by.is_empty() {
-        vec![(Vec::new(), table.clone())]
-    } else {
-        let keys: Vec<&str> = group_by.iter().map(String::as_str).collect();
-        algebra::partition_by(table, &keys)?
-    };
-
-    // Per-group sampling sites derive from the group's row contents (row
-    // index within the part), never from scheduling, so groups can fan
-    // out onto the shared pool without changing any number; the fold
-    // back into the result table stays in group order.
-    let group_row = |(key, part): &(Vec<pip_core::Value>, CTable)| -> Result<Vec<Equation>> {
+/// Run the aggregate sampling operators over pre-partitioned groups,
+/// returning one output cell vector per group (in group order).
+///
+/// Per-group sampling sites derive from the group's row contents (row
+/// index within the part), never from scheduling, so groups can fan out
+/// onto the shared pool without changing any number; the fold back into
+/// the result rows stays in group order. Both executors call this.
+pub(crate) fn group_head_rows(
+    groups: &[(Vec<Value>, CTable)],
+    aggs: &[AggFunc],
+    cfg: &SamplerConfig,
+) -> Result<Vec<Vec<Equation>>> {
+    let group_row = |(key, part): &(Vec<Value>, CTable)| -> Result<Vec<Equation>> {
         let mut cells: Vec<Equation> = key.iter().cloned().map(Equation::Const).collect();
         for a in aggs {
             let v = match a {
@@ -257,8 +344,28 @@ fn aggregate(
     } else {
         groups.iter().map(group_row).collect()
     };
-    for cells in rows {
-        out.push(CRow::unconditional(cells?))?;
+    rows.into_iter().collect()
+}
+
+/// Execute the aggregate head: group, then run sampling operators.
+fn aggregate(
+    table: &CTable,
+    group_by: &[String],
+    aggs: &[AggFunc],
+    cfg: &SamplerConfig,
+) -> Result<CTable> {
+    let out_schema = aggregate_schema(table.schema(), group_by, aggs)?;
+    let mut out = CTable::empty(out_schema);
+
+    let groups: Vec<(Vec<Value>, CTable)> = if group_by.is_empty() {
+        vec![(Vec::new(), table.clone())]
+    } else {
+        let keys: Vec<&str> = group_by.iter().map(String::as_str).collect();
+        algebra::partition_by(table, &keys)?
+    };
+
+    for cells in group_head_rows(&groups, aggs, cfg)? {
+        out.push(CRow::unconditional(cells))?;
     }
     Ok(out)
 }
@@ -381,6 +488,32 @@ mod tests {
         let truth = 100.0 * (1.0 - special::normal_cdf((7.0 - 5.0) / 2.0));
         assert!((v - truth).abs() < 2.0, "{v} vs {truth}");
         assert!(stats.query_secs >= 0.0 && stats.sample_secs > 0.0);
+        // The physical tree was profiled: an aggregate head over a join.
+        assert!(
+            stats.ops[0].name.starts_with("Aggregate"),
+            "{:?}",
+            stats.ops
+        );
+        assert!(stats.ops[0].sampling);
+        assert!(stats.ops.iter().any(|p| p.name.starts_with("HashJoin")));
+    }
+
+    #[test]
+    fn streaming_matches_materialized_on_the_paper_query() {
+        let db = shipping_db();
+        let plan = PlanBuilder::scan("orders")
+            .equi_join(PlanBuilder::scan("shipping"), vec![("ship_to", "dest")])
+            .select(ScalarExpr::col("duration").ge(ScalarExpr::lit(7.0)))
+            .unwrap()
+            .aggregate(
+                vec!["cust"],
+                vec![AggFunc::ExpectedSum("price".into()), AggFunc::Conf],
+            )
+            .build();
+        let cfg = SamplerConfig::default();
+        let streamed = execute(&db, &plan, &cfg).unwrap();
+        let materialized = execute_materialized(&db, &plan, &cfg).unwrap();
+        assert_eq!(streamed, materialized);
     }
 
     #[test]
@@ -562,5 +695,18 @@ mod tests {
         let db = Database::new();
         let cfg = SamplerConfig::default();
         assert!(execute(&db, &Plan::Scan("ghost".into()), &cfg).is_err());
+        assert!(execute_materialized(&db, &Plan::Scan("ghost".into()), &cfg).is_err());
+    }
+
+    #[test]
+    fn bare_scan_returns_the_table_without_mutating_the_catalog() {
+        let db = shipping_db();
+        let cfg = SamplerConfig::default();
+        let v0 = db.version();
+        let t = execute(&db, &Plan::Scan("orders".into()), &cfg).unwrap();
+        let m = execute_materialized(&db, &Plan::Scan("orders".into()), &cfg).unwrap();
+        assert_eq!(t, m);
+        assert_eq!(t.len(), 2);
+        assert_eq!(db.version(), v0);
     }
 }

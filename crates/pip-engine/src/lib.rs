@@ -2,30 +2,40 @@
 //!
 //! The query engine PIP runs on — the role PostgreSQL plays for the
 //! paper's plugin (Section V): a catalog of c-tables, logical plans with
-//! a fluent builder, an executor that tracks the query/sample phase
-//! split, the CTYPE-hoisting rewriter, and a SQL front-end supporting
-//! `CREATE TABLE` / `INSERT` / `SELECT` with `create_variable(...)`,
-//! `expected_sum`, `expected_count`, `expected_avg`, `expected_max` and
-//! `conf()`.
+//! a fluent builder, an optimizer (predicate + projection pushdown), a
+//! pipelined physical executor ([`physical`]) with a materializing
+//! reference interpreter beside it, the CTYPE-hoisting rewriter, and a
+//! SQL front-end supporting `CREATE TABLE` / `INSERT` / `SELECT` /
+//! `EXPLAIN [ANALYZE]` with `create_variable(...)`, `expected_sum`,
+//! `expected_count`, `expected_avg`, `expected_max` and `conf()`.
 
 pub mod catalog;
 pub mod exec;
 pub mod optimize;
+pub mod physical;
 pub mod plan;
 pub mod rewrite;
 pub mod sql;
 
 pub use catalog::Database;
-pub use exec::{execute, execute_with_stats, scalar_result, QueryStats};
+pub use exec::{
+    execute, execute_materialized, execute_materialized_with_stats, execute_with_stats,
+    scalar_result, QueryStats,
+};
 pub use optimize::{optimize, plan_schema};
+pub use physical::{lower, OpProfile, PhysicalPlan};
 pub use plan::{AggFunc, Plan, PlanBuilder, ScalarExpr};
 pub use rewrite::{compile_predicate, compile_scalar};
 
 /// Glob-import surface.
 pub mod prelude {
     pub use crate::catalog::Database;
-    pub use crate::exec::{execute, execute_with_stats, scalar_result, QueryStats};
+    pub use crate::exec::{
+        execute, execute_materialized, execute_materialized_with_stats, execute_with_stats,
+        scalar_result, QueryStats,
+    };
     pub use crate::optimize::{optimize, plan_schema};
+    pub use crate::physical::{lower, OpProfile, PhysicalPlan};
     pub use crate::plan::{AggFunc, Plan, PlanBuilder, ScalarExpr};
     pub use crate::sql;
 }

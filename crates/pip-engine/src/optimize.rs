@@ -101,53 +101,64 @@ fn rebuild(mut parts: Vec<ScalarExpr>) -> Option<ScalarExpr> {
     }
 }
 
-/// Optimize a plan: recursively push selection conjuncts below products
-/// and equi-joins when they reference only one side's columns, and fuse
-/// adjacent selects.
+/// Optimize a plan: push selection conjuncts below products and
+/// equi-joins when they reference only one side's columns, fuse
+/// adjacent selects, then prune unreferenced base-table columns with
+/// narrow projections over the scans (projection pushdown — the fewer
+/// cells each scanned row carries, the less every operator above
+/// clones).
 pub fn optimize(db: &Database, plan: Plan) -> Result<Plan> {
+    let plan = push_selects(db, plan)?;
+    prune_columns(db, plan, None)
+}
+
+/// The predicate-pushdown / select-fusion pass alone (no column
+/// pruning). Exposed so benchmarks can isolate what projection pushdown
+/// buys on top; [`optimize`] runs both passes.
+pub fn push_selects(db: &Database, plan: Plan) -> Result<Plan> {
     Ok(match plan {
         Plan::Select { input, predicate } => {
-            let input = optimize(db, *input)?;
+            let input = push_selects(db, *input)?;
             push_select(db, input, predicate)?
         }
         Plan::Project { input, exprs } => Plan::Project {
-            input: Box::new(optimize(db, *input)?),
+            input: Box::new(push_selects(db, *input)?),
             exprs,
         },
         Plan::Product { left, right } => Plan::Product {
-            left: Box::new(optimize(db, *left)?),
-            right: Box::new(optimize(db, *right)?),
+            left: Box::new(push_selects(db, *left)?),
+            right: Box::new(push_selects(db, *right)?),
         },
         Plan::EquiJoin { left, right, on } => Plan::EquiJoin {
-            left: Box::new(optimize(db, *left)?),
-            right: Box::new(optimize(db, *right)?),
+            left: Box::new(push_selects(db, *left)?),
+            right: Box::new(push_selects(db, *right)?),
             on,
         },
         Plan::Union { left, right } => Plan::Union {
-            left: Box::new(optimize(db, *left)?),
-            right: Box::new(optimize(db, *right)?),
+            left: Box::new(push_selects(db, *left)?),
+            right: Box::new(push_selects(db, *right)?),
         },
-        Plan::Distinct(input) => Plan::Distinct(Box::new(optimize(db, *input)?)),
+        Plan::Distinct(input) => Plan::Distinct(Box::new(push_selects(db, *input)?)),
         Plan::Difference { left, right } => Plan::Difference {
-            left: Box::new(optimize(db, *left)?),
-            right: Box::new(optimize(db, *right)?),
+            left: Box::new(push_selects(db, *left)?),
+            right: Box::new(push_selects(db, *right)?),
         },
         Plan::Aggregate {
             input,
             group_by,
             aggs,
         } => Plan::Aggregate {
-            input: Box::new(optimize(db, *input)?),
+            input: Box::new(push_selects(db, *input)?),
             group_by,
             aggs,
         },
-        Plan::Conf(input) => Plan::Conf(Box::new(optimize(db, *input)?)),
+        Plan::Conf(input) => Plan::Conf(Box::new(push_selects(db, *input)?)),
         Plan::Sort { input, keys } => Plan::Sort {
-            input: Box::new(optimize(db, *input)?),
+            input: Box::new(push_selects(db, *input)?),
             keys,
         },
         Plan::Limit { input, n } => Plan::Limit {
-            input: Box::new(optimize(db, *input)?),
+            input: Box::new(push_selects(db, *input)?),
             n,
         },
         leaf @ Plan::Scan(_) => leaf,
@@ -246,6 +257,173 @@ trait PipeOk: Sized {
 }
 
 impl PipeOk for Plan {}
+
+/// Add `names` to a requirement set (`None` means "all columns").
+fn require(req: &mut Option<Vec<String>>, names: &[String]) {
+    if let Some(set) = req {
+        for n in names {
+            if !set.contains(n) {
+                set.push(n.clone());
+            }
+        }
+    }
+}
+
+/// The projection-pushdown pass: propagate the set of columns each node
+/// actually needs downward and wrap base-table scans whose schema is a
+/// strict superset in a narrow column projection.
+///
+/// `required = None` means every column is needed. The pass is
+/// deliberately conservative: nodes whose semantics depend on the whole
+/// row (`distinct`, `difference`, `union`, `conf`) reset the requirement
+/// to "all", as does any column name that does not bind unambiguously to
+/// exactly one side of a product/join (e.g. post-join `.right` renames).
+fn prune_columns(db: &Database, plan: Plan, required: Option<Vec<String>>) -> Result<Plan> {
+    Ok(match plan {
+        Plan::Scan(name) => {
+            let schema = db.table(&name)?.schema().clone();
+            let keep: Vec<&pip_core::Column> = match &required {
+                None => return Ok(Plan::Scan(name)),
+                Some(req) => schema
+                    .columns()
+                    .iter()
+                    .filter(|c| req.contains(&c.name))
+                    .collect(),
+            };
+            if keep.is_empty() || keep.len() == schema.len() {
+                return Ok(Plan::Scan(name));
+            }
+            Plan::Project {
+                input: Box::new(Plan::Scan(name)),
+                exprs: keep
+                    .into_iter()
+                    .map(|c| (c.name.clone(), ScalarExpr::col(c.name.clone())))
+                    .collect(),
+            }
+        }
+        Plan::Select { input, predicate } => {
+            let mut req = required;
+            let mut cols = Vec::new();
+            columns_of(&predicate, &mut cols);
+            require(&mut req, &cols);
+            Plan::Select {
+                input: Box::new(prune_columns(db, *input, req)?),
+                predicate,
+            }
+        }
+        Plan::Project { input, exprs } => {
+            // A projection redefines the row: only its own inputs matter.
+            let mut cols = Vec::new();
+            for (_, e) in &exprs {
+                columns_of(e, &mut cols);
+            }
+            Plan::Project {
+                input: Box::new(prune_columns(db, *input, Some(cols))?),
+                exprs,
+            }
+        }
+        Plan::Product { left, right } => {
+            let (l_req, r_req) = split_requirement(db, &left, &right, required, &[])?;
+            Plan::Product {
+                left: Box::new(prune_columns(db, *left, l_req)?),
+                right: Box::new(prune_columns(db, *right, r_req)?),
+            }
+        }
+        Plan::EquiJoin { left, right, on } => {
+            let (l_req, r_req) = split_requirement(db, &left, &right, required, &on)?;
+            Plan::EquiJoin {
+                left: Box::new(prune_columns(db, *left, l_req)?),
+                right: Box::new(prune_columns(db, *right, r_req)?),
+                on,
+            }
+        }
+        // Positional (union/difference) and whole-row (distinct/conf)
+        // semantics: every column stays live.
+        Plan::Union { left, right } => Plan::Union {
+            left: Box::new(prune_columns(db, *left, None)?),
+            right: Box::new(prune_columns(db, *right, None)?),
+        },
+        Plan::Difference { left, right } => Plan::Difference {
+            left: Box::new(prune_columns(db, *left, None)?),
+            right: Box::new(prune_columns(db, *right, None)?),
+        },
+        Plan::Distinct(input) => Plan::Distinct(Box::new(prune_columns(db, *input, None)?)),
+        Plan::Conf(input) => Plan::Conf(Box::new(prune_columns(db, *input, None)?)),
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            let mut cols: Vec<String> = group_by.clone();
+            for a in &aggs {
+                if let crate::plan::AggFunc::ExpectedSum(c)
+                | crate::plan::AggFunc::ExpectedAvg(c)
+                | crate::plan::AggFunc::ExpectedMax { column: c, .. } = a
+                {
+                    if !cols.contains(c) {
+                        cols.push(c.clone());
+                    }
+                }
+            }
+            Plan::Aggregate {
+                input: Box::new(prune_columns(db, *input, Some(cols))?),
+                group_by,
+                aggs,
+            }
+        }
+        Plan::Sort { input, keys } => {
+            let mut req = required;
+            let key_cols: Vec<String> = keys.iter().map(|(c, _)| c.clone()).collect();
+            require(&mut req, &key_cols);
+            Plan::Sort {
+                input: Box::new(prune_columns(db, *input, req)?),
+                keys,
+            }
+        }
+        Plan::Limit { input, n } => Plan::Limit {
+            input: Box::new(prune_columns(db, *input, required)?),
+            n,
+        },
+    })
+}
+
+/// Attribute a requirement set to the two sides of a product/join. Any
+/// name that does not bind to exactly one side (absent, or present on
+/// both — it would be `.right`-renamed in the joined schema) makes the
+/// split bail out to "all columns" on both sides.
+#[allow(clippy::type_complexity)]
+fn split_requirement(
+    db: &Database,
+    left: &Plan,
+    right: &Plan,
+    required: Option<Vec<String>>,
+    on: &[(String, String)],
+) -> Result<(Option<Vec<String>>, Option<Vec<String>>)> {
+    let Some(req) = required else {
+        return Ok((None, None));
+    };
+    let l_schema = plan_schema(db, left)?;
+    let r_schema = plan_schema(db, right)?;
+    let has = |s: &Schema, c: &str| s.index_of(c).is_ok();
+    let mut l_req: Vec<String> = Vec::new();
+    let mut r_req: Vec<String> = Vec::new();
+    for name in req {
+        match (has(&l_schema, &name), has(&r_schema, &name)) {
+            (true, false) => l_req.push(name),
+            (false, true) => r_req.push(name),
+            _ => return Ok((None, None)), // ambiguous or unknown
+        }
+    }
+    for (l, r) in on {
+        if !l_req.contains(l) {
+            l_req.push(l.clone());
+        }
+        if !r_req.contains(r) {
+            r_req.push(r.clone());
+        }
+    }
+    Ok((Some(l_req), Some(r_req)))
+}
 
 #[cfg(test)]
 mod tests {
@@ -370,6 +548,87 @@ mod tests {
             Plan::EquiJoin { left, .. } => {
                 assert!(matches!(*left, Plan::Select { .. }));
             }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn projection_pushdown_prunes_scans_under_aggregates() {
+        let db = setup();
+        // Only `a` is referenced: `b` should be pruned at the scan.
+        let plan = PlanBuilder::scan("l")
+            .aggregate(vec![], vec![crate::plan::AggFunc::ExpectedSum("a".into())])
+            .build();
+        let opt = optimize(&db, plan.clone()).unwrap();
+        match &opt {
+            Plan::Aggregate { input, .. } => match &**input {
+                Plan::Project { input, exprs } => {
+                    assert_eq!(exprs.len(), 1);
+                    assert_eq!(exprs[0].0, "a");
+                    assert!(matches!(**input, Plan::Scan(_)));
+                }
+                other => panic!("expected pruning projection, got {other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+        let cfg = SamplerConfig::default();
+        let a = crate::exec::execute(&db, &plan, &cfg).unwrap();
+        let b = crate::exec::execute(&db, &opt, &cfg).unwrap();
+        assert_eq!(a.rows(), b.rows());
+    }
+
+    #[test]
+    fn projection_pushdown_splits_across_joins() {
+        let db = setup();
+        // d is never used; c is a join key and must survive.
+        let plan = PlanBuilder::scan("l")
+            .equi_join(PlanBuilder::scan("r"), vec![("a", "c")])
+            .project(vec![("b", ScalarExpr::col("b"))])
+            .build();
+        let opt = optimize(&db, plan.clone()).unwrap();
+        let text = opt.explain();
+        assert!(text.contains("Project: [c]"), "{text}");
+        let cfg = SamplerConfig::default();
+        assert_eq!(
+            crate::exec::execute(&db, &plan, &cfg).unwrap().rows(),
+            crate::exec::execute(&db, &opt, &cfg).unwrap().rows()
+        );
+    }
+
+    #[test]
+    fn projection_pushdown_respects_whole_row_operators() {
+        let db = setup();
+        // distinct dedups on all cells: nothing may be pruned below it.
+        let plan = PlanBuilder::scan("l")
+            .distinct()
+            .aggregate(vec![], vec![crate::plan::AggFunc::ExpectedCount])
+            .build();
+        let opt = optimize(&db, plan).unwrap();
+        match &opt {
+            Plan::Aggregate { input, .. } => match &**input {
+                Plan::Distinct(inner) => assert!(matches!(**inner, Plan::Scan(_)), "{inner:?}"),
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+        // Ambiguous names across a product bail out to no pruning.
+        db.create_table("l2", Schema::of(&[("a", DataType::Int)]))
+            .unwrap();
+        db.create_table("r2", Schema::of(&[("a", DataType::Int)]))
+            .unwrap();
+        let plan = PlanBuilder::scan("l2")
+            .product(PlanBuilder::scan("r2"))
+            .aggregate(vec![], vec![crate::plan::AggFunc::ExpectedSum("a".into())])
+            .build();
+        let opt = optimize(&db, plan).unwrap();
+        match &opt {
+            Plan::Aggregate { input, .. } => match &**input {
+                Plan::Product { left, right } => {
+                    assert!(matches!(**left, Plan::Scan(_)));
+                    assert!(matches!(**right, Plan::Scan(_)));
+                }
+                other => panic!("{other:?}"),
+            },
             other => panic!("{other:?}"),
         }
     }

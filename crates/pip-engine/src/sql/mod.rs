@@ -83,7 +83,57 @@ pub fn run_statement(db: &Database, stmt: Statement, cfg: &SamplerConfig) -> Res
             let plan = crate::optimize::optimize(db, plan)?;
             execute(db, &plan, cfg)
         }
+        Statement::Explain { plan, analyze } => explain_statement(db, plan, analyze, cfg),
     }
+}
+
+/// Run `EXPLAIN [ANALYZE]`: one `plan` text row per tree line — the
+/// optimized logical plan, then the physical operator tree (with
+/// per-operator rows-out and wall time under ANALYZE, which executes
+/// the query to measure them).
+fn explain_statement(
+    db: &Database,
+    plan: crate::plan::Plan,
+    analyze: bool,
+    cfg: &SamplerConfig,
+) -> Result<CTable> {
+    let plan = crate::optimize::optimize(db, plan)?;
+    let mut lines: Vec<String> = Vec::new();
+    lines.push("-- logical plan --".to_string());
+    lines.extend(plan.explain().lines().map(String::from));
+    let mut phys = crate::physical::lower(db, &plan, cfg)?;
+    if analyze {
+        let t0 = std::time::Instant::now();
+        let result = phys.collect()?;
+        let total = t0.elapsed().as_secs_f64();
+        let sample_secs: f64 = phys
+            .profiles()
+            .iter()
+            .filter(|p| p.sampling)
+            .map(|p| p.exclusive_secs)
+            .sum();
+        lines.push("-- physical plan (analyzed) --".to_string());
+        lines.extend(phys.explain(true).lines().map(String::from));
+        lines.push(format!(
+            "-- {} result rows; query phase {:.6}s, sample phase {:.6}s --",
+            result.len(),
+            (total - sample_secs).max(0.0),
+            sample_secs
+        ));
+    } else {
+        lines.push("-- physical plan --".to_string());
+        lines.extend(phys.explain(false).lines().map(String::from));
+    }
+    let mut out = CTable::empty(Schema::new(vec![Column::new(
+        "plan".to_string(),
+        pip_core::DataType::Str,
+    )])?);
+    for line in lines {
+        out.push(CRow::unconditional(vec![Equation::val(
+            pip_core::Value::str(line),
+        )]))?;
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -167,6 +217,37 @@ mod tests {
         assert_eq!(r.len(), 2);
         let p_ny = r.rows()[0].cells[1].as_const().unwrap().as_f64().unwrap();
         assert!((p_ny - (1.0 - special::normal_cdf(1.0))).abs() < 1e-3);
+    }
+
+    #[test]
+    fn explain_and_explain_analyze_via_sql() {
+        let (db, cfg) = db_with_orders();
+        let q = "SELECT expected_sum(price) FROM orders, shipping \
+                 WHERE ship_to = dest AND duration >= 7";
+        let t = run(&db, &format!("EXPLAIN {q}"), &cfg).unwrap();
+        let text: Vec<String> = t
+            .rows()
+            .iter()
+            .map(|r| r.cells[0].as_const().unwrap().as_str().unwrap().to_string())
+            .collect();
+        let text = text.join("\n");
+        assert!(text.contains("-- logical plan --"), "{text}");
+        assert!(text.contains("-- physical plan --"), "{text}");
+        assert!(text.contains("Scan: orders"), "{text}");
+        // Plain EXPLAIN does not execute: no row counts.
+        assert!(!text.contains("rows="), "{text}");
+
+        let t = run(&db, &format!("EXPLAIN ANALYZE {q}"), &cfg).unwrap();
+        let text: Vec<String> = t
+            .rows()
+            .iter()
+            .map(|r| r.cells[0].as_const().unwrap().as_str().unwrap().to_string())
+            .collect();
+        let text = text.join("\n");
+        assert!(text.contains("-- physical plan (analyzed) --"), "{text}");
+        assert!(text.contains("rows="), "{text}");
+        assert!(text.contains("sample phase"), "{text}");
+        assert!(text.contains("Aggregate"), "{text}");
     }
 
     #[test]

@@ -4,7 +4,8 @@
 //! the paper's evaluation):
 //!
 //! ```text
-//! stmt      := create | insert | select
+//! stmt      := create | insert | select | explain
+//! explain   := EXPLAIN [ANALYZE] select
 //! create    := CREATE TABLE name '(' col type (',' col type)* ')'
 //! insert    := INSERT INTO name VALUES tuple (',' tuple)*
 //! select    := SELECT target (',' target)* FROM from_item (',' from_item)*
@@ -40,6 +41,13 @@ pub enum Statement {
         rows: Vec<Vec<ScalarExpr>>,
     },
     Select(Plan),
+    /// `EXPLAIN [ANALYZE] SELECT ...` — render the optimized logical and
+    /// physical trees; with ANALYZE, execute and include per-operator
+    /// rows-out and wall time.
+    Explain {
+        plan: Plan,
+        analyze: bool,
+    },
 }
 
 struct Parser {
@@ -140,8 +148,16 @@ impl Parser {
         if self.eat_kw("select") {
             return self.select();
         }
+        if self.eat_kw("explain") {
+            let analyze = self.eat_kw("analyze");
+            self.expect_kw("select")?;
+            return match self.select()? {
+                Statement::Select(plan) => Ok(Statement::Explain { plan, analyze }),
+                other => unreachable!("select() returned {other:?}"),
+            };
+        }
         Err(PipError::Sql(format!(
-            "expected CREATE, INSERT or SELECT, found {:?}",
+            "expected CREATE, INSERT, SELECT or EXPLAIN, found {:?}",
             self.peek()
         )))
     }
@@ -679,6 +695,29 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn explain_statements() {
+        let s = parse("EXPLAIN SELECT * FROM t WHERE a > 0").unwrap();
+        match s {
+            Statement::Explain { analyze, plan } => {
+                assert!(!analyze);
+                assert!(matches!(plan, Plan::Select { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+        let s = parse("EXPLAIN ANALYZE SELECT expected_sum(a) FROM t").unwrap();
+        match s {
+            Statement::Explain { analyze, plan } => {
+                assert!(analyze);
+                assert!(matches!(plan, Plan::Aggregate { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+        // EXPLAIN applies to SELECT only.
+        assert!(parse("EXPLAIN CREATE TABLE t (a INT)").is_err());
+        assert!(parse("EXPLAIN ANALYZE").is_err());
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod histogram;
 pub mod metropolis;
 pub mod parallel;
 pub mod strategy;
+pub mod streaming;
 pub mod worlds;
 
 pub use aggregate::{
@@ -46,6 +47,7 @@ pub use expectation::{expectation, expectation_samples, ExpectationResult};
 pub use histogram::{quantile, Histogram};
 pub use parallel::{expectation_chunked, ChunkAccumulator, ParallelSampler};
 pub use strategy::{exact_group_probability, GroupSampler};
+pub use streaming::{ConfStream, StreamingGroups};
 pub use worlds::sample_worlds;
 
 /// Glob-import surface.
@@ -60,5 +62,6 @@ pub mod prelude {
     pub use crate::histogram::{quantile, Histogram};
     pub use crate::parallel::{expectation_chunked, ChunkAccumulator, ParallelSampler};
     pub use crate::strategy::{exact_group_probability, GroupSampler};
+    pub use crate::streaming::{ConfStream, StreamingGroups};
     pub use crate::worlds::sample_worlds;
 }

@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! QUERY <sql>              run one SQL statement
+//! STREAM <sql>             run one SQL statement, rows on the wire as produced
 //! PREPARE <name> AS <sql>  parse + plan a SELECT once
 //! EXEC <name>              run a prepared statement
 //! DEALLOCATE <name>        forget a prepared statement
@@ -13,20 +14,28 @@
 //! QUIT                     close the connection
 //! ```
 //!
-//! Result-set responses are `OK <n> rows (<fresh|cached>)`, a tab
+//! `QUERY` result sets are `OK <n> rows (<fresh|cached>)`, a tab
 //! separated header line, one line per row (rows still carrying a
 //! non-trivial c-table condition render it after an `IF`), then `END`.
+//! `STREAM` cannot know the row count up front — its frame is
+//! `STREAM BEGIN`, the header, rows written as the physical operator
+//! tree produces them, then `END <n> rows (<fresh|cached>)`; an error
+//! mid-stream terminates the frame with an `ERR` line instead of `END`.
 //! All other successes answer with a single `OK ...` line; failures
 //! answer `ERR <message>` and keep the connection open.
 
-use pip_ctable::CTable;
+use std::io::{self, Write};
+use std::sync::Arc;
 
-use crate::session::Session;
+use pip_ctable::{CRow, CTable};
+
+use crate::session::{Session, StreamQuery};
 
 /// A parsed client request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Command {
     Query(String),
+    Stream(String),
     Prepare { name: String, sql: String },
     Exec(String),
     Deallocate(String),
@@ -46,6 +55,8 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
     match word.to_ascii_uppercase().as_str() {
         "QUERY" if !rest.is_empty() => Ok(Command::Query(rest.to_string())),
         "QUERY" => Err("QUERY requires a SQL statement".into()),
+        "STREAM" if !rest.is_empty() => Ok(Command::Stream(rest.to_string())),
+        "STREAM" => Err("STREAM requires a SQL statement".into()),
         "PREPARE" => {
             // PREPARE <name> AS <sql>
             let (name, tail) = rest
@@ -81,7 +92,7 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
         "QUIT" | "EXIT" => Ok(Command::Quit),
         "" => Err("empty request".into()),
         other => Err(format!(
-            "unknown command '{other}' (try QUERY/PREPARE/EXEC/SET/STATS/PING/QUIT)"
+            "unknown command '{other}' (try QUERY/STREAM/PREPARE/EXEC/SET/STATS/PING/QUIT)"
         )),
     }
 }
@@ -101,10 +112,26 @@ impl Reply {
         }
     }
 
-    fn err(msg: impl std::fmt::Display) -> Reply {
+    pub(crate) fn err(msg: impl std::fmt::Display) -> Reply {
         let one_line = msg.to_string().replace('\n', "; ");
         Reply::line(format!("ERR {one_line}"))
     }
+}
+
+/// Render the tab-separated header line for a schema.
+fn render_header(schema: &pip_core::Schema) -> String {
+    let header: Vec<&str> = schema.columns().iter().map(|c| c.name.as_str()).collect();
+    header.join("\t")
+}
+
+/// Render one result row (with its condition after `IF` when present).
+fn render_row(row: &CRow) -> String {
+    let cells: Vec<String> = row.cells.iter().map(|c| format!("{c}")).collect();
+    let mut line = cells.join("\t");
+    if !row.condition.is_trivially_true() {
+        line.push_str(&format!("\tIF {}", row.condition));
+    }
+    line
 }
 
 /// Render a result table as the multi-line `OK ... END` block.
@@ -112,24 +139,68 @@ fn render_table(table: &CTable, cached: bool) -> String {
     let mut out = String::new();
     let freshness = if cached { "cached" } else { "fresh" };
     out.push_str(&format!("OK {} rows ({freshness})\n", table.len()));
-    let header: Vec<&str> = table
-        .schema()
-        .columns()
-        .iter()
-        .map(|c| c.name.as_str())
-        .collect();
-    out.push_str(&header.join("\t"));
+    out.push_str(&render_header(table.schema()));
     out.push('\n');
     for row in table.rows() {
-        let cells: Vec<String> = row.cells.iter().map(|c| format!("{c}")).collect();
-        out.push_str(&cells.join("\t"));
-        if !row.condition.is_trivially_true() {
-            out.push_str(&format!("\tIF {}", row.condition));
-        }
+        out.push_str(&render_row(row));
         out.push('\n');
     }
     out.push_str("END\n");
     out
+}
+
+/// Execute `STREAM <sql>`: rows are written to `out` as the physical
+/// operator tree produces them (one `write` per row — on a TCP sink
+/// each row leaves the process before the next is computed). A fresh
+/// SELECT's collected result still lands in the session's sample-result
+/// cache, so later `QUERY`/`STREAM` calls with the same text hit it.
+pub fn handle_stream(session: &mut Session, sql: &str, out: &mut dyn Write) -> io::Result<()> {
+    let replay = |out: &mut dyn Write, table: &CTable, cached: bool| -> io::Result<()> {
+        writeln!(out, "STREAM BEGIN")?;
+        writeln!(out, "{}", render_header(table.schema()))?;
+        for row in table.rows() {
+            writeln!(out, "{}", render_row(row))?;
+        }
+        let freshness = if cached { "cached" } else { "fresh" };
+        writeln!(out, "END {} rows ({freshness})", table.len())
+    };
+    let (plan, cfg, key) = match session.open_stream(sql) {
+        Err(e) => return writeln!(out, "ERR {}", e.to_string().replace('\n', "; ")),
+        Ok(StreamQuery::Cached(table)) => return replay(out, &table, true),
+        Ok(StreamQuery::Table(table)) => return replay(out, &table, false),
+        Ok(StreamQuery::Live { plan, cfg, key }) => (plan, cfg, key),
+    };
+    let db = Arc::clone(session.database());
+    let mut phys = match pip_engine::lower(&db, &plan, &cfg) {
+        Ok(p) => p,
+        Err(e) => return writeln!(out, "ERR {}", e.to_string().replace('\n', "; ")),
+    };
+    writeln!(out, "STREAM BEGIN")?;
+    writeln!(out, "{}", render_header(phys.schema()))?;
+    let mut table = CTable::empty(phys.schema().clone());
+    loop {
+        match phys.next_row() {
+            Ok(Some(row)) => {
+                writeln!(out, "{}", render_row(&row))?;
+                // Arity was checked at lowering, so this cannot fail —
+                // but if an operator ever emitted a malformed row,
+                // caching a truncated table would silently corrupt
+                // later QUERY hits; terminate the frame instead.
+                if let Err(e) = table.push(row) {
+                    return writeln!(out, "ERR {}", e.to_string().replace('\n', "; "));
+                }
+            }
+            Ok(None) => break,
+            Err(e) => {
+                // Terminate the frame in place of END.
+                return writeln!(out, "ERR {}", e.to_string().replace('\n', "; "));
+            }
+        }
+    }
+    let n = table.len();
+    drop(phys);
+    session.note_streamed(key, Arc::new(table));
+    writeln!(out, "END {n} rows (fresh)")
 }
 
 fn apply_set(session: &mut Session, key: &str, value: &str) -> Result<String, String> {
@@ -181,6 +252,13 @@ pub fn handle_line(session: &mut Session, line: &str) -> Reply {
         Ok(c) => c,
         Err(e) => return Reply::err(e),
     };
+    handle_command(session, cmd)
+}
+
+/// Execute one already-parsed command against a session (the TCP server
+/// parses once to route `STREAM` to the socket writer and hands every
+/// other command here).
+pub fn handle_command(session: &mut Session, cmd: Command) -> Reply {
     match cmd {
         Command::Query(sql) => match session.query(&sql) {
             Ok(r) => Reply {
@@ -189,6 +267,18 @@ pub fn handle_line(session: &mut Session, line: &str) -> Reply {
             },
             Err(e) => Reply::err(e),
         },
+        Command::Stream(sql) => {
+            // Buffered fallback for non-socket callers; the TCP server
+            // calls handle_stream with the connection writer instead.
+            let mut buf: Vec<u8> = Vec::new();
+            match handle_stream(session, &sql, &mut buf) {
+                Ok(()) => Reply {
+                    text: String::from_utf8_lossy(&buf).into_owned(),
+                    close: false,
+                },
+                Err(e) => Reply::err(e),
+            }
+        }
         Command::Prepare { name, sql } => match session.prepare(&name, &sql) {
             Ok(()) => Reply::line(format!("OK prepared {name}")),
             Err(e) => Reply::err(e),
@@ -295,6 +385,34 @@ mod tests {
         assert!(r.text.contains("cache_hits=1"), "{}", r.text);
         let r = handle_line(&mut s, "QUIT");
         assert!(r.close);
+    }
+
+    #[test]
+    fn stream_frames_rows_and_hits_the_cache() {
+        let mut s = session();
+        handle_line(&mut s, "QUERY CREATE TABLE t (a INT)");
+        handle_line(&mut s, "QUERY INSERT INTO t VALUES (1), (2), (3)");
+        let r = handle_line(&mut s, "STREAM SELECT * FROM t");
+        assert!(
+            r.text
+                .starts_with("STREAM BEGIN\na\n1\n2\n3\nEND 3 rows (fresh)"),
+            "{}",
+            r.text
+        );
+        // Same text through QUERY now hits the streamed result's cache entry.
+        let r = handle_line(&mut s, "QUERY SELECT * FROM t");
+        assert!(r.text.starts_with("OK 3 rows (cached)"), "{}", r.text);
+        // And STREAM replays cached results too.
+        let r = handle_line(&mut s, "STREAM SELECT * FROM t");
+        assert!(
+            r.text.trim_end().ends_with("END 3 rows (cached)"),
+            "{}",
+            r.text
+        );
+        // Errors keep the ERR framing.
+        let r = handle_line(&mut s, "STREAM SELECT * FROM ghost");
+        assert!(r.text.starts_with("ERR "), "{}", r.text);
+        assert!(parse_command("STREAM").is_err());
     }
 
     #[test]

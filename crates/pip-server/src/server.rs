@@ -206,7 +206,7 @@ fn handle_connection(stream: TcpStream, manager: &SessionManager) -> io::Result<
     let mut writer = stream.try_clone()?;
     writer.write_all(
         format!(
-            "PIP server ready (session {}); commands: QUERY/PREPARE/EXEC/SET/STATS/PING/QUIT\n",
+            "PIP server ready (session {}); commands: QUERY/STREAM/PREPARE/EXEC/SET/STATS/PING/QUIT\n",
             session.id()
         )
         .as_bytes(),
@@ -222,7 +222,17 @@ fn handle_connection(stream: TcpStream, manager: &SessionManager) -> io::Result<
         if line.trim().is_empty() {
             continue;
         }
-        let reply = protocol::handle_line(&mut session, &line);
+        // STREAM writes rows straight onto the socket as the physical
+        // plan produces them; everything else replies as one block.
+        let reply = match protocol::parse_command(&line) {
+            Ok(protocol::Command::Stream(sql)) => {
+                protocol::handle_stream(&mut session, &sql, &mut writer)?;
+                writer.flush()?;
+                continue;
+            }
+            Ok(cmd) => protocol::handle_command(&mut session, cmd),
+            Err(e) => protocol::Reply::err(e),
+        };
         writer.write_all(reply.text.as_bytes())?;
         writer.flush()?;
         if reply.close {

@@ -50,6 +50,23 @@ pub struct QueryReply {
     pub cached: bool,
 }
 
+/// A statement opened for streaming execution ([`Session::open_stream`]).
+pub enum StreamQuery {
+    /// Result-cache hit: the whole table, rows replayed to the sink.
+    Cached(Arc<CTable>),
+    /// Live pipelined execution: lower `plan` against the shared catalog
+    /// (`pip_engine::lower`), drain it row by row, then hand the
+    /// collected table back via [`Session::note_streamed`] under `key`
+    /// so later identical queries hit the cache.
+    Live {
+        plan: Plan,
+        cfg: SamplerConfig,
+        key: String,
+    },
+    /// Non-SELECT statement, executed eagerly (DDL/DML/EXPLAIN).
+    Table(Arc<CTable>),
+}
+
 /// One client's view of the service.
 pub struct Session {
     id: u64,
@@ -127,6 +144,40 @@ impl Session {
                 })
             }
         }
+    }
+
+    /// Open one SQL statement for streaming execution: rows of a live
+    /// `SELECT` leave through the physical operator tree as they are
+    /// produced instead of waiting for the full result table. Cache
+    /// consultation and statistics match [`Session::query`]; a live
+    /// stream's result is cached by calling [`Session::note_streamed`]
+    /// after the drain.
+    pub fn open_stream(&mut self, sql_text: &str) -> Result<StreamQuery> {
+        self.stats.queries += 1;
+        let stmt = sql::parse(sql_text)?;
+        match stmt {
+            Statement::Select(plan) => {
+                let key = format!("Q:{}{}", sql_text.trim(), self.cache_suffix());
+                if let Some(hit) = self.results.get(&key) {
+                    self.stats.cache_hits += 1;
+                    return Ok(StreamQuery::Cached(Arc::clone(hit)));
+                }
+                let optimized = optimize(&self.db, plan)?;
+                Ok(StreamQuery::Live {
+                    plan: optimized,
+                    cfg: self.cfg.clone(),
+                    key,
+                })
+            }
+            other => Ok(StreamQuery::Table(Arc::new(sql::run_statement(
+                &self.db, other, &self.cfg,
+            )?))),
+        }
+    }
+
+    /// Store a drained stream's table in the sample-result cache.
+    pub fn note_streamed(&mut self, key: String, table: Arc<CTable>) {
+        self.results.put(key, table);
     }
 
     /// `PREPARE name AS SELECT ...` — parse and plan once.

@@ -134,6 +134,43 @@ fn prepared_statements_and_cache_over_tcp() {
 }
 
 #[test]
+fn stream_and_explain_analyze_over_tcp() {
+    let server = start_server();
+    let mut c = Client::connect(server.addr());
+    c.send("QUERY CREATE TABLE s (name TEXT, score FLOAT)");
+    c.send("QUERY INSERT INTO s VALUES ('a', 3), ('b', 1), ('c', 2)");
+
+    // STREAM: rows arrive between STREAM BEGIN and END <n> rows.
+    c.writer
+        .write_all(b"STREAM SELECT * FROM s ORDER BY score\n")
+        .expect("write");
+    assert_eq!(c.read_line(), "STREAM BEGIN");
+    assert_eq!(c.read_line(), "name\tscore");
+    assert_eq!(c.read_line(), "'b'\t1");
+    assert_eq!(c.read_line(), "'c'\t2");
+    assert_eq!(c.read_line(), "'a'\t3");
+    assert_eq!(c.read_line(), "END 3 rows (fresh)");
+
+    // A streamed result populates the shared result cache.
+    let r = c.send("QUERY SELECT * FROM s ORDER BY score");
+    assert!(r[0].starts_with("OK 3 rows (cached)"), "{r:?}");
+
+    // Errors terminate the frame with ERR and keep the session alive.
+    c.writer
+        .write_all(b"STREAM SELECT * FROM ghost\n")
+        .expect("write");
+    assert!(c.read_line().starts_with("ERR"));
+    assert_eq!(c.send("PING"), vec!["PONG"]);
+
+    // EXPLAIN ANALYZE over the wire: per-operator rows and timings.
+    let r = c.send("QUERY EXPLAIN ANALYZE SELECT expected_sum(score) FROM s WHERE score > 1");
+    let text = r.join("\n");
+    assert!(text.contains("physical plan (analyzed)"), "{text}");
+    assert!(text.contains("rows="), "{text}");
+    assert!(text.contains("Scan: s"), "{text}");
+}
+
+#[test]
 fn sessions_share_catalog_and_isolate_settings() {
     let server = start_server();
     let mut a = Client::connect(server.addr());

@@ -7,6 +7,7 @@
 //! danger-estimation scenario of Figure 8.
 
 pub mod iceberg;
+pub mod plans;
 pub mod queries;
 pub mod tpch;
 
@@ -16,6 +17,7 @@ pub use tpch::{generate as generate_tpch, TpchConfig, TpchData};
 /// Glob-import surface.
 pub mod prelude {
     pub use crate::iceberg;
+    pub use crate::plans;
     pub use crate::queries::{self, normalized_rms, PerRow, Timed};
     pub use crate::tpch::{self, TpchConfig, TpchData};
 }
