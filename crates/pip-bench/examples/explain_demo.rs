@@ -1,0 +1,41 @@
+fn main() {
+    use pip_engine::{sql, Database};
+    use pip_sampling::SamplerConfig;
+    let db = Database::new();
+    let cfg = SamplerConfig::default();
+    sql::run(&db, "CREATE TABLE f (fa INT, fb INT, amount FLOAT)", &cfg).unwrap();
+    sql::run(&db, "CREATE TABLE da (ak INT, aw FLOAT)", &cfg).unwrap();
+    sql::run(&db, "CREATE TABLE dbt (bk INT, bw SYMBOLIC)", &cfg).unwrap();
+    for i in 0..50i64 {
+        sql::run(
+            &db,
+            &format!("INSERT INTO f VALUES ({}, {}, {})", i % 10, i % 5, i),
+            &cfg,
+        )
+        .unwrap();
+    }
+    for i in 0..10i64 {
+        sql::run(&db, &format!("INSERT INTO da VALUES ({}, {})", i, i), &cfg).unwrap();
+    }
+    for i in 0..5i64 {
+        sql::run(
+            &db,
+            &format!(
+                "INSERT INTO dbt VALUES ({}, create_variable('Normal', {}, 1))",
+                i, i
+            ),
+            &cfg,
+        )
+        .unwrap();
+    }
+    let t = sql::run(&db, "EXPLAIN ANALYZE SELECT expected_sum(amount) FROM f, da, dbt WHERE fa = ak AND fb = bk AND ak < 4", &cfg).unwrap();
+    for r in t.rows() {
+        println!("{}", r.cells[0].as_const().unwrap().as_str().unwrap());
+    }
+    println!("---- ANALYZE ----");
+    let t = sql::run(&db, "ANALYZE", &cfg).unwrap();
+    for r in t.rows() {
+        let cells: Vec<String> = r.cells.iter().map(|c| format!("{c}")).collect();
+        println!("{}", cells.join("\t"));
+    }
+}

@@ -12,10 +12,11 @@ use serde::Serialize;
 use std::time::Instant;
 
 use pip_engine::{
-    execute_materialized_with_stats, execute_with_stats, optimize, scalar_result, Database, Plan,
+    execute_materialized_with_stats, execute_with_stats, optimize, optimize_with, scalar_result,
+    Database, OptimizerConfig, Plan,
 };
 use pip_sampling::SamplerConfig;
-use pip_workloads::plans;
+use pip_workloads::plans::{self, StarShape};
 use pip_workloads::queries::{self, Timed};
 use pip_workloads::tpch::{generate, TpchConfig};
 
@@ -105,29 +106,34 @@ struct ExecSummary {
 
 /// The fig6 join workload (Q3's selective join as a full engine plan),
 /// run through the materializing executor and the pipelined executor
-/// before/after projection pushdown; writes `BENCH_exec.json`.
-fn exec_comparison(scale: f64) {
+/// before/after cost-gated projection pushdown. Each executor gets the
+/// plan its own cost target produces (`OptimizerConfig::materializing`
+/// prunes aggressively; the streaming default prunes only where the
+/// narrower rows repay the extra stage).
+fn exec_comparison(scale: f64) -> ExecSummary {
     let data = generate(&TpchConfig::scaled(scale, 0x33));
     let sel = 0.1;
     let db = plans::join_db(&data, sel).expect("join db");
     let raw = plans::join_plan();
     let pred_only = pip_engine::optimize::push_selects(&db, raw.clone()).expect("push_selects");
-    let full = optimize(&db, raw).expect("optimize");
+    let full_mat = optimize_with(&db, raw.clone(), &OptimizerConfig::materializing())
+        .expect("optimize for materializing");
+    let full_stream = optimize(&db, raw).expect("optimize");
     // A fixed sampling budget keeps the sample phase identical across
     // variants; only the query phase is under test.
     let cfg = SamplerConfig::fixed_samples(200);
-    let trials = 3;
+    let trials = 9;
 
     println!("\n# Executor comparison on the fig6 join workload (Q3 shape, sel {sel}):");
-    println!("# materializing (pre-refactor) vs pipelined, before/after projection pushdown.");
+    println!("# materializing (pre-refactor) vs pipelined, before/after cost-gated pushdown.");
     pip_bench::header(&["variant", "query_secs", "value"]);
     let (mat_secs, mat_v) = best_of(trials, &db, &pred_only, &cfg, true);
     println!("materialized\t{mat_secs:.4}\t{mat_v:.3}");
-    let (mat_push_secs, mat_push_v) = best_of(trials, &db, &full, &cfg, true);
+    let (mat_push_secs, mat_push_v) = best_of(trials, &db, &full_mat, &cfg, true);
     println!("materialized+pushdown\t{mat_push_secs:.4}\t{mat_push_v:.3}");
     let (stream_secs, stream_v) = best_of(trials, &db, &pred_only, &cfg, false);
     println!("streaming\t{stream_secs:.4}\t{stream_v:.3}");
-    let (push_secs, push_v) = best_of(trials, &db, &full, &cfg, false);
+    let (push_secs, push_v) = best_of(trials, &db, &full_stream, &cfg, false);
     println!("streaming+pushdown\t{push_secs:.4}\t{push_v:.3}");
 
     let bit_identical = [mat_push_v, stream_v, push_v]
@@ -159,10 +165,98 @@ fn exec_comparison(scale: f64) {
         summary.pushdown_speedup_streaming,
         summary.total_speedup
     );
-    let path = std::env::var("PIP_BENCH_EXEC_OUT").unwrap_or_else(|_| "BENCH_exec.json".into());
-    let json = serde_json::to_string(&summary).expect("summary json");
-    std::fs::write(&path, format!("{json}\n")).expect("write BENCH_exec.json");
-    println!("# wrote {path}");
+    summary
+}
+
+#[derive(Serialize)]
+struct JoinOrderSummary {
+    workload: &'static str,
+    fact_rows: usize,
+    dim_a_rows: usize,
+    dim_b_rows: usize,
+    dim_c_rows: usize,
+    c_selectivity: f64,
+    /// Query phase of the plan executed in written order (predicate +
+    /// projection pushdown only — the pre-cost-based-optimizer engine).
+    written_query_secs: f64,
+    /// Query phase of the cost-based plan (join graph reordered by
+    /// estimated cardinality).
+    cost_based_query_secs: f64,
+    reorder_speedup: f64,
+    values_identical: bool,
+}
+
+/// The join-order workload: a 4-table star with skewed cardinalities,
+/// written in FROM-clause product order. Compares written-order
+/// execution against the cost-based optimizer's plan on the pipelined
+/// executor, and FAILS (panics → non-zero exit, caught by CI's bench
+/// smoke) if the optimizer's plan is measurably worse than written
+/// order.
+fn join_order_comparison(scale: f64) -> JoinOrderSummary {
+    let shape = StarShape::of(((2400.0 * scale) as usize).max(60));
+    let db = plans::star_db(&shape).expect("star db");
+    let raw = plans::star_plan_written(&shape);
+    let written_cfg = OptimizerConfig {
+        reorder_joins: false,
+        ..OptimizerConfig::default()
+    };
+    let written = optimize_with(&db, raw.clone(), &written_cfg).expect("written-order plan");
+    let cost_based = optimize(&db, raw).expect("cost-based plan");
+    let cfg = SamplerConfig::fixed_samples(50);
+    let trials = 9;
+
+    println!("\n# Join-order workload: 4-table star, skewed cardinalities, written as products.");
+    println!(
+        "# fact={} dim_a={} dim_b={} dim_c={} (filter keeps {:.0}%)",
+        shape.fact,
+        shape.dim_a,
+        shape.dim_b,
+        shape.dim_c,
+        shape.c_selectivity * 100.0
+    );
+    pip_bench::header(&["variant", "query_secs", "value"]);
+    let (written_secs, written_v) = best_of(trials, &db, &written, &cfg, false);
+    println!("written-order\t{written_secs:.4}\t{written_v:.3}");
+    let (cost_secs, cost_v) = best_of(trials, &db, &cost_based, &cfg, false);
+    println!("cost-based\t{cost_secs:.4}\t{cost_v:.3}");
+
+    // The aggregate sums integer-valued doubles, so the total is exact
+    // and must match bit-for-bit across plan shapes.
+    let values_identical = written_v.to_bits() == cost_v.to_bits();
+    assert!(
+        values_identical,
+        "plans disagree: written {written_v} vs cost-based {cost_v}"
+    );
+    let summary = JoinOrderSummary {
+        workload: "star_join_order",
+        fact_rows: shape.fact,
+        dim_a_rows: shape.dim_a,
+        dim_b_rows: shape.dim_b,
+        dim_c_rows: shape.dim_c,
+        c_selectivity: shape.c_selectivity,
+        written_query_secs: written_secs,
+        cost_based_query_secs: cost_secs,
+        reorder_speedup: written_secs / cost_secs,
+        values_identical,
+    };
+    println!(
+        "# cost-based plan speedup over written order: {:.2}x",
+        summary.reorder_speedup
+    );
+    // The CI gate: a cost-based optimizer that picks a plan worse than
+    // the written order is a regression, not a tuning matter.
+    assert!(
+        cost_secs <= written_secs * 1.1,
+        "cost-based plan ({cost_secs:.4}s) is worse than written order ({written_secs:.4}s)"
+    );
+    summary
+}
+
+/// Everything recorded into `BENCH_exec.json`.
+#[derive(Serialize)]
+struct BenchRecord {
+    exec: ExecSummary,
+    join_order: JoinOrderSummary,
 }
 
 fn main() {
@@ -237,5 +331,11 @@ fn main() {
 
     // The join workload runs 4x the figure scale: query-phase cost is
     // what the executor comparison measures, so give it enough rows.
-    exec_comparison(4.0 * scale);
+    let exec = exec_comparison(4.0 * scale);
+    let join_order = join_order_comparison(scale);
+    let record = BenchRecord { exec, join_order };
+    let path = std::env::var("PIP_BENCH_EXEC_OUT").unwrap_or_else(|_| "BENCH_exec.json".into());
+    let json = serde_json::to_string(&record).expect("record json");
+    std::fs::write(&path, format!("{json}\n")).expect("write BENCH_exec.json");
+    println!("# wrote {path}");
 }

@@ -47,7 +47,12 @@ struct ServiceRow {
 
 #[derive(Serialize)]
 struct Summary {
+    /// Detected host core count. Speedup figures are only meaningful
+    /// when this exceeds 1 — `speedup_comparable` says so explicitly so
+    /// consumers (CI, humans reading the recorded baseline) annotate
+    /// rather than compare on serial hardware.
     cores: usize,
+    speedup_comparable: bool,
     scale: f64,
     n_samples: usize,
     sampling: Vec<SamplingRow>,
@@ -223,14 +228,26 @@ fn main() {
     }
     server.shutdown();
 
+    if cores == 1 {
+        println!(
+            "# note: single-core host — speedup columns are not comparable \
+             (bit-identity across thread counts is still asserted)."
+        );
+    }
+    let summary = Summary {
+        cores,
+        speedup_comparable: cores > 1,
+        scale,
+        n_samples,
+        sampling,
+        service,
+    };
+    let json = serde_json::to_string(&summary).expect("summary json");
     if std::env::var("PIP_BENCH_JSON").as_deref() == Ok("1") {
-        let summary = Summary {
-            cores,
-            scale,
-            n_samples,
-            sampling,
-            service,
-        };
-        eprintln!("{}", serde_json::to_string(&summary).expect("summary json"));
+        eprintln!("{json}");
+    }
+    if let Ok(path) = std::env::var("PIP_BENCH_PARALLEL_OUT") {
+        std::fs::write(&path, format!("{json}\n")).expect("write parallel bench json");
+        println!("# wrote {path}");
     }
 }

@@ -16,6 +16,8 @@ use pip_expr::RandomVar;
 
 use pip_ctable::{CRow, CTable};
 
+use crate::stats::TableStats;
+
 /// An in-memory probabilistic database.
 #[derive(Debug)]
 pub struct Database {
@@ -25,6 +27,10 @@ pub struct Database {
     /// Cache layers (e.g. the server's sample-result cache) key on it so
     /// stale entries can never be served after a mutation.
     version: AtomicU64,
+    /// Optimizer statistics per table, keyed by the catalog version they
+    /// were collected at — any mutation retires them (see
+    /// [`Database::table_stats`]).
+    stats: RwLock<HashMap<String, Arc<TableStats>>>,
 }
 
 impl Default for Database {
@@ -40,6 +46,7 @@ impl Database {
             registry: DistributionRegistry::with_builtins(),
             tables: RwLock::new(HashMap::new()),
             version: AtomicU64::new(0),
+            stats: RwLock::new(HashMap::new()),
         }
     }
 
@@ -55,6 +62,7 @@ impl Database {
             registry,
             tables: RwLock::new(HashMap::new()),
             version: AtomicU64::new(0),
+            stats: RwLock::new(HashMap::new()),
         }
     }
 
@@ -139,6 +147,43 @@ impl Database {
         let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
         names.sort();
         names
+    }
+
+    /// Force-collect fresh optimizer statistics for one table (the
+    /// `ANALYZE <table>` command).
+    pub fn analyze_table(&self, name: &str) -> Result<Arc<TableStats>> {
+        let version = self.version();
+        let table = self.table(name)?;
+        let stats = Arc::new(TableStats::analyze(name, &table, version));
+        self.stats
+            .write()
+            .insert(name.to_string(), Arc::clone(&stats));
+        Ok(stats)
+    }
+
+    /// Refresh statistics for every table (bare `ANALYZE`), sorted by
+    /// table name.
+    pub fn analyze_all(&self) -> Result<Vec<Arc<TableStats>>> {
+        self.table_names()
+            .iter()
+            .map(|n| self.analyze_table(n))
+            .collect()
+    }
+
+    /// Statistics for a table, auto-collected on first use and after any
+    /// catalog mutation. An entry is fresh only if its recorded catalog
+    /// version matches the current one — coarse (any mutation retires
+    /// every table's entry) but never serves statistics older than the
+    /// catalog state at the time of this call (the version is read
+    /// *after* the cache hit, so a concurrent mutation between the two
+    /// reads forces a recollect instead of a stale hit).
+    pub fn table_stats(&self, name: &str) -> Result<Arc<TableStats>> {
+        if let Some(hit) = self.stats.read().get(name) {
+            if hit.version == self.version() {
+                return Ok(Arc::clone(hit));
+            }
+        }
+        self.analyze_table(name)
     }
 }
 

@@ -1,13 +1,16 @@
 //! # pip-engine
 //!
 //! The query engine PIP runs on — the role PostgreSQL plays for the
-//! paper's plugin (Section V): a catalog of c-tables, logical plans with
-//! a fluent builder, an optimizer (predicate + projection pushdown), a
-//! pipelined physical executor ([`physical`]) with a materializing
-//! reference interpreter beside it, the CTYPE-hoisting rewriter, and a
-//! SQL front-end supporting `CREATE TABLE` / `INSERT` / `SELECT` /
-//! `EXPLAIN [ANALYZE]` with `create_variable(...)`, `expected_sum`,
-//! `expected_count`, `expected_avg`, `expected_max` and `conf()`.
+//! paper's plugin (Section V): a catalog of c-tables with optimizer
+//! statistics, logical plans with a fluent builder, a cost-based
+//! optimizer ([`optimize`] — predicate pushdown, cardinality-driven
+//! join reordering, cost-gated projection pushdown over the [`stats`]
+//! layer), a pipelined physical executor ([`physical`]) with a
+//! materializing reference interpreter beside it, the CTYPE-hoisting
+//! rewriter, and a SQL front-end supporting `CREATE TABLE` / `INSERT` /
+//! `SELECT` / `ANALYZE` / `EXPLAIN [ANALYZE] [(FORMAT JSON)]` with
+//! `create_variable(...)`, `expected_sum`, `expected_count`,
+//! `expected_avg`, `expected_max` and `conf()`.
 
 pub mod catalog;
 pub mod exec;
@@ -16,16 +19,20 @@ pub mod physical;
 pub mod plan;
 pub mod rewrite;
 pub mod sql;
+pub mod stats;
 
 pub use catalog::Database;
 pub use exec::{
     execute, execute_materialized, execute_materialized_with_stats, execute_with_stats,
     scalar_result, QueryStats,
 };
-pub use optimize::{optimize, plan_schema};
-pub use physical::{lower, OpProfile, PhysicalPlan};
+pub use optimize::{
+    optimize, optimize_with, plan_schema, push_selects, OptimizerConfig, PruneMode,
+};
+pub use physical::{lower, lower_annotated, OpProfile, PhysicalPlan};
 pub use plan::{AggFunc, Plan, PlanBuilder, ScalarExpr};
 pub use rewrite::{compile_predicate, compile_scalar};
+pub use stats::{estimate, plan_cost, ColumnStats, CostModel, ExecTarget, PlanEst, TableStats};
 
 /// Glob-import surface.
 pub mod prelude {
@@ -34,8 +41,13 @@ pub mod prelude {
         execute, execute_materialized, execute_materialized_with_stats, execute_with_stats,
         scalar_result, QueryStats,
     };
-    pub use crate::optimize::{optimize, plan_schema};
-    pub use crate::physical::{lower, OpProfile, PhysicalPlan};
+    pub use crate::optimize::{
+        optimize, optimize_with, plan_schema, push_selects, OptimizerConfig, PruneMode,
+    };
+    pub use crate::physical::{lower, lower_annotated, OpProfile, PhysicalPlan};
     pub use crate::plan::{AggFunc, Plan, PlanBuilder, ScalarExpr};
     pub use crate::sql;
+    pub use crate::stats::{
+        estimate, plan_cost, ColumnStats, CostModel, ExecTarget, PlanEst, TableStats,
+    };
 }

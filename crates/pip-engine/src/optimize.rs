@@ -1,17 +1,90 @@
-//! Logical plan optimizer.
+//! The cost-based logical plan optimizer.
 //!
 //! The paper leans on the host DBMS for deterministic optimization
 //! ("deterministic database query optimizers do a satisfactory job of
 //! ensuring that constraints over discrete variables are filtered as
 //! soon as possible", Section III-C). Our engine provides the moral
-//! equivalent: predicate pushdown through products/joins, conjunct
-//! splitting, and select fusion — all purely deterministic rewrites that
-//! shrink intermediate c-tables before any sampling happens.
+//! equivalent as a pipeline of passes over [`Plan`]s, driven by the
+//! statistics and cost model in [`crate::stats`]:
+//!
+//! 1. **Predicate pushdown** ([`push_selects`]): split conjunctions,
+//!    push single-side conjuncts below products/joins, fuse adjacent
+//!    selects. Purely deterministic rewrites that shrink intermediate
+//!    c-tables before any sampling happens.
+//! 2. **Join reordering** (`reorder_joins`): extract the join graph from
+//!    nested `Product`/`EquiJoin` regions and their cross-side equality
+//!    conjuncts, then greedily build a left-deep tree of hash joins in
+//!    ascending estimated-cardinality order. The rewrite is adopted only
+//!    when the cost model says it beats the written order by a margin;
+//!    a trailing projection restores the original column order, so the
+//!    plan's schema is invariant. Reordering preserves the multiset
+//!    (possible-worlds) semantics of the region; the row *order* of a
+//!    reordered region follows the new join sequence.
+//! 3. **Cost-gated projection pushdown** (`prune_columns`): wrap base
+//!    scans in narrow projections only where the estimator says the
+//!    saved downstream cell clones outweigh the extra per-row stage —
+//!    pruning is free on wide join fan-outs and a net loss on scans
+//!    whose rows are cloned once.
 
 use pip_core::{Result, Schema};
 
 use crate::catalog::Database;
 use crate::plan::{Plan, ScalarExpr};
+use crate::stats::{self, CostModel, ExecTarget};
+
+/// When to wrap base-table scans in narrow column projections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PruneMode {
+    /// Prune only where the cost model predicts a net win (default).
+    CostBased,
+    /// Prune whenever any column is dead (the pre-cost-model behavior;
+    /// useful for isolating what pruning does in tests and benchmarks).
+    Always,
+    /// Never prune.
+    Never,
+}
+
+/// Optimizer knobs. [`OptimizerConfig::default`] is what [`optimize`]
+/// (and therefore the SQL layer and the server) runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizerConfig {
+    /// Executor the plan is being optimized for: the pipelined executor
+    /// (default) or the materializing reference interpreter. Affects
+    /// both cost estimates and the pruning gate.
+    pub target: ExecTarget,
+    /// Enable the cost-based join reorderer.
+    pub reorder_joins: bool,
+    /// Projection-pushdown gating.
+    pub prune: PruneMode,
+    /// Cost-model constants.
+    pub cost: CostModel,
+    /// A reordered region is adopted only if its estimated cost is below
+    /// `reorder_margin` × the written-order cost — estimates are fuzzy,
+    /// and ties should keep the user's (bit-reproducible) written order.
+    pub reorder_margin: f64,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            target: ExecTarget::Streaming,
+            reorder_joins: true,
+            prune: PruneMode::CostBased,
+            cost: CostModel::default(),
+            reorder_margin: 0.9,
+        }
+    }
+}
+
+impl OptimizerConfig {
+    /// Preset for the materializing reference interpreter.
+    pub fn materializing() -> Self {
+        OptimizerConfig {
+            target: ExecTarget::Materializing,
+            ..Self::default()
+        }
+    }
+}
 
 /// Compute the output schema of a plan (column names drive pushdown
 /// decisions).
@@ -101,20 +174,29 @@ fn rebuild(mut parts: Vec<ScalarExpr>) -> Option<ScalarExpr> {
     }
 }
 
-/// Optimize a plan: push selection conjuncts below products and
-/// equi-joins when they reference only one side's columns, fuse
-/// adjacent selects, then prune unreferenced base-table columns with
-/// narrow projections over the scans (projection pushdown — the fewer
-/// cells each scanned row carries, the less every operator above
-/// clones).
+/// Optimize a plan with the default configuration (predicate pushdown,
+/// cost-based join reordering, cost-gated projection pushdown).
 pub fn optimize(db: &Database, plan: Plan) -> Result<Plan> {
-    let plan = push_selects(db, plan)?;
-    prune_columns(db, plan, None)
+    optimize_with(db, plan, &OptimizerConfig::default())
 }
 
-/// The predicate-pushdown / select-fusion pass alone (no column
-/// pruning). Exposed so benchmarks can isolate what projection pushdown
-/// buys on top; [`optimize`] runs both passes.
+/// Optimize a plan under an explicit [`OptimizerConfig`].
+pub fn optimize_with(db: &Database, plan: Plan, cfg: &OptimizerConfig) -> Result<Plan> {
+    let plan = push_selects(db, plan)?;
+    let plan = if cfg.reorder_joins {
+        reorder_pass(db, plan, cfg, true)?
+    } else {
+        plan
+    };
+    match cfg.prune {
+        PruneMode::Never => Ok(plan),
+        _ => prune_columns(db, plan, None, 0.0, cfg),
+    }
+}
+
+/// The predicate-pushdown / select-fusion pass alone (no reordering or
+/// column pruning). Exposed so benchmarks can isolate what the
+/// cost-based passes buy on top; [`optimize`] runs the full pipeline.
 pub fn push_selects(db: &Database, plan: Plan) -> Result<Plan> {
     Ok(match plan {
         Plan::Select { input, predicate } => {
@@ -258,6 +340,361 @@ trait PipeOk: Sized {
 
 impl PipeOk for Plan {}
 
+// ---------------------------------------------------------------------
+// Join reordering.
+// ---------------------------------------------------------------------
+
+/// True for nodes that belong to a join region: products, equi-joins,
+/// and selects sitting directly on them (their conjuncts are the join
+/// graph's edges).
+fn is_region_node(plan: &Plan) -> bool {
+    match plan {
+        Plan::Product { .. } | Plan::EquiJoin { .. } => true,
+        Plan::Select { input, .. } => is_region_node(input),
+        _ => false,
+    }
+}
+
+/// Recursive driver of the reorder pass: rewrite join regions where the
+/// cost model approves, recurse everywhere else. `allow` is false below
+/// any `Limit`: a limit keeps "the first n rows", so changing the row
+/// order beneath it would change *which* rows survive — a semantic
+/// change, not just an ordering one.
+fn reorder_pass(db: &Database, plan: Plan, cfg: &OptimizerConfig, allow: bool) -> Result<Plan> {
+    if allow && is_region_node(&plan) {
+        reorder_region(db, plan, cfg)
+    } else {
+        reorder_children(db, plan, cfg, allow)
+    }
+}
+
+/// Rebuild a non-region node with reordered children.
+fn reorder_children(db: &Database, plan: Plan, cfg: &OptimizerConfig, allow: bool) -> Result<Plan> {
+    Ok(match plan {
+        leaf @ Plan::Scan(_) => leaf,
+        Plan::Select { input, predicate } => Plan::Select {
+            input: Box::new(reorder_pass(db, *input, cfg, allow)?),
+            predicate,
+        },
+        Plan::Project { input, exprs } => Plan::Project {
+            input: Box::new(reorder_pass(db, *input, cfg, allow)?),
+            exprs,
+        },
+        Plan::Product { left, right } => Plan::Product {
+            left: Box::new(reorder_pass(db, *left, cfg, allow)?),
+            right: Box::new(reorder_pass(db, *right, cfg, allow)?),
+        },
+        Plan::EquiJoin { left, right, on } => Plan::EquiJoin {
+            left: Box::new(reorder_pass(db, *left, cfg, allow)?),
+            right: Box::new(reorder_pass(db, *right, cfg, allow)?),
+            on,
+        },
+        Plan::Union { left, right } => Plan::Union {
+            left: Box::new(reorder_pass(db, *left, cfg, allow)?),
+            right: Box::new(reorder_pass(db, *right, cfg, allow)?),
+        },
+        Plan::Distinct(input) => Plan::Distinct(Box::new(reorder_pass(db, *input, cfg, allow)?)),
+        Plan::Difference { left, right } => Plan::Difference {
+            left: Box::new(reorder_pass(db, *left, cfg, allow)?),
+            right: Box::new(reorder_pass(db, *right, cfg, allow)?),
+        },
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => Plan::Aggregate {
+            input: Box::new(reorder_pass(db, *input, cfg, allow)?),
+            group_by,
+            aggs,
+        },
+        Plan::Conf(input) => Plan::Conf(Box::new(reorder_pass(db, *input, cfg, allow)?)),
+        Plan::Sort { input, keys } => Plan::Sort {
+            input: Box::new(reorder_pass(db, *input, cfg, allow)?),
+            keys,
+        },
+        Plan::Limit { input, n } => Plan::Limit {
+            input: Box::new(reorder_pass(db, *input, cfg, false)?),
+            n,
+        },
+    })
+}
+
+/// Flatten one join region into its leaf plans and predicate conjuncts.
+/// `EquiJoin` key pairs are re-expressed as equality conjuncts so the
+/// classifier sees one uniform edge list.
+fn flatten_region(plan: Plan, leaves: &mut Vec<Plan>, preds: &mut Vec<ScalarExpr>) {
+    match plan {
+        Plan::Product { left, right } => {
+            flatten_region(*left, leaves, preds);
+            flatten_region(*right, leaves, preds);
+        }
+        Plan::EquiJoin { left, right, on } => {
+            flatten_region(*left, leaves, preds);
+            flatten_region(*right, leaves, preds);
+            for (a, b) in on {
+                preds.push(ScalarExpr::col(a).eq(ScalarExpr::col(b)));
+            }
+        }
+        Plan::Select { input, predicate } if is_region_node(&input) => {
+            flatten_region(*input, leaves, preds);
+            preds.extend(conjuncts(predicate));
+        }
+        leaf => leaves.push(leaf),
+    }
+}
+
+/// Rebuild the original region structure around (recursively reordered)
+/// leaves, consumed in written order — the bail-out path that keeps the
+/// written plan bit-for-bit.
+fn rebuild_written(plan: &Plan, leaves: &mut std::vec::IntoIter<Plan>) -> Plan {
+    match plan {
+        Plan::Product { left, right } => {
+            let l = rebuild_written(left, leaves);
+            let r = rebuild_written(right, leaves);
+            Plan::Product {
+                left: Box::new(l),
+                right: Box::new(r),
+            }
+        }
+        Plan::EquiJoin { left, right, on } => {
+            let l = rebuild_written(left, leaves);
+            let r = rebuild_written(right, leaves);
+            Plan::EquiJoin {
+                left: Box::new(l),
+                right: Box::new(r),
+                on: on.clone(),
+            }
+        }
+        Plan::Select { input, predicate } if is_region_node(input) => Plan::Select {
+            input: Box::new(rebuild_written(input, leaves)),
+            predicate: predicate.clone(),
+        },
+        _ => leaves.next().expect("one leaf per flattened slot"),
+    }
+}
+
+/// An equality edge of the join graph, between columns of two leaves.
+struct JoinEdge {
+    a_leaf: usize,
+    a_col: String,
+    b_leaf: usize,
+    b_col: String,
+}
+
+/// Try to reorder one join region; falls back to the written order when
+/// column names are ambiguous, estimation fails, or the cost model does
+/// not approve the rewrite.
+fn reorder_region(db: &Database, plan: Plan, cfg: &OptimizerConfig) -> Result<Plan> {
+    let shape = plan.clone();
+    let mut leaves = Vec::new();
+    let mut preds = Vec::new();
+    flatten_region(plan, &mut leaves, &mut preds);
+    // Reorder below the leaves first (a leaf may hide a region under a
+    // blocking operator, e.g. an aggregate subquery).
+    let leaves: Vec<Plan> = leaves
+        .into_iter()
+        .map(|l| reorder_pass(db, l, cfg, true))
+        .collect::<Result<_>>()?;
+
+    let written = |leaves: Vec<Plan>| -> Plan {
+        let mut it = leaves.into_iter();
+        rebuild_written(&shape, &mut it)
+    };
+
+    // Leaf schemas; every column name must bind to exactly one leaf,
+    // otherwise join renames make the region impossible to rebuild
+    // faithfully and we keep the written order.
+    let mut schemas = Vec::with_capacity(leaves.len());
+    for leaf in &leaves {
+        schemas.push(plan_schema(db, leaf)?);
+    }
+    let mut owner: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+    for (i, s) in schemas.iter().enumerate() {
+        for c in s.columns() {
+            if owner.insert(c.name.as_str(), i).is_some() {
+                return Ok(written(leaves));
+            }
+        }
+    }
+
+    // Classify conjuncts: two-leaf equality atoms are join edges, the
+    // rest stays as a residual filter above the rebuilt tree.
+    let mut edges: Vec<JoinEdge> = Vec::new();
+    let mut residual: Vec<ScalarExpr> = Vec::new();
+    for p in &preds {
+        if let ScalarExpr::Cmp {
+            op: pip_expr::CmpOp::Eq,
+            left,
+            right,
+        } = p
+        {
+            if let (ScalarExpr::Column(a), ScalarExpr::Column(b)) = (&**left, &**right) {
+                if let (Some(&la), Some(&lb)) = (owner.get(a.as_str()), owner.get(b.as_str())) {
+                    if la != lb {
+                        edges.push(JoinEdge {
+                            a_leaf: la,
+                            a_col: a.clone(),
+                            b_leaf: lb,
+                            b_col: b.clone(),
+                        });
+                        continue;
+                    }
+                }
+            }
+        }
+        residual.push(p.clone());
+    }
+
+    // Estimates per leaf; estimation failure keeps the written order.
+    let mut leaf_rows = Vec::with_capacity(leaves.len());
+    for leaf in &leaves {
+        match stats::estimate(db, leaf) {
+            Ok(e) => leaf_rows.push(e.rows),
+            Err(_) => return Ok(written(leaves)),
+        }
+    }
+
+    let n = leaves.len();
+    let mut in_tree = vec![false; n];
+
+    // Key pairs between the current tree and a candidate leaf, oriented
+    // (tree column, leaf column).
+    let on_pairs = |in_tree: &[bool], leaf: usize| -> Vec<(String, String)> {
+        edges
+            .iter()
+            .filter_map(|e| {
+                if in_tree[e.a_leaf] && e.b_leaf == leaf {
+                    Some((e.a_col.clone(), e.b_col.clone()))
+                } else if in_tree[e.b_leaf] && e.a_leaf == leaf {
+                    Some((e.b_col.clone(), e.a_col.clone()))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    };
+    let join_with = |acc: &Plan, leaf: &Plan, on: Vec<(String, String)>| -> Plan {
+        if on.is_empty() {
+            Plan::Product {
+                left: Box::new(acc.clone()),
+                right: Box::new(leaf.clone()),
+            }
+        } else {
+            Plan::EquiJoin {
+                left: Box::new(acc.clone()),
+                right: Box::new(leaf.clone()),
+                on,
+            }
+        }
+    };
+
+    // Seed the left-deep tree with the connected pair of smallest
+    // estimated join output — a disconnected (cross-product) seed may
+    // look tiny but forces a larger table onto a build side later, so
+    // products are only considered when the region has no edges at all.
+    // Written orientation (lower index left) is preferred on near-ties:
+    // probe order is what downstream row order follows.
+    let connected = |i: usize, j: usize| {
+        edges
+            .iter()
+            .any(|e| (e.a_leaf == i && e.b_leaf == j) || (e.a_leaf == j && e.b_leaf == i))
+    };
+    let mut best: Option<(f64, usize, usize)> = None;
+    for i in 0..n {
+        for j in 0..n {
+            if i == j || (!edges.is_empty() && !connected(i, j)) {
+                continue;
+            }
+            let mut tree = vec![false; n];
+            tree[i] = true;
+            let candidate = join_with(&leaves[i], &leaves[j], on_pairs(&tree, j));
+            let Ok(est) = stats::estimate(db, &candidate) else {
+                return Ok(written(leaves));
+            };
+            // Prefer written orientation on near-ties: penalize flipped
+            // pairs slightly so i < j wins unless the flip is a real win.
+            let tie_bias = if i < j { 1.0 } else { 1.001 };
+            let score = (est.rows + leaf_rows[j]) * tie_bias;
+            if best.map(|(s, _, _)| score < s).unwrap_or(true) {
+                best = Some((score, i, j));
+            }
+        }
+    }
+    let Some((_, first, second)) = best else {
+        return Ok(written(leaves));
+    };
+    let mut order = vec![first, second];
+    in_tree[first] = true;
+    let mut acc = {
+        let on = on_pairs(&in_tree, second);
+        in_tree[second] = true;
+        join_with(&leaves[first], &leaves[second], on)
+    };
+
+    // Extend greedily: next leaf = smallest estimated join output,
+    // preferring connected leaves over cross products.
+    type Step = (f64, usize, Vec<(String, String)>);
+    while order.len() < n {
+        let mut best: Option<Step> = None;
+        for (j, leaf) in leaves.iter().enumerate() {
+            if in_tree[j] {
+                continue;
+            }
+            let on = on_pairs(&in_tree, j);
+            let candidate = join_with(&acc, leaf, on.clone());
+            let Ok(est) = stats::estimate(db, &candidate) else {
+                return Ok(written(leaves));
+            };
+            // A disconnected leaf products with everything: its estimate
+            // already reflects the blow-up, no extra penalty needed.
+            if best.as_ref().map(|(s, _, _)| est.rows < *s).unwrap_or(true) {
+                best = Some((est.rows, j, on));
+            }
+        }
+        let (_, j, on) = best.expect("at least one unused leaf");
+        acc = join_with(&acc, &leaves[j], on);
+        in_tree[j] = true;
+        order.push(j);
+    }
+
+    // Residual (non-equi / single-leaf) conjuncts filter above the tree.
+    if let Some(pred) = rebuild(residual) {
+        acc = Plan::Select {
+            input: Box::new(acc),
+            predicate: pred,
+        };
+    }
+
+    // Restore the written column order when the leaf sequence changed.
+    let written_order: Vec<usize> = (0..n).collect();
+    if order != written_order {
+        let orig_cols: Vec<String> = (0..n)
+            .flat_map(|i| schemas[i].columns().iter().map(|c| c.name.clone()))
+            .collect();
+        acc = Plan::Project {
+            input: Box::new(acc),
+            exprs: orig_cols
+                .into_iter()
+                .map(|c| (c.clone(), ScalarExpr::col(c)))
+                .collect(),
+        };
+    }
+
+    // Adopt only on a clear estimated win over the written order.
+    let written_plan = written(leaves);
+    let old_cost = stats::plan_cost(db, &written_plan, cfg.target, &cfg.cost)?;
+    let new_cost = stats::plan_cost(db, &acc, cfg.target, &cfg.cost)?;
+    if new_cost < old_cost * cfg.reorder_margin {
+        Ok(acc)
+    } else {
+        Ok(written_plan)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cost-gated projection pushdown.
+// ---------------------------------------------------------------------
+
 /// Add `names` to a requirement set (`None` means "all columns").
 fn require(req: &mut Option<Vec<String>>, names: &[String]) {
     if let Some(set) = req {
@@ -269,16 +706,41 @@ fn require(req: &mut Option<Vec<String>>, names: &[String]) {
     }
 }
 
+/// Expected number of times one input-side row's cells are cloned by the
+/// operators above the current position (`mult`), updated as the pass
+/// descends. The scan-level gate compares the cells saved against the
+/// cost of the extra projection stage; per scanned row:
+/// `saved = dropped_cols × cell_cost × mult` vs
+/// `stage = row_cost + cell_cost × kept_cols`.
+fn scan_prune_pays(cfg: &OptimizerConfig, dropped: usize, kept: usize, mult: f64) -> bool {
+    match cfg.prune {
+        PruneMode::Never => false,
+        PruneMode::Always => dropped > 0,
+        PruneMode::CostBased => {
+            dropped as f64 * cfg.cost.cell_cost * mult
+                > cfg.cost.row_cost + cfg.cost.cell_cost * kept as f64
+        }
+    }
+}
+
 /// The projection-pushdown pass: propagate the set of columns each node
 /// actually needs downward and wrap base-table scans whose schema is a
-/// strict superset in a narrow column projection.
+/// strict superset in a narrow column projection — where the cost gate
+/// approves (see [`scan_prune_pays`]).
 ///
 /// `required = None` means every column is needed. The pass is
 /// deliberately conservative: nodes whose semantics depend on the whole
 /// row (`distinct`, `difference`, `union`, `conf`) reset the requirement
 /// to "all", as does any column name that does not bind unambiguously to
 /// exactly one side of a product/join (e.g. post-join `.right` renames).
-fn prune_columns(db: &Database, plan: Plan, required: Option<Vec<String>>) -> Result<Plan> {
+fn prune_columns(
+    db: &Database,
+    plan: Plan,
+    required: Option<Vec<String>>,
+    mult: f64,
+    cfg: &OptimizerConfig,
+) -> Result<Plan> {
+    let mat = cfg.target == ExecTarget::Materializing;
     Ok(match plan {
         Plan::Scan(name) => {
             let schema = db.table(&name)?.schema().clone();
@@ -290,7 +752,8 @@ fn prune_columns(db: &Database, plan: Plan, required: Option<Vec<String>>) -> Re
                     .filter(|c| req.contains(&c.name))
                     .collect(),
             };
-            if keep.is_empty() || keep.len() == schema.len() {
+            let dropped = schema.len() - keep.len();
+            if keep.is_empty() || !scan_prune_pays(cfg, dropped, keep.len(), mult) {
                 return Ok(Plan::Scan(name));
             }
             Plan::Project {
@@ -306,49 +769,91 @@ fn prune_columns(db: &Database, plan: Plan, required: Option<Vec<String>>) -> Re
             let mut cols = Vec::new();
             columns_of(&predicate, &mut cols);
             require(&mut req, &cols);
+            // The materializing interpreter clones every kept row.
+            let child_mult = if mat { mult + 1.0 } else { mult };
             Plan::Select {
-                input: Box::new(prune_columns(db, *input, req)?),
+                input: Box::new(prune_columns(db, *input, req, child_mult, cfg)?),
                 predicate,
             }
         }
         Plan::Project { input, exprs } => {
-            // A projection redefines the row: only its own inputs matter.
+            // A projection redefines the row: only its own inputs
+            // matter — and only the outputs the parent needs survive.
+            let exprs = match &required {
+                Some(req) => {
+                    let kept: Vec<(String, ScalarExpr)> = exprs
+                        .iter()
+                        .filter(|(n, _)| req.contains(n))
+                        .cloned()
+                        .collect();
+                    if kept.is_empty() {
+                        exprs
+                    } else {
+                        kept
+                    }
+                }
+                None => exprs,
+            };
             let mut cols = Vec::new();
             for (_, e) in &exprs {
                 columns_of(e, &mut cols);
             }
+            // Dead columns die at this projection for free: clone
+            // counting below restarts at zero.
             Plan::Project {
-                input: Box::new(prune_columns(db, *input, Some(cols))?),
+                input: Box::new(prune_columns(db, *input, Some(cols), 0.0, cfg)?),
                 exprs,
             }
         }
         Plan::Product { left, right } => {
             let (l_req, r_req) = split_requirement(db, &left, &right, required, &[])?;
+            // Every pair clones both sides' cells (output = l × r), so
+            // each side's per-row fan-out is the other side's rows.
+            let l_rows = stats::estimate(db, &left).map(|e| e.rows).unwrap_or(1.0);
+            let r_rows = stats::estimate(db, &right).map(|e| e.rows).unwrap_or(1.0);
+            let l_mult = r_rows * (1.0 + mult);
+            let r_mult = l_rows * (1.0 + mult);
             Plan::Product {
-                left: Box::new(prune_columns(db, *left, l_req)?),
-                right: Box::new(prune_columns(db, *right, r_req)?),
+                left: Box::new(prune_columns(db, *left, l_req, l_mult, cfg)?),
+                right: Box::new(prune_columns(db, *right, r_req, r_mult, cfg)?),
             }
         }
         Plan::EquiJoin { left, right, on } => {
             let (l_req, r_req) = split_requirement(db, &left, &right, required, &on)?;
+            // Pipelined join: each side's cells are cloned once per
+            // *matching* output row (fan-out = other rows × key
+            // selectivity, via build-order candidate probing).
+            // Materializing join: product-then-select clones each side
+            // once per *pair* first, then clones survivors again.
+            let l_rows = stats::estimate(db, &left).map(|e| e.rows).unwrap_or(1.0);
+            let r_rows = stats::estimate(db, &right).map(|e| e.rows).unwrap_or(1.0);
+            let sel = stats::equijoin_selectivity(db, &left, &right, &on);
+            let (f_l, f_r) = (r_rows * sel, l_rows * sel);
+            let (l_mult, r_mult) = if mat {
+                (r_rows + f_l * (1.0 + mult), l_rows + f_r * (1.0 + mult))
+            } else {
+                (f_l * (1.0 + mult), f_r * (1.0 + mult))
+            };
             Plan::EquiJoin {
-                left: Box::new(prune_columns(db, *left, l_req)?),
-                right: Box::new(prune_columns(db, *right, r_req)?),
+                left: Box::new(prune_columns(db, *left, l_req, l_mult, cfg)?),
+                right: Box::new(prune_columns(db, *right, r_req, r_mult, cfg)?),
                 on,
             }
         }
         // Positional (union/difference) and whole-row (distinct/conf)
         // semantics: every column stays live.
         Plan::Union { left, right } => Plan::Union {
-            left: Box::new(prune_columns(db, *left, None)?),
-            right: Box::new(prune_columns(db, *right, None)?),
+            left: Box::new(prune_columns(db, *left, None, mult, cfg)?),
+            right: Box::new(prune_columns(db, *right, None, mult, cfg)?),
         },
         Plan::Difference { left, right } => Plan::Difference {
-            left: Box::new(prune_columns(db, *left, None)?),
-            right: Box::new(prune_columns(db, *right, None)?),
+            left: Box::new(prune_columns(db, *left, None, mult, cfg)?),
+            right: Box::new(prune_columns(db, *right, None, mult, cfg)?),
         },
-        Plan::Distinct(input) => Plan::Distinct(Box::new(prune_columns(db, *input, None)?)),
-        Plan::Conf(input) => Plan::Conf(Box::new(prune_columns(db, *input, None)?)),
+        Plan::Distinct(input) => {
+            Plan::Distinct(Box::new(prune_columns(db, *input, None, mult, cfg)?))
+        }
+        Plan::Conf(input) => Plan::Conf(Box::new(prune_columns(db, *input, None, mult, cfg)?)),
         Plan::Aggregate {
             input,
             group_by,
@@ -365,8 +870,10 @@ fn prune_columns(db: &Database, plan: Plan, required: Option<Vec<String>>) -> Re
                     }
                 }
             }
+            // Group partitioning clones each row once; dead columns die
+            // inside the head.
             Plan::Aggregate {
-                input: Box::new(prune_columns(db, *input, Some(cols))?),
+                input: Box::new(prune_columns(db, *input, Some(cols), 1.0, cfg)?),
                 group_by,
                 aggs,
             }
@@ -375,13 +882,14 @@ fn prune_columns(db: &Database, plan: Plan, required: Option<Vec<String>>) -> Re
             let mut req = required;
             let key_cols: Vec<String> = keys.iter().map(|(c, _)| c.clone()).collect();
             require(&mut req, &key_cols);
+            // Blocking: buffered rows replay through a clone.
             Plan::Sort {
-                input: Box::new(prune_columns(db, *input, req)?),
+                input: Box::new(prune_columns(db, *input, req, mult + 1.0, cfg)?),
                 keys,
             }
         }
         Plan::Limit { input, n } => Plan::Limit {
-            input: Box::new(prune_columns(db, *input, required)?),
+            input: Box::new(prune_columns(db, *input, required, mult, cfg)?),
             n,
         },
     })
@@ -451,6 +959,25 @@ mod tests {
         db
     }
 
+    /// Config that isolates the predicate-pushdown pass shapes (no
+    /// reordering, no pruning) for structural assertions.
+    fn pushdown_only() -> OptimizerConfig {
+        OptimizerConfig {
+            reorder_joins: false,
+            prune: PruneMode::Never,
+            ..OptimizerConfig::default()
+        }
+    }
+
+    /// Config with unconditional pruning (the pre-cost-gate behavior).
+    fn prune_always() -> OptimizerConfig {
+        OptimizerConfig {
+            reorder_joins: false,
+            prune: PruneMode::Always,
+            ..OptimizerConfig::default()
+        }
+    }
+
     #[test]
     fn single_side_conjuncts_are_pushed() {
         let db = setup();
@@ -464,7 +991,7 @@ mod tests {
             )
             .unwrap()
             .build();
-        let opt = optimize(&db, plan.clone()).unwrap();
+        let opt = optimize_with(&db, plan.clone(), &pushdown_only()).unwrap();
         // Expect: Select(cross-side) over Product(Select(l), Select(r)).
         match &opt {
             Plan::Select { input, predicate } => {
@@ -481,11 +1008,15 @@ mod tests {
             }
             other => panic!("expected top select, got {other:?}"),
         }
-        // Semantics preserved.
+        // Semantics preserved, both under pushdown only and the full
+        // cost-based pipeline (which converts the product to a join).
         let cfg = SamplerConfig::default();
         let a = crate::exec::execute(&db, &plan, &cfg).unwrap();
         let b = crate::exec::execute(&db, &opt, &cfg).unwrap();
         assert_eq!(a.rows(), b.rows());
+        let full = optimize(&db, plan.clone()).unwrap();
+        let c = crate::exec::execute(&db, &full, &cfg).unwrap();
+        assert_eq!(a.rows(), c.rows());
     }
 
     #[test]
@@ -509,7 +1040,7 @@ mod tests {
     }
 
     #[test]
-    fn ambiguous_columns_not_pushed() {
+    fn ambiguous_columns_not_pushed_or_reordered() {
         let db = setup();
         db.create_table("l2", Schema::of(&[("a", DataType::Int)]))
             .unwrap();
@@ -521,7 +1052,8 @@ mod tests {
             .unwrap()
             .build();
         let opt = optimize(&db, plan).unwrap();
-        // `a` exists on both sides → predicate must stay above.
+        // `a` exists on both sides → predicate must stay above, and the
+        // reorderer must leave the ambiguous region alone.
         match opt {
             Plan::Select { input, .. } => {
                 assert!(matches!(*input, Plan::Product { .. }));
@@ -555,11 +1087,12 @@ mod tests {
     #[test]
     fn projection_pushdown_prunes_scans_under_aggregates() {
         let db = setup();
-        // Only `a` is referenced: `b` should be pruned at the scan.
+        // Only `a` is referenced: `b` is prunable at the scan — the
+        // mechanism fires under PruneMode::Always...
         let plan = PlanBuilder::scan("l")
             .aggregate(vec![], vec![crate::plan::AggFunc::ExpectedSum("a".into())])
             .build();
-        let opt = optimize(&db, plan.clone()).unwrap();
+        let opt = optimize_with(&db, plan.clone(), &prune_always()).unwrap();
         match &opt {
             Plan::Aggregate { input, .. } => match &**input {
                 Plan::Project { input, exprs } => {
@@ -569,6 +1102,15 @@ mod tests {
                 }
                 other => panic!("expected pruning projection, got {other:?}"),
             },
+            other => panic!("{other:?}"),
+        }
+        // ...but the cost gate declines it: the row is cloned once into
+        // its group, which cannot repay a fresh per-row stage.
+        let gated = optimize(&db, plan.clone()).unwrap();
+        match &gated {
+            Plan::Aggregate { input, .. } => {
+                assert!(matches!(**input, Plan::Scan(_)), "{input:?}")
+            }
             other => panic!("{other:?}"),
         }
         let cfg = SamplerConfig::default();
@@ -585,7 +1127,7 @@ mod tests {
             .equi_join(PlanBuilder::scan("r"), vec![("a", "c")])
             .project(vec![("b", ScalarExpr::col("b"))])
             .build();
-        let opt = optimize(&db, plan.clone()).unwrap();
+        let opt = optimize_with(&db, plan.clone(), &prune_always()).unwrap();
         let text = opt.explain();
         assert!(text.contains("Project: [c]"), "{text}");
         let cfg = SamplerConfig::default();
@@ -596,6 +1138,53 @@ mod tests {
     }
 
     #[test]
+    fn cost_gate_prunes_wide_fanout_sides() {
+        // A build side whose rows fan out into many join outputs repays
+        // pruning; the probe side (fan-out 1) does not.
+        let db = Database::new();
+        db.create_table(
+            "probe",
+            Schema::of(&[
+                ("pk", DataType::Int),
+                ("pv", DataType::Float),
+                ("pad0", DataType::Float),
+            ]),
+        )
+        .unwrap();
+        let mut build_cols = vec![("bk", DataType::Int), ("bv", DataType::Float)];
+        let pads: Vec<String> = (0..8).map(|i| format!("bpad{i}")).collect();
+        for p in &pads {
+            build_cols.push((p.as_str(), DataType::Float));
+        }
+        db.create_table("build", Schema::of(&build_cols)).unwrap();
+        for i in 0..200i64 {
+            db.insert_tuples("probe", &[tuple![i % 10, i as f64, 0.0]])
+                .unwrap();
+        }
+        for i in 0..10i64 {
+            let mut cells = vec![pip_expr::Equation::val(i), pip_expr::Equation::val(1.0)];
+            for _ in 0..8 {
+                cells.push(pip_expr::Equation::val(0.0));
+            }
+            db.insert_rows("build", vec![pip_ctable::CRow::unconditional(cells)])
+                .unwrap();
+        }
+        let plan = PlanBuilder::scan("probe")
+            .equi_join(PlanBuilder::scan("build"), vec![("pk", "bk")])
+            .project(vec![(
+                "x",
+                ScalarExpr::col("pv").mul(ScalarExpr::col("bv")),
+            )])
+            .build();
+        let opt = optimize(&db, plan).unwrap();
+        let text = opt.explain();
+        // Build side pruned to its key + referenced value...
+        assert!(text.contains("Project: [bk, bv]"), "{text}");
+        // ...probe side left alone (fan-out 1: pruning cannot pay).
+        assert!(!text.contains("Project: [pk, pv]"), "{text}");
+    }
+
+    #[test]
     fn projection_pushdown_respects_whole_row_operators() {
         let db = setup();
         // distinct dedups on all cells: nothing may be pruned below it.
@@ -603,7 +1192,7 @@ mod tests {
             .distinct()
             .aggregate(vec![], vec![crate::plan::AggFunc::ExpectedCount])
             .build();
-        let opt = optimize(&db, plan).unwrap();
+        let opt = optimize_with(&db, plan, &prune_always()).unwrap();
         match &opt {
             Plan::Aggregate { input, .. } => match &**input {
                 Plan::Distinct(inner) => assert!(matches!(**inner, Plan::Scan(_)), "{inner:?}"),
@@ -620,7 +1209,7 @@ mod tests {
             .product(PlanBuilder::scan("r2"))
             .aggregate(vec![], vec![crate::plan::AggFunc::ExpectedSum("a".into())])
             .build();
-        let opt = optimize(&db, plan).unwrap();
+        let opt = optimize_with(&db, plan, &prune_always()).unwrap();
         match &opt {
             Plan::Aggregate { input, .. } => match &**input {
                 Plan::Product { left, right } => {
@@ -631,6 +1220,130 @@ mod tests {
             },
             other => panic!("{other:?}"),
         }
+    }
+
+    /// Three name-disjoint tables with skewed sizes for reorder tests:
+    /// `big(bk, bx)` 60 rows, `mid(mk, mv)` 12, `tiny(tk, tv)` 3.
+    fn reorder_db() -> Database {
+        let db = Database::new();
+        db.create_table(
+            "big",
+            Schema::of(&[("bk", DataType::Int), ("bx", DataType::Int)]),
+        )
+        .unwrap();
+        db.create_table(
+            "mid",
+            Schema::of(&[("mk", DataType::Int), ("mv", DataType::Int)]),
+        )
+        .unwrap();
+        db.create_table(
+            "tiny",
+            Schema::of(&[("tk", DataType::Int), ("tv", DataType::Int)]),
+        )
+        .unwrap();
+        for i in 0..60i64 {
+            db.insert_tuples("big", &[tuple![i % 12, i]]).unwrap();
+        }
+        for i in 0..12i64 {
+            db.insert_tuples("mid", &[tuple![i, i % 3]]).unwrap();
+        }
+        for i in 0..3i64 {
+            db.insert_tuples("tiny", &[tuple![i, i * 100]]).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn cross_side_equality_becomes_hash_join() {
+        // σ_{bk=mk}(big × mid) — written as a product — should execute
+        // as a hash join after optimization.
+        let db = reorder_db();
+        let plan = PlanBuilder::scan("big")
+            .product(PlanBuilder::scan("mid"))
+            .select(ScalarExpr::col("bk").eq(ScalarExpr::col("mk")))
+            .unwrap()
+            .build();
+        let opt = optimize(&db, plan.clone()).unwrap();
+        match &opt {
+            Plan::EquiJoin { on, .. } => {
+                assert_eq!(on, &vec![("bk".to_string(), "mk".to_string())])
+            }
+            other => panic!("expected hash join, got {other:?}"),
+        }
+        // The conversion preserves rows bit-for-bit (same probe order).
+        let cfg = SamplerConfig::default();
+        let a = crate::exec::execute(&db, &plan, &cfg).unwrap();
+        let b = crate::exec::execute(&db, &opt, &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn join_graph_reorders_by_cardinality() {
+        // Written order products big × mid first even though the tiny
+        // table is the selective one; the reorderer must restructure,
+        // and the result schema must stay identical.
+        let db = reorder_db();
+        let plan = PlanBuilder::scan("big")
+            .product(PlanBuilder::scan("mid"))
+            .product(PlanBuilder::scan("tiny"))
+            .select(
+                ScalarExpr::col("bk")
+                    .eq(ScalarExpr::col("mk"))
+                    .and(ScalarExpr::col("mv").eq(ScalarExpr::col("tk"))),
+            )
+            .unwrap()
+            .build();
+        let opt = optimize(&db, plan.clone()).unwrap();
+        let text = opt.explain();
+        assert!(text.contains("EquiJoin"), "no join produced:\n{text}");
+        assert!(!text.contains("Product"), "product survived:\n{text}");
+        let names = |p: &Plan| -> Vec<String> {
+            plan_schema(&db, p)
+                .unwrap()
+                .columns()
+                .iter()
+                .map(|c| c.name.clone())
+                .collect()
+        };
+        assert_eq!(
+            names(&plan),
+            names(&opt),
+            "reordering must not change the output column order"
+        );
+        // Multiset world-semantics: same tuples, order may differ.
+        let cfg = SamplerConfig::default();
+        let mut a = crate::exec::execute(&db, &plan, &cfg)
+            .unwrap()
+            .instantiate(&pip_expr::Assignment::new())
+            .unwrap();
+        let mut b = crate::exec::execute(&db, &opt, &cfg)
+            .unwrap()
+            .instantiate(&pip_expr::Assignment::new())
+            .unwrap();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reorder_keeps_written_order_when_already_optimal() {
+        // A two-table equi-join with the smaller table already on the
+        // build side gains nothing; the written plan must come back
+        // unchanged (bit-compatible row order).
+        let db = reorder_db();
+        let plan = PlanBuilder::scan("big")
+            .equi_join(PlanBuilder::scan("mid"), vec![("bk", "mk")])
+            .build();
+        let opt = optimize_with(
+            &db,
+            plan.clone(),
+            &OptimizerConfig {
+                prune: PruneMode::Never,
+                ..OptimizerConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(opt, plan);
     }
 
     #[test]

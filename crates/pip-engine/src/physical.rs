@@ -49,6 +49,9 @@ pub struct OpProfile {
     pub name: String,
     /// Depth in the operator tree (root = 0).
     pub depth: usize,
+    /// Optimizer cardinality estimate for the operator's output (`None`
+    /// when estimation failed, e.g. statistics were unavailable).
+    pub est_rows: Option<f64>,
     /// Rows the operator produced.
     pub rows_out: u64,
     /// Wall time inside the operator, including its children.
@@ -74,6 +77,7 @@ pub struct OpNode<'a> {
     schema: Schema,
     label: String,
     sampling: bool,
+    est_rows: Option<f64>,
     rows_out: u64,
     secs: f64,
 }
@@ -90,6 +94,7 @@ impl<'a> OpNode<'a> {
             schema,
             label: label.into(),
             sampling,
+            est_rows: None,
             rows_out: 0,
             secs: 0.0,
         }
@@ -117,6 +122,7 @@ impl<'a> OpNode<'a> {
         out.push(OpProfile {
             name: self.label.clone(),
             depth,
+            est_rows: self.est_rows,
             rows_out: self.rows_out,
             secs: self.secs,
             exclusive_secs: (self.secs - child_secs).max(0.0),
@@ -160,17 +166,29 @@ impl<'a> PhysicalPlan<'a> {
         out
     }
 
-    /// Render the physical tree; with `analyze`, append each operator's
-    /// rows-out and inclusive wall time (call after draining).
+    /// Render the physical tree with the optimizer's cardinality
+    /// estimates (present when lowered via [`lower_annotated`]); with
+    /// `analyze`, append each operator's actual rows-out, inclusive
+    /// (`total`) and exclusive (`self`) wall time (call after
+    /// draining).
     pub fn explain(&self, analyze: bool) -> String {
         use std::fmt::Write;
         let mut s = String::new();
         for p in self.profiles() {
             let pad = "  ".repeat(p.depth);
+            let mut parts: Vec<String> = Vec::new();
+            if let Some(e) = p.est_rows {
+                parts.push(format!("est_rows={e:.0}"));
+            }
             if analyze {
-                let _ = writeln!(s, "{pad}{} (rows={}, {:.6}s)", p.name, p.rows_out, p.secs);
-            } else {
+                parts.push(format!("rows={}", p.rows_out));
+                parts.push(format!("total={:.6}s", p.secs));
+                parts.push(format!("self={:.6}s", p.exclusive_secs));
+            }
+            if parts.is_empty() {
                 let _ = writeln!(s, "{pad}{}", p.name);
+            } else {
+                let _ = writeln!(s, "{pad}{} ({})", p.name, parts.join(", "));
             }
         }
         s
@@ -181,7 +199,20 @@ impl<'a> PhysicalPlan<'a> {
 /// operator tree over `db`.
 pub fn lower<'a>(db: &'a Database, plan: &Plan, cfg: &SamplerConfig) -> Result<PhysicalPlan<'a>> {
     Ok(PhysicalPlan {
-        root: build(db, plan, cfg)?,
+        root: build(db, plan, cfg, false)?,
+    })
+}
+
+/// [`lower`], with every operator annotated with the optimizer's
+/// cardinality estimate for its logical source node (the EXPLAIN path;
+/// the plain execute path skips the extra estimator walks).
+pub fn lower_annotated<'a>(
+    db: &'a Database,
+    plan: &Plan,
+    cfg: &SamplerConfig,
+) -> Result<PhysicalPlan<'a>> {
+    Ok(PhysicalPlan {
+        root: build(db, plan, cfg, true)?,
     })
 }
 
@@ -215,7 +246,29 @@ impl Transform {
     }
 }
 
-fn build<'a>(db: &'a Database, plan: &Plan, cfg: &SamplerConfig) -> Result<OpNode<'a>> {
+/// Build one operator node; with `annotate`, attach the optimizer's
+/// cardinality estimate for its logical source node (best effort —
+/// estimation failures leave the annotation empty, never fail the
+/// query).
+fn build<'a>(
+    db: &'a Database,
+    plan: &Plan,
+    cfg: &SamplerConfig,
+    annotate: bool,
+) -> Result<OpNode<'a>> {
+    let mut node = build_op(db, plan, cfg, annotate)?;
+    if annotate {
+        node.est_rows = crate::stats::estimate(db, plan).ok().map(|e| e.rows);
+    }
+    Ok(node)
+}
+
+fn build_op<'a>(
+    db: &'a Database,
+    plan: &Plan,
+    cfg: &SamplerConfig,
+    annotate: bool,
+) -> Result<OpNode<'a>> {
     match plan {
         Plan::Scan(name) => {
             let table = db.table(name)?;
@@ -236,7 +289,7 @@ fn build<'a>(db: &'a Database, plan: &Plan, cfg: &SamplerConfig) -> Result<OpNod
                 chain.push(cur);
                 cur = input;
             }
-            let input = build(db, cur, cfg)?;
+            let input = build(db, cur, cfg, annotate)?;
             let mut schema = input.schema().clone();
             let mut transforms = Vec::with_capacity(chain.len());
             for node in chain.into_iter().rev() {
@@ -287,8 +340,8 @@ fn build<'a>(db: &'a Database, plan: &Plan, cfg: &SamplerConfig) -> Result<OpNod
             ))
         }
         Plan::Product { left, right } => {
-            let l = build(db, left, cfg)?;
-            let r = build(db, right, cfg)?;
+            let l = build(db, left, cfg, annotate)?;
+            let r = build(db, right, cfg, annotate)?;
             let schema = l.schema().join(r.schema())?;
             Ok(OpNode::new(
                 ProductOp {
@@ -304,8 +357,8 @@ fn build<'a>(db: &'a Database, plan: &Plan, cfg: &SamplerConfig) -> Result<OpNod
             ))
         }
         Plan::EquiJoin { left, right, on } => {
-            let l = build(db, left, cfg)?;
-            let r = build(db, right, cfg)?;
+            let l = build(db, left, cfg, annotate)?;
+            let r = build(db, right, cfg, annotate)?;
             let l_key = on
                 .iter()
                 .map(|(a, _)| l.schema().index_of(a))
@@ -333,8 +386,8 @@ fn build<'a>(db: &'a Database, plan: &Plan, cfg: &SamplerConfig) -> Result<OpNod
             ))
         }
         Plan::Union { left, right } => {
-            let l = build(db, left, cfg)?;
-            let r = build(db, right, cfg)?;
+            let l = build(db, left, cfg, annotate)?;
+            let r = build(db, right, cfg, annotate)?;
             if l.schema().len() != r.schema().len() {
                 return Err(PipError::Schema(format!(
                     "union arity mismatch: {} vs {}",
@@ -355,7 +408,7 @@ fn build<'a>(db: &'a Database, plan: &Plan, cfg: &SamplerConfig) -> Result<OpNod
             ))
         }
         Plan::Distinct(input) => {
-            let input = build(db, input, cfg)?;
+            let input = build(db, input, cfg, annotate)?;
             let schema = input.schema().clone();
             Ok(OpNode::new(
                 DistinctOp {
@@ -368,8 +421,8 @@ fn build<'a>(db: &'a Database, plan: &Plan, cfg: &SamplerConfig) -> Result<OpNod
             ))
         }
         Plan::Difference { left, right } => {
-            let l = build(db, left, cfg)?;
-            let r = build(db, right, cfg)?;
+            let l = build(db, left, cfg, annotate)?;
+            let r = build(db, right, cfg, annotate)?;
             if l.schema().len() != r.schema().len() {
                 return Err(PipError::Schema(format!(
                     "difference arity mismatch: {} vs {}",
@@ -390,7 +443,7 @@ fn build<'a>(db: &'a Database, plan: &Plan, cfg: &SamplerConfig) -> Result<OpNod
             ))
         }
         Plan::Sort { input, keys } => {
-            let input = build(db, input, cfg)?;
+            let input = build(db, input, cfg, annotate)?;
             let idx = keys
                 .iter()
                 .map(|(c, d)| Ok((input.schema().index_of(c)?, *d)))
@@ -412,7 +465,7 @@ fn build<'a>(db: &'a Database, plan: &Plan, cfg: &SamplerConfig) -> Result<OpNod
             ))
         }
         Plan::Limit { input, n } => {
-            let input = build(db, input, cfg)?;
+            let input = build(db, input, cfg, annotate)?;
             let schema = input.schema().clone();
             Ok(OpNode::new(
                 LimitOp {
@@ -430,7 +483,7 @@ fn build<'a>(db: &'a Database, plan: &Plan, cfg: &SamplerConfig) -> Result<OpNod
             group_by,
             aggs,
         } => {
-            let input = build(db, input, cfg)?;
+            let input = build(db, input, cfg, annotate)?;
             let schema = aggregate_schema(input.schema(), group_by, aggs)?;
             let names: Vec<String> = aggs.iter().map(|a| a.output_name()).collect();
             Ok(OpNode::new(
@@ -451,7 +504,7 @@ fn build<'a>(db: &'a Database, plan: &Plan, cfg: &SamplerConfig) -> Result<OpNod
             ))
         }
         Plan::Conf(input) => {
-            let input = build(db, input, cfg)?;
+            let input = build(db, input, cfg, annotate)?;
             let mut cols = input.schema().columns().to_vec();
             cols.push(pip_core::Column::new("conf()", pip_core::DataType::Float));
             let schema = Schema::new(cols)?;

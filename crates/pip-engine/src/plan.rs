@@ -200,78 +200,66 @@ pub enum Plan {
 }
 
 impl Plan {
-    /// EXPLAIN-style rendering, one node per line with indentation.
-    fn explain_into(&self, depth: usize, out: &mut String) {
-        use std::fmt::Write;
-        let pad = "  ".repeat(depth);
+    /// One-line operator label (the node's EXPLAIN header).
+    pub fn label(&self) -> String {
         match self {
-            Plan::Scan(t) => {
-                let _ = writeln!(out, "{pad}Scan: {t}");
-            }
-            Plan::Select { input, predicate } => {
-                let _ = writeln!(out, "{pad}Select: {predicate:?}");
-                input.explain_into(depth + 1, out);
-            }
-            Plan::Project { input, exprs } => {
+            Plan::Scan(t) => format!("Scan: {t}"),
+            Plan::Select { predicate, .. } => format!("Select: {predicate:?}"),
+            Plan::Project { exprs, .. } => {
                 let names: Vec<&str> = exprs.iter().map(|(n, _)| n.as_str()).collect();
-                let _ = writeln!(out, "{pad}Project: [{}]", names.join(", "));
-                input.explain_into(depth + 1, out);
+                format!("Project: [{}]", names.join(", "))
             }
-            Plan::Product { left, right } => {
-                let _ = writeln!(out, "{pad}Product");
-                left.explain_into(depth + 1, out);
-                right.explain_into(depth + 1, out);
-            }
-            Plan::EquiJoin { left, right, on } => {
+            Plan::Product { .. } => "Product".to_string(),
+            Plan::EquiJoin { on, .. } => {
                 let pairs: Vec<String> = on.iter().map(|(a, b)| format!("{a}={b}")).collect();
-                let _ = writeln!(out, "{pad}EquiJoin: {}", pairs.join(" AND "));
-                left.explain_into(depth + 1, out);
-                right.explain_into(depth + 1, out);
+                format!("EquiJoin: {}", pairs.join(" AND "))
             }
-            Plan::Union { left, right } => {
-                let _ = writeln!(out, "{pad}Union");
-                left.explain_into(depth + 1, out);
-                right.explain_into(depth + 1, out);
-            }
-            Plan::Distinct(input) => {
-                let _ = writeln!(out, "{pad}Distinct");
-                input.explain_into(depth + 1, out);
-            }
-            Plan::Difference { left, right } => {
-                let _ = writeln!(out, "{pad}Difference");
-                left.explain_into(depth + 1, out);
-                right.explain_into(depth + 1, out);
-            }
-            Plan::Aggregate {
-                input,
-                group_by,
-                aggs,
-            } => {
+            Plan::Union { .. } => "Union".to_string(),
+            Plan::Distinct(_) => "Distinct".to_string(),
+            Plan::Difference { .. } => "Difference".to_string(),
+            Plan::Aggregate { group_by, aggs, .. } => {
                 let names: Vec<String> = aggs.iter().map(|a| a.output_name()).collect();
-                let _ = writeln!(
-                    out,
-                    "{pad}Aggregate: [{}] group by [{}]",
+                format!(
+                    "Aggregate: [{}] group by [{}]",
                     names.join(", "),
                     group_by.join(", ")
-                );
-                input.explain_into(depth + 1, out);
+                )
             }
-            Plan::Conf(input) => {
-                let _ = writeln!(out, "{pad}Conf");
-                input.explain_into(depth + 1, out);
-            }
-            Plan::Sort { input, keys } => {
+            Plan::Conf(_) => "Conf".to_string(),
+            Plan::Sort { keys, .. } => {
                 let ks: Vec<String> = keys
                     .iter()
                     .map(|(c, desc)| format!("{c}{}", if *desc { " DESC" } else { "" }))
                     .collect();
-                let _ = writeln!(out, "{pad}Sort: [{}]", ks.join(", "));
-                input.explain_into(depth + 1, out);
+                format!("Sort: [{}]", ks.join(", "))
             }
-            Plan::Limit { input, n } => {
-                let _ = writeln!(out, "{pad}Limit: {n}");
-                input.explain_into(depth + 1, out);
-            }
+            Plan::Limit { n, .. } => format!("Limit: {n}"),
+        }
+    }
+
+    /// Child plans in operator order (left before right).
+    pub fn children(&self) -> Vec<&Plan> {
+        match self {
+            Plan::Scan(_) => Vec::new(),
+            Plan::Select { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Aggregate { input, .. }
+            | Plan::Sort { input, .. }
+            | Plan::Limit { input, .. } => vec![input],
+            Plan::Distinct(input) | Plan::Conf(input) => vec![input],
+            Plan::Product { left, right }
+            | Plan::EquiJoin { left, right, .. }
+            | Plan::Union { left, right }
+            | Plan::Difference { left, right } => vec![left, right],
+        }
+    }
+
+    /// EXPLAIN-style rendering, one node per line with indentation.
+    fn explain_into(&self, depth: usize, out: &mut String) {
+        use std::fmt::Write;
+        let _ = writeln!(out, "{}{}", "  ".repeat(depth), self.label());
+        for child in self.children() {
+            child.explain_into(depth + 1, out);
         }
     }
 

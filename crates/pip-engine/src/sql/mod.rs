@@ -31,7 +31,7 @@ use crate::catalog::Database;
 use crate::exec::execute;
 use crate::rewrite::compile_scalar;
 
-pub use parser::{parse, Statement};
+pub use parser::{parse, ExplainFormat, Statement};
 
 /// Parse and run one SQL statement. DDL/DML return an empty table;
 /// SELECT returns its result.
@@ -83,47 +83,178 @@ pub fn run_statement(db: &Database, stmt: Statement, cfg: &SamplerConfig) -> Res
             let plan = crate::optimize::optimize(db, plan)?;
             execute(db, &plan, cfg)
         }
-        Statement::Explain { plan, analyze } => explain_statement(db, plan, analyze, cfg),
+        Statement::Explain {
+            plan,
+            analyze,
+            format,
+        } => explain_statement(db, plan, analyze, format, cfg),
+        Statement::Analyze { table } => analyze_statement(db, table),
     }
 }
 
-/// Run `EXPLAIN [ANALYZE]`: one `plan` text row per tree line — the
-/// optimized logical plan, then the physical operator tree (with
-/// per-operator rows-out and wall time under ANALYZE, which executes
-/// the query to measure them).
+/// Run `ANALYZE [table]`: refresh optimizer statistics and report one
+/// row per analyzed table.
+fn analyze_statement(db: &Database, table: Option<String>) -> Result<CTable> {
+    let stats = match table {
+        Some(t) => vec![db.analyze_table(&t)?],
+        None => db.analyze_all()?,
+    };
+    let schema = Schema::new(vec![
+        Column::new("table", pip_core::DataType::Str),
+        Column::new("rows", pip_core::DataType::Int),
+        Column::new("columns", pip_core::DataType::Int),
+        Column::new("symbolic_cells", pip_core::DataType::Int),
+        Column::new("conditional_rows", pip_core::DataType::Int),
+    ])?;
+    let mut out = CTable::empty(schema);
+    for s in stats {
+        let symbolic: u64 = s.columns.iter().map(|c| c.n_symbolic).sum();
+        out.push(CRow::unconditional(vec![
+            Equation::val(pip_core::Value::str(s.table.clone())),
+            Equation::val(s.rows as i64),
+            Equation::val(s.columns.len() as i64),
+            Equation::val(symbolic as i64),
+            Equation::val(s.conditional_rows as i64),
+        ]))?;
+    }
+    Ok(out)
+}
+
+/// JSON shape of one logical plan node (`EXPLAIN (FORMAT JSON)`).
+#[derive(serde::Serialize)]
+struct LogicalJson {
+    op: String,
+    /// Estimated output rows (`null` when estimation failed).
+    est_rows: f64,
+    children: Vec<LogicalJson>,
+}
+
+fn logical_json(db: &Database, plan: &crate::plan::Plan) -> LogicalJson {
+    LogicalJson {
+        op: plan.label(),
+        est_rows: crate::stats::estimate(db, plan)
+            .map(|e| e.rows)
+            .unwrap_or(f64::NAN),
+        children: plan
+            .children()
+            .iter()
+            .map(|c| logical_json(db, c))
+            .collect(),
+    }
+}
+
+/// JSON shape of one physical operator (`EXPLAIN (FORMAT JSON)`).
+#[derive(serde::Serialize)]
+struct PhysicalJson {
+    op: String,
+    /// Estimated output rows (`null` when estimation failed).
+    est_rows: f64,
+    rows: u64,
+    total_secs: f64,
+    self_secs: f64,
+    sampling: bool,
+    children: Vec<PhysicalJson>,
+}
+
+/// Rebuild the operator tree from the pre-order profile list.
+fn physical_json(profiles: &[crate::physical::OpProfile], i: &mut usize) -> PhysicalJson {
+    let p = &profiles[*i];
+    let depth = p.depth;
+    *i += 1;
+    let mut node = PhysicalJson {
+        op: p.name.clone(),
+        est_rows: p.est_rows.unwrap_or(f64::NAN),
+        rows: p.rows_out,
+        total_secs: p.secs,
+        self_secs: p.exclusive_secs,
+        sampling: p.sampling,
+        children: Vec::new(),
+    };
+    while *i < profiles.len() && profiles[*i].depth == depth + 1 {
+        node.children.push(physical_json(profiles, i));
+    }
+    node
+}
+
+/// The whole `EXPLAIN (FORMAT JSON)` document.
+#[derive(serde::Serialize)]
+struct ExplainJson {
+    analyzed: bool,
+    result_rows: u64,
+    query_secs: f64,
+    sample_secs: f64,
+    logical: LogicalJson,
+    physical: PhysicalJson,
+}
+
+/// Run `EXPLAIN [ANALYZE] [(FORMAT ...)]`. Text format emits one `plan`
+/// text row per tree line — the optimized logical plan with `est_rows`
+/// estimates, then the physical operator tree (per-operator estimated
+/// rows, and under ANALYZE — which executes the query — actual rows-out
+/// plus inclusive `total` and exclusive `self` wall time). JSON format
+/// emits a single row holding one machine-readable document with both
+/// trees.
 fn explain_statement(
     db: &Database,
     plan: crate::plan::Plan,
     analyze: bool,
+    format: ExplainFormat,
     cfg: &SamplerConfig,
 ) -> Result<CTable> {
     let plan = crate::optimize::optimize(db, plan)?;
-    let mut lines: Vec<String> = Vec::new();
-    lines.push("-- logical plan --".to_string());
-    lines.extend(plan.explain().lines().map(String::from));
-    let mut phys = crate::physical::lower(db, &plan, cfg)?;
+    let mut phys = crate::physical::lower_annotated(db, &plan, cfg)?;
+    let mut result_rows = 0u64;
+    let mut query_secs = 0.0;
+    let mut sample_secs = 0.0;
     if analyze {
         let t0 = std::time::Instant::now();
         let result = phys.collect()?;
         let total = t0.elapsed().as_secs_f64();
-        let sample_secs: f64 = phys
+        sample_secs = phys
             .profiles()
             .iter()
             .filter(|p| p.sampling)
             .map(|p| p.exclusive_secs)
             .sum();
-        lines.push("-- physical plan (analyzed) --".to_string());
-        lines.extend(phys.explain(true).lines().map(String::from));
-        lines.push(format!(
-            "-- {} result rows; query phase {:.6}s, sample phase {:.6}s --",
-            result.len(),
-            (total - sample_secs).max(0.0),
-            sample_secs
-        ));
-    } else {
-        lines.push("-- physical plan --".to_string());
-        lines.extend(phys.explain(false).lines().map(String::from));
+        query_secs = (total - sample_secs).max(0.0);
+        result_rows = result.len() as u64;
     }
+
+    let lines: Vec<String> = match format {
+        ExplainFormat::Json => {
+            let doc = ExplainJson {
+                analyzed: analyze,
+                result_rows,
+                query_secs,
+                sample_secs,
+                logical: logical_json(db, &plan),
+                physical: physical_json(&phys.profiles(), &mut 0),
+            };
+            vec![serde_json::to_string(&doc)
+                .map_err(|e| pip_core::PipError::Eval(format!("explain json: {e}")))?]
+        }
+        ExplainFormat::Text => {
+            let mut lines = Vec::new();
+            lines.push("-- logical plan --".to_string());
+            lines.extend(
+                crate::stats::explain_estimated(db, &plan)
+                    .lines()
+                    .map(String::from),
+            );
+            if analyze {
+                lines.push("-- physical plan (analyzed) --".to_string());
+                lines.extend(phys.explain(true).lines().map(String::from));
+                lines.push(format!(
+                    "-- {result_rows} result rows; query phase {query_secs:.6}s, \
+                     sample phase {sample_secs:.6}s --"
+                ));
+            } else {
+                lines.push("-- physical plan --".to_string());
+                lines.extend(phys.explain(false).lines().map(String::from));
+            }
+            lines
+        }
+    };
     let mut out = CTable::empty(Schema::new(vec![Column::new(
         "plan".to_string(),
         pip_core::DataType::Str,
@@ -219,35 +350,110 @@ mod tests {
         assert!((p_ny - (1.0 - special::normal_cdf(1.0))).abs() < 1e-3);
     }
 
+    fn plan_text(t: &CTable) -> String {
+        t.rows()
+            .iter()
+            .map(|r| r.cells[0].as_const().unwrap().as_str().unwrap().to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
     #[test]
     fn explain_and_explain_analyze_via_sql() {
         let (db, cfg) = db_with_orders();
         let q = "SELECT expected_sum(price) FROM orders, shipping \
                  WHERE ship_to = dest AND duration >= 7";
-        let t = run(&db, &format!("EXPLAIN {q}"), &cfg).unwrap();
-        let text: Vec<String> = t
-            .rows()
-            .iter()
-            .map(|r| r.cells[0].as_const().unwrap().as_str().unwrap().to_string())
-            .collect();
-        let text = text.join("\n");
+        let text = plan_text(&run(&db, &format!("EXPLAIN {q}"), &cfg).unwrap());
         assert!(text.contains("-- logical plan --"), "{text}");
         assert!(text.contains("-- physical plan --"), "{text}");
         assert!(text.contains("Scan: orders"), "{text}");
-        // Plain EXPLAIN does not execute: no row counts.
-        assert!(!text.contains("rows="), "{text}");
+        // Estimates appear on every operator, logical and physical.
+        assert!(text.contains("est_rows="), "{text}");
+        // Plain EXPLAIN does not execute: no actual row counts/timings.
+        assert!(!text.contains(", rows="), "{text}");
+        assert!(!text.contains("self="), "{text}");
 
-        let t = run(&db, &format!("EXPLAIN ANALYZE {q}"), &cfg).unwrap();
-        let text: Vec<String> = t
-            .rows()
-            .iter()
-            .map(|r| r.cells[0].as_const().unwrap().as_str().unwrap().to_string())
-            .collect();
-        let text = text.join("\n");
+        let text = plan_text(&run(&db, &format!("EXPLAIN ANALYZE {q}"), &cfg).unwrap());
         assert!(text.contains("-- physical plan (analyzed) --"), "{text}");
-        assert!(text.contains("rows="), "{text}");
+        // est_rows sits alongside the actual rows-out...
+        assert!(text.contains("est_rows="), "{text}");
+        assert!(text.contains(", rows="), "{text}");
+        // ...and exclusive (self) time alongside inclusive (total).
+        assert!(text.contains("total="), "{text}");
+        assert!(text.contains("self="), "{text}");
         assert!(text.contains("sample phase"), "{text}");
         assert!(text.contains("Aggregate"), "{text}");
+    }
+
+    #[test]
+    fn explain_analyze_exclusive_times_sum_to_inclusive_root() {
+        // The profile API itself: every operator's exclusive time is its
+        // inclusive time minus its children's inclusive share.
+        let (db, cfg) = db_with_orders();
+        let stmt = parse(
+            "SELECT expected_sum(price) FROM orders, shipping \
+             WHERE ship_to = dest AND duration >= 7",
+        )
+        .unwrap();
+        let Statement::Select(plan) = stmt else {
+            panic!("not a select");
+        };
+        let plan = crate::optimize::optimize(&db, plan).unwrap();
+        let mut phys = crate::physical::lower(&db, &plan, &cfg).unwrap();
+        phys.collect().unwrap();
+        let profiles = phys.profiles();
+        let total_self: f64 = profiles.iter().map(|p| p.exclusive_secs).sum();
+        let root_total = profiles[0].secs;
+        assert!(
+            total_self <= root_total * 1.0001 + 1e-9,
+            "self {total_self} vs root {root_total}"
+        );
+        assert!(profiles.iter().all(|p| p.exclusive_secs <= p.secs + 1e-12));
+    }
+
+    #[test]
+    fn explain_format_json_is_machine_checkable() {
+        let (db, cfg) = db_with_orders();
+        let q = "SELECT expected_sum(price) FROM orders, shipping \
+                 WHERE ship_to = dest AND duration >= 7";
+        let t = run(&db, &format!("EXPLAIN (FORMAT JSON) {q}"), &cfg).unwrap();
+        assert_eq!(t.len(), 1, "one row holding the document");
+        let doc = plan_text(&t);
+        assert!(doc.starts_with('{'), "{doc}");
+        assert!(doc.contains("\"analyzed\":false"), "{doc}");
+        assert!(doc.contains("\"logical\":"), "{doc}");
+        assert!(doc.contains("\"physical\":"), "{doc}");
+        assert!(doc.contains("\"est_rows\":"), "{doc}");
+        assert!(doc.contains("\"children\":"), "{doc}");
+
+        let t = run(&db, &format!("EXPLAIN (ANALYZE, FORMAT JSON) {q}"), &cfg).unwrap();
+        let doc = plan_text(&t);
+        assert!(doc.contains("\"analyzed\":true"), "{doc}");
+        assert!(doc.contains("\"result_rows\":1"), "{doc}");
+        assert!(doc.contains("\"rows\":"), "{doc}");
+        assert!(doc.contains("\"self_secs\":"), "{doc}");
+        assert!(doc.contains("\"sampling\":true"), "{doc}");
+    }
+
+    #[test]
+    fn analyze_via_sql_reports_statistics() {
+        let (db, cfg) = db_with_orders();
+        // Per-table refresh.
+        let t = run(&db, "ANALYZE orders", &cfg).unwrap();
+        assert_eq!(t.len(), 1);
+        let row = &t.rows()[0];
+        assert_eq!(row.cells[0].as_const().unwrap().as_str().unwrap(), "orders");
+        assert_eq!(row.cells[1].as_const().unwrap().as_i64().unwrap(), 2);
+        // price is symbolic in both rows.
+        assert_eq!(row.cells[3].as_const().unwrap().as_i64().unwrap(), 2);
+        // Bare ANALYZE covers every table, sorted by name.
+        let t = run(&db, "ANALYZE", &cfg).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(
+            t.rows()[0].cells[0].as_const().unwrap().as_str().unwrap(),
+            "orders"
+        );
+        assert!(run(&db, "ANALYZE ghost", &cfg).is_err());
     }
 
     #[test]

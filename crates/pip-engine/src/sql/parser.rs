@@ -4,8 +4,11 @@
 //! the paper's evaluation):
 //!
 //! ```text
-//! stmt      := create | insert | select | explain
+//! stmt      := create | insert | select | explain | analyze
 //! explain   := EXPLAIN [ANALYZE] select
+//!            | EXPLAIN '(' option (',' option)* ')' select
+//! option    := ANALYZE | FORMAT (TEXT | JSON)
+//! analyze   := ANALYZE [name]        -- refresh optimizer statistics
 //! create    := CREATE TABLE name '(' col type (',' col type)* ')'
 //! insert    := INSERT INTO name VALUES tuple (',' tuple)*
 //! select    := SELECT target (',' target)* FROM from_item (',' from_item)*
@@ -29,6 +32,16 @@ use pip_expr::CmpOp;
 use crate::plan::{AggFunc, Plan, PlanBuilder, ScalarExpr};
 use crate::sql::lexer::{tokenize, Token};
 
+/// Output format of an `EXPLAIN` statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExplainFormat {
+    /// Indented tree, one `plan` text row per line (default).
+    Text,
+    /// One row holding a single JSON document with the logical and
+    /// physical trees, estimated and (under ANALYZE) actual rows.
+    Json,
+}
+
 /// A parsed SQL statement.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Statement {
@@ -41,12 +54,19 @@ pub enum Statement {
         rows: Vec<Vec<ScalarExpr>>,
     },
     Select(Plan),
-    /// `EXPLAIN [ANALYZE] SELECT ...` — render the optimized logical and
-    /// physical trees; with ANALYZE, execute and include per-operator
-    /// rows-out and wall time.
+    /// `EXPLAIN [ANALYZE] [(FORMAT JSON)] SELECT ...` — render the
+    /// optimized logical and physical trees with cardinality estimates;
+    /// with ANALYZE, execute and include per-operator rows-out and
+    /// inclusive/exclusive wall time.
     Explain {
         plan: Plan,
         analyze: bool,
+        format: ExplainFormat,
+    },
+    /// `ANALYZE [table]` — refresh optimizer statistics for one table
+    /// (or all tables) and report what was collected.
+    Analyze {
+        table: Option<String>,
     },
 }
 
@@ -149,15 +169,56 @@ impl Parser {
             return self.select();
         }
         if self.eat_kw("explain") {
-            let analyze = self.eat_kw("analyze");
+            let mut analyze = false;
+            let mut format = ExplainFormat::Text;
+            if self.eat_if(&Token::LParen) {
+                loop {
+                    if self.eat_kw("analyze") {
+                        analyze = true;
+                    } else if self.eat_kw("format") {
+                        if self.eat_kw("json") {
+                            format = ExplainFormat::Json;
+                        } else if self.eat_kw("text") {
+                            format = ExplainFormat::Text;
+                        } else {
+                            return Err(PipError::Sql(format!(
+                                "FORMAT expects TEXT or JSON, found {:?}",
+                                self.peek()
+                            )));
+                        }
+                    } else {
+                        return Err(PipError::Sql(format!(
+                            "unknown EXPLAIN option {:?} (ANALYZE, FORMAT TEXT|JSON)",
+                            self.peek()
+                        )));
+                    }
+                    if !self.eat_if(&Token::Comma) {
+                        break;
+                    }
+                }
+                self.expect(Token::RParen)?;
+            } else {
+                analyze = self.eat_kw("analyze");
+            }
             self.expect_kw("select")?;
             return match self.select()? {
-                Statement::Select(plan) => Ok(Statement::Explain { plan, analyze }),
+                Statement::Select(plan) => Ok(Statement::Explain {
+                    plan,
+                    analyze,
+                    format,
+                }),
                 other => unreachable!("select() returned {other:?}"),
             };
         }
+        if self.eat_kw("analyze") {
+            let table = match self.peek() {
+                Some(Token::Ident(_)) => Some(self.ident()?),
+                _ => None,
+            };
+            return Ok(Statement::Analyze { table });
+        }
         Err(PipError::Sql(format!(
-            "expected CREATE, INSERT, SELECT or EXPLAIN, found {:?}",
+            "expected CREATE, INSERT, SELECT, EXPLAIN or ANALYZE, found {:?}",
             self.peek()
         )))
     }
@@ -701,15 +762,20 @@ mod tests {
     fn explain_statements() {
         let s = parse("EXPLAIN SELECT * FROM t WHERE a > 0").unwrap();
         match s {
-            Statement::Explain { analyze, plan } => {
+            Statement::Explain {
+                analyze,
+                plan,
+                format,
+            } => {
                 assert!(!analyze);
+                assert_eq!(format, ExplainFormat::Text);
                 assert!(matches!(plan, Plan::Select { .. }));
             }
             other => panic!("{other:?}"),
         }
         let s = parse("EXPLAIN ANALYZE SELECT expected_sum(a) FROM t").unwrap();
         match s {
-            Statement::Explain { analyze, plan } => {
+            Statement::Explain { analyze, plan, .. } => {
                 assert!(analyze);
                 assert!(matches!(plan, Plan::Aggregate { .. }));
             }
@@ -718,6 +784,56 @@ mod tests {
         // EXPLAIN applies to SELECT only.
         assert!(parse("EXPLAIN CREATE TABLE t (a INT)").is_err());
         assert!(parse("EXPLAIN ANALYZE").is_err());
+    }
+
+    #[test]
+    fn explain_option_lists() {
+        let s = parse("EXPLAIN (FORMAT JSON) SELECT * FROM t").unwrap();
+        match s {
+            Statement::Explain {
+                analyze, format, ..
+            } => {
+                assert!(!analyze);
+                assert_eq!(format, ExplainFormat::Json);
+            }
+            other => panic!("{other:?}"),
+        }
+        let s = parse("EXPLAIN (ANALYZE, FORMAT JSON) SELECT * FROM t").unwrap();
+        match s {
+            Statement::Explain {
+                analyze, format, ..
+            } => {
+                assert!(analyze);
+                assert_eq!(format, ExplainFormat::Json);
+            }
+            other => panic!("{other:?}"),
+        }
+        let s = parse("EXPLAIN (ANALYZE, FORMAT TEXT) SELECT * FROM t").unwrap();
+        assert!(matches!(
+            s,
+            Statement::Explain {
+                analyze: true,
+                format: ExplainFormat::Text,
+                ..
+            }
+        ));
+        assert!(parse("EXPLAIN (FORMAT XML) SELECT * FROM t").is_err());
+        assert!(parse("EXPLAIN (VERBOSE) SELECT * FROM t").is_err());
+    }
+
+    #[test]
+    fn analyze_statements() {
+        assert_eq!(
+            parse("ANALYZE").unwrap(),
+            Statement::Analyze { table: None }
+        );
+        assert_eq!(
+            parse("ANALYZE orders;").unwrap(),
+            Statement::Analyze {
+                table: Some("orders".into())
+            }
+        );
+        assert!(parse("ANALYZE orders extra").is_err());
     }
 
     #[test]

@@ -41,16 +41,19 @@ fn demo_database() -> Arc<Database> {
     db
 }
 
-const KNOWN_COMMANDS: [&str; 9] = [
+const KNOWN_COMMANDS: [&str; 12] = [
     "QUERY",
+    "STREAM",
     "PREPARE",
     "EXEC",
     "EXECUTE",
     "DEALLOCATE",
+    "ANALYZE",
     "SET",
     "STATS",
     "PING",
     "QUIT",
+    "EXIT",
 ];
 
 fn main() {
@@ -123,12 +126,15 @@ fn main() {
         reader.read_line(&mut reply).expect("recv");
         print!("{reply}");
         let is_table = reply.starts_with("OK") && reply.contains(" rows ");
-        if is_table {
+        // STREAM frames end with `END <n> rows (...)` instead of `END`.
+        let is_stream = reply.starts_with("STREAM BEGIN");
+        if is_table || is_stream {
             loop {
                 let mut row = String::new();
                 reader.read_line(&mut row).expect("recv row");
                 print!("{row}");
-                if row.trim_end() == "END" {
+                let t = row.trim_end();
+                if t == "END" || (is_stream && (t.starts_with("END ") || t.starts_with("ERR "))) {
                     break;
                 }
             }

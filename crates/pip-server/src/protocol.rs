@@ -8,11 +8,17 @@
 //! PREPARE <name> AS <sql>  parse + plan a SELECT once
 //! EXEC <name>              run a prepared statement
 //! DEALLOCATE <name>        forget a prepared statement
+//! ANALYZE [<table>]        refresh optimizer statistics (SQL passthrough)
 //! SET <key> <value>        THREADS | SEED | SAMPLES | EPSILON | DELTA
 //! STATS                    session counters and sampler settings
 //! PING                     liveness probe
 //! QUIT                     close the connection
 //! ```
+//!
+//! `ANALYZE` is the SQL statement on the wire: `ANALYZE [<table>]`
+//! routes through the QUERY handler unchanged, so `QUERY ANALYZE t` and
+//! `ANALYZE t` are equivalent (as are the `EXPLAIN` variants, including
+//! `EXPLAIN (FORMAT JSON)` for machine-readable plans).
 //!
 //! `QUERY` result sets are `OK <n> rows (<fresh|cached>)`, a tab
 //! separated header line, one line per row (rows still carrying a
@@ -78,6 +84,8 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
         "EXEC" | "EXECUTE" => Err("usage: EXEC <name>".into()),
         "DEALLOCATE" if !rest.is_empty() => Ok(Command::Deallocate(rest.to_string())),
         "DEALLOCATE" => Err("usage: DEALLOCATE <name>".into()),
+        // ANALYZE is SQL: forward the whole line to the statement path.
+        "ANALYZE" => Ok(Command::Query(line.to_string())),
         "SET" => {
             let (key, value) = rest
                 .split_once(char::is_whitespace)
@@ -413,6 +421,33 @@ mod tests {
         let r = handle_line(&mut s, "STREAM SELECT * FROM ghost");
         assert!(r.text.starts_with("ERR "), "{}", r.text);
         assert!(parse_command("STREAM").is_err());
+    }
+
+    #[test]
+    fn analyze_and_json_explain_over_the_wire() {
+        let mut s = session();
+        handle_line(&mut s, "QUERY CREATE TABLE t (a INT, b SYMBOLIC)");
+        handle_line(
+            &mut s,
+            "QUERY INSERT INTO t VALUES (1, create_variable('Normal', 5, 1)), (2, 3.5)",
+        );
+        // Bare protocol ANALYZE routes through the SQL layer.
+        let r = handle_line(&mut s, "ANALYZE t");
+        assert!(r.text.starts_with("OK 1 rows"), "{}", r.text);
+        assert!(r.text.contains("symbolic_cells"), "{}", r.text);
+        assert!(r.text.contains("'t'\t2\t2\t1"), "{}", r.text);
+        let r = handle_line(&mut s, "ANALYZE");
+        assert!(r.text.starts_with("OK 1 rows"), "{}", r.text);
+        let r = handle_line(&mut s, "ANALYZE ghost");
+        assert!(r.text.starts_with("ERR "), "{}", r.text);
+        // The server is self-profiling: JSON EXPLAIN over the wire.
+        let r = handle_line(
+            &mut s,
+            "QUERY EXPLAIN (ANALYZE, FORMAT JSON) SELECT expected_sum(b) FROM t WHERE a > 0",
+        );
+        assert!(r.text.contains("\"est_rows\":"), "{}", r.text);
+        assert!(r.text.contains("\"self_secs\":"), "{}", r.text);
+        assert!(r.text.contains("\"analyzed\":true"), "{}", r.text);
     }
 
     #[test]

@@ -108,12 +108,148 @@ pub fn join_plan() -> Plan {
         .build()
 }
 
+/// Row counts of the star join-order workload, derived from the fact
+/// table size with sharply skewed dimensions.
+#[derive(Debug, Clone, Copy)]
+pub struct StarShape {
+    pub fact: usize,
+    pub dim_a: usize,
+    pub dim_b: usize,
+    pub dim_c: usize,
+    /// Fraction of `dim_c` kept by its filter (the selective dimension).
+    pub c_selectivity: f64,
+}
+
+impl StarShape {
+    /// Shape for a given fact-table size.
+    pub fn of(fact: usize) -> StarShape {
+        StarShape {
+            fact: fact.max(40),
+            dim_a: (fact / 10).max(8),
+            dim_b: (fact / 40).max(4),
+            dim_c: (fact / 100).max(5),
+            c_selectivity: 0.2,
+        }
+    }
+}
+
+/// Build the join-order workload catalog: a star schema with skewed
+/// cardinalities — `fact(fa, fb, fc, amount, fpad0, fpad1)` referencing
+/// `dim_a(ak, aw)`, `dim_b(bk, bw)` and the small, selectively filtered
+/// `dim_c(ck, cfilter, cw)`. All cells are deterministic so the query
+/// phase (the thing join order changes) dominates; the aggregate head
+/// costs the same under every plan.
+pub fn star_db(shape: &StarShape) -> Result<Database> {
+    let db = Database::new();
+    db.create_table(
+        "fact",
+        Schema::of(&[
+            ("fa", DataType::Int),
+            ("fb", DataType::Int),
+            ("fc", DataType::Int),
+            ("amount", DataType::Float),
+            ("fpad0", DataType::Float),
+            ("fpad1", DataType::Float),
+        ]),
+    )?;
+    db.create_table(
+        "dim_a",
+        Schema::of(&[("ak", DataType::Int), ("aw", DataType::Float)]),
+    )?;
+    db.create_table(
+        "dim_b",
+        Schema::of(&[("bk", DataType::Int), ("bw", DataType::Float)]),
+    )?;
+    db.create_table(
+        "dim_c",
+        Schema::of(&[
+            ("ck", DataType::Int),
+            ("cfilter", DataType::Float),
+            ("cw", DataType::Float),
+        ]),
+    )?;
+    let mut fact = Vec::with_capacity(shape.fact);
+    for i in 0..shape.fact {
+        fact.push(CRow::unconditional(vec![
+            Equation::val(((i * 7 + 3) % shape.dim_a) as i64),
+            Equation::val(((i * 13 + 1) % shape.dim_b) as i64),
+            Equation::val(((i * 11 + 5) % shape.dim_c) as i64),
+            Equation::val(1.0 + (i % 17) as f64),
+            Equation::val(i as f64),
+            Equation::val((i * 2) as f64),
+        ]));
+    }
+    db.insert_rows("fact", fact)?;
+    fn dim(n: usize, f: impl Fn(usize) -> Vec<Equation>) -> Vec<CRow> {
+        (0..n).map(|i| CRow::unconditional(f(i))).collect()
+    }
+    db.insert_rows(
+        "dim_a",
+        dim(shape.dim_a, |i| {
+            vec![Equation::val(i as i64), Equation::val((i % 5) as f64)]
+        }),
+    )?;
+    db.insert_rows(
+        "dim_b",
+        dim(shape.dim_b, |i| {
+            vec![Equation::val(i as i64), Equation::val((i % 3) as f64)]
+        }),
+    )?;
+    db.insert_rows(
+        "dim_c",
+        dim(shape.dim_c, |i| {
+            vec![
+                Equation::val(i as i64),
+                // Uniform in [0, 1): the filter keeps `c_selectivity`.
+                Equation::val((i as f64 + 0.5) / shape.dim_c as f64),
+                Equation::val((i % 7) as f64),
+            ]
+        }),
+    )?;
+    Ok(db)
+}
+
+/// The star workload's query, written in the worst plausible order —
+/// products in FROM-clause sequence with every join predicate in the
+/// WHERE clause, exactly what `SELECT ... FROM fact, dim_a, dim_b,
+/// dim_c WHERE ...` parses to:
+///
+/// ```sql
+/// SELECT expected_sum(amount)
+/// FROM fact, dim_a, dim_b, dim_c
+/// WHERE fa = ak AND fb = bk AND fc = ck AND cfilter < 0.2
+/// ```
+///
+/// Executed literally, `fact × dim_a` materializes first; a cost-based
+/// optimizer must join the small filtered `dim_c` in early instead.
+pub fn star_plan_written(shape: &StarShape) -> Plan {
+    PlanBuilder::scan("fact")
+        .product(PlanBuilder::scan("dim_a"))
+        .product(PlanBuilder::scan("dim_b"))
+        .product(PlanBuilder::scan("dim_c"))
+        .select(
+            ScalarExpr::col("fa")
+                .eq(ScalarExpr::col("ak"))
+                .and(ScalarExpr::col("fb").eq(ScalarExpr::col("bk")))
+                .and(ScalarExpr::col("fc").eq(ScalarExpr::col("ck")))
+                .and(ScalarExpr::col("cfilter").lt(ScalarExpr::lit(shape.c_selectivity))),
+        )
+        .expect("predicate")
+        .aggregate(
+            vec![],
+            vec![pip_engine::AggFunc::ExpectedSum("amount".into())],
+        )
+        .build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::queries::q3_exact;
     use crate::tpch::{generate, TpchConfig};
-    use pip_engine::{execute, execute_materialized, optimize, scalar_result};
+    use pip_engine::{
+        execute, execute_materialized, optimize, optimize_with, scalar_result, OptimizerConfig,
+    };
     use pip_sampling::SamplerConfig;
 
     #[test]
@@ -140,7 +276,7 @@ mod tests {
     }
 
     #[test]
-    fn pushdown_prunes_the_padding_columns() {
+    fn pushdown_prunes_the_padding_columns_where_it_pays() {
         let data = generate(&TpchConfig {
             n_customers: 10,
             n_parts: 2,
@@ -148,14 +284,58 @@ mod tests {
             seed: 3,
         });
         let db = join_db(&data, 0.3).unwrap();
+        // Streaming target: at this workload's widths and fan-outs an
+        // extra per-row projection stage costs more than the saved cell
+        // clones on either side (measured in BENCH_exec.json — this was
+        // the PR 2 pushdown regression), so the cost gate declines both
+        // and the plan keeps bare scans.
         let opt = optimize(&db, join_plan()).unwrap();
         let text = opt.explain();
-        // Narrow projections above both scans; no pad column survives.
         assert!(!text.contains("pad0"), "{text}");
         assert!(
-            text.contains("Project: [cust, spend, incr, supp]") || text.contains("supp]"),
+            !text.contains("Project: [supp_id, duration, thr]"),
             "{text}"
         );
+        assert!(!text.contains("Project: [spend, incr, supp]"), "{text}");
+        // Materializing target: product-then-select clones each side
+        // once per *pair*, so pruning repays on both sides (and `cust`,
+        // never referenced, goes too).
+        let mat = optimize_with(&db, join_plan(), &OptimizerConfig::materializing()).unwrap();
+        let text = mat.explain();
         assert!(text.contains("Project: [supp_id, duration, thr]"), "{text}");
+        assert!(text.contains("Project: [spend, incr, supp]"), "{text}");
+    }
+
+    #[test]
+    fn star_workload_reorders_and_preserves_the_answer() {
+        let shape = StarShape::of(400);
+        let db = star_db(&shape).unwrap();
+        let written = star_plan_written(&shape);
+        let cfg = SamplerConfig::fixed_samples(50);
+        let opt = optimize(&db, written.clone()).unwrap();
+        let text = opt.explain();
+        // Every product became a hash join.
+        assert!(!text.contains("Product"), "{text}");
+        assert!(text.contains("EquiJoin"), "{text}");
+        // The selective dimension joins before the wide ones: dim_c must
+        // appear as the first build side (the innermost right leaf).
+        let join_line = text
+            .lines()
+            .rfind(|l| l.contains("EquiJoin"))
+            .unwrap()
+            .to_string();
+        assert!(
+            join_line.contains("fc=ck"),
+            "first join should bind dim_c: {text}"
+        );
+        // Same answer from written order, both executors.
+        let v_written = scalar_result(&execute(&db, &written, &cfg).unwrap()).unwrap();
+        let v_opt = scalar_result(&execute(&db, &opt, &cfg).unwrap()).unwrap();
+        let v_mat = scalar_result(&execute_materialized(&db, &opt, &cfg).unwrap()).unwrap();
+        assert_eq!(v_opt.to_bits(), v_mat.to_bits(), "executors disagree");
+        assert!(
+            (v_written - v_opt).abs() < 1e-9,
+            "{v_written} vs {v_opt} (deterministic sum must be identical)"
+        );
     }
 }

@@ -22,7 +22,10 @@ use pip::sampling::SamplerConfig;
 /// The database every generated plan runs against: `t1(k, v, s)` mixes
 /// deterministic cells, symbolic cells and row conditions (including
 /// cross-variable atoms that force real rejection sampling); `t2(k, w)`
-/// is deterministic. Returns the variable pool for world instantiation.
+/// is deterministic. `t3(j, u)` and `t4(m, q)` are small deterministic
+/// tables with names disjoint from `t1`, so multi-way join graphs over
+/// them are eligible for the cost-based join reorderer. Returns the
+/// variable pool for world instantiation.
 fn test_db() -> (Database, Vec<RandomVar>) {
     let db = Database::new();
     let mut vars = Vec::new();
@@ -77,6 +80,30 @@ fn test_db() -> (Database, Vec<RandomVar>) {
         ],
     )
     .unwrap();
+    db.create_table(
+        "t3",
+        Schema::of(&[("j", DataType::Int), ("u", DataType::Int)]),
+    )
+    .unwrap();
+    db.insert_tuples(
+        "t3",
+        &(0..4i64)
+            .map(|i| pip::core::tuple![i, i % 3])
+            .collect::<Vec<_>>(),
+    )
+    .unwrap();
+    db.create_table(
+        "t4",
+        Schema::of(&[("m", DataType::Int), ("q", DataType::Int)]),
+    )
+    .unwrap();
+    db.insert_tuples(
+        "t4",
+        &(0..3i64)
+            .map(|i| pip::core::tuple![i, i * 5])
+            .collect::<Vec<_>>(),
+    )
+    .unwrap();
     (db, vars)
 }
 
@@ -84,7 +111,7 @@ fn test_db() -> (Database, Vec<RandomVar>) {
 /// every generated plan is well-formed.
 fn random_plan(base: u8, ops: &[u8], head: u8, thr: f64, limit_n: usize) -> Plan {
     let mut cols: Vec<&str>;
-    let mut b = match base % 5 {
+    let mut b = match base % 7 {
         0 => {
             cols = vec!["k", "v", "s"];
             PlanBuilder::scan("t1")
@@ -101,7 +128,7 @@ fn random_plan(base: u8, ops: &[u8], head: u8, thr: f64, limit_n: usize) -> Plan
             cols = vec!["k", "v", "s"];
             PlanBuilder::scan("t1").union(PlanBuilder::scan("t1"))
         }
-        _ => {
+        4 => {
             // Difference over the deterministic table: subtracting a
             // symbolically-conditioned row from itself conjoins a
             // cross-variable atom with its own negation, which is only
@@ -113,6 +140,35 @@ fn random_plan(base: u8, ops: &[u8], head: u8, thr: f64, limit_n: usize) -> Plan
                     .select(ScalarExpr::col("w").gt(ScalarExpr::lit(15.0)))
                     .unwrap(),
             )
+        }
+        5 => {
+            // A reorderable three-way chain join written as products:
+            // t1–t3 via k=j, t3–t4 via u=m. Name-disjoint leaves, so the
+            // cost-based reorderer may restructure it into hash joins.
+            cols = vec!["k", "v", "s", "j", "u", "m", "q"];
+            PlanBuilder::scan("t1")
+                .product(PlanBuilder::scan("t3"))
+                .product(PlanBuilder::scan("t4"))
+                .select(
+                    ScalarExpr::col("k")
+                        .eq(ScalarExpr::col("j"))
+                        .and(ScalarExpr::col("u").eq(ScalarExpr::col("m"))),
+                )
+                .unwrap()
+        }
+        _ => {
+            // A reorderable star: t1 at the center, t3 and t4 hanging
+            // off the same key (k=j AND k=m).
+            cols = vec!["k", "v", "s", "j", "u", "m", "q"];
+            PlanBuilder::scan("t1")
+                .product(PlanBuilder::scan("t3"))
+                .product(PlanBuilder::scan("t4"))
+                .select(
+                    ScalarExpr::col("k")
+                        .eq(ScalarExpr::col("j"))
+                        .and(ScalarExpr::col("k").eq(ScalarExpr::col("m"))),
+                )
+                .unwrap()
         }
     };
     for &op in ops {
@@ -166,11 +222,12 @@ proptest! {
 
     /// The streaming executor and the materializing reference produce
     /// identical c-tables — schema, row order, cells and conditions —
-    /// on the raw plan AND on its optimized form, and the sampled
-    /// numbers are bit-identical at 1, 2 and 4 threads.
+    /// on the raw plan AND on its optimized form (including cost-based
+    /// join reorderings of the multi-way bases), and the sampled
+    /// numbers are bit-identical at 1, 2 and 4 threads on both.
     #[test]
     fn streaming_equals_materialized_on_random_plans(
-        base in 0u8..5,
+        base in 0u8..7,
         ops in prop::collection::vec(0u8..6, 0..4),
         head in 0u8..3,
         thr in -2.0f64..8.0,
@@ -191,21 +248,27 @@ proptest! {
         let reference_opt = execute_materialized(&db, &optimized, &cfg).unwrap();
         prop_assert_eq!(&streamed_opt, &reference_opt);
 
-        // Thread count must be invisible in the streaming heads.
+        // Thread count must be invisible in the streaming heads — on
+        // the written plan and on the (possibly reordered) one.
         for threads in [2usize, 4] {
             let par = cfg.clone().with_threads(threads);
             let t = execute(&db, &plan, &par).unwrap();
             prop_assert_eq!(&t, &streamed);
+            let t = execute(&db, &optimized, &par).unwrap();
+            prop_assert_eq!(&t, &streamed_opt);
         }
     }
 
-    /// The optimizer (predicate + projection pushdown) preserves world
-    /// semantics: instantiating the optimized plan's result equals
-    /// instantiating the reference result in every sampled world.
+    /// The optimizer (predicate pushdown, join reordering, projection
+    /// pushdown) preserves possible-worlds semantics: instantiating the
+    /// optimized plan's result yields the same multiset of tuples as
+    /// the reference result in every sampled world. Row order is only
+    /// pinned for non-reordered plans; a reordered join region emits in
+    /// its new join sequence, so the comparison sorts both sides.
     /// (Sampling-free plans only: heads turn worlds into numbers.)
     #[test]
     fn optimizer_preserves_world_semantics(
-        base in 0u8..5,
+        base in 0u8..7,
         ops in prop::collection::vec(0u8..6, 0..4),
         thr in -2.0f64..8.0,
         world in prop::collection::vec(-6.0f64..6.0, 12),
@@ -220,10 +283,12 @@ proptest! {
         for (var, x) in vars.iter().zip(world) {
             a.set(var.key, x);
         }
-        // Projection pushdown may reorder nothing and drop nothing the
-        // plan's own output depends on: the worlds must coincide.
-        let w_raw = raw.instantiate(&a).unwrap();
-        let w_opt = opt.instantiate(&a).unwrap();
+        // The optimizer may drop nothing the plan's own output depends
+        // on: the worlds must coincide as multisets.
+        let mut w_raw = raw.instantiate(&a).unwrap();
+        let mut w_opt = opt.instantiate(&a).unwrap();
+        w_raw.sort();
+        w_opt.sort();
         prop_assert_eq!(w_raw, w_opt);
     }
 }
