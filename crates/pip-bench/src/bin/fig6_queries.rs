@@ -110,7 +110,7 @@ struct ExecSummary {
 /// plan its own cost target produces (`OptimizerConfig::materializing`
 /// prunes aggressively; the streaming default prunes only where the
 /// narrower rows repay the extra stage).
-fn exec_comparison(scale: f64) -> ExecSummary {
+fn exec_comparison(scale: f64) -> (ExecSummary, Vec<PlanShape>) {
     let data = generate(&TpchConfig::scaled(scale, 0x33));
     let sel = 0.1;
     let db = plans::join_db(&data, sel).expect("join db");
@@ -165,7 +165,21 @@ fn exec_comparison(scale: f64) -> ExecSummary {
         summary.pushdown_speedup_streaming,
         summary.total_speedup
     );
-    summary
+    let shapes = vec![
+        PlanShape {
+            name: "fig6_join_pred_only",
+            shape: pred_only.shape_json(),
+        },
+        PlanShape {
+            name: "fig6_join_materializing",
+            shape: full_mat.shape_json(),
+        },
+        PlanShape {
+            name: "fig6_join_streaming",
+            shape: full_stream.shape_json(),
+        },
+    ];
+    (summary, shapes)
 }
 
 #[derive(Serialize)]
@@ -192,7 +206,7 @@ struct JoinOrderSummary {
 /// executor, and FAILS (panics → non-zero exit, caught by CI's bench
 /// smoke) if the optimizer's plan is measurably worse than written
 /// order.
-fn join_order_comparison(scale: f64) -> JoinOrderSummary {
+fn join_order_comparison(scale: f64) -> (JoinOrderSummary, Vec<PlanShape>) {
     let shape = StarShape::of(((2400.0 * scale) as usize).max(60));
     let db = plans::star_db(&shape).expect("star db");
     let raw = plans::star_plan_written(&shape);
@@ -249,7 +263,26 @@ fn join_order_comparison(scale: f64) -> JoinOrderSummary {
         cost_secs <= written_secs * 1.1,
         "cost-based plan ({cost_secs:.4}s) is worse than written order ({written_secs:.4}s)"
     );
-    summary
+    let shapes = vec![
+        PlanShape {
+            name: "star_written_order",
+            shape: written.shape_json(),
+        },
+        PlanShape {
+            name: "star_cost_based",
+            shape: cost_based.shape_json(),
+        },
+    ];
+    (summary, shapes)
+}
+
+/// One workload query's optimizer-chosen plan shape (the logical
+/// operator tree as JSON — what `EXPLAIN (FORMAT JSON)` reports under
+/// `logical`, minus the volatile row estimates).
+#[derive(Serialize, Clone, PartialEq)]
+struct PlanShape {
+    name: &'static str,
+    shape: String,
 }
 
 /// Everything recorded into `BENCH_exec.json`.
@@ -257,6 +290,63 @@ fn join_order_comparison(scale: f64) -> JoinOrderSummary {
 struct BenchRecord {
     exec: ExecSummary,
     join_order: JoinOrderSummary,
+    /// Workload scale the plan shapes were captured at (shapes are only
+    /// diffed between runs at the same scale — statistics, and thus
+    /// cost-based choices, legitimately change with scale).
+    plan_scale: String,
+    /// The plan-shape regression corpus: every workload query's
+    /// optimizer output. The guard fails the run when a shape changes
+    /// against the previously recorded file on the same inputs.
+    plans: Vec<PlanShape>,
+}
+
+/// Compare freshly captured plan shapes against the previously recorded
+/// `BENCH_exec.json` (if it exists, has a plan corpus, and was captured
+/// at the same scale). An unexpected shape change panics — a cost-model
+/// tweak that silently flips a workload plan is exactly the regression
+/// this corpus exists to catch. Re-baseline deliberate changes with
+/// `PIP_BENCH_ACCEPT_PLANS=1`.
+fn guard_plan_shapes(previous_path: &str, scale_tag: &str, plans: &[PlanShape]) {
+    let Ok(old) = std::fs::read_to_string(previous_path) else {
+        println!("# plan guard: no previous {previous_path}, recording baseline shapes");
+        return;
+    };
+    if !old.contains("\"plans\":") {
+        println!("# plan guard: previous record predates the plan corpus, recording baseline");
+        return;
+    }
+    let scale_needle = format!(
+        "\"plan_scale\":{}",
+        serde_json::to_string(scale_tag).expect("scale json")
+    );
+    if !old.contains(&scale_needle) {
+        println!("# plan guard: previous record at a different scale, recording baseline");
+        return;
+    }
+    let mut changed: Vec<&str> = Vec::new();
+    for p in plans {
+        let entry = serde_json::to_string(p).expect("plan entry json");
+        if !old.contains(&entry) {
+            changed.push(p.name);
+        }
+    }
+    if changed.is_empty() {
+        println!(
+            "# plan guard: all {} workload plan shapes unchanged",
+            plans.len()
+        );
+        return;
+    }
+    if std::env::var("PIP_BENCH_ACCEPT_PLANS").as_deref() == Ok("1") {
+        println!(
+            "# plan guard: accepting changed shapes for {changed:?} (PIP_BENCH_ACCEPT_PLANS=1)"
+        );
+        return;
+    }
+    panic!(
+        "optimizer plan shape changed for {changed:?} on unchanged inputs; \
+         inspect the new shapes in the run output and re-baseline with PIP_BENCH_ACCEPT_PLANS=1 if intended"
+    );
 }
 
 fn main() {
@@ -331,10 +421,22 @@ fn main() {
 
     // The join workload runs 4x the figure scale: query-phase cost is
     // what the executor comparison measures, so give it enough rows.
-    let exec = exec_comparison(4.0 * scale);
-    let join_order = join_order_comparison(scale);
-    let record = BenchRecord { exec, join_order };
+    let (exec, mut plans) = exec_comparison(4.0 * scale);
+    let (join_order, star_plans) = join_order_comparison(scale);
+    plans.extend(star_plans);
+
+    // The plan-shape regression guard: same inputs must produce the
+    // same optimizer output as the previously recorded run.
+    let plan_scale = format!("{scale}");
     let path = std::env::var("PIP_BENCH_EXEC_OUT").unwrap_or_else(|_| "BENCH_exec.json".into());
+    guard_plan_shapes(&path, &plan_scale, &plans);
+
+    let record = BenchRecord {
+        exec,
+        join_order,
+        plan_scale,
+        plans,
+    };
     let json = serde_json::to_string(&record).expect("record json");
     std::fs::write(&path, format!("{json}\n")).expect("write BENCH_exec.json");
     println!("# wrote {path}");

@@ -13,6 +13,29 @@ use pip_core::{PipError, Result};
 
 use crate::rng::PipRng;
 
+/// A sampler for one *fixed* parameter vector, with every
+/// parameter-dependent constant hoisted out of the draw loop.
+///
+/// Contract: `generate` MUST consume exactly the same RNG draws and
+/// return bit-identical values to [`DistributionClass::generate`] with
+/// the same params — prepared samplers are a pure speed capability that
+/// the compiled kernels in `pip-sampling` exploit in tight loops, and
+/// PIP's reproducibility story depends on the streams never diverging.
+pub trait PreparedGen: Send + Sync + fmt::Debug {
+    fn generate(&self, rng: &mut PipRng) -> f64;
+}
+
+/// A prepared inverse-CDF transform for one fixed parameter vector.
+///
+/// Same contract as [`PreparedGen`]: `inverse_cdf(p)` must be
+/// bit-identical to [`DistributionClass::inverse_cdf`] with the same
+/// params, for every `p` the caller can produce. Used by the compiled
+/// CDF-bounded samplers, whose uniform inputs are already restricted to
+/// the valid box.
+pub trait PreparedInverseCdf: Send + Sync + fmt::Debug {
+    fn inverse_cdf(&self, p: f64) -> f64;
+}
+
 /// A parametrized class of univariate probability distributions.
 ///
 /// Implementations must be deterministic functions of `(params, rng)`;
@@ -76,6 +99,19 @@ pub trait DistributionClass: Send + Sync + fmt::Debug {
     /// condition-derived bounds before constrained sampling.
     fn support(&self, _params: &[f64]) -> (f64, f64) {
         (f64::NEG_INFINITY, f64::INFINITY)
+    }
+
+    /// Optional capability: a [`PreparedGen`] with the per-params
+    /// constants of `generate` precomputed (e.g. Poisson's `e^-λ`).
+    /// Must be draw-for-draw, bit-for-bit identical to `generate`.
+    fn prepare_generate(&self, _params: &[f64]) -> Option<Arc<dyn PreparedGen>> {
+        None
+    }
+
+    /// Optional capability: a [`PreparedInverseCdf`] bound to `params`.
+    /// Must be bit-identical to `inverse_cdf` at every probability.
+    fn prepare_inverse_cdf(&self, _params: &[f64]) -> Option<Arc<dyn PreparedInverseCdf>> {
+        None
     }
 
     /// Check the parameter count, then `validate`.

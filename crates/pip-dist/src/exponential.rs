@@ -1,8 +1,10 @@
 //! The Exponential distribution class: `Exponential(lambda)`.
 
+use std::sync::Arc;
+
 use pip_core::{PipError, Result};
 
-use crate::distribution::DistributionClass;
+use crate::distribution::{DistributionClass, PreparedInverseCdf};
 use crate::rng::{open01, PipRng};
 
 /// `Exponential(λ)` with rate λ > 0 (mean 1/λ), supported on `[0, ∞)`.
@@ -46,10 +48,11 @@ impl DistributionClass for Exponential {
     }
 
     fn inverse_cdf(&self, params: &[f64], p: f64) -> Option<f64> {
-        if p >= 1.0 {
-            return Some(f64::INFINITY);
-        }
-        Some(-(1.0 - p.max(0.0)).ln() / params[0])
+        Some(ExpInv { lambda: params[0] }.inverse_cdf(p))
+    }
+
+    fn prepare_inverse_cdf(&self, params: &[f64]) -> Option<Arc<dyn PreparedInverseCdf>> {
+        Some(Arc::new(ExpInv { lambda: params[0] }))
     }
 
     fn mean(&self, params: &[f64]) -> Option<f64> {
@@ -62,6 +65,23 @@ impl DistributionClass for Exponential {
 
     fn support(&self, _params: &[f64]) -> (f64, f64) {
         (0.0, f64::INFINITY)
+    }
+}
+
+/// The inverse-CDF transform with the rate bound — shared by the plain
+/// and prepared paths so both are one expression.
+#[derive(Debug, Clone, Copy)]
+struct ExpInv {
+    lambda: f64,
+}
+
+impl PreparedInverseCdf for ExpInv {
+    #[inline]
+    fn inverse_cdf(&self, p: f64) -> f64 {
+        if p >= 1.0 {
+            return f64::INFINITY;
+        }
+        -(1.0 - p.max(0.0)).ln() / self.lambda
     }
 }
 

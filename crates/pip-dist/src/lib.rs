@@ -29,7 +29,9 @@ pub mod rng;
 pub mod special;
 pub mod uniform;
 
-pub use distribution::{capabilities, Capabilities, DistRef, DistributionClass};
+pub use distribution::{
+    capabilities, Capabilities, DistRef, DistributionClass, PreparedGen, PreparedInverseCdf,
+};
 pub use registry::DistributionRegistry;
 pub use rng::{mix64, rng_for, rng_from_seed, var_seed, PipRng};
 

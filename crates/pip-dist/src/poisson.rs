@@ -5,9 +5,11 @@
 //! fast sampler and exact CDF support (needed for the closed-form "correct
 //! values" in the Figure 7 RMS-error experiments).
 
+use std::sync::Arc;
+
 use pip_core::{PipError, Result};
 
-use crate::distribution::DistributionClass;
+use crate::distribution::{DistributionClass, PreparedGen};
 use crate::rng::{open01, PipRng};
 use crate::special;
 
@@ -21,7 +23,13 @@ pub struct Poisson;
 
 impl Poisson {
     fn knuth(lambda: f64, rng: &mut PipRng) -> f64 {
-        let l = (-lambda).exp();
+        Self::knuth_with((-lambda).exp(), rng)
+    }
+
+    /// Knuth's loop with `e^-λ` supplied — the shared core of the plain
+    /// and prepared samplers (identical uniforms, identical products).
+    #[inline]
+    fn knuth_with(l: f64, rng: &mut PipRng) -> f64 {
         let mut k = 0u64;
         let mut p = 1.0;
         loop {
@@ -35,28 +43,72 @@ impl Poisson {
 
     /// PTRS: transformed rejection with squeeze, valid for λ ≥ 10.
     fn ptrs(lambda: f64, rng: &mut PipRng) -> f64 {
-        let slam = lambda.sqrt();
-        let loglam = lambda.ln();
-        let b = 0.931 + 2.53 * slam;
-        let a = -0.059 + 0.02483 * b;
-        let inv_alpha = 1.1239 + 1.1328 / (b - 3.4);
-        let v_r = 0.9277 - 3.6224 / (b - 2.0);
+        Self::ptrs_with(&PtrsConsts::new(lambda), rng)
+    }
+
+    /// The PTRS loop with its λ-derived constants supplied.
+    #[inline]
+    fn ptrs_with(c: &PtrsConsts, rng: &mut PipRng) -> f64 {
         loop {
             let u = open01(rng) - 0.5;
             let v = open01(rng);
             let us = 0.5 - u.abs();
-            let k = ((2.0 * a / us + b) * u + lambda + 0.43).floor();
-            if us >= 0.07 && v <= v_r {
+            let k = ((2.0 * c.a / us + c.b) * u + c.lambda + 0.43).floor();
+            if us >= 0.07 && v <= c.v_r {
                 return k;
             }
             if k < 0.0 || (us < 0.013 && v > us) {
                 continue;
             }
-            if v.ln() + inv_alpha.ln() - (a / (us * us) + b).ln()
-                <= k * loglam - lambda - special::ln_gamma(k + 1.0)
+            if v.ln() + c.inv_alpha.ln() - (c.a / (us * us) + c.b).ln()
+                <= k * c.loglam - c.lambda - special::ln_gamma(k + 1.0)
             {
                 return k;
             }
+        }
+    }
+}
+
+/// λ-derived PTRS constants (Hörmann 1993).
+#[derive(Debug, Clone, Copy)]
+struct PtrsConsts {
+    lambda: f64,
+    loglam: f64,
+    b: f64,
+    a: f64,
+    inv_alpha: f64,
+    v_r: f64,
+}
+
+impl PtrsConsts {
+    fn new(lambda: f64) -> Self {
+        let slam = lambda.sqrt();
+        let b = 0.931 + 2.53 * slam;
+        PtrsConsts {
+            lambda,
+            loglam: lambda.ln(),
+            b,
+            a: -0.059 + 0.02483 * b,
+            inv_alpha: 1.1239 + 1.1328 / (b - 3.4),
+            v_r: 0.9277 - 3.6224 / (b - 2.0),
+        }
+    }
+}
+
+/// Prepared Poisson sampler: the λ-derived constants of whichever
+/// algorithm `generate` would pick, hoisted out of the draw loop.
+#[derive(Debug)]
+enum PreparedPoisson {
+    /// `e^-λ` for Knuth's product-of-uniforms (λ ≤ 30).
+    Knuth(f64),
+    Ptrs(PtrsConsts),
+}
+
+impl PreparedGen for PreparedPoisson {
+    fn generate(&self, rng: &mut PipRng) -> f64 {
+        match self {
+            PreparedPoisson::Knuth(l) => Poisson::knuth_with(*l, rng),
+            PreparedPoisson::Ptrs(c) => Poisson::ptrs_with(c, rng),
         }
     }
 }
@@ -91,6 +143,15 @@ impl DistributionClass for Poisson {
         } else {
             Self::ptrs(lambda, rng)
         }
+    }
+
+    fn prepare_generate(&self, params: &[f64]) -> Option<Arc<dyn PreparedGen>> {
+        let lambda = params[0];
+        Some(Arc::new(if lambda <= 30.0 {
+            PreparedPoisson::Knuth((-lambda).exp())
+        } else {
+            PreparedPoisson::Ptrs(PtrsConsts::new(lambda))
+        }))
     }
 
     fn pdf(&self, params: &[f64], x: f64) -> Option<f64> {
@@ -191,6 +252,22 @@ mod tests {
             assert!(Poisson.cdf(&lambda, k).unwrap() >= p);
             if k > 0.0 {
                 assert!(Poisson.cdf(&lambda, k - 1.0).unwrap() < p);
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_sampler_is_bit_identical() {
+        // Both regimes: Knuth (λ ≤ 30) and PTRS.
+        for lambda in [0.7, 6.0, 29.9, 31.0, 250.0] {
+            let params = [lambda];
+            let prepared = Poisson.prepare_generate(&params).unwrap();
+            let mut a = rng_from_seed(42);
+            let mut b = rng_from_seed(42);
+            for _ in 0..2000 {
+                let x = Poisson.generate(&params, &mut a);
+                let y = prepared.generate(&mut b);
+                assert_eq!(x.to_bits(), y.to_bits(), "λ={lambda}");
             }
         }
     }

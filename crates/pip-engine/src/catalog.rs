@@ -79,8 +79,9 @@ impl Database {
         self.version.load(Ordering::Acquire)
     }
 
-    fn bump_version(&self) {
-        self.version.fetch_add(1, Ordering::AcqRel);
+    /// Bump the catalog generation, returning the new version.
+    fn bump_version(&self) -> u64 {
+        self.version.fetch_add(1, Ordering::AcqRel) + 1
     }
 
     /// Create an empty table. Errors if the name is taken.
@@ -108,7 +109,9 @@ impl Database {
         self.tables
             .write()
             .remove(name)
-            .map(|_| self.bump_version())
+            .map(|_| {
+                self.bump_version();
+            })
             .ok_or_else(|| PipError::NotFound(format!("table '{name}'")))
     }
 
@@ -122,7 +125,20 @@ impl Database {
     }
 
     /// Append symbolic rows to a table.
+    ///
+    /// Optimizer statistics get cheap delta maintenance instead of
+    /// retirement: the cached [`TableStats`] entry (if it was fresh at
+    /// the pre-insert version) has its row counts bumped in place and is
+    /// re-stamped at the new version, so an insert does not force a full
+    /// rescan. Column-level statistics drift until `ANALYZE` or the
+    /// staleness threshold triggers a recollection (see
+    /// [`Database::table_stats`]).
     pub fn insert_rows(&self, name: &str, rows: Vec<CRow>) -> Result<()> {
+        let added = rows.len() as u64;
+        let added_conditional = rows
+            .iter()
+            .filter(|r| !r.condition.is_trivially_true())
+            .count() as u64;
         let mut tables = self.tables.write();
         let table = tables
             .get(name)
@@ -133,7 +149,20 @@ impl Database {
         }
         tables.insert(name.to_string(), Arc::new(new));
         drop(tables);
-        self.bump_version();
+        // The bump's fetch_add pins this insert's exact (pre, post)
+        // version pair — no separate load can interleave with another
+        // mutation. The delta only applies when the cached entry was
+        // fresh at exactly `pre`; any concurrent mutation breaks that
+        // equality (either here or for the other inserter), and the
+        // loser's entry simply goes stale and recollects on next use.
+        let post_insert = self.bump_version();
+        let pre_insert = post_insert - 1;
+        let mut stats = self.stats.write();
+        if let Some(entry) = stats.get_mut(name) {
+            if entry.version == pre_insert {
+                *entry = Arc::new(entry.apply_insert(added, added_conditional, post_insert));
+            }
+        }
         Ok(())
     }
 
@@ -172,14 +201,18 @@ impl Database {
 
     /// Statistics for a table, auto-collected on first use and after any
     /// catalog mutation. An entry is fresh only if its recorded catalog
-    /// version matches the current one — coarse (any mutation retires
-    /// every table's entry) but never serves statistics older than the
+    /// version matches the current one — coarse for DDL (any such
+    /// mutation retires every table's entry), but inserts keep entries
+    /// alive through delta maintenance (see [`Database::insert_rows`])
+    /// until their column statistics drift past
+    /// [`TableStats::COLUMN_STALENESS`], at which point a full
+    /// recollection runs here. Never serves statistics older than the
     /// catalog state at the time of this call (the version is read
     /// *after* the cache hit, so a concurrent mutation between the two
     /// reads forces a recollect instead of a stale hit).
     pub fn table_stats(&self, name: &str) -> Result<Arc<TableStats>> {
         if let Some(hit) = self.stats.read().get(name) {
-            if hit.version == self.version() {
+            if hit.version == self.version() && !hit.columns_stale() {
                 return Ok(Arc::clone(hit));
             }
         }
@@ -243,6 +276,70 @@ mod tests {
         assert_eq!(db.version(), v2);
         db.drop_table("t").unwrap();
         assert!(db.version() > v2);
+    }
+
+    #[test]
+    fn insert_maintains_stats_incrementally() {
+        let db = Database::new();
+        db.create_table("t", Schema::of(&[("a", DataType::Int)]))
+            .unwrap();
+        db.insert_tuples("t", &(0..10i64).map(|i| tuple![i]).collect::<Vec<_>>())
+            .unwrap();
+        let full = db.table_stats("t").unwrap();
+        assert_eq!((full.rows, full.analyzed_rows), (10, 10));
+
+        // A small insert bumps rows in place: same collection (analyzed
+        // rows unchanged, columns untouched), fresh version stamp.
+        db.insert_tuples("t", &[tuple![99i64]]).unwrap();
+        let delta = db.table_stats("t").unwrap();
+        assert_eq!(delta.rows, 11, "row count delta-maintained");
+        assert_eq!(delta.analyzed_rows, 10, "no rescan happened");
+        assert_eq!(delta.version, db.version());
+        assert_eq!(delta.columns, full.columns, "column stats carried over");
+        assert!(!delta.columns_stale());
+
+        // ANALYZE forces the full recollection.
+        let analyzed = db.analyze_table("t").unwrap();
+        assert_eq!((analyzed.rows, analyzed.analyzed_rows), (11, 11));
+        assert_eq!(analyzed.column("a").unwrap().n_distinct, 11.0);
+
+        // Enough growth trips column-level staleness and recollects.
+        db.insert_tuples("t", &(0..5i64).map(|i| tuple![100 + i]).collect::<Vec<_>>())
+            .unwrap();
+        let grown = db.table_stats("t").unwrap();
+        assert_eq!(grown.analyzed_rows, 16, "staleness forced a rescan");
+        assert_eq!(grown.column("a").unwrap().n_distinct, 16.0);
+
+        // Non-insert mutations still retire the entry wholesale.
+        db.create_table("other", Schema::empty()).unwrap();
+        let after_ddl = db.table_stats("t").unwrap();
+        assert_eq!(after_ddl.version, db.version());
+        assert_eq!(after_ddl.analyzed_rows, 16);
+    }
+
+    #[test]
+    fn insert_delta_counts_conditional_rows() {
+        use pip_expr::{atoms, Conjunction, Equation};
+        let db = Database::new();
+        db.create_table("t", Schema::of(&[("v", DataType::Symbolic)]))
+            .unwrap();
+        db.insert_tuples("t", &[tuple![1.0]]).unwrap();
+        let s0 = db.table_stats("t").unwrap();
+        assert_eq!(s0.conditional_rows, 0);
+        let y = db.create_variable("Normal", &[0.0, 1.0]).unwrap();
+        db.insert_rows(
+            "t",
+            vec![CRow::new(
+                vec![Equation::from(y.clone())],
+                Conjunction::single(atoms::gt(Equation::from(y), 0.0)),
+            )],
+        )
+        .unwrap();
+        let s1 = db.table_stats("t").unwrap();
+        assert_eq!(s1.rows, 2);
+        // 2 rows vs 1 analyzed exceeds the 1.2x threshold → recollected.
+        assert_eq!(s1.analyzed_rows, 2);
+        assert_eq!(s1.conditional_rows, 1);
     }
 
     #[test]

@@ -269,6 +269,32 @@ impl Plan {
         self.explain_into(0, &mut s);
         s
     }
+
+    /// The operator tree as a compact JSON document — node labels plus
+    /// children, no estimates or timings. This is the *shape* that the
+    /// plan-regression guard in the `fig6_queries` bench records and
+    /// diffs across runs: two plans with equal `shape_json` apply the
+    /// same operators in the same arrangement.
+    pub fn shape_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        fn go(plan: &Plan, out: &mut String) {
+            out.push_str("{\"op\":\"");
+            out.push_str(&esc(&plan.label()));
+            out.push_str("\",\"children\":[");
+            for (i, c) in plan.children().iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                go(c, out);
+            }
+            out.push_str("]}");
+        }
+        let mut s = String::new();
+        go(self, &mut s);
+        s
+    }
 }
 
 impl std::fmt::Display for Plan {
@@ -402,6 +428,27 @@ impl PlanBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn shape_json_captures_structure_not_estimates() {
+        let a = PlanBuilder::scan("t")
+            .equi_join(PlanBuilder::scan("u"), vec![("k", "k")])
+            .build();
+        let s = a.shape_json();
+        assert!(s.starts_with('{') && s.ends_with('}'), "{s}");
+        assert!(s.contains("\"op\":\"EquiJoin: k=k\""), "{s}");
+        assert!(s.contains("Scan: t") && s.contains("Scan: u"), "{s}");
+        // Identical structure → identical shape; different join order →
+        // different shape.
+        let b = PlanBuilder::scan("t")
+            .equi_join(PlanBuilder::scan("u"), vec![("k", "k")])
+            .build();
+        assert_eq!(s, b.shape_json());
+        let c = PlanBuilder::scan("u")
+            .equi_join(PlanBuilder::scan("t"), vec![("k", "k")])
+            .build();
+        assert_ne!(s, c.shape_json());
+    }
 
     #[test]
     fn builder_composes() {

@@ -72,8 +72,15 @@ pub struct TableStats {
     /// Rows carrying a non-trivial c-table condition.
     pub conditional_rows: u64,
     pub columns: Vec<ColumnStats>,
-    /// Catalog version the statistics were collected at.
+    /// Catalog version the statistics are valid at. A full collection
+    /// stamps the version it scanned; cheap delta maintenance on insert
+    /// re-stamps the entry at the post-insert version without rescanning.
     pub version: u64,
+    /// Rows at the last *full* collection. `rows` may run ahead of this
+    /// via delta maintenance; once the gap exceeds
+    /// [`TableStats::COLUMN_STALENESS`], the per-column statistics are
+    /// considered stale and the catalog recollects on demand.
+    pub analyzed_rows: u64,
 }
 
 impl TableStats {
@@ -125,7 +132,35 @@ impl TableStats {
             conditional_rows,
             columns,
             version,
+            analyzed_rows: table.len() as u64,
         }
+    }
+
+    /// Growth factor past which delta-maintained row counts no longer
+    /// excuse the per-column statistics: beyond `rows >
+    /// COLUMN_STALENESS × analyzed_rows` a full recollection runs.
+    pub const COLUMN_STALENESS: f64 = 1.2;
+
+    /// Cheap incremental maintenance for an `INSERT` of `added` rows
+    /// (`added_conditional` of them carrying non-trivial conditions):
+    /// bump the row counts in place and re-stamp the entry at the
+    /// post-insert catalog version. Column-level statistics (NDV,
+    /// min/max, deterministic/symbolic split) are left as collected —
+    /// [`TableStats::columns_stale`] reports when the drift has grown
+    /// past the recollection threshold.
+    pub fn apply_insert(&self, added: u64, added_conditional: u64, version: u64) -> TableStats {
+        TableStats {
+            rows: self.rows + added,
+            conditional_rows: self.conditional_rows + added_conditional,
+            version,
+            ..self.clone()
+        }
+    }
+
+    /// True when enough rows arrived since the last full collection that
+    /// the per-column statistics should not be trusted.
+    pub fn columns_stale(&self) -> bool {
+        self.rows as f64 > (self.analyzed_rows.max(1) as f64) * Self::COLUMN_STALENESS
     }
 
     /// Statistics for one column by name.

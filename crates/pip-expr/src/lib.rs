@@ -28,12 +28,14 @@ pub mod atom;
 pub mod condition;
 pub mod equation;
 pub mod groups;
+pub mod slots;
 pub mod vars;
 
 pub use atom::{atoms, Atom, CmpOp};
 pub use condition::{simplify_row_condition, Conjunction, Dnf, Truth};
 pub use equation::{BinOp, Equation, UnOp};
 pub use groups::{independent_groups, VarGroup};
+pub use slots::SlotMap;
 pub use vars::{Assignment, RandomVar, VarId, VarKey};
 
 /// Glob-import surface.
@@ -42,5 +44,6 @@ pub mod prelude {
     pub use crate::condition::{simplify_row_condition, Conjunction, Dnf, Truth};
     pub use crate::equation::{BinOp, Equation, UnOp};
     pub use crate::groups::{independent_groups, VarGroup};
+    pub use crate::slots::SlotMap;
     pub use crate::vars::{Assignment, RandomVar, VarId, VarKey};
 }

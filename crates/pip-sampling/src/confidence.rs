@@ -52,8 +52,27 @@ pub fn conf(condition: &Conjunction, cfg: &SamplerConfig, site: u64) -> Result<f
                 continue;
             }
         }
-        let mut s = GroupSampler::new(g, &bounds, cfg);
         let budget = cfg.max_samples.max(cfg.min_samples).max(1) as u64;
+        // Compiled path: the same fixed-budget candidate sequence, drawn
+        // through a slot-indexed kernel (and skipped entirely when the
+        // sample-block cache already holds this (group, stream) probe).
+        if cfg.compile {
+            let mut slots = pip_expr::SlotMap::new();
+            slots.intern_all(&g.vars);
+            if let Some(mut kernel) = crate::tape::GroupKernel::for_group(&g, &bounds, cfg, &slots)
+            {
+                prob *= crate::blocks::probe_estimate_cached(
+                    &mut kernel,
+                    &mut rng,
+                    budget,
+                    slots.len(),
+                    cfg,
+                    cfg.reuse_blocks,
+                )?;
+                continue;
+            }
+        }
+        let mut s = GroupSampler::new(g, &bounds, cfg);
         prob *= s.estimate_probability(&mut rng, budget)?;
     }
     Ok(prob)

@@ -47,6 +47,20 @@ pub struct SamplerConfig {
     /// part of the result's definition: the adaptive stopping rule is
     /// evaluated at chunk granularity, in chunk order.
     pub chunk_samples: usize,
+    /// Run the sampling phase through the compiled kernels of
+    /// [`crate::tape`] (slot-indexed evaluation tapes + columnar sample
+    /// blocks) instead of the interpreted tree-walking loop. The two
+    /// paths are bit-identical at every seed and thread count — the
+    /// interpreted path remains the semantics oracle, and anything the
+    /// compiler cannot express (or a Metropolis escalation) falls back
+    /// to it automatically. Off = the pre-compiler engine, kept for
+    /// benchmarks and the equivalence test suite.
+    pub compile: bool,
+    /// Let compiled execution reuse cached sample blocks
+    /// ([`crate::blocks`]) when the identical `(group, seed-site,
+    /// counters)` draw sequence recurs. Pure memoization: toggling this
+    /// can never change any result, only skip redundant resampling.
+    pub reuse_blocks: bool,
 }
 
 impl Default for SamplerConfig {
@@ -67,6 +81,8 @@ impl Default for SamplerConfig {
             world_seed: 0x5151_5151,
             threads: 1,
             chunk_samples: 128,
+            compile: true,
+            reuse_blocks: true,
         }
     }
 }
@@ -96,8 +112,23 @@ impl SamplerConfig {
         self
     }
 
+    /// Toggle the sampling compiler. Both settings produce bit-identical
+    /// results; `false` forces the interpreted reference path.
+    pub fn with_compile(mut self, compile: bool) -> Self {
+        self.compile = compile;
+        self
+    }
+
+    /// Toggle sample-block reuse (pure memoization, value-neutral).
+    pub fn with_block_reuse(mut self, reuse: bool) -> Self {
+        self.reuse_blocks = reuse;
+        self
+    }
+
     /// Baseline configuration with every PIP-specific optimization off —
-    /// pure rejection sampling, the ablation reference point.
+    /// pure rejection sampling through the interpreted engine, no
+    /// compiled kernels and no sample-block reuse: the ablation
+    /// reference point.
     pub fn naive(n: usize) -> Self {
         SamplerConfig {
             use_cdf_sampling: false,
@@ -105,6 +136,8 @@ impl SamplerConfig {
             use_consistency: false,
             use_metropolis: false,
             use_exact_cdf: false,
+            compile: false,
+            reuse_blocks: false,
             ..Self::fixed_samples(n)
         }
     }
@@ -157,6 +190,8 @@ mod tests {
         assert!(!c.use_consistency);
         assert!(!c.use_metropolis);
         assert!(!c.use_exact_cdf);
+        assert!(!c.compile, "ablation baseline must run interpreted");
+        assert!(!c.reuse_blocks);
     }
 
     #[test]
@@ -175,6 +210,14 @@ mod tests {
         assert!(c.chunk_samples > 0);
         assert_eq!(c.clone().with_threads(0).threads, 1);
         assert_eq!(c.clone().with_threads(8).threads, 8);
+    }
+
+    #[test]
+    fn compiler_knobs_default_on_and_toggle() {
+        let c = SamplerConfig::default();
+        assert!(c.compile && c.reuse_blocks);
+        let c = c.with_compile(false).with_block_reuse(false);
+        assert!(!c.compile && !c.reuse_blocks);
     }
 
     #[test]

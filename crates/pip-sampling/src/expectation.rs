@@ -31,8 +31,11 @@ use crate::strategy::{exact_group_probability, GroupSampler};
 pub struct ExpectationResult {
     /// `E[expr | condition]`; NAN when the condition is unsatisfiable.
     pub expectation: f64,
-    /// `P[condition]` (1.0 for a trivially-true condition); only reliable
-    /// when `want_probability` was requested, 0 for unsatisfiable.
+    /// `P[condition]` (1.0 for a trivially-true condition, 0 for an
+    /// unsatisfiable one). Only computed when `want_probability` was
+    /// requested — every path returns `f64::NAN` otherwise, so a caller
+    /// that forgot to request it cannot mistake the placeholder for a
+    /// real probability.
     pub probability: f64,
     /// Samples actually drawn by the averaging loop.
     pub n_samples: usize,
@@ -43,10 +46,10 @@ pub struct ExpectationResult {
 }
 
 impl ExpectationResult {
-    pub(crate) fn nan() -> Self {
+    pub(crate) fn nan(want_probability: bool) -> Self {
         ExpectationResult {
             expectation: f64::NAN,
-            probability: 0.0,
+            probability: if want_probability { 0.0 } else { f64::NAN },
             n_samples: 0,
             std_error: 0.0,
             used_metropolis: false,
@@ -178,7 +181,7 @@ pub fn expectation(
     // condition (after simplification).
     let expr = expr.simplify();
     let mut prep = match prepare(&expr, condition, cfg) {
-        None => return Ok(ExpectationResult::nan()),
+        None => return Ok(ExpectationResult::nan(want_probability)),
         Some(p) => p,
     };
     let mut rng = rng_for_site(cfg, site);
@@ -188,7 +191,7 @@ pub fn expectation(
         let probability = if want_probability {
             condition_probability(&mut prep, &[], cfg, &mut rng)?
         } else {
-            1.0
+            f64::NAN
         };
         return Ok(ExpectationResult {
             expectation,
@@ -202,11 +205,22 @@ pub fn expectation(
     if let Some(expectation) = linear_exact(&expr, &prep, cfg) {
         return Ok(ExpectationResult {
             expectation,
-            probability: 1.0,
+            // The linear shortcut only applies to trivially-true
+            // conditions, whose probability is exactly 1.
+            probability: if want_probability { 1.0 } else { f64::NAN },
             n_samples: 0,
             std_error: 0.0,
             used_metropolis: false,
         });
+    }
+
+    // Compiled averaging loop: slot-indexed kernels + tapes, bit-identical
+    // to the interpreted loop below (which stays the semantics oracle and
+    // the fallback for escalations and uncompilable expressions).
+    if cfg.compile {
+        if let Some(r) = compiled_expectation(&expr, &mut prep, want_probability, cfg, &rng)? {
+            return Ok(r);
+        }
     }
 
     // Averaging loop (lines 11–28).
@@ -243,7 +257,7 @@ pub fn expectation(
     if n == 0 {
         // Could not draw a single satisfying sample: treat the context as
         // (numerically) unsatisfiable, per Algorithm 4.3 line 25.
-        return Ok(ExpectationResult::nan());
+        return Ok(ExpectationResult::nan(want_probability));
     }
 
     let mean = sum / n as f64;
@@ -265,6 +279,81 @@ pub fn expectation(
         std_error,
         used_metropolis,
     })
+}
+
+/// The compiled averaging loop: kernels draw into slot buffers and the
+/// expression evaluates as a tape (columnar over whole sample blocks
+/// when nothing downstream needs the RNG). Returns `Ok(None)` when the
+/// query is out of the compiler's reach or a group escalates to
+/// Metropolis — the caller reruns the interpreted loop, whose results
+/// this path reproduces bit for bit (same draws, same float ops, same
+/// stopping point, same counters feeding the probability pass).
+fn compiled_expectation(
+    expr: &Equation,
+    prep: &mut Prepared,
+    want_probability: bool,
+    cfg: &SamplerConfig,
+    rng: &PipRng,
+) -> Result<Option<ExpectationResult>> {
+    use crate::blocks::{serial_blocked, serial_per_sample, CompiledQuery};
+
+    let Some(mut cq) = CompiledQuery::compile(expr, prep) else {
+        return Ok(None);
+    };
+    // Work on a clone of the caller's generator: a bail below leaves the
+    // interpreted fallback's stream untouched.
+    let mut rng = rng.clone();
+
+    // Does anything after the averaging loop consume the *loop's
+    // sampling state*? With `want_probability`, a group without an
+    // exact CDF path feeds the probability product either through the
+    // generator (Monte-Carlo estimation of expression-disjoint groups)
+    // or through the loop's acceptance counters (relevant groups'
+    // `probability_estimate`). Either way, overdrawing a columnar block
+    // past the adaptive stopping point would perturb the result — so
+    // blocked (overdraw-prone) mode is only taken when every atom group
+    // resolves exactly, and the per-sample mirror loop otherwise.
+    let sampling_state_consumed_after = |s: &GroupSampler| {
+        let has_exact_path = cfg.use_exact_cdf && s.exact_probability().is_some();
+        !s.group.atoms.is_empty() && !has_exact_path
+    };
+    let loop_state_needed_after =
+        want_probability && prep.samplers.iter().any(sampling_state_consumed_after);
+    let stats = if loop_state_needed_after {
+        serial_per_sample(&mut cq, cfg, &mut rng)?
+    } else {
+        serial_blocked(&mut cq, cfg, &mut rng, cfg.reuse_blocks)?
+    };
+    let Some(stats) = stats else {
+        return Ok(None); // Metropolis escalation: interpreted rerun
+    };
+    if stats.n == 0 {
+        return Ok(Some(ExpectationResult::nan(want_probability)));
+    }
+
+    // Publish the kernels' acceptance counters so the probability pass
+    // sees exactly the interpreted loop's sampler state.
+    for (kernel, &i) in cq.kernels.iter().zip(&prep.relevant) {
+        prep.samplers[i].attempts = kernel.attempts;
+        prep.samplers[i].accepts = kernel.accepts;
+    }
+
+    let mean = stats.sum / stats.n as f64;
+    let var = (stats.sum_sq / stats.n as f64 - mean * mean).max(0.0);
+    let std_error = (var / stats.n as f64).sqrt();
+    let probability = if want_probability {
+        let relevant = prep.relevant.clone();
+        condition_probability(prep, &relevant, cfg, &mut rng)?
+    } else {
+        f64::NAN
+    };
+    Ok(Some(ExpectationResult {
+        expectation: mean,
+        probability,
+        n_samples: stats.n,
+        std_error,
+        used_metropolis: false,
+    }))
 }
 
 /// `P[C]` as the product over independent groups (lines 29–35):

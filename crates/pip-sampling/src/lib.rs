@@ -27,6 +27,7 @@
 //! ```
 
 pub mod aggregate;
+pub mod blocks;
 pub mod confidence;
 pub mod config;
 pub mod expectation;
@@ -35,12 +36,14 @@ pub mod metropolis;
 pub mod parallel;
 pub mod strategy;
 pub mod streaming;
+pub mod tape;
 pub mod worlds;
 
 pub use aggregate::{
     expected_avg, expected_count, expected_max_const, expected_max_hist, expected_max_sampled,
     expected_sum, expected_sum_hist, AggregateResult,
 };
+pub use blocks::{block_cache_clear, block_cache_stats, BlockCacheStats, SampleBlock};
 pub use confidence::{aconf, conf};
 pub use config::SamplerConfig;
 pub use expectation::{expectation, expectation_samples, ExpectationResult};
@@ -48,6 +51,7 @@ pub use histogram::{quantile, Histogram};
 pub use parallel::{expectation_chunked, ChunkAccumulator, ParallelSampler};
 pub use strategy::{exact_group_probability, GroupSampler};
 pub use streaming::{ConfStream, StreamingGroups};
+pub use tape::{CondTape, Tape, TapeOp};
 pub use worlds::sample_worlds;
 
 /// Glob-import surface.

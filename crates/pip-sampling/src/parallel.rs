@@ -355,6 +355,52 @@ fn chunk_rng(cfg: &SamplerConfig, site: u64, chunk_idx: u64) -> pip_dist::PipRng
     ))
 }
 
+/// Compiled twin of [`eval_chunk`]: fresh kernels per chunk, one cached
+/// columnar block fill (the identical draw sequence — sample-major, per
+/// chunk stream), tape evaluation over the block. Returns `None` on a
+/// Metropolis escalation, in which case the caller runs the interpreted
+/// [`eval_chunk`], whose result this reproduces bit for bit otherwise.
+fn eval_chunk_compiled(
+    cq: &crate::blocks::CompiledQuery,
+    cfg: &SamplerConfig,
+    site: u64,
+    chunk_idx: u64,
+    len: usize,
+) -> Option<ChunkAccumulator> {
+    let mut kernels = cq.kernels.clone();
+    let mut rng = chunk_rng(cfg, site, chunk_idx);
+    let block = crate::blocks::fill_block_cached(
+        &mut kernels,
+        &mut rng,
+        cfg,
+        cq.slots.len(),
+        len,
+        cfg.reuse_blocks,
+    )?;
+    let (mut regs, mut values) = (Vec::new(), Vec::new());
+    let first_err = cq.expr.eval_block(
+        &block.data,
+        block.requested,
+        block.filled,
+        &mut regs,
+        &mut values,
+    );
+    let mut acc = ChunkAccumulator::default();
+    for (s, &v) in values.iter().enumerate().take(block.filled) {
+        if first_err == Some(s) {
+            acc.eval_error = Some(crate::tape::div_by_zero());
+            break;
+        }
+        acc.n += 1;
+        acc.sum += v;
+        acc.sum_sq += v * v;
+    }
+    if acc.eval_error.is_none() {
+        acc.sampling_error = block.sampling_error.clone();
+    }
+    Some(acc)
+}
+
 /// Draw `len` conditioned samples of `expr` with a chunk-private RNG
 /// stream and fresh sampler state.
 fn eval_chunk(
@@ -427,7 +473,7 @@ pub fn expectation_chunked(
 ) -> Result<ExpectationResult> {
     let expr = expr.simplify();
     let prep = match prepare(&expr, condition, cfg) {
-        None => return Ok(ExpectationResult::nan()),
+        None => return Ok(ExpectationResult::nan(want_probability)),
         Some(p) => p,
     };
 
@@ -436,7 +482,7 @@ pub fn expectation_chunked(
         let probability = if want_probability {
             fresh_condition_probability(&prep, cfg, site)?
         } else {
-            1.0
+            f64::NAN
         };
         return Ok(ExpectationResult {
             expectation,
@@ -450,12 +496,21 @@ pub fn expectation_chunked(
     if let Some(expectation) = linear_exact(&expr, &prep, cfg) {
         return Ok(ExpectationResult {
             expectation,
-            probability: 1.0,
+            probability: if want_probability { 1.0 } else { f64::NAN },
             n_samples: 0,
             std_error: 0.0,
             used_metropolis: false,
         });
     }
+
+    // Compile once per operator; every chunk clones the fresh kernels.
+    // A chunk that escalates to Metropolis falls back to the interpreted
+    // eval_chunk (identical numbers either way).
+    let compiled = if cfg.compile {
+        crate::blocks::CompiledQuery::compile(&expr, &prep)
+    } else {
+        None
+    };
 
     let chunk = cfg.chunk_samples.max(1);
     let budget = cfg.max_samples.max(1);
@@ -470,7 +525,10 @@ pub fn expectation_chunked(
         let stats = pool.run(cfg.threads, wave, |k| {
             let ci = base + k;
             let len = chunk.min(budget - ci * chunk);
-            eval_chunk(&expr, &prep, cfg, site, ci as u64, len)
+            compiled
+                .as_ref()
+                .and_then(|cq| eval_chunk_compiled(cq, cfg, site, ci as u64, len))
+                .unwrap_or_else(|| eval_chunk(&expr, &prep, cfg, site, ci as u64, len))
         });
         for st in &stats {
             merged.merge(st);
@@ -497,7 +555,7 @@ pub fn expectation_chunked(
     if merged.n == 0 {
         // Not one satisfying sample: numerically unsatisfiable context
         // (Algorithm 4.3 line 25), as in the serial operator.
-        return Ok(ExpectationResult::nan());
+        return Ok(ExpectationResult::nan(want_probability));
     }
 
     let probability = if want_probability {

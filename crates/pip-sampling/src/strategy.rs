@@ -27,16 +27,35 @@ use crate::metropolis::MetropolisState;
 /// Hard cap on consecutive rejections for a single sample; reaching it
 /// means the constraint is (numerically) unsatisfiable and the caller
 /// receives NAN, mirroring Algorithm 4.3 line 25.
-const MAX_ATTEMPTS_PER_SAMPLE: u64 = 200_000;
+pub(crate) const MAX_ATTEMPTS_PER_SAMPLE: u64 = 200_000;
+
+/// Attempts before the Metropolis switch may engage: the rejection rate
+/// needs enough evidence that a high value is not a fluke. Shared with
+/// the compiled kernels in [`crate::tape`], which must trip (and bail to
+/// this interpreted path) at exactly the same draw.
+pub(crate) const METROPOLIS_MIN_ATTEMPTS: u64 = 256;
 
 /// How a single variable is generated inside the rejection loop.
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum VarStrategy {
+pub(crate) enum VarStrategy {
     /// Plain `Generate` from the distribution class.
     Natural,
     /// Inverse-CDF transform with the uniform input restricted to
     /// `[p_lo, p_hi]`.
     CdfBounded { p_lo: f64, p_hi: f64 },
+}
+
+impl GroupSampler {
+    /// Per-variable strategies, aligned with `group.vars` — the compiled
+    /// kernels replicate exactly these draws.
+    pub(crate) fn var_strategies(&self) -> &[VarStrategy] {
+        &self.strategies
+    }
+
+    /// Probability mass of the CDF-restricted sampling box.
+    pub(crate) fn cdf_box_mass(&self) -> f64 {
+        self.box_mass
+    }
 }
 
 /// Sampler for one independent variable group.
@@ -175,7 +194,7 @@ impl GroupSampler {
             // rejection fraction exceeds the threshold and we have enough
             // evidence it isn't a fluke.
             if cfg.use_metropolis
-                && self.attempts >= 256
+                && self.attempts >= METROPOLIS_MIN_ATTEMPTS
                 && self.rejection_rate() > cfg.metropolis_threshold
             {
                 match MetropolisState::init(

@@ -1,0 +1,830 @@
+//! The sampling compiler: slot-indexed evaluation tapes and compiled
+//! group kernels.
+//!
+//! The interpreted hot loop of Algorithm 4.3 walks `Equation` trees
+//! (enum dispatch + `Arc` hops) and resolves every variable through an
+//! [`Assignment`] hash map — per sample, per candidate. This module
+//! flattens that work once per query:
+//!
+//! * [`Tape`] — a register-based program compiled from an [`Equation`].
+//!   Operands are register indices; variables are reads from a dense
+//!   `f64` slot buffer laid out by a [`pip_expr::SlotMap`]. Evaluation
+//!   performs exactly the interpreted post-order float operations, so
+//!   results are **bit-identical** to [`Equation::eval_f64`] (including
+//!   the division-by-zero error).
+//! * [`CondTape`] — a compiled conjunction: per atom, the two side tapes
+//!   plus the comparison, short-circuiting in atom order exactly like
+//!   [`pip_expr::Conjunction::eval`].
+//! * [`GroupKernel`] — a compiled [`GroupSampler`]: the same candidate
+//!   generation (same RNG draws, same strategies, same rejection loop,
+//!   same counters) writing into slots instead of an `Assignment`. The
+//!   Metropolis escalation point is detected at exactly the interpreted
+//!   trigger; the kernel then *bails* and the caller reruns the
+//!   interpreted `GroupSampler` path from scratch, which keeps results
+//!   bit-identical in the rare escalation case.
+//!
+//! Anything the compiler cannot express (non-numeric constants inside
+//! arithmetic, exotic atoms) refuses to compile and the caller falls
+//! back to the interpreted path — the semantics oracle.
+
+use std::sync::Arc;
+
+use pip_core::{PipError, Result};
+use pip_dist::{DistRef, PipRng, PreparedGen, PreparedInverseCdf};
+use pip_expr::{Atom, BinOp, CmpOp, Conjunction, Equation, SlotMap, UnOp, VarGroup};
+use rand::Rng;
+
+use crate::config::SamplerConfig;
+use crate::strategy::{
+    GroupSampler, VarStrategy, MAX_ATTEMPTS_PER_SAMPLE, METROPOLIS_MIN_ATTEMPTS,
+};
+
+/// One instruction of a [`Tape`]. Instruction `i` writes register `i`;
+/// operands are indices of earlier registers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TapeOp {
+    /// A numeric constant.
+    Const(f64),
+    /// Read slot `s` of the sample buffer.
+    Load(u32),
+    Add(u32, u32),
+    Sub(u32, u32),
+    Mul(u32, u32),
+    Div(u32, u32),
+    Neg(u32),
+}
+
+/// A register-based flattening of one [`Equation`].
+#[derive(Debug, Clone, Default)]
+pub struct Tape {
+    ops: Vec<TapeOp>,
+}
+
+/// The one runtime error a tape can raise — identical text to
+/// [`pip_expr::BinOp::apply`] so fallback and compiled paths agree.
+pub(crate) fn div_by_zero() -> PipError {
+    PipError::Eval("division by zero".into())
+}
+
+impl Tape {
+    /// Compile `expr` against `slots` (every variable must already be
+    /// interned). Returns `None` when the expression contains a
+    /// non-numeric constant or an unmapped variable — the interpreted
+    /// path handles those.
+    pub fn compile(expr: &Equation, slots: &SlotMap) -> Option<Tape> {
+        let mut tape = Tape::default();
+        tape.emit(expr, slots)?;
+        Some(tape)
+    }
+
+    fn emit(&mut self, expr: &Equation, slots: &SlotMap) -> Option<u32> {
+        let reg = match expr {
+            Equation::Const(v) => {
+                let x = v.as_f64().ok()?;
+                self.push(TapeOp::Const(x))
+            }
+            Equation::Var(v) => {
+                let slot = slots.slot_of(v.key)?;
+                self.push(TapeOp::Load(slot))
+            }
+            Equation::Binary { op, left, right } => {
+                let l = self.emit(left, slots)?;
+                let r = self.emit(right, slots)?;
+                self.push(match op {
+                    BinOp::Add => TapeOp::Add(l, r),
+                    BinOp::Sub => TapeOp::Sub(l, r),
+                    BinOp::Mul => TapeOp::Mul(l, r),
+                    BinOp::Div => TapeOp::Div(l, r),
+                })
+            }
+            Equation::Unary {
+                op: UnOp::Neg,
+                expr,
+            } => {
+                let e = self.emit(expr, slots)?;
+                self.push(TapeOp::Neg(e))
+            }
+        };
+        Some(reg)
+    }
+
+    fn push(&mut self, op: TapeOp) -> u32 {
+        self.ops.push(op);
+        (self.ops.len() - 1) as u32
+    }
+
+    /// Number of registers (== instructions) the tape needs.
+    pub fn n_regs(&self) -> usize {
+        self.ops.len()
+    }
+
+    pub fn ops(&self) -> &[TapeOp] {
+        &self.ops
+    }
+
+    /// Evaluate over one sample. `regs` is caller-provided scratch,
+    /// resized as needed. Bit-identical to [`Equation::eval_f64`] on the
+    /// assignment the slot buffer encodes.
+    pub fn eval(&self, slots: &[f64], regs: &mut Vec<f64>) -> Result<f64> {
+        regs.clear();
+        regs.reserve(self.ops.len());
+        for op in &self.ops {
+            let v = match *op {
+                TapeOp::Const(c) => c,
+                TapeOp::Load(s) => slots[s as usize],
+                TapeOp::Add(a, b) => regs[a as usize] + regs[b as usize],
+                TapeOp::Sub(a, b) => regs[a as usize] - regs[b as usize],
+                TapeOp::Mul(a, b) => regs[a as usize] * regs[b as usize],
+                TapeOp::Div(a, b) => {
+                    let d = regs[b as usize];
+                    if d == 0.0 {
+                        return Err(div_by_zero());
+                    }
+                    regs[a as usize] / d
+                }
+                TapeOp::Neg(a) => -regs[a as usize],
+            };
+            regs.push(v);
+        }
+        Ok(*regs.last().expect("non-empty tape"))
+    }
+
+    /// Evaluate over a columnar sample block: lane `s` reads column
+    /// entries `data[slot * stride + s]`. Writes the `len` results into
+    /// `out` and returns the earliest lane whose evaluation would have
+    /// errored (division by zero), if any — per lane the computation is
+    /// the same float op sequence as [`Tape::eval`], so every non-error
+    /// lane is bit-identical to the scalar path.
+    pub fn eval_block(
+        &self,
+        data: &[f64],
+        stride: usize,
+        len: usize,
+        regs: &mut Vec<f64>,
+        out: &mut Vec<f64>,
+    ) -> Option<usize> {
+        regs.clear();
+        regs.resize(self.ops.len() * len, 0.0);
+        let mut first_err: Option<usize> = None;
+        for (i, op) in self.ops.iter().enumerate() {
+            // Split scratch: everything before op `i` is read-only input.
+            let (prev, cur) = regs.split_at_mut(i * len);
+            let cur = &mut cur[..len];
+            let reg = |r: u32| &prev[r as usize * len..r as usize * len + len];
+            match *op {
+                TapeOp::Const(c) => cur.fill(c),
+                TapeOp::Load(slot) => {
+                    cur.copy_from_slice(&data[slot as usize * stride..slot as usize * stride + len])
+                }
+                TapeOp::Add(a, b) => {
+                    let (a, b) = (reg(a), reg(b));
+                    for s in 0..len {
+                        cur[s] = a[s] + b[s];
+                    }
+                }
+                TapeOp::Sub(a, b) => {
+                    let (a, b) = (reg(a), reg(b));
+                    for s in 0..len {
+                        cur[s] = a[s] - b[s];
+                    }
+                }
+                TapeOp::Mul(a, b) => {
+                    let (a, b) = (reg(a), reg(b));
+                    for s in 0..len {
+                        cur[s] = a[s] * b[s];
+                    }
+                }
+                TapeOp::Div(a, b) => {
+                    let (a, b) = (reg(a), reg(b));
+                    for s in 0..len {
+                        if b[s] == 0.0 {
+                            // Record the earliest erroring lane; later
+                            // instructions may keep computing garbage in
+                            // it, the caller truncates before use.
+                            if first_err.is_none_or(|e| s < e) {
+                                first_err = Some(s);
+                            }
+                            cur[s] = 0.0;
+                        } else {
+                            cur[s] = a[s] / b[s];
+                        }
+                    }
+                }
+                TapeOp::Neg(a) => {
+                    let a = reg(a);
+                    for s in 0..len {
+                        cur[s] = -a[s];
+                    }
+                }
+            }
+        }
+        let last = &regs[(self.ops.len() - 1) * len..];
+        out.clear();
+        out.extend_from_slice(&last[..len]);
+        first_err
+    }
+
+    /// Structural signature folded into sample-block cache keys.
+    pub(crate) fn signature(&self, sig: &mut Vec<u64>) {
+        sig.push(self.ops.len() as u64);
+        for op in &self.ops {
+            match *op {
+                TapeOp::Const(c) => {
+                    sig.push(0);
+                    sig.push(c.to_bits());
+                }
+                TapeOp::Load(s) => {
+                    sig.push(1);
+                    sig.push(s as u64);
+                }
+                TapeOp::Add(a, b) => sig.extend([2, a as u64, b as u64]),
+                TapeOp::Sub(a, b) => sig.extend([3, a as u64, b as u64]),
+                TapeOp::Mul(a, b) => sig.extend([4, a as u64, b as u64]),
+                TapeOp::Div(a, b) => sig.extend([5, a as u64, b as u64]),
+                TapeOp::Neg(a) => sig.extend([6, a as u64]),
+            }
+        }
+    }
+}
+
+/// One compiled atom. The common shapes after condition normalization —
+/// `slot θ const` and `slot θ slot` — get direct forms with no register
+/// traffic at all; everything else runs both side tapes. Both-const
+/// atoms keep the `Value`-ordering fast path of [`Atom::eval`] as a
+/// precomputed truth value.
+#[derive(Debug, Clone)]
+enum AtomProgram {
+    Const(bool),
+    SlotCmpConst { slot: u32, op: CmpOp, c: f64 },
+    SlotCmpSlot { l: u32, op: CmpOp, r: u32 },
+    Cmp { left: Tape, op: CmpOp, right: Tape },
+}
+
+/// A compiled conjunction of atoms, short-circuiting in atom order.
+#[derive(Debug, Clone, Default)]
+pub struct CondTape {
+    atoms: Vec<AtomProgram>,
+    n_regs: usize,
+}
+
+impl CondTape {
+    /// Compile a list of atoms against `slots`. `None` when any atom is
+    /// out of the compiler's reach.
+    pub fn compile_atoms(atoms: &[Atom], slots: &SlotMap) -> Option<CondTape> {
+        let mut programs = Vec::with_capacity(atoms.len());
+        let mut n_regs = 0;
+        for atom in atoms {
+            // Mirror of Atom::eval: two root constants compare under the
+            // total Value order (strings included), everything else goes
+            // down the numeric path.
+            if let (Some(l), Some(r)) = (atom.left.as_const(), atom.right.as_const()) {
+                programs.push(AtomProgram::Const(atom.op.eval_value(l, r)));
+                continue;
+            }
+            let left = Tape::compile(&atom.left, slots)?;
+            let right = Tape::compile(&atom.right, slots)?;
+            // Specialize the one-op shapes (comparison flip is exact for
+            // floats, so const-on-the-left reuses the same direct form).
+            let program = match (left.ops.as_slice(), right.ops.as_slice()) {
+                ([TapeOp::Load(s)], [TapeOp::Const(c)]) => AtomProgram::SlotCmpConst {
+                    slot: *s,
+                    op: atom.op,
+                    c: *c,
+                },
+                ([TapeOp::Const(c)], [TapeOp::Load(s)]) => AtomProgram::SlotCmpConst {
+                    slot: *s,
+                    op: atom.op.flip(),
+                    c: *c,
+                },
+                ([TapeOp::Load(l)], [TapeOp::Load(r)]) => AtomProgram::SlotCmpSlot {
+                    l: *l,
+                    op: atom.op,
+                    r: *r,
+                },
+                _ => {
+                    n_regs = n_regs.max(left.n_regs()).max(right.n_regs());
+                    AtomProgram::Cmp {
+                        left,
+                        op: atom.op,
+                        right,
+                    }
+                }
+            };
+            programs.push(program);
+        }
+        Some(CondTape {
+            atoms: programs,
+            n_regs,
+        })
+    }
+
+    /// Compile a whole row condition.
+    pub fn compile(cond: &Conjunction, slots: &SlotMap) -> Option<CondTape> {
+        Self::compile_atoms(cond.atoms(), slots)
+    }
+
+    /// True when every atom holds — bit-identical to
+    /// [`Conjunction::eval`] over the assignment the slots encode,
+    /// including error propagation order.
+    #[inline]
+    pub fn eval_bool(&self, slots: &[f64], regs: &mut Vec<f64>) -> Result<bool> {
+        for atom in &self.atoms {
+            let holds = match atom {
+                AtomProgram::Const(t) => *t,
+                AtomProgram::SlotCmpConst { slot, op, c } => op.eval_f64(slots[*slot as usize], *c),
+                AtomProgram::SlotCmpSlot { l, op, r } => {
+                    op.eval_f64(slots[*l as usize], slots[*r as usize])
+                }
+                AtomProgram::Cmp { left, op, right } => {
+                    let l = left.eval(slots, regs)?;
+                    let r = right.eval(slots, regs)?;
+                    op.eval_f64(l, r)
+                }
+            };
+            if !holds {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Scratch registers needed by [`CondTape::eval_bool`].
+    pub fn n_regs(&self) -> usize {
+        self.n_regs
+    }
+
+    pub(crate) fn signature(&self, sig: &mut Vec<u64>) {
+        sig.push(self.atoms.len() as u64);
+        for atom in &self.atoms {
+            match atom {
+                AtomProgram::Const(t) => sig.extend([100, *t as u64]),
+                AtomProgram::SlotCmpConst { slot, op, c } => {
+                    sig.extend([110 + *op as u64, *slot as u64, c.to_bits()])
+                }
+                AtomProgram::SlotCmpSlot { l, op, r } => {
+                    sig.extend([120 + *op as u64, *l as u64, *r as u64])
+                }
+                AtomProgram::Cmp { left, op, right } => {
+                    sig.push(101 + *op as u64);
+                    left.signature(sig);
+                    right.signature(sig);
+                }
+            }
+        }
+    }
+}
+
+/// How one variable of a kernel is generated — the compiled twin of
+/// [`VarStrategy`], carrying the distribution handle and the target slot.
+#[derive(Debug, Clone)]
+struct VarGen {
+    slot: u32,
+    class: DistRef,
+    params: Arc<[f64]>,
+    kind: GenKind,
+    /// Draw-identical prepared sampler (Natural strategy).
+    prepared: Option<Arc<dyn PreparedGen>>,
+    /// Bit-identical prepared inverse CDF (CdfBounded strategy).
+    prepared_inv: Option<Arc<dyn PreparedInverseCdf>>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum GenKind {
+    Natural,
+    CdfBounded { p_lo: f64, p_hi: f64 },
+}
+
+/// Outcome of one kernel sampling step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelStep {
+    /// A satisfying joint sample was written into the slots.
+    Sampled,
+    /// The interpreted path would attempt the Metropolis switch here:
+    /// the kernel stops and the caller must rerun the interpreted
+    /// sampler from scratch (bit-identical, just slower).
+    Escalate,
+}
+
+/// The compiled twin of one [`GroupSampler`]: same candidate draws, same
+/// rejection loop, same counters — but slot writes instead of hash-map
+/// inserts and tape checks instead of tree walks.
+#[derive(Debug, Clone)]
+pub struct GroupKernel {
+    vars: Vec<VarGen>,
+    cond: CondTape,
+    box_mass: f64,
+    /// Candidates generated, mirroring [`GroupSampler::attempts`].
+    pub attempts: u64,
+    /// Candidates accepted, mirroring [`GroupSampler::accepts`].
+    pub accepts: u64,
+}
+
+impl GroupKernel {
+    /// Compile the kernel equivalent of `sampler`. `None` when an atom
+    /// or constant falls outside the compiler's reach.
+    pub(crate) fn compile(sampler: &GroupSampler, slots: &SlotMap) -> Option<GroupKernel> {
+        let cond = CondTape::compile_atoms(&sampler.group.atoms, slots)?;
+        let mut vars = Vec::with_capacity(sampler.group.vars.len());
+        for (v, s) in sampler.group.vars.iter().zip(sampler.var_strategies()) {
+            let kind = match *s {
+                VarStrategy::Natural => GenKind::Natural,
+                VarStrategy::CdfBounded { p_lo, p_hi } => GenKind::CdfBounded { p_lo, p_hi },
+            };
+            let (prepared, prepared_inv) = match kind {
+                GenKind::Natural => (v.class.prepare_generate(&v.params), None),
+                GenKind::CdfBounded { .. } => (None, v.class.prepare_inverse_cdf(&v.params)),
+            };
+            vars.push(VarGen {
+                slot: slots.slot_of(v.key)?,
+                class: Arc::clone(&v.class),
+                params: Arc::clone(&v.params),
+                kind,
+                prepared,
+                prepared_inv,
+            });
+        }
+        Some(GroupKernel {
+            vars,
+            cond,
+            box_mass: sampler.cdf_box_mass(),
+            attempts: sampler.attempts,
+            accepts: sampler.accepts,
+        })
+    }
+
+    /// Build a standalone kernel for `group` (the `conf()` path, which
+    /// has no [`GroupSampler`] yet): instantiates the interpreted sampler
+    /// once to reuse its strategy selection verbatim.
+    pub(crate) fn for_group(
+        group: &VarGroup,
+        bounds: &pip_ctable::BoundsMap,
+        cfg: &SamplerConfig,
+        slots: &SlotMap,
+    ) -> Option<GroupKernel> {
+        let sampler = GroupSampler::new(group.clone(), bounds, cfg);
+        Self::compile(&sampler, slots)
+    }
+
+    fn rejection_rate(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            1.0 - self.accepts as f64 / self.attempts as f64
+        }
+    }
+
+    /// Generate one candidate into the slots — the same draws, in the
+    /// same order, as [`GroupSampler`]'s `generate_candidate`.
+    #[inline]
+    fn generate_candidate(&self, rng: &mut PipRng, slots: &mut [f64]) {
+        for vg in &self.vars {
+            let x = match vg.kind {
+                GenKind::Natural => match &vg.prepared {
+                    Some(p) => p.generate(rng),
+                    None => vg.class.generate(&vg.params, rng),
+                },
+                GenKind::CdfBounded { p_lo, p_hi } => {
+                    let u: f64 = rng.gen();
+                    let p = p_lo + u * (p_hi - p_lo);
+                    match &vg.prepared_inv {
+                        Some(inv) => inv.inverse_cdf(p),
+                        None => vg
+                            .class
+                            .inverse_cdf(&vg.params, p)
+                            .expect("strategy guaranteed inverse CDF"),
+                    }
+                }
+            };
+            slots[vg.slot as usize] = x;
+        }
+    }
+
+    /// Draw one satisfying joint sample into the slots, mirroring
+    /// [`GroupSampler::sample_into`] draw for draw (same counters, same
+    /// attempt cap, same Metropolis trigger point).
+    #[inline]
+    pub(crate) fn sample_into_slots(
+        &mut self,
+        rng: &mut PipRng,
+        cfg: &SamplerConfig,
+        slots: &mut [f64],
+        regs: &mut Vec<f64>,
+    ) -> Result<KernelStep> {
+        let mut local_attempts: u64 = 0;
+        loop {
+            self.attempts += 1;
+            local_attempts += 1;
+            self.generate_candidate(rng, slots);
+            if self.cond.eval_bool(slots, regs)? {
+                self.accepts += 1;
+                return Ok(KernelStep::Sampled);
+            }
+            if cfg.use_metropolis
+                && self.attempts >= METROPOLIS_MIN_ATTEMPTS
+                && self.rejection_rate() > cfg.metropolis_threshold
+            {
+                return Ok(KernelStep::Escalate);
+            }
+            if local_attempts >= MAX_ATTEMPTS_PER_SAMPLE {
+                return Err(PipError::Sampling(format!(
+                    "group rejected {MAX_ATTEMPTS_PER_SAMPLE} consecutive candidates"
+                )));
+            }
+        }
+    }
+
+    /// Fixed-budget candidate estimation — the compiled twin of
+    /// [`GroupSampler::estimate_probability`], drawing the identical
+    /// candidate sequence.
+    pub(crate) fn estimate_probability(
+        &mut self,
+        rng: &mut PipRng,
+        n_attempts: u64,
+        slots: &mut [f64],
+        regs: &mut Vec<f64>,
+    ) -> Result<f64> {
+        for _ in 0..n_attempts {
+            self.attempts += 1;
+            self.generate_candidate(rng, slots);
+            if self.cond.eval_bool(slots, regs)? {
+                self.accepts += 1;
+            }
+        }
+        Ok(self.probability_estimate())
+    }
+
+    /// Mirror of [`GroupSampler::probability_estimate`] for kernels that
+    /// never escalated (escalation bails to the interpreted path).
+    pub(crate) fn probability_estimate(&self) -> f64 {
+        if self.attempts == 0 {
+            if self.cond.is_empty() {
+                return self.box_mass;
+            }
+            return f64::NAN;
+        }
+        self.box_mass * self.accepts as f64 / self.attempts as f64
+    }
+
+    /// Structural signature of everything that determines the kernel's
+    /// draw sequence, folded into sample-block cache keys. Distribution
+    /// class names go into `names` (exact string compare — no hash
+    /// collisions decide cache hits).
+    pub(crate) fn signature(&self, sig: &mut Vec<u64>, names: &mut Vec<&'static str>) {
+        sig.push(self.vars.len() as u64);
+        for vg in &self.vars {
+            names.push(vg.class.name());
+            sig.push(vg.slot as u64);
+            sig.push(vg.params.len() as u64);
+            sig.extend(vg.params.iter().map(|p| p.to_bits()));
+            match vg.kind {
+                GenKind::Natural => sig.push(0),
+                GenKind::CdfBounded { p_lo, p_hi } => {
+                    sig.extend([1, p_lo.to_bits(), p_hi.to_bits()])
+                }
+            }
+        }
+        self.cond.signature(sig);
+        sig.extend([self.box_mass.to_bits(), self.attempts, self.accepts]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pip_core::Value;
+    use pip_dist::prelude::builtin;
+    use pip_dist::rng_from_seed;
+    use pip_expr::{atoms, Assignment, RandomVar};
+
+    fn x() -> RandomVar {
+        RandomVar::create(builtin::normal(), &[0.0, 1.0]).unwrap()
+    }
+
+    fn slots_for(vars: &[RandomVar]) -> SlotMap {
+        let mut m = SlotMap::new();
+        m.intern_all(vars);
+        m
+    }
+
+    #[test]
+    fn tape_matches_eval_f64_bitwise() {
+        let v = x();
+        let w = x();
+        let expr = (Equation::from(v.clone()) * 3.25 - Equation::from(w.clone()))
+            / (Equation::from(w.clone()) + 10.0)
+            + (-Equation::from(v.clone()));
+        let slots = slots_for(&[v.clone(), w.clone()]);
+        let tape = Tape::compile(&expr, &slots).unwrap();
+        let mut regs = Vec::new();
+        for (a, b) in [(0.5, -1.75), (1e300, 1e-300), (-3.0, 7.0)] {
+            let mut asg = Assignment::new();
+            asg.set(v.key, a);
+            asg.set(w.key, b);
+            let buf = [a, b];
+            assert_eq!(
+                tape.eval(&buf, &mut regs).unwrap().to_bits(),
+                expr.eval_f64(&asg).unwrap().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn tape_division_by_zero_matches_interpreted() {
+        let v = x();
+        let expr = Equation::val(1.0) / Equation::from(v.clone());
+        let slots = slots_for(std::slice::from_ref(&v));
+        let tape = Tape::compile(&expr, &slots).unwrap();
+        let mut regs = Vec::new();
+        assert!(tape.eval(&[0.0], &mut regs).is_err());
+        assert_eq!(tape.eval(&[2.0], &mut regs).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn tape_refuses_strings_and_unmapped_vars() {
+        let v = x();
+        let s = Equation::val(Value::str("hi")) + Equation::val(1.0);
+        let slots = slots_for(std::slice::from_ref(&v));
+        assert!(Tape::compile(&s, &slots).is_none());
+        let other = x();
+        assert!(Tape::compile(&Equation::from(other), &slots).is_none());
+    }
+
+    #[test]
+    fn eval_block_matches_scalar_lanes() {
+        let v = x();
+        let w = x();
+        let expr =
+            Equation::from(v.clone()) * Equation::from(w.clone()) + Equation::from(v.clone());
+        let slots = slots_for(&[v, w]);
+        let tape = Tape::compile(&expr, &slots).unwrap();
+        let n = 7;
+        // Column-major block: slot 0 then slot 1.
+        let mut data = vec![0.0; 2 * n];
+        for s in 0..n {
+            data[s] = s as f64 * 0.5 - 1.0;
+            data[n + s] = 2.0 - s as f64;
+        }
+        let (mut regs, mut out) = (Vec::new(), Vec::new());
+        assert_eq!(tape.eval_block(&data, n, n, &mut regs, &mut out), None);
+        let mut scalar_regs = Vec::new();
+        for s in 0..n {
+            let buf = [data[s], data[n + s]];
+            assert_eq!(
+                out[s].to_bits(),
+                tape.eval(&buf, &mut scalar_regs).unwrap().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn eval_block_reports_earliest_error_lane() {
+        let v = x();
+        let expr = Equation::val(1.0) / Equation::from(v.clone());
+        let slots = slots_for(&[v]);
+        let tape = Tape::compile(&expr, &slots).unwrap();
+        let data = vec![1.0, 0.0, 2.0, 0.0];
+        let (mut regs, mut out) = (Vec::new(), Vec::new());
+        assert_eq!(tape.eval_block(&data, 4, 4, &mut regs, &mut out), Some(1));
+    }
+
+    #[test]
+    fn cond_tape_matches_conjunction_eval() {
+        let v = x();
+        let w = x();
+        let cond = Conjunction::of(vec![
+            atoms::gt(Equation::from(v.clone()), -0.5),
+            atoms::le(
+                Equation::from(v.clone()) * 2.0,
+                Equation::from(w.clone()) + 1.0,
+            ),
+            atoms::lt(1.0, 2.0), // deterministic: Value-ordering path
+        ]);
+        let slots = slots_for(&[v.clone(), w.clone()]);
+        let tape = CondTape::compile(&cond, &slots).unwrap();
+        let mut regs = Vec::new();
+        for (a, b) in [(0.0, 0.0), (-1.0, 0.0), (1.0, 0.5), (0.25, -0.5)] {
+            let mut asg = Assignment::new();
+            asg.set(v.key, a);
+            asg.set(w.key, b);
+            assert_eq!(
+                tape.eval_bool(&[a, b], &mut regs).unwrap(),
+                cond.eval(&asg).unwrap(),
+                "at ({a}, {b})"
+            );
+        }
+    }
+
+    #[test]
+    fn kernel_draws_identically_to_group_sampler() {
+        use pip_ctable::consistency_check;
+        let y = RandomVar::create(builtin::normal(), &[5.0, 10.0]).unwrap();
+        let cond = Conjunction::of(vec![
+            atoms::gt(Equation::from(y.clone()), -3.0),
+            atoms::lt(Equation::from(y.clone()), 2.0),
+        ]);
+        let cfg = SamplerConfig::default();
+        let bounds = consistency_check(&cond).bounds();
+        let group = pip_expr::independent_groups(&cond, &[])
+            .into_iter()
+            .next()
+            .unwrap();
+        let mut sampler = GroupSampler::new(group.clone(), &bounds, &cfg);
+        let mut slots_map = SlotMap::new();
+        slots_map.intern_all(&group.vars);
+        let mut kernel = GroupKernel::compile(&sampler, &slots_map).unwrap();
+
+        let mut rng_a = rng_from_seed(42);
+        let mut rng_b = rng_from_seed(42);
+        let mut asg = Assignment::new();
+        let mut buf = vec![0.0; slots_map.len()];
+        let mut regs = Vec::new();
+        for _ in 0..500 {
+            sampler
+                .sample_into(&mut rng_a, &cfg, &bounds, &mut asg)
+                .unwrap();
+            let step = kernel
+                .sample_into_slots(&mut rng_b, &cfg, &mut buf, &mut regs)
+                .unwrap();
+            assert_eq!(step, KernelStep::Sampled);
+            assert_eq!(
+                asg.get(y.key).unwrap().to_bits(),
+                buf[0].to_bits(),
+                "kernel diverged from sampler"
+            );
+        }
+        assert_eq!(sampler.attempts, kernel.attempts);
+        assert_eq!(sampler.accepts, kernel.accepts);
+        assert_eq!(
+            sampler.probability_estimate().to_bits(),
+            kernel.probability_estimate().to_bits()
+        );
+    }
+
+    #[test]
+    fn kernel_escalates_at_interpreted_trigger() {
+        // Same setup as strategy.rs's metropolis_switch test: the kernel
+        // must report Escalate instead of switching.
+        let y = x();
+        let cond = Conjunction::single(atoms::gt(Equation::from(y.clone()), 4.0));
+        let cfg = SamplerConfig {
+            use_cdf_sampling: false,
+            ..Default::default()
+        };
+        let bounds = pip_ctable::consistency_check(&cond).bounds();
+        let group = pip_expr::independent_groups(&cond, &[])
+            .into_iter()
+            .next()
+            .unwrap();
+        let sampler = GroupSampler::new(group.clone(), &bounds, &cfg);
+        let mut slots_map = SlotMap::new();
+        slots_map.intern_all(&group.vars);
+        let mut kernel = GroupKernel::compile(&sampler, &slots_map).unwrap();
+        let mut rng = rng_from_seed(5);
+        let mut buf = vec![0.0; 1];
+        let mut regs = Vec::new();
+        let mut escalated = false;
+        for _ in 0..400 {
+            match kernel
+                .sample_into_slots(&mut rng, &cfg, &mut buf, &mut regs)
+                .unwrap()
+            {
+                KernelStep::Sampled => {}
+                KernelStep::Escalate => {
+                    escalated = true;
+                    break;
+                }
+            }
+        }
+        assert!(escalated, "kernel never hit the Metropolis trigger");
+    }
+
+    #[test]
+    fn kernel_estimate_matches_sampler_estimate() {
+        let y = x();
+        let cond = Conjunction::single(atoms::gt(Equation::from(y.clone()), 1.0));
+        let cfg = SamplerConfig::naive(100);
+        let group = pip_expr::independent_groups(&cond, &[])
+            .into_iter()
+            .next()
+            .unwrap();
+        let bounds = pip_ctable::BoundsMap::new();
+        let mut sampler = GroupSampler::new(group.clone(), &bounds, &cfg);
+        let mut slots_map = SlotMap::new();
+        slots_map.intern_all(&group.vars);
+        let mut kernel = GroupKernel::compile(&sampler, &slots_map).unwrap();
+        let mut rng_a = rng_from_seed(9);
+        let mut rng_b = rng_from_seed(9);
+        let pa = sampler.estimate_probability(&mut rng_a, 5000).unwrap();
+        let mut buf = vec![0.0; 1];
+        let mut regs = Vec::new();
+        let pb = kernel
+            .estimate_probability(&mut rng_b, 5000, &mut buf, &mut regs)
+            .unwrap();
+        assert_eq!(pa.to_bits(), pb.to_bits());
+        assert_eq!(rng_a.state(), rng_b.state(), "draw counts diverged");
+    }
+}

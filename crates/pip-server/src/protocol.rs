@@ -9,7 +9,7 @@
 //! EXEC <name>              run a prepared statement
 //! DEALLOCATE <name>        forget a prepared statement
 //! ANALYZE [<table>]        refresh optimizer statistics (SQL passthrough)
-//! SET <key> <value>        THREADS | SEED | SAMPLES | EPSILON | DELTA
+//! SET <key> <value>        THREADS | SEED | SAMPLES | EPSILON | DELTA | COMPILE | REUSE
 //! STATS                    session counters and sampler settings
 //! PING                     liveness probe
 //! QUIT                     close the connection
@@ -211,6 +211,17 @@ pub fn handle_stream(session: &mut Session, sql: &str, out: &mut dyn Write) -> i
     writeln!(out, "END {n} rows (fresh)")
 }
 
+/// ON/OFF (also 1/0, TRUE/FALSE) for the boolean sampler knobs. Neither
+/// setting ever changes results — `COMPILE OFF` forces the interpreted
+/// reference engine, `REUSE OFF` disables sample-block memoization.
+fn parse_bool(value: &str) -> Option<bool> {
+    match value.to_ascii_uppercase().as_str() {
+        "ON" | "1" | "TRUE" => Some(true),
+        "OFF" | "0" | "FALSE" => Some(false),
+        _ => None,
+    }
+}
+
 fn apply_set(session: &mut Session, key: &str, value: &str) -> Result<String, String> {
     match key {
         "THREADS" => {
@@ -248,8 +259,18 @@ fn apply_set(session: &mut Session, key: &str, value: &str) -> Result<String, St
             session.cfg.delta = x;
             Ok(format!("OK delta={x}"))
         }
+        "COMPILE" => {
+            let on = parse_bool(value).ok_or("COMPILE expects ON/OFF")?;
+            session.cfg = session.cfg.clone().with_compile(on);
+            Ok(format!("OK compile={on}"))
+        }
+        "REUSE" => {
+            let on = parse_bool(value).ok_or("REUSE expects ON/OFF")?;
+            session.cfg = session.cfg.clone().with_block_reuse(on);
+            Ok(format!("OK reuse={on}"))
+        }
         other => Err(format!(
-            "unknown setting '{other}' (THREADS, SEED, SAMPLES, EPSILON, DELTA)"
+            "unknown setting '{other}' (THREADS, SEED, SAMPLES, EPSILON, DELTA, COMPILE, REUSE)"
         )),
     }
 }
@@ -463,6 +484,21 @@ mod tests {
         assert_eq!((s.cfg.min_samples, s.cfg.max_samples), (500, 500));
         assert!(handle_line(&mut s, "SET SAMPLES 0").text.starts_with("ERR"));
         assert!(handle_line(&mut s, "SET EPSILON 2").text.starts_with("ERR"));
+        assert!(handle_line(&mut s, "SET COMPILE OFF")
+            .text
+            .contains("compile=false"));
+        assert!(!s.cfg.compile);
+        assert!(handle_line(&mut s, "SET COMPILE on")
+            .text
+            .contains("compile=true"));
+        assert!(s.cfg.compile);
+        assert!(handle_line(&mut s, "SET REUSE 0")
+            .text
+            .contains("reuse=false"));
+        assert!(!s.cfg.reuse_blocks);
+        assert!(handle_line(&mut s, "SET REUSE maybe")
+            .text
+            .starts_with("ERR"));
         assert!(handle_line(&mut s, "SET BOGUS 1").text.starts_with("ERR"));
         assert!(handle_line(&mut s, "SET THREADS x").text.starts_with("ERR"));
     }

@@ -99,6 +99,10 @@ impl Session {
     /// sampling parameters a result depends on, plus the catalog
     /// version. Thread count is excluded — the parallel runtime returns
     /// bit-identical results for any `threads`, so a hit stays valid.
+    /// `compile` and `reuse_blocks` are excluded for the same reason:
+    /// the compiled engine is bit-identical to the interpreted one and
+    /// the sample-block cache is pure memoization, so toggling either
+    /// cannot invalidate a cached result.
     fn cache_suffix(&self) -> String {
         format!(
             "|seed={}|min={}|max={}|eps={}|delta={}|chunk={}|v={}",

@@ -32,6 +32,23 @@ pub mod rngs {
             StdRng { s }
         }
 
+        /// Snapshot of the full 256-bit generator state. Two generators
+        /// with equal states produce identical streams forever, which is
+        /// what makes the state usable as a memoization key for
+        /// deterministic sampling (PIP's sample-block cache).
+        #[inline]
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Restore a state captured by [`StdRng::state`] — used to
+        /// fast-forward a generator past a cached draw sequence without
+        /// re-drawing it.
+        #[inline]
+        pub fn set_state(&mut self, s: [u64; 4]) {
+            self.s = s;
+        }
+
         #[inline]
         pub(crate) fn next(&mut self) -> u64 {
             let s = &mut self.s;
