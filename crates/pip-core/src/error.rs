@@ -31,6 +31,11 @@ pub enum PipError {
     Inconsistent,
     /// Invalid distribution parameters (e.g. negative variance).
     InvalidParameter(String),
+    /// Durable-storage failure (WAL append, snapshot write, recovery).
+    Io(String),
+    /// A stored catalog payload failed to decode (corrupt or from an
+    /// incompatible format version).
+    Corrupt(String),
 }
 
 impl fmt::Display for PipError {
@@ -45,6 +50,8 @@ impl fmt::Display for PipError {
             PipError::Sql(m) => write!(f, "SQL error: {m}"),
             PipError::Inconsistent => write!(f, "inconsistent condition"),
             PipError::InvalidParameter(m) => write!(f, "invalid parameter: {m}"),
+            PipError::Io(m) => write!(f, "I/O error: {m}"),
+            PipError::Corrupt(m) => write!(f, "corrupt store: {m}"),
         }
     }
 }
@@ -65,6 +72,22 @@ impl PipError {
     /// Build a [`PipError::Sampling`] from anything printable.
     pub fn sampling(msg: impl fmt::Display) -> Self {
         PipError::Sampling(msg.to_string())
+    }
+
+    /// Build a [`PipError::Io`] from anything printable.
+    pub fn io(msg: impl fmt::Display) -> Self {
+        PipError::Io(msg.to_string())
+    }
+
+    /// Build a [`PipError::Corrupt`] from anything printable.
+    pub fn corrupt(msg: impl fmt::Display) -> Self {
+        PipError::Corrupt(msg.to_string())
+    }
+}
+
+impl From<std::io::Error> for PipError {
+    fn from(e: std::io::Error) -> Self {
+        PipError::Io(e.to_string())
     }
 }
 

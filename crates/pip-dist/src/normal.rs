@@ -1,8 +1,10 @@
 //! The Normal distribution class: `Normal(mu, sigma)`.
 
+use std::sync::Arc;
+
 use pip_core::{PipError, Result};
 
-use crate::distribution::DistributionClass;
+use crate::distribution::{DistributionClass, PreparedGen, PreparedInverseCdf};
 use crate::rng::{open01, PipRng};
 use crate::special;
 
@@ -49,8 +51,11 @@ impl DistributionClass for Normal {
     }
 
     fn generate(&self, params: &[f64], rng: &mut PipRng) -> f64 {
-        let u = open01(rng);
-        Self::mu(params) + Self::sigma(params) * special::inverse_normal_cdf(u)
+        NormalDraw {
+            mu: Self::mu(params),
+            sigma: Self::sigma(params),
+        }
+        .generate(rng)
     }
 
     fn pdf(&self, params: &[f64], x: f64) -> Option<f64> {
@@ -64,7 +69,27 @@ impl DistributionClass for Normal {
     }
 
     fn inverse_cdf(&self, params: &[f64], p: f64) -> Option<f64> {
-        Some(Self::mu(params) + Self::sigma(params) * special::inverse_normal_cdf(p))
+        Some(
+            NormalDraw {
+                mu: Self::mu(params),
+                sigma: Self::sigma(params),
+            }
+            .inverse_cdf(p),
+        )
+    }
+
+    fn prepare_generate(&self, params: &[f64]) -> Option<Arc<dyn PreparedGen>> {
+        Some(Arc::new(NormalDraw {
+            mu: Self::mu(params),
+            sigma: Self::sigma(params),
+        }))
+    }
+
+    fn prepare_inverse_cdf(&self, params: &[f64]) -> Option<Arc<dyn PreparedInverseCdf>> {
+        Some(Arc::new(NormalDraw {
+            mu: Self::mu(params),
+            sigma: Self::sigma(params),
+        }))
     }
 
     fn mean(&self, params: &[f64]) -> Option<f64> {
@@ -74,6 +99,31 @@ impl DistributionClass for Normal {
     fn variance(&self, params: &[f64]) -> Option<f64> {
         let s = Self::sigma(params);
         Some(s * s)
+    }
+}
+
+/// The affine inverse-CDF transform with `(μ, σ)` bound — shared by the
+/// plain and prepared paths so both are one expression (the compiled
+/// kernels' `PreparedGen` contract demands bit-identical draws, and
+/// structural sharing makes that true by construction).
+#[derive(Debug, Clone, Copy)]
+struct NormalDraw {
+    mu: f64,
+    sigma: f64,
+}
+
+impl PreparedGen for NormalDraw {
+    #[inline]
+    fn generate(&self, rng: &mut PipRng) -> f64 {
+        let u = open01(rng);
+        self.mu + self.sigma * special::inverse_normal_cdf(u)
+    }
+}
+
+impl PreparedInverseCdf for NormalDraw {
+    #[inline]
+    fn inverse_cdf(&self, p: f64) -> f64 {
+        self.mu + self.sigma * special::inverse_normal_cdf(p)
     }
 }
 
@@ -140,5 +190,26 @@ mod tests {
     fn full_capabilities() {
         let caps = capabilities(&Normal, &P);
         assert!(caps.has_pdf && caps.has_cdf && caps.has_inverse_cdf && caps.has_mean);
+    }
+
+    #[test]
+    fn prepared_paths_are_bit_identical() {
+        let gen = Normal.prepare_generate(&P).unwrap();
+        let mut a = rng_from_seed(9);
+        let mut b = rng_from_seed(9);
+        for _ in 0..2000 {
+            let x = Normal.generate(&P, &mut a);
+            let y = gen.generate(&mut b);
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert_eq!(a.state(), b.state(), "same draw count consumed");
+
+        let inv = Normal.prepare_inverse_cdf(&P).unwrap();
+        for &p in &[1e-12, 0.001, 0.3, 0.5, 0.99, 1.0 - 1e-12, 0.0, 1.0] {
+            assert_eq!(
+                Normal.inverse_cdf(&P, p).unwrap().to_bits(),
+                inv.inverse_cdf(p).to_bits()
+            );
+        }
     }
 }

@@ -3,34 +3,70 @@
 //! Plays the role Postgres plays for the paper's plugin — a place to
 //! create tables, insert (possibly symbolic) rows, and allocate random
 //! variables via `CREATE_VARIABLE(distribution, params)` (Section V-A).
+//!
+//! ## Durability
+//!
+//! A catalog may be *durable*: [`Database::open`] binds it to a
+//! [`pip_store::Store`] data directory, after which every logical
+//! mutation (create/register/drop/insert, variable allocation) is
+//! appended to the write-ahead log **before** it is applied, under the
+//! same write lock that serializes the mutation itself — so WAL order,
+//! apply order and the version counter always agree. Recovery loads the
+//! newest valid snapshot, replays the WAL suffix (torn tails truncated),
+//! restores the catalog version counter (version-keyed caches can never
+//! confuse pre- and post-restart state) and re-reserves every recovered
+//! variable id, which is what makes recovered query results
+//! *bit-identical*: sampling seeds derive from variable ids, and both
+//! ids and `f64` parameters round-trip exactly.
 
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::RwLock;
 
 use pip_core::{PipError, Result, Schema, Tuple};
 use pip_dist::DistributionRegistry;
-use pip_expr::RandomVar;
+use pip_expr::{RandomVar, VarId};
+use pip_store::{CatalogRecord, Durability, Snapshot, SnapshotTable, Store, WalEntry};
 
 use pip_ctable::{CRow, CTable};
 
+use crate::persist;
 use crate::stats::TableStats;
 
-/// An in-memory probabilistic database.
+/// What recovery found in a data directory ([`Database::recover`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryInfo {
+    /// Catalog version at the recovery point.
+    pub version: u64,
+    /// Snapshot generation recovery started from (0 = none, WAL only).
+    pub snapshot_gen: u64,
+    /// WAL records replayed on top of the snapshot.
+    pub replayed: usize,
+    /// True when a torn tail was truncated from the active WAL.
+    pub torn_tail: bool,
+}
+
+/// An in-memory probabilistic database, optionally WAL-backed.
 #[derive(Debug)]
 pub struct Database {
     registry: DistributionRegistry,
     tables: RwLock<HashMap<String, Arc<CTable>>>,
     /// Monotonic catalog generation, bumped by every DDL/DML mutation.
     /// Cache layers (e.g. the server's sample-result cache) key on it so
-    /// stale entries can never be served after a mutation.
+    /// stale entries can never be served after a mutation — and it is
+    /// persisted across checkpoint/recovery, so they can never be served
+    /// across a restart either.
     version: AtomicU64,
     /// Optimizer statistics per table, keyed by the catalog version they
     /// were collected at — any mutation retires them (see
     /// [`Database::table_stats`]).
     stats: RwLock<HashMap<String, Arc<TableStats>>>,
+    /// The durable store, when this catalog was opened from a data
+    /// directory. Mutations append WAL records through it.
+    store: OnceLock<Arc<Store>>,
 }
 
 impl Default for Database {
@@ -42,18 +78,7 @@ impl Default for Database {
 impl Database {
     /// A fresh database with the built-in distribution classes.
     pub fn new() -> Self {
-        Database {
-            registry: DistributionRegistry::with_builtins(),
-            tables: RwLock::new(HashMap::new()),
-            version: AtomicU64::new(0),
-            stats: RwLock::new(HashMap::new()),
-        }
-    }
-
-    /// The distribution registry (mutable access requires construction
-    /// time registration via [`Database::with_registry`]).
-    pub fn registry(&self) -> &DistributionRegistry {
-        &self.registry
+        Self::with_registry(DistributionRegistry::with_builtins())
     }
 
     /// Build with a custom registry (user-defined distribution classes).
@@ -63,13 +88,135 @@ impl Database {
             tables: RwLock::new(HashMap::new()),
             version: AtomicU64::new(0),
             stats: RwLock::new(HashMap::new()),
+            store: OnceLock::new(),
         }
+    }
+
+    /// Open (creating if needed) a durable catalog in `dir`: recover
+    /// whatever a previous process left there, then log every further
+    /// mutation. See [`Database::recover`] for the recovery report.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Database> {
+        Ok(Self::recover(dir)?.0)
+    }
+
+    /// [`Database::open`] plus the recovery report.
+    pub fn recover(dir: impl AsRef<Path>) -> Result<(Database, RecoveryInfo)> {
+        Self::recover_with(dir, DistributionRegistry::with_builtins())
+    }
+
+    /// Recover with a custom registry (stored variables referencing
+    /// user-defined distribution classes need them present to decode).
+    pub fn recover_with(
+        dir: impl AsRef<Path>,
+        registry: DistributionRegistry,
+    ) -> Result<(Database, RecoveryInfo)> {
+        let (store, recovered) = Store::open(dir.as_ref(), &registry)?;
+        let db = Self::with_registry(registry);
+        {
+            let mut tables = db.tables.write();
+            let mut stats = db.stats.write();
+            for (name, table, stats_json) in recovered.tables {
+                if let Some(blob) = &stats_json {
+                    // Statistics are derived data: a blob that fails to
+                    // decode (or mismatches the table) is dropped and
+                    // recollected lazily, never an error. Surviving
+                    // blobs are re-stamped at the recovered version —
+                    // the store only hands back statistics for tables
+                    // the WAL suffix never touched, so they describe
+                    // the recovered contents exactly and would
+                    // otherwise be discarded as stale by the
+                    // version-freshness check in `table_stats`.
+                    if let Ok(s) = persist::stats_from_json(blob) {
+                        if s.table == name {
+                            stats.insert(
+                                name.clone(),
+                                Arc::new(TableStats {
+                                    version: recovered.version,
+                                    ..s
+                                }),
+                            );
+                        }
+                    }
+                }
+                tables.insert(name, Arc::new(table));
+            }
+        }
+        db.version.store(recovered.version, Ordering::Release);
+        VarId::reserve_through(recovered.max_var_id);
+        let info = RecoveryInfo {
+            version: recovered.version,
+            snapshot_gen: recovered.snapshot_gen,
+            replayed: recovered.replayed,
+            torn_tail: recovered.torn_tail,
+        };
+        db.store
+            .set(Arc::new(store))
+            .expect("store attached exactly once");
+        Ok((db, info))
+    }
+
+    /// The distribution registry (mutable access requires construction
+    /// time registration via [`Database::with_registry`]).
+    pub fn registry(&self) -> &DistributionRegistry {
+        &self.registry
+    }
+
+    /// The durable store, if this catalog has one.
+    pub fn store(&self) -> Option<&Arc<Store>> {
+        self.store.get()
+    }
+
+    fn require_store(&self) -> Result<&Arc<Store>> {
+        self.store.get().ok_or_else(|| {
+            PipError::Unsupported("catalog has no data directory (open it with --data-dir)".into())
+        })
+    }
+
+    /// Append one WAL record (no-op for memory-only catalogs and at
+    /// durability OFF). Called with the tables write lock held, so log
+    /// order always matches apply order.
+    fn log(&self, version: u64, record: CatalogRecord) -> Result<()> {
+        match self.store.get() {
+            Some(store) => store.append(&WalEntry { version, record }),
+            None => Ok(()),
+        }
+    }
+
+    /// True when mutations are currently being logged (used to skip
+    /// record construction entirely on the in-memory fast path).
+    fn logging(&self) -> bool {
+        self.store
+            .get()
+            .is_some_and(|s| s.durability() != Durability::Off)
     }
 
     /// `CREATE VARIABLE(distribution, params)` — allocate a fresh random
     /// variable of a registered class.
     pub fn create_variable(&self, class: &str, params: &[f64]) -> Result<RandomVar> {
-        RandomVar::create_named(&self.registry, class, params)
+        if self.store.get().is_none() {
+            return RandomVar::create_named(&self.registry, class, params);
+        }
+        // Allocation and append happen under the tables read lock so a
+        // concurrent checkpoint (which holds the write lock) cannot
+        // interleave: either it runs first — and this record lands in
+        // the fresh generation — or it runs after — and its snapshot's
+        // `VarId::watermark` already covers this id. Without the lock,
+        // the record could land in a generation the checkpoint deletes
+        // while the snapshot's watermark predates the allocation, and a
+        // post-recovery variable could reuse the id.
+        let _ordered_with_checkpoints = self.tables.read();
+        let var = RandomVar::create_named(&self.registry, class, params)?;
+        if self.logging() {
+            self.log(
+                self.version(),
+                CatalogRecord::CreateVariable {
+                    id: var.key.id.0,
+                    class: class.to_string(),
+                    params: params.to_vec(),
+                },
+            )?;
+        }
+        Ok(var)
     }
 
     /// Current catalog generation. Changes on every successful mutation
@@ -90,29 +237,54 @@ impl Database {
         if tables.contains_key(name) {
             return Err(PipError::Schema(format!("table '{name}' already exists")));
         }
+        let version = self.bump_version();
+        if self.logging() {
+            self.log(
+                version,
+                CatalogRecord::CreateTable {
+                    name: name.to_string(),
+                    schema: schema.clone(),
+                },
+            )?;
+        }
         tables.insert(name.to_string(), Arc::new(CTable::empty(schema)));
-        drop(tables);
-        self.bump_version();
         Ok(())
     }
 
     /// Register (or replace) a table with existing contents.
-    pub fn register_table(&self, name: &str, table: CTable) {
-        self.tables
-            .write()
-            .insert(name.to_string(), Arc::new(table));
-        self.bump_version();
+    pub fn register_table(&self, name: &str, table: CTable) -> Result<()> {
+        let mut tables = self.tables.write();
+        let version = self.bump_version();
+        if self.logging() {
+            self.log(
+                version,
+                CatalogRecord::RegisterTable {
+                    name: name.to_string(),
+                    table: table.clone(),
+                },
+            )?;
+        }
+        tables.insert(name.to_string(), Arc::new(table));
+        Ok(())
     }
 
     /// Drop a table.
     pub fn drop_table(&self, name: &str) -> Result<()> {
-        self.tables
-            .write()
-            .remove(name)
-            .map(|_| {
-                self.bump_version();
-            })
-            .ok_or_else(|| PipError::NotFound(format!("table '{name}'")))
+        let mut tables = self.tables.write();
+        if !tables.contains_key(name) {
+            return Err(PipError::NotFound(format!("table '{name}'")));
+        }
+        let version = self.bump_version();
+        if self.logging() {
+            self.log(
+                version,
+                CatalogRecord::Drop {
+                    name: name.to_string(),
+                },
+            )?;
+        }
+        tables.remove(name);
+        Ok(())
     }
 
     /// Shared snapshot of a table.
@@ -143,9 +315,31 @@ impl Database {
         let table = tables
             .get(name)
             .ok_or_else(|| PipError::NotFound(format!("table '{name}'")))?;
+        // Validate fully (arity checks in push) before the WAL append —
+        // a logged record must never fail to apply. When not logging,
+        // rows move straight into the table: the `DURABILITY OFF` path
+        // does exactly the pre-durability in-memory work.
         let mut new = (**table).clone();
-        for r in rows {
-            new.push(r)?;
+        let log_rows = if self.logging() {
+            for r in &rows {
+                new.push(r.clone())?;
+            }
+            Some(rows)
+        } else {
+            for r in rows {
+                new.push(r)?;
+            }
+            None
+        };
+        let post_insert = self.bump_version();
+        if let Some(rows) = log_rows {
+            self.log(
+                post_insert,
+                CatalogRecord::Insert {
+                    name: name.to_string(),
+                    rows,
+                },
+            )?;
         }
         tables.insert(name.to_string(), Arc::new(new));
         drop(tables);
@@ -155,7 +349,6 @@ impl Database {
         // fresh at exactly `pre`; any concurrent mutation breaks that
         // equality (either here or for the other inserter), and the
         // loser's entry simply goes stale and recollects on next use.
-        let post_insert = self.bump_version();
         let pre_insert = post_insert - 1;
         let mut stats = self.stats.write();
         if let Some(entry) = stats.get_mut(name) {
@@ -176,6 +369,74 @@ impl Database {
         let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
         names.sort();
         names
+    }
+
+    /// Write a checkpoint: serialize the entire catalog (fresh table
+    /// statistics riding along) into a new snapshot generation and start
+    /// a fresh WAL. Mutations are blocked for the duration. Returns the
+    /// new generation.
+    pub fn checkpoint(&self) -> Result<u64> {
+        let store = Arc::clone(self.require_store()?);
+        let tables = self.tables.write();
+        self.checkpoint_locked(&store, &tables)
+    }
+
+    /// Checkpoint with the tables write lock already held (shared by
+    /// [`Database::checkpoint`] and the durability-OFF→ON transition).
+    fn checkpoint_locked(
+        &self,
+        store: &Store,
+        tables: &HashMap<String, Arc<CTable>>,
+    ) -> Result<u64> {
+        let version = self.version();
+        let stats = self.stats.read();
+        let mut names: Vec<&String> = tables.keys().collect();
+        names.sort();
+        let snap_tables = names
+            .into_iter()
+            .map(|name| SnapshotTable {
+                name: name.clone(),
+                table: Arc::clone(&tables[name]),
+                stats: stats
+                    .get(name)
+                    .filter(|s| s.version == version && !s.columns_stale())
+                    .map(|s| persist::stats_to_json(s)),
+            })
+            .collect();
+        drop(stats);
+        store.checkpoint(&Snapshot {
+            version,
+            next_var_id: VarId::watermark(),
+            tables: snap_tables,
+        })
+    }
+
+    /// Bytes in the active WAL generation (0 for memory-only catalogs);
+    /// the server's background checkpointer polls this.
+    pub fn wal_bytes(&self) -> u64 {
+        self.store.get().map_or(0, |s| s.wal_bytes())
+    }
+
+    /// Current durability level (`None` for memory-only catalogs).
+    pub fn durability(&self) -> Option<Durability> {
+        self.store.get().map(|s| s.durability())
+    }
+
+    /// Switch the durability level (`SET DURABILITY OFF|WAL|SYNC`).
+    ///
+    /// Turning logging back on after `OFF` first checkpoints, because
+    /// mutations made while off exist only in memory — the snapshot
+    /// folds them in before the fresh WAL starts. The transition holds
+    /// the catalog write lock, so no mutation can slip between the
+    /// snapshot and the level change.
+    pub fn set_durability(&self, level: Durability) -> Result<()> {
+        let store = Arc::clone(self.require_store()?);
+        let tables = self.tables.write();
+        if store.durability() == Durability::Off && level != Durability::Off {
+            self.checkpoint_locked(&store, &tables)?;
+        }
+        store.set_durability(level);
+        Ok(())
     }
 
     /// Force-collect fresh optimizer statistics for one table (the
@@ -279,6 +540,16 @@ mod tests {
     }
 
     #[test]
+    fn memory_only_catalog_has_no_store() {
+        let db = Database::new();
+        assert!(db.store().is_none());
+        assert_eq!(db.wal_bytes(), 0);
+        assert!(db.durability().is_none());
+        assert!(db.checkpoint().is_err());
+        assert!(db.set_durability(Durability::Wal).is_err());
+    }
+
+    #[test]
     fn insert_maintains_stats_incrementally() {
         let db = Database::new();
         db.create_table("t", Schema::of(&[("a", DataType::Int)]))
@@ -349,5 +620,134 @@ mod tests {
             .unwrap();
         assert!(db.insert_tuples("t", &[tuple![1i64, 2i64]]).is_err());
         assert!(db.insert_tuples("zzz", &[tuple![1i64]]).is_err());
+    }
+
+    mod durable {
+        use super::*;
+        use pip_expr::{atoms, Conjunction, Equation};
+        use std::path::PathBuf;
+
+        fn tmp_dir(tag: &str) -> PathBuf {
+            let dir = std::env::temp_dir()
+                .join(format!("pip-engine-catalog-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            dir
+        }
+
+        #[test]
+        fn reopen_restores_tables_version_and_variables() {
+            let dir = tmp_dir("reopen");
+            let (v_key, version_before);
+            {
+                let db = Database::open(&dir).unwrap();
+                db.create_table("t", Schema::of(&[("x", DataType::Symbolic)]))
+                    .unwrap();
+                let y = db.create_variable("Normal", &[10.0, 2.0]).unwrap();
+                v_key = y.key;
+                db.insert_rows(
+                    "t",
+                    vec![CRow::new(
+                        vec![Equation::from(y.clone())],
+                        Conjunction::single(atoms::gt(Equation::from(y), 8.0)),
+                    )],
+                )
+                .unwrap();
+                db.insert_tuples("t", &[tuple![5.0]]).unwrap();
+                version_before = db.version();
+                assert!(db.wal_bytes() > 0);
+            }
+            let (db, info) = Database::recover(&dir).unwrap();
+            assert_eq!(info.version, version_before);
+            assert_eq!(info.replayed, 4, "create + create_variable + 2 inserts");
+            assert!(!info.torn_tail);
+            assert_eq!(db.version(), version_before, "version survives restart");
+            let t = db.table("t").unwrap();
+            assert_eq!(t.len(), 2);
+            let vars = t.variables();
+            assert_eq!(vars.len(), 1);
+            assert_eq!(vars[0].key, v_key, "variable identity round-trips");
+            assert_eq!(&vars[0].params[..], &[10.0, 2.0]);
+            // Fresh variables never collide with recovered ones.
+            let fresh = db.create_variable("Normal", &[0.0, 1.0]).unwrap();
+            assert!(fresh.key.id > v_key.id);
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+
+        #[test]
+        fn checkpoint_persists_stats_and_compacts_wal() {
+            let dir = tmp_dir("ckpt");
+            {
+                let db = Database::open(&dir).unwrap();
+                db.create_table("t", Schema::of(&[("a", DataType::Int)]))
+                    .unwrap();
+                db.insert_tuples("t", &(0..20i64).map(|i| tuple![i]).collect::<Vec<_>>())
+                    .unwrap();
+                let _ = db.table_stats("t").unwrap(); // collect fresh stats
+                let generation = db.checkpoint().unwrap();
+                assert_eq!(generation, 1);
+                assert_eq!(db.wal_bytes(), 0);
+            }
+            let (db, info) = Database::recover(&dir).unwrap();
+            assert_eq!(info.snapshot_gen, 1);
+            assert_eq!(info.replayed, 0);
+            // Persisted statistics are served without a rescan: the
+            // entry is fresh at the recovered version.
+            let s = db.table_stats("t").unwrap();
+            assert_eq!(s.rows, 20);
+            assert_eq!(s.version, db.version());
+
+            // A WAL suffix that mutates *another* table must not retire
+            // t's persisted statistics: recovery re-stamps surviving
+            // blobs at the recovered version.
+            db.create_table("other", Schema::of(&[("b", DataType::Int)]))
+                .unwrap();
+            db.insert_tuples("other", &[tuple![1i64]]).unwrap();
+            drop(db);
+            let (db, info) = Database::recover(&dir).unwrap();
+            assert_eq!(info.replayed, 2, "the create + insert suffix");
+            let s = db.table_stats("t").unwrap();
+            assert_eq!(s.analyzed_rows, 20, "no rescan of the untouched table");
+            assert_eq!(s.version, db.version(), "re-stamped at recovery");
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+
+        #[test]
+        fn durability_off_then_on_checkpoints_the_gap() {
+            let dir = tmp_dir("offon");
+            {
+                let db = Database::open(&dir).unwrap();
+                assert_eq!(db.durability(), Some(Durability::Wal));
+                db.set_durability(Durability::Off).unwrap();
+                // Mutations while off are not logged...
+                db.create_table("t", Schema::of(&[("a", DataType::Int)]))
+                    .unwrap();
+                db.insert_tuples("t", &[tuple![1i64]]).unwrap();
+                assert_eq!(db.wal_bytes(), 0);
+                // ...but turning logging back on folds them into a
+                // snapshot first, so nothing is lost.
+                db.set_durability(Durability::Sync).unwrap();
+                db.insert_tuples("t", &[tuple![2i64]]).unwrap();
+            }
+            let (db, _) = Database::recover(&dir).unwrap();
+            assert_eq!(db.table("t").unwrap().len(), 2);
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+
+        #[test]
+        fn failed_mutations_are_not_logged() {
+            let dir = tmp_dir("failed");
+            {
+                let db = Database::open(&dir).unwrap();
+                db.create_table("t", Schema::of(&[("a", DataType::Int)]))
+                    .unwrap();
+                assert!(db.create_table("t", Schema::empty()).is_err());
+                assert!(db.insert_tuples("t", &[tuple![1i64, 2i64]]).is_err());
+                assert!(db.drop_table("ghost").is_err());
+            }
+            let (db, info) = Database::recover(&dir).unwrap();
+            assert_eq!(info.replayed, 1, "only the successful create");
+            assert_eq!(db.table("t").unwrap().len(), 0);
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
     }
 }

@@ -15,13 +15,15 @@
 pub mod catalog;
 pub mod exec;
 pub mod optimize;
+pub mod persist;
 pub mod physical;
 pub mod plan;
 pub mod rewrite;
 pub mod sql;
 pub mod stats;
 
-pub use catalog::Database;
+pub use catalog::{Database, RecoveryInfo};
+// The durability knob travels with the catalog API.
 pub use exec::{
     execute, execute_materialized, execute_materialized_with_stats, execute_with_stats,
     scalar_result, QueryStats,
@@ -30,6 +32,7 @@ pub use optimize::{
     optimize, optimize_with, plan_schema, push_selects, OptimizerConfig, PruneMode,
 };
 pub use physical::{lower, lower_annotated, OpProfile, PhysicalPlan};
+pub use pip_store::Durability;
 pub use plan::{AggFunc, Plan, PlanBuilder, ScalarExpr};
 pub use rewrite::{compile_predicate, compile_scalar};
 pub use stats::{estimate, plan_cost, ColumnStats, CostModel, ExecTarget, PlanEst, TableStats};

@@ -1,0 +1,146 @@
+//! Persistence codecs for engine-owned catalog metadata.
+//!
+//! `pip-store` persists table *contents* itself; optimizer statistics
+//! are an engine concept, so the store carries them as an opaque JSON
+//! blob that this module encodes and decodes. Statistics are derived
+//! data — a failed decode just means a lazy recollection on first use —
+//! but persisting them lets a recovered catalog plan its first queries
+//! without rescanning every table.
+
+use pip_core::{PipError, Result};
+use pip_store::codec::{decode_f64, dtype_from, dtype_name, encode_f64};
+use serde_json::Value as Json;
+
+use crate::stats::{ColumnStats, TableStats};
+
+fn opt_f64(x: Option<f64>) -> Json {
+    match x {
+        Some(v) => encode_f64(v),
+        None => Json::Null,
+    }
+}
+
+fn get_u64(v: &Json, key: &str) -> Result<u64> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| PipError::corrupt(format!("stats field '{key}'")))
+}
+
+/// Encode [`TableStats`] for the snapshot's per-table stats slot.
+pub fn stats_to_json(s: &TableStats) -> Json {
+    Json::Object(vec![
+        ("table".into(), Json::String(s.table.clone())),
+        ("rows".into(), Json::Number(s.rows.to_string())),
+        (
+            "conditional_rows".into(),
+            Json::Number(s.conditional_rows.to_string()),
+        ),
+        ("version".into(), Json::Number(s.version.to_string())),
+        (
+            "analyzed_rows".into(),
+            Json::Number(s.analyzed_rows.to_string()),
+        ),
+        (
+            "columns".into(),
+            Json::Array(
+                s.columns
+                    .iter()
+                    .map(|c| {
+                        Json::Object(vec![
+                            ("name".into(), Json::String(c.name.clone())),
+                            ("dtype".into(), Json::String(dtype_name(c.dtype).into())),
+                            (
+                                "n_deterministic".into(),
+                                Json::Number(c.n_deterministic.to_string()),
+                            ),
+                            ("n_symbolic".into(), Json::Number(c.n_symbolic.to_string())),
+                            ("n_distinct".into(), encode_f64(c.n_distinct)),
+                            ("min".into(), opt_f64(c.min)),
+                            ("max".into(), opt_f64(c.max)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Decode [`stats_to_json`]'s output.
+pub fn stats_from_json(v: &Json) -> Result<TableStats> {
+    let bad = |what: &str| PipError::corrupt(format!("stats field '{what}'"));
+    let mut columns = Vec::new();
+    for c in v
+        .get("columns")
+        .and_then(Json::as_array)
+        .ok_or_else(|| bad("columns"))?
+    {
+        let opt = |key: &str| -> Result<Option<f64>> {
+            match c.get(key) {
+                None | Some(Json::Null) => Ok(None),
+                Some(x) => decode_f64(x).map(Some),
+            }
+        };
+        columns.push(ColumnStats {
+            name: c
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad("column name"))?
+                .to_string(),
+            dtype: c
+                .get("dtype")
+                .and_then(Json::as_str)
+                .and_then(dtype_from)
+                .ok_or_else(|| bad("column dtype"))?,
+            n_deterministic: get_u64(c, "n_deterministic")?,
+            n_symbolic: get_u64(c, "n_symbolic")?,
+            n_distinct: decode_f64(c.get("n_distinct").ok_or_else(|| bad("n_distinct"))?)?,
+            min: opt("min")?,
+            max: opt("max")?,
+        });
+    }
+    Ok(TableStats {
+        table: v
+            .get("table")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("table"))?
+            .to_string(),
+        rows: get_u64(v, "rows")?,
+        conditional_rows: get_u64(v, "conditional_rows")?,
+        columns,
+        version: get_u64(v, "version")?,
+        analyzed_rows: get_u64(v, "analyzed_rows")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Database;
+    use pip_core::{tuple, DataType, Schema};
+
+    #[test]
+    fn stats_round_trip() {
+        let db = Database::new();
+        db.create_table(
+            "t",
+            Schema::of(&[("a", DataType::Int), ("s", DataType::Symbolic)]),
+        )
+        .unwrap();
+        db.insert_tuples("t", &[tuple![1i64, 2.0], tuple![5i64, 3.5]])
+            .unwrap();
+        let stats = db.table_stats("t").unwrap();
+        let back = stats_from_json(&stats_to_json(&stats)).unwrap();
+        assert_eq!(back, *stats);
+    }
+
+    #[test]
+    fn empty_and_malformed_blobs() {
+        let db = Database::new();
+        db.create_table("e", Schema::empty()).unwrap();
+        let stats = db.table_stats("e").unwrap();
+        let back = stats_from_json(&stats_to_json(&stats)).unwrap();
+        assert_eq!(back, *stats);
+        assert!(stats_from_json(&Json::Null).is_err());
+        assert!(stats_from_json(&Json::Object(vec![])).is_err());
+    }
+}

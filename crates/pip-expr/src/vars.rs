@@ -26,6 +26,35 @@ impl VarId {
     pub fn fresh() -> Self {
         VarId(NEXT_VAR_ID.fetch_add(1, Ordering::Relaxed))
     }
+
+    /// Ensure future [`VarId::fresh`] calls return ids `> id`.
+    ///
+    /// The next id [`VarId::fresh`] would hand out. Checkpoints persist
+    /// this watermark so recovery can re-reserve the full allocated
+    /// range, including variables that no longer appear in any table.
+    pub fn watermark() -> u64 {
+        NEXT_VAR_ID.load(Ordering::Relaxed)
+    }
+
+    /// Catalog recovery re-materializes variables with their *original*
+    /// ids (sampling seeds derive from the id, so identity must round
+    /// trip); afterwards the allocator must be advanced past every
+    /// recovered id or fresh variables would collide with stored ones.
+    pub fn reserve_through(id: u64) {
+        let floor = id.saturating_add(1);
+        let mut cur = NEXT_VAR_ID.load(Ordering::Relaxed);
+        while cur < floor {
+            match NEXT_VAR_ID.compare_exchange_weak(
+                cur,
+                floor,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
 }
 
 impl fmt::Display for VarId {
@@ -190,6 +219,17 @@ mod tests {
         let a = VarId::fresh();
         let b = VarId::fresh();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn reserve_through_advances_the_allocator() {
+        let a = VarId::fresh();
+        let target = a.0 + 1000;
+        VarId::reserve_through(target);
+        assert!(VarId::fresh().0 > target);
+        // Reserving backwards never rewinds.
+        VarId::reserve_through(1);
+        assert!(VarId::fresh().0 > target);
     }
 
     #[test]

@@ -471,6 +471,56 @@ pub(crate) fn serial_blocked(
     Ok(Some(stats))
 }
 
+/// Compiled driver for [`crate::expectation_samples`]: exactly `n`
+/// conditional samples of the target expression, drawn through the
+/// kernels over cached columnar blocks. Mirrors the interpreted loop's
+/// error discipline — a sampling failure or an evaluation error at
+/// sample `k` surfaces as the same `Err` the interpreted loop raises at
+/// `k` — and returns `None` on a Metropolis escalation (the caller
+/// reruns interpreted from the untouched RNG).
+pub(crate) fn serial_samples(
+    cq: &mut CompiledQuery,
+    n: usize,
+    cfg: &SamplerConfig,
+    rng: &mut PipRng,
+    reuse: bool,
+) -> pip_core::Result<Option<Vec<f64>>> {
+    let n_slots = cq.slots.len();
+    let mut regs = Vec::new();
+    let mut values = Vec::new();
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        // Exactly the remaining count is requested, never more: the
+        // RNG must end where the interpreted loop's would.
+        let want = SERIAL_BLOCK.min(n - out.len());
+        let Some(block) = fill_block_cached(&mut cq.kernels, rng, cfg, n_slots, want, reuse) else {
+            return Ok(None);
+        };
+        let first_err = cq.expr.eval_block(
+            &block.data,
+            block.requested,
+            block.filled,
+            &mut regs,
+            &mut values,
+        );
+        for (s, &value) in values.iter().enumerate().take(block.filled) {
+            if first_err == Some(s) {
+                return Err(div_by_zero());
+            }
+            out.push(value);
+        }
+        if block.filled < want {
+            // The fill only stops short on a sampling failure, which
+            // the interpreted loop propagates at this exact sample.
+            return Err(block
+                .sampling_error
+                .clone()
+                .unwrap_or_else(|| pip_core::PipError::sampling("sample block underfilled")));
+        }
+    }
+    Ok(Some(out))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -398,6 +398,11 @@ pub(crate) fn condition_probability(
 /// Sampling variant that returns the raw conditional samples of `expr`
 /// (the `expected_*_hist` functions of Section V-C build histograms from
 /// this).
+///
+/// Runs compiled through the [`crate::tape::GroupKernel`] path (cached
+/// columnar blocks included) when the expression and every relevant
+/// group compile, bit-identical to the interpreted loop below — which
+/// stays the fallback for escalations and uncompilable queries.
 pub fn expectation_samples(
     expr: &Equation,
     condition: &Conjunction,
@@ -411,6 +416,19 @@ pub fn expectation_samples(
         Some(p) => p,
     };
     let mut rng = rng_for_site(cfg, site);
+
+    if cfg.compile {
+        if let Some(mut cq) = crate::blocks::CompiledQuery::compile(&expr, &prep) {
+            // A bail (Metropolis escalation) must leave the interpreted
+            // fallback's stream untouched: work on a clone.
+            let mut crng = rng.clone();
+            if let Some(out) =
+                crate::blocks::serial_samples(&mut cq, n, cfg, &mut crng, cfg.reuse_blocks)?
+            {
+                return Ok(out);
+            }
+        }
+    }
     let mut a = Assignment::new();
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
@@ -574,6 +592,59 @@ mod tests {
                 .unwrap()
                 .is_empty()
         );
+    }
+
+    #[test]
+    fn expectation_samples_compiled_matches_interpreted_bit_for_bit() {
+        crate::blocks::block_cache_clear();
+        let y = normal(2.0, 3.0);
+        let z = normal(-1.0, 0.5);
+        let expr = Equation::from(y.clone()) * 2.0 - Equation::from(z.clone());
+        let cond = Conjunction::of(vec![
+            atoms::gt(Equation::from(y.clone()), 1.0),
+            atoms::lt(Equation::from(z.clone()), 0.0),
+        ]);
+        let compiled = SamplerConfig::default();
+        let interpreted = SamplerConfig {
+            compile: false,
+            ..SamplerConfig::default()
+        };
+        for site in [0u64, 17, 991] {
+            let a = expectation_samples(&expr, &cond, 300, &compiled, site).unwrap();
+            let b = expectation_samples(&expr, &cond, 300, &interpreted, site).unwrap();
+            assert_eq!(a.len(), 300);
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+            // Warm-cache rerun replays the identical sequence.
+            let c = expectation_samples(&expr, &cond, 300, &compiled, site).unwrap();
+            assert_eq!(a, c);
+            // And with block reuse off.
+            let no_reuse = SamplerConfig {
+                reuse_blocks: false,
+                ..SamplerConfig::default()
+            };
+            let d = expectation_samples(&expr, &cond, 300, &no_reuse, site).unwrap();
+            assert_eq!(a, d);
+        }
+    }
+
+    #[test]
+    fn expectation_samples_error_parity_on_division_by_zero() {
+        // x / (y - y) divides by zero on every sample; compiled and
+        // interpreted paths must agree that this is an error.
+        let y = normal(0.0, 1.0);
+        let expr =
+            Equation::from(y.clone()) / (Equation::from(y.clone()) - Equation::from(y.clone()));
+        let cond = Conjunction::top();
+        for compile in [true, false] {
+            let cfg = SamplerConfig {
+                compile,
+                ..SamplerConfig::default()
+            };
+            let r = expectation_samples(&expr, &cond, 10, &cfg, 5);
+            assert!(r.is_err(), "compile={compile}");
+        }
     }
 
     #[test]

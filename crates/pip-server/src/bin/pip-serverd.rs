@@ -1,0 +1,87 @@
+//! The PIP server daemon: a durable catalog behind the TCP protocol.
+//!
+//! ```text
+//! pip-serverd [--addr HOST:PORT] [--data-dir DIR]
+//!             [--durability off|wal|sync] [--checkpoint-bytes N]
+//! ```
+//!
+//! With `--data-dir`, the catalog is recovered from the directory on
+//! startup (snapshot + WAL replay) and every mutation is logged; without
+//! it the catalog is memory-only, exactly as before. The bound address
+//! is printed as `LISTENING <addr>` once the server accepts connections
+//! (use `--addr 127.0.0.1:0` to let the OS pick a port — the recovery
+//! integration test drives the daemon this way).
+
+use std::io::Write;
+use std::sync::Arc;
+
+use pip_engine::{Database, Durability};
+use pip_server::server::{serve, ServerOptions};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pip-serverd [--addr HOST:PORT] [--data-dir DIR] \
+         [--durability off|wal|sync] [--checkpoint-bytes N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7432".to_string();
+    let mut data_dir: Option<String> = None;
+    let mut durability: Option<Durability> = None;
+    let mut options = ServerOptions::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--addr" => addr = value(),
+            "--data-dir" => data_dir = Some(value()),
+            "--durability" => {
+                durability = Some(Durability::parse(&value()).unwrap_or_else(|| usage()))
+            }
+            "--checkpoint-bytes" => {
+                options.checkpoint_wal_bytes = value().parse().unwrap_or_else(|_| usage())
+            }
+            _ => usage(),
+        }
+    }
+
+    let db = match &data_dir {
+        Some(dir) => {
+            let (db, info) = Database::recover(dir).unwrap_or_else(|e| {
+                eprintln!("pip-serverd: recovery of {dir} failed: {e}");
+                std::process::exit(1);
+            });
+            eprintln!(
+                "pip-serverd: recovered {dir}: version={} snapshot_gen={} replayed={}{}",
+                info.version,
+                info.snapshot_gen,
+                info.replayed,
+                if info.torn_tail {
+                    " (torn tail truncated)"
+                } else {
+                    ""
+                }
+            );
+            if let Some(level) = durability {
+                db.set_durability(level).expect("store is attached");
+            }
+            db
+        }
+        None => Database::new(),
+    };
+
+    let handle = serve(Arc::new(db), addr.as_str(), options).unwrap_or_else(|e| {
+        eprintln!("pip-serverd: cannot bind {addr}: {e}");
+        std::process::exit(1);
+    });
+    println!("LISTENING {}", handle.addr());
+    std::io::stdout().flush().expect("stdout");
+
+    // Serve until killed; connection threads do all the work.
+    loop {
+        std::thread::park();
+    }
+}

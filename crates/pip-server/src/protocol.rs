@@ -10,10 +10,17 @@
 //! DEALLOCATE <name>        forget a prepared statement
 //! ANALYZE [<table>]        refresh optimizer statistics (SQL passthrough)
 //! SET <key> <value>        THREADS | SEED | SAMPLES | EPSILON | DELTA | COMPILE | REUSE
+//!                          | DURABILITY (catalog-wide: OFF | WAL | SYNC)
+//! CHECKPOINT               snapshot the catalog, start a fresh WAL
 //! STATS                    session counters and sampler settings
 //! PING                     liveness probe
 //! QUIT                     close the connection
 //! ```
+//!
+//! `SET DURABILITY` and `CHECKPOINT` require the server to have been
+//! opened over a data directory (`pip-serverd --data-dir`); unlike the
+//! sampler knobs, durability is a property of the shared catalog, not
+//! of the issuing session.
 //!
 //! `ANALYZE` is the SQL statement on the wire: `ANALYZE [<table>]`
 //! routes through the QUERY handler unchanged, so `QUERY ANALYZE t` and
@@ -46,6 +53,7 @@ pub enum Command {
     Exec(String),
     Deallocate(String),
     Set { key: String, value: String },
+    Checkpoint,
     Stats,
     Ping,
     Quit,
@@ -95,12 +103,13 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
                 value: value.trim().to_string(),
             })
         }
+        "CHECKPOINT" => Ok(Command::Checkpoint),
         "STATS" => Ok(Command::Stats),
         "PING" => Ok(Command::Ping),
         "QUIT" | "EXIT" => Ok(Command::Quit),
         "" => Err("empty request".into()),
         other => Err(format!(
-            "unknown command '{other}' (try QUERY/STREAM/PREPARE/EXEC/SET/STATS/PING/QUIT)"
+            "unknown command '{other}' (try QUERY/STREAM/PREPARE/EXEC/SET/CHECKPOINT/STATS/PING/QUIT)"
         )),
     }
 }
@@ -269,8 +278,17 @@ fn apply_set(session: &mut Session, key: &str, value: &str) -> Result<String, St
             session.cfg = session.cfg.clone().with_block_reuse(on);
             Ok(format!("OK reuse={on}"))
         }
+        "DURABILITY" => {
+            let level = pip_engine::Durability::parse(value)
+                .ok_or("DURABILITY expects OFF, WAL or SYNC")?;
+            // Catalog-wide, not session-local: the WAL is shared state.
+            match session.database().set_durability(level) {
+                Ok(()) => Ok(format!("OK durability={level}")),
+                Err(e) => Err(e.to_string()),
+            }
+        }
         other => Err(format!(
-            "unknown setting '{other}' (THREADS, SEED, SAMPLES, EPSILON, DELTA, COMPILE, REUSE)"
+            "unknown setting '{other}' (THREADS, SEED, SAMPLES, EPSILON, DELTA, COMPILE, REUSE, DURABILITY)"
         )),
     }
 }
@@ -327,10 +345,21 @@ pub fn handle_command(session: &mut Session, cmd: Command) -> Reply {
             Ok(msg) => Reply::line(msg),
             Err(e) => Reply::err(e),
         },
+        Command::Checkpoint => match session.database().checkpoint() {
+            Ok(generation) => Reply::line(format!("OK checkpoint generation={generation}")),
+            Err(e) => Reply::err(e),
+        },
         Command::Stats => {
             let s = session.stats();
+            let durability = match session.database().durability() {
+                Some(level) => format!(
+                    " durability={level} wal_bytes={}",
+                    session.database().wal_bytes()
+                ),
+                None => String::new(),
+            };
             Reply::line(format!(
-                "OK session={} queries={} cache_hits={} prepared={} threads={} seed={} samples={}..{}",
+                "OK session={} queries={} cache_hits={} prepared={} threads={} seed={} samples={}..{}{durability}",
                 session.id(),
                 s.queries,
                 s.cache_hits,

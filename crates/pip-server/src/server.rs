@@ -28,6 +28,13 @@ pub struct ServerOptions {
     pub prepared_cache: usize,
     /// Per-session sample-result LRU capacity.
     pub result_cache: usize,
+    /// Background-checkpoint trigger: when the catalog's WAL grows past
+    /// this many bytes, the server checkpoints it. `0` disables the
+    /// background checkpointer; it is also inert for catalogs without a
+    /// data directory. Explicit `CHECKPOINT` commands work either way.
+    pub checkpoint_wal_bytes: u64,
+    /// How often the background checkpointer polls the WAL size.
+    pub checkpoint_poll: std::time::Duration,
 }
 
 impl Default for ServerOptions {
@@ -36,6 +43,8 @@ impl Default for ServerOptions {
             default_config: SamplerConfig::default(),
             prepared_cache: 32,
             result_cache: 64,
+            checkpoint_wal_bytes: 8 << 20,
+            checkpoint_poll: std::time::Duration::from_millis(100),
         }
     }
 }
@@ -47,6 +56,7 @@ pub struct ServerHandle {
     shutdown: Arc<AtomicBool>,
     active: Arc<AtomicUsize>,
     accept_thread: Option<JoinHandle<()>>,
+    checkpoint_thread: Option<JoinHandle<()>>,
     conns: ConnRegistry,
     manager: Arc<SessionManager>,
 }
@@ -81,6 +91,12 @@ impl ServerHandle {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
+        if let Some(t) = self.checkpoint_thread.take() {
+            // Wake the poller out of its park_timeout so shutdown never
+            // waits out a full poll interval.
+            t.thread().unpark();
+            let _ = t.join();
+        }
         let conns = std::mem::take(&mut *self.conns.lock().unwrap_or_else(|e| e.into_inner()));
         for (stream, thread) in conns {
             let _ = stream.shutdown(Shutdown::Both);
@@ -112,6 +128,32 @@ pub fn serve(
     let shutdown = Arc::new(AtomicBool::new(false));
     let active = Arc::new(AtomicUsize::new(0));
     let conns: ConnRegistry = Arc::new(Mutex::new(Vec::new()));
+
+    // Background checkpointer: bound WAL replay time by snapshotting
+    // whenever the log outgrows the trigger. Only for durable catalogs.
+    let checkpoint_thread =
+        if options.checkpoint_wal_bytes > 0 && manager.database().store().is_some() {
+            let db = Arc::clone(manager.database());
+            let shutdown = Arc::clone(&shutdown);
+            let trigger = options.checkpoint_wal_bytes;
+            let poll = options.checkpoint_poll;
+            Some(
+                std::thread::Builder::new()
+                    .name("pip-server-checkpoint".into())
+                    .spawn(move || {
+                        while !shutdown.load(Ordering::Acquire) {
+                            std::thread::park_timeout(poll);
+                            if db.wal_bytes() >= trigger {
+                                // Failure (e.g. disk full) is retried next
+                                // poll; the WAL itself stays intact.
+                                let _ = db.checkpoint();
+                            }
+                        }
+                    })?,
+            )
+        } else {
+            None
+        };
 
     let accept_thread = {
         let manager = Arc::clone(&manager);
@@ -162,6 +204,7 @@ pub fn serve(
         shutdown,
         active,
         accept_thread: Some(accept_thread),
+        checkpoint_thread,
         conns,
         manager,
     })
@@ -206,7 +249,7 @@ fn handle_connection(stream: TcpStream, manager: &SessionManager) -> io::Result<
     let mut writer = stream.try_clone()?;
     writer.write_all(
         format!(
-            "PIP server ready (session {}); commands: QUERY/STREAM/PREPARE/EXEC/SET/STATS/PING/QUIT\n",
+            "PIP server ready (session {}); commands: QUERY/STREAM/PREPARE/EXEC/SET/CHECKPOINT/STATS/PING/QUIT\n",
             session.id()
         )
         .as_bytes(),

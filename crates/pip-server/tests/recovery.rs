@@ -1,0 +1,285 @@
+//! Crash-recovery integration tests: a real `pip-serverd` process over a
+//! real data directory, killed hard (SIGKILL) and restarted.
+//!
+//! The headline property is the acceptance criterion of the durability
+//! PR: after a kill, reopening the data directory replays snapshot + WAL
+//! and the fig6/fig7a-flavoured workloads return **bit-identical**
+//! results to the pre-crash run — same rendered rows, byte for byte
+//! (variable identities, parameters and row order all round-trip, and
+//! sampling is a pure function of those plus the seed).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+/// A line-protocol test client (mirrors `tests/service.rs`).
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut c = Client {
+            reader: BufReader::new(stream.try_clone().expect("clone")),
+            writer: stream,
+        };
+        let banner = c.read_line();
+        assert!(banner.starts_with("PIP server ready"), "{banner}");
+        c
+    }
+
+    fn read_line(&mut self) -> String {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read");
+        line.trim_end().to_string()
+    }
+
+    fn send(&mut self, cmd: &str) -> Vec<String> {
+        self.writer
+            .write_all(format!("{cmd}\n").as_bytes())
+            .expect("write");
+        let first = self.read_line();
+        let mut lines = vec![first.clone()];
+        if first.starts_with("OK") && first.contains(" rows ") {
+            loop {
+                let line = self.read_line();
+                let done = line == "END";
+                lines.push(line);
+                if done {
+                    break;
+                }
+            }
+        }
+        lines
+    }
+
+    fn ok(&mut self, cmd: &str) -> Vec<String> {
+        let reply = self.send(cmd);
+        assert!(reply[0].starts_with("OK"), "{cmd} -> {reply:?}");
+        reply
+    }
+}
+
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    fn spawn(data_dir: &std::path::Path, extra: &[&str]) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_pip-serverd"))
+            .arg("--addr")
+            .arg("127.0.0.1:0")
+            .arg("--data-dir")
+            .arg(data_dir)
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn pip-serverd");
+        let stdout = child.stdout.take().expect("stdout piped");
+        let mut lines = BufReader::new(stdout);
+        let mut line = String::new();
+        lines.read_line(&mut line).expect("read LISTENING line");
+        let addr = line
+            .strip_prefix("LISTENING ")
+            .unwrap_or_else(|| panic!("unexpected banner {line:?}"))
+            .trim()
+            .to_string();
+        Daemon { child, addr }
+    }
+
+    /// SIGKILL — no shutdown handling runs, exactly like a crash.
+    fn kill(mut self) {
+        self.child.kill().expect("kill");
+        self.child.wait().expect("wait");
+    }
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("pip-server-recovery-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The fig6/fig7a-flavoured workload: a symbolic join base (orders ×
+/// shipping with Normal prices and durations) plus a group-by RMS-style
+/// aggregate over it.
+fn load_workload(c: &mut Client) {
+    c.ok("QUERY CREATE TABLE orders (cust TEXT, ship_to TEXT, price SYMBOLIC)");
+    c.ok("QUERY CREATE TABLE shipping (dest TEXT, duration SYMBOLIC)");
+    c.ok("QUERY INSERT INTO shipping VALUES \
+         ('NY', create_variable('Normal', 5, 2)), \
+         ('LA', create_variable('Normal', 9, 2)), \
+         ('SF', create_variable('Exponential', 0.2))");
+    for i in 0..8 {
+        let dest = ["NY", "LA", "SF"][i % 3];
+        let mu = 50 + 10 * i;
+        c.ok(&format!(
+            "QUERY INSERT INTO orders VALUES \
+             ('c{i}', '{dest}', create_variable('Normal', {mu}, 7))"
+        ));
+    }
+}
+
+/// The query half of the workload (fig6-style join, fig7a-style
+/// group-by, a confidence head) — returns every reply block verbatim.
+fn run_queries(c: &mut Client) -> Vec<Vec<String>> {
+    [
+        "QUERY SELECT expected_sum(price) FROM orders, shipping \
+         WHERE ship_to = dest AND duration >= 7",
+        "QUERY SELECT ship_to, expected_avg(price) FROM orders GROUP BY ship_to",
+        "QUERY SELECT conf() FROM orders, shipping WHERE ship_to = dest AND duration >= 7",
+        "QUERY SELECT cust, price FROM orders WHERE ship_to = 'NY'",
+    ]
+    .iter()
+    .map(|q| c.ok(q))
+    .collect()
+}
+
+#[test]
+fn kill_and_recover_is_bit_identical() {
+    let dir = tmp_dir("bitident");
+
+    // Phase 1: load, checkpoint mid-way, keep mutating (so recovery
+    // exercises snapshot *plus* WAL suffix), query, then die hard.
+    let daemon = Daemon::spawn(&dir, &[]);
+    let before;
+    {
+        let mut c = Client::connect(&daemon.addr);
+        load_workload(&mut c);
+        let reply = c.ok("CHECKPOINT");
+        assert!(reply[0].contains("generation=1"), "{reply:?}");
+        c.ok("QUERY INSERT INTO orders VALUES ('late', 'NY', create_variable('Normal', 200, 1))");
+        before = run_queries(&mut c);
+        let stats = c.ok("STATS");
+        assert!(stats[0].contains("durability=WAL"), "{stats:?}");
+    }
+    daemon.kill();
+
+    // Phase 2: restart from the data directory; the same queries must
+    // render byte-identically.
+    let daemon = Daemon::spawn(&dir, &[]);
+    {
+        let mut c = Client::connect(&daemon.addr);
+        let after = run_queries(&mut c);
+        assert_eq!(
+            before, after,
+            "recovered results diverge from pre-crash run"
+        );
+        // The service keeps working: new mutations and queries land.
+        c.ok("QUERY INSERT INTO orders VALUES ('post', 'LA', create_variable('Normal', 10, 1))");
+        let grown = c.ok("QUERY SELECT cust FROM orders");
+        assert!(grown[0].starts_with("OK 10 rows"), "{grown:?}");
+    }
+    daemon.kill();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn hard_kill_mid_workload_keeps_an_exact_prefix() {
+    let dir = tmp_dir("prefix");
+    let daemon = Daemon::spawn(&dir, &["--durability", "sync"]);
+    let total = 200;
+    {
+        let mut c = Client::connect(&daemon.addr);
+        c.ok("QUERY CREATE TABLE seq (i INT)");
+        // Fire the whole insert stream pipelined, reading no replies —
+        // then kill the server while it is chewing through them.
+        let mut batch = String::new();
+        for i in 0..total {
+            batch.push_str(&format!("QUERY INSERT INTO seq VALUES ({i})\n"));
+        }
+        c.writer.write_all(batch.as_bytes()).expect("write batch");
+        c.writer.flush().expect("flush");
+        std::thread::sleep(Duration::from_millis(30));
+    }
+    daemon.kill();
+
+    let daemon = Daemon::spawn(&dir, &[]);
+    {
+        let mut c = Client::connect(&daemon.addr);
+        let reply = c.ok("QUERY SELECT i FROM seq");
+        // reply = ["OK n rows (fresh)", header, rows..., "END"]
+        let rows = &reply[2..reply.len() - 1];
+        assert!(
+            rows.len() <= total,
+            "recovered more rows than were inserted"
+        );
+        // WAL order == apply order: what survives is an *exact prefix*
+        // of the insert stream, never a row with a hole before it.
+        for (expect, got) in rows.iter().enumerate() {
+            assert_eq!(got, &expect.to_string(), "non-prefix recovery: {reply:?}");
+        }
+    }
+    daemon.kill();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn background_checkpoint_compacts_the_wal() {
+    let dir = tmp_dir("bgckpt");
+    // A 1-byte trigger: every mutation makes the WAL eligible, so the
+    // poller (100 ms) checkpoints it away almost immediately.
+    let daemon = Daemon::spawn(&dir, &["--checkpoint-bytes", "1"]);
+    {
+        let mut c = Client::connect(&daemon.addr);
+        c.ok("QUERY CREATE TABLE t (a INT)");
+        c.ok("QUERY INSERT INTO t VALUES (1), (2), (3)");
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            let stats = c.ok("STATS");
+            if stats[0].contains("wal_bytes=0") {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "background checkpoint never ran: {stats:?}"
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+    daemon.kill();
+    // The snapshot the background checkpointer wrote must recover.
+    let daemon = Daemon::spawn(&dir, &[]);
+    {
+        let mut c = Client::connect(&daemon.addr);
+        let reply = c.ok("QUERY SELECT expected_sum(a) FROM t");
+        assert_eq!(reply[2], "6", "{reply:?}");
+    }
+    daemon.kill();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn durability_off_skips_logging_until_reenabled() {
+    let dir = tmp_dir("offon");
+    let daemon = Daemon::spawn(&dir, &[]);
+    {
+        let mut c = Client::connect(&daemon.addr);
+        c.ok("SET DURABILITY OFF");
+        c.ok("QUERY CREATE TABLE t (a INT)");
+        c.ok("QUERY INSERT INTO t VALUES (7)");
+        let stats = c.ok("STATS");
+        assert!(stats[0].contains("durability=OFF wal_bytes=0"), "{stats:?}");
+        // Re-enabling folds the unlogged mutations into a snapshot.
+        c.ok("SET DURABILITY SYNC");
+        c.ok("QUERY INSERT INTO t VALUES (8)");
+        let bad = c.send("SET DURABILITY sideways");
+        assert!(bad[0].starts_with("ERR"), "{bad:?}");
+    }
+    daemon.kill();
+    let daemon = Daemon::spawn(&dir, &[]);
+    {
+        let mut c = Client::connect(&daemon.addr);
+        let reply = c.ok("QUERY SELECT expected_sum(a) FROM t");
+        assert_eq!(reply[2], "15", "{reply:?}");
+    }
+    daemon.kill();
+    std::fs::remove_dir_all(&dir).unwrap();
+}

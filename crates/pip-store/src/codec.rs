@@ -1,0 +1,704 @@
+//! JSON codecs for the catalog payloads the store persists.
+//!
+//! Everything the engine keeps in memory — schemas, deterministic and
+//! symbolic cells ([`Equation`] trees over [`RandomVar`]s), row
+//! conditions, whole c-tables — encodes to a [`serde_json::Value`] tree
+//! (written through the shim `serde::Serialize` writer) and decodes back
+//! **bit-identically**:
+//!
+//! * finite `f64`s use Rust's shortest-round-trip `Display` form, which
+//!   `str::parse::<f64>` maps back to the exact same bits;
+//! * non-finite `f64`s (and any NaN payload) are stored as an explicit
+//!   `"f64:<hex bits>"` string, so even NaN bit patterns survive;
+//! * random variables round-trip their `(id, subscript)` identity and
+//!   parameters exactly — the sampling RNG seeds on the id, so identity
+//!   preservation is what makes recovered query results bit-identical;
+//! * distribution classes are stored by name and re-resolved against the
+//!   recovering database's [`DistributionRegistry`].
+
+use std::sync::Arc;
+
+use pip_core::{Column, DataType, PipError, Result, Schema, Value};
+use pip_ctable::{CRow, CTable};
+use pip_dist::DistributionRegistry;
+use pip_expr::{Atom, BinOp, CmpOp, Conjunction, Equation, RandomVar, UnOp, VarId, VarKey};
+use serde_json::Value as Json;
+
+fn corrupt(what: &str, v: &Json) -> PipError {
+    let mut shown = String::new();
+    serde::Serialize::serialize_json(v, &mut shown);
+    // Truncate on a char boundary: payload text can be any UTF-8, and a
+    // panic here would turn a reportable Corrupt error into an abort.
+    let mut cut = 120.min(shown.len());
+    while !shown.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    shown.truncate(cut);
+    PipError::Corrupt(format!("expected {what}, found {shown}"))
+}
+
+// ---------------------------------------------------------------------
+// f64
+// ---------------------------------------------------------------------
+
+/// Encode one `f64` with exact bit fidelity.
+pub fn encode_f64(x: f64) -> Json {
+    if x.is_finite() {
+        Json::Number(x.to_string())
+    } else {
+        Json::String(format!("f64:{:016x}", x.to_bits()))
+    }
+}
+
+/// Decode [`encode_f64`]'s output.
+pub fn decode_f64(v: &Json) -> Result<f64> {
+    match v {
+        Json::Number(_) => v.as_f64().ok_or_else(|| corrupt("f64", v)),
+        Json::String(s) => {
+            let hex = s
+                .strip_prefix("f64:")
+                .ok_or_else(|| corrupt("f64 bits string", v))?;
+            let bits = u64::from_str_radix(hex, 16).map_err(|_| corrupt("f64 bits string", v))?;
+            Ok(f64::from_bits(bits))
+        }
+        _ => Err(corrupt("f64", v)),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deterministic values, schemas
+// ---------------------------------------------------------------------
+
+/// Encode a deterministic [`Value`].
+///
+/// `Int` is a bare JSON integer; `Float` is wrapped (`{"f": …}`) so the
+/// two numeric types — which compare equal but are distinct storage
+/// classes — never alias in the stored form.
+pub fn encode_value(v: &Value) -> Json {
+    match v {
+        Value::Null => Json::Null,
+        Value::Bool(b) => Json::Bool(*b),
+        Value::Int(i) => Json::Number(i.to_string()),
+        Value::Float(f) => Json::Object(vec![("f".into(), encode_f64(*f))]),
+        Value::Str(s) => Json::String(s.to_string()),
+    }
+}
+
+/// Decode [`encode_value`]'s output.
+pub fn decode_value(v: &Json) -> Result<Value> {
+    match v {
+        Json::Null => Ok(Value::Null),
+        Json::Bool(b) => Ok(Value::Bool(*b)),
+        Json::Number(_) => v.as_i64().map(Value::Int).ok_or_else(|| corrupt("i64", v)),
+        Json::String(s) => Ok(Value::str(s)),
+        Json::Object(_) => {
+            let f = v.get("f").ok_or_else(|| corrupt("value", v))?;
+            Ok(Value::Float(decode_f64(f)?))
+        }
+        _ => Err(corrupt("value", v)),
+    }
+}
+
+/// Column-type token used by schemas and the engine's persisted
+/// statistics (matches [`DataType`]'s display form).
+pub fn dtype_name(t: DataType) -> &'static str {
+    match t {
+        DataType::Bool => "BOOL",
+        DataType::Int => "INT",
+        DataType::Float => "FLOAT",
+        DataType::Str => "TEXT",
+        DataType::Symbolic => "SYMBOLIC",
+    }
+}
+
+/// Inverse of [`dtype_name`].
+pub fn dtype_from(name: &str) -> Option<DataType> {
+    Some(match name {
+        "BOOL" => DataType::Bool,
+        "INT" => DataType::Int,
+        "FLOAT" => DataType::Float,
+        "TEXT" => DataType::Str,
+        "SYMBOLIC" => DataType::Symbolic,
+        _ => return None,
+    })
+}
+
+/// Encode a [`Schema`] as `[[name, type], …]`.
+pub fn encode_schema(s: &Schema) -> Json {
+    Json::Array(
+        s.columns()
+            .iter()
+            .map(|c| {
+                Json::Array(vec![
+                    Json::String(c.name.clone()),
+                    Json::String(dtype_name(c.dtype).into()),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Decode [`encode_schema`]'s output.
+pub fn decode_schema(v: &Json) -> Result<Schema> {
+    let cols = v.as_array().ok_or_else(|| corrupt("schema array", v))?;
+    let mut out = Vec::with_capacity(cols.len());
+    for c in cols {
+        let pair = c.as_array().filter(|p| p.len() == 2);
+        let (name, ty) = match pair {
+            Some(p) => (p[0].as_str(), p[1].as_str()),
+            None => (None, None),
+        };
+        let (name, ty) = match (name, ty) {
+            (Some(n), Some(t)) => (n, t),
+            _ => return Err(corrupt("schema column pair", c)),
+        };
+        let dtype = dtype_from(ty).ok_or_else(|| corrupt("column type", c))?;
+        out.push(Column::new(name, dtype));
+    }
+    Schema::new(out)
+}
+
+// ---------------------------------------------------------------------
+// Random variables, equations, conditions
+// ---------------------------------------------------------------------
+
+fn encode_var(v: &RandomVar) -> Json {
+    Json::Object(vec![
+        ("i".into(), Json::Number(v.key.id.0.to_string())),
+        ("s".into(), Json::Number(v.key.subscript.to_string())),
+        ("d".into(), Json::String(v.class.name().into())),
+        (
+            "p".into(),
+            Json::Array(v.params.iter().map(|&p| encode_f64(p)).collect()),
+        ),
+    ])
+}
+
+fn decode_var(v: &Json, registry: &DistributionRegistry) -> Result<RandomVar> {
+    let id = v
+        .get("i")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| corrupt("variable id", v))?;
+    let subscript = v
+        .get("s")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| corrupt("variable subscript", v))? as u32;
+    let class_name = v
+        .get("d")
+        .and_then(Json::as_str)
+        .ok_or_else(|| corrupt("distribution name", v))?;
+    let params = v
+        .get("p")
+        .and_then(Json::as_array)
+        .ok_or_else(|| corrupt("variable params", v))?
+        .iter()
+        .map(decode_f64)
+        .collect::<Result<Vec<f64>>>()?;
+    let class = registry.get(class_name)?;
+    Ok(RandomVar {
+        key: VarKey {
+            id: VarId(id),
+            subscript,
+        },
+        class,
+        params: Arc::from(params),
+    })
+}
+
+fn binop_symbol(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+    }
+}
+
+/// Encode an [`Equation`] tree.
+pub fn encode_equation(e: &Equation) -> Json {
+    match e {
+        Equation::Const(v) => Json::Object(vec![("c".into(), encode_value(v))]),
+        Equation::Var(v) => Json::Object(vec![("v".into(), encode_var(v))]),
+        Equation::Binary { op, left, right } => Json::Object(vec![(
+            "b".into(),
+            Json::Array(vec![
+                Json::String(binop_symbol(*op).into()),
+                encode_equation(left),
+                encode_equation(right),
+            ]),
+        )]),
+        Equation::Unary {
+            op: UnOp::Neg,
+            expr,
+        } => Json::Object(vec![("n".into(), encode_equation(expr))]),
+    }
+}
+
+/// Decode [`encode_equation`]'s output.
+pub fn decode_equation(v: &Json, registry: &DistributionRegistry) -> Result<Equation> {
+    if let Some(c) = v.get("c") {
+        return Ok(Equation::Const(decode_value(c)?));
+    }
+    if let Some(var) = v.get("v") {
+        return Ok(Equation::Var(decode_var(var, registry)?));
+    }
+    if let Some(b) = v.get("b") {
+        let parts = b.as_array().filter(|p| p.len() == 3);
+        let parts = parts.ok_or_else(|| corrupt("binary equation", v))?;
+        let op = match parts[0].as_str() {
+            Some("+") => BinOp::Add,
+            Some("-") => BinOp::Sub,
+            Some("*") => BinOp::Mul,
+            Some("/") => BinOp::Div,
+            _ => return Err(corrupt("binary operator", &parts[0])),
+        };
+        return Ok(Equation::binary(
+            op,
+            decode_equation(&parts[1], registry)?,
+            decode_equation(&parts[2], registry)?,
+        ));
+    }
+    if let Some(n) = v.get("n") {
+        return Ok(decode_equation(n, registry)?.neg());
+    }
+    Err(corrupt("equation", v))
+}
+
+fn cmp_symbol(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Lt => "<",
+        CmpOp::Le => "<=",
+        CmpOp::Gt => ">",
+        CmpOp::Ge => ">=",
+        CmpOp::Eq => "=",
+        CmpOp::Ne => "<>",
+    }
+}
+
+fn encode_atom(a: &Atom) -> Json {
+    Json::Array(vec![
+        encode_equation(&a.left),
+        Json::String(cmp_symbol(a.op).into()),
+        encode_equation(&a.right),
+    ])
+}
+
+fn decode_atom(v: &Json, registry: &DistributionRegistry) -> Result<Atom> {
+    let parts = v.as_array().filter(|p| p.len() == 3);
+    let parts = parts.ok_or_else(|| corrupt("atom triple", v))?;
+    let op = match parts[1].as_str() {
+        Some("<") => CmpOp::Lt,
+        Some("<=") => CmpOp::Le,
+        Some(">") => CmpOp::Gt,
+        Some(">=") => CmpOp::Ge,
+        Some("=") => CmpOp::Eq,
+        Some("<>") => CmpOp::Ne,
+        _ => return Err(corrupt("comparison operator", &parts[1])),
+    };
+    Ok(Atom {
+        left: decode_equation(&parts[0], registry)?,
+        op,
+        right: decode_equation(&parts[2], registry)?,
+    })
+}
+
+/// Encode a [`Conjunction`] as its atom list.
+pub fn encode_condition(c: &Conjunction) -> Json {
+    Json::Array(c.atoms().iter().map(encode_atom).collect())
+}
+
+/// Decode [`encode_condition`]'s output.
+pub fn decode_condition(v: &Json, registry: &DistributionRegistry) -> Result<Conjunction> {
+    let atoms = v.as_array().ok_or_else(|| corrupt("condition array", v))?;
+    Ok(Conjunction::of(
+        atoms
+            .iter()
+            .map(|a| decode_atom(a, registry))
+            .collect::<Result<Vec<Atom>>>()?,
+    ))
+}
+
+// ---------------------------------------------------------------------
+// Rows and tables
+// ---------------------------------------------------------------------
+
+/// Encode a [`CRow`] (cells + condition).
+pub fn encode_row(r: &CRow) -> Json {
+    Json::Object(vec![
+        (
+            "c".into(),
+            Json::Array(r.cells.iter().map(encode_equation).collect()),
+        ),
+        ("w".into(), encode_condition(&r.condition)),
+    ])
+}
+
+/// Decode [`encode_row`]'s output.
+pub fn decode_row(v: &Json, registry: &DistributionRegistry) -> Result<CRow> {
+    let cells = v
+        .get("c")
+        .and_then(Json::as_array)
+        .ok_or_else(|| corrupt("row cells", v))?
+        .iter()
+        .map(|c| decode_equation(c, registry))
+        .collect::<Result<Vec<Equation>>>()?;
+    let condition = match v.get("w") {
+        Some(w) => decode_condition(w, registry)?,
+        None => Conjunction::top(),
+    };
+    Ok(CRow::new(cells, condition))
+}
+
+/// Encode a whole [`CTable`] (schema + rows in storage order — row order
+/// is part of the bit-identity contract, sampling sites are row-indexed).
+pub fn encode_table(t: &CTable) -> Json {
+    Json::Object(vec![
+        ("s".into(), encode_schema(t.schema())),
+        (
+            "r".into(),
+            Json::Array(t.rows().iter().map(encode_row).collect()),
+        ),
+    ])
+}
+
+/// Decode [`encode_table`]'s output.
+pub fn decode_table(v: &Json, registry: &DistributionRegistry) -> Result<CTable> {
+    let schema = decode_schema(v.get("s").ok_or_else(|| corrupt("table schema", v))?)?;
+    let rows = v
+        .get("r")
+        .and_then(Json::as_array)
+        .ok_or_else(|| corrupt("table rows", v))?
+        .iter()
+        .map(|r| decode_row(r, registry))
+        .collect::<Result<Vec<CRow>>>()?;
+    CTable::new(schema, rows)
+}
+
+// ---------------------------------------------------------------------
+// WAL records
+// ---------------------------------------------------------------------
+
+/// One logical catalog mutation, as logged in the write-ahead log.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CatalogRecord {
+    /// `CREATE_VARIABLE` allocated id `id`; replay re-reserves the id so
+    /// fresh post-recovery variables can never collide with stored ones.
+    CreateVariable {
+        id: u64,
+        class: String,
+        params: Vec<f64>,
+    },
+    CreateTable {
+        name: String,
+        schema: Schema,
+    },
+    /// Register (or replace) a table wholesale, contents included.
+    RegisterTable {
+        name: String,
+        table: CTable,
+    },
+    Insert {
+        name: String,
+        rows: Vec<CRow>,
+    },
+    Drop {
+        name: String,
+    },
+}
+
+/// A WAL entry: the mutation plus the catalog version *after* it —
+/// recovery restores the version counter from the highest stamp seen, so
+/// version-keyed caches can never confuse pre- and post-restart state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalEntry {
+    pub version: u64,
+    pub record: CatalogRecord,
+}
+
+/// Encode one [`WalEntry`] to its JSON payload.
+pub fn encode_entry(e: &WalEntry) -> Json {
+    let op = match &e.record {
+        CatalogRecord::CreateVariable { id, class, params } => Json::Object(vec![(
+            "create_variable".into(),
+            Json::Object(vec![
+                ("id".into(), Json::Number(id.to_string())),
+                ("class".into(), Json::String(class.clone())),
+                (
+                    "params".into(),
+                    Json::Array(params.iter().map(|&p| encode_f64(p)).collect()),
+                ),
+            ]),
+        )]),
+        CatalogRecord::CreateTable { name, schema } => Json::Object(vec![(
+            "create_table".into(),
+            Json::Object(vec![
+                ("name".into(), Json::String(name.clone())),
+                ("schema".into(), encode_schema(schema)),
+            ]),
+        )]),
+        CatalogRecord::RegisterTable { name, table } => Json::Object(vec![(
+            "register_table".into(),
+            Json::Object(vec![
+                ("name".into(), Json::String(name.clone())),
+                ("table".into(), encode_table(table)),
+            ]),
+        )]),
+        CatalogRecord::Insert { name, rows } => Json::Object(vec![(
+            "insert".into(),
+            Json::Object(vec![
+                ("name".into(), Json::String(name.clone())),
+                (
+                    "rows".into(),
+                    Json::Array(rows.iter().map(encode_row).collect()),
+                ),
+            ]),
+        )]),
+        CatalogRecord::Drop { name } => Json::Object(vec![(
+            "drop".into(),
+            Json::Object(vec![("name".into(), Json::String(name.clone()))]),
+        )]),
+    };
+    Json::Object(vec![
+        ("v".into(), Json::Number(e.version.to_string())),
+        ("op".into(), op),
+    ])
+}
+
+/// Decode [`encode_entry`]'s output.
+pub fn decode_entry(v: &Json, registry: &DistributionRegistry) -> Result<WalEntry> {
+    let version = v
+        .get("v")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| corrupt("entry version", v))?;
+    let op = v.get("op").ok_or_else(|| corrupt("entry op", v))?;
+    let name_of = |body: &Json| -> Result<String> {
+        body.get("name")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| corrupt("table name", body))
+    };
+    let record = if let Some(body) = op.get("create_variable") {
+        CatalogRecord::CreateVariable {
+            id: body
+                .get("id")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| corrupt("variable id", body))?,
+            class: body
+                .get("class")
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| corrupt("class name", body))?,
+            params: body
+                .get("params")
+                .and_then(Json::as_array)
+                .ok_or_else(|| corrupt("params", body))?
+                .iter()
+                .map(decode_f64)
+                .collect::<Result<Vec<f64>>>()?,
+        }
+    } else if let Some(body) = op.get("create_table") {
+        CatalogRecord::CreateTable {
+            name: name_of(body)?,
+            schema: decode_schema(body.get("schema").ok_or_else(|| corrupt("schema", body))?)?,
+        }
+    } else if let Some(body) = op.get("register_table") {
+        CatalogRecord::RegisterTable {
+            name: name_of(body)?,
+            table: decode_table(
+                body.get("table").ok_or_else(|| corrupt("table", body))?,
+                registry,
+            )?,
+        }
+    } else if let Some(body) = op.get("insert") {
+        CatalogRecord::Insert {
+            name: name_of(body)?,
+            rows: body
+                .get("rows")
+                .and_then(Json::as_array)
+                .ok_or_else(|| corrupt("rows", body))?
+                .iter()
+                .map(|r| decode_row(r, registry))
+                .collect::<Result<Vec<CRow>>>()?,
+        }
+    } else if let Some(body) = op.get("drop") {
+        CatalogRecord::Drop {
+            name: name_of(body)?,
+        }
+    } else {
+        return Err(corrupt("catalog record", op));
+    };
+    Ok(WalEntry { version, record })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pip_dist::prelude::builtin;
+    use pip_expr::atoms;
+
+    fn registry() -> DistributionRegistry {
+        DistributionRegistry::with_builtins()
+    }
+
+    fn var(mu: f64, sigma: f64) -> RandomVar {
+        RandomVar::create(builtin::normal(), &[mu, sigma]).unwrap()
+    }
+
+    #[test]
+    fn f64_round_trips_every_class_of_value() {
+        for x in [
+            0.0,
+            -0.0,
+            1.5,
+            0.1,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            -f64::MAX,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+            f64::from_bits(0x7ff0000000000001), // signalling NaN payload
+            std::f64::consts::PI,
+        ] {
+            let back = decode_f64(&encode_f64(x)).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x}");
+        }
+        // -0.0 keeps its sign bit through the decimal form.
+        assert_eq!(
+            decode_f64(&encode_f64(-0.0)).unwrap().to_bits(),
+            (-0.0f64).to_bits()
+        );
+    }
+
+    #[test]
+    fn value_round_trip_distinguishes_int_and_float() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(i64::MAX),
+            Value::Int(-7),
+            Value::Float(7.0),
+            Value::Float(f64::NAN),
+            Value::str("he said \"hi\"\n"),
+        ] {
+            let back = decode_value(&encode_value(&v)).unwrap();
+            match (&v, &back) {
+                (Value::Float(a), Value::Float(b)) => assert_eq!(a.to_bits(), b.to_bits()),
+                _ => assert_eq!(v, back),
+            }
+            // Storage class must round-trip, not just SQL equality.
+            assert_eq!(std::mem::discriminant(&v), std::mem::discriminant(&back));
+        }
+    }
+
+    #[test]
+    fn schema_round_trip() {
+        let s = Schema::of(&[
+            ("a", DataType::Int),
+            ("b", DataType::Symbolic),
+            ("c", DataType::Str),
+            ("d", DataType::Bool),
+            ("e", DataType::Float),
+        ]);
+        assert_eq!(decode_schema(&encode_schema(&s)).unwrap(), s);
+        assert_eq!(
+            decode_schema(&encode_schema(&Schema::empty())).unwrap(),
+            Schema::empty()
+        );
+    }
+
+    #[test]
+    fn equation_round_trip_preserves_variable_identity() {
+        let reg = registry();
+        let y = var(5.0, 2.0);
+        let z = y.component(3);
+        let eq = (Equation::from(y.clone()) * 2.0 + Equation::from(z.clone())).neg()
+            / Equation::val(Value::str("unit-price-note"));
+        let back = decode_equation(&encode_equation(&eq), &reg).unwrap();
+        assert_eq!(back, eq);
+        let vars = back.variables();
+        assert_eq!(vars.len(), 2);
+        let v = vars.iter().find(|v| v.key == y.key).unwrap();
+        assert_eq!(v.class.name(), "Normal");
+        assert_eq!(&v.params[..], &[5.0, 2.0]);
+        assert!(vars.iter().any(|v| v.key.subscript == 3));
+    }
+
+    #[test]
+    fn unknown_distribution_fails_cleanly() {
+        let reg = registry();
+        let mut bad = encode_equation(&Equation::from(var(0.0, 1.0)));
+        if let Json::Object(fields) = &mut bad {
+            if let Json::Object(vf) = &mut fields[0].1 {
+                vf.retain(|(k, _)| k != "d");
+                vf.push(("d".into(), Json::String("NoSuchClass".into())));
+            }
+        }
+        assert!(matches!(
+            decode_equation(&bad, &reg),
+            Err(PipError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn table_and_entry_round_trip() {
+        let reg = registry();
+        let y = var(100.0, 10.0);
+        let schema = Schema::of(&[("name", DataType::Str), ("price", DataType::Symbolic)]);
+        let mut t = CTable::empty(schema.clone());
+        t.push(CRow::new(
+            vec![
+                Equation::val(Value::str("Joe")),
+                Equation::from(y.clone()) * 1.1,
+            ],
+            Conjunction::single(atoms::gt(Equation::from(y.clone()), 90.0)),
+        ))
+        .unwrap();
+        t.push(CRow::unconditional(vec![
+            Equation::val(Value::str("Bob")),
+            Equation::val(50.0),
+        ]))
+        .unwrap();
+        assert_eq!(decode_table(&encode_table(&t), &reg).unwrap(), t);
+
+        for record in [
+            CatalogRecord::CreateVariable {
+                id: y.key.id.0,
+                class: "Normal".into(),
+                params: vec![100.0, 10.0],
+            },
+            CatalogRecord::CreateTable {
+                name: "orders".into(),
+                schema: schema.clone(),
+            },
+            CatalogRecord::RegisterTable {
+                name: "orders".into(),
+                table: t.clone(),
+            },
+            CatalogRecord::Insert {
+                name: "orders".into(),
+                rows: t.rows().to_vec(),
+            },
+            CatalogRecord::Drop {
+                name: "orders".into(),
+            },
+        ] {
+            let entry = WalEntry {
+                version: 42,
+                record,
+            };
+            let text = serde_json::to_string(&encode_entry(&entry)).unwrap();
+            let parsed = serde_json::from_str(&text).unwrap();
+            assert_eq!(decode_entry(&parsed, &reg).unwrap(), entry);
+        }
+    }
+
+    #[test]
+    fn garbage_payloads_are_corrupt_not_panics() {
+        let reg = registry();
+        for bad in ["null", "7", "{\"op\":{}}", "{\"v\":1,\"op\":{\"boom\":{}}}"] {
+            let v = serde_json::from_str(bad).unwrap();
+            assert!(matches!(decode_entry(&v, &reg), Err(PipError::Corrupt(_))));
+        }
+    }
+}

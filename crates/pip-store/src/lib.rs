@@ -1,0 +1,38 @@
+//! # pip-store
+//!
+//! Durable catalog storage for the PIP probabilistic database: a
+//! write-ahead log of **logical catalog mutations** plus periodic
+//! **checkpoint snapshots**, organised as generations in one data
+//! directory, with crash recovery that reconstructs the catalog
+//! **bit-identically** — schemas, deterministic cells, symbolic
+//! equations (random-variable identity, distribution class, exact `f64`
+//! parameter bits) and row order all round-trip exactly, so a recovered
+//! database answers queries with the same sampled numbers as the
+//! original (the property `tests/durability.rs` at the workspace root
+//! proves over random catalogs, and the pip-server kill/recover test
+//! proves over a real process boundary).
+//!
+//! * [`codec`] — JSON codecs for catalog payloads, written through the
+//!   shim `serde`/`serde_json` serializer and read back through its
+//!   parser;
+//! * [`wal`] — length+CRC32 framed append-only log with torn-tail
+//!   truncation on replay;
+//! * [`snapshot`] — whole-catalog checkpoint files (temp + rename);
+//! * [`store`] — the data-directory manager: generations, the recovery
+//!   protocol, [`Durability`] levels (`OFF` / `WAL` / `SYNC`).
+//!
+//! The crate knows the catalog *data model* (`pip-core` / `pip-expr` /
+//! `pip-ctable` / `pip-dist`) but not the engine: `pip-engine`'s
+//! [`Database`](../pip_engine/catalog/struct.Database.html) drives it
+//! via mutation hooks, and treats the per-table statistics payload as an
+//! opaque JSON blob this crate stores verbatim.
+
+pub mod codec;
+pub mod snapshot;
+pub mod store;
+pub mod wal;
+
+pub use codec::{CatalogRecord, WalEntry};
+pub use snapshot::{Snapshot, SnapshotTable};
+pub use store::{Durability, Recovered, Store};
+pub use wal::crc32;

@@ -1,0 +1,241 @@
+//! Checkpoint snapshots: one file per generation holding the entire
+//! serialized catalog.
+//!
+//! ```text
+//! snapshot-<gen>.pipsnap :=  MAGIC(8) gen(u64 LE) frame
+//! frame                  :=  len(u32 LE) crc32(u32 LE) payload
+//! ```
+//!
+//! `payload` is one JSON document: catalog version, the variable-id
+//! allocator watermark, and every table (schema, rows, optional
+//! optimizer-statistics blob — opaque to this crate, the engine encodes
+//! and decodes it). Snapshots are written to a temp file, synced, then
+//! atomically renamed into place, so a crash mid-checkpoint leaves the
+//! previous generation untouched.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use pip_core::{PipError, Result};
+use pip_ctable::CTable;
+use pip_dist::DistributionRegistry;
+use serde_json::Value as Json;
+
+use crate::codec::{decode_table, encode_table};
+use crate::wal::{crc32, frame};
+
+pub(crate) const SNAP_MAGIC: &[u8; 8] = b"PIPSNAP1";
+
+/// One table in a snapshot: name, contents, and the engine's opaque
+/// statistics payload (if statistics were fresh at checkpoint time).
+#[derive(Debug, Clone)]
+pub struct SnapshotTable {
+    pub name: String,
+    pub table: Arc<CTable>,
+    pub stats: Option<Json>,
+}
+
+/// Everything a checkpoint persists.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Catalog version at the checkpoint point.
+    pub version: u64,
+    /// Variable-id allocator watermark (next id that would be handed
+    /// out); recovery reserves ids below it.
+    pub next_var_id: u64,
+    /// Tables sorted by name.
+    pub tables: Vec<SnapshotTable>,
+}
+
+pub(crate) fn snapshot_path(dir: &Path, gen: u64) -> PathBuf {
+    dir.join(format!("snapshot-{gen:06}.pipsnap"))
+}
+
+fn encode_snapshot(s: &Snapshot) -> Json {
+    Json::Object(vec![
+        ("format".into(), Json::Number("1".into())),
+        ("version".into(), Json::Number(s.version.to_string())),
+        (
+            "next_var_id".into(),
+            Json::Number(s.next_var_id.to_string()),
+        ),
+        (
+            "tables".into(),
+            Json::Array(
+                s.tables
+                    .iter()
+                    .map(|t| {
+                        Json::Object(vec![
+                            ("name".into(), Json::String(t.name.clone())),
+                            ("table".into(), encode_table(&t.table)),
+                            ("stats".into(), t.stats.clone().unwrap_or(Json::Null)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn decode_snapshot(v: &Json, registry: &DistributionRegistry) -> Result<Snapshot> {
+    let bad = || PipError::corrupt("malformed snapshot document");
+    if v.get("format").and_then(Json::as_u64) != Some(1) {
+        return Err(PipError::corrupt("unknown snapshot format version"));
+    }
+    let version = v.get("version").and_then(Json::as_u64).ok_or_else(bad)?;
+    let next_var_id = v
+        .get("next_var_id")
+        .and_then(Json::as_u64)
+        .ok_or_else(bad)?;
+    let mut tables = Vec::new();
+    for t in v.get("tables").and_then(Json::as_array).ok_or_else(bad)? {
+        let name = t
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(bad)?
+            .to_string();
+        let table = decode_table(t.get("table").ok_or_else(bad)?, registry)?;
+        let stats = t.get("stats").filter(|s| !s.is_null()).cloned();
+        tables.push(SnapshotTable {
+            name,
+            table: Arc::new(table),
+            stats,
+        });
+    }
+    Ok(Snapshot {
+        version,
+        next_var_id,
+        tables,
+    })
+}
+
+/// Write generation `gen`'s snapshot (temp file + fsync + rename).
+pub(crate) fn write_snapshot(dir: &Path, gen: u64, snapshot: &Snapshot) -> Result<()> {
+    let payload = serde_json::to_string(&encode_snapshot(snapshot))
+        .map_err(|e| PipError::io(format!("snapshot encode: {e}")))?;
+    let tmp = dir.join(format!("snapshot-{gen:06}.tmp"));
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(SNAP_MAGIC)?;
+        f.write_all(&gen.to_le_bytes())?;
+        f.write_all(&frame(payload.as_bytes()))?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, snapshot_path(dir, gen))?;
+    // Make the rename itself durable.
+    if let Ok(d) = std::fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// Read and verify generation `gen`'s snapshot. Any integrity failure is
+/// an error — the caller falls back to an older generation (or empty).
+pub(crate) fn read_snapshot(
+    dir: &Path,
+    gen: u64,
+    registry: &DistributionRegistry,
+) -> Result<Snapshot> {
+    let path = snapshot_path(dir, gen);
+    let bytes = std::fs::read(&path)?;
+    if bytes.len() < 24 || &bytes[..8] != SNAP_MAGIC {
+        return Err(PipError::corrupt(format!(
+            "{} has no valid snapshot header",
+            path.display()
+        )));
+    }
+    let header_gen = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    if header_gen != gen {
+        return Err(PipError::corrupt(format!(
+            "{} claims generation {header_gen}, expected {gen}",
+            path.display()
+        )));
+    }
+    let len = u32::from_le_bytes(bytes[16..20].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(bytes[20..24].try_into().unwrap());
+    let payload = bytes
+        .get(24..24 + len)
+        .ok_or_else(|| PipError::corrupt(format!("{} is truncated", path.display())))?;
+    if crc32(payload) != crc {
+        return Err(PipError::corrupt(format!(
+            "{} fails its checksum",
+            path.display()
+        )));
+    }
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| PipError::corrupt("snapshot payload is not UTF-8"))?;
+    let json = serde_json::from_str(text)
+        .map_err(|e| PipError::corrupt(format!("snapshot payload: {e}")))?;
+    decode_snapshot(&json, registry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pip_core::{DataType, Schema, Value};
+    use pip_ctable::CRow;
+    use pip_expr::Equation;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("pip-store-snaptest-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn snapshot_round_trip() {
+        let dir = tmp_dir("rt");
+        let reg = DistributionRegistry::with_builtins();
+        let mut t = CTable::empty(Schema::of(&[("a", DataType::Int)]));
+        t.push(CRow::unconditional(vec![Equation::val(Value::Int(7))]))
+            .unwrap();
+        let snap = Snapshot {
+            version: 12,
+            next_var_id: 99,
+            tables: vec![SnapshotTable {
+                name: "t".into(),
+                table: Arc::new(t.clone()),
+                stats: Some(Json::Object(vec![(
+                    "rows".into(),
+                    Json::Number("1".into()),
+                )])),
+            }],
+        };
+        write_snapshot(&dir, 4, &snap).unwrap();
+        let back = read_snapshot(&dir, 4, &reg).unwrap();
+        assert_eq!(back.version, 12);
+        assert_eq!(back.next_var_id, 99);
+        assert_eq!(back.tables.len(), 1);
+        assert_eq!(*back.tables[0].table, t);
+        assert_eq!(
+            back.tables[0].stats.as_ref().unwrap().get("rows").unwrap(),
+            &Json::Number("1".into())
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_rejected() {
+        let dir = tmp_dir("bad");
+        let reg = DistributionRegistry::with_builtins();
+        let snap = Snapshot {
+            version: 1,
+            next_var_id: 1,
+            tables: vec![],
+        };
+        write_snapshot(&dir, 2, &snap).unwrap();
+        let path = snapshot_path(&dir, 2);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 3;
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_snapshot(&dir, 2, &reg),
+            Err(PipError::Corrupt(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

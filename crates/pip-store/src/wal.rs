@@ -1,0 +1,355 @@
+//! The write-ahead log: an append-only file of length+checksum framed
+//! catalog mutations.
+//!
+//! ```text
+//! wal-<gen>.pipwal :=  MAGIC(8) gen(u64 LE)  frame*
+//! frame            :=  len(u32 LE) crc32(u32 LE) payload(len bytes)
+//! ```
+//!
+//! `payload` is one [`WalEntry`](crate::codec::WalEntry) JSON document.
+//! Replay distinguishes two failure classes:
+//!
+//! * **frame integrity** (file ends mid-frame, length overruns the file,
+//!   CRC mismatch, unparseable JSON) — the classic torn tail of a crash
+//!   mid-append. Replay stops at the last intact frame and the file is
+//!   truncated there, so the log is append-clean again;
+//! * **payload decode** (an intact, checksummed frame whose record does
+//!   not decode — e.g. a distribution class missing from the recovering
+//!   registry). That is *committed* data the store cannot honour, so it
+//!   surfaces as a hard [`PipError::Corrupt`] instead of being dropped.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use pip_core::{PipError, Result};
+use pip_dist::DistributionRegistry;
+
+use crate::codec::{decode_entry, encode_entry, WalEntry};
+
+pub(crate) const WAL_MAGIC: &[u8; 8] = b"PIPWAL01";
+const HEADER_LEN: u64 = 16;
+
+/// Upper bound on one frame's payload; anything larger on disk is
+/// treated as a torn/corrupt length field rather than allocated, so
+/// appends reject such payloads up front (see [`frame_too_large`]).
+const MAX_FRAME_BYTES: u32 = 1 << 30;
+
+/// Would a payload of `len` bytes exceed what replay accepts as a
+/// legitimate frame? Checked before writing — a frame the reader would
+/// refuse must never reach the log (and past `u32::MAX` the length
+/// field itself would wrap and corrupt everything after it).
+pub(crate) fn frame_too_large(len: usize) -> bool {
+    len > MAX_FRAME_BYTES as usize
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), table-driven.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB88320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *e = c;
+        }
+        t
+    });
+    let mut c = !0u32;
+    for &b in bytes {
+        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Frame one payload (length + checksum + bytes).
+pub(crate) fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Path of generation `gen`'s WAL file.
+pub(crate) fn wal_path(dir: &Path, gen: u64) -> PathBuf {
+    dir.join(format!("wal-{gen:06}.pipwal"))
+}
+
+/// An open, append-position WAL file.
+#[derive(Debug)]
+pub(crate) struct WalWriter {
+    file: File,
+    pub(crate) gen: u64,
+    /// Bytes of framed records past the header (the checkpoint trigger).
+    pub(crate) record_bytes: u64,
+}
+
+impl WalWriter {
+    /// Create generation `gen`'s log (fresh file, header written).
+    pub(crate) fn create(dir: &Path, gen: u64) -> Result<WalWriter> {
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(wal_path(dir, gen))?;
+        file.write_all(WAL_MAGIC)?;
+        file.write_all(&gen.to_le_bytes())?;
+        file.sync_data()?;
+        Ok(WalWriter {
+            file,
+            gen,
+            record_bytes: 0,
+        })
+    }
+
+    /// Reopen generation `gen`'s log for appending, truncating to
+    /// `valid_bytes` first (dropping any torn tail found by replay).
+    pub(crate) fn reopen(dir: &Path, gen: u64, valid_bytes: u64) -> Result<WalWriter> {
+        let file = OpenOptions::new().write(true).open(wal_path(dir, gen))?;
+        file.set_len(valid_bytes)?;
+        let mut file = file;
+        file.seek(SeekFrom::End(0))?;
+        Ok(WalWriter {
+            file,
+            gen,
+            record_bytes: valid_bytes.saturating_sub(HEADER_LEN),
+        })
+    }
+
+    /// Append one entry. `sync` additionally forces the frame to stable
+    /// storage before returning (the `SYNC` durability level).
+    pub(crate) fn append(&mut self, entry: &WalEntry, sync: bool) -> Result<()> {
+        let payload = serde_json::to_string(&encode_entry(entry))
+            .map_err(|e| PipError::io(format!("WAL encode: {e}")))?;
+        // An oversized frame must fail the *mutation*, not be written:
+        // replay would classify it as a torn tail (or, past u32, a lying
+        // length field) and silently truncate a record the caller was
+        // told is durable.
+        if frame_too_large(payload.len()) {
+            return Err(PipError::io(format!(
+                "catalog mutation serializes to {} bytes, over the {} byte WAL frame limit",
+                payload.len(),
+                MAX_FRAME_BYTES
+            )));
+        }
+        let framed = frame(payload.as_bytes());
+        self.file.write_all(&framed)?;
+        if sync {
+            self.file.sync_data()?;
+        }
+        self.record_bytes += framed.len() as u64;
+        Ok(())
+    }
+
+    /// Force everything appended so far to stable storage.
+    pub(crate) fn sync(&mut self) -> Result<()> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+/// One replayed WAL file: its intact entries, the byte offset up to
+/// which frames were intact, and whether a torn tail was dropped.
+#[derive(Debug)]
+pub(crate) struct WalReplay {
+    pub(crate) entries: Vec<WalEntry>,
+    pub(crate) valid_bytes: u64,
+    pub(crate) torn_tail: bool,
+}
+
+/// Read and verify one WAL file (see the module docs for the failure
+/// taxonomy). A missing file replays as empty.
+pub(crate) fn replay_wal(
+    dir: &Path,
+    gen: u64,
+    registry: &DistributionRegistry,
+) -> Result<WalReplay> {
+    let path = wal_path(dir, gen);
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(WalReplay {
+                entries: Vec::new(),
+                valid_bytes: HEADER_LEN,
+                torn_tail: false,
+            })
+        }
+        Err(e) => return Err(e.into()),
+    };
+    if bytes.len() < HEADER_LEN as usize || &bytes[..8] != WAL_MAGIC {
+        return Err(PipError::corrupt(format!(
+            "{} has no valid WAL header",
+            path.display()
+        )));
+    }
+    let header_gen = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    if header_gen != gen {
+        return Err(PipError::corrupt(format!(
+            "{} claims generation {header_gen}, expected {gen}",
+            path.display()
+        )));
+    }
+    let mut entries = Vec::new();
+    let mut pos = HEADER_LEN as usize;
+    let mut torn_tail = false;
+    while pos < bytes.len() {
+        let Some(header) = bytes.get(pos..pos + 8) else {
+            torn_tail = true;
+            break;
+        };
+        let len = u32::from_le_bytes(header[..4].try_into().unwrap());
+        let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        if len > MAX_FRAME_BYTES {
+            torn_tail = true;
+            break;
+        }
+        let Some(payload) = bytes.get(pos + 8..pos + 8 + len as usize) else {
+            torn_tail = true;
+            break;
+        };
+        if crc32(payload) != crc {
+            torn_tail = true;
+            break;
+        }
+        let Ok(text) = std::str::from_utf8(payload) else {
+            torn_tail = true;
+            break;
+        };
+        let Ok(json) = serde_json::from_str(text) else {
+            torn_tail = true;
+            break;
+        };
+        // The frame is intact: a record that does not decode is
+        // committed-but-unreadable, which must not be dropped silently.
+        entries.push(decode_entry(&json, registry)?);
+        pos += 8 + len as usize;
+    }
+    Ok(WalReplay {
+        entries,
+        valid_bytes: pos as u64,
+        torn_tail,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::CatalogRecord;
+    use pip_core::Schema;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("pip-store-waltest-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn entry(version: u64) -> WalEntry {
+        WalEntry {
+            version,
+            record: CatalogRecord::CreateTable {
+                name: format!("t{version}"),
+                schema: Schema::empty(),
+            },
+        }
+    }
+
+    #[test]
+    fn crc32_reference_vector() {
+        // The canonical IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF43926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn append_and_replay() {
+        let dir = tmp_dir("append");
+        let reg = DistributionRegistry::with_builtins();
+        let mut w = WalWriter::create(&dir, 0).unwrap();
+        for v in 1..=5 {
+            w.append(&entry(v), v % 2 == 0).unwrap();
+        }
+        w.sync().unwrap();
+        let r = replay_wal(&dir, 0, &reg).unwrap();
+        assert_eq!(r.entries.len(), 5);
+        assert!(!r.torn_tail);
+        assert_eq!(r.entries[4], entry(5));
+        // Reopen at the valid offset and keep appending.
+        let mut w = WalWriter::reopen(&dir, 0, r.valid_bytes).unwrap();
+        w.append(&entry(6), true).unwrap();
+        let r = replay_wal(&dir, 0, &reg).unwrap();
+        assert_eq!(r.entries.len(), 6);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let dir = tmp_dir("torn");
+        let reg = DistributionRegistry::with_builtins();
+        let mut w = WalWriter::create(&dir, 3).unwrap();
+        for v in 1..=3 {
+            w.append(&entry(v), false).unwrap();
+        }
+        w.sync().unwrap();
+        let clean = replay_wal(&dir, 3, &reg).unwrap();
+        let path = wal_path(&dir, 3);
+
+        // A crash mid-append: half a frame of garbage at the end.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&[0x99, 0x12, 0x00, 0x00, 0xAB]);
+        std::fs::write(&path, &bytes).unwrap();
+        let r = replay_wal(&dir, 3, &reg).unwrap();
+        assert!(r.torn_tail);
+        assert_eq!(r.entries.len(), 3, "intact prefix survives");
+        assert_eq!(r.valid_bytes, clean.valid_bytes);
+
+        // A flipped bit inside the last frame: CRC rejects that frame,
+        // earlier frames stand.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.truncate(clean.valid_bytes as usize); // drop the garbage tail
+        let inside_last_frame = bytes.len() - 12;
+        bytes[inside_last_frame] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let r = replay_wal(&dir, 3, &reg).unwrap();
+        assert!(r.torn_tail);
+        assert_eq!(r.entries.len(), 2);
+
+        // Reopening for append truncates the bad tail away.
+        let w = WalWriter::reopen(&dir, 3, r.valid_bytes).unwrap();
+        drop(w);
+        let r2 = replay_wal(&dir, 3, &reg).unwrap();
+        assert!(!r2.torn_tail);
+        assert_eq!(r2.entries.len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_replays_empty_but_bad_header_is_corrupt() {
+        let dir = tmp_dir("header");
+        let reg = DistributionRegistry::with_builtins();
+        let r = replay_wal(&dir, 9, &reg).unwrap();
+        assert!(r.entries.is_empty());
+        std::fs::write(wal_path(&dir, 9), b"not a wal").unwrap();
+        assert!(matches!(
+            replay_wal(&dir, 9, &reg),
+            Err(PipError::Corrupt(_))
+        ));
+        // Wrong generation stamp in an otherwise valid header.
+        let mut hdr = WAL_MAGIC.to_vec();
+        hdr.extend_from_slice(&7u64.to_le_bytes());
+        std::fs::write(wal_path(&dir, 9), &hdr).unwrap();
+        assert!(matches!(
+            replay_wal(&dir, 9, &reg),
+            Err(PipError::Corrupt(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -51,6 +51,7 @@ pub use pip_engine as engine;
 pub use pip_expr as expr;
 pub use pip_samplefirst as samplefirst;
 pub use pip_sampling as sampling;
+pub use pip_store as store;
 pub use pip_workloads as workloads;
 
 /// One-stop import for applications.

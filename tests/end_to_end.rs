@@ -74,7 +74,7 @@ fn symbolic_view_materialization_is_lossless() {
     let view = execute(&db, &plan, &cfg).unwrap();
     assert_eq!(view.len(), 1);
     assert!(!view.rows()[0].condition.is_trivially_true());
-    db.register_table("late", view);
+    db.register_table("late", view).unwrap();
 
     // Query the view: E[v | v > 2] = 2 + 1/λ = 4 (memorylessness).
     let r1 = sql::run(&db, "SELECT expected_sum(v) FROM late", &cfg).unwrap();

@@ -28,7 +28,7 @@ fn repair_key_feeds_the_full_query_stack() {
     .unwrap();
     let (repaired, vars) = repair_key(&base, &["city"], "w").unwrap();
     assert_eq!(vars.len(), 2);
-    db.register_table("weather", repaired);
+    db.register_table("weather", repaired).unwrap();
 
     // P[rain] per city through the row-level conf operator.
     let t = sql::run(
@@ -73,7 +73,7 @@ fn repaired_alternatives_are_exclusive_under_join() {
     )
     .unwrap();
     let (repaired, _) = repair_key(&base, &["k"], "w").unwrap();
-    db.register_table("t", repaired);
+    db.register_table("t", repaired).unwrap();
     // Count pairs with different v: expected 0 (mutually exclusive).
     let plan = PlanBuilder::scan("t")
         .product(PlanBuilder::scan("t"))
