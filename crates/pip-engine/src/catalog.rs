@@ -172,9 +172,10 @@ impl Database {
         })
     }
 
-    /// Append one WAL record (no-op for memory-only catalogs and at
-    /// durability OFF). Called with the tables write lock held, so log
-    /// order always matches apply order.
+    /// Append one WAL record (no-op for memory-only catalogs; at
+    /// durability OFF the store validates the record without writing
+    /// it). Called with the tables write lock held, so log order always
+    /// matches apply order.
     fn log(&self, version: u64, record: CatalogRecord) -> Result<()> {
         match self.store.get() {
             Some(store) => store.append(&WalEntry { version, record }),
@@ -182,12 +183,15 @@ impl Database {
         }
     }
 
-    /// True when mutations are currently being logged (used to skip
-    /// record construction entirely on the in-memory fast path).
-    fn logging(&self) -> bool {
-        self.store
-            .get()
-            .is_some_and(|s| s.durability() != Durability::Off)
+    /// True when mutations must be materialized as catalog records —
+    /// appended to the WAL at durability `WAL`/`SYNC`, or merely
+    /// validated against the store's write contract at `OFF` (a durable
+    /// catalog must refuse state it could never log or snapshot, or
+    /// every later checkpoint would fail while that state exists).
+    /// False only for memory-only catalogs, which skip record
+    /// construction entirely.
+    fn durable(&self) -> bool {
+        self.store.get().is_some()
     }
 
     /// `CREATE VARIABLE(distribution, params)` — allocate a fresh random
@@ -206,7 +210,7 @@ impl Database {
         // post-recovery variable could reuse the id.
         let _ordered_with_checkpoints = self.tables.read();
         let var = RandomVar::create_named(&self.registry, class, params)?;
-        if self.logging() {
+        if self.durable() {
             self.log(
                 self.version(),
                 CatalogRecord::CreateVariable {
@@ -238,7 +242,7 @@ impl Database {
             return Err(PipError::Schema(format!("table '{name}' already exists")));
         }
         let version = self.bump_version();
-        if self.logging() {
+        if self.durable() {
             self.log(
                 version,
                 CatalogRecord::CreateTable {
@@ -255,7 +259,7 @@ impl Database {
     pub fn register_table(&self, name: &str, table: CTable) -> Result<()> {
         let mut tables = self.tables.write();
         let version = self.bump_version();
-        if self.logging() {
+        if self.durable() {
             self.log(
                 version,
                 CatalogRecord::RegisterTable {
@@ -275,7 +279,7 @@ impl Database {
             return Err(PipError::NotFound(format!("table '{name}'")));
         }
         let version = self.bump_version();
-        if self.logging() {
+        if self.durable() {
             self.log(
                 version,
                 CatalogRecord::Drop {
@@ -316,11 +320,12 @@ impl Database {
             .get(name)
             .ok_or_else(|| PipError::NotFound(format!("table '{name}'")))?;
         // Validate fully (arity checks in push) before the WAL append —
-        // a logged record must never fail to apply. When not logging,
-        // rows move straight into the table: the `DURABILITY OFF` path
-        // does exactly the pre-durability in-memory work.
+        // a logged record must never fail to apply. (At durability OFF
+        // the record is built but only validated, never written; for a
+        // memory-only catalog rows move straight into the table — the
+        // pre-durability in-memory work exactly.)
         let mut new = (**table).clone();
-        let log_rows = if self.logging() {
+        let log_rows = if self.durable() {
             for r in &rows {
                 new.push(r.clone())?;
             }
@@ -373,42 +378,51 @@ impl Database {
 
     /// Write a checkpoint: serialize the entire catalog (fresh table
     /// statistics riding along) into a new snapshot generation and start
-    /// a fresh WAL. Mutations are blocked for the duration. Returns the
-    /// new generation.
+    /// a fresh WAL. Mutations are blocked only for the cheap part —
+    /// capturing `Arc`s of every table and rotating to the fresh WAL
+    /// generation; the snapshot itself (full-catalog serialization,
+    /// fsync, rename) is written after the lock is released, with
+    /// queries and mutations flowing. A crash (or write failure) before
+    /// the snapshot lands is benign: recovery falls back to the previous
+    /// snapshot and replays both WAL generations. Returns the new
+    /// generation.
     pub fn checkpoint(&self) -> Result<u64> {
         let store = Arc::clone(self.require_store()?);
         let tables = self.tables.write();
-        self.checkpoint_locked(&store, &tables)
+        let captured = self.capture_checkpoint(&tables);
+        let generation = store.begin_checkpoint()?;
+        drop(tables);
+        store.finish_checkpoint(generation, &captured.into_snapshot())?;
+        Ok(generation)
     }
 
-    /// Checkpoint with the tables write lock already held (shared by
-    /// [`Database::checkpoint`] and the durability-OFF→ON transition).
-    fn checkpoint_locked(
-        &self,
-        store: &Store,
-        tables: &HashMap<String, Arc<CTable>>,
-    ) -> Result<u64> {
+    /// Capture everything a checkpoint persists, under the tables write
+    /// lock: version, variable-id watermark, and per-table `Arc` handles
+    /// (contents and fresh statistics). Cheap — no serialization; that
+    /// happens in [`CheckpointCapture::into_snapshot`] after the lock is
+    /// gone.
+    fn capture_checkpoint(&self, tables: &HashMap<String, Arc<CTable>>) -> CheckpointCapture {
         let version = self.version();
         let stats = self.stats.read();
         let mut names: Vec<&String> = tables.keys().collect();
         names.sort();
-        let snap_tables = names
-            .into_iter()
-            .map(|name| SnapshotTable {
-                name: name.clone(),
-                table: Arc::clone(&tables[name]),
-                stats: stats
-                    .get(name)
-                    .filter(|s| s.version == version && !s.columns_stale())
-                    .map(|s| persist::stats_to_json(s)),
-            })
-            .collect();
-        drop(stats);
-        store.checkpoint(&Snapshot {
+        CheckpointCapture {
             version,
             next_var_id: VarId::watermark(),
-            tables: snap_tables,
-        })
+            tables: names
+                .into_iter()
+                .map(|name| {
+                    (
+                        name.clone(),
+                        Arc::clone(&tables[name]),
+                        stats
+                            .get(name)
+                            .filter(|s| s.version == version && !s.columns_stale())
+                            .cloned(),
+                    )
+                })
+                .collect(),
+        }
     }
 
     /// Bytes in the active WAL generation (0 for memory-only catalogs);
@@ -426,14 +440,19 @@ impl Database {
     ///
     /// Turning logging back on after `OFF` first checkpoints, because
     /// mutations made while off exist only in memory — the snapshot
-    /// folds them in before the fresh WAL starts. The transition holds
-    /// the catalog write lock, so no mutation can slip between the
-    /// snapshot and the level change.
+    /// folds them in before the fresh WAL starts. Unlike
+    /// [`Database::checkpoint`], this transition keeps *both* checkpoint
+    /// phases under the catalog write lock: no mutation may slip between
+    /// the snapshot and the level change, and the level must not flip on
+    /// until the snapshot is durably down (a fresh-WAL record replayed
+    /// on top of a base missing the OFF-period state would corrupt
+    /// recovery).
     pub fn set_durability(&self, level: Durability) -> Result<()> {
         let store = Arc::clone(self.require_store()?);
         let tables = self.tables.write();
         if store.durability() == Durability::Off && level != Durability::Off {
-            self.checkpoint_locked(&store, &tables)?;
+            let captured = self.capture_checkpoint(&tables);
+            store.checkpoint(&captured.into_snapshot())?;
         }
         store.set_durability(level);
         Ok(())
@@ -478,6 +497,35 @@ impl Database {
             }
         }
         self.analyze_table(name)
+    }
+}
+
+/// Checkpoint state captured under the catalog write lock — `Arc`
+/// handles only, so the lock is held for O(tables) pointer clones, not
+/// for serialization or I/O.
+struct CheckpointCapture {
+    version: u64,
+    next_var_id: u64,
+    tables: Vec<(String, Arc<CTable>, Option<Arc<TableStats>>)>,
+}
+
+impl CheckpointCapture {
+    /// Materialize the [`Snapshot`] to persist (statistics serialized
+    /// here, after the lock is released).
+    fn into_snapshot(self) -> Snapshot {
+        Snapshot {
+            version: self.version,
+            next_var_id: self.next_var_id,
+            tables: self
+                .tables
+                .into_iter()
+                .map(|(name, table, stats)| SnapshotTable {
+                    name,
+                    table,
+                    stats: stats.map(|s| persist::stats_to_json(&s)),
+                })
+                .collect(),
+        }
     }
 }
 
@@ -730,6 +778,62 @@ mod tests {
             }
             let (db, _) = Database::recover(&dir).unwrap();
             assert_eq!(db.table("t").unwrap().len(), 2);
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+
+        #[test]
+        fn over_deep_symbolic_rows_fail_the_mutation_not_recovery() {
+            let dir = tmp_dir("deep");
+            {
+                let db = Database::open(&dir).unwrap();
+                db.create_table("t", Schema::of(&[("x", DataType::Symbolic)]))
+                    .unwrap();
+                db.insert_tuples("t", &[tuple![1.0]]).unwrap();
+                // ~80 chained ops nest past the WAL payload's JSON depth
+                // cap: the insert must be refused up front — were it
+                // acknowledged, recovery would misread the frame and
+                // silently truncate it and everything after it.
+                let mut eq = Equation::val(1.0);
+                for _ in 0..80 {
+                    eq = eq + Equation::val(1.0);
+                }
+                assert!(db
+                    .insert_rows("t", vec![CRow::unconditional(vec![eq])])
+                    .is_err());
+                assert_eq!(db.table("t").unwrap().len(), 1, "memory unchanged");
+                // The log is still append-clean after the refusal.
+                db.insert_tuples("t", &[tuple![2.0]]).unwrap();
+            }
+            let (db, info) = Database::recover(&dir).unwrap();
+            assert!(!info.torn_tail);
+            assert_eq!(db.table("t").unwrap().len(), 2);
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+
+        #[test]
+        fn durability_off_still_refuses_unpersistable_rows() {
+            let dir = tmp_dir("deepoff");
+            {
+                let db = Database::open(&dir).unwrap();
+                db.set_durability(Durability::Off).unwrap();
+                db.create_table("t", Schema::of(&[("x", DataType::Symbolic)]))
+                    .unwrap();
+                // Unlogged, but the store's write contract still holds:
+                // accepting this row would make every later checkpoint —
+                // including this OFF→ON transition — fail while it
+                // exists.
+                let mut eq = Equation::val(1.0);
+                for _ in 0..80 {
+                    eq = eq + Equation::val(1.0);
+                }
+                assert!(db
+                    .insert_rows("t", vec![CRow::unconditional(vec![eq])])
+                    .is_err());
+                db.insert_tuples("t", &[tuple![1.0]]).unwrap();
+                db.set_durability(Durability::Sync).unwrap();
+            }
+            let (db, _) = Database::recover(&dir).unwrap();
+            assert_eq!(db.table("t").unwrap().len(), 1);
             std::fs::remove_dir_all(&dir).unwrap();
         }
 

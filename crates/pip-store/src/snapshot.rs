@@ -23,7 +23,7 @@ use pip_dist::DistributionRegistry;
 use serde_json::Value as Json;
 
 use crate::codec::{decode_table, encode_table};
-use crate::wal::{crc32, frame};
+use crate::wal::{crc32, frame, json_too_deep, MAX_JSON_DEPTH};
 
 pub(crate) const SNAP_MAGIC: &[u8; 8] = b"PIPSNAP1";
 
@@ -112,8 +112,26 @@ fn decode_snapshot(v: &Json, registry: &DistributionRegistry) -> Result<Snapshot
 
 /// Write generation `gen`'s snapshot (temp file + fsync + rename).
 pub(crate) fn write_snapshot(dir: &Path, gen: u64, snapshot: &Snapshot) -> Result<()> {
-    let payload = serde_json::to_string(&encode_snapshot(snapshot))
+    let encoded = encode_snapshot(snapshot);
+    // A snapshot [`read_snapshot`] would refuse must never be written —
+    // it would fail recovery outright (the WAL generations it superseded
+    // are deleted right after this returns).
+    if json_too_deep(&encoded) {
+        return Err(PipError::io(format!(
+            "snapshot serializes to JSON nested deeper than the \
+             {MAX_JSON_DEPTH}-level payload limit"
+        )));
+    }
+    let payload = serde_json::to_string(&encoded)
         .map_err(|e| PipError::io(format!("snapshot encode: {e}")))?;
+    // Same reasoning for the frame's length field: past u32 it would
+    // wrap and the file would read back truncated/checksum-broken.
+    if payload.len() > u32::MAX as usize {
+        return Err(PipError::io(format!(
+            "snapshot serializes to {} bytes, over the u32 frame length limit",
+            payload.len()
+        )));
+    }
     let tmp = dir.join(format!("snapshot-{gen:06}.tmp"));
     {
         let mut f = std::fs::File::create(&tmp)?;
@@ -214,6 +232,89 @@ mod tests {
             back.tables[0].stats.as_ref().unwrap().get("rows").unwrap(),
             &Json::Number("1".into())
         );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn too_deep_snapshot_fails_loudly_instead_of_landing_unreadable() {
+        let dir = tmp_dir("deep");
+        let mut eq = Equation::val(Value::Float(1.0));
+        for _ in 0..80 {
+            eq = eq + Equation::val(Value::Float(1.0));
+        }
+        let mut t = CTable::empty(Schema::of(&[("x", DataType::Symbolic)]));
+        t.push(CRow::unconditional(vec![eq])).unwrap();
+        let snap = Snapshot {
+            version: 1,
+            next_var_id: 1,
+            tables: vec![SnapshotTable {
+                name: "t".into(),
+                table: Arc::new(t),
+                stats: None,
+            }],
+        };
+        // A snapshot read_snapshot would refuse must fail the write —
+        // once the old generations are cleaned up, an unreadable
+        // snapshot would leave the data directory unopenable.
+        assert!(matches!(
+            write_snapshot(&dir, 3, &snap),
+            Err(PipError::Io(_))
+        ));
+        assert!(
+            !snapshot_path(&dir, 3).exists(),
+            "refused snapshot must not be left behind"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn every_wal_accepted_row_also_snapshots() {
+        use crate::codec::{CatalogRecord, WalEntry};
+        use crate::wal::encode_payload;
+
+        // The WAL guard keeps SNAPSHOT_DEPTH_HEADROOM below the parser
+        // cap because a snapshot nests Insert rows one level deeper than
+        // a WAL frame. Sweep chain lengths across the acceptance
+        // boundary: anything the log acknowledges as durable must also
+        // be checkpointable, or the catalog would hold rows every later
+        // snapshot chokes on.
+        let dir = tmp_dir("align");
+        let mut accepted = 0;
+        for ops in 50..=70 {
+            let mut eq = Equation::val(Value::Float(1.0));
+            for _ in 0..ops {
+                eq = eq + Equation::val(Value::Float(1.0));
+            }
+            let row = CRow::unconditional(vec![eq]);
+            let entry = WalEntry {
+                version: 1,
+                record: CatalogRecord::Insert {
+                    name: "t".into(),
+                    rows: vec![row.clone()],
+                },
+            };
+            if encode_payload(&entry).is_err() {
+                continue;
+            }
+            accepted += 1;
+            let mut t = CTable::empty(Schema::of(&[("x", DataType::Symbolic)]));
+            t.push(row).unwrap();
+            write_snapshot(
+                &dir,
+                ops as u64,
+                &Snapshot {
+                    version: 1,
+                    next_var_id: 1,
+                    tables: vec![SnapshotTable {
+                        name: "t".into(),
+                        table: Arc::new(t),
+                        stats: None,
+                    }],
+                },
+            )
+            .unwrap_or_else(|e| panic!("WAL accepts {ops}-op chain but snapshot refuses: {e}"));
+        }
+        assert!(accepted > 0, "sweep never crossed the acceptance side");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

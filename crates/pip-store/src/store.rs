@@ -12,10 +12,13 @@
 //! then replays every WAL generation ≥ it in ascending order, torn tails
 //! truncated (see [`crate::wal`]). Replaying older WAL generations under
 //! a newer snapshot is never allowed — their records are already folded
-//! into the snapshot. **Checkpoint** writes snapshot `g+1` (temp file +
-//! rename, so a crash leaves generation `g` intact), switches appends to
-//! `wal-<g+1>`, then deletes generation ≤ `g` files best-effort; leftover
-//! old files are ignored (and re-deleted) by the next recovery.
+//! into the snapshot. **Checkpoint** runs in two phases: first seal
+//! `wal-<g>` and switch appends to `wal-<g+1>` (under the caller's
+//! mutation lock), then — with mutations flowing again — write snapshot
+//! `g+1` (temp file + rename, so a crash mid-checkpoint leaves
+//! generation `g` as the recovery base with the `g`/`g+1` WAL chain
+//! intact) and delete generation ≤ `g` files best-effort; leftover old
+//! files are ignored (and re-deleted) by the next recovery.
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -348,12 +351,18 @@ impl Store {
         self.durability.store(d.as_u8(), Ordering::Release);
     }
 
-    /// Append one mutation record. A no-op at [`Durability::Off`];
-    /// fsyncs per record at [`Durability::Sync`].
+    /// Append one mutation record; fsyncs per record at
+    /// [`Durability::Sync`]. At [`Durability::Off`] nothing is written —
+    /// no lock, no I/O, no serialization — but the record is still
+    /// *validated* against the write contract (JSON nesting): a
+    /// mutation the store could never snapshot must be refused even
+    /// while unlogged, or the catalog would accept state that makes
+    /// every later checkpoint — including the `OFF`→`ON` transition —
+    /// fail for as long as it exists.
     pub fn append(&self, entry: &WalEntry) -> Result<()> {
         let durability = self.durability();
         if durability == Durability::Off {
-            return Ok(());
+            return crate::wal::validate_entry(entry);
         }
         let mut wal = self.wal.lock().unwrap_or_else(|e| e.into_inner());
         wal.append(entry, durability == Durability::Sync)
@@ -373,38 +382,71 @@ impl Store {
         self.wal.lock().unwrap_or_else(|e| e.into_inner()).gen
     }
 
-    /// Write a checkpoint and switch to a fresh WAL generation.
+    /// Checkpoint phase 1: seal the current WAL generation and switch
+    /// appends to a fresh one. Returns the new generation, whose
+    /// snapshot the caller must then produce with
+    /// [`Store::finish_checkpoint`].
+    ///
+    /// The caller must hold its mutation lock across this call and
+    /// capture the snapshot state inside the same critical section, so
+    /// that the snapshot reflects exactly the records in generations
+    /// `< new_gen` — every later mutation lands in the new generation's
+    /// WAL. The snapshot *write* needs no such exclusion: until it
+    /// lands, recovery starts from the previous snapshot and replays the
+    /// old generation's (synced, complete) WAL plus the new one.
+    pub fn begin_checkpoint(&self) -> Result<u64> {
+        let mut wal = self.wal.lock().unwrap_or_else(|e| e.into_inner());
+        // A generation must not be sealed with garbage from a failed
+        // append at its tail: were the snapshot write then to fail (or
+        // crash), recovery would find a torn generation followed by one
+        // holding acknowledged records, and refuse to start.
+        wal.ensure_clean_tail()?;
+        // Everything the snapshot will supersede must be durable before
+        // the old generation becomes eligible for deletion.
+        wal.sync()?;
+        let new_gen = wal.gen + 1;
+        // Rotation order is load-bearing: the new generation's (empty)
+        // WAL is created *before* its snapshot can exist, so once the
+        // snapshot rename makes recovery start at `new_gen`, the file
+        // appends go to is guaranteed to be part of the replay chain.
+        // If creation fails, the writer stays on the old generation —
+        // still the recovery base — and no acknowledged append can land
+        // in a generation recovery ignores.
+        let new_writer = WalWriter::create(&self.dir, new_gen)?;
+        *wal = new_writer;
+        Ok(new_gen)
+    }
+
+    /// Checkpoint phase 2: write generation `gen`'s snapshot and retire
+    /// the generations it supersedes. Runs without blocking appends. On
+    /// failure the store keeps operating on `gen`'s WAL with the
+    /// previous snapshot as recovery base — nothing was deleted.
+    pub fn finish_checkpoint(&self, gen: u64, snapshot: &Snapshot) -> Result<()> {
+        write_snapshot(&self.dir, gen, snapshot)?;
+        // Older generations are now redundant; removal is best-effort
+        // (recovery ignores generations older than the newest snapshot).
+        if let Ok((snaps, wals)) = scan_generations(&self.dir) {
+            for g in snaps.into_iter().filter(|&g| g < gen) {
+                let _ = std::fs::remove_file(snapshot_path(&self.dir, g));
+            }
+            for g in wals.into_iter().filter(|&g| g < gen) {
+                let _ = std::fs::remove_file(wal_path(&self.dir, g));
+            }
+        }
+        Ok(())
+    }
+
+    /// Write a checkpoint and switch to a fresh WAL generation — both
+    /// phases back to back ([`Store::begin_checkpoint`] +
+    /// [`Store::finish_checkpoint`]).
     ///
     /// The caller must guarantee `snapshot` reflects every record
     /// appended so far and that no append races this call (the engine
     /// holds its catalog write lock across it). Returns the new
     /// generation.
     pub fn checkpoint(&self, snapshot: &Snapshot) -> Result<u64> {
-        let mut wal = self.wal.lock().unwrap_or_else(|e| e.into_inner());
-        // Everything the snapshot supersedes must be durable before the
-        // old generation becomes eligible for deletion.
-        wal.sync()?;
-        let new_gen = wal.gen + 1;
-        // Rotation order is load-bearing: the new generation's (empty)
-        // WAL is created *before* its snapshot, so once the snapshot
-        // rename makes recovery start at `new_gen`, the file appends go
-        // to is guaranteed to exist and be part of the replay chain. If
-        // either step fails, the writer stays on the old generation —
-        // whose snapshot is still the recovery base — and no
-        // acknowledged append can land in a generation recovery ignores.
-        let new_writer = WalWriter::create(&self.dir, new_gen)?;
-        write_snapshot(&self.dir, new_gen, snapshot)?;
-        *wal = new_writer;
-        // Old generations are now redundant; removal is best-effort
-        // (recovery ignores generations older than the newest snapshot).
-        if let Ok((snaps, wals)) = scan_generations(&self.dir) {
-            for g in snaps.into_iter().filter(|&g| g < new_gen) {
-                let _ = std::fs::remove_file(snapshot_path(&self.dir, g));
-            }
-            for g in wals.into_iter().filter(|&g| g < new_gen) {
-                let _ = std::fs::remove_file(wal_path(&self.dir, g));
-            }
-        }
+        let new_gen = self.begin_checkpoint()?;
+        self.finish_checkpoint(new_gen, snapshot)?;
         Ok(new_gen)
     }
 }
@@ -555,7 +597,92 @@ mod tests {
     }
 
     #[test]
-    fn durability_off_appends_nothing() {
+    fn appends_between_checkpoint_phases_land_in_the_new_generation() {
+        let dir = tmp_dir("phases");
+        let registry = reg();
+        let (store, _) = Store::open(&dir, &registry).unwrap();
+        let schema = Schema::of(&[("a", DataType::Int)]);
+        store
+            .append(&entry(
+                1,
+                CatalogRecord::CreateTable {
+                    name: "t".into(),
+                    schema: schema.clone(),
+                },
+            ))
+            .unwrap();
+        // Phase 1 under the (simulated) catalog lock: capture = empty
+        // table t, rotate. Phase 2 runs with mutations flowing again.
+        let gen = store.begin_checkpoint().unwrap();
+        store
+            .append(&entry(
+                2,
+                CatalogRecord::Insert {
+                    name: "t".into(),
+                    rows: vec![row(1)],
+                },
+            ))
+            .unwrap();
+        store
+            .finish_checkpoint(
+                gen,
+                &Snapshot {
+                    version: 1,
+                    next_var_id: 1,
+                    tables: vec![SnapshotTable {
+                        name: "t".into(),
+                        table: Arc::new(CTable::empty(schema)),
+                        stats: None,
+                    }],
+                },
+            )
+            .unwrap();
+        assert!(!wal_path(&dir, 0).exists(), "old generation cleaned up");
+        drop(store);
+        let (_, recovered) = Store::open(&dir, &registry).unwrap();
+        assert_eq!(recovered.snapshot_gen, 1);
+        assert_eq!(recovered.replayed, 1, "the insert landed in wal-1");
+        assert_eq!(recovered.tables[0].1.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_between_checkpoint_phases_recovers_from_the_wal_chain() {
+        let dir = tmp_dir("halfckpt");
+        let registry = reg();
+        {
+            let (store, _) = Store::open(&dir, &registry).unwrap();
+            store
+                .append(&entry(
+                    1,
+                    CatalogRecord::CreateTable {
+                        name: "t".into(),
+                        schema: Schema::of(&[("a", DataType::Int)]),
+                    },
+                ))
+                .unwrap();
+            let _gen = store.begin_checkpoint().unwrap();
+            // The snapshot write never happens (crash / write failure);
+            // acknowledged appends meanwhile went to the new generation.
+            store
+                .append(&entry(
+                    2,
+                    CatalogRecord::Insert {
+                        name: "t".into(),
+                        rows: vec![row(7)],
+                    },
+                ))
+                .unwrap();
+        }
+        let (_, recovered) = Store::open(&dir, &registry).unwrap();
+        assert_eq!(recovered.snapshot_gen, 0, "previous base still rules");
+        assert_eq!(recovered.replayed, 2, "both generations replayed");
+        assert_eq!(recovered.tables[0].1.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn durability_off_appends_nothing_but_still_validates() {
         let dir = tmp_dir("off");
         let registry = reg();
         let (store, _) = Store::open(&dir, &registry).unwrap();
@@ -571,6 +698,23 @@ mod tests {
             .unwrap();
         assert_eq!(store.wal_bytes(), 0);
         assert_eq!(store.durability(), Durability::Off);
+        // Unlogged mutations still honour the write contract: a record
+        // the store could never log or snapshot is refused up front —
+        // otherwise the OFF→ON checkpoint would fail for as long as the
+        // offending state existed.
+        let mut eq = pip_expr::Equation::val(Value::Float(1.0));
+        for _ in 0..80 {
+            eq = eq + pip_expr::Equation::val(Value::Float(1.0));
+        }
+        assert!(store
+            .append(&entry(
+                2,
+                CatalogRecord::Insert {
+                    name: "t".into(),
+                    rows: vec![CRow::unconditional(vec![eq])],
+                },
+            ))
+            .is_err());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -10,13 +10,20 @@
 //! Replay distinguishes two failure classes:
 //!
 //! * **frame integrity** (file ends mid-frame, length overruns the file,
-//!   CRC mismatch, unparseable JSON) — the classic torn tail of a crash
-//!   mid-append. Replay stops at the last intact frame and the file is
-//!   truncated there, so the log is append-clean again;
-//! * **payload decode** (an intact, checksummed frame whose record does
-//!   not decode — e.g. a distribution class missing from the recovering
-//!   registry). That is *committed* data the store cannot honour, so it
-//!   surfaces as a hard [`PipError::Corrupt`] instead of being dropped.
+//!   CRC mismatch) — the classic torn tail of a crash mid-append. Replay
+//!   stops at the last intact frame and the file is truncated there, so
+//!   the log is append-clean again;
+//! * **payload decode** (an intact, checksummed frame whose payload is
+//!   not valid UTF-8/JSON or whose record does not decode — e.g. a
+//!   distribution class missing from the recovering registry). The CRC
+//!   already vouches the bytes are exactly what was written, so this is
+//!   *committed* data the store cannot honour — it surfaces as a hard
+//!   [`PipError::Corrupt`] instead of being dropped as a torn tail.
+//!
+//! Append enforces the reader's acceptance bounds up front — both the
+//! frame-size cap ([`frame_too_large`]) and the JSON nesting cap
+//! ([`json_too_deep`]) — so a record the reader would refuse can never
+//! be acknowledged as durable in the first place.
 
 use std::fs::{File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
@@ -41,6 +48,93 @@ const MAX_FRAME_BYTES: u32 = 1 << 30;
 /// field itself would wrap and corrupt everything after it).
 pub(crate) fn frame_too_large(len: usize) -> bool {
     len > MAX_FRAME_BYTES as usize
+}
+
+/// The shim `serde_json` parser refuses documents whose nodes nest
+/// deeper than 128 levels (its `MAX_DEPTH`; the real `serde_json` has
+/// the same default recursion limit). A payload the parser would refuse
+/// must never be written — see [`json_too_deep`].
+pub(crate) const MAX_JSON_DEPTH: usize = 128;
+
+/// Depth headroom the mutation-side guard keeps below the parser cap:
+/// an `Insert` row sits one JSON level deeper in a snapshot document
+/// (`tables` array → entry → `table` → rows) than in its WAL frame
+/// (`op` → body → rows), so every accepted record must stay readable
+/// one level below the cap — otherwise the catalog could hold rows that
+/// log fine but make every later checkpoint fail.
+pub(crate) const SNAPSHOT_DEPTH_HEADROOM: usize = 1;
+
+/// Does any node of `v` sit at depth ≥ `budget` (root at depth 0)? With
+/// `budget = MAX_JSON_DEPTH` this is an exact mirror of the parser's
+/// refusal. Recursion stops at the budget, so it probes at most
+/// `budget` frames deep.
+pub(crate) fn json_deeper_than(v: &serde_json::Value, budget: usize) -> bool {
+    if budget == 0 {
+        return true;
+    }
+    match v {
+        serde_json::Value::Array(items) => items.iter().any(|i| json_deeper_than(i, budget - 1)),
+        serde_json::Value::Object(fields) => {
+            fields.iter().any(|(_, f)| json_deeper_than(f, budget - 1))
+        }
+        _ => false,
+    }
+}
+
+/// Would the parser refuse `v` for nesting too deeply? Checked at
+/// encode time (see [`encode_payload`] and snapshot writes), so a
+/// record that could not be read back fails loudly instead of being
+/// acknowledged and then misread as a torn tail (truncating it — and
+/// everything after it — on recovery).
+pub(crate) fn json_too_deep(v: &serde_json::Value) -> bool {
+    json_deeper_than(v, MAX_JSON_DEPTH)
+}
+
+/// The mutation-side depth guard: refuse any record whose encoding —
+/// or whose one-level-deeper snapshot re-encoding — the parser would
+/// not read back. A CRC-valid frame nested past the cap would fail
+/// recovery outright as committed-but-unreadable.
+fn check_depth(encoded: &serde_json::Value) -> Result<()> {
+    if json_deeper_than(encoded, MAX_JSON_DEPTH - SNAPSHOT_DEPTH_HEADROOM) {
+        return Err(PipError::io(format!(
+            "catalog mutation serializes to JSON nested deeper than the \
+             {}-level WAL payload limit",
+            MAX_JSON_DEPTH - SNAPSHOT_DEPTH_HEADROOM
+        )));
+    }
+    Ok(())
+}
+
+/// Enforce the write contract on `entry` without serializing it: the
+/// durability-`OFF` path, where nothing is written but state the store
+/// could never snapshot must still be refused up front — or the next
+/// checkpoint (e.g. the `OFF`→`ON` transition) would keep failing for
+/// as long as that state exists. Per-frame size is moot here: unlogged
+/// state only ever reaches disk through a snapshot, which carries its
+/// own size guard.
+pub(crate) fn validate_entry(entry: &WalEntry) -> Result<()> {
+    check_depth(&encode_entry(entry))
+}
+
+/// Encode one entry and enforce the write contract — the JSON nesting
+/// cap (with snapshot headroom) and the frame-size cap. A record the
+/// reader would refuse must fail the *mutation*, not be written: replay
+/// would classify an oversized frame (or, past u32, a lying length
+/// field) as a torn tail and silently truncate a record the caller was
+/// told is durable.
+pub(crate) fn encode_payload(entry: &WalEntry) -> Result<String> {
+    let encoded = encode_entry(entry);
+    check_depth(&encoded)?;
+    let payload =
+        serde_json::to_string(&encoded).map_err(|e| PipError::io(format!("WAL encode: {e}")))?;
+    if frame_too_large(payload.len()) {
+        return Err(PipError::io(format!(
+            "catalog mutation serializes to {} bytes, over the {} byte WAL frame limit",
+            payload.len(),
+            MAX_FRAME_BYTES
+        )));
+    }
+    Ok(payload)
 }
 
 /// CRC-32 (IEEE 802.3 polynomial, reflected), table-driven.
@@ -88,7 +182,15 @@ pub(crate) struct WalWriter {
     file: File,
     pub(crate) gen: u64,
     /// Bytes of framed records past the header (the checkpoint trigger).
+    /// Together with the header this is the expected end-of-log offset —
+    /// the authority on where the next frame belongs, independent of the
+    /// file cursor a failed write may have left mid-frame.
     pub(crate) record_bytes: u64,
+    /// Set when a failed append left bytes of unknown content at the
+    /// tail *and* truncating them back off also failed. Every further
+    /// append is refused: a successful frame landing after garbage would
+    /// replay as a torn tail and be silently dropped along with it.
+    poisoned: bool,
 }
 
 impl WalWriter {
@@ -106,6 +208,7 @@ impl WalWriter {
             file,
             gen,
             record_bytes: 0,
+            poisoned: false,
         })
     }
 
@@ -120,31 +223,68 @@ impl WalWriter {
             file,
             gen,
             record_bytes: valid_bytes.saturating_sub(HEADER_LEN),
+            poisoned: false,
         })
     }
 
     /// Append one entry. `sync` additionally forces the frame to stable
     /// storage before returning (the `SYNC` durability level).
     pub(crate) fn append(&mut self, entry: &WalEntry, sync: bool) -> Result<()> {
-        let payload = serde_json::to_string(&encode_entry(entry))
-            .map_err(|e| PipError::io(format!("WAL encode: {e}")))?;
-        // An oversized frame must fail the *mutation*, not be written:
-        // replay would classify it as a torn tail (or, past u32, a lying
-        // length field) and silently truncate a record the caller was
-        // told is durable.
-        if frame_too_large(payload.len()) {
-            return Err(PipError::io(format!(
-                "catalog mutation serializes to {} bytes, over the {} byte WAL frame limit",
-                payload.len(),
-                MAX_FRAME_BYTES
-            )));
-        }
+        self.ensure_clean_tail()?;
+        let payload = encode_payload(entry)?;
         let framed = frame(payload.as_bytes());
-        self.file.write_all(&framed)?;
+        if let Err(e) = self.file.write_all(&framed) {
+            // A partial write (ENOSPC mid-frame, …) leaves garbage after
+            // the last good frame. Roll the tail back before anything
+            // else may append: a later acknowledged frame landing after
+            // the garbage would replay as part of a torn tail and be
+            // silently dropped with it.
+            self.truncate_to_tail();
+            return Err(e.into());
+        }
         if sync {
-            self.file.sync_data()?;
+            if let Err(e) = self.file.sync_data() {
+                // The frame's bytes are complete but their durability is
+                // unknown and the caller will abort the mutation — drop
+                // the unacknowledged frame so log and catalog agree.
+                self.truncate_to_tail();
+                return Err(e.into());
+            }
         }
         self.record_bytes += framed.len() as u64;
+        Ok(())
+    }
+
+    /// Restore the file to the last acknowledged frame boundary
+    /// (`record_bytes` past the header), discarding whatever a failed
+    /// append left behind. Poisons the writer if that itself fails —
+    /// and clears the poison when a retry succeeds (e.g. space freed
+    /// after a transient ENOSPC).
+    fn truncate_to_tail(&mut self) {
+        let end = HEADER_LEN + self.record_bytes;
+        let restored = self
+            .file
+            .set_len(end)
+            .and_then(|()| self.file.seek(SeekFrom::Start(end)).map(|_| ()));
+        self.poisoned = restored.is_err();
+    }
+
+    /// Make sure the file ends exactly at the last acknowledged frame —
+    /// re-attempting the rollback a failed append could not complete.
+    /// Both appends and checkpoint rotation ([`crate::store::Store`])
+    /// go through this: sealing a generation whose tail holds garbage
+    /// would let acknowledged frames land after it (in this or the next
+    /// generation) and replay as a droppable torn tail.
+    pub(crate) fn ensure_clean_tail(&mut self) -> Result<()> {
+        if self.poisoned {
+            self.truncate_to_tail();
+        }
+        if self.poisoned {
+            return Err(PipError::io(
+                "WAL writer is poisoned: a failed append left unknown bytes at the \
+                 tail and truncating them failed; reopen the data directory to recover",
+            ));
+        }
         Ok(())
     }
 
@@ -218,16 +358,21 @@ pub(crate) fn replay_wal(
             torn_tail = true;
             break;
         }
-        let Ok(text) = std::str::from_utf8(payload) else {
-            torn_tail = true;
-            break;
-        };
-        let Ok(json) = serde_json::from_str(text) else {
-            torn_tail = true;
-            break;
-        };
-        // The frame is intact: a record that does not decode is
-        // committed-but-unreadable, which must not be dropped silently.
+        // The CRC vouches these are exactly the bytes that were written,
+        // so from here on any failure is committed-but-unreadable data —
+        // a hard error, never a torn tail to be silently truncated.
+        let text = std::str::from_utf8(payload).map_err(|_| {
+            PipError::corrupt(format!(
+                "{}: checksummed frame at byte {pos} is not UTF-8",
+                path.display()
+            ))
+        })?;
+        let json = serde_json::from_str(text).map_err(|e| {
+            PipError::corrupt(format!(
+                "{}: checksummed frame at byte {pos} is not valid JSON: {e}",
+                path.display()
+            ))
+        })?;
         entries.push(decode_entry(&json, registry)?);
         pos += 8 + len as usize;
     }
@@ -328,6 +473,145 @@ mod tests {
         let r2 = replay_wal(&dir, 3, &reg).unwrap();
         assert!(!r2.torn_tail);
         assert_eq!(r2.entries.len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn depth_cap_mirrors_the_parser() {
+        use serde_json::Value as Json;
+        // `n` containers around a scalar put the scalar at depth `n`.
+        fn nested(n: usize) -> Json {
+            let mut v = Json::Number("1".into());
+            for _ in 0..n {
+                v = Json::Array(vec![v]);
+            }
+            v
+        }
+        for n in [0, 1, 64, MAX_JSON_DEPTH - 1] {
+            let v = nested(n);
+            assert!(!json_too_deep(&v), "checker refuses depth {n}");
+            let text = serde_json::to_string(&v).unwrap();
+            assert!(
+                serde_json::from_str(&text).is_ok(),
+                "parser refuses depth {n}"
+            );
+        }
+        for n in [MAX_JSON_DEPTH, MAX_JSON_DEPTH + 1, 300] {
+            let v = nested(n);
+            assert!(json_too_deep(&v), "checker accepts depth {n}");
+            let text = serde_json::to_string(&v).unwrap();
+            assert!(
+                serde_json::from_str(&text).is_err(),
+                "parser accepts depth {n} the checker refuses"
+            );
+        }
+    }
+
+    #[test]
+    fn too_deep_records_fail_the_append_loudly() {
+        use pip_core::Value;
+        use pip_ctable::CRow;
+        use pip_expr::Equation;
+
+        let dir = tmp_dir("deep");
+        let reg = DistributionRegistry::with_builtins();
+        let deep_insert = |ops: usize| {
+            let mut eq = Equation::val(Value::Float(1.0));
+            for _ in 0..ops {
+                eq = eq + Equation::val(Value::Float(1.0));
+            }
+            WalEntry {
+                version: 1,
+                record: CatalogRecord::Insert {
+                    name: "t".into(),
+                    rows: vec![CRow::unconditional(vec![eq])],
+                },
+            }
+        };
+        let mut w = WalWriter::create(&dir, 0).unwrap();
+        w.append(&entry(1), false).unwrap();
+        // Each chained binary op adds two JSON levels (object + array);
+        // ~80 of them sail past the parser's cap. The reviewer's trap was
+        // that this frame *wrote* fine, CRC-verified on replay, then
+        // failed the parse and was truncated as a "torn tail" along with
+        // every record after it.
+        assert!(matches!(
+            w.append(&deep_insert(80), false),
+            Err(PipError::Io(_))
+        ));
+        // A deep-but-legal record still fits: the guard mirrors the
+        // parser, it does not undercut it.
+        w.append(&deep_insert(40), false).unwrap();
+        // The refused record reached neither the file nor the counter;
+        // the log stays append-clean and replays in full.
+        w.append(&entry(2), true).unwrap();
+        let r = replay_wal(&dir, 0, &reg).unwrap();
+        assert!(!r.torn_tail);
+        assert_eq!(r.entries.len(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checksummed_garbage_is_corrupt_not_torn() {
+        let dir = tmp_dir("garbage");
+        let reg = DistributionRegistry::with_builtins();
+        let mut w = WalWriter::create(&dir, 0).unwrap();
+        w.append(&entry(1), true).unwrap();
+        // A CRC-valid frame whose payload is not JSON: the checksum
+        // vouches these bytes are exactly what was written, so this is
+        // committed-but-unreadable data — a hard error, not a torn tail
+        // that silently truncates the record (and everything after it).
+        let path = wal_path(&dir, 0);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&frame(b"not json"));
+        bytes.extend_from_slice(&frame(b"\xff\xfe"));
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            replay_wal(&dir, 0, &reg),
+            Err(PipError::Corrupt(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_append_rolls_the_tail_back() {
+        let dir = tmp_dir("rollback");
+        let reg = DistributionRegistry::with_builtins();
+        let mut w = WalWriter::create(&dir, 0).unwrap();
+        w.append(&entry(1), false).unwrap();
+        // Simulate ENOSPC mid-frame: a failed write_all leaves part of a
+        // frame after the last good one, with the cursor past it.
+        w.file.write_all(&[0xDE, 0xAD, 0xBE]).unwrap();
+        w.truncate_to_tail();
+        // Appends continue at the good boundary — were the garbage left
+        // in place, this acknowledged record would land after it and
+        // replay would drop both as a torn tail.
+        w.append(&entry(2), true).unwrap();
+        let r = replay_wal(&dir, 0, &reg).unwrap();
+        assert!(!r.torn_tail);
+        assert_eq!(r.entries.len(), 2);
+        assert_eq!(r.entries[1], entry(2));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn poisoned_writer_heals_once_truncation_succeeds() {
+        let dir = tmp_dir("heal");
+        let reg = DistributionRegistry::with_builtins();
+        let mut w = WalWriter::create(&dir, 0).unwrap();
+        w.append(&entry(1), false).unwrap();
+        // A failed append left garbage *and* the rollback failed too
+        // (e.g. ENOSPC for both); the poison sticks until a rollback
+        // lands.
+        w.file.write_all(&[0xBA, 0xD0]).unwrap();
+        w.poisoned = true;
+        // The next append re-attempts the rollback, heals, and appends
+        // cleanly — checkpoint rotation goes through the same gate.
+        w.append(&entry(2), true).unwrap();
+        w.ensure_clean_tail().unwrap();
+        let r = replay_wal(&dir, 0, &reg).unwrap();
+        assert!(!r.torn_tail);
+        assert_eq!(r.entries.len(), 2);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
