@@ -1,0 +1,328 @@
+//! Horizontal read scaling across WAL-shipping replicas.
+//!
+//! One durable primary serves the fig7a-style grouped aggregate
+//! workload while 1, 2, and 4 followers tail its WAL; a fixed pool of
+//! TCP clients issues sampling queries round-robin across the replica
+//! set. Reported per replica count: aggregate queries/second and the
+//! speedup over a single replica. A separate staleness pass bursts
+//! writes at the primary and measures how long the full replica set
+//! takes to converge (and the widest version lag observed on the way).
+//!
+//! Replies are asserted byte-identical across every node before any
+//! timing starts — read scaling that changed the answers would be
+//! worthless.
+//!
+//! Output: TSV on stdout; with `PIP_BENCH_JSON=1` a JSON summary on
+//! stderr — `BENCH_replication.json` at the repo root is a recorded
+//! run. `PIP_BENCH_QUICK=1` shrinks the client pool and query counts
+//! for CI smoke runs.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+
+use pip_engine::Database;
+use pip_replica::Replication;
+use pip_server::server::{serve, ServerHandle, ServerOptions};
+
+#[derive(Serialize)]
+struct ServingRow {
+    replicas: usize,
+    clients: usize,
+    queries: usize,
+    secs: f64,
+    queries_per_sec: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Staleness {
+    writes: usize,
+    converge_ms: f64,
+    max_lag_versions: u64,
+}
+
+#[derive(Serialize)]
+struct Summary {
+    cores: usize,
+    speedup_comparable: bool,
+    quick: bool,
+    clients: usize,
+    queries_per_client: usize,
+    bit_identical: bool,
+    serving: Vec<ServingRow>,
+    staleness: Staleness,
+}
+
+struct Node {
+    db: Arc<Database>,
+    repl: Arc<Replication>,
+    server: ServerHandle,
+    dir: PathBuf,
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pip-bench-repl-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start_node(dir: PathBuf, db: Arc<Database>, repl: Replication) -> Node {
+    let repl = Arc::new(repl);
+    let options = ServerOptions {
+        replication: Some(Arc::clone(&repl)),
+        ..ServerOptions::default()
+    };
+    let server = serve(Arc::clone(&db), "127.0.0.1:0", options).expect("bench server");
+    Node {
+        db,
+        repl,
+        server,
+        dir,
+    }
+}
+
+/// One protocol exchange; returns the reply block with the session-local
+/// `(fresh)`/`(cached)` marker normalized away.
+fn roundtrip(reader: &mut BufReader<TcpStream>, writer: &mut TcpStream, cmd: &str) -> Vec<String> {
+    writer
+        .write_all(format!("{cmd}\n").as_bytes())
+        .expect("send");
+    let mut lines = Vec::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("recv");
+        let line = line.trim_end().to_string();
+        let done = line == "END"
+            || line.starts_with("ERR")
+            || (line.starts_with("OK") && !line.contains(" rows "));
+        lines.push(line.replace(" (cached)", "").replace(" (fresh)", ""));
+        if done {
+            break;
+        }
+    }
+    lines
+}
+
+fn connect(addr: std::net::SocketAddr) -> (BufReader<TcpStream>, TcpStream) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let mut banner = String::new();
+    reader.read_line(&mut banner).expect("banner");
+    (reader, writer)
+}
+
+fn wait_converged(primary: &Database, followers: &[Node]) -> u64 {
+    let target = primary.version();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut max_lag = 0;
+    while followers.iter().any(|f| f.db.version() < target) {
+        max_lag = max_lag.max(
+            followers
+                .iter()
+                .map(|f| f.repl.replication_lag())
+                .max()
+                .unwrap_or(0),
+        );
+        assert!(Instant::now() < deadline, "replica set never converged");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    max_lag
+}
+
+const PROBE: &str = "QUERY SELECT g, expected_sum(x), conf() FROM t WHERE x > 12 GROUP BY g";
+
+fn main() {
+    let quick = pip_bench::quick();
+    let total_clients = if quick { 4usize } else { 8 };
+    let queries_per_client = if quick { 3usize } else { 8 };
+    let burst_writes = if quick { 40usize } else { 200 };
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    // ---- Topology: one durable primary, four tailing followers. ----
+    let pdir = tmp_dir("primary");
+    let pdb = Arc::new(Database::open(&pdir).expect("primary catalog"));
+    let primary = start_node(
+        pdir,
+        Arc::clone(&pdb),
+        Replication::primary(Arc::clone(&pdb), "127.0.0.1:0").expect("primary feed"),
+    );
+    let feed = primary.repl.local_addr().expect("feed address");
+
+    let cfg = pip_sampling::SamplerConfig::default();
+    pip_engine::sql::run(&pdb, "CREATE TABLE t (g TEXT, x SYMBOLIC)", &cfg).unwrap();
+    for i in 0..48 {
+        pip_engine::sql::run(
+            &pdb,
+            &format!(
+                "INSERT INTO t VALUES ('g{}', create_variable('Normal', {}, 3))",
+                i % 4,
+                10 + i % 17
+            ),
+            &cfg,
+        )
+        .unwrap();
+    }
+
+    let followers: Vec<Node> = (0..4)
+        .map(|i| {
+            let dir = tmp_dir(&format!("f{i}"));
+            let db = Arc::new(Database::open(&dir).expect("follower catalog"));
+            let repl = Replication::follower(Arc::clone(&db), &feed.to_string());
+            start_node(dir, db, repl)
+        })
+        .collect();
+    wait_converged(&pdb, &followers);
+
+    // ---- Bit-identity gate: every node answers the probe alike. ----
+    let expect = {
+        let (mut r, mut w) = connect(primary.server.addr());
+        roundtrip(&mut r, &mut w, "SET SEED 7");
+        roundtrip(&mut r, &mut w, PROBE)
+    };
+    for (i, f) in followers.iter().enumerate() {
+        let (mut r, mut w) = connect(f.server.addr());
+        roundtrip(&mut r, &mut w, "SET SEED 7");
+        let got = roundtrip(&mut r, &mut w, PROBE);
+        assert_eq!(expect, got, "replica {i} diverges from the primary");
+    }
+
+    println!("# Follower read scaling: fig7a grouped aggregate over WAL-shipping replicas");
+    println!(
+        "# {total_clients} clients x {queries_per_client} queries, round-robin; \
+         host has {cores} core(s)"
+    );
+    pip_bench::header(&["replicas", "queries", "secs", "queries_per_sec", "speedup"]);
+
+    let mut serving = Vec::new();
+    let mut baseline: Option<f64> = None;
+    for &replicas in &[1usize, 2, 4] {
+        let addrs: Vec<_> = followers[..replicas]
+            .iter()
+            .map(|f| f.server.addr())
+            .collect();
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for c in 0..total_clients {
+                let addr = addrs[c % addrs.len()];
+                s.spawn(move || {
+                    let (mut reader, mut writer) = connect(addr);
+                    for q in 0..queries_per_client {
+                        // Per-client-per-query seeds: distinct cache keys,
+                        // so every request really samples.
+                        roundtrip(
+                            &mut reader,
+                            &mut writer,
+                            &format!("SET SEED {}", 1 + c * queries_per_client + q),
+                        );
+                        roundtrip(&mut reader, &mut writer, PROBE);
+                    }
+                });
+            }
+        });
+        let secs = t0.elapsed().as_secs_f64();
+        let queries = total_clients * queries_per_client;
+        let qps = queries as f64 / secs;
+        let speedup = match baseline {
+            None => {
+                baseline = Some(qps);
+                1.0
+            }
+            Some(base) => qps / base,
+        };
+        let row = ServingRow {
+            replicas,
+            clients: total_clients,
+            queries,
+            secs,
+            queries_per_sec: qps,
+            speedup,
+        };
+        pip_bench::row(
+            &[
+                format!("{replicas}"),
+                format!("{queries}"),
+                format!("{secs:.4}"),
+                format!("{qps:.1}"),
+                format!("{speedup:.2}"),
+            ],
+            &row,
+        );
+        serving.push(row);
+    }
+
+    // ---- Staleness: burst writes, clock the replica set's convergence. ----
+    let t0 = Instant::now();
+    for i in 0..burst_writes {
+        pip_engine::sql::run(
+            &pdb,
+            &format!("INSERT INTO t VALUES ('g{}', {}.5)", i % 4, i),
+            &cfg,
+        )
+        .unwrap();
+    }
+    let max_lag = wait_converged(&pdb, &followers);
+    let converge_ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!("\n# Staleness: {burst_writes} writes burst at the primary");
+    pip_bench::header(&["writes", "converge_ms", "max_lag_versions"]);
+    let staleness = Staleness {
+        writes: burst_writes,
+        converge_ms,
+        max_lag_versions: max_lag,
+    };
+    pip_bench::row(
+        &[
+            format!("{burst_writes}"),
+            format!("{converge_ms:.1}"),
+            format!("{max_lag}"),
+        ],
+        &staleness,
+    );
+
+    if cores == 1 {
+        println!(
+            "# note: single-core host — replicas share the CPU, so speedup \
+             columns are not comparable (bit-identity is still asserted)."
+        );
+    }
+
+    let summary = Summary {
+        cores,
+        speedup_comparable: cores > 1,
+        quick,
+        clients: total_clients,
+        queries_per_client,
+        bit_identical: true,
+        serving,
+        staleness,
+    };
+    let json = serde_json::to_string(&summary).expect("summary json");
+    if std::env::var("PIP_BENCH_JSON").as_deref() == Ok("1") {
+        eprintln!("{json}");
+    }
+    if let Ok(path) = std::env::var("PIP_BENCH_REPLICATION_OUT") {
+        std::fs::write(&path, format!("{json}\n")).expect("write replication bench json");
+        println!("# wrote {path}");
+    }
+
+    let mut dirs = vec![primary.dir.clone()];
+    for f in &followers {
+        f.repl.shutdown();
+        dirs.push(f.dir.clone());
+    }
+    for f in followers {
+        f.server.shutdown();
+    }
+    primary.repl.shutdown();
+    primary.server.shutdown();
+    for d in dirs {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}

@@ -21,7 +21,7 @@
 
 use std::collections::HashMap;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use parking_lot::RwLock;
@@ -29,7 +29,7 @@ use parking_lot::RwLock;
 use pip_core::{PipError, Result, Schema, Tuple};
 use pip_dist::DistributionRegistry;
 use pip_expr::{RandomVar, VarId};
-use pip_store::{CatalogRecord, Durability, Snapshot, SnapshotTable, Store, WalEntry};
+use pip_store::{CatalogRecord, Durability, Snapshot, SnapshotTable, Store, WalCursor, WalEntry};
 
 use pip_ctable::{CRow, CTable};
 
@@ -67,6 +67,16 @@ pub struct Database {
     /// The durable store, when this catalog was opened from a data
     /// directory. Mutations append WAL records through it.
     store: OnceLock<Arc<Store>>,
+    /// Read-only mode: every logical mutation (DDL/DML and variable
+    /// allocation) is refused. A replication follower runs read-only —
+    /// its catalog changes arrive exclusively through
+    /// [`Database::apply_replicated`], which bypasses this flag —
+    /// until a `PROMOTE` clears it.
+    read_only: AtomicBool,
+    /// When set, `SET DURABILITY OFF` is refused: a replicating primary
+    /// feeds its followers from the WAL, and unlogged mutations would
+    /// silently never reach them.
+    durability_pinned: AtomicBool,
 }
 
 impl Default for Database {
@@ -89,6 +99,8 @@ impl Database {
             version: AtomicU64::new(0),
             stats: RwLock::new(HashMap::new()),
             store: OnceLock::new(),
+            read_only: AtomicBool::new(false),
+            durability_pinned: AtomicBool::new(false),
         }
     }
 
@@ -194,9 +206,40 @@ impl Database {
         self.store.get().is_some()
     }
 
+    /// Flip read-only mode (see the `read_only` field). Used by the
+    /// replication wiring: set on a follower before it serves traffic,
+    /// cleared by `PROMOTE`.
+    pub fn set_read_only(&self, read_only: bool) {
+        self.read_only.store(read_only, Ordering::Release);
+    }
+
+    /// True when this catalog refuses mutations (replication follower).
+    pub fn is_read_only(&self) -> bool {
+        self.read_only.load(Ordering::Acquire)
+    }
+
+    fn check_writable(&self) -> Result<()> {
+        if self.is_read_only() {
+            return Err(PipError::Unsupported(
+                "catalog is read-only (replication follower); writes go to the \
+                 primary, or PROMOTE this node"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Refuse `SET DURABILITY OFF` from here on (replicating primary:
+    /// followers are fed from the WAL, so unlogged mutations would
+    /// silently never reach them).
+    pub fn pin_durability(&self) {
+        self.durability_pinned.store(true, Ordering::Release);
+    }
+
     /// `CREATE VARIABLE(distribution, params)` — allocate a fresh random
     /// variable of a registered class.
     pub fn create_variable(&self, class: &str, params: &[f64]) -> Result<RandomVar> {
+        self.check_writable()?;
         if self.store.get().is_none() {
             return RandomVar::create_named(&self.registry, class, params);
         }
@@ -237,6 +280,7 @@ impl Database {
 
     /// Create an empty table. Errors if the name is taken.
     pub fn create_table(&self, name: &str, schema: Schema) -> Result<()> {
+        self.check_writable()?;
         let mut tables = self.tables.write();
         if tables.contains_key(name) {
             return Err(PipError::Schema(format!("table '{name}' already exists")));
@@ -257,6 +301,7 @@ impl Database {
 
     /// Register (or replace) a table with existing contents.
     pub fn register_table(&self, name: &str, table: CTable) -> Result<()> {
+        self.check_writable()?;
         let mut tables = self.tables.write();
         let version = self.bump_version();
         if self.durable() {
@@ -274,6 +319,7 @@ impl Database {
 
     /// Drop a table.
     pub fn drop_table(&self, name: &str) -> Result<()> {
+        self.check_writable()?;
         let mut tables = self.tables.write();
         if !tables.contains_key(name) {
             return Err(PipError::NotFound(format!("table '{name}'")));
@@ -310,6 +356,7 @@ impl Database {
     /// staleness threshold triggers a recollection (see
     /// [`Database::table_stats`]).
     pub fn insert_rows(&self, name: &str, rows: Vec<CRow>) -> Result<()> {
+        self.check_writable()?;
         let added = rows.len() as u64;
         let added_conditional = rows
             .iter()
@@ -425,6 +472,166 @@ impl Database {
         }
     }
 
+    /// Apply one entry from a replication feed, bypassing the read-only
+    /// gate: the follower-side half of WAL shipping.
+    ///
+    /// The feed is the primary's WAL in log order, and log order ==
+    /// apply order == version order is the replication invariant: entry
+    /// versions must be non-decreasing (`CREATE_VARIABLE` records are
+    /// stamped at the version they were allocated under, without a bump,
+    /// so consecutive entries may share a version). An entry behind the
+    /// catalog version means the feed re-sent history or skipped ahead —
+    /// corruption, never papered over.
+    ///
+    /// On a durable follower the entry is appended to the *local* WAL
+    /// with the primary's version stamp before the in-memory commit
+    /// (same ordering as primary mutations), so a restart recovers to an
+    /// exact prefix of the primary's history and can resume the feed
+    /// from its applied version.
+    pub fn apply_replicated(&self, entry: &WalEntry) -> Result<()> {
+        let mut tables = self.tables.write();
+        let current = self.version();
+        if entry.version < current {
+            return Err(PipError::corrupt(format!(
+                "replication feed out of order: entry version {} behind catalog version {current}",
+                entry.version
+            )));
+        }
+        // Stage the apply fully — including arity validation — before
+        // logging: a locally logged record must never fail to apply
+        // (recovery replays it verbatim). Variable ids embedded in
+        // shipped rows are reserved so a later PROMOTE can never hand
+        // out a colliding fresh id.
+        let mut staged: Option<(String, Arc<CTable>)> = None;
+        let mut dropped: Option<String> = None;
+        match &entry.record {
+            CatalogRecord::CreateVariable { id, .. } => {
+                VarId::reserve_through(*id);
+            }
+            CatalogRecord::CreateTable { name, schema } => {
+                if tables.contains_key(name) {
+                    return Err(PipError::corrupt(format!(
+                        "replication feed creates table '{name}' twice"
+                    )));
+                }
+                staged = Some((name.clone(), Arc::new(CTable::empty(schema.clone()))));
+            }
+            CatalogRecord::RegisterTable { name, table } => {
+                for v in table.variables() {
+                    VarId::reserve_through(v.key.id.0);
+                }
+                staged = Some((name.clone(), Arc::new(table.clone())));
+            }
+            CatalogRecord::Insert { name, rows } => {
+                let table = tables.get(name).ok_or_else(|| {
+                    PipError::corrupt(format!(
+                        "replication feed inserts into unknown table '{name}'"
+                    ))
+                })?;
+                let mut new = (**table).clone();
+                for r in rows {
+                    for v in r.variables() {
+                        VarId::reserve_through(v.key.id.0);
+                    }
+                    new.push(r.clone())?;
+                }
+                staged = Some((name.clone(), Arc::new(new)));
+            }
+            CatalogRecord::Drop { name } => {
+                if !tables.contains_key(name) {
+                    return Err(PipError::corrupt(format!(
+                        "replication feed drops unknown table '{name}'"
+                    )));
+                }
+                dropped = Some(name.clone());
+            }
+        }
+        self.log(entry.version, entry.record.clone())?;
+        if let Some((name, table)) = staged {
+            tables.insert(name, table);
+        }
+        if let Some(name) = dropped {
+            tables.remove(&name);
+        }
+        // Adopt the primary's stamp verbatim — version-keyed caches on
+        // this node then agree with the primary's at the same version.
+        self.version.store(entry.version, Ordering::Release);
+        Ok(())
+    }
+
+    /// Replace the entire catalog with a replication snapshot (follower
+    /// catch-up when the primary's retained WAL chain no longer reaches
+    /// back to this node's applied version — including the empty-data-dir
+    /// first attach). On a durable follower the snapshot is persisted as
+    /// a local checkpoint, so a restart resumes from here instead of
+    /// needing another bulk transfer.
+    pub fn install_snapshot(&self, snapshot: Snapshot) -> Result<()> {
+        let mut tables = self.tables.write();
+        let mut stats = self.stats.write();
+        tables.clear();
+        stats.clear();
+        for t in &snapshot.tables {
+            if let Some(blob) = &t.stats {
+                // Same derived-data rules as recovery: undecodable or
+                // mismatched statistics are dropped, never an error.
+                if let Ok(s) = persist::stats_from_json(blob) {
+                    if s.table == t.name {
+                        stats.insert(
+                            t.name.clone(),
+                            Arc::new(TableStats {
+                                version: snapshot.version,
+                                ..s
+                            }),
+                        );
+                    }
+                }
+            }
+            tables.insert(t.name.clone(), Arc::clone(&t.table));
+        }
+        self.version.store(snapshot.version, Ordering::Release);
+        VarId::reserve_through(snapshot.next_var_id.saturating_sub(1));
+        // Belt and braces, exactly like recovery: ids embedded in rows
+        // also pin the allocator floor.
+        for t in tables.values() {
+            for v in t.variables() {
+                VarId::reserve_through(v.key.id.0);
+            }
+        }
+        let local_checkpoint = match self.store.get() {
+            Some(store) => Some((Arc::clone(store), store.begin_checkpoint()?)),
+            None => None,
+        };
+        drop(stats);
+        drop(tables);
+        if let Some((store, gen)) = local_checkpoint {
+            store.finish_checkpoint(gen, &snapshot)?;
+        }
+        Ok(())
+    }
+
+    /// Capture a consistent `(snapshot, WAL cursor)` pair for a follower
+    /// that needs bulk catch-up: every mutation up to the snapshot's
+    /// version is in the snapshot, every later one is readable from the
+    /// cursor on.
+    ///
+    /// Runs under the tables *read* lock — enough, because every
+    /// version-bumping mutation holds the write lock, and the one
+    /// mutation legal under a concurrent read lock (`CREATE_VARIABLE`)
+    /// commutes with the capture: the cursor is read *before* the
+    /// variable-id watermark, so an allocation whose WAL frame lands
+    /// before the cursor is already covered by the watermark, and one
+    /// landing after the cursor is shipped as a frame (its stamp equals
+    /// the snapshot version, which the follower's non-decreasing check
+    /// accepts).
+    pub fn capture_replication_snapshot(&self) -> Result<(Snapshot, WalCursor)> {
+        let store = Arc::clone(self.require_store()?);
+        let tables = self.tables.read();
+        let cursor = store.wal_position();
+        let captured = self.capture_checkpoint(&tables);
+        drop(tables);
+        Ok((captured.into_snapshot(), cursor))
+    }
+
     /// Bytes in the active WAL generation (0 for memory-only catalogs);
     /// the server's background checkpointer polls this.
     pub fn wal_bytes(&self) -> u64 {
@@ -448,6 +655,13 @@ impl Database {
     /// on top of a base missing the OFF-period state would corrupt
     /// recovery).
     pub fn set_durability(&self, level: Durability) -> Result<()> {
+        if level == Durability::Off && self.durability_pinned.load(Ordering::Acquire) {
+            return Err(PipError::Unsupported(
+                "SET DURABILITY OFF is unavailable while replication is active: \
+                 followers are fed from the write-ahead log"
+                    .into(),
+            ));
+        }
         let store = Arc::clone(self.require_store()?);
         let tables = self.tables.write();
         if store.durability() == Durability::Off && level != Durability::Off {
@@ -835,6 +1049,153 @@ mod tests {
             let (db, _) = Database::recover(&dir).unwrap();
             assert_eq!(db.table("t").unwrap().len(), 1);
             std::fs::remove_dir_all(&dir).unwrap();
+        }
+
+        #[test]
+        fn read_only_refuses_every_mutation_but_not_reads() {
+            let db = Database::new();
+            db.create_table("t", Schema::of(&[("a", DataType::Int)]))
+                .unwrap();
+            db.insert_tuples("t", &[tuple![1i64]]).unwrap();
+            db.set_read_only(true);
+            assert!(db.is_read_only());
+            assert!(db.create_table("u", Schema::empty()).is_err());
+            assert!(db
+                .register_table("u", CTable::empty(Schema::empty()))
+                .is_err());
+            assert!(db.drop_table("t").is_err());
+            assert!(db.insert_tuples("t", &[tuple![2i64]]).is_err());
+            assert!(db.create_variable("Normal", &[0.0, 1.0]).is_err());
+            // Reads — and statistics collection — still work.
+            assert_eq!(db.table("t").unwrap().len(), 1);
+            assert!(db.table_stats("t").is_ok());
+            // PROMOTE semantics: clearing the flag restores writes.
+            db.set_read_only(false);
+            db.insert_tuples("t", &[tuple![2i64]]).unwrap();
+        }
+
+        #[test]
+        fn pinned_durability_refuses_off_but_not_other_levels() {
+            let dir = tmp_dir("pin");
+            let db = Database::open(&dir).unwrap();
+            db.pin_durability();
+            assert!(db.set_durability(Durability::Off).is_err());
+            db.set_durability(Durability::Sync).unwrap();
+            db.set_durability(Durability::Wal).unwrap();
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+
+        #[test]
+        fn apply_replicated_mirrors_the_primary_and_persists_locally() {
+            let primary_dir = tmp_dir("repl-primary");
+            let follower_dir = tmp_dir("repl-follower");
+            let primary = Database::open(&primary_dir).unwrap();
+            primary
+                .create_table("t", Schema::of(&[("x", DataType::Symbolic)]))
+                .unwrap();
+            let y = primary.create_variable("Normal", &[3.0, 1.0]).unwrap();
+            primary
+                .insert_rows(
+                    "t",
+                    vec![CRow::new(
+                        vec![Equation::from(y.clone())],
+                        Conjunction::single(atoms::gt(Equation::from(y.clone()), 2.0)),
+                    )],
+                )
+                .unwrap();
+            primary.insert_tuples("t", &[tuple![5.0]]).unwrap();
+
+            // Ship the primary's WAL to a durable follower, frame by
+            // frame, through the apply path.
+            let store = primary.store().unwrap();
+            let frames = match store
+                .read_wal_frames(pip_store::WalCursor::start(0), 64)
+                .unwrap()
+            {
+                pip_store::TailRead::Frames { frames, .. } => frames,
+                pip_store::TailRead::Gap => panic!("chain retired"),
+            };
+            assert_eq!(frames.len(), 4);
+            let follower = Database::open(&follower_dir).unwrap();
+            follower.set_read_only(true);
+            for f in &frames {
+                let entry = pip_store::codec::decode_entry(
+                    &serde_json::from_str(std::str::from_utf8(&f.payload).unwrap()).unwrap(),
+                    follower.registry(),
+                )
+                .unwrap();
+                follower.apply_replicated(&entry).unwrap();
+            }
+            assert_eq!(follower.version(), primary.version());
+            let (pt, ft) = (primary.table("t").unwrap(), follower.table("t").unwrap());
+            assert_eq!(*pt, *ft, "tables bit-identical");
+            assert_eq!(
+                pt.variables()[0].key,
+                ft.variables()[0].key,
+                "variable identity preserved"
+            );
+            // An entry behind the applied version is a corrupt feed.
+            let stale = WalEntry {
+                version: 0,
+                record: CatalogRecord::Drop { name: "t".into() },
+            };
+            assert!(matches!(
+                follower.apply_replicated(&stale),
+                Err(PipError::Corrupt(_))
+            ));
+            // The follower's local WAL holds the same history: a restart
+            // recovers the same catalog at the same version.
+            drop(follower);
+            let (recovered, info) = Database::recover(&follower_dir).unwrap();
+            assert_eq!(info.version, primary.version());
+            assert_eq!(*recovered.table("t").unwrap(), *pt);
+            // And fresh ids after recovery never collide with shipped
+            // ones.
+            recovered.set_read_only(false);
+            let fresh = recovered.create_variable("Normal", &[0.0, 1.0]).unwrap();
+            assert!(fresh.key.id > pt.variables()[0].key.id);
+            std::fs::remove_dir_all(&primary_dir).unwrap();
+            std::fs::remove_dir_all(&follower_dir).unwrap();
+        }
+
+        #[test]
+        fn install_snapshot_replaces_the_catalog_and_checkpoints() {
+            let primary_dir = tmp_dir("snap-primary");
+            let follower_dir = tmp_dir("snap-follower");
+            let primary = Database::open(&primary_dir).unwrap();
+            primary
+                .create_table("t", Schema::of(&[("a", DataType::Int)]))
+                .unwrap();
+            primary
+                .insert_tuples("t", &(0..8i64).map(|i| tuple![i]).collect::<Vec<_>>())
+                .unwrap();
+            let _ = primary.table_stats("t").unwrap();
+            let (snapshot, cursor) = primary.capture_replication_snapshot().unwrap();
+            assert_eq!(snapshot.version, primary.version());
+            assert_eq!(cursor, primary.store().unwrap().wal_position());
+
+            let follower = Database::open(&follower_dir).unwrap();
+            follower.set_read_only(true);
+            // Pre-existing junk on the follower is replaced wholesale.
+            follower.set_read_only(false);
+            follower.create_table("junk", Schema::empty()).unwrap();
+            follower.set_read_only(true);
+            follower.install_snapshot(snapshot).unwrap();
+            assert_eq!(follower.table_names(), vec!["t"]);
+            assert_eq!(follower.version(), primary.version());
+            assert_eq!(*follower.table("t").unwrap(), *primary.table("t").unwrap());
+            // Shipped statistics serve without a rescan.
+            let s = follower.table_stats("t").unwrap();
+            assert_eq!(s.analyzed_rows, 8);
+            // The install checkpointed locally: a restart recovers the
+            // snapshot state with nothing to replay.
+            drop(follower);
+            let (recovered, info) = Database::recover(&follower_dir).unwrap();
+            assert_eq!(info.replayed, 0, "snapshot persisted as a checkpoint");
+            assert_eq!(recovered.version(), primary.version());
+            assert_eq!(*recovered.table("t").unwrap(), *primary.table("t").unwrap());
+            std::fs::remove_dir_all(&primary_dir).unwrap();
+            std::fs::remove_dir_all(&follower_dir).unwrap();
         }
 
         #[test]

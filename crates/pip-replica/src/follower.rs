@@ -1,0 +1,185 @@
+//! The follower side: a background applier that connects to the
+//! primary, catches up (snapshot and/or frames), and then applies the
+//! live tail, acknowledging progress.
+//!
+//! The applier reconnects with capped exponential backoff whenever the
+//! connection drops; each HELLO reports the follower's current applied
+//! version, so a reconnect resumes exactly where the last connection
+//! left off (frames are applied one at a time and each apply is durable
+//! before the next, so the applied version is always an exact log
+//! prefix — a SIGKILL mid-catch-up loses nothing but unacked work the
+//! primary will re-send).
+//!
+//! `promote()` seals the feed: the applier thread exits, never
+//! reconnects, and the catalog's read-only gate opens. From that moment
+//! the node is a primary in every observable way (STATS role included).
+
+use std::io::BufWriter;
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use pip_core::Result;
+use pip_engine::Database;
+use pip_store::{codec, snapshot_from_bytes};
+
+use crate::proto::{read_message, write_message, write_preamble, Message};
+
+/// First reconnect delay; doubles per failure up to [`MAX_BACKOFF`].
+const INITIAL_BACKOFF: Duration = Duration::from_millis(50);
+/// Reconnect delay cap.
+const MAX_BACKOFF: Duration = Duration::from_secs(2);
+/// ACK at least every this many applied frames even without a heartbeat,
+/// so the primary's lag view stays fresh during bulk catch-up.
+const ACK_EVERY_FRAMES: usize = 64;
+
+/// Shared state of a replication follower.
+pub(crate) struct FollowerState {
+    pub(crate) db: Arc<Database>,
+    pub(crate) primary_addr: String,
+    /// Highest version the primary has reported (via heartbeats and
+    /// applied frames); staleness = this minus the local version.
+    pub(crate) primary_version: AtomicU64,
+    /// True while a connection to the primary is live.
+    pub(crate) connected: AtomicBool,
+    /// Set by `promote()`/`shutdown()`: stop applying, never reconnect.
+    pub(crate) sealed: AtomicBool,
+    /// Live socket, kept so sealing can unblock a parked read.
+    stream: Mutex<Option<TcpStream>>,
+}
+
+impl FollowerState {
+    /// Mark the catalog read-only and start the applier thread. The
+    /// thread owns the connection lifecycle; this never blocks.
+    pub(crate) fn start(db: Arc<Database>, primary_addr: &str) -> Arc<FollowerState> {
+        db.set_read_only(true);
+        let state = Arc::new(FollowerState {
+            db,
+            primary_addr: primary_addr.to_string(),
+            primary_version: AtomicU64::new(0),
+            connected: AtomicBool::new(false),
+            sealed: AtomicBool::new(false),
+            stream: Mutex::new(None),
+        });
+        let run_state = Arc::clone(&state);
+        std::thread::Builder::new()
+            .name("pip-repl-apply".into())
+            .spawn(move || apply_loop(run_state))
+            .expect("spawn replication apply thread");
+        state
+    }
+
+    /// Version distance behind the primary, as of the last heartbeat or
+    /// frame (0 until the first contact, and 0 once caught up).
+    pub(crate) fn lag(&self) -> u64 {
+        self.primary_version
+            .load(Ordering::Acquire)
+            .saturating_sub(self.db.version())
+    }
+
+    /// Seal the feed and stop the applier. Does not touch the read-only
+    /// gate — `promote()` and `shutdown()` differ only there.
+    pub(crate) fn seal(&self) {
+        self.sealed.store(true, Ordering::Release);
+        let guard = self.stream.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(stream) = guard.as_ref() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+fn apply_loop(state: Arc<FollowerState>) {
+    let mut backoff = INITIAL_BACKOFF;
+    while !state.sealed.load(Ordering::Acquire) {
+        let stream = match TcpStream::connect(&state.primary_addr) {
+            Ok(s) => s,
+            Err(_) => {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(MAX_BACKOFF);
+                continue;
+            }
+        };
+        backoff = INITIAL_BACKOFF;
+        *state.stream.lock().unwrap_or_else(|e| e.into_inner()) =
+            Some(stream.try_clone().expect("clone replication stream"));
+        state.connected.store(true, Ordering::Release);
+        if let Err(e) = serve_connection(&state, stream) {
+            if !state.sealed.load(Ordering::Acquire) {
+                eprintln!("replication: connection to primary lost: {e}");
+            }
+        }
+        state.connected.store(false, Ordering::Release);
+        *state.stream.lock().unwrap_or_else(|e| e.into_inner()) = None;
+    }
+}
+
+/// Drive one connection: HELLO, then apply whatever the primary sends
+/// until the stream breaks or the feed is sealed.
+fn serve_connection(state: &Arc<FollowerState>, stream: TcpStream) -> Result<()> {
+    let mut reader = stream.try_clone()?;
+    let mut out = BufWriter::new(stream);
+    write_preamble(&mut out)?;
+    write_message(
+        &mut out,
+        &Message::Hello {
+            gen: state.db.store().map_or(0, |s| s.generation()),
+            version: state.db.version(),
+        },
+    )?;
+    use std::io::Write as _;
+    out.flush()?;
+
+    let mut since_ack = 0usize;
+    loop {
+        let msg = read_message(&mut reader)?;
+        if state.sealed.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        match msg {
+            Message::Snapshot(bytes) => {
+                let snapshot = snapshot_from_bytes(&bytes, state.db.registry())?;
+                let version = snapshot.version;
+                state.db.install_snapshot(snapshot)?;
+                bump_primary_floor(state, version);
+                write_message(&mut out, &Message::Ack(state.db.version()))?;
+                out.flush()?;
+                since_ack = 0;
+            }
+            Message::Frame(bytes) => {
+                let text = std::str::from_utf8(&bytes).map_err(|_| {
+                    pip_core::PipError::corrupt("replicated WAL frame is not UTF-8")
+                })?;
+                let json = serde_json::from_str(text).map_err(|e| {
+                    pip_core::PipError::corrupt(format!("replicated WAL frame: {e}"))
+                })?;
+                let entry = codec::decode_entry(&json, state.db.registry())?;
+                bump_primary_floor(state, entry.version);
+                state.db.apply_replicated(&entry)?;
+                since_ack += 1;
+                if since_ack >= ACK_EVERY_FRAMES {
+                    write_message(&mut out, &Message::Ack(state.db.version()))?;
+                    out.flush()?;
+                    since_ack = 0;
+                }
+            }
+            Message::Heartbeat(v) => {
+                bump_primary_floor(state, v);
+                write_message(&mut out, &Message::Ack(state.db.version()))?;
+                out.flush()?;
+                since_ack = 0;
+            }
+            other => {
+                return Err(pip_core::PipError::corrupt(format!(
+                    "unexpected replication message from primary: {other:?}"
+                )));
+            }
+        }
+    }
+}
+
+/// Raise the observed primary version (never lower it — heartbeats and
+/// frames race only in the direction of progress).
+fn bump_primary_floor(state: &FollowerState, v: u64) {
+    state.primary_version.fetch_max(v, Ordering::AcqRel);
+}

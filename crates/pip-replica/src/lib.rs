@@ -1,0 +1,170 @@
+//! # pip-replica — WAL-shipping replication for the PIP query service
+//!
+//! Horizontal read scaling by shipping the durable catalog's write-ahead
+//! log from one writable **primary** to any number of read-only
+//! **followers**:
+//!
+//! ```text
+//!              ┌────────────┐   FRAME/SNAPSHOT    ┌────────────┐
+//!   writes ──▶ │  primary   │ ──────────────────▶ │ follower 1 │ ──▶ reads
+//!              │ (tails its │ ◀────────────────── │ (replays   │
+//!              │  own WAL)  │        ACK          │  the log)  │
+//!              └────────────┘ ──▶ follower 2 …    └────────────┘
+//! ```
+//!
+//! The primary tails its own acknowledged WAL bytes (see
+//! [`pip_store::tail`]) and streams frames over the wire protocol in
+//! [`proto`]. A follower that is too far behind — the frames it needs
+//! were retired by a checkpoint — first receives a full snapshot, then
+//! the live tail. Because followers replay the *same* log the primary's
+//! own crash recovery replays, in the same order, a caught-up follower
+//! is bit-identical to the primary: same f64 bits, same variable
+//! identities, same version counter.
+//!
+//! **Staleness model.** Replication is asynchronous: a read on a
+//! follower sees some exact prefix of the primary's history, never a
+//! torn state. The follower's applied version (in its STATS) tells
+//! clients *which* prefix; read-your-writes routing is "remember the
+//! version your write returned, query a replica whose applied version
+//! has reached it".
+//!
+//! **Promotion.** [`Replication::promote`] seals the feed and opens the
+//! follower's write gate. Its durable log is an exact prefix of the old
+//! primary's, so no acknowledged-and-replicated mutation is lost; any
+//! acknowledged-but-unshipped suffix stays in the old primary's data
+//! directory (asynchronous replication's usual contract).
+
+pub mod proto;
+
+mod follower;
+mod primary;
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+use pip_core::{PipError, Result};
+use pip_engine::Database;
+
+use follower::FollowerState;
+use primary::PrimaryState;
+
+/// A running replication role attached to a [`Database`]. Dropping the
+/// handle does not stop the background threads — call
+/// [`Replication::shutdown`].
+pub struct Replication {
+    inner: Inner,
+}
+
+enum Inner {
+    Primary(Arc<PrimaryState>),
+    Follower(Arc<FollowerState>),
+}
+
+impl Replication {
+    /// Start a primary: bind `addr` and fan the database's WAL out to
+    /// whoever connects. Requires a durable catalog; pins durability on
+    /// (unlogged mutations could never reach followers).
+    pub fn primary(db: Arc<Database>, addr: &str) -> Result<Replication> {
+        Ok(Replication {
+            inner: Inner::Primary(PrimaryState::start(db, addr)?),
+        })
+    }
+
+    /// Start a follower of the primary at `primary_addr`: marks the
+    /// database read-only and begins catching up in the background,
+    /// reconnecting with backoff for as long as the primary is away.
+    pub fn follower(db: Arc<Database>, primary_addr: &str) -> Replication {
+        Replication {
+            inner: Inner::Follower(FollowerState::start(db, primary_addr)),
+        }
+    }
+
+    /// The primary's bound replication address (`None` on a follower).
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        match &self.inner {
+            Inner::Primary(p) => Some(p.addr),
+            Inner::Follower(_) => None,
+        }
+    }
+
+    /// `"primary"` or `"replica"`; a promoted follower reports
+    /// `"primary"` from the moment [`Replication::promote`] returns.
+    pub fn role(&self) -> &'static str {
+        match &self.inner {
+            Inner::Primary(_) => "primary",
+            Inner::Follower(f) => {
+                if f.sealed.load(std::sync::atomic::Ordering::Acquire) {
+                    "primary"
+                } else {
+                    "replica"
+                }
+            }
+        }
+    }
+
+    /// True while this node is an (unpromoted) follower.
+    pub fn is_replica(&self) -> bool {
+        self.role() == "replica"
+    }
+
+    /// Seal the feed and flip a follower writable. Everything applied so
+    /// far — an exact prefix of the primary's log — stays; the node
+    /// accepts writes before this returns. Errors on a primary.
+    pub fn promote(&self) -> Result<()> {
+        match &self.inner {
+            Inner::Primary(_) => Err(PipError::Unsupported(
+                "PROMOTE: this node is already the primary".into(),
+            )),
+            Inner::Follower(f) => {
+                f.seal();
+                f.db.set_read_only(false);
+                Ok(())
+            }
+        }
+    }
+
+    /// Followers currently attached (always 0 on a follower).
+    pub fn follower_count(&self) -> usize {
+        match &self.inner {
+            Inner::Primary(p) => p.follower_count(),
+            Inner::Follower(_) => 0,
+        }
+    }
+
+    /// The catalog version this node has applied.
+    pub fn applied_version(&self) -> u64 {
+        match &self.inner {
+            Inner::Primary(p) => p.db.version(),
+            Inner::Follower(f) => f.db.version(),
+        }
+    }
+
+    /// Version distance to worry about: on a follower, how far behind
+    /// the primary it is; on a primary, how far behind its slowest
+    /// attached follower is. 0 when fully caught up (or alone).
+    pub fn replication_lag(&self) -> u64 {
+        match &self.inner {
+            Inner::Primary(p) => p.max_lag(),
+            Inner::Follower(f) => f.lag(),
+        }
+    }
+
+    /// True while a follower has a live connection to its primary
+    /// (always true on a primary — it is its own feed).
+    pub fn connected(&self) -> bool {
+        match &self.inner {
+            Inner::Primary(_) => true,
+            Inner::Follower(f) => f.connected.load(std::sync::atomic::Ordering::Acquire),
+        }
+    }
+
+    /// Stop the background threads: a primary stops accepting and drops
+    /// every follower; a follower seals its feed (read-only gate is left
+    /// as-is — this is shutdown, not promotion).
+    pub fn shutdown(&self) {
+        match &self.inner {
+            Inner::Primary(p) => p.shutdown(),
+            Inner::Follower(f) => f.seal(),
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! The primary side: a TCP listener that tails the node's own WAL and
+//! fans acknowledged frames out to followers.
+//!
+//! One handler thread per follower runs the catch-up decision and the
+//! tail loop; a companion thread drains the follower's ACKs. The
+//! catch-up decision on HELLO `{gen, version: W}`:
+//!
+//! * `W >=` the retained base's version ([`Store::oldest_retained`]) —
+//!   the WAL chain still reaches the follower's state: tail from the
+//!   retained generation's first frame, dropping frames stamped `<= W`
+//!   (stamps are non-decreasing along the chain, so this drops exactly
+//!   the prefix the follower already applied — see the note below);
+//! * otherwise the frames that would bring the follower forward were
+//!   deleted by a checkpoint: capture a fresh
+//!   [`Database::capture_replication_snapshot`], send it, and tail from
+//!   its paired cursor (no filter — the cursor is positional and exact).
+//!
+//! The same snapshot fallback handles [`TailRead::Gap`] mid-stream (a
+//! checkpoint retiring the generation under the tailer's feet).
+//!
+//! **The `<= W` prefix-skip and same-version entries.** Versions are
+//! non-decreasing but not strictly increasing: `CREATE_VARIABLE` records
+//! are stamped at the version current when they were allocated, without
+//! a bump. A follower reporting `W` has applied the mutation that set
+//! version `W` but possibly not trailing `CREATE_VARIABLE` records also
+//! stamped `W`; the skip drops those records for that follower. That is
+//! safe for every variable that any shipped row ever references (the
+//! follower's apply path re-reserves ids embedded in rows), and the
+//! residual case — a variable allocated on the primary, never referenced
+//! by any later mutation, straddling the reconnect boundary — can at
+//! worst let a *promoted* follower hand out an id the old primary had
+//! allocated but never used. Re-sending `<= W` instead would re-apply
+//! the version-`W` mutation itself (a double insert): strictly worse.
+
+use std::io::{BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use pip_core::Result;
+use pip_engine::Database;
+use pip_store::{snapshot_to_bytes, Store, TailRead, WalCursor};
+
+use crate::proto::{read_message, read_preamble, write_message, Message};
+
+/// Frames per tail read; bounds per-batch memory and ACK latency.
+const BATCH_FRAMES: usize = 256;
+/// Idle poll interval when fully caught up.
+const IDLE_POLL: Duration = Duration::from_millis(10);
+/// Heartbeat cadence while idle.
+const HEARTBEAT_EVERY: Duration = Duration::from_millis(200);
+
+/// One attached follower, as the primary sees it.
+pub(crate) struct FollowerConn {
+    /// Highest version the follower has acknowledged applying.
+    pub(crate) acked: AtomicU64,
+    /// Socket handle kept for shutdown (unblocks the handler threads).
+    stream: TcpStream,
+}
+
+/// Shared state of a replicating primary.
+pub(crate) struct PrimaryState {
+    pub(crate) db: Arc<Database>,
+    pub(crate) addr: SocketAddr,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) followers: Mutex<Vec<Arc<FollowerConn>>>,
+}
+
+impl PrimaryState {
+    /// Bind the replication listener and start the accept loop. The
+    /// catalog must be durable — the WAL is the feed.
+    pub(crate) fn start(db: Arc<Database>, addr: &str) -> Result<Arc<PrimaryState>> {
+        let store = Arc::clone(db.store().ok_or_else(|| {
+            pip_core::PipError::Unsupported(
+                "replication requires a durable catalog (open it with --data-dir)".into(),
+            )
+        })?);
+        // Unlogged mutations would silently never reach followers.
+        db.pin_durability();
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let state = Arc::new(PrimaryState {
+            db,
+            addr: local,
+            shutdown: AtomicBool::new(false),
+            followers: Mutex::new(Vec::new()),
+        });
+        let accept_state = Arc::clone(&state);
+        std::thread::Builder::new()
+            .name("pip-repl-accept".into())
+            .spawn(move || accept_loop(accept_state, listener, store))
+            .expect("spawn replication accept thread");
+        Ok(state)
+    }
+
+    /// Stop accepting and unblock every handler.
+    pub(crate) fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        for conn in self
+            .followers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+        {
+            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+
+    /// Connected follower count.
+    pub(crate) fn follower_count(&self) -> usize {
+        self.followers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
+    }
+
+    /// Version distance between this primary and its slowest follower
+    /// (0 with no followers attached).
+    pub(crate) fn max_lag(&self) -> u64 {
+        let version = self.db.version();
+        self.followers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|f| version.saturating_sub(f.acked.load(Ordering::Acquire)))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+fn accept_loop(state: Arc<PrimaryState>, listener: TcpListener, store: Arc<Store>) {
+    while !state.shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                let state = Arc::clone(&state);
+                let store = Arc::clone(&store);
+                std::thread::Builder::new()
+                    .name("pip-repl-feed".into())
+                    .spawn(move || {
+                        if let Err(e) = serve_follower(&state, &store, stream) {
+                            if !state.shutdown.load(Ordering::Acquire) {
+                                eprintln!("replication: follower {peer} dropped: {e}");
+                            }
+                        }
+                    })
+                    .expect("spawn replication feed thread");
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Feed one follower until it disconnects or the primary shuts down.
+fn serve_follower(state: &Arc<PrimaryState>, store: &Arc<Store>, stream: TcpStream) -> Result<()> {
+    let mut reader = stream.try_clone()?;
+    read_preamble(&mut reader)?;
+    let hello = read_message(&mut reader)?;
+    let Message::Hello {
+        version: wire_w, ..
+    } = hello
+    else {
+        return Err(pip_core::PipError::corrupt(
+            "replication connection did not open with HELLO",
+        ));
+    };
+
+    let conn = Arc::new(FollowerConn {
+        acked: AtomicU64::new(wire_w),
+        stream: stream.try_clone()?,
+    });
+    state
+        .followers
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(Arc::clone(&conn));
+    // Drain ACKs on a dedicated thread so slow frame writes never stall
+    // acknowledgement bookkeeping (and vice versa).
+    let ack_conn = Arc::clone(&conn);
+    std::thread::Builder::new()
+        .name("pip-repl-acks".into())
+        .spawn(move || {
+            while let Ok(msg) = read_message(&mut reader) {
+                if let Message::Ack(v) = msg {
+                    ack_conn.acked.store(v, Ordering::Release);
+                }
+            }
+        })
+        .expect("spawn replication ack thread");
+
+    let result = feed_loop(state, store, &stream, wire_w);
+    let mut followers = state.followers.lock().unwrap_or_else(|e| e.into_inner());
+    followers.retain(|c| !Arc::ptr_eq(c, &conn));
+    drop(followers);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+    result
+}
+
+fn feed_loop(
+    state: &Arc<PrimaryState>,
+    store: &Arc<Store>,
+    stream: &TcpStream,
+    hello_version: u64,
+) -> Result<()> {
+    let mut out = BufWriter::new(stream.try_clone()?);
+    let (mut cursor, mut skip_through) = catch_up_plan(state, store, &mut out, hello_version)?;
+    // Tell the follower where the primary stands right away, so lag is
+    // measurable before the first idle heartbeat.
+    write_message(&mut out, &Message::Heartbeat(state.db.version()))?;
+    out.flush()?;
+
+    let mut last_heartbeat = Instant::now();
+    while !state.shutdown.load(Ordering::Acquire) {
+        match store.read_wal_frames(cursor, BATCH_FRAMES) {
+            Ok(TailRead::Frames {
+                frames,
+                cursor: next,
+            }) => {
+                let idle = frames.is_empty();
+                for f in &frames {
+                    if f.version <= skip_through {
+                        continue; // prefix the follower already applied
+                    }
+                    write_message(&mut out, &Message::Frame(f.payload.clone()))?;
+                }
+                out.flush()?;
+                cursor = next;
+                if idle {
+                    if last_heartbeat.elapsed() >= HEARTBEAT_EVERY {
+                        write_message(&mut out, &Message::Heartbeat(state.db.version()))?;
+                        out.flush()?;
+                        last_heartbeat = Instant::now();
+                    }
+                    std::thread::sleep(IDLE_POLL);
+                }
+            }
+            // The chain was retired under us (checkpoint race) or turned
+            // unreadable: fall back to a fresh snapshot.
+            Ok(TailRead::Gap) | Err(_) => {
+                let (c, s) = send_snapshot(state, &mut out)?;
+                cursor = c;
+                skip_through = s;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Decide how a follower at version `w` catches up; returns the cursor
+/// to tail from and the version to skip frames through (0 = none).
+fn catch_up_plan(
+    state: &Arc<PrimaryState>,
+    store: &Arc<Store>,
+    out: &mut impl Write,
+    w: u64,
+) -> Result<(WalCursor, u64)> {
+    let (retained_gen, retained_version) = store.oldest_retained();
+    if w >= retained_version {
+        return Ok((WalCursor::start(retained_gen), w));
+    }
+    send_snapshot(state, out)
+}
+
+/// Capture and send a fresh snapshot; returns its paired cursor (no
+/// skip filter — the cursor is positionally exact).
+fn send_snapshot(state: &Arc<PrimaryState>, out: &mut impl Write) -> Result<(WalCursor, u64)> {
+    let (snapshot, cursor) = state.db.capture_replication_snapshot()?;
+    let bytes = snapshot_to_bytes(&snapshot)?;
+    write_message(out, &Message::Snapshot(bytes))?;
+    out.flush()?;
+    Ok((cursor, 0))
+}

@@ -1,0 +1,226 @@
+//! The replication wire protocol: a length-prefixed, checksummed message
+//! stream over one TCP connection per follower.
+//!
+//! ```text
+//! connection :=  MAGIC(8 = "PIPREPL1")  message*      (follower writes first)
+//! message    :=  kind(u8) len(u32 LE) crc32(u32 LE) payload(len bytes)
+//! ```
+//!
+//! | kind | name      | direction          | payload                         |
+//! |------|-----------|--------------------|---------------------------------|
+//! | 1    | HELLO     | follower → primary | gen(u64 LE) version(u64 LE)     |
+//! | 2    | SNAPSHOT  | primary → follower | one snapshot JSON document      |
+//! | 3    | FRAME     | primary → follower | one WAL-entry JSON document     |
+//! | 4    | HEARTBEAT | primary → follower | primary version(u64 LE)         |
+//! | 5    | ACK       | follower → primary | applied version(u64 LE)         |
+//!
+//! `SNAPSHOT` and `FRAME` payloads are exactly the byte strings the
+//! store's codecs produce ([`pip_store::snapshot_to_bytes`] and the WAL
+//! frame payload respectively) — the follower feeds them to the same
+//! decode path recovery uses, which is what keeps replicated state
+//! bit-identical to locally recovered state. The CRC guards transport
+//! integrity; a mismatch is a protocol error that drops the connection
+//! (the follower reconnects and resumes from its applied version).
+
+use std::io::{Read, Write};
+
+use pip_core::{PipError, Result};
+use pip_store::crc32;
+
+/// Connection preamble, written by the follower before its HELLO.
+pub const REPL_MAGIC: &[u8; 8] = b"PIPREPL1";
+
+/// Upper bound on one message payload (mirrors the WAL frame cap; a
+/// snapshot over this would have been refused at write time too).
+const MAX_PAYLOAD: u32 = 1 << 30;
+
+/// One replication protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Follower's opening: its active local WAL generation and applied
+    /// catalog version. The primary decides frame vs snapshot catch-up
+    /// from the version; the generation is informational (logged, and
+    /// room for smarter retention negotiation later).
+    Hello { gen: u64, version: u64 },
+    /// Full-catalog state; the follower replaces everything with it.
+    Snapshot(Vec<u8>),
+    /// One WAL entry in log order.
+    Frame(Vec<u8>),
+    /// Primary's current catalog version, sent when the feed is idle so
+    /// the follower can measure staleness without traffic.
+    Heartbeat(u64),
+    /// Follower's applied catalog version.
+    Ack(u64),
+}
+
+impl Message {
+    fn kind(&self) -> u8 {
+        match self {
+            Message::Hello { .. } => 1,
+            Message::Snapshot(_) => 2,
+            Message::Frame(_) => 3,
+            Message::Heartbeat(_) => 4,
+            Message::Ack(_) => 5,
+        }
+    }
+}
+
+fn u64_payload(v: u64) -> Vec<u8> {
+    v.to_le_bytes().to_vec()
+}
+
+fn payload_u64(payload: &[u8], what: &str) -> Result<u64> {
+    let bytes: [u8; 8] = payload
+        .try_into()
+        .map_err(|_| PipError::corrupt(format!("replication {what} payload is not 8 bytes")))?;
+    Ok(u64::from_le_bytes(bytes))
+}
+
+/// Write one message (kind + length + checksum + payload).
+pub fn write_message(w: &mut impl Write, msg: &Message) -> Result<()> {
+    let payload: Vec<u8> = match msg {
+        Message::Hello { gen, version } => {
+            let mut p = Vec::with_capacity(16);
+            p.extend_from_slice(&gen.to_le_bytes());
+            p.extend_from_slice(&version.to_le_bytes());
+            p
+        }
+        Message::Snapshot(bytes) | Message::Frame(bytes) => bytes.clone(),
+        Message::Heartbeat(v) | Message::Ack(v) => u64_payload(*v),
+    };
+    if payload.len() > MAX_PAYLOAD as usize {
+        return Err(PipError::io(format!(
+            "replication message payload of {} bytes exceeds the {MAX_PAYLOAD} byte cap",
+            payload.len()
+        )));
+    }
+    let mut header = [0u8; 9];
+    header[0] = msg.kind();
+    header[1..5].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    header[5..9].copy_from_slice(&crc32(&payload).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(&payload)?;
+    Ok(())
+}
+
+/// Read one message. An unknown kind, oversized length, or checksum
+/// mismatch is corruption (the caller drops the connection); a clean EOF
+/// before the first header byte surfaces as the underlying I/O error.
+pub fn read_message(r: &mut impl Read) -> Result<Message> {
+    let mut header = [0u8; 9];
+    r.read_exact(&mut header)?;
+    let kind = header[0];
+    let len = u32::from_le_bytes(header[1..5].try_into().unwrap());
+    let crc = u32::from_le_bytes(header[5..9].try_into().unwrap());
+    if len > MAX_PAYLOAD {
+        return Err(PipError::corrupt(format!(
+            "replication message claims a {len} byte payload, over the {MAX_PAYLOAD} byte cap"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    if crc32(&payload) != crc {
+        return Err(PipError::corrupt("replication message fails its checksum"));
+    }
+    match kind {
+        1 => {
+            if payload.len() != 16 {
+                return Err(PipError::corrupt(
+                    "replication HELLO payload is not 16 bytes",
+                ));
+            }
+            Ok(Message::Hello {
+                gen: u64::from_le_bytes(payload[..8].try_into().unwrap()),
+                version: u64::from_le_bytes(payload[8..].try_into().unwrap()),
+            })
+        }
+        2 => Ok(Message::Snapshot(payload)),
+        3 => Ok(Message::Frame(payload)),
+        4 => Ok(Message::Heartbeat(payload_u64(&payload, "HEARTBEAT")?)),
+        5 => Ok(Message::Ack(payload_u64(&payload, "ACK")?)),
+        other => Err(PipError::corrupt(format!(
+            "unknown replication message kind {other}"
+        ))),
+    }
+}
+
+/// Write the connection preamble (follower side).
+pub fn write_preamble(w: &mut impl Write) -> Result<()> {
+    w.write_all(REPL_MAGIC)?;
+    Ok(())
+}
+
+/// Read and verify the connection preamble (primary side).
+pub fn read_preamble(r: &mut impl Read) -> Result<()> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != REPL_MAGIC {
+        return Err(PipError::corrupt(
+            "connection does not speak the replication protocol",
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(msg: Message) -> Message {
+        let mut buf = Vec::new();
+        write_message(&mut buf, &msg).unwrap();
+        read_message(&mut &buf[..]).unwrap()
+    }
+
+    #[test]
+    fn messages_round_trip() {
+        for msg in [
+            Message::Hello {
+                gen: 3,
+                version: 17,
+            },
+            Message::Snapshot(b"{\"format\":1}".to_vec()),
+            Message::Frame(b"{\"v\":9,\"op\":{}}".to_vec()),
+            Message::Heartbeat(42),
+            Message::Ack(41),
+        ] {
+            assert_eq!(round_trip(msg.clone()), msg);
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut buf = Vec::new();
+        write_message(&mut buf, &Message::Frame(b"payload".to_vec())).unwrap();
+        let last = buf.len() - 1;
+        buf[last] ^= 0x01;
+        assert!(matches!(
+            read_message(&mut &buf[..]),
+            Err(PipError::Corrupt(_))
+        ));
+        // Unknown kind.
+        let mut buf = Vec::new();
+        write_message(&mut buf, &Message::Ack(1)).unwrap();
+        buf[0] = 99;
+        assert!(matches!(
+            read_message(&mut &buf[..]),
+            Err(PipError::Corrupt(_))
+        ));
+        // Truncated stream.
+        let mut buf = Vec::new();
+        write_message(&mut buf, &Message::Snapshot(vec![1, 2, 3])).unwrap();
+        buf.truncate(buf.len() - 2);
+        assert!(read_message(&mut &buf[..]).is_err());
+    }
+
+    #[test]
+    fn preamble_round_trips_and_rejects_strangers() {
+        let mut buf = Vec::new();
+        write_preamble(&mut buf).unwrap();
+        read_preamble(&mut &buf[..]).unwrap();
+        assert!(matches!(
+            read_preamble(&mut &b"GET / HT"[..]),
+            Err(PipError::Corrupt(_))
+        ));
+    }
+}

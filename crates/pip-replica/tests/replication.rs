@@ -1,0 +1,381 @@
+//! End-to-end replication tests: a real primary and real followers over
+//! TCP on loopback, exercising frame tailing, snapshot catch-up,
+//! checkpoint races, abrupt follower restarts, and promotion.
+//!
+//! The load-bearing assertion throughout is *bit-identity*: a caught-up
+//! follower must answer the probe-query suite with exactly the bytes the
+//! primary produces — same f64 bits (compared via `to_bits`), same
+//! variable identities, same version counter — at 1, 2, and 4 sampler
+//! threads.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pip_core::{tuple, DataType, Schema};
+use pip_ctable::CRow;
+use pip_engine::{execute, scalar_result, AggFunc, Database, PlanBuilder};
+use pip_expr::{atoms, Conjunction, Equation};
+use pip_replica::Replication;
+use pip_sampling::SamplerConfig;
+
+/// Unique scratch directory per call (tests run in parallel threads of
+/// one process, so a static counter disambiguates within the pid).
+fn tmp_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("pip-replica-{tag}-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn open(dir: &PathBuf) -> Arc<Database> {
+    Arc::new(Database::open(dir).unwrap())
+}
+
+/// One deterministic mutation, varied by `i`: plain tuples, conditional
+/// rows over fresh variables, and the occasional new table.
+fn mutate(db: &Database, i: u64) {
+    match i % 4 {
+        0 => db
+            .insert_tuples("obs", &[tuple![i as f64 * 0.5, i as i64]])
+            .unwrap(),
+        1 => {
+            let v = db
+                .create_variable("Normal", &[i as f64, 1.0 + (i % 3) as f64])
+                .unwrap();
+            db.insert_rows(
+                "obs",
+                vec![CRow::new(
+                    vec![Equation::from(v.clone()), Equation::val(i as f64)],
+                    Conjunction::single(atoms::gt(Equation::from(v), i as f64 - 0.5)),
+                )],
+            )
+            .unwrap();
+        }
+        2 => db
+            .insert_tuples(
+                "obs",
+                &[tuple![-(i as f64), (i * 7) as i64], tuple![0.25, i as i64]],
+            )
+            .unwrap(),
+        _ => {
+            let v = db
+                .create_variable("Uniform", &[0.0, 1.0 + i as f64])
+                .unwrap();
+            db.insert_rows(
+                "obs",
+                vec![CRow::new(
+                    vec![Equation::from(v.clone()), Equation::val(-1.0)],
+                    Conjunction::single(atoms::lt(Equation::from(v), 0.75 * i as f64)),
+                )],
+            )
+            .unwrap();
+        }
+    }
+}
+
+fn seed_primary(dir: &PathBuf, mutations: u64) -> Arc<Database> {
+    let db = open(dir);
+    db.create_table(
+        "obs",
+        Schema::of(&[("x", DataType::Symbolic), ("k", DataType::Int)]),
+    )
+    .unwrap();
+    for i in 0..mutations {
+        mutate(&db, i);
+    }
+    db
+}
+
+/// The probe suite: an expectation aggregate and a confidence head, both
+/// Monte-Carlo sampled. Returns the f64 bit patterns of every cell that
+/// could possibly wobble.
+fn probe_bits(db: &Database, threads: usize) -> Vec<u64> {
+    let cfg = SamplerConfig::default().with_threads(threads);
+    let mut bits = Vec::new();
+    let sum = PlanBuilder::scan("obs")
+        .aggregate(
+            vec![],
+            vec![AggFunc::ExpectedSum("x".into()), AggFunc::ExpectedCount],
+        )
+        .build();
+    let t = execute(db, &sum, &cfg).unwrap();
+    for row in t.rows() {
+        for cell in &row.cells {
+            bits.push(
+                cell.as_const()
+                    .and_then(|v| v.as_f64().ok())
+                    .map_or(u64::MAX, f64::to_bits),
+            );
+        }
+    }
+    bits.push(scalar_result(&execute(db, &sum, &cfg).unwrap()).map_or(u64::MAX, f64::to_bits));
+    let conf = PlanBuilder::scan("obs").conf().build();
+    let t = execute(db, &conf, &cfg).unwrap();
+    for row in t.rows() {
+        for cell in &row.cells {
+            bits.push(
+                cell.as_const()
+                    .and_then(|v| v.as_f64().ok())
+                    .map_or(u64::MAX, f64::to_bits),
+            );
+        }
+    }
+    bits
+}
+
+/// Assert the follower is indistinguishable from the primary: version,
+/// table bits, variable identities, and probe answers at 1/2/4 threads.
+fn assert_bit_identical(primary: &Database, follower: &Database) {
+    assert_eq!(follower.version(), primary.version(), "version counter");
+    let (pt, ft) = (
+        primary.table("obs").unwrap(),
+        follower.table("obs").unwrap(),
+    );
+    assert_eq!(*pt, *ft, "c-table state");
+    assert_eq!(
+        pt.variables(),
+        ft.variables(),
+        "variable identities survive the wire"
+    );
+    for threads in [1, 2, 4] {
+        assert_eq!(
+            probe_bits(primary, threads),
+            probe_bits(follower, threads),
+            "probe suite diverges at {threads} sampler threads"
+        );
+    }
+}
+
+/// Wait until the follower has applied the primary's current version.
+fn wait_caught_up(repl: &Replication, primary: &Database) {
+    let target = primary.version();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while repl.applied_version() < target {
+        assert!(
+            Instant::now() < deadline,
+            "follower stuck at version {} (primary at {target})",
+            repl.applied_version()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn cleanup(dirs: &[&PathBuf]) {
+    for d in dirs {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}
+
+#[test]
+fn empty_follower_catches_up_over_the_live_tail() {
+    let (pd, fd) = (tmp_dir("live-p"), tmp_dir("live-f"));
+    let primary = seed_primary(&pd, 6);
+    let repl = Replication::primary(Arc::clone(&primary), "127.0.0.1:0").unwrap();
+    let addr = repl.local_addr().unwrap().to_string();
+
+    let follower = open(&fd);
+    let frepl = Replication::follower(Arc::clone(&follower), &addr);
+    assert_eq!(frepl.role(), "replica");
+    assert!(follower.is_read_only());
+
+    // Keep writing while the follower attaches — the tail is live.
+    for i in 6..20 {
+        mutate(&primary, i);
+    }
+    wait_caught_up(&frepl, &primary);
+    assert_bit_identical(&primary, &follower);
+    assert_eq!(repl.follower_count(), 1);
+
+    // STATS inputs: the primary sees the follower's progress via ACKs.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while repl.replication_lag() != 0 {
+        assert!(Instant::now() < deadline, "ACKs never drained the lag");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    frepl.shutdown();
+    repl.shutdown();
+    cleanup(&[&pd, &fd]);
+}
+
+#[test]
+fn checkpointed_primary_serves_snapshot_catch_up() {
+    let (pd, fd) = (tmp_dir("snap-p"), tmp_dir("snap-f"));
+    let primary = seed_primary(&pd, 8);
+    // Two checkpoints retire the chain the follower would have needed:
+    // a fresh follower (version 0) is behind the retained base, so the
+    // primary must open with a snapshot.
+    primary.checkpoint().unwrap();
+    for i in 8..14 {
+        mutate(&primary, i);
+    }
+    primary.checkpoint().unwrap();
+    for i in 14..17 {
+        mutate(&primary, i);
+    }
+    assert!(
+        primary.store().unwrap().oldest_retained().1 > 0,
+        "precondition: the follower's prefix is gone"
+    );
+
+    let repl = Replication::primary(Arc::clone(&primary), "127.0.0.1:0").unwrap();
+    let addr = repl.local_addr().unwrap().to_string();
+    let follower = open(&fd);
+    let frepl = Replication::follower(Arc::clone(&follower), &addr);
+    wait_caught_up(&frepl, &primary);
+    assert_bit_identical(&primary, &follower);
+
+    // The snapshot was persisted as a local checkpoint: a restart
+    // recovers without re-transfer and still matches the primary.
+    frepl.shutdown();
+    drop(follower);
+    let recovered = open(&fd);
+    assert_bit_identical(&primary, &recovered);
+
+    repl.shutdown();
+    cleanup(&[&pd, &fd]);
+}
+
+#[test]
+fn checkpoint_rotation_races_an_attached_follower() {
+    let (pd, fd) = (tmp_dir("race-p"), tmp_dir("race-f"));
+    let primary = seed_primary(&pd, 2);
+    let repl = Replication::primary(Arc::clone(&primary), "127.0.0.1:0").unwrap();
+    let addr = repl.local_addr().unwrap().to_string();
+    let follower = open(&fd);
+    let frepl = Replication::follower(Arc::clone(&follower), &addr);
+
+    // Interleave mutations with checkpoints (generation rotations and
+    // old-chain deletions) while the follower tails. Whatever mix of
+    // frames, gaps, and mid-stream snapshots results, the follower must
+    // converge to the same bits.
+    for i in 2..40 {
+        mutate(&primary, i);
+        if i % 7 == 0 {
+            primary.checkpoint().unwrap();
+        }
+    }
+    wait_caught_up(&frepl, &primary);
+    assert_bit_identical(&primary, &follower);
+
+    frepl.shutdown();
+    repl.shutdown();
+    cleanup(&[&pd, &fd]);
+}
+
+#[test]
+fn follower_stopped_mid_catch_up_rejoins_from_its_durable_prefix() {
+    let (pd, fd) = (tmp_dir("rejoin-p"), tmp_dir("rejoin-f"));
+    let primary = seed_primary(&pd, 30);
+    let repl = Replication::primary(Arc::clone(&primary), "127.0.0.1:0").unwrap();
+    let addr = repl.local_addr().unwrap().to_string();
+
+    // First attachment is cut short: seal the feed without waiting for
+    // catch-up, then drop the handle — an abrupt stop at an arbitrary
+    // applied prefix, like a crash (each applied frame was durable
+    // before the next, so recovery sees an exact prefix).
+    let follower = open(&fd);
+    let frepl = Replication::follower(Arc::clone(&follower), &addr);
+    while frepl.applied_version() == 0 && !frepl.connected() {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    frepl.shutdown();
+    let stopped_at = follower.version();
+    drop(frepl);
+    drop(follower);
+
+    // Rejoin from whatever prefix survived; more writes land meanwhile.
+    for i in 30..36 {
+        mutate(&primary, i);
+    }
+    let follower = open(&fd);
+    assert!(
+        follower.version() >= stopped_at,
+        "recovery lost an applied prefix"
+    );
+    follower.set_read_only(true); // recovery reopened it writable
+    let frepl = Replication::follower(Arc::clone(&follower), &addr);
+    wait_caught_up(&frepl, &primary);
+    assert_bit_identical(&primary, &follower);
+
+    frepl.shutdown();
+    repl.shutdown();
+    cleanup(&[&pd, &fd]);
+}
+
+#[test]
+fn promote_seals_the_feed_and_accepts_writes() {
+    let (pd, fd) = (tmp_dir("promo-p"), tmp_dir("promo-f"));
+    let primary = seed_primary(&pd, 10);
+    let repl = Replication::primary(Arc::clone(&primary), "127.0.0.1:0").unwrap();
+    let addr = repl.local_addr().unwrap().to_string();
+    let follower = open(&fd);
+    let frepl = Replication::follower(Arc::clone(&follower), &addr);
+    wait_caught_up(&frepl, &primary);
+
+    // Writes are refused until promotion…
+    assert!(follower.insert_tuples("obs", &[tuple![1.0, 1i64]]).is_err());
+    assert!(repl.promote().is_err(), "a primary cannot be promoted");
+
+    // …the primary dies, the follower takes over.
+    repl.shutdown();
+    frepl.promote().unwrap();
+    assert_eq!(frepl.role(), "primary");
+    assert!(!follower.is_read_only());
+    let before = follower.version();
+    follower
+        .insert_tuples("obs", &[tuple![9.5, 99i64]])
+        .unwrap();
+    assert!(follower.version() > before, "promoted node versions writes");
+
+    // Nothing acknowledged-and-replicated was lost across the failover.
+    assert_eq!(before, primary.version());
+
+    frepl.shutdown();
+    cleanup(&[&pd, &fd]);
+}
+
+mod random_join_prefix {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// A follower joining at a random mutation prefix — sometimes
+        /// after checkpoints have retired its prefix (snapshot path),
+        /// sometimes not (frame path) — always converges bit-identically
+        /// once the live tail drains.
+        #[test]
+        fn follower_joins_at_any_prefix(
+            prefix in 0u64..18,
+            checkpoint_at in 0u64..18,
+            suffix in 1u64..10,
+        ) {
+            let (pd, fd) = (tmp_dir("prop-p"), tmp_dir("prop-f"));
+            let primary = seed_primary(&pd, 0);
+            for i in 0..prefix {
+                mutate(&primary, i);
+                if i == checkpoint_at {
+                    primary.checkpoint().unwrap();
+                }
+            }
+            let repl =
+                Replication::primary(Arc::clone(&primary), "127.0.0.1:0").unwrap();
+            let addr = repl.local_addr().unwrap().to_string();
+            let follower = open(&fd);
+            let frepl = Replication::follower(Arc::clone(&follower), &addr);
+            for i in prefix..prefix + suffix {
+                mutate(&primary, i);
+            }
+            wait_caught_up(&frepl, &primary);
+            assert_bit_identical(&primary, &follower);
+            frepl.shutdown();
+            repl.shutdown();
+            cleanup(&[&pd, &fd]);
+        }
+    }
+}

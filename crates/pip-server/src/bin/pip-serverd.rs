@@ -3,6 +3,7 @@
 //! ```text
 //! pip-serverd [--addr HOST:PORT] [--data-dir DIR]
 //!             [--durability off|wal|sync] [--checkpoint-bytes N]
+//!             [--replication-addr HOST:PORT | --replicate-from HOST:PORT]
 //! ```
 //!
 //! With `--data-dir`, the catalog is recovered from the directory on
@@ -11,17 +12,32 @@
 //! is printed as `LISTENING <addr>` once the server accepts connections
 //! (use `--addr 127.0.0.1:0` to let the OS pick a port — the recovery
 //! integration test drives the daemon this way).
+//!
+//! Replication roles (see the `pip-replica` crate):
+//!
+//! * `--replication-addr` makes this node a **primary**: it binds a
+//!   second listener (printed as `REPLICATING <addr>`) and ships its WAL
+//!   to any follower that connects. Requires `--data-dir`, and pins
+//!   durability on (`SET DURABILITY OFF` is refused while replicating).
+//! * `--replicate-from` makes this node a **follower** of the primary's
+//!   replication address: the catalog is read-only (queries, `EXEC`, and
+//!   sampling are served as usual; mutations answer `ERR`) and tracks
+//!   the primary's log. With `--data-dir`, applied state is durable, so
+//!   a restart resumes from its local prefix instead of re-transferring.
+//!   The `PROMOTE` protocol verb seals the feed and flips it writable.
 
 use std::io::Write;
 use std::sync::Arc;
 
 use pip_engine::{Database, Durability};
+use pip_replica::Replication;
 use pip_server::server::{serve, ServerOptions};
 
 fn usage() -> ! {
     eprintln!(
         "usage: pip-serverd [--addr HOST:PORT] [--data-dir DIR] \
-         [--durability off|wal|sync] [--checkpoint-bytes N]"
+         [--durability off|wal|sync] [--checkpoint-bytes N] \
+         [--replication-addr HOST:PORT | --replicate-from HOST:PORT]"
     );
     std::process::exit(2);
 }
@@ -30,6 +46,8 @@ fn main() {
     let mut addr = "127.0.0.1:7432".to_string();
     let mut data_dir: Option<String> = None;
     let mut durability: Option<Durability> = None;
+    let mut replication_addr: Option<String> = None;
+    let mut replicate_from: Option<String> = None;
     let mut options = ServerOptions::default();
 
     let mut args = std::env::args().skip(1);
@@ -44,8 +62,18 @@ fn main() {
             "--checkpoint-bytes" => {
                 options.checkpoint_wal_bytes = value().parse().unwrap_or_else(|_| usage())
             }
+            "--replication-addr" => replication_addr = Some(value()),
+            "--replicate-from" => replicate_from = Some(value()),
             _ => usage(),
         }
+    }
+    if replication_addr.is_some() && replicate_from.is_some() {
+        eprintln!("pip-serverd: --replication-addr and --replicate-from are mutually exclusive");
+        std::process::exit(2);
+    }
+    if replication_addr.is_some() && data_dir.is_none() {
+        eprintln!("pip-serverd: --replication-addr requires --data-dir (the WAL is the feed)");
+        std::process::exit(2);
     }
 
     let db = match &data_dir {
@@ -72,8 +100,25 @@ fn main() {
         }
         None => Database::new(),
     };
+    let db = Arc::new(db);
 
-    let handle = serve(Arc::new(db), addr.as_str(), options).unwrap_or_else(|e| {
+    options.replication = if let Some(repl_addr) = &replication_addr {
+        let repl = Replication::primary(Arc::clone(&db), repl_addr).unwrap_or_else(|e| {
+            eprintln!("pip-serverd: cannot start replication on {repl_addr}: {e}");
+            std::process::exit(1);
+        });
+        println!(
+            "REPLICATING {}",
+            repl.local_addr().expect("primary address")
+        );
+        Some(Arc::new(repl))
+    } else {
+        replicate_from
+            .as_ref()
+            .map(|from| Arc::new(Replication::follower(Arc::clone(&db), from)))
+    };
+
+    let handle = serve(db, addr.as_str(), options).unwrap_or_else(|e| {
         eprintln!("pip-serverd: cannot bind {addr}: {e}");
         std::process::exit(1);
     });

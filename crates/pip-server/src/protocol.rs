@@ -12,6 +12,7 @@
 //! SET <key> <value>        THREADS | SEED | SAMPLES | EPSILON | DELTA | COMPILE | REUSE
 //!                          | DURABILITY (catalog-wide: OFF | WAL | SYNC)
 //! CHECKPOINT               snapshot the catalog, start a fresh WAL
+//! PROMOTE                  seal a follower's replication feed, go writable
 //! STATS                    session counters and sampler settings
 //! PING                     liveness probe
 //! QUIT                     close the connection
@@ -21,6 +22,14 @@
 //! opened over a data directory (`pip-serverd --data-dir`); unlike the
 //! sampler knobs, durability is a property of the shared catalog, not
 //! of the issuing session.
+//!
+//! On a replicated node, `STATS` also reports `version=` (the catalog
+//! version this node serves — on the primary the write counter, on a
+//! follower the applied version; clients wanting read-your-writes pick
+//! a replica whose version has reached their write's), `role=`
+//! (`primary`/`replica`), and `replication_lag=`. `PROMOTE` is the
+//! failover verb: on a follower it seals the replication feed and opens
+//! the write gate; on a primary (or a standalone node) it is an error.
 //!
 //! `ANALYZE` is the SQL statement on the wire: `ANALYZE [<table>]`
 //! routes through the QUERY handler unchanged, so `QUERY ANALYZE t` and
@@ -54,6 +63,7 @@ pub enum Command {
     Deallocate(String),
     Set { key: String, value: String },
     Checkpoint,
+    Promote,
     Stats,
     Ping,
     Quit,
@@ -104,12 +114,13 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
             })
         }
         "CHECKPOINT" => Ok(Command::Checkpoint),
+        "PROMOTE" => Ok(Command::Promote),
         "STATS" => Ok(Command::Stats),
         "PING" => Ok(Command::Ping),
         "QUIT" | "EXIT" => Ok(Command::Quit),
         "" => Err("empty request".into()),
         other => Err(format!(
-            "unknown command '{other}' (try QUERY/STREAM/PREPARE/EXEC/SET/CHECKPOINT/STATS/PING/QUIT)"
+            "unknown command '{other}' (try QUERY/STREAM/PREPARE/EXEC/SET/CHECKPOINT/PROMOTE/STATS/PING/QUIT)"
         )),
     }
 }
@@ -349,6 +360,16 @@ pub fn handle_command(session: &mut Session, cmd: Command) -> Reply {
             Ok(generation) => Reply::line(format!("OK checkpoint generation={generation}")),
             Err(e) => Reply::err(e),
         },
+        Command::Promote => match session.replication() {
+            None => Reply::err("PROMOTE: this node is not replicating"),
+            Some(repl) => match repl.promote() {
+                Ok(()) => Reply::line(format!(
+                    "OK promoted role=primary version={}",
+                    session.database().version()
+                )),
+                Err(e) => Reply::err(e),
+            },
+        },
         Command::Stats => {
             let s = session.stats();
             let durability = match session.database().durability() {
@@ -358,8 +379,28 @@ pub fn handle_command(session: &mut Session, cmd: Command) -> Reply {
                 ),
                 None => String::new(),
             };
+            // Replicated nodes expose what read-your-writes routing and
+            // failover tooling need: the served version, the role, and
+            // how far behind (follower) / ahead of the slowest follower
+            // (primary) this node is.
+            let replication = match session.replication() {
+                Some(repl) if repl.role() == "primary" => format!(
+                    " version={} role=primary followers={} replication_lag={}",
+                    session.database().version(),
+                    repl.follower_count(),
+                    repl.replication_lag(),
+                ),
+                Some(repl) => format!(
+                    " version={} role=replica applied_version={} replication_lag={} connected={}",
+                    session.database().version(),
+                    repl.applied_version(),
+                    repl.replication_lag(),
+                    repl.connected(),
+                ),
+                None => format!(" version={}", session.database().version()),
+            };
             Reply::line(format!(
-                "OK session={} queries={} cache_hits={} prepared={} threads={} seed={} samples={}..{}{durability}",
+                "OK session={} queries={} cache_hits={} prepared={} threads={} seed={} samples={}..{}{durability}{replication}",
                 session.id(),
                 s.queries,
                 s.cache_hits,

@@ -9,6 +9,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use pip_engine::Database;
+use pip_replica::Replication;
 use pip_sampling::SamplerConfig;
 
 use crate::protocol;
@@ -35,6 +36,10 @@ pub struct ServerOptions {
     pub checkpoint_wal_bytes: u64,
     /// How often the background checkpointer polls the WAL size.
     pub checkpoint_poll: std::time::Duration,
+    /// The node's replication role (primary fan-out or follower apply
+    /// loop), when it has one. Sessions report it in `STATS` and route
+    /// `PROMOTE` to it; the server does not otherwise interfere with it.
+    pub replication: Option<Arc<Replication>>,
 }
 
 impl Default for ServerOptions {
@@ -45,6 +50,7 @@ impl Default for ServerOptions {
             result_cache: 64,
             checkpoint_wal_bytes: 8 << 20,
             checkpoint_poll: std::time::Duration::from_millis(100),
+            replication: None,
         }
     }
 }
@@ -123,7 +129,8 @@ pub fn serve(
     let addr = listener.local_addr()?;
     let manager = Arc::new(
         SessionManager::new(db, options.default_config.clone())
-            .with_cache_capacities(options.prepared_cache, options.result_cache),
+            .with_cache_capacities(options.prepared_cache, options.result_cache)
+            .with_replication(options.replication.clone()),
     );
     let shutdown = Arc::new(AtomicBool::new(false));
     let active = Arc::new(AtomicUsize::new(0));

@@ -20,6 +20,7 @@ use pip_core::{PipError, Result};
 use pip_ctable::CTable;
 use pip_engine::sql::{self, Statement};
 use pip_engine::{optimize, Database, Plan};
+use pip_replica::Replication;
 use pip_sampling::SamplerConfig;
 
 use crate::lru::Lru;
@@ -77,6 +78,7 @@ pub struct Session {
     results: Lru<String, Arc<CTable>>,
     next_generation: u64,
     stats: SessionStats,
+    replication: Option<Arc<Replication>>,
 }
 
 impl Session {
@@ -86,6 +88,12 @@ impl Session {
 
     pub fn database(&self) -> &Arc<Database> {
         &self.db
+    }
+
+    /// The node's replication role, when the server runs as a primary
+    /// or follower (`None` on a standalone node).
+    pub fn replication(&self) -> Option<&Arc<Replication>> {
+        self.replication.as_ref()
     }
 
     pub fn stats(&self) -> SessionStats {
@@ -251,6 +259,7 @@ pub struct SessionManager {
     prepared_capacity: usize,
     result_capacity: usize,
     next_id: AtomicU64,
+    replication: Option<Arc<Replication>>,
 }
 
 impl SessionManager {
@@ -261,6 +270,7 @@ impl SessionManager {
             prepared_capacity: 32,
             result_capacity: 64,
             next_id: AtomicU64::new(1),
+            replication: None,
         }
     }
 
@@ -268,6 +278,13 @@ impl SessionManager {
     pub fn with_cache_capacities(mut self, prepared: usize, results: usize) -> Self {
         self.prepared_capacity = prepared;
         self.result_capacity = results;
+        self
+    }
+
+    /// Attach the node's replication role: sessions report it in STATS
+    /// and route PROMOTE to it.
+    pub fn with_replication(mut self, replication: Option<Arc<Replication>>) -> Self {
+        self.replication = replication;
         self
     }
 
@@ -290,6 +307,7 @@ impl SessionManager {
             results: Lru::new(self.result_capacity),
             next_generation: 0,
             stats: SessionStats::default(),
+            replication: self.replication.clone(),
         }
     }
 }

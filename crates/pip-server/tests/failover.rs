@@ -1,0 +1,316 @@
+//! Replication failover integration tests: real `pip-serverd` processes
+//! — one primary and followers over loopback TCP — killed hard (SIGKILL)
+//! and promoted.
+//!
+//! The headline property mirrors the recovery suite's: every reply a
+//! caught-up follower serves is **byte-identical** to the primary's
+//! (rendered rows, variable identities, sampled f64s), and after killing
+//! the primary and PROMOTE-ing a follower, no acknowledged-and-
+//! replicated mutation is lost.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// A line-protocol test client (mirrors `tests/recovery.rs`).
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut c = Client {
+            reader: BufReader::new(stream.try_clone().expect("clone")),
+            writer: stream,
+        };
+        let banner = c.read_line();
+        assert!(banner.starts_with("PIP server ready"), "{banner}");
+        c
+    }
+
+    fn read_line(&mut self) -> String {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read");
+        line.trim_end().to_string()
+    }
+
+    fn send(&mut self, cmd: &str) -> Vec<String> {
+        self.writer
+            .write_all(format!("{cmd}\n").as_bytes())
+            .expect("write");
+        let first = self.read_line();
+        let mut lines = vec![first.clone()];
+        if first.starts_with("OK") && first.contains(" rows ") {
+            loop {
+                let line = self.read_line();
+                let done = line == "END";
+                lines.push(line);
+                if done {
+                    break;
+                }
+            }
+        }
+        lines
+    }
+
+    fn ok(&mut self, cmd: &str) -> Vec<String> {
+        let reply = self.send(cmd);
+        assert!(reply[0].starts_with("OK"), "{cmd} -> {reply:?}");
+        reply
+    }
+
+    /// Pull one `key=value` integer out of the STATS line.
+    fn stat(&mut self, key: &str) -> u64 {
+        let line = &self.ok("STATS")[0];
+        stat_field(line, key).unwrap_or_else(|| panic!("no {key}= in {line}"))
+    }
+}
+
+fn stat_field(line: &str, key: &str) -> Option<u64> {
+    let tail = line.split(&format!(" {key}=")).nth(1)?;
+    tail.split(|c: char| !c.is_ascii_digit())
+        .next()?
+        .parse()
+        .ok()
+}
+
+struct Daemon {
+    child: Child,
+    addr: String,
+    /// The replication listener's address (primaries only).
+    repl_addr: Option<String>,
+}
+
+impl Daemon {
+    fn spawn(data_dir: &std::path::Path, extra: &[&str]) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_pip-serverd"))
+            .arg("--addr")
+            .arg("127.0.0.1:0")
+            .arg("--data-dir")
+            .arg(data_dir)
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn pip-serverd");
+        let stdout = child.stdout.take().expect("stdout piped");
+        let mut lines = BufReader::new(stdout);
+        // A replicating primary announces REPLICATING before LISTENING.
+        let mut repl_addr = None;
+        let addr = loop {
+            let mut line = String::new();
+            lines.read_line(&mut line).expect("read banner line");
+            if let Some(a) = line.strip_prefix("REPLICATING ") {
+                repl_addr = Some(a.trim().to_string());
+            } else if let Some(a) = line.strip_prefix("LISTENING ") {
+                break a.trim().to_string();
+            } else {
+                panic!("unexpected banner {line:?}");
+            }
+        };
+        Daemon {
+            child,
+            addr,
+            repl_addr,
+        }
+    }
+
+    /// SIGKILL — no shutdown handling runs, exactly like a crash.
+    fn kill(mut self) {
+        self.child.kill().expect("kill");
+        self.child.wait().expect("wait");
+    }
+}
+
+/// A panicking test must not leak its daemons.
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("pip-server-failover-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Block until `follower`'s applied version reaches `version`.
+fn wait_applied(follower: &mut Client, version: u64) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if follower.stat("applied_version") >= version {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "follower never reached version {version}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// The mixed workload: symbolic joins (fig6-style) plus deterministic
+/// rows, written through the primary.
+fn load_workload(c: &mut Client) {
+    c.ok("QUERY CREATE TABLE orders (cust TEXT, ship_to TEXT, price SYMBOLIC)");
+    c.ok("QUERY CREATE TABLE shipping (dest TEXT, duration SYMBOLIC)");
+    c.ok("QUERY INSERT INTO shipping VALUES \
+         ('NY', create_variable('Normal', 5, 2)), \
+         ('LA', create_variable('Normal', 9, 2)), \
+         ('SF', create_variable('Exponential', 0.2))");
+    for i in 0..8 {
+        let dest = ["NY", "LA", "SF"][i % 3];
+        let mu = 50 + 10 * i;
+        c.ok(&format!(
+            "QUERY INSERT INTO orders VALUES \
+             ('c{i}', '{dest}', create_variable('Normal', {mu}, 7))"
+        ));
+    }
+}
+
+/// The read side of the workload — sampling heads and plain scans —
+/// returning every reply block for byte comparison. The session-local
+/// `(fresh)`/`(cached)` marker is normalized away: whether a *session*
+/// re-served its own result says nothing about cross-node identity.
+fn run_queries(c: &mut Client) -> Vec<Vec<String>> {
+    [
+        "QUERY SELECT expected_sum(price) FROM orders, shipping \
+         WHERE ship_to = dest AND duration >= 7",
+        "QUERY SELECT ship_to, expected_avg(price) FROM orders GROUP BY ship_to",
+        "QUERY SELECT conf() FROM orders, shipping WHERE ship_to = dest AND duration >= 7",
+        "QUERY SELECT cust, price FROM orders WHERE ship_to = 'NY'",
+    ]
+    .iter()
+    .map(|q| {
+        let mut block = c.ok(q);
+        block[0] = block[0].replace(" (cached)", "").replace(" (fresh)", "");
+        block
+    })
+    .collect()
+}
+
+#[test]
+fn two_followers_then_kill_primary_and_promote() {
+    let (pd, f1d, f2d) = (tmp_dir("ha-p"), tmp_dir("ha-f1"), tmp_dir("ha-f2"));
+    let primary = Daemon::spawn(&pd, &["--replication-addr", "127.0.0.1:0"]);
+    let feed = primary.repl_addr.clone().expect("REPLICATING banner");
+    let follower1 = Daemon::spawn(&f1d, &["--replicate-from", &feed]);
+    let follower2 = Daemon::spawn(&f2d, &["--replicate-from", &feed]);
+
+    let mut pc = Client::connect(&primary.addr);
+    let mut f1 = Client::connect(&follower1.addr);
+    let mut f2 = Client::connect(&follower2.addr);
+
+    // Mixed workload lands on the primary while both followers tail it.
+    load_workload(&mut pc);
+    let version = pc.stat("version");
+    assert!(pc.ok("STATS")[0].contains("role=primary"));
+    // Follower registration (TCP connect + HELLO) races the workload —
+    // wait for both to appear rather than asserting a point-in-time count.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while pc.stat("followers") < 2 {
+        assert!(Instant::now() < deadline, "followers never registered");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    wait_applied(&mut f1, version);
+    wait_applied(&mut f2, version);
+
+    // Every reply byte-identical across all three nodes, and the
+    // followers advertise their role and staleness.
+    let expect = run_queries(&mut pc);
+    assert_eq!(expect, run_queries(&mut f1), "follower 1 diverges");
+    assert_eq!(expect, run_queries(&mut f2), "follower 2 diverges");
+    let stats = f1.ok("STATS");
+    assert!(stats[0].contains("role=replica"), "{stats:?}");
+    assert!(stats[0].contains("connected=true"), "{stats:?}");
+
+    // Followers refuse writes and promotion is follower-only.
+    let denied = f1.send("QUERY INSERT INTO orders VALUES ('x', 'NY', 1.0)");
+    assert!(denied[0].starts_with("ERR"), "{denied:?}");
+    assert!(denied[0].contains("read-only"), "{denied:?}");
+    let denied = pc.send("PROMOTE");
+    assert!(denied[0].starts_with("ERR"), "{denied:?}");
+
+    // Kill the primary hard; follower 1 takes over.
+    drop(pc);
+    primary.kill();
+    let promoted = f1.ok("PROMOTE");
+    assert!(promoted[0].contains("role=primary"), "{promoted:?}");
+    assert_eq!(
+        stat_field(&promoted[0], "version"),
+        Some(version),
+        "promotion lost acknowledged mutations"
+    );
+    assert!(f1.ok("STATS")[0].contains("role=primary"));
+
+    // The promoted node serves the exact pre-failover state, then
+    // accepts writes.
+    assert_eq!(expect, run_queries(&mut f1), "promoted node diverges");
+    f1.ok("QUERY INSERT INTO orders VALUES ('post', 'LA', create_variable('Normal', 10, 1))");
+    let grown = f1.ok("QUERY SELECT cust FROM orders");
+    assert!(grown[0].starts_with("OK 9 rows"), "{grown:?}");
+
+    // The un-promoted follower still serves (stale) reads.
+    assert_eq!(expect, run_queries(&mut f2), "surviving follower diverges");
+    drop(f1);
+    drop(f2);
+    follower1.kill();
+    follower2.kill();
+    for d in [&pd, &f1d, &f2d] {
+        std::fs::remove_dir_all(d).unwrap();
+    }
+}
+
+#[test]
+fn follower_sigkilled_mid_catch_up_rejoins_cleanly() {
+    let (pd, fd) = (tmp_dir("rejoin-p"), tmp_dir("rejoin-f"));
+    let primary = Daemon::spawn(&pd, &["--replication-addr", "127.0.0.1:0"]);
+    let feed = primary.repl_addr.clone().expect("REPLICATING banner");
+
+    let mut pc = Client::connect(&primary.addr);
+    load_workload(&mut pc);
+    for i in 0..60 {
+        pc.ok(&format!(
+            "QUERY INSERT INTO orders VALUES ('k{i}', 'NY', {i}.5)"
+        ));
+    }
+
+    // Attach a follower and SIGKILL it almost immediately — with ~70
+    // frames to ship it dies at an arbitrary point of catch-up. Each
+    // applied frame was durable before the next, so whatever prefix it
+    // reached is what its data dir holds.
+    let follower = Daemon::spawn(&fd, &["--replicate-from", &feed]);
+    std::thread::sleep(Duration::from_millis(20));
+    follower.kill();
+
+    // More writes land while the follower is down.
+    for i in 60..70 {
+        pc.ok(&format!(
+            "QUERY INSERT INTO orders VALUES ('k{i}', 'NY', {i}.5)"
+        ));
+    }
+    let version = pc.stat("version");
+
+    // Rejoin from the surviving prefix; it must converge byte-for-byte.
+    let follower = Daemon::spawn(&fd, &["--replicate-from", &feed]);
+    let mut fc = Client::connect(&follower.addr);
+    wait_applied(&mut fc, version);
+    let expect = run_queries(&mut pc);
+    assert_eq!(expect, run_queries(&mut fc), "rejoined follower diverges");
+    let count = fc.ok("QUERY SELECT cust FROM orders");
+    assert!(count[0].starts_with("OK 78 rows"), "{count:?}");
+
+    drop(pc);
+    drop(fc);
+    follower.kill();
+    primary.kill();
+    std::fs::remove_dir_all(&pd).unwrap();
+    std::fs::remove_dir_all(&fd).unwrap();
+}

@@ -17,9 +17,12 @@
 //!   parser;
 //! * [`wal`] — length+CRC32 framed append-only log with torn-tail
 //!   truncation on replay;
-//! * [`snapshot`] — whole-catalog checkpoint files (temp + rename);
+//! * [`snapshot`] — whole-catalog checkpoint files (temp + rename), plus
+//!   the byte codecs replication uses to ship a snapshot over the wire;
 //! * [`store`] — the data-directory manager: generations, the recovery
-//!   protocol, [`Durability`] levels (`OFF` / `WAL` / `SYNC`).
+//!   protocol, [`Durability`] levels (`OFF` / `WAL` / `SYNC`);
+//! * [`tail`] — reading acknowledged frames back out of a live directory
+//!   past a [`WalCursor`] (the primary side of WAL-shipping replication).
 //!
 //! The crate knows the catalog *data model* (`pip-core` / `pip-expr` /
 //! `pip-ctable` / `pip-dist`) but not the engine: `pip-engine`'s
@@ -30,9 +33,11 @@
 pub mod codec;
 pub mod snapshot;
 pub mod store;
+pub mod tail;
 pub mod wal;
 
 pub use codec::{CatalogRecord, WalEntry};
-pub use snapshot::{Snapshot, SnapshotTable};
+pub use snapshot::{snapshot_from_bytes, snapshot_to_bytes, Snapshot, SnapshotTable};
 pub use store::{Durability, Recovered, Store};
+pub use tail::{TailFrame, TailRead, WalCursor};
 pub use wal::crc32;

@@ -110,12 +110,12 @@ fn decode_snapshot(v: &Json, registry: &DistributionRegistry) -> Result<Snapshot
     })
 }
 
-/// Write generation `gen`'s snapshot (temp file + fsync + rename).
-pub(crate) fn write_snapshot(dir: &Path, gen: u64, snapshot: &Snapshot) -> Result<()> {
-    let encoded = encode_snapshot(snapshot);
-    // A snapshot [`read_snapshot`] would refuse must never be written —
-    // it would fail recovery outright (the WAL generations it superseded
-    // are deleted right after this returns).
+/// Serialize a snapshot to the standalone payload form replication ships
+/// to a catching-up follower: the same JSON document a snapshot file
+/// frames, without the file header. Enforces the write contract (nesting
+/// depth) so nothing unreadable crosses the wire.
+pub fn snapshot_to_bytes(s: &Snapshot) -> Result<Vec<u8>> {
+    let encoded = encode_snapshot(s);
     if json_too_deep(&encoded) {
         return Err(PipError::io(format!(
             "snapshot serializes to JSON nested deeper than the \
@@ -124,6 +124,27 @@ pub(crate) fn write_snapshot(dir: &Path, gen: u64, snapshot: &Snapshot) -> Resul
     }
     let payload = serde_json::to_string(&encoded)
         .map_err(|e| PipError::io(format!("snapshot encode: {e}")))?;
+    Ok(payload.into_bytes())
+}
+
+/// Decode a snapshot shipped as bytes (see [`snapshot_to_bytes`]). The
+/// transport's checksum has already vouched for the bytes; any failure
+/// here is corruption.
+pub fn snapshot_from_bytes(bytes: &[u8], registry: &DistributionRegistry) -> Result<Snapshot> {
+    let text = std::str::from_utf8(bytes)
+        .map_err(|_| PipError::corrupt("snapshot payload is not UTF-8"))?;
+    let json = serde_json::from_str(text)
+        .map_err(|e| PipError::corrupt(format!("snapshot payload: {e}")))?;
+    decode_snapshot(&json, registry)
+}
+
+/// Write generation `gen`'s snapshot (temp file + fsync + rename).
+pub(crate) fn write_snapshot(dir: &Path, gen: u64, snapshot: &Snapshot) -> Result<()> {
+    // A snapshot [`read_snapshot`] would refuse must never be written —
+    // it would fail recovery outright (the WAL generations it superseded
+    // are deleted right after this returns). `snapshot_to_bytes` carries
+    // the nesting-depth half of that contract.
+    let payload = snapshot_to_bytes(snapshot)?;
     // Same reasoning for the frame's length field: past u32 it would
     // wrap and the file would read back truncated/checksum-broken.
     if payload.len() > u32::MAX as usize {
@@ -137,7 +158,7 @@ pub(crate) fn write_snapshot(dir: &Path, gen: u64, snapshot: &Snapshot) -> Resul
         let mut f = std::fs::File::create(&tmp)?;
         f.write_all(SNAP_MAGIC)?;
         f.write_all(&gen.to_le_bytes())?;
-        f.write_all(&frame(payload.as_bytes()))?;
+        f.write_all(&frame(&payload))?;
         f.sync_all()?;
     }
     std::fs::rename(&tmp, snapshot_path(dir, gen))?;

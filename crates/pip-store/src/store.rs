@@ -110,6 +110,13 @@ pub struct Store {
     dir: PathBuf,
     durability: AtomicU8,
     wal: Mutex<WalWriter>,
+    /// Base of the retained WAL chain: the newest snapshot's generation
+    /// and the catalog version it captured (`(0, 0)` when recovery found
+    /// no snapshot — the chain reaches back to the empty catalog). The
+    /// replication primary compares a follower's applied version against
+    /// this to decide frame catch-up vs snapshot catch-up; see
+    /// [`Store::oldest_retained`].
+    retained: Mutex<(u64, u64)>,
 }
 
 /// Generations present in a data directory, from its file names.
@@ -246,6 +253,10 @@ impl Store {
                 tables.insert(t.name, (table, t.stats));
             }
         }
+        // The retained WAL chain starts at the base snapshot: a follower
+        // whose applied version is at or past the snapshot's can catch up
+        // from frames alone.
+        let retained = (base_gen, version);
 
         // Replay WAL generations ≥ the snapshot generation, in order. A
         // torn tail is only tolerable when no *later* generation holds
@@ -320,6 +331,7 @@ impl Store {
             dir,
             durability: AtomicU8::new(Durability::Wal.as_u8()),
             wal: Mutex::new(wal),
+            retained: Mutex::new(retained),
         };
         let recovered = Recovered {
             tables: tables
@@ -382,6 +394,33 @@ impl Store {
         self.wal.lock().unwrap_or_else(|e| e.into_inner()).gen
     }
 
+    /// Base of the retained WAL chain as `(generation, version)`: the
+    /// newest snapshot's generation and the catalog version it captured.
+    /// A replication follower whose applied version is `>=` that version
+    /// can catch up from WAL frames alone (starting at that generation's
+    /// first frame); anything older needs a snapshot transfer — the
+    /// frames that would bring it forward were deleted with the
+    /// pre-snapshot generations.
+    pub fn oldest_retained(&self) -> (u64, u64) {
+        *self.retained.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The acknowledged end of the WAL chain: active generation plus the
+    /// offset just past its last acknowledged frame. Frames at or beyond
+    /// this position either do not exist yet or are unacknowledged
+    /// in-flight writes a tailer must not ship.
+    pub(crate) fn acknowledged_end(&self) -> (u64, u64) {
+        let wal = self.wal.lock().unwrap_or_else(|e| e.into_inner());
+        (wal.gen, crate::wal::HEADER_LEN + wal.record_bytes)
+    }
+
+    /// Current tail position of the WAL chain as a [`WalCursor`] — where
+    /// a replication feed that is fully caught up would stand.
+    pub fn wal_position(&self) -> crate::tail::WalCursor {
+        let (gen, offset) = self.acknowledged_end();
+        crate::tail::WalCursor { gen, offset }
+    }
+
     /// Checkpoint phase 1: seal the current WAL generation and switch
     /// appends to a fresh one. Returns the new generation, whose
     /// snapshot the caller must then produce with
@@ -397,13 +436,15 @@ impl Store {
     pub fn begin_checkpoint(&self) -> Result<u64> {
         let mut wal = self.wal.lock().unwrap_or_else(|e| e.into_inner());
         // A generation must not be sealed with garbage from a failed
-        // append at its tail: were the snapshot write then to fail (or
-        // crash), recovery would find a torn generation followed by one
-        // holding acknowledged records, and refuse to start.
-        wal.ensure_clean_tail()?;
-        // Everything the snapshot will supersede must be durable before
-        // the old generation becomes eligible for deletion.
-        wal.sync()?;
+        // append at its tail (were the snapshot write then to fail or
+        // crash, recovery would find a torn generation followed by one
+        // holding acknowledged records, and refuse to start), nor with
+        // zeroed preallocation padding (readers take a sealed file's
+        // length as the end of its record stream). And everything the
+        // snapshot will supersede must be durable before the old
+        // generation becomes eligible for deletion. `seal` does all
+        // three: clean tail, trim, sync.
+        wal.seal()?;
         let new_gen = wal.gen + 1;
         // Rotation order is load-bearing: the new generation's (empty)
         // WAL is created *before* its snapshot can exist, so once the
@@ -423,6 +464,11 @@ impl Store {
     /// previous snapshot as recovery base — nothing was deleted.
     pub fn finish_checkpoint(&self, gen: u64, snapshot: &Snapshot) -> Result<()> {
         write_snapshot(&self.dir, gen, snapshot)?;
+        // The retained chain now starts here. Advance *before* deleting:
+        // a tailer that consults the stale (smaller) base merely takes an
+        // unnecessary snapshot path, while the reverse order would let it
+        // commit to reading files about to disappear.
+        *self.retained.lock().unwrap_or_else(|e| e.into_inner()) = (gen, snapshot.version);
         // Older generations are now redundant; removal is best-effort
         // (recovery ignores generations older than the newest snapshot).
         if let Ok((snaps, wals)) = scan_generations(&self.dir) {
@@ -778,7 +824,11 @@ mod tests {
         }
         WalWriter::create(&dir, 1).unwrap(); // the stray empty generation
         let wal0 = wal_path(&dir, 0);
+        // The tear sits at the write cursor — the end of the acknowledged
+        // frames, before any preallocation padding.
+        let clean = replay_wal(&dir, 0, &registry).unwrap();
         let mut bytes = std::fs::read(&wal0).unwrap();
+        bytes.truncate(clean.valid_bytes as usize);
         bytes.extend_from_slice(&[0x13, 0x37, 0x00]);
         std::fs::write(&wal0, &bytes).unwrap();
 

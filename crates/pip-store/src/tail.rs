@@ -1,0 +1,470 @@
+//! Tailing the WAL back out of a live data directory — the read side of
+//! WAL-shipping replication.
+//!
+//! A tailer holds a [`WalCursor`] (generation + byte offset) and calls
+//! [`Store::read_wal_frames`] to pull acknowledged frames past it. The
+//! store never blocks appends for a tailer: reads go straight to the
+//! files, bounded by the acknowledged end of the chain captured from the
+//! writer (acknowledged frame bytes are immutable — `record_bytes` only
+//! grows, and every truncation restores exactly that boundary). Sealed
+//! generations (anything below the active one) are read to the end of
+//! their frames — zero padding from preallocation, where present, reads
+//! as the end of the stream exactly as it does in recovery — and the
+//! cursor then advances to the next generation's first frame.
+//!
+//! A checkpoint can delete the file a cursor points into (retention only
+//! guarantees generations at or above [`Store::oldest_retained`]). That
+//! is not an error but a [`TailRead::Gap`]: the tailer fell off the
+//! retained chain and must restart from a snapshot.
+
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::Path;
+
+use pip_core::{PipError, Result};
+use serde_json::Value as Json;
+
+use crate::store::Store;
+use crate::wal::{crc32, wal_path, HEADER_LEN, MAX_FRAME_BYTES, WAL_MAGIC};
+
+/// A position in the WAL chain: a generation and a byte offset into its
+/// file. Offsets always sit on a frame boundary (or the file header's
+/// end, [`WalCursor::start`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalCursor {
+    pub gen: u64,
+    pub offset: u64,
+}
+
+impl WalCursor {
+    /// The first frame of generation `gen`.
+    pub fn start(gen: u64) -> WalCursor {
+        WalCursor {
+            gen,
+            offset: HEADER_LEN,
+        }
+    }
+}
+
+/// One acknowledged frame read back off the chain.
+#[derive(Debug, Clone)]
+pub struct TailFrame {
+    /// The entry's catalog version stamp, extracted from the payload
+    /// (non-decreasing along the chain — the replication invariant).
+    pub version: u64,
+    /// The frame's payload exactly as written: one JSON
+    /// [`WalEntry`](crate::codec::WalEntry) document. Shipped verbatim;
+    /// the follower decodes it through the same codec recovery uses.
+    pub payload: Vec<u8>,
+}
+
+/// Result of one [`Store::read_wal_frames`] call.
+#[derive(Debug)]
+pub enum TailRead {
+    /// Frames past the cursor (empty when caught up) and the cursor to
+    /// continue from.
+    Frames {
+        frames: Vec<TailFrame>,
+        cursor: WalCursor,
+    },
+    /// The cursor's generation fell below the retained chain (its file
+    /// was deleted by a checkpoint). The tailer must restart from a
+    /// snapshot.
+    Gap,
+}
+
+/// What one generation file yielded.
+struct GenRead {
+    frames: Vec<TailFrame>,
+    end_offset: u64,
+    /// False when the read stopped at `max` with more frames available
+    /// in this file; true when it consumed everything readable (hit the
+    /// limit, padding, or end of file).
+    exhausted: bool,
+}
+
+impl Store {
+    /// Read up to `max_frames` acknowledged frames past `cursor`,
+    /// advancing across sealed generations. Returns [`TailRead::Gap`]
+    /// when the cursor's generation was already retired by a checkpoint.
+    ///
+    /// Never blocks appends (the writer lock is taken only to sample the
+    /// acknowledged end of the chain) and never returns bytes of an
+    /// unacknowledged in-flight append.
+    pub fn read_wal_frames(&self, cursor: WalCursor, max_frames: usize) -> Result<TailRead> {
+        let mut cursor = cursor;
+        let mut frames: Vec<TailFrame> = Vec::new();
+        while frames.len() < max_frames {
+            let (active_gen, active_end) = self.acknowledged_end();
+            if cursor.gen > active_gen {
+                // Can only happen if the caller fabricated a cursor past
+                // the chain; report caught-up rather than inventing data.
+                break;
+            }
+            let sealed = cursor.gen < active_gen;
+            // Acknowledged frames are immutable once written, so a limit
+            // sampled here stays valid however far appends race ahead.
+            let limit = if sealed { u64::MAX } else { active_end };
+            if cursor.offset >= limit {
+                break; // caught up with the active generation
+            }
+            let read = match read_generation(
+                self.dir(),
+                cursor.gen,
+                cursor.offset,
+                limit,
+                max_frames - frames.len(),
+            )? {
+                None => return Ok(TailRead::Gap),
+                Some(r) => r,
+            };
+            frames.extend(read.frames);
+            cursor.offset = read.end_offset;
+            if !read.exhausted {
+                continue; // more frames in this file; cap check loops us out
+            }
+            if sealed {
+                // End of a sealed generation's records: the stream
+                // continues at the next generation's first frame.
+                cursor = WalCursor::start(cursor.gen + 1);
+            } else {
+                break; // drained the active file to its acknowledged end
+            }
+        }
+        Ok(TailRead::Frames { frames, cursor })
+    }
+}
+
+/// Read frames of generation `gen` from `offset`, stopping at byte
+/// `limit`, end of frames, or `max` frames. `None` means the file is
+/// gone (retired by a checkpoint).
+fn read_generation(
+    dir: &Path,
+    gen: u64,
+    offset: u64,
+    limit: u64,
+    max: usize,
+) -> Result<Option<GenRead>> {
+    let path = wal_path(dir, gen);
+    let mut file = match File::open(&path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    // Guard against a cross-wired cursor before trusting any offset.
+    let mut header = [0u8; HEADER_LEN as usize];
+    if file.read_exact(&mut header).is_err() || &header[..8] != WAL_MAGIC {
+        return Err(PipError::corrupt(format!(
+            "{} has no valid WAL header",
+            path.display()
+        )));
+    }
+    let header_gen = u64::from_le_bytes(header[8..16].try_into().unwrap());
+    if header_gen != gen {
+        return Err(PipError::corrupt(format!(
+            "{} claims generation {header_gen}, expected {gen}",
+            path.display()
+        )));
+    }
+    let file_len = file.metadata()?.len();
+    let end = limit.min(file_len);
+    if offset >= end {
+        return Ok(Some(GenRead {
+            frames: Vec::new(),
+            end_offset: offset,
+            exhausted: true,
+        }));
+    }
+    file.seek(SeekFrom::Start(offset))?;
+    let mut buf = vec![0u8; (end - offset) as usize];
+    file.read_exact(&mut buf)?;
+
+    let mut frames = Vec::new();
+    let mut pos = 0usize;
+    let mut exhausted = true;
+    while pos < buf.len() {
+        if frames.len() >= max {
+            exhausted = false;
+            break;
+        }
+        let Some(fh) = buf.get(pos..pos + 8) else {
+            // Partial header at the boundary — nothing acknowledged here.
+            break;
+        };
+        if fh.iter().all(|&b| b == 0) {
+            break; // preallocation padding: end of this file's records
+        }
+        let len = u32::from_le_bytes(fh[..4].try_into().unwrap());
+        let crc = u32::from_le_bytes(fh[4..8].try_into().unwrap());
+        if len > MAX_FRAME_BYTES {
+            return Err(PipError::corrupt(format!(
+                "{}: frame at byte {} has an impossible length",
+                path.display(),
+                offset + pos as u64
+            )));
+        }
+        let Some(payload) = buf.get(pos + 8..pos + 8 + len as usize) else {
+            break; // frame extends past the acknowledged end
+        };
+        if crc32(payload) != crc {
+            return Err(PipError::corrupt(format!(
+                "{}: acknowledged frame at byte {} fails its checksum",
+                path.display(),
+                offset + pos as u64
+            )));
+        }
+        frames.push(TailFrame {
+            version: frame_version(payload)?,
+            payload: payload.to_vec(),
+        });
+        pos += 8 + len as usize;
+    }
+    Ok(Some(GenRead {
+        frames,
+        end_offset: offset + pos as u64,
+        exhausted,
+    }))
+}
+
+/// Extract the version stamp from a frame payload. Acknowledged frames
+/// are valid JSON with a numeric `version` by the write contract; a
+/// payload that is not is corruption, never tolerable.
+fn frame_version(payload: &[u8]) -> Result<u64> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| PipError::corrupt("WAL frame payload is not UTF-8"))?;
+    let json: Json = serde_json::from_str(text)
+        .map_err(|e| PipError::corrupt(format!("WAL frame payload: {e}")))?;
+    json.get("v")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| PipError::corrupt("WAL frame payload has no version stamp"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{CatalogRecord, WalEntry};
+    use crate::snapshot::{Snapshot, SnapshotTable};
+    use pip_core::{DataType, Schema, Value};
+    use pip_ctable::{CRow, CTable};
+    use pip_dist::DistributionRegistry;
+    use pip_expr::Equation;
+    use std::path::PathBuf;
+    use std::sync::Arc;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("pip-store-tailtest-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn reg() -> DistributionRegistry {
+        DistributionRegistry::with_builtins()
+    }
+
+    fn entry(version: u64, i: i64) -> WalEntry {
+        WalEntry {
+            version,
+            record: CatalogRecord::Insert {
+                name: "t".into(),
+                rows: vec![CRow::unconditional(vec![Equation::val(Value::Int(i))])],
+            },
+        }
+    }
+
+    fn create_t(store: &Store) {
+        store
+            .append(&WalEntry {
+                version: 1,
+                record: CatalogRecord::CreateTable {
+                    name: "t".into(),
+                    schema: Schema::of(&[("a", DataType::Int)]),
+                },
+            })
+            .unwrap();
+    }
+
+    fn read_all(store: &Store, mut cursor: WalCursor) -> (Vec<u64>, WalCursor) {
+        let mut versions = Vec::new();
+        loop {
+            match store.read_wal_frames(cursor, 3).unwrap() {
+                TailRead::Frames { frames, cursor: c } => {
+                    if frames.is_empty() {
+                        return (versions, c);
+                    }
+                    versions.extend(frames.iter().map(|f| f.version));
+                    cursor = c;
+                }
+                TailRead::Gap => panic!("unexpected gap"),
+            }
+        }
+    }
+
+    #[test]
+    fn tail_reads_frames_and_catches_up() {
+        let dir = tmp_dir("basic");
+        let registry = reg();
+        let (store, _) = Store::open(&dir, &registry).unwrap();
+        let start = store.wal_position();
+        assert_eq!(start, WalCursor::start(0));
+        create_t(&store);
+        for v in 2..=8 {
+            store.append(&entry(v, v as i64)).unwrap();
+        }
+        let (versions, cursor) = read_all(&store, start);
+        assert_eq!(versions, (1..=8).collect::<Vec<_>>());
+        assert_eq!(cursor, store.wal_position());
+        // Caught up: an empty read does not move the cursor.
+        match store.read_wal_frames(cursor, 16).unwrap() {
+            TailRead::Frames { frames, cursor: c } => {
+                assert!(frames.is_empty());
+                assert_eq!(c, cursor);
+            }
+            TailRead::Gap => panic!("gap at tail"),
+        }
+        // New appends become visible at the same cursor.
+        store.append(&entry(9, 9)).unwrap();
+        let (versions, _) = read_all(&store, cursor);
+        assert_eq!(versions, vec![9]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tail_crosses_generation_rotation() {
+        let dir = tmp_dir("rotate");
+        let registry = reg();
+        let (store, _) = Store::open(&dir, &registry).unwrap();
+        create_t(&store);
+        store.append(&entry(2, 1)).unwrap();
+        let cursor = store.wal_position();
+        // Rotate; the snapshot write is deferred so both generations'
+        // files stay on disk (mid-checkpoint state).
+        let gen = store.begin_checkpoint().unwrap();
+        assert_eq!(gen, 1);
+        store.append(&entry(3, 2)).unwrap();
+        // A cursor at the sealed generation's end walks into the new one.
+        let (versions, c) = read_all(&store, cursor);
+        assert_eq!(versions, vec![3]);
+        assert_eq!(c.gen, 1);
+        // And a cursor from the chain start replays everything.
+        let (versions, _) = read_all(&store, WalCursor::start(0));
+        assert_eq!(versions, vec![1, 2, 3]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_retires_the_chain_and_tail_reports_gap() {
+        let dir = tmp_dir("gap");
+        let registry = reg();
+        let (store, _) = Store::open(&dir, &registry).unwrap();
+        create_t(&store);
+        assert_eq!(store.oldest_retained(), (0, 0));
+        let mut t = CTable::empty(Schema::of(&[("a", DataType::Int)]));
+        t.push(CRow::unconditional(vec![Equation::val(Value::Int(1))]))
+            .unwrap();
+        store
+            .checkpoint(&Snapshot {
+                version: 1,
+                next_var_id: 1,
+                tables: vec![SnapshotTable {
+                    name: "t".into(),
+                    table: Arc::new(t),
+                    stats: None,
+                }],
+            })
+            .unwrap();
+        assert_eq!(store.oldest_retained(), (1, 1));
+        // The generation-0 file is gone; a tailer parked there must fall
+        // back to a snapshot, not error out.
+        assert!(matches!(
+            store.read_wal_frames(WalCursor::start(0), 16).unwrap(),
+            TailRead::Gap
+        ));
+        // The retained chain still tails fine.
+        store.append(&entry(2, 2)).unwrap();
+        let (versions, _) = read_all(&store, WalCursor::start(1));
+        assert_eq!(versions, vec![2]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn preallocated_padding_is_invisible_to_replay_and_tail() {
+        let dir = tmp_dir("prealloc");
+        let registry = reg();
+        {
+            let (store, _) = Store::open(&dir, &registry).unwrap();
+            create_t(&store);
+            store.append(&entry(2, 7)).unwrap();
+            // Preallocation made the file strictly larger than its frames.
+            let disk = std::fs::metadata(crate::wal::wal_path(&dir, 0))
+                .unwrap()
+                .len();
+            let (_, acknowledged) = store.acknowledged_end();
+            assert!(
+                disk > acknowledged,
+                "expected zeroed preallocation past the last frame \
+                 (disk {disk} <= acknowledged {acknowledged})"
+            );
+            assert_eq!(disk % (256 * 1024), 0, "chunk-granular extension");
+            // The padding does not read as frames...
+            let (versions, _) = read_all(&store, WalCursor::start(0));
+            assert_eq!(versions, vec![1, 2]);
+        }
+        // ...nor as a torn tail on recovery (process "crashed" with
+        // padding in place; no seal ran).
+        let (store, recovered) = Store::open(&dir, &registry).unwrap();
+        assert!(!recovered.torn_tail);
+        assert_eq!(recovered.replayed, 2);
+        // And appends continue cleanly after reopen.
+        store.append(&entry(3, 8)).unwrap();
+        let (versions, _) = read_all(&store, WalCursor::start(0));
+        assert_eq!(versions, vec![1, 2, 3]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sealing_trims_padding_so_sealed_files_are_exactly_their_frames() {
+        let dir = tmp_dir("seal");
+        let registry = reg();
+        let (store, _) = Store::open(&dir, &registry).unwrap();
+        create_t(&store);
+        store.begin_checkpoint().unwrap();
+        let sealed = std::fs::metadata(crate::wal::wal_path(&dir, 0))
+            .unwrap()
+            .len();
+        assert!(
+            sealed < 256 * 1024,
+            "sealed file should be trimmed to its frames, got {sealed}"
+        );
+        // The sealed file still tails end to end.
+        let (versions, c) = read_all(&store, WalCursor::start(0));
+        assert_eq!(versions, vec![1]);
+        assert_eq!(c.gen, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tail_never_returns_unacknowledged_bytes() {
+        // Frames land on disk before `record_bytes` acknowledges them;
+        // a tailer sampling the acknowledged end must not see a frame
+        // whose append has not returned. Simulate the in-flight state by
+        // writing garbage past the acknowledged end (what a torn append
+        // leaves) and confirm the tailer stops exactly at the boundary.
+        let dir = tmp_dir("ack");
+        let registry = reg();
+        let (store, _) = Store::open(&dir, &registry).unwrap();
+        create_t(&store);
+        let (gen, end) = store.acknowledged_end();
+        let path = crate::wal::wal_path(&dir, gen);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Overwrite the padding right past the acknowledged end with a
+        // valid-looking frame; it must stay invisible.
+        let ghost = crate::wal::frame(b"{\"v\":999}");
+        bytes[end as usize..end as usize + ghost.len()].copy_from_slice(&ghost);
+        std::fs::write(&path, &bytes).unwrap();
+        let (versions, c) = read_all(&store, WalCursor::start(gen));
+        assert_eq!(versions, vec![1], "ghost frame past the ack end leaked");
+        assert_eq!(c.offset, end);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

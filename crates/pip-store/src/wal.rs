@@ -35,12 +35,21 @@ use pip_dist::DistributionRegistry;
 use crate::codec::{decode_entry, encode_entry, WalEntry};
 
 pub(crate) const WAL_MAGIC: &[u8; 8] = b"PIPWAL01";
-const HEADER_LEN: u64 = 16;
+pub(crate) const HEADER_LEN: u64 = 16;
+
+/// Appends grow the file in chunks of this size instead of per frame, so
+/// a per-record `fdatasync` ([`Durability::Sync`](crate::Durability)) no
+/// longer pays the file-growth metadata cost on every append — the size
+/// change (and its metadata flush) happens once per chunk. The padding
+/// past the last frame is zero bytes, which replay recognises as the
+/// clean end of the log (a frame header can never be all-zero: an empty
+/// payload is impossible, the shortest JSON document is two bytes).
+const PREALLOC_CHUNK: u64 = 256 * 1024;
 
 /// Upper bound on one frame's payload; anything larger on disk is
 /// treated as a torn/corrupt length field rather than allocated, so
 /// appends reject such payloads up front (see [`frame_too_large`]).
-const MAX_FRAME_BYTES: u32 = 1 << 30;
+pub(crate) const MAX_FRAME_BYTES: u32 = 1 << 30;
 
 /// Would a payload of `len` bytes exceed what replay accepts as a
 /// legitimate frame? Checked before writing — a frame the reader would
@@ -186,6 +195,9 @@ pub(crate) struct WalWriter {
     /// the authority on where the next frame belongs, independent of the
     /// file cursor a failed write may have left mid-frame.
     pub(crate) record_bytes: u64,
+    /// Current on-disk file length, `>= HEADER_LEN + record_bytes`; the
+    /// surplus is zeroed preallocation the next appends overwrite.
+    allocated: u64,
     /// Set when a failed append left bytes of unknown content at the
     /// tail *and* truncating them back off also failed. Every further
     /// append is refused: a successful frame landing after garbage would
@@ -208,12 +220,14 @@ impl WalWriter {
             file,
             gen,
             record_bytes: 0,
+            allocated: HEADER_LEN,
             poisoned: false,
         })
     }
 
     /// Reopen generation `gen`'s log for appending, truncating to
-    /// `valid_bytes` first (dropping any torn tail found by replay).
+    /// `valid_bytes` first (dropping any torn tail — and any zeroed
+    /// preallocation — found by replay).
     pub(crate) fn reopen(dir: &Path, gen: u64, valid_bytes: u64) -> Result<WalWriter> {
         let file = OpenOptions::new().write(true).open(wal_path(dir, gen))?;
         file.set_len(valid_bytes)?;
@@ -223,8 +237,26 @@ impl WalWriter {
             file,
             gen,
             record_bytes: valid_bytes.saturating_sub(HEADER_LEN),
+            allocated: valid_bytes,
             poisoned: false,
         })
+    }
+
+    /// Make room for `need` more bytes at the tail, extending the file in
+    /// [`PREALLOC_CHUNK`] steps. The extension does not move the write
+    /// cursor — the padding bytes are zeros until frames overwrite them —
+    /// so the subsequent `write_all`/`sync_data` of a frame no longer
+    /// changes the file's size (the metadata cost lands here, once per
+    /// chunk). Failure is benign: the writer state is untouched and the
+    /// zeros past the tail replay as a clean end of log.
+    fn ensure_capacity(&mut self, need: u64) -> Result<()> {
+        let end = HEADER_LEN + self.record_bytes + need;
+        if end > self.allocated {
+            let target = end.div_ceil(PREALLOC_CHUNK) * PREALLOC_CHUNK;
+            self.file.set_len(target)?;
+            self.allocated = target;
+        }
+        Ok(())
     }
 
     /// Append one entry. `sync` additionally forces the frame to stable
@@ -233,6 +265,7 @@ impl WalWriter {
         self.ensure_clean_tail()?;
         let payload = encode_payload(entry)?;
         let framed = frame(payload.as_bytes());
+        self.ensure_capacity(framed.len() as u64)?;
         if let Err(e) = self.file.write_all(&framed) {
             // A partial write (ENOSPC mid-frame, …) leaves garbage after
             // the last good frame. Roll the tail back before anything
@@ -266,7 +299,26 @@ impl WalWriter {
             .file
             .set_len(end)
             .and_then(|()| self.file.seek(SeekFrom::Start(end)).map(|_| ()));
+        if restored.is_ok() {
+            // Preallocation was dropped along with the garbage; the next
+            // append re-extends.
+            self.allocated = end;
+        }
         self.poisoned = restored.is_err();
+    }
+
+    /// Seal this generation: clean tail enforced, zeroed preallocation
+    /// trimmed off, everything synced. After this the file is exactly its
+    /// frames — readers (recovery, the replication tailer) can take its
+    /// length as the end of the record stream.
+    pub(crate) fn seal(&mut self) -> Result<()> {
+        self.ensure_clean_tail()?;
+        let end = HEADER_LEN + self.record_bytes;
+        if self.allocated > end {
+            self.file.set_len(end)?;
+            self.allocated = end;
+        }
+        self.sync()
     }
 
     /// Make sure the file ends exactly at the last acknowledged frame —
@@ -344,6 +396,14 @@ pub(crate) fn replay_wal(
             torn_tail = true;
             break;
         };
+        if header.iter().all(|&b| b == 0) {
+            // Zeroed bytes where a frame header would start: the file's
+            // preallocated (or crash-abandoned, nothing-yet-written)
+            // region past the last frame — the clean end of the log, not
+            // a tear. A real frame header can never be all-zero: the
+            // shortest payload is two bytes.
+            break;
+        }
         let len = u32::from_le_bytes(header[..4].try_into().unwrap());
         let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
         if len > MAX_FRAME_BYTES {
@@ -447,8 +507,11 @@ mod tests {
         let clean = replay_wal(&dir, 3, &reg).unwrap();
         let path = wal_path(&dir, 3);
 
-        // A crash mid-append: half a frame of garbage at the end.
+        // A crash mid-append: half a frame of garbage at the write
+        // cursor (the end of the acknowledged frames — any preallocation
+        // padding sits *after* the tear).
         let mut bytes = std::fs::read(&path).unwrap();
+        bytes.truncate(clean.valid_bytes as usize);
         bytes.extend_from_slice(&[0x99, 0x12, 0x00, 0x00, 0xAB]);
         std::fs::write(&path, &bytes).unwrap();
         let r = replay_wal(&dir, 3, &reg).unwrap();
@@ -562,7 +625,9 @@ mod tests {
         // committed-but-unreadable data — a hard error, not a torn tail
         // that silently truncates the record (and everything after it).
         let path = wal_path(&dir, 0);
+        let clean = replay_wal(&dir, 0, &reg).unwrap();
         let mut bytes = std::fs::read(&path).unwrap();
+        bytes.truncate(clean.valid_bytes as usize);
         bytes.extend_from_slice(&frame(b"not json"));
         bytes.extend_from_slice(&frame(b"\xff\xfe"));
         std::fs::write(&path, &bytes).unwrap();

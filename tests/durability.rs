@@ -260,8 +260,17 @@ fn torn_tail_recovers_the_intact_prefix() {
         .find(|p| p.extension().is_some_and(|x| x == "pipwal"))
         .expect("a WAL file exists");
 
+    // The on-disk file ends in zeroed preallocation padding; the frames
+    // end at the last non-zero byte (a frame's final byte is the JSON
+    // payload's closing brace). The tear goes at the write cursor —
+    // where a real crash mid-append puts it.
+    let clean = {
+        let raw = std::fs::read(&wal).unwrap();
+        let end = raw.iter().rposition(|&b| b != 0).unwrap() + 1;
+        raw[..end].to_vec()
+    };
+
     // Garbage appended at the tail: everything intact survives.
-    let clean = std::fs::read(&wal).unwrap();
     let mut torn = clean.clone();
     torn.extend_from_slice(&[0x42, 0x00, 0x13, 0x37]);
     std::fs::write(&wal, &torn).unwrap();
