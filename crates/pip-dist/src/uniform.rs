@@ -1,8 +1,10 @@
 //! The continuous Uniform distribution class: `Uniform(a, b)`.
 
+use std::sync::Arc;
+
 use pip_core::{PipError, Result};
 
-use crate::distribution::DistributionClass;
+use crate::distribution::{DistributionClass, PreparedGen, PreparedInverseCdf};
 use crate::rng::PipRng;
 use rand::Rng;
 
@@ -30,8 +32,11 @@ impl DistributionClass for Uniform {
     }
 
     fn generate(&self, params: &[f64], rng: &mut PipRng) -> f64 {
-        let u: f64 = rng.gen();
-        params[0] + u * (params[1] - params[0])
+        UniformAffine {
+            a: params[0],
+            b: params[1],
+        }
+        .generate(rng)
     }
 
     fn pdf(&self, params: &[f64], x: f64) -> Option<f64> {
@@ -49,8 +54,27 @@ impl DistributionClass for Uniform {
     }
 
     fn inverse_cdf(&self, params: &[f64], p: f64) -> Option<f64> {
-        let (a, b) = (params[0], params[1]);
-        Some(a + p.clamp(0.0, 1.0) * (b - a))
+        Some(
+            UniformAffine {
+                a: params[0],
+                b: params[1],
+            }
+            .inverse_cdf(p),
+        )
+    }
+
+    fn prepare_generate(&self, params: &[f64]) -> Option<Arc<dyn PreparedGen>> {
+        Some(Arc::new(UniformAffine {
+            a: params[0],
+            b: params[1],
+        }))
+    }
+
+    fn prepare_inverse_cdf(&self, params: &[f64]) -> Option<Arc<dyn PreparedInverseCdf>> {
+        Some(Arc::new(UniformAffine {
+            a: params[0],
+            b: params[1],
+        }))
     }
 
     fn mean(&self, params: &[f64]) -> Option<f64> {
@@ -64,6 +88,30 @@ impl DistributionClass for Uniform {
 
     fn support(&self, params: &[f64]) -> (f64, f64) {
         (params[0], params[1])
+    }
+}
+
+/// The affine transform with the endpoints bound — shared by the plain
+/// and prepared paths (generation *and* quantile) so each pair is one
+/// expression and bit-identity holds by construction.
+#[derive(Debug, Clone, Copy)]
+struct UniformAffine {
+    a: f64,
+    b: f64,
+}
+
+impl PreparedGen for UniformAffine {
+    #[inline]
+    fn generate(&self, rng: &mut PipRng) -> f64 {
+        let u: f64 = rng.gen();
+        self.a + u * (self.b - self.a)
+    }
+}
+
+impl PreparedInverseCdf for UniformAffine {
+    #[inline]
+    fn inverse_cdf(&self, p: f64) -> f64 {
+        self.a + p.clamp(0.0, 1.0) * (self.b - self.a)
     }
 }
 
@@ -110,5 +158,26 @@ mod tests {
         let n = 20_000;
         let s: f64 = (0..n).map(|_| Uniform.generate(&P, &mut rng)).sum();
         assert!((s / n as f64 - 4.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn prepared_paths_are_bit_identical() {
+        let gen = Uniform.prepare_generate(&P).unwrap();
+        let mut a = rng_from_seed(9);
+        let mut b = rng_from_seed(9);
+        for _ in 0..2000 {
+            let x = Uniform.generate(&P, &mut a);
+            let y = gen.generate(&mut b);
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert_eq!(a.state(), b.state(), "same draw count consumed");
+
+        let inv = Uniform.prepare_inverse_cdf(&P).unwrap();
+        for &p in &[0.0, 1e-12, 0.001, 0.25, 0.5, 0.75, 0.999, 1.0, -0.5, 1.5] {
+            assert_eq!(
+                Uniform.inverse_cdf(&P, p).unwrap().to_bits(),
+                inv.inverse_cdf(p).to_bits()
+            );
+        }
     }
 }

@@ -70,6 +70,11 @@ pub struct GroupSampler {
     pub attempts: u64,
     pub accepts: u64,
     metropolis: Option<MetropolisState>,
+    /// Metropolis init already failed (no PDF or no feasible start): the
+    /// switch is off for good and the attempt cap is the only exit. The
+    /// init scan is expensive, so retrying it on every rejected candidate
+    /// would stretch the cap from bounded to effectively infinite.
+    metropolis_unavailable: bool,
     /// Counters frozen at the moment of the Metropolis switch — the last
     /// unbiased acceptance estimate available for probabilities.
     frozen: Option<(u64, u64)>,
@@ -131,6 +136,7 @@ impl GroupSampler {
             attempts: 0,
             accepts: 0,
             metropolis: None,
+            metropolis_unavailable: false,
             frozen: None,
         }
     }
@@ -194,6 +200,7 @@ impl GroupSampler {
             // rejection fraction exceeds the threshold and we have enough
             // evidence it isn't a fluke.
             if cfg.use_metropolis
+                && !self.metropolis_unavailable
                 && self.attempts >= METROPOLIS_MIN_ATTEMPTS
                 && self.rejection_rate() > cfg.metropolis_threshold
             {
@@ -216,7 +223,9 @@ impl GroupSampler {
                     }
                     Err(_) => {
                         // No PDF or no start point: keep rejecting (the
-                        // attempt cap below will eventually fire).
+                        // attempt cap below will eventually fire), and
+                        // don't pay for this scan again.
+                        self.metropolis_unavailable = true;
                     }
                 }
             }
@@ -546,5 +555,35 @@ mod tests {
         let mut a = Assignment::new();
         let err = s.sample_into(&mut rng, &cfg, &BoundsMap::new(), &mut a);
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn impossible_constraint_with_metropolis_fails_fast() {
+        // Uniform[0,5) with Y > 5: zero probability, and the consistency
+        // bounds push Metropolis' fallback start point off-support
+        // (pdf = 0), so init fails too. The sampler must hit the attempt
+        // cap once and error out — not retry the expensive init scan on
+        // every rejected candidate (a regression here turns the bounded
+        // cap into an effective hang).
+        let y = RandomVar::create(builtin::uniform(), &[0.0, 5.0]).unwrap();
+        let cond = Conjunction::single(atoms::gt(Equation::from(y.clone()), 5.0));
+        let cfg = SamplerConfig::default();
+        assert!(
+            cfg.use_metropolis,
+            "default config must exercise the switch"
+        );
+        let (mut samplers, bounds) = make(&cond, &cfg);
+        let s = &mut samplers[0];
+        let mut rng = rng_from_seed(7);
+        let mut a = Assignment::new();
+        let start = std::time::Instant::now();
+        let err = s.sample_into(&mut rng, &cfg, &bounds, &mut a);
+        assert!(err.is_err(), "{err:?}");
+        assert!(s.metropolis_unavailable, "init failure must be remembered");
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(30),
+            "attempt cap took {:?} — init scan is being retried",
+            start.elapsed()
+        );
     }
 }

@@ -3,8 +3,14 @@
 //! ```text
 //! pip-serverd [--addr HOST:PORT] [--data-dir DIR]
 //!             [--durability off|wal|sync] [--checkpoint-bytes N]
+//!             [--workers N] [--queue N]
 //!             [--replication-addr HOST:PORT | --replicate-from HOST:PORT]
 //! ```
+//!
+//! `--workers` sizes the scheduler fleet executing queries (0 = auto:
+//! the machine's available parallelism); `--queue` is the admission
+//! bound — at most N expensive commands (`QUERY`/`EXEC`/`STREAM`)
+//! admitted-but-incomplete at once, the rest answering `ERR busy`.
 //!
 //! With `--data-dir`, the catalog is recovered from the directory on
 //! startup (snapshot + WAL replay) and every mutation is logged; without
@@ -37,6 +43,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: pip-serverd [--addr HOST:PORT] [--data-dir DIR] \
          [--durability off|wal|sync] [--checkpoint-bytes N] \
+         [--workers N] [--queue N] \
          [--replication-addr HOST:PORT | --replicate-from HOST:PORT]"
     );
     std::process::exit(2);
@@ -61,6 +68,13 @@ fn main() {
             }
             "--checkpoint-bytes" => {
                 options.checkpoint_wal_bytes = value().parse().unwrap_or_else(|_| usage())
+            }
+            "--workers" => options.workers = value().parse().unwrap_or_else(|_| usage()),
+            "--queue" => {
+                options.queue_capacity = value().parse().unwrap_or_else(|_| usage());
+                if options.queue_capacity == 0 {
+                    usage();
+                }
             }
             "--replication-addr" => replication_addr = Some(value()),
             "--replicate-from" => replicate_from = Some(value()),

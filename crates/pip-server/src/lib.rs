@@ -11,7 +11,14 @@
 //!   invalidate by construction);
 //! * [`protocol`] — the line-oriented request/response protocol
 //!   (`QUERY` / `PREPARE` / `EXEC` / `SET` / `STATS`);
-//! * [`server`] — the TCP front-end, one session per connection.
+//! * [`scheduler`] — the bounded query-execution fleet shared by every
+//!   connection, with per-query admission control (`ERR busy` past
+//!   capacity) and cross-session dedup of identical in-flight sampling
+//!   work;
+//! * [`server`] — the TCP front-end: a nonblocking epoll reactor owns
+//!   every socket (pipelined request decoding from partial reads,
+//!   batched write flushes, no per-connection OS thread), one session
+//!   per connection.
 //!
 //! Sampling heads execute on the deterministic parallel Monte-Carlo
 //! runtime ([`pip_sampling::parallel`]): `SET THREADS n` changes
@@ -45,11 +52,14 @@
 
 pub mod lru;
 pub mod protocol;
+mod reactor;
+pub mod scheduler;
 pub mod server;
 pub mod session;
 
 pub use lru::Lru;
 pub use protocol::{handle_line, parse_command, Command, Reply};
+pub use scheduler::{DedupMap, ServingCounters, ServingSnapshot};
 pub use server::{serve, ServerHandle, ServerOptions};
 pub use session::{QueryReply, Session, SessionManager, SessionStats};
 

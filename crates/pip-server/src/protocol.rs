@@ -399,8 +399,22 @@ pub fn handle_command(session: &mut Session, cmd: Command) -> Reply {
                 ),
                 None => format!(" version={}", session.database().version()),
             };
+            // Scheduler-served sessions expose the serving counters:
+            // gauges (inflight/queued) plus monotonic totals
+            // (admitted/rejected/batched) — what a load balancer or an
+            // admission-control test needs to observe over the wire.
+            let serving = match session.serving() {
+                Some(counters) => {
+                    let c = counters.snapshot();
+                    format!(
+                        " inflight={} queued={} admitted={} rejected={} batched={} capacity={}",
+                        c.inflight, c.queued, c.admitted, c.rejected, c.batched, c.capacity
+                    )
+                }
+                None => String::new(),
+            };
             Reply::line(format!(
-                "OK session={} queries={} cache_hits={} prepared={} threads={} seed={} samples={}..{}{durability}{replication}",
+                "OK session={} queries={} cache_hits={} prepared={} threads={} seed={} samples={}..{}{durability}{replication}{serving}",
                 session.id(),
                 s.queries,
                 s.cache_hits,

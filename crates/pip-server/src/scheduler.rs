@@ -1,0 +1,520 @@
+//! The sampling scheduler: a bounded worker fleet shared by every
+//! connection, with per-query admission control and cross-session
+//! deduplication of identical sampling work.
+//!
+//! The reactor ([`crate::reactor`]) never executes a query itself — it
+//! parses requests and appends them to the owning connection's command
+//! queue, then marks the connection *runnable* here. A fixed pool of
+//! scheduler workers pops runnable connections and executes their
+//! queued commands one at a time (per-connection order is strict —
+//! that is what makes pipelined `QUERY`/`EXEC` streams deterministic),
+//! re-enqueueing the connection after each command so a long pipeline
+//! cannot starve other sessions. Inside a command, sampling still fans
+//! out over [`pip_sampling::parallel::ParallelSampler`]'s process-wide
+//! pool (`SET THREADS`), so the two layers compose: the scheduler
+//! bounds *how many queries* run at once, the sampler pool bounds *how
+//! many threads* one query uses.
+//!
+//! Three mechanisms keep an overloaded server well-behaved:
+//!
+//! * **Admission control** ([`ServingCounters::try_admit`]): at most
+//!   `capacity` expensive commands (`QUERY`/`EXEC`/`STREAM`) may be
+//!   admitted-but-incomplete at once, server-wide. Excess requests are
+//!   answered `ERR busy` *in pipeline order* instead of growing queues
+//!   without bound.
+//! * **Backpressure**: per-connection command queues are capped by the
+//!   reactor (it simply stops reading a socket whose pipeline is full,
+//!   letting TCP flow control push back on the client).
+//! * **Work dedup** ([`DedupMap`]): when several sessions concurrently
+//!   submit a `SELECT` with the same text, sampling parameters and
+//!   catalog version, one *leader* executes it and the others become
+//!   *followers* sharing the leader's result table. The PR 4 block
+//!   cache dedupes the compute inside one execution; this dedupes the
+//!   executions themselves. Sharing is value-neutral by construction —
+//!   the key pins everything the result depends on, so a follower's
+//!   reply is byte-identical to what its own execution would produce.
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use pip_core::Result;
+use pip_ctable::CTable;
+
+// ---------------------------------------------------------------------
+// Serving counters + admission control.
+// ---------------------------------------------------------------------
+
+/// Scheduler-wide serving counters, reported by `STATS` as
+/// `inflight=`/`queued=`/`admitted=`/`rejected=`/`batched=`.
+///
+/// `admitted`, `rejected` and `batched` are monotonic totals; `queued`
+/// and `inflight` are gauges (`queued + inflight <= capacity` at all
+/// times — that inequality *is* the admission bound).
+#[derive(Debug)]
+pub struct ServingCounters {
+    capacity: usize,
+    /// Admitted-but-incomplete expensive commands (queued + inflight).
+    load: AtomicUsize,
+    queued: AtomicU64,
+    inflight: AtomicU64,
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    batched: AtomicU64,
+}
+
+/// One consistent-enough reading of the counters for `STATS`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServingSnapshot {
+    pub inflight: u64,
+    pub queued: u64,
+    pub admitted: u64,
+    pub rejected: u64,
+    pub batched: u64,
+    pub capacity: usize,
+}
+
+impl ServingCounters {
+    pub fn new(capacity: usize) -> Self {
+        ServingCounters {
+            capacity: capacity.max(1),
+            load: AtomicUsize::new(0),
+            queued: AtomicU64::new(0),
+            inflight: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            batched: AtomicU64::new(0),
+        }
+    }
+
+    /// The admission bound `K`.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Try to admit one expensive command. On success the command is
+    /// accounted as queued; the caller must later pair this with
+    /// [`ServingCounters::start`] + [`ServingCounters::finish`] (or
+    /// [`ServingCounters::cancel_queued`] if it is dropped unrun).
+    pub fn try_admit(&self) -> bool {
+        let admitted = self
+            .load
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |load| {
+                (load < self.capacity).then_some(load + 1)
+            })
+            .is_ok();
+        if admitted {
+            self.queued.fetch_add(1, Ordering::Relaxed);
+            self.admitted.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+        }
+        admitted
+    }
+
+    /// An admitted command starts executing: queued → inflight.
+    pub fn start(&self) {
+        self.queued.fetch_sub(1, Ordering::Relaxed);
+        self.inflight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An executing command finished (successfully or not).
+    pub fn finish(&self) {
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
+        self.load.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// An admitted command was dropped before execution (connection
+    /// closed, `QUIT` ahead of it in the pipeline, shutdown).
+    pub fn cancel_queued(&self) {
+        self.queued.fetch_sub(1, Ordering::Relaxed);
+        self.load.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// A session was served by joining another session's in-flight
+    /// execution of the same work.
+    pub fn note_batched(&self) {
+        self.batched.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> ServingSnapshot {
+        ServingSnapshot {
+            inflight: self.inflight.load(Ordering::Relaxed),
+            queued: self.queued.load(Ordering::Relaxed),
+            admitted: self.admitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            batched: self.batched.load(Ordering::Relaxed),
+            capacity: self.capacity,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cross-session work dedup.
+// ---------------------------------------------------------------------
+
+enum EntryState {
+    /// The leader is computing.
+    Running,
+    /// The leader finished; everyone shares the table.
+    Done(Arc<CTable>),
+    /// The leader failed or unwound: followers must retry themselves
+    /// (errors are deterministic, so each retry reproduces the same
+    /// reply the session would have produced alone).
+    Poisoned,
+}
+
+struct Entry {
+    state: Mutex<EntryState>,
+    done: Condvar,
+}
+
+impl Entry {
+    fn new() -> Entry {
+        Entry {
+            state: Mutex::new(EntryState::Running),
+            done: Condvar::new(),
+        }
+    }
+
+    fn complete(&self, state: EntryState) {
+        *self.state.lock().unwrap_or_else(|e| e.into_inner()) = state;
+        self.done.notify_all();
+    }
+}
+
+/// In-flight `SELECT` executions keyed by the session result-cache key
+/// (statement text + sampling parameters + catalog version — see
+/// `Session::cache_suffix`; the key pins the result bit-for-bit).
+#[derive(Default)]
+pub struct DedupMap {
+    inflight: Mutex<HashMap<String, Arc<Entry>>>,
+}
+
+/// Poisons-and-removes the leader's entry unless it completed cleanly,
+/// so followers never wait on a leader that unwound.
+struct LeaderGuard<'a> {
+    map: &'a DedupMap,
+    key: &'a str,
+    entry: &'a Arc<Entry>,
+    completed: bool,
+}
+
+impl Drop for LeaderGuard<'_> {
+    fn drop(&mut self) {
+        if !self.completed {
+            self.entry.complete(EntryState::Poisoned);
+            self.map
+                .inflight
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .remove(self.key);
+        }
+    }
+}
+
+impl DedupMap {
+    pub fn new() -> DedupMap {
+        DedupMap::default()
+    }
+
+    /// In-flight executions right now (tests / diagnostics).
+    pub fn len(&self) -> usize {
+        self.inflight
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Run `run` for `key`, sharing the execution with any concurrent
+    /// caller holding the same key. Returns the result table plus
+    /// whether this call was a follower (served from another session's
+    /// execution). `run` must be a pure function of the key — true for
+    /// the result-cache keys, which pin seed, sampling parameters and
+    /// catalog version.
+    pub fn run_shared(
+        &self,
+        key: &str,
+        run: impl Fn() -> Result<CTable>,
+    ) -> (Result<Arc<CTable>>, bool) {
+        let mut followed = false;
+        loop {
+            let existing = {
+                let mut map = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+                match map.get(key) {
+                    Some(entry) => Some(Arc::clone(entry)),
+                    None => {
+                        map.insert(key.to_string(), Arc::new(Entry::new()));
+                        None
+                    }
+                }
+            };
+            match existing {
+                None => {
+                    // Leader: compute, publish, retire the entry.
+                    let entry = {
+                        let map = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+                        Arc::clone(map.get(key).expect("leader entry present"))
+                    };
+                    let mut guard = LeaderGuard {
+                        map: self,
+                        key,
+                        entry: &entry,
+                        completed: false,
+                    };
+                    let result = run();
+                    guard.completed = true;
+                    drop(guard);
+                    let out = match result {
+                        Ok(table) => {
+                            let table = Arc::new(table);
+                            entry.complete(EntryState::Done(Arc::clone(&table)));
+                            Ok(table)
+                        }
+                        Err(e) => {
+                            entry.complete(EntryState::Poisoned);
+                            Err(e)
+                        }
+                    };
+                    self.inflight
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .remove(key);
+                    return (out, followed);
+                }
+                Some(entry) => {
+                    // Follower: wait the leader out.
+                    let mut state = entry.state.lock().unwrap_or_else(|e| e.into_inner());
+                    loop {
+                        match &*state {
+                            EntryState::Running => {
+                                state = entry.done.wait(state).unwrap_or_else(|e| e.into_inner());
+                            }
+                            EntryState::Done(table) => return (Ok(Arc::clone(table)), true),
+                            EntryState::Poisoned => break,
+                        }
+                    }
+                    // The leader failed — run it ourselves next round
+                    // (and remember we *tried* to follow: errors are
+                    // not counted as batched).
+                    followed = false;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The worker fleet.
+// ---------------------------------------------------------------------
+
+/// A schedulable unit: one runnable connection.
+pub(crate) trait Work: Send + Sync {
+    /// Execute one queued command. Return `true` to be re-enqueued
+    /// (more commands pending), `false` when idle.
+    fn run_slice(self: Arc<Self>) -> bool;
+}
+
+struct SchedShared {
+    runnable: Mutex<VecDeque<Arc<dyn Work>>>,
+    ready: Condvar,
+    shutdown: Mutex<bool>,
+}
+
+/// The bounded worker fleet executing runnable connections.
+pub(crate) struct Scheduler {
+    shared: Arc<SchedShared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Scheduler {
+    pub fn new(workers: usize) -> std::io::Result<Scheduler> {
+        let workers = workers.max(1);
+        let shared = Arc::new(SchedShared {
+            runnable: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            shutdown: Mutex::new(false),
+        });
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let shared = Arc::clone(&shared);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("pip-sched-{i}"))
+                    .spawn(move || worker_loop(&shared))?,
+            );
+        }
+        Ok(Scheduler {
+            shared,
+            workers: Mutex::new(handles),
+        })
+    }
+
+    /// Mark a connection runnable. The caller must guarantee a
+    /// connection is enqueued at most once at a time (the reactor's
+    /// `running` flag does).
+    pub fn enqueue(&self, work: Arc<dyn Work>) {
+        let mut q = self
+            .shared
+            .runnable
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        q.push_back(work);
+        self.shared.ready.notify_one();
+    }
+
+    /// Stop the fleet: workers finish the slice they are executing,
+    /// drain nothing further, and are joined. Call only after the
+    /// reactor has stopped producing runnable connections.
+    pub fn shutdown(&self) {
+        *self
+            .shared
+            .shutdown
+            .lock()
+            .unwrap_or_else(|e| e.into_inner()) = true;
+        self.shared.ready.notify_all();
+        let workers = std::mem::take(&mut *self.workers.lock().unwrap_or_else(|e| e.into_inner()));
+        for w in workers {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &SchedShared) {
+    loop {
+        let work = {
+            let mut q = shared.runnable.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(w) = q.pop_front() {
+                    break w;
+                }
+                if *shared.shutdown.lock().unwrap_or_else(|e| e.into_inner()) {
+                    return;
+                }
+                q = shared.ready.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        // A panicking command must not take the worker down with it —
+        // the connection's slice returns not-runnable and the reactor
+        // reaps the connection; other sessions are unaffected.
+        let again = catch_unwind(AssertUnwindSafe(|| Arc::clone(&work).run_slice()));
+        if let Ok(true) = again {
+            let mut q = shared.runnable.lock().unwrap_or_else(|e| e.into_inner());
+            q.push_back(work);
+            shared.ready.notify_one();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pip_core::PipError;
+    use pip_core::Schema;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn admission_bounds_load() {
+        let c = ServingCounters::new(2);
+        assert!(c.try_admit());
+        assert!(c.try_admit());
+        assert!(!c.try_admit(), "third admit must bounce off capacity 2");
+        let s = c.snapshot();
+        assert_eq!((s.admitted, s.rejected, s.queued), (2, 1, 2));
+        c.start();
+        assert_eq!(c.snapshot().inflight, 1);
+        c.finish();
+        // Capacity freed: admission works again.
+        assert!(c.try_admit());
+        c.cancel_queued();
+        c.cancel_queued();
+        let s = c.snapshot();
+        assert_eq!((s.queued, s.inflight), (0, 0));
+        assert!(c.try_admit() && c.try_admit(), "fully recovered");
+    }
+
+    #[test]
+    fn dedup_shares_one_execution() {
+        let map = Arc::new(DedupMap::new());
+        let runs = Arc::new(AtomicUsize::new(0));
+        let n_threads = 8;
+        let results: Vec<(usize, bool)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n_threads)
+                .map(|_| {
+                    let map = Arc::clone(&map);
+                    let runs = Arc::clone(&runs);
+                    s.spawn(move || {
+                        let (r, followed) = map.run_shared("k", || {
+                            runs.fetch_add(1, Ordering::SeqCst);
+                            // Give followers time to pile up on the entry.
+                            std::thread::sleep(std::time::Duration::from_millis(30));
+                            Ok(CTable::empty(Schema::empty()))
+                        });
+                        (Arc::strong_count(&r.unwrap()), followed)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let executions = runs.load(Ordering::SeqCst);
+        let followers = results.iter().filter(|(_, f)| *f).count();
+        // Every thread that did not execute was a follower.
+        assert_eq!(executions + followers, n_threads);
+        assert!(executions >= 1);
+        assert!(map.is_empty(), "entries retire after completion");
+    }
+
+    #[test]
+    fn dedup_distinct_keys_do_not_share() {
+        let map = DedupMap::new();
+        let (a, fa) = map.run_shared("a", || Ok(CTable::empty(Schema::empty())));
+        let (b, fb) = map.run_shared("b", || Ok(CTable::empty(Schema::empty())));
+        assert!(!fa && !fb);
+        assert!(!Arc::ptr_eq(&a.unwrap(), &b.unwrap()));
+    }
+
+    #[test]
+    fn dedup_leader_error_does_not_stick() {
+        let map = DedupMap::new();
+        let (r, followed) = map.run_shared("k", || Err(PipError::NotFound("t".into())));
+        assert!(r.is_err() && !followed);
+        assert!(map.is_empty(), "failed entry must retire");
+        // Next caller becomes a fresh leader.
+        let (r, followed) = map.run_shared("k", || Ok(CTable::empty(Schema::empty())));
+        assert!(r.is_ok() && !followed);
+    }
+
+    #[test]
+    fn scheduler_runs_and_requeues_work() {
+        struct Countdown {
+            left: Mutex<usize>,
+            hits: AtomicUsize,
+        }
+        impl Work for Countdown {
+            fn run_slice(self: Arc<Self>) -> bool {
+                self.hits.fetch_add(1, Ordering::SeqCst);
+                let mut left = self.left.lock().unwrap();
+                *left -= 1;
+                *left > 0
+            }
+        }
+        let sched = Scheduler::new(2).unwrap();
+        let work = Arc::new(Countdown {
+            left: Mutex::new(5),
+            hits: AtomicUsize::new(0),
+        });
+        sched.enqueue(Arc::clone(&work) as Arc<dyn Work>);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while work.hits.load(Ordering::SeqCst) < 5 && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert_eq!(work.hits.load(Ordering::SeqCst), 5, "requeue chain ran dry");
+        sched.shutdown();
+    }
+}

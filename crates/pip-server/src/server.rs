@@ -1,23 +1,23 @@
-//! The TCP front-end: one listener, one thread per connection, one
-//! [`Session`](crate::session::Session) per connection over the shared
-//! catalog.
+//! The TCP front-end: one nonblocking reactor thread owns every socket
+//! ([`crate::reactor`]), a bounded scheduler fleet runs every query
+//! ([`crate::scheduler`]), one [`Session`](crate::session::Session) per
+//! connection over the shared catalog. No connection gets an OS thread.
 
-use std::io::{self, BufRead, BufReader, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::io;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use pip_engine::Database;
 use pip_replica::Replication;
 use pip_sampling::SamplerConfig;
 
-use crate::protocol;
+use crate::reactor::{Limits, Reactor, ReactorShared};
+use crate::scheduler::{DedupMap, Scheduler, ServingCounters, ServingSnapshot};
 use crate::session::SessionManager;
 
-/// Live connections: the socket handle (for shutdown) and its serving
-/// thread (for join).
-type ConnRegistry = Arc<Mutex<Vec<(TcpStream, JoinHandle<()>)>>>;
+pub use crate::reactor::MAX_REQUEST_BYTES;
 
 /// Service configuration.
 #[derive(Clone)]
@@ -40,6 +40,24 @@ pub struct ServerOptions {
     /// loop), when it has one. Sessions report it in `STATS` and route
     /// `PROMOTE` to it; the server does not otherwise interfere with it.
     pub replication: Option<Arc<Replication>>,
+    /// Scheduler worker threads executing queries (`0` = auto: the
+    /// machine's available parallelism, at least 2). Session results
+    /// never depend on this — the sampling runtime is bit-deterministic.
+    pub workers: usize,
+    /// Admission bound: at most this many expensive commands
+    /// (`QUERY`/`EXEC`/`STREAM`) may be admitted-but-incomplete at
+    /// once, server-wide; excess requests answer `ERR busy`.
+    pub queue_capacity: usize,
+    /// Parsed-but-unexecuted commands per connection before the reactor
+    /// stops reading that socket (TCP backpressure on the pipeline).
+    pub max_pipeline: usize,
+    /// Staged reply bytes per connection before the producing worker
+    /// blocks on the reader draining (slow readers stall only
+    /// themselves, and are evicted if stuck too long).
+    pub max_outbound_bytes: usize,
+    /// Graceful-shutdown drain budget: queued commands get this long to
+    /// finish and flush before remaining connections are force-closed.
+    pub drain_timeout: std::time::Duration,
 }
 
 impl Default for ServerOptions {
@@ -51,19 +69,25 @@ impl Default for ServerOptions {
             checkpoint_wal_bytes: 8 << 20,
             checkpoint_poll: std::time::Duration::from_millis(100),
             replication: None,
+            workers: 0,
+            queue_capacity: 256,
+            max_pipeline: 128,
+            max_outbound_bytes: 8 << 20,
+            drain_timeout: std::time::Duration::from_secs(5),
         }
     }
 }
 
-/// A running server; dropping the handle shuts it down (accept loop
-/// stopped, established connections closed and joined).
+/// A running server; dropping the handle shuts it down (listener
+/// closed, queued work drained, connections closed, threads joined).
 pub struct ServerHandle {
     addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
+    shared: Arc<ReactorShared>,
+    scheduler: Arc<Scheduler>,
+    serving: Arc<ServingCounters>,
     active: Arc<AtomicUsize>,
-    accept_thread: Option<JoinHandle<()>>,
+    reactor_thread: Option<JoinHandle<()>>,
     checkpoint_thread: Option<JoinHandle<()>>,
-    conns: ConnRegistry,
     manager: Arc<SessionManager>,
 }
 
@@ -83,37 +107,42 @@ impl ServerHandle {
         self.manager.sessions_created()
     }
 
-    /// Stop the service: the accept loop exits, every established
-    /// connection's socket is shut down (a blocked read returns EOF),
-    /// and all connection threads are joined before this returns.
+    /// The scheduler's serving counters, as also reported by `STATS`.
+    pub fn serving(&self) -> ServingSnapshot {
+        self.serving.snapshot()
+    }
+
+    /// Stop the service: the listener closes, established connections
+    /// stop being read, already-queued commands run to completion and
+    /// their replies flush (bounded by
+    /// [`ServerOptions::drain_timeout`]), then every thread is joined
+    /// before this returns.
     pub fn shutdown(mut self) {
         self.stop();
     }
 
     fn stop(&mut self) {
-        self.shutdown.store(true, Ordering::Release);
-        // Poke the blocking accept loop awake.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.wake.wake();
+        if let Some(t) = self.reactor_thread.take() {
             let _ = t.join();
         }
+        self.scheduler.shutdown();
         if let Some(t) = self.checkpoint_thread.take() {
             // Wake the poller out of its park_timeout so shutdown never
             // waits out a full poll interval.
             t.thread().unpark();
             let _ = t.join();
         }
-        let conns = std::mem::take(&mut *self.conns.lock().unwrap_or_else(|e| e.into_inner()));
-        for (stream, thread) in conns {
-            let _ = stream.shutdown(Shutdown::Both);
-            let _ = thread.join();
-        }
+        // Workers may have queued dirty notifications after the reactor
+        // exited; clear them so no Conn ↔ ReactorShared cycle leaks.
+        self.shared.clear_dirty();
     }
 }
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        if self.accept_thread.is_some() {
+        if self.reactor_thread.is_some() {
             self.stop();
         }
     }
@@ -127,28 +156,38 @@ pub fn serve(
 ) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
+    let serving = Arc::new(ServingCounters::new(options.queue_capacity));
+    let dedup = Arc::new(DedupMap::new());
     let manager = Arc::new(
         SessionManager::new(db, options.default_config.clone())
             .with_cache_capacities(options.prepared_cache, options.result_cache)
-            .with_replication(options.replication.clone()),
+            .with_replication(options.replication.clone())
+            .with_serving(Arc::clone(&serving), dedup),
     );
-    let shutdown = Arc::new(AtomicBool::new(false));
+    let workers = match options.workers {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2)
+            .max(2),
+        n => n,
+    };
+    let scheduler = Arc::new(Scheduler::new(workers)?);
+    let shared = Arc::new(ReactorShared::new()?);
     let active = Arc::new(AtomicUsize::new(0));
-    let conns: ConnRegistry = Arc::new(Mutex::new(Vec::new()));
 
     // Background checkpointer: bound WAL replay time by snapshotting
     // whenever the log outgrows the trigger. Only for durable catalogs.
+    let shutdown = Arc::clone(&shared);
     let checkpoint_thread =
         if options.checkpoint_wal_bytes > 0 && manager.database().store().is_some() {
             let db = Arc::clone(manager.database());
-            let shutdown = Arc::clone(&shutdown);
             let trigger = options.checkpoint_wal_bytes;
             let poll = options.checkpoint_poll;
             Some(
                 std::thread::Builder::new()
                     .name("pip-server-checkpoint".into())
                     .spawn(move || {
-                        while !shutdown.load(Ordering::Acquire) {
+                        while !shutdown.shutdown.load(Ordering::Acquire) {
                             std::thread::park_timeout(poll);
                             if db.wal_bytes() >= trigger {
                                 // Failure (e.g. disk full) is retried next
@@ -162,132 +201,31 @@ pub fn serve(
             None
         };
 
-    let accept_thread = {
-        let manager = Arc::clone(&manager);
-        let shutdown = Arc::clone(&shutdown);
-        let active = Arc::clone(&active);
-        let conns = Arc::clone(&conns);
-        std::thread::Builder::new()
-            .name("pip-server-accept".into())
-            .spawn(move || {
-                for stream in listener.incoming() {
-                    if shutdown.load(Ordering::Acquire) {
-                        break;
-                    }
-                    let stream = match stream {
-                        Ok(s) => s,
-                        Err(_) => continue,
-                    };
-                    let Ok(stream_handle) = stream.try_clone() else {
-                        continue;
-                    };
-                    let manager = Arc::clone(&manager);
-                    let conn_active = Arc::clone(&active);
-                    active.fetch_add(1, Ordering::Relaxed);
-                    let spawned = std::thread::Builder::new()
-                        .name("pip-server-conn".into())
-                        .spawn(move || {
-                            let _ = handle_connection(stream, &manager);
-                            conn_active.fetch_sub(1, Ordering::Relaxed);
-                        });
-                    match spawned {
-                        Ok(thread) => {
-                            let mut c = conns.lock().unwrap_or_else(|e| e.into_inner());
-                            // Finished threads' entries are pruned here,
-                            // bounding the registry by peak concurrency.
-                            c.retain(|(_, t)| !t.is_finished());
-                            c.push((stream_handle, thread));
-                        }
-                        Err(_) => {
-                            active.fetch_sub(1, Ordering::Relaxed);
-                        }
-                    }
-                }
-            })?
-    };
+    let reactor = Reactor::new(
+        listener,
+        Arc::clone(&shared),
+        Arc::clone(&scheduler),
+        Arc::clone(&manager),
+        Arc::clone(&serving),
+        Arc::clone(&active),
+        Limits {
+            max_pipeline: options.max_pipeline.max(1),
+            max_outbound: options.max_outbound_bytes.max(1),
+            drain_timeout: options.drain_timeout,
+        },
+    )?;
+    let reactor_thread = std::thread::Builder::new()
+        .name("pip-server-reactor".into())
+        .spawn(move || reactor.run())?;
 
     Ok(ServerHandle {
         addr,
-        shutdown,
+        shared,
+        scheduler,
+        serving,
         active,
-        accept_thread: Some(accept_thread),
+        reactor_thread: Some(reactor_thread),
         checkpoint_thread,
-        conns,
         manager,
     })
-}
-
-/// Hard cap on one request line. Anything longer is rejected (and the
-/// oversized line drained) instead of buffering unbounded client input.
-const MAX_REQUEST_BYTES: usize = 1 << 20;
-
-/// Read one `\n`-terminated request of at most `MAX_REQUEST_BYTES`.
-/// Returns `Ok(None)` at EOF; an oversized request is fully consumed
-/// and flagged via the returned bool so the caller can reject it.
-fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<Option<(String, bool)>> {
-    let mut line = String::new();
-    let n =
-        std::io::Read::take(&mut *reader, (MAX_REQUEST_BYTES + 1) as u64).read_line(&mut line)?;
-    if n == 0 && line.is_empty() {
-        return Ok(None); // clean EOF
-    }
-    if n == 0 || line.ends_with('\n') {
-        // Complete request (or EOF terminating an unfinished line).
-        return Ok(Some((line, false)));
-    }
-    // The cap cut the line mid-way: drain the rest of the oversized
-    // line in bounded bites. `read_until` stops at the newline, so any
-    // pipelined next request stays buffered intact.
-    loop {
-        let mut throwaway = Vec::new();
-        let n = std::io::Read::take(&mut *reader, 64 * 1024).read_until(b'\n', &mut throwaway)?;
-        if n == 0 {
-            return Ok(None); // EOF inside the oversized line
-        }
-        if throwaway.ends_with(b"\n") {
-            break;
-        }
-    }
-    Ok(Some((String::new(), true)))
-}
-
-fn handle_connection(stream: TcpStream, manager: &SessionManager) -> io::Result<()> {
-    let mut session = manager.open();
-    let mut writer = stream.try_clone()?;
-    writer.write_all(
-        format!(
-            "PIP server ready (session {}); commands: QUERY/STREAM/PREPARE/EXEC/SET/CHECKPOINT/STATS/PING/QUIT\n",
-            session.id()
-        )
-        .as_bytes(),
-    )?;
-    let mut reader = BufReader::new(stream);
-    while let Some((line, truncated)) = read_request(&mut reader)? {
-        if truncated {
-            writer
-                .write_all(format!("ERR request exceeds {MAX_REQUEST_BYTES} bytes\n").as_bytes())?;
-            writer.flush()?;
-            continue;
-        }
-        if line.trim().is_empty() {
-            continue;
-        }
-        // STREAM writes rows straight onto the socket as the physical
-        // plan produces them; everything else replies as one block.
-        let reply = match protocol::parse_command(&line) {
-            Ok(protocol::Command::Stream(sql)) => {
-                protocol::handle_stream(&mut session, &sql, &mut writer)?;
-                writer.flush()?;
-                continue;
-            }
-            Ok(cmd) => protocol::handle_command(&mut session, cmd),
-            Err(e) => protocol::Reply::err(e),
-        };
-        writer.write_all(reply.text.as_bytes())?;
-        writer.flush()?;
-        if reply.close {
-            break;
-        }
-    }
-    Ok(())
 }

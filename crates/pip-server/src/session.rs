@@ -24,10 +24,14 @@ use pip_replica::Replication;
 use pip_sampling::SamplerConfig;
 
 use crate::lru::Lru;
+use crate::scheduler::{DedupMap, ServingCounters};
 
 /// A statement captured by `PREPARE`.
 struct PreparedStatement {
     plan: Arc<Plan>,
+    /// The statement text, which keys cross-session work dedup (unlike
+    /// `generation`, it means the same thing in every session).
+    sql: String,
     /// Distinguishes re-prepared statements with the same name in the
     /// result-cache key.
     generation: u64,
@@ -79,6 +83,11 @@ pub struct Session {
     next_generation: u64,
     stats: SessionStats,
     replication: Option<Arc<Replication>>,
+    /// Scheduler-wide serving counters (when the session is served by
+    /// the TCP front-end), reported by `STATS`.
+    serving: Option<Arc<ServingCounters>>,
+    /// Cross-session dedup of in-flight identical sampling work.
+    dedup: Option<Arc<DedupMap>>,
 }
 
 impl Session {
@@ -94,6 +103,12 @@ impl Session {
     /// or follower (`None` on a standalone node).
     pub fn replication(&self) -> Option<&Arc<Replication>> {
         self.replication.as_ref()
+    }
+
+    /// The scheduler's serving counters, when this session is served by
+    /// the TCP front-end (`None` for embedded sessions).
+    pub fn serving(&self) -> Option<&Arc<ServingCounters>> {
+        self.serving.as_ref()
     }
 
     pub fn stats(&self) -> SessionStats {
@@ -124,6 +139,31 @@ impl Session {
         )
     }
 
+    /// Run one `SELECT`'s sampling work, sharing the execution with any
+    /// other session concurrently submitting the same work (same
+    /// statement text, sampling parameters and catalog version — the
+    /// dedup key is the result-cache key, which pins the result
+    /// bit-for-bit, so sharing is invisible in the reply). Sessions not
+    /// served through the scheduler just execute directly.
+    fn run_select_shared(
+        &mut self,
+        key: &str,
+        run: impl Fn() -> Result<CTable>,
+    ) -> Result<Arc<CTable>> {
+        match &self.dedup {
+            None => Ok(Arc::new(run()?)),
+            Some(dedup) => {
+                let (result, followed) = dedup.run_shared(key, run);
+                if followed {
+                    if let Some(serving) = &self.serving {
+                        serving.note_batched();
+                    }
+                }
+                result
+            }
+        }
+    }
+
     /// Parse and run one SQL statement, consulting the sample-result
     /// cache for `SELECT`s.
     pub fn query(&mut self, sql_text: &str) -> Result<QueryReply> {
@@ -139,7 +179,14 @@ impl Session {
                         cached: true,
                     });
                 }
-                let table = Arc::new(sql::run_statement(&self.db, stmt, &self.cfg)?);
+                // The closure re-parses so it can be re-run verbatim if
+                // a dedup leader fails; parsing is noise next to the
+                // sampling it guards.
+                let db = Arc::clone(&self.db);
+                let cfg = self.cfg.clone();
+                let table = self.run_select_shared(&key, move || {
+                    sql::run_statement(&db, sql::parse(sql_text)?, &cfg)
+                })?;
                 self.results.put(key, Arc::clone(&table));
                 Ok(QueryReply {
                     table,
@@ -206,6 +253,7 @@ impl Session {
                     name.to_string(),
                     PreparedStatement {
                         plan: Arc::new(plan),
+                        sql: sql_text.trim().to_string(),
                         generation: self.next_generation,
                     },
                 );
@@ -220,8 +268,8 @@ impl Session {
     /// `EXEC name` — run a prepared statement through the result cache.
     pub fn exec_prepared(&mut self, name: &str) -> Result<QueryReply> {
         self.stats.queries += 1;
-        let (plan, generation) = match self.prepared.get(&name.to_string()) {
-            Some(p) => (Arc::clone(&p.plan), p.generation),
+        let (plan, sql, generation) = match self.prepared.get(&name.to_string()) {
+            Some(p) => (Arc::clone(&p.plan), p.sql.clone(), p.generation),
             None => return Err(PipError::NotFound(format!("prepared statement '{name}'"))),
         };
         let key = format!("E:{name}#{generation}{}", self.cache_suffix());
@@ -232,10 +280,21 @@ impl Session {
                 cached: true,
             });
         }
-        // Optimization is catalog-dependent (schema lookups), so it runs
-        // per execution against the current catalog.
-        let optimized = optimize(&self.db, (*plan).clone())?;
-        let table = Arc::new(pip_engine::execute(&self.db, &optimized, &self.cfg)?);
+        // The dedup key is the statement-text key (`Q:`), not the local
+        // `E:` key — prepared names and generations are session-local,
+        // so only the text means the same thing across sessions. EXEC
+        // and QUERY of the same SELECT therefore share one execution:
+        // both paths are optimize-then-execute against the current
+        // catalog, bit-identical by construction.
+        let shared_key = format!("Q:{sql}{}", self.cache_suffix());
+        let db = Arc::clone(&self.db);
+        let cfg = self.cfg.clone();
+        let table = self.run_select_shared(&shared_key, move || {
+            // Optimization is catalog-dependent (schema lookups), so it
+            // runs per execution against the current catalog.
+            let optimized = optimize(&db, (*plan).clone())?;
+            pip_engine::execute(&db, &optimized, &cfg)
+        })?;
         self.results.put(key, Arc::clone(&table));
         Ok(QueryReply {
             table,
@@ -260,6 +319,8 @@ pub struct SessionManager {
     result_capacity: usize,
     next_id: AtomicU64,
     replication: Option<Arc<Replication>>,
+    serving: Option<Arc<ServingCounters>>,
+    dedup: Option<Arc<DedupMap>>,
 }
 
 impl SessionManager {
@@ -271,6 +332,8 @@ impl SessionManager {
             result_capacity: 64,
             next_id: AtomicU64::new(1),
             replication: None,
+            serving: None,
+            dedup: None,
         }
     }
 
@@ -285,6 +348,15 @@ impl SessionManager {
     /// and route PROMOTE to it.
     pub fn with_replication(mut self, replication: Option<Arc<Replication>>) -> Self {
         self.replication = replication;
+        self
+    }
+
+    /// Attach the scheduler's serving counters and cross-session dedup
+    /// map: sessions report the counters in STATS and share identical
+    /// in-flight `SELECT` executions through the map.
+    pub fn with_serving(mut self, serving: Arc<ServingCounters>, dedup: Arc<DedupMap>) -> Self {
+        self.serving = Some(serving);
+        self.dedup = Some(dedup);
         self
     }
 
@@ -308,6 +380,8 @@ impl SessionManager {
             next_generation: 0,
             stats: SessionStats::default(),
             replication: self.replication.clone(),
+            serving: self.serving.clone(),
+            dedup: self.dedup.clone(),
         }
     }
 }

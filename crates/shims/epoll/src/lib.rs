@@ -1,0 +1,310 @@
+//! Offline libc-level shim for Linux `epoll`, plus a nonblocking
+//! self-wake pipe — the two kernel facilities `pip-server`'s reactor
+//! needs and no vendored crate provides.
+//!
+//! The container has no crates.io access, so instead of the `libc` or
+//! `mio` crates this shim declares the handful of symbols it needs
+//! directly against the C library that `std` already links. Scope is
+//! deliberately tiny: level-triggered readiness on socket/pipe file
+//! descriptors, and a pipe the worker threads can write one byte into
+//! to pull a reactor out of `epoll_wait`.
+//!
+//! ```
+//! use std::os::fd::AsRawFd;
+//! let ep = epoll::Epoll::new().unwrap();
+//! let wake = epoll::WakePipe::new().unwrap();
+//! ep.add(wake.read_fd(), epoll::EPOLLIN, 7).unwrap();
+//! wake.wake();
+//! let mut events = Vec::new();
+//! ep.wait(&mut events, 8, 1000).unwrap();
+//! assert_eq!((events[0].token, events[0].events & epoll::EPOLLIN), (7, epoll::EPOLLIN));
+//! wake.drain();
+//! ```
+
+use std::io;
+use std::os::fd::RawFd;
+use std::os::raw::{c_int, c_void};
+
+/// Readable (or a pending accept on a listener).
+pub const EPOLLIN: u32 = 0x001;
+/// Writable without blocking.
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition (always reported; never needs registering).
+pub const EPOLLERR: u32 = 0x008;
+/// Hangup (always reported; never needs registering).
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer shut down its write side.
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const O_NONBLOCK: c_int = 0o4000;
+const O_CLOEXEC: c_int = 0o2000000;
+
+/// Kernel ABI layout of `struct epoll_event`. On x86-64 the kernel
+/// (and glibc) use a packed layout; other architectures align `data`
+/// naturally.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+struct RawEvent {
+    events: u32,
+    data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut RawEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut RawEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn pipe2(fds: *mut c_int, flags: c_int) -> c_int;
+    fn close(fd: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+}
+
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// One readiness notification: which interest fired, for which token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Bitmask of `EPOLL*` flags that are ready.
+    pub events: u32,
+    /// The token the file descriptor was registered under.
+    pub token: u64,
+}
+
+/// A level-triggered epoll instance.
+///
+/// Registered file descriptors are identified by caller-chosen `u64`
+/// tokens; the instance never owns the descriptors it watches.
+#[derive(Debug)]
+pub struct Epoll {
+    fd: RawFd,
+}
+
+// An epoll fd is a kernel object; ctl/wait are thread-safe.
+unsafe impl Send for Epoll {}
+unsafe impl Sync for Epoll {}
+
+impl Epoll {
+    pub fn new() -> io::Result<Epoll> {
+        let fd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        Ok(Epoll { fd })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        let mut ev = RawEvent {
+            events: interest,
+            data: token,
+        };
+        cvt(unsafe { epoll_ctl(self.fd, op, fd, &mut ev) }).map(|_| ())
+    }
+
+    /// Start watching `fd` for `interest`, reporting it as `token`.
+    pub fn add(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, interest, token)
+    }
+
+    /// Change the interest set (and token) of a watched descriptor.
+    pub fn modify(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, interest, token)
+    }
+
+    /// Stop watching `fd`. (Closing the descriptor also deregisters it,
+    /// but only once every duplicate is closed — the reactor dups its
+    /// streams, so it deletes explicitly.)
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        // The event argument must be non-null on pre-2.6.9 kernels;
+        // passing a real struct is harmless everywhere.
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Wait up to `timeout_ms` (`-1` = forever) for readiness, filling
+    /// `events` (cleared first) with at most `max` notifications.
+    /// Returns the number of events. `EINTR` is retried internally.
+    pub fn wait(&self, events: &mut Vec<Event>, max: usize, timeout_ms: i32) -> io::Result<usize> {
+        events.clear();
+        let max = max.clamp(1, 4096) as c_int;
+        let mut raw = vec![RawEvent { events: 0, data: 0 }; max as usize];
+        loop {
+            let n = unsafe { epoll_wait(self.fd, raw.as_mut_ptr(), max, timeout_ms) };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    continue;
+                }
+                return Err(err);
+            }
+            for r in &raw[..n as usize] {
+                // Copy fields out: the struct is packed on x86-64.
+                let (ev, data) = (r.events, r.data);
+                events.push(Event {
+                    events: ev,
+                    token: data,
+                });
+            }
+            return Ok(n as usize);
+        }
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.fd);
+        }
+    }
+}
+
+/// A nonblocking self-pipe: any thread calls [`WakePipe::wake`] to make
+/// the read end readable, pulling a reactor out of `epoll_wait`; the
+/// reactor [`WakePipe::drain`]s it before going back to sleep. Wakes
+/// coalesce naturally — once the pipe holds a byte, further wakes are
+/// no-ops (`EAGAIN` on a full pipe is also fine: the reader is already
+/// pending wakeup).
+#[derive(Debug)]
+pub struct WakePipe {
+    read_fd: RawFd,
+    write_fd: RawFd,
+}
+
+unsafe impl Send for WakePipe {}
+unsafe impl Sync for WakePipe {}
+
+impl WakePipe {
+    pub fn new() -> io::Result<WakePipe> {
+        let mut fds = [0 as c_int; 2];
+        cvt(unsafe { pipe2(fds.as_mut_ptr(), O_NONBLOCK | O_CLOEXEC) })?;
+        Ok(WakePipe {
+            read_fd: fds[0],
+            write_fd: fds[1],
+        })
+    }
+
+    /// The end to register with [`Epoll::add`] under `EPOLLIN`.
+    pub fn read_fd(&self) -> RawFd {
+        self.read_fd
+    }
+
+    /// Make the read end readable. Never blocks; errors (pipe full =
+    /// wake already pending) are deliberately ignored.
+    pub fn wake(&self) {
+        let byte = 1u8;
+        unsafe {
+            write(self.write_fd, (&byte as *const u8).cast(), 1);
+        }
+    }
+
+    /// Consume every pending wake byte.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        loop {
+            let n = unsafe { read(self.read_fd, buf.as_mut_ptr().cast(), buf.len()) };
+            if n <= 0 {
+                return; // EAGAIN (drained), EOF, or error: nothing left to do
+            }
+        }
+    }
+}
+
+impl Drop for WakePipe {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.read_fd);
+            close(self.write_fd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn wake_pipe_round_trip() {
+        let ep = Epoll::new().unwrap();
+        let wake = WakePipe::new().unwrap();
+        ep.add(wake.read_fd(), EPOLLIN, 42).unwrap();
+
+        let mut events = Vec::new();
+        // Nothing pending: a zero timeout returns no events.
+        assert_eq!(ep.wait(&mut events, 8, 0).unwrap(), 0);
+
+        wake.wake();
+        wake.wake(); // coalesces
+        assert_eq!(ep.wait(&mut events, 8, 1000).unwrap(), 1);
+        assert_eq!(events[0].token, 42);
+        assert_ne!(events[0].events & EPOLLIN, 0);
+
+        wake.drain();
+        assert_eq!(ep.wait(&mut events, 8, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn wakes_from_other_threads() {
+        let ep = Epoll::new().unwrap();
+        let wake = std::sync::Arc::new(WakePipe::new().unwrap());
+        ep.add(wake.read_fd(), EPOLLIN, 1).unwrap();
+        let w = std::sync::Arc::clone(&wake);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            w.wake();
+        });
+        let mut events = Vec::new();
+        // Blocks until the other thread wakes us.
+        assert_eq!(ep.wait(&mut events, 8, 5000).unwrap(), 1);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn socket_readiness_and_interest_changes() {
+        let ep = Epoll::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        ep.add(listener.as_raw_fd(), EPOLLIN, 10).unwrap();
+
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let mut events = Vec::new();
+        // The pending accept makes the listener readable.
+        assert!(ep.wait(&mut events, 8, 2000).unwrap() >= 1);
+        assert!(events.iter().any(|e| e.token == 10));
+
+        let (server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+        // A fresh socket with an empty send buffer is writable.
+        ep.add(server_side.as_raw_fd(), EPOLLOUT, 11).unwrap();
+        assert!(ep.wait(&mut events, 8, 2000).unwrap() >= 1);
+        assert!(events
+            .iter()
+            .any(|e| e.token == 11 && e.events & EPOLLOUT != 0));
+
+        // Swap interest to EPOLLIN: not readable until the client writes.
+        ep.modify(server_side.as_raw_fd(), EPOLLIN, 11).unwrap();
+        let n = ep.wait(&mut events, 8, 0).unwrap();
+        assert!(
+            !events[..n].iter().any(|e| e.token == 11),
+            "unexpected readability: {events:?}"
+        );
+        client.write_all(b"hello").unwrap();
+        assert!(ep.wait(&mut events, 8, 2000).unwrap() >= 1);
+        assert!(events
+            .iter()
+            .any(|e| e.token == 11 && e.events & EPOLLIN != 0));
+
+        // Deregister: no more notifications for it.
+        ep.delete(server_side.as_raw_fd()).unwrap();
+        let n = ep.wait(&mut events, 8, 0).unwrap();
+        assert!(!events[..n].iter().any(|e| e.token == 11));
+    }
+}
