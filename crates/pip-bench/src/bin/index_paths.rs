@@ -1,0 +1,229 @@
+//! **Index access paths** — what ordered secondary indexes buy over the
+//! pre-index engine, and proof they change nothing but speed.
+//!
+//! Three workloads over an indexed fact table:
+//!
+//! * `selective_point` — a tight range on the indexed key. The cost
+//!   model must pick `IndexScan`, and (full mode) the seek must beat
+//!   the sequential scan by ≥5x in query-phase time — the CI gate.
+//! * `non_selective` — a range the histogram prices near the whole
+//!   table. The cost model must *keep* the sequential scan.
+//! * `index_join` — a small dimension table probing the fact table.
+//!   The cost model must pick `IndexJoin` over the hash build.
+//!
+//! Every timed pair also compares result values bit-for-bit
+//! (`bit_identical` in the record): index paths emit candidates in
+//! ascending base-row order, so estimates are the same f64s the
+//! full-scan plans produce.
+//!
+//! Output lands in `BENCH_index.json` (override: `PIP_BENCH_INDEX_OUT`).
+//! `PIP_BENCH_QUICK=1` shrinks the workload and skips the timing gate
+//! while still asserting plan choices and bit-identity.
+
+use serde::Serialize;
+
+use pip_core::{tuple, DataType, Schema};
+use pip_engine::AggFunc;
+use pip_engine::{
+    execute_with_stats, optimize, optimize_with, scalar_result, Database, OptimizerConfig, Plan,
+    PlanBuilder, ScalarExpr,
+};
+use pip_sampling::SamplerConfig;
+
+fn no_index_cfg() -> OptimizerConfig {
+    OptimizerConfig {
+        use_indexes: false,
+        ..OptimizerConfig::default()
+    }
+}
+
+/// Indexed fact table of `n` rows (keys uniform over `0..n/10`) plus a
+/// 32-row dimension table, statistics collected.
+fn build_db(n: usize) -> Database {
+    let db = Database::new();
+    db.create_table(
+        "fact",
+        Schema::of(&[("k", DataType::Int), ("v", DataType::Float)]),
+    )
+    .expect("create fact");
+    db.create_table(
+        "dim",
+        Schema::of(&[("dk", DataType::Int), ("dv", DataType::Float)]),
+    )
+    .expect("create dim");
+    let span = (n / 10).max(10) as i64;
+    let rows: Vec<_> = (0..n as i64)
+        .map(|i| tuple![(i * 7919) % span, (i % 1000) as f64 * 0.5])
+        .collect();
+    db.insert_tuples("fact", &rows).expect("fill fact");
+    let rows: Vec<_> = (0..32i64).map(|i| tuple![i * 3, i as f64]).collect();
+    db.insert_tuples("dim", &rows).expect("fill dim");
+    db.create_index("idx_k", "fact", "k").expect("create index");
+    db.analyze_all().expect("analyze");
+    db
+}
+
+/// Best-of-`trials` query-phase seconds plus the (deterministic) value.
+fn best_of(trials: usize, db: &Database, plan: &Plan, cfg: &SamplerConfig) -> (f64, f64) {
+    let mut best = f64::INFINITY;
+    let mut value = f64::NAN;
+    for _ in 0..trials {
+        let (table, stats) = execute_with_stats(db, plan, cfg).expect("exec");
+        best = best.min(stats.query_secs);
+        value = scalar_result(&table).expect("scalar");
+    }
+    (best, value)
+}
+
+#[derive(Serialize)]
+struct WorkloadRow {
+    workload: &'static str,
+    scan_query_secs: f64,
+    index_query_secs: f64,
+    speedup: f64,
+    /// Operator the cost model chose (from the optimized plan text).
+    chosen: String,
+    bit_identical: bool,
+}
+
+/// Run one workload through the pre-index config and the shipped
+/// pipeline; assert the expected access path and value bit-identity.
+fn run_workload(
+    db: &Database,
+    name: &'static str,
+    plan: Plan,
+    cfg: &SamplerConfig,
+    trials: usize,
+    expect_op: &str,
+) -> WorkloadRow {
+    let scan_plan = optimize_with(db, plan.clone(), &no_index_cfg()).expect("scan plan");
+    let index_plan = optimize(db, plan).expect("index plan");
+    let text = index_plan.explain();
+    assert!(
+        text.contains(expect_op),
+        "{name}: cost model did not choose {expect_op}:\n{text}"
+    );
+    let chosen = text
+        .lines()
+        .find(|l| l.contains(expect_op))
+        .unwrap_or("?")
+        .trim()
+        .to_string();
+    let (scan_secs, scan_v) = best_of(trials, db, &scan_plan, cfg);
+    let (index_secs, index_v) = best_of(trials, db, &index_plan, cfg);
+    let bit_identical = scan_v.to_bits() == index_v.to_bits();
+    assert!(
+        bit_identical,
+        "{name}: index path changed the answer: {scan_v} vs {index_v}"
+    );
+    let row = WorkloadRow {
+        workload: name,
+        scan_query_secs: scan_secs,
+        index_query_secs: index_secs,
+        speedup: scan_secs / index_secs,
+        chosen,
+        bit_identical,
+    };
+    pip_bench::row(
+        &[
+            name.to_string(),
+            format!("{scan_secs:.5}"),
+            format!("{index_secs:.5}"),
+            format!("{:.2}", row.speedup),
+            row.chosen.clone(),
+            format!("{bit_identical}"),
+        ],
+        &row,
+    );
+    row
+}
+
+#[derive(Serialize)]
+struct BenchRecord {
+    fact_rows: usize,
+    quick: bool,
+    selective_point: WorkloadRow,
+    non_selective_kept_scan: bool,
+    index_join: WorkloadRow,
+    bit_identical: bool,
+}
+
+fn main() {
+    let quick = pip_bench::quick();
+    let scale = pip_bench::scale() * if quick { 0.05 } else { 1.0 };
+    let n = ((40_000.0 * scale) as usize).max(2_000);
+    let db = build_db(n);
+    let cfg = SamplerConfig::fixed_samples(50);
+    let trials = if quick { 3 } else { 9 };
+    let span = (n / 10).max(10) as i64;
+
+    println!("# Index access paths: ordered secondary index vs the pre-index engine.");
+    println!("# fact={n} rows, keys 0..{span}, index idx_k on fact(k).");
+    pip_bench::header(&[
+        "workload",
+        "scan_query_secs",
+        "index_query_secs",
+        "speedup",
+        "chosen",
+        "bit_identical",
+    ]);
+
+    // Selective point: one key value out of `span` — the seek's home turf.
+    let point = PlanBuilder::scan("fact")
+        .select(
+            ScalarExpr::col("k")
+                .ge(ScalarExpr::lit(7i64))
+                .and(ScalarExpr::col("k").le(ScalarExpr::lit(7i64))),
+        )
+        .unwrap()
+        .aggregate(vec![], vec![AggFunc::ExpectedSum("v".into())])
+        .build();
+    let selective = run_workload(&db, "selective_point", point, &cfg, trials, "IndexScan");
+
+    // Non-selective: the histogram prices `k >= 0` at ~every row; the
+    // cost model must keep the sequential scan.
+    let wide = PlanBuilder::scan("fact")
+        .select(ScalarExpr::col("k").ge(ScalarExpr::lit(0i64)))
+        .unwrap()
+        .aggregate(vec![], vec![AggFunc::ExpectedSum("v".into())])
+        .build();
+    let wide_plan = optimize(&db, wide).expect("wide plan");
+    let wide_text = wide_plan.explain();
+    let non_selective_kept_scan = !wide_text.contains("IndexScan");
+    assert!(
+        non_selective_kept_scan,
+        "non-selective range took the index path:\n{wide_text}"
+    );
+    println!("# non_selective: full scan kept (histogram prices the range at ~all rows)");
+
+    // Index-nested-loop join: 32 dimension rows probing the fact table.
+    let join = PlanBuilder::scan("dim")
+        .equi_join(PlanBuilder::scan("fact"), vec![("dk", "k")])
+        .aggregate(vec![], vec![AggFunc::ExpectedSum("v".into())])
+        .build();
+    let join_row = run_workload(&db, "index_join", join, &cfg, trials, "IndexJoin");
+
+    // The CI gate: in full mode the selective seek must repay ≥5x.
+    if !quick {
+        assert!(
+            selective.speedup >= 5.0,
+            "selective point speedup {:.2}x is below the 5x gate",
+            selective.speedup
+        );
+    } else {
+        println!("# quick mode: timing gate skipped");
+    }
+
+    let record = BenchRecord {
+        fact_rows: n,
+        quick,
+        bit_identical: selective.bit_identical && join_row.bit_identical,
+        selective_point: selective,
+        non_selective_kept_scan,
+        index_join: join_row,
+    };
+    let json = serde_json::to_string(&record).expect("record json");
+    let path = std::env::var("PIP_BENCH_INDEX_OUT").unwrap_or_else(|_| "BENCH_index.json".into());
+    std::fs::write(&path, format!("{json}\n")).expect("write BENCH_index.json");
+    println!("# wrote {path}");
+}

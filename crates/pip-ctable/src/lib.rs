@@ -12,12 +12,15 @@
 //!   that prunes statically inconsistent rows and feeds the CDF sampler.
 //! * [`explode`] — finite discrete variables expanded to per-valuation
 //!   rows (Section III-C).
+//! * [`index`] — ordered secondary indexes over deterministic columns
+//!   for the engine's seek-based access paths.
 
 pub mod algebra;
 pub mod bounds;
 pub mod consistency;
 pub mod ctable;
 pub mod explode;
+pub mod index;
 pub mod repair;
 pub mod stream;
 
@@ -29,6 +32,7 @@ pub use bounds::{BoundsMap, Interval};
 pub use consistency::{consistency_check, Consistency};
 pub use ctable::{CRow, CTable};
 pub use explode::{discrete_domain, explode_discrete};
+pub use index::OrderedIndex;
 pub use repair::{group_probabilities, repair_key};
 pub use stream::{filter_row, join_rows, map_row};
 
@@ -42,6 +46,7 @@ pub mod prelude {
     pub use crate::consistency::{consistency_check, Consistency};
     pub use crate::ctable::{CRow, CTable};
     pub use crate::explode::{discrete_domain, explode_discrete};
+    pub use crate::index::OrderedIndex;
     pub use crate::repair::{group_probabilities, repair_key};
     pub use crate::stream::{filter_row, join_rows, map_row};
 }

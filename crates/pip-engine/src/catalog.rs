@@ -26,12 +26,14 @@ use std::sync::{Arc, OnceLock};
 
 use parking_lot::RwLock;
 
-use pip_core::{PipError, Result, Schema, Tuple};
+use pip_core::{DataType, PipError, Result, Schema, Tuple};
 use pip_dist::DistributionRegistry;
 use pip_expr::{RandomVar, VarId};
-use pip_store::{CatalogRecord, Durability, Snapshot, SnapshotTable, Store, WalCursor, WalEntry};
+use pip_store::{
+    CatalogRecord, Durability, Snapshot, SnapshotIndex, SnapshotTable, Store, WalCursor, WalEntry,
+};
 
-use pip_ctable::{CRow, CTable};
+use pip_ctable::{CRow, CTable, OrderedIndex};
 
 use crate::persist;
 use crate::stats::TableStats;
@@ -49,11 +51,33 @@ pub struct RecoveryInfo {
     pub torn_tail: bool,
 }
 
+/// A registered secondary index: its definition plus current contents.
+///
+/// The contents always reflect the owning table exactly — both are
+/// updated under the same catalog write lock — so planners may take the
+/// `(table, index)` pair from one catalog read and seek without
+/// revalidation.
+#[derive(Debug, Clone)]
+pub struct IndexEntry {
+    /// Table the index covers.
+    pub table: String,
+    /// Indexed column (by name; the [`OrderedIndex`] holds the position).
+    pub column: String,
+    /// The ordered `(key, row_id)` structure itself.
+    pub index: Arc<OrderedIndex>,
+}
+
 /// An in-memory probabilistic database, optionally WAL-backed.
 #[derive(Debug)]
 pub struct Database {
     registry: DistributionRegistry,
     tables: RwLock<HashMap<String, Arc<CTable>>>,
+    /// Secondary indexes by index name. Only the *definitions* are
+    /// durable (WAL records, snapshot entries); contents are rebuilt
+    /// from the owning table on recovery and snapshot install, and
+    /// maintained incrementally on INSERT. Lock order: `tables` before
+    /// `indexes`, always.
+    indexes: RwLock<HashMap<String, IndexEntry>>,
     /// Monotonic catalog generation, bumped by every DDL/DML mutation.
     /// Cache layers (e.g. the server's sample-result cache) key on it so
     /// stale entries can never be served after a mutation — and it is
@@ -96,6 +120,7 @@ impl Database {
         Database {
             registry,
             tables: RwLock::new(HashMap::new()),
+            indexes: RwLock::new(HashMap::new()),
             version: AtomicU64::new(0),
             stats: RwLock::new(HashMap::new()),
             store: OnceLock::new(),
@@ -151,6 +176,20 @@ impl Database {
                     }
                 }
                 tables.insert(name, Arc::new(table));
+            }
+            // Index definitions recovered; contents are derived data,
+            // rebuilt from the tables they cover. A definition whose
+            // table or column no longer resolves means the log and the
+            // catalog semantics disagree — corruption, never papered
+            // over (the store already validated table existence).
+            let mut indexes = db.indexes.write();
+            for (name, table, column) in &recovered.indexes {
+                let t = tables.get(table).ok_or_else(|| {
+                    PipError::corrupt(format!("index '{name}' covers unknown table '{table}'"))
+                })?;
+                let entry = build_index_entry(name, table, column, t)
+                    .map_err(|e| PipError::corrupt(format!("rebuilding index '{name}': {e}")))?;
+                indexes.insert(name.clone(), entry);
             }
         }
         db.version.store(recovered.version, Ordering::Release);
@@ -299,7 +338,9 @@ impl Database {
         Ok(())
     }
 
-    /// Register (or replace) a table with existing contents.
+    /// Register (or replace) a table with existing contents. A
+    /// replacement may change the schema out from under dependent
+    /// indexes, so their definitions die with the old contents.
     pub fn register_table(&self, name: &str, table: CTable) -> Result<()> {
         self.check_writable()?;
         let mut tables = self.tables.write();
@@ -314,6 +355,7 @@ impl Database {
             )?;
         }
         tables.insert(name.to_string(), Arc::new(table));
+        self.indexes.write().retain(|_, e| e.table != name);
         Ok(())
     }
 
@@ -334,7 +376,85 @@ impl Database {
             )?;
         }
         tables.remove(name);
+        self.indexes.write().retain(|_, e| e.table != name);
         Ok(())
+    }
+
+    /// `CREATE INDEX name ON table (column)` — build an ordered
+    /// secondary index over a deterministic `Int`/`Float` column and
+    /// register it. Errors if the name is taken or the table/column
+    /// does not resolve.
+    pub fn create_index(&self, name: &str, table: &str, column: &str) -> Result<()> {
+        self.check_writable()?;
+        let tables = self.tables.write();
+        let t = tables
+            .get(table)
+            .ok_or_else(|| PipError::NotFound(format!("table '{table}'")))?;
+        if self.indexes.read().contains_key(name) {
+            return Err(PipError::Schema(format!("index '{name}' already exists")));
+        }
+        // Build (and thereby validate) before the WAL append — a logged
+        // record must never fail to apply.
+        let entry = build_index_entry(name, table, column, t)?;
+        let version = self.bump_version();
+        if self.durable() {
+            self.log(
+                version,
+                CatalogRecord::CreateIndex {
+                    name: name.to_string(),
+                    table: table.to_string(),
+                    column: column.to_string(),
+                },
+            )?;
+        }
+        self.indexes.write().insert(name.to_string(), entry);
+        Ok(())
+    }
+
+    /// `DROP INDEX name`.
+    pub fn drop_index(&self, name: &str) -> Result<()> {
+        self.check_writable()?;
+        let _tables = self.tables.write();
+        if !self.indexes.read().contains_key(name) {
+            return Err(PipError::NotFound(format!("index '{name}'")));
+        }
+        let version = self.bump_version();
+        if self.durable() {
+            self.log(
+                version,
+                CatalogRecord::DropIndex {
+                    name: name.to_string(),
+                },
+            )?;
+        }
+        self.indexes.write().remove(name);
+        Ok(())
+    }
+
+    /// The named index, if registered.
+    pub fn index(&self, name: &str) -> Option<IndexEntry> {
+        self.indexes.read().get(name).cloned()
+    }
+
+    /// Every index covering `table`, as `(name, entry)` sorted by index
+    /// name — the optimizer's access-path candidates.
+    pub fn indexes_on(&self, table: &str) -> Vec<(String, IndexEntry)> {
+        let mut out: Vec<(String, IndexEntry)> = self
+            .indexes
+            .read()
+            .iter()
+            .filter(|(_, e)| e.table == table)
+            .map(|(n, e)| (n.clone(), e.clone()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Names of all indexes, sorted.
+    pub fn index_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.indexes.read().keys().cloned().collect();
+        names.sort();
+        names
     }
 
     /// Shared snapshot of a table.
@@ -357,11 +477,6 @@ impl Database {
     /// [`Database::table_stats`]).
     pub fn insert_rows(&self, name: &str, rows: Vec<CRow>) -> Result<()> {
         self.check_writable()?;
-        let added = rows.len() as u64;
-        let added_conditional = rows
-            .iter()
-            .filter(|r| !r.condition.is_trivially_true())
-            .count() as u64;
         let mut tables = self.tables.write();
         let table = tables
             .get(name)
@@ -371,6 +486,7 @@ impl Database {
         // the record is built but only validated, never written; for a
         // memory-only catalog rows move straight into the table — the
         // pre-durability in-memory work exactly.)
+        let old_len = table.len();
         let mut new = (**table).clone();
         let log_rows = if self.durable() {
             for r in &rows {
@@ -383,6 +499,22 @@ impl Database {
             }
             None
         };
+        // Dependent indexes extend incrementally over the appended
+        // suffix — staged before the WAL append, alongside the arity
+        // checks above, so a logged record can never leave an index
+        // unbuildable.
+        let staged_indexes: Vec<(String, Arc<OrderedIndex>)> = self
+            .indexes
+            .read()
+            .iter()
+            .filter(|(_, e)| e.table == name)
+            .map(|(iname, e)| {
+                Ok((
+                    iname.clone(),
+                    Arc::new(e.index.with_appended(&new, old_len)?),
+                ))
+            })
+            .collect::<Result<_>>()?;
         let post_insert = self.bump_version();
         if let Some(rows) = log_rows {
             self.log(
@@ -393,7 +525,16 @@ impl Database {
                 },
             )?;
         }
-        tables.insert(name.to_string(), Arc::new(new));
+        let new = Arc::new(new);
+        tables.insert(name.to_string(), Arc::clone(&new));
+        if !staged_indexes.is_empty() {
+            let mut indexes = self.indexes.write();
+            for (iname, idx) in staged_indexes {
+                if let Some(e) = indexes.get_mut(&iname) {
+                    e.index = idx;
+                }
+            }
+        }
         drop(tables);
         // The bump's fetch_add pins this insert's exact (pre, post)
         // version pair — no separate load can interleave with another
@@ -405,7 +546,7 @@ impl Database {
         let mut stats = self.stats.write();
         if let Some(entry) = stats.get_mut(name) {
             if entry.version == pre_insert {
-                *entry = Arc::new(entry.apply_insert(added, added_conditional, post_insert));
+                *entry = Arc::new(entry.apply_insert(&new.rows()[old_len..], post_insert));
             }
         }
         Ok(())
@@ -453,6 +594,9 @@ impl Database {
         let stats = self.stats.read();
         let mut names: Vec<&String> = tables.keys().collect();
         names.sort();
+        let indexes = self.indexes.read();
+        let mut inames: Vec<&String> = indexes.keys().collect();
+        inames.sort();
         CheckpointCapture {
             version,
             next_var_id: VarId::watermark(),
@@ -467,6 +611,14 @@ impl Database {
                             .filter(|s| s.version == version && !s.columns_stale())
                             .cloned(),
                     )
+                })
+                .collect(),
+            indexes: inames
+                .into_iter()
+                .map(|name| SnapshotIndex {
+                    name: name.clone(),
+                    table: indexes[name].table.clone(),
+                    column: indexes[name].column.clone(),
                 })
                 .collect(),
         }
@@ -504,6 +656,10 @@ impl Database {
         // out a colliding fresh id.
         let mut staged: Option<(String, Arc<CTable>)> = None;
         let mut dropped: Option<String> = None;
+        let mut staged_index: Option<(String, IndexEntry)> = None;
+        let mut dropped_index: Option<String> = None;
+        let mut retire_indexes_of: Option<String> = None;
+        let mut index_updates: Vec<(String, Arc<OrderedIndex>)> = Vec::new();
         match &entry.record {
             CatalogRecord::CreateVariable { id, .. } => {
                 VarId::reserve_through(*id);
@@ -521,6 +677,7 @@ impl Database {
                     VarId::reserve_through(v.key.id.0);
                 }
                 staged = Some((name.clone(), Arc::new(table.clone())));
+                retire_indexes_of = Some(name.clone());
             }
             CatalogRecord::Insert { name, rows } => {
                 let table = tables.get(name).ok_or_else(|| {
@@ -528,12 +685,19 @@ impl Database {
                         "replication feed inserts into unknown table '{name}'"
                     ))
                 })?;
+                let old_len = table.len();
                 let mut new = (**table).clone();
                 for r in rows {
                     for v in r.variables() {
                         VarId::reserve_through(v.key.id.0);
                     }
                     new.push(r.clone())?;
+                }
+                for (iname, e) in self.indexes.read().iter().filter(|(_, e)| &e.table == name) {
+                    index_updates.push((
+                        iname.clone(),
+                        Arc::new(e.index.with_appended(&new, old_len)?),
+                    ));
                 }
                 staged = Some((name.clone(), Arc::new(new)));
             }
@@ -544,6 +708,35 @@ impl Database {
                     )));
                 }
                 dropped = Some(name.clone());
+                retire_indexes_of = Some(name.clone());
+            }
+            CatalogRecord::CreateIndex {
+                name,
+                table,
+                column,
+            } => {
+                if self.indexes.read().contains_key(name) {
+                    return Err(PipError::corrupt(format!(
+                        "replication feed creates index '{name}' twice"
+                    )));
+                }
+                let t = tables.get(table).ok_or_else(|| {
+                    PipError::corrupt(format!(
+                        "replication feed creates index '{name}' on unknown table '{table}'"
+                    ))
+                })?;
+                let e = build_index_entry(name, table, column, t).map_err(|e| {
+                    PipError::corrupt(format!("replication feed index '{name}': {e}"))
+                })?;
+                staged_index = Some((name.clone(), e));
+            }
+            CatalogRecord::DropIndex { name } => {
+                if !self.indexes.read().contains_key(name) {
+                    return Err(PipError::corrupt(format!(
+                        "replication feed drops unknown index '{name}'"
+                    )));
+                }
+                dropped_index = Some(name.clone());
             }
         }
         self.log(entry.version, entry.record.clone())?;
@@ -552,6 +745,27 @@ impl Database {
         }
         if let Some(name) = dropped {
             tables.remove(&name);
+        }
+        if staged_index.is_some()
+            || dropped_index.is_some()
+            || retire_indexes_of.is_some()
+            || !index_updates.is_empty()
+        {
+            let mut indexes = self.indexes.write();
+            if let Some(table) = retire_indexes_of {
+                indexes.retain(|_, e| e.table != table);
+            }
+            if let Some((name, e)) = staged_index {
+                indexes.insert(name, e);
+            }
+            if let Some(name) = dropped_index {
+                indexes.remove(&name);
+            }
+            for (iname, idx) in index_updates {
+                if let Some(e) = indexes.get_mut(&iname) {
+                    e.index = idx;
+                }
+            }
         }
         // Adopt the primary's stamp verbatim — version-keyed caches on
         // this node then agree with the primary's at the same version.
@@ -570,6 +784,7 @@ impl Database {
         let mut stats = self.stats.write();
         tables.clear();
         stats.clear();
+        self.indexes.write().clear();
         for t in &snapshot.tables {
             if let Some(blob) = &t.stats {
                 // Same derived-data rules as recovery: undecodable or
@@ -587,6 +802,23 @@ impl Database {
                 }
             }
             tables.insert(t.name.clone(), Arc::clone(&t.table));
+        }
+        // Index contents are derived data, rebuilt from the shipped
+        // tables — same resolution rules as recovery.
+        {
+            let mut indexes = self.indexes.write();
+            for i in &snapshot.indexes {
+                let t = tables.get(&i.table).ok_or_else(|| {
+                    PipError::corrupt(format!(
+                        "snapshot index '{}' covers unknown table '{}'",
+                        i.name, i.table
+                    ))
+                })?;
+                let entry = build_index_entry(&i.name, &i.table, &i.column, t).map_err(|e| {
+                    PipError::corrupt(format!("rebuilding snapshot index '{}': {e}", i.name))
+                })?;
+                indexes.insert(i.name.clone(), entry);
+            }
         }
         self.version.store(snapshot.version, Ordering::Release);
         VarId::reserve_through(snapshot.next_var_id.saturating_sub(1));
@@ -721,6 +953,7 @@ struct CheckpointCapture {
     version: u64,
     next_var_id: u64,
     tables: Vec<(String, Arc<CTable>, Option<Arc<TableStats>>)>,
+    indexes: Vec<SnapshotIndex>,
 }
 
 impl CheckpointCapture {
@@ -739,8 +972,39 @@ impl CheckpointCapture {
                     stats: stats.map(|s| persist::stats_to_json(&s)),
                 })
                 .collect(),
+            indexes: self.indexes,
         }
     }
+}
+
+/// Validate an index definition against its table and build the
+/// contents. The column must resolve and be `Int` or `Float`: ordered
+/// deterministic keys (symbolic cells are tracked separately inside the
+/// [`OrderedIndex`]; an index over a `Symbolic` column would degenerate
+/// to a full-scan candidate list).
+fn build_index_entry(
+    name: &str,
+    table_name: &str,
+    column: &str,
+    table: &CTable,
+) -> Result<IndexEntry> {
+    let pos = table.schema().index_of(column).map_err(|_| {
+        PipError::Schema(format!(
+            "index '{name}': table '{table_name}' has no column '{column}'"
+        ))
+    })?;
+    let dtype = table.schema().columns()[pos].dtype;
+    if !matches!(dtype, DataType::Int | DataType::Float) {
+        return Err(PipError::Schema(format!(
+            "index '{name}': column '{column}' has type {dtype:?}; \
+             CREATE INDEX supports Int and Float columns"
+        )));
+    }
+    Ok(IndexEntry {
+        table: table_name.to_string(),
+        column: column.to_string(),
+        index: Arc::new(OrderedIndex::build(table, pos)?),
+    })
 }
 
 #[cfg(test)]
@@ -822,13 +1086,31 @@ mod tests {
         assert_eq!((full.rows, full.analyzed_rows), (10, 10));
 
         // A small insert bumps rows in place: same collection (analyzed
-        // rows unchanged, columns untouched), fresh version stamp.
+        // rows unchanged), fresh version stamp, and the per-column
+        // min/max and histogram buckets absorb the new values without a
+        // rescan (NDV stays as collected — drift is what staleness
+        // tracks).
         db.insert_tuples("t", &[tuple![99i64]]).unwrap();
         let delta = db.table_stats("t").unwrap();
         assert_eq!(delta.rows, 11, "row count delta-maintained");
         assert_eq!(delta.analyzed_rows, 10, "no rescan happened");
         assert_eq!(delta.version, db.version());
-        assert_eq!(delta.columns, full.columns, "column stats carried over");
+        let a = delta.column("a").unwrap();
+        assert_eq!(a.n_deterministic, 11, "cell split delta-maintained");
+        assert_eq!(a.max, Some(99.0), "max widened by the insert");
+        assert_eq!(a.n_distinct, 10.0, "NDV stays as collected");
+        let h = a.histogram.as_ref().unwrap();
+        assert_eq!(h.total(), 11, "histogram counted the new value");
+        assert_eq!(
+            full.column("a")
+                .unwrap()
+                .histogram
+                .as_ref()
+                .unwrap()
+                .total(),
+            10,
+            "the cached pre-insert entry is untouched"
+        );
         assert!(!delta.columns_stale());
 
         // ANALYZE forces the full recollection.
@@ -873,6 +1155,52 @@ mod tests {
         // 2 rows vs 1 analyzed exceeds the 1.2x threshold → recollected.
         assert_eq!(s1.analyzed_rows, 2);
         assert_eq!(s1.conditional_rows, 1);
+    }
+
+    #[test]
+    fn index_lifecycle_and_incremental_maintenance() {
+        let db = Database::new();
+        db.create_table(
+            "t",
+            Schema::of(&[("k", DataType::Int), ("s", DataType::Str)]),
+        )
+        .unwrap();
+        db.insert_tuples("t", &(0..10i64).map(|i| tuple![i, "x"]).collect::<Vec<_>>())
+            .unwrap();
+        db.create_index("idx_k", "t", "k").unwrap();
+        // Validation paths.
+        assert!(db.create_index("idx_k", "t", "k").is_err(), "duplicate");
+        assert!(db.create_index("i2", "zzz", "k").is_err(), "no table");
+        assert!(db.create_index("i2", "t", "zzz").is_err(), "no column");
+        assert!(db.create_index("i2", "t", "s").is_err(), "non-numeric");
+        let entry = db.index("idx_k").unwrap();
+        assert_eq!((entry.table.as_str(), entry.column.as_str()), ("t", "k"));
+        assert_eq!(entry.index.covered_rows(), 10);
+        // Inserts extend the index in place.
+        db.insert_tuples("t", &[tuple![42i64, "y"]]).unwrap();
+        let entry = db.index("idx_k").unwrap();
+        assert_eq!(entry.index.covered_rows(), 11);
+        assert_eq!(
+            entry.index.equal_candidates(&pip_core::Value::Int(42)),
+            vec![10]
+        );
+        assert_eq!(db.indexes_on("t").len(), 1);
+        assert_eq!(db.index_names(), vec!["idx_k"]);
+        // Dropping the table takes its indexes with it.
+        db.drop_table("t").unwrap();
+        assert!(db.index("idx_k").is_none());
+        assert!(db.drop_index("idx_k").is_err());
+    }
+
+    #[test]
+    fn register_table_retires_dependent_indexes() {
+        let db = Database::new();
+        db.create_table("t", Schema::of(&[("k", DataType::Int)]))
+            .unwrap();
+        db.create_index("idx", "t", "k").unwrap();
+        db.register_table("t", CTable::empty(Schema::of(&[("other", DataType::Str)])))
+            .unwrap();
+        assert!(db.index("idx").is_none(), "stale definition retired");
     }
 
     #[test]
@@ -933,6 +1261,69 @@ mod tests {
             let fresh = db.create_variable("Normal", &[0.0, 1.0]).unwrap();
             assert!(fresh.key.id > v_key.id);
             std::fs::remove_dir_all(&dir).unwrap();
+        }
+
+        #[test]
+        fn indexes_survive_recovery_checkpoint_and_replication() {
+            let dir = tmp_dir("idx");
+            {
+                let db = Database::open(&dir).unwrap();
+                db.create_table("t", Schema::of(&[("k", DataType::Int)]))
+                    .unwrap();
+                db.insert_tuples("t", &(0..6i64).map(|i| tuple![i % 3]).collect::<Vec<_>>())
+                    .unwrap();
+                db.create_index("idx_k", "t", "k").unwrap();
+                db.insert_tuples("t", &[tuple![7i64]]).unwrap();
+            }
+            // WAL replay rebuilds both definition and contents.
+            let (db, _) = Database::recover(&dir).unwrap();
+            let entry = db.index("idx_k").unwrap();
+            assert_eq!(entry.index.covered_rows(), 7);
+            assert_eq!(
+                entry.index.equal_candidates(&pip_core::Value::Int(7)),
+                vec![6]
+            );
+            // ...and so does a snapshot after the WAL is compacted away.
+            db.checkpoint().unwrap();
+            drop(db);
+            let (db, info) = Database::recover(&dir).unwrap();
+            assert_eq!(info.replayed, 0);
+            let entry = db.index("idx_k").unwrap();
+            assert_eq!(entry.index.covered_rows(), 7);
+
+            // A follower applying the shipped WAL builds the same index.
+            let follower_dir = tmp_dir("idx-follower");
+            let store = db.store().unwrap();
+            let (snapshot, _cursor) = db.capture_replication_snapshot().unwrap();
+            let _ = store; // frames are compacted away; ship the snapshot
+            let follower = Database::open(&follower_dir).unwrap();
+            follower.set_read_only(true);
+            follower.install_snapshot(snapshot).unwrap();
+            let fe = follower.index("idx_k").unwrap();
+            assert_eq!(fe.index, db.index("idx_k").unwrap().index);
+            // Replicated inserts and index DDL keep the follower in step.
+            let v = follower.version();
+            follower
+                .apply_replicated(&WalEntry {
+                    version: v + 1,
+                    record: CatalogRecord::Insert {
+                        name: "t".into(),
+                        rows: vec![CRow::from_tuple(&tuple![9i64])],
+                    },
+                })
+                .unwrap();
+            assert_eq!(follower.index("idx_k").unwrap().index.covered_rows(), 8);
+            follower
+                .apply_replicated(&WalEntry {
+                    version: v + 2,
+                    record: CatalogRecord::DropIndex {
+                        name: "idx_k".into(),
+                    },
+                })
+                .unwrap();
+            assert!(follower.index("idx_k").is_none());
+            std::fs::remove_dir_all(&dir).unwrap();
+            std::fs::remove_dir_all(&follower_dir).unwrap();
         }
 
         #[test]

@@ -214,6 +214,32 @@ fn run(
             let rows = t.rows().iter().take(*n).cloned().collect();
             Ok(Arc::new(CTable::new(t.schema().clone(), rows)?))
         }
+        // The index access paths are physical details: the materializing
+        // interpreter executes their logical equivalents, which is
+        // exactly what makes it the semantics oracle for them.
+        Plan::IndexScan {
+            table, predicate, ..
+        } => {
+            let t = db.table(table)?;
+            let start = Instant::now();
+            let schema = t.schema().clone();
+            let out =
+                algebra::select(&t, |cells| compile_predicate(predicate, &schema, cells, db))?;
+            stats.query_secs += start.elapsed().as_secs_f64();
+            Ok(Arc::new(out))
+        }
+        Plan::IndexJoin {
+            left, table, on, ..
+        } => {
+            let l = run(db, left, cfg, stats)?;
+            let r = db.table(table)?;
+            let start = Instant::now();
+            let pairs: Vec<(&str, &str)> =
+                on.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+            let out = algebra::equi_join(&l, &r, &pairs)?;
+            stats.query_secs += start.elapsed().as_secs_f64();
+            Ok(Arc::new(out))
+        }
     }
 }
 

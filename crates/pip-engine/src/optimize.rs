@@ -20,13 +20,22 @@
 //!    plan's schema is invariant. Reordering preserves the multiset
 //!    (possible-worlds) semantics of the region; the row *order* of a
 //!    reordered region follows the new join sequence.
-//! 3. **Cost-gated projection pushdown** (`prune_columns`): wrap base
+//! 3. **Access-path selection** (`choose_access_paths`): where an
+//!    ordered secondary index exists, rewrite `Select` over a base scan
+//!    into an [`Plan::IndexScan`] and an equi-join probing a base scan
+//!    into an [`Plan::IndexJoin`] — but only when the cost model (fed
+//!    by histogram selectivity estimates) says the seek beats the
+//!    sequential plan. Candidates carry the exact cardinality estimate
+//!    of the logical shape they replace, so the decision reduces to
+//!    the access-cost formulas.
+//! 4. **Cost-gated projection pushdown** (`prune_columns`): wrap base
 //!    scans in narrow projections only where the estimator says the
 //!    saved downstream cell clones outweigh the extra per-row stage —
 //!    pruning is free on wide join fan-outs and a net loss on scans
 //!    whose rows are cloned once.
 
-use pip_core::{Result, Schema};
+use pip_core::{Result, Schema, Value};
+use pip_expr::CmpOp;
 
 use crate::catalog::Database;
 use crate::plan::{Plan, ScalarExpr};
@@ -56,6 +65,10 @@ pub struct OptimizerConfig {
     pub reorder_joins: bool,
     /// Projection-pushdown gating.
     pub prune: PruneMode,
+    /// Enable cost-based access-path selection over secondary indexes.
+    /// Off forces every access through sequential scans and hash joins
+    /// (the pre-index behavior; benchmarks use it as the baseline).
+    pub use_indexes: bool,
     /// Cost-model constants.
     pub cost: CostModel,
     /// A reordered region is adopted only if its estimated cost is below
@@ -70,6 +83,7 @@ impl Default for OptimizerConfig {
             target: ExecTarget::Streaming,
             reorder_joins: true,
             prune: PruneMode::CostBased,
+            use_indexes: true,
             cost: CostModel::default(),
             reorder_margin: 0.9,
         }
@@ -91,6 +105,10 @@ impl OptimizerConfig {
 pub fn plan_schema(db: &Database, plan: &Plan) -> Result<Schema> {
     Ok(match plan {
         Plan::Scan(name) => db.table(name)?.schema().clone(),
+        Plan::IndexScan { table, .. } => db.table(table)?.schema().clone(),
+        Plan::IndexJoin { left, table, .. } => {
+            plan_schema(db, left)?.join(db.table(table)?.schema())?
+        }
         Plan::Select { input, .. } => plan_schema(db, input)?,
         Plan::Project { exprs, .. } => {
             // Types don't matter for pushdown; mark everything symbolic.
@@ -188,6 +206,13 @@ pub fn optimize_with(db: &Database, plan: Plan, cfg: &OptimizerConfig) -> Result
     } else {
         plan
     };
+    // Index paths exist only in the pipelined executor; the
+    // materializing interpreter always scans.
+    let plan = if cfg.use_indexes && cfg.target == ExecTarget::Streaming {
+        choose_access_paths(db, plan, cfg)?
+    } else {
+        plan
+    };
     match cfg.prune {
         PruneMode::Never => Ok(plan),
         _ => prune_columns(db, plan, None, 0.0, cfg),
@@ -243,7 +268,21 @@ pub fn push_selects(db: &Database, plan: Plan) -> Result<Plan> {
             input: Box::new(push_selects(db, *input)?),
             n,
         },
-        leaf @ Plan::Scan(_) => leaf,
+        leaf @ (Plan::Scan(_) | Plan::IndexScan { .. }) => leaf,
+        // Access paths are chosen after pushdown; a pre-placed index
+        // join only recurses (pushing a filter into the probe side
+        // would change the access path behind the planner's back).
+        Plan::IndexJoin {
+            left,
+            table,
+            index,
+            on,
+        } => Plan::IndexJoin {
+            left: Box::new(push_selects(db, *left)?),
+            table,
+            index,
+            on,
+        },
     })
 }
 
@@ -371,7 +410,18 @@ fn reorder_pass(db: &Database, plan: Plan, cfg: &OptimizerConfig, allow: bool) -
 /// Rebuild a non-region node with reordered children.
 fn reorder_children(db: &Database, plan: Plan, cfg: &OptimizerConfig, allow: bool) -> Result<Plan> {
     Ok(match plan {
-        leaf @ Plan::Scan(_) => leaf,
+        leaf @ (Plan::Scan(_) | Plan::IndexScan { .. }) => leaf,
+        Plan::IndexJoin {
+            left,
+            table,
+            index,
+            on,
+        } => Plan::IndexJoin {
+            left: Box::new(reorder_pass(db, *left, cfg, allow)?),
+            table,
+            index,
+            on,
+        },
         Plan::Select { input, predicate } => Plan::Select {
             input: Box::new(reorder_pass(db, *input, cfg, allow)?),
             predicate,
@@ -692,6 +742,278 @@ fn reorder_region(db: &Database, plan: Plan, cfg: &OptimizerConfig) -> Result<Pl
 }
 
 // ---------------------------------------------------------------------
+// Access-path selection.
+// ---------------------------------------------------------------------
+
+/// One inclusive/exclusive bound of an index seek range.
+type Bound = Option<(Value, bool)>;
+
+/// The access-path pass: bottom-up over the plan, rewriting
+/// `Select(Scan)` to [`Plan::IndexScan`] and `EquiJoin(_, Scan)` to
+/// [`Plan::IndexJoin`] wherever an index applies *and* wins on cost.
+/// Both candidates keep the exact semantics (the full predicate is
+/// re-applied as a residual; the join re-checks every key pair), so the
+/// rewrite is always safe — the cost gate is purely about speed.
+fn choose_access_paths(db: &Database, plan: Plan, cfg: &OptimizerConfig) -> Result<Plan> {
+    Ok(match plan {
+        leaf @ (Plan::Scan(_) | Plan::IndexScan { .. }) => leaf,
+        Plan::Select { input, predicate } => {
+            let input = choose_access_paths(db, *input, cfg)?;
+            if let Plan::Scan(table) = &input {
+                if let Some(better) = index_scan_candidate(db, table, &predicate, cfg)? {
+                    return Ok(better);
+                }
+            }
+            Plan::Select {
+                input: Box::new(input),
+                predicate,
+            }
+        }
+        Plan::EquiJoin { left, right, on } => {
+            let left = choose_access_paths(db, *left, cfg)?;
+            let right = choose_access_paths(db, *right, cfg)?;
+            if let Plan::Scan(table) = &right {
+                if let Some(better) = index_join_candidate(db, &left, table, &on, cfg)? {
+                    return Ok(better);
+                }
+            }
+            Plan::EquiJoin {
+                left: Box::new(left),
+                right: Box::new(right),
+                on,
+            }
+        }
+        Plan::IndexJoin {
+            left,
+            table,
+            index,
+            on,
+        } => Plan::IndexJoin {
+            left: Box::new(choose_access_paths(db, *left, cfg)?),
+            table,
+            index,
+            on,
+        },
+        Plan::Project { input, exprs } => Plan::Project {
+            input: Box::new(choose_access_paths(db, *input, cfg)?),
+            exprs,
+        },
+        Plan::Product { left, right } => Plan::Product {
+            left: Box::new(choose_access_paths(db, *left, cfg)?),
+            right: Box::new(choose_access_paths(db, *right, cfg)?),
+        },
+        Plan::Union { left, right } => Plan::Union {
+            left: Box::new(choose_access_paths(db, *left, cfg)?),
+            right: Box::new(choose_access_paths(db, *right, cfg)?),
+        },
+        Plan::Distinct(input) => Plan::Distinct(Box::new(choose_access_paths(db, *input, cfg)?)),
+        Plan::Difference { left, right } => Plan::Difference {
+            left: Box::new(choose_access_paths(db, *left, cfg)?),
+            right: Box::new(choose_access_paths(db, *right, cfg)?),
+        },
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => Plan::Aggregate {
+            input: Box::new(choose_access_paths(db, *input, cfg)?),
+            group_by,
+            aggs,
+        },
+        Plan::Conf(input) => Plan::Conf(Box::new(choose_access_paths(db, *input, cfg)?)),
+        Plan::Sort { input, keys } => Plan::Sort {
+            input: Box::new(choose_access_paths(db, *input, cfg)?),
+            keys,
+        },
+        Plan::Limit { input, n } => Plan::Limit {
+            input: Box::new(choose_access_paths(db, *input, cfg)?),
+            n,
+        },
+    })
+}
+
+/// Flip a comparison so the column lands on the left.
+fn flip_cmp(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+        eq => eq,
+    }
+}
+
+/// Tighten a lower bound: keep the greater value; at equal values an
+/// exclusive bound is the stricter one.
+fn tighten_lo(lo: &mut Bound, value: Value, inclusive: bool) {
+    let stricter = match lo {
+        None => true,
+        Some((cur, cur_incl)) => match value.cmp_total(cur) {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Equal => *cur_incl && !inclusive,
+            std::cmp::Ordering::Less => false,
+        },
+    };
+    if stricter {
+        *lo = Some((value, inclusive));
+    }
+}
+
+/// Tighten an upper bound: keep the smaller value; at equal values an
+/// exclusive bound is the stricter one.
+fn tighten_hi(hi: &mut Bound, value: Value, inclusive: bool) {
+    let stricter = match hi {
+        None => true,
+        Some((cur, cur_incl)) => match value.cmp_total(cur) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Equal => *cur_incl && !inclusive,
+            std::cmp::Ordering::Greater => false,
+        },
+    };
+    if stricter {
+        *hi = Some((value, inclusive));
+    }
+}
+
+/// Extract the seek range the predicate's sargable conjuncts impose on
+/// `column` — `column θ literal` comparisons against numeric literals.
+/// `None` when no conjunct constrains the column at all (an unbounded
+/// index scan never beats the sequential scan).
+fn sargable_bounds(parts: &[ScalarExpr], column: &str) -> Option<(Bound, Bound)> {
+    let mut lo: Bound = None;
+    let mut hi: Bound = None;
+    let mut any = false;
+    for p in parts {
+        let ScalarExpr::Cmp { op, left, right } = p else {
+            continue;
+        };
+        let (op, value) = match (&**left, &**right) {
+            (ScalarExpr::Column(c), ScalarExpr::Literal(v)) if c == column => (*op, v.clone()),
+            (ScalarExpr::Literal(v), ScalarExpr::Column(c)) if c == column => {
+                (flip_cmp(*op), v.clone())
+            }
+            _ => continue,
+        };
+        if !matches!(value, Value::Int(_) | Value::Float(_)) {
+            continue;
+        }
+        match op {
+            CmpOp::Eq => {
+                tighten_lo(&mut lo, value.clone(), true);
+                tighten_hi(&mut hi, value, true);
+                any = true;
+            }
+            CmpOp::Lt => {
+                tighten_hi(&mut hi, value, false);
+                any = true;
+            }
+            CmpOp::Le => {
+                tighten_hi(&mut hi, value, true);
+                any = true;
+            }
+            CmpOp::Gt => {
+                tighten_lo(&mut lo, value, false);
+                any = true;
+            }
+            CmpOp::Ge => {
+                tighten_lo(&mut lo, value, true);
+                any = true;
+            }
+            CmpOp::Ne => {}
+        }
+    }
+    if any {
+        Some((lo, hi))
+    } else {
+        None
+    }
+}
+
+/// Build the cheapest applicable [`Plan::IndexScan`] over `table` for
+/// `predicate`, returning it only when it beats the sequential
+/// `Select(Scan)` on estimated cost.
+fn index_scan_candidate(
+    db: &Database,
+    table: &str,
+    predicate: &ScalarExpr,
+    cfg: &OptimizerConfig,
+) -> Result<Option<Plan>> {
+    let indexes = db.indexes_on(table);
+    if indexes.is_empty() {
+        return Ok(None);
+    }
+    let parts = conjuncts(predicate.clone());
+    let mut best: Option<(f64, Plan)> = None;
+    for (iname, entry) in indexes {
+        let Some((lo, hi)) = sargable_bounds(&parts, &entry.column) else {
+            continue;
+        };
+        let candidate = Plan::IndexScan {
+            table: table.to_string(),
+            index: iname,
+            column: entry.column.clone(),
+            lo,
+            hi,
+            predicate: predicate.clone(),
+        };
+        let cost = stats::plan_cost(db, &candidate, cfg.target, &cfg.cost)?;
+        if best.as_ref().map(|(c, _)| cost < *c).unwrap_or(true) {
+            best = Some((cost, candidate));
+        }
+    }
+    let Some((cost, candidate)) = best else {
+        return Ok(None);
+    };
+    let sequential = Plan::Select {
+        input: Box::new(Plan::Scan(table.to_string())),
+        predicate: predicate.clone(),
+    };
+    let seq_cost = stats::plan_cost(db, &sequential, cfg.target, &cfg.cost)?;
+    Ok(if cost < seq_cost {
+        Some(candidate)
+    } else {
+        None
+    })
+}
+
+/// Build an [`Plan::IndexJoin`] probing `table` through an index on one
+/// of the join's probe-side key columns, returning it only when it
+/// beats the hash join on estimated cost.
+fn index_join_candidate(
+    db: &Database,
+    left: &Plan,
+    table: &str,
+    on: &[(String, String)],
+    cfg: &OptimizerConfig,
+) -> Result<Option<Plan>> {
+    let Some((iname, _)) = db
+        .indexes_on(table)
+        .into_iter()
+        .find(|(_, e)| on.iter().any(|(_, r)| r == &e.column))
+    else {
+        return Ok(None);
+    };
+    let candidate = Plan::IndexJoin {
+        left: Box::new(left.clone()),
+        table: table.to_string(),
+        index: iname,
+        on: on.to_vec(),
+    };
+    let hash = Plan::EquiJoin {
+        left: Box::new(left.clone()),
+        right: Box::new(Plan::Scan(table.to_string())),
+        on: on.to_vec(),
+    };
+    let index_cost = stats::plan_cost(db, &candidate, cfg.target, &cfg.cost)?;
+    let hash_cost = stats::plan_cost(db, &hash, cfg.target, &cfg.cost)?;
+    Ok(if index_cost < hash_cost {
+        Some(candidate)
+    } else {
+        None
+    })
+}
+
+// ---------------------------------------------------------------------
 // Cost-gated projection pushdown.
 // ---------------------------------------------------------------------
 
@@ -764,6 +1086,21 @@ fn prune_columns(
                     .collect(),
             }
         }
+        // Access paths are final: an index scan emits whole base rows,
+        // and the index join's probe side must stay unwrapped, so the
+        // pass only recurses conservatively.
+        leaf @ Plan::IndexScan { .. } => leaf,
+        Plan::IndexJoin {
+            left,
+            table,
+            index,
+            on,
+        } => Plan::IndexJoin {
+            left: Box::new(prune_columns(db, *left, None, mult, cfg)?),
+            table,
+            index,
+            on,
+        },
         Plan::Select { input, predicate } => {
             let mut req = required;
             let mut cols = Vec::new();
@@ -1344,6 +1681,137 @@ mod tests {
         )
         .unwrap();
         assert_eq!(opt, plan);
+    }
+
+    /// Indexed fact table (400 rows) with a small dimension table: the
+    /// shape where secondary-index access paths pay off only for
+    /// selective work.
+    fn index_db() -> Database {
+        let db = Database::new();
+        db.create_table(
+            "fact",
+            Schema::of(&[("fk", DataType::Int), ("fv", DataType::Float)]),
+        )
+        .unwrap();
+        db.create_table(
+            "dim",
+            Schema::of(&[("dk", DataType::Int), ("dv", DataType::Float)]),
+        )
+        .unwrap();
+        let rows: Vec<_> = (0..400i64).map(|i| tuple![i, i as f64]).collect();
+        db.insert_tuples("fact", &rows).unwrap();
+        let rows: Vec<_> = (0..20i64).map(|i| tuple![i, i as f64 * 10.0]).collect();
+        db.insert_tuples("dim", &rows).unwrap();
+        db.create_index("idx_fk", "fact", "fk").unwrap();
+        db.analyze_all().unwrap();
+        db
+    }
+
+    fn no_index_cfg() -> OptimizerConfig {
+        OptimizerConfig {
+            use_indexes: false,
+            ..OptimizerConfig::default()
+        }
+    }
+
+    #[test]
+    fn cost_model_picks_index_scan_only_when_selective() {
+        let db = index_db();
+        let cfg = SamplerConfig::default();
+        // Selective range: the histogram prices it at ~2/400 rows, so
+        // the seek beats the sequential scan.
+        let selective = PlanBuilder::scan("fact")
+            .select(
+                ScalarExpr::col("fk")
+                    .ge(ScalarExpr::lit(10i64))
+                    .and(ScalarExpr::col("fk").lt(ScalarExpr::lit(12i64))),
+            )
+            .unwrap()
+            .build();
+        let opt = optimize(&db, selective.clone()).unwrap();
+        assert!(
+            matches!(opt, Plan::IndexScan { .. }),
+            "expected IndexScan, got:\n{}",
+            opt.explain()
+        );
+        // The index path is bit-identical to the pre-index plan.
+        let a = crate::exec::execute(
+            &db,
+            &optimize_with(&db, selective, &no_index_cfg()).unwrap(),
+            &cfg,
+        )
+        .unwrap();
+        let b = crate::exec::execute(&db, &opt, &cfg).unwrap();
+        assert_eq!(a, b);
+        // Non-selective range: the histogram says nearly every row
+        // qualifies, so the full scan stays.
+        let wide = PlanBuilder::scan("fact")
+            .select(ScalarExpr::col("fk").ge(ScalarExpr::lit(0i64)))
+            .unwrap()
+            .build();
+        let opt = optimize(&db, wide).unwrap();
+        assert!(
+            matches!(opt, Plan::Select { .. }),
+            "expected full scan to survive, got:\n{}",
+            opt.explain()
+        );
+    }
+
+    #[test]
+    fn cost_model_picks_index_join_for_small_probe_side() {
+        let db = index_db();
+        let cfg = SamplerConfig::default();
+        // 3 dimension rows probing a 400-row indexed fact table: the
+        // seek-per-probe-row plan beats building a 400-row hash table.
+        let plan = PlanBuilder::scan("dim")
+            .select(ScalarExpr::col("dk").lt(ScalarExpr::lit(3i64)))
+            .unwrap()
+            .equi_join(PlanBuilder::scan("fact"), vec![("dk", "fk")])
+            .build();
+        let opt = optimize(&db, plan.clone()).unwrap();
+        assert!(
+            opt.explain().contains("IndexJoin"),
+            "expected IndexJoin, got:\n{}",
+            opt.explain()
+        );
+        let a = crate::exec::execute(
+            &db,
+            &optimize_with(&db, plan, &no_index_cfg()).unwrap(),
+            &cfg,
+        )
+        .unwrap();
+        let b = crate::exec::execute(&db, &opt, &cfg).unwrap();
+        assert_eq!(a, b);
+        // Probe side as large as the indexed side: per-row seeks cost
+        // more than one hash build, so the hash join survives.
+        let plan = PlanBuilder::scan("fact")
+            .equi_join(PlanBuilder::scan("fact"), vec![("fk", "fk")])
+            .build();
+        let opt = optimize(&db, plan).unwrap();
+        assert!(
+            !opt.explain().contains("IndexJoin"),
+            "expected hash join to survive, got:\n{}",
+            opt.explain()
+        );
+    }
+
+    #[test]
+    fn unindexed_or_unbounded_predicates_keep_the_scan() {
+        let db = index_db();
+        // No conjunct constrains the indexed column.
+        let plan = PlanBuilder::scan("fact")
+            .select(ScalarExpr::col("fv").lt(ScalarExpr::lit(5.0)))
+            .unwrap()
+            .build();
+        let opt = optimize(&db, plan).unwrap();
+        assert!(matches!(opt, Plan::Select { .. }), "{}", opt.explain());
+        // use_indexes: false is a hard off-switch even for selective work.
+        let plan = PlanBuilder::scan("fact")
+            .select(ScalarExpr::col("fk").eq(ScalarExpr::lit(7i64)))
+            .unwrap()
+            .build();
+        let opt = optimize_with(&db, plan, &no_index_cfg()).unwrap();
+        assert!(matches!(opt, Plan::Select { .. }), "{}", opt.explain());
     }
 
     #[test]

@@ -11,13 +11,63 @@ use pip_core::{PipError, Result};
 use pip_store::codec::{decode_f64, dtype_from, dtype_name, encode_f64};
 use serde_json::Value as Json;
 
-use crate::stats::{ColumnStats, TableStats};
+use crate::stats::{ColumnStats, Histogram, TableStats};
 
 fn opt_f64(x: Option<f64>) -> Json {
     match x {
         Some(v) => encode_f64(v),
         None => Json::Null,
     }
+}
+
+fn histogram_to_json(h: &Option<Histogram>) -> Json {
+    match h {
+        None => Json::Null,
+        Some(h) => Json::Object(vec![
+            (
+                "bounds".into(),
+                Json::Array(h.bounds.iter().map(|&b| encode_f64(b)).collect()),
+            ),
+            (
+                "counts".into(),
+                Json::Array(
+                    h.counts
+                        .iter()
+                        .map(|&c| Json::Number(c.to_string()))
+                        .collect(),
+                ),
+            ),
+        ]),
+    }
+}
+
+/// Tolerant histogram decode: an absent or null slot (a blob written
+/// before histograms existed) yields `None`, which just means the
+/// estimator falls back to uniform interpolation until re-`ANALYZE`.
+fn histogram_from_json(v: Option<&Json>) -> Result<Option<Histogram>> {
+    let bad = |what: &str| PipError::corrupt(format!("stats histogram {what}"));
+    let Some(v) = v else { return Ok(None) };
+    if matches!(v, Json::Null) {
+        return Ok(None);
+    }
+    let bounds = v
+        .get("bounds")
+        .and_then(Json::as_array)
+        .ok_or_else(|| bad("bounds"))?
+        .iter()
+        .map(decode_f64)
+        .collect::<Result<Vec<f64>>>()?;
+    let counts = v
+        .get("counts")
+        .and_then(Json::as_array)
+        .ok_or_else(|| bad("counts"))?
+        .iter()
+        .map(|c| c.as_u64().ok_or_else(|| bad("count")))
+        .collect::<Result<Vec<u64>>>()?;
+    if bounds.len() != counts.len() + 1 {
+        return Err(bad("shape"));
+    }
+    Ok(Some(Histogram { bounds, counts }))
 }
 
 fn get_u64(v: &Json, key: &str) -> Result<u64> {
@@ -57,6 +107,7 @@ pub fn stats_to_json(s: &TableStats) -> Json {
                             ("n_distinct".into(), encode_f64(c.n_distinct)),
                             ("min".into(), opt_f64(c.min)),
                             ("max".into(), opt_f64(c.max)),
+                            ("histogram".into(), histogram_to_json(&c.histogram)),
                         ])
                     })
                     .collect(),
@@ -96,6 +147,7 @@ pub fn stats_from_json(v: &Json) -> Result<TableStats> {
             n_distinct: decode_f64(c.get("n_distinct").ok_or_else(|| bad("n_distinct"))?)?,
             min: opt("min")?,
             max: opt("max")?,
+            histogram: histogram_from_json(c.get("histogram"))?,
         });
     }
     Ok(TableStats {
@@ -131,6 +183,34 @@ mod tests {
         let stats = db.table_stats("t").unwrap();
         let back = stats_from_json(&stats_to_json(&stats)).unwrap();
         assert_eq!(back, *stats);
+    }
+
+    #[test]
+    fn pre_histogram_blob_decodes_with_none() {
+        let db = Database::new();
+        db.create_table("t", Schema::of(&[("a", DataType::Int)]))
+            .unwrap();
+        db.insert_tuples("t", &[tuple![1i64], tuple![2i64]])
+            .unwrap();
+        let stats = db.table_stats("t").unwrap();
+        let mut json = stats_to_json(&stats);
+        // Simulate a blob written before histograms existed.
+        if let Json::Object(fields) = &mut json {
+            for (k, v) in fields.iter_mut() {
+                if k == "columns" {
+                    if let Json::Array(cols) = v {
+                        for col in cols {
+                            if let Json::Object(cf) = col {
+                                cf.retain(|(k, _)| k != "histogram");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let back = stats_from_json(&json).unwrap();
+        assert!(back.columns.iter().all(|c| c.histogram.is_none()));
+        assert_eq!(back.rows, stats.rows);
     }
 
     #[test]

@@ -33,7 +33,7 @@ use std::time::Instant;
 use pip_core::{PipError, Result, Schema, Value};
 use pip_expr::{Atom, Equation};
 
-use pip_ctable::{algebra, filter_row, join_rows, map_row, CRow, CTable};
+use pip_ctable::{algebra, filter_row, join_rows, map_row, CRow, CTable, OrderedIndex};
 use pip_sampling::parallel::ParallelSampler;
 use pip_sampling::{ConfStream, SamplerConfig, StreamingGroups};
 
@@ -277,6 +277,100 @@ fn build_op<'a>(
                 ScanOp { table, idx: 0 },
                 schema,
                 format!("Scan: {name}"),
+                false,
+            ))
+        }
+        Plan::IndexScan {
+            table,
+            index,
+            column,
+            lo,
+            hi,
+            predicate,
+        } => {
+            let t = db.table(table)?;
+            let entry = db
+                .index(index)
+                .ok_or_else(|| PipError::NotFound(format!("index '{index}'")))?;
+            let schema = t.schema().clone();
+            // Seek once at lowering time against the pinned snapshot.
+            // The candidate list is a superset of the matching rows in
+            // ascending row order; rows past the index watermark (a
+            // snapshot racing an insert) are appended as candidates and
+            // ids past the table length are dropped — the residual
+            // predicate below decides every candidate either way.
+            let mut ids = entry.index.seek(lo.as_ref(), hi.as_ref());
+            ids.retain(|&id| (id as usize) < t.len());
+            ids.extend((entry.index.covered_rows() as usize..t.len()).map(|i| i as u32));
+            let label = format!(
+                "IndexRangeScan: {table} via {index} ({})",
+                bound_label(column, lo, hi)
+            );
+            Ok(OpNode::new(
+                IndexRangeScanOp {
+                    table: t,
+                    db,
+                    predicate: predicate.clone(),
+                    schema: schema.clone(),
+                    ids,
+                    pos: 0,
+                },
+                schema,
+                label,
+                false,
+            ))
+        }
+        Plan::IndexJoin {
+            left,
+            table,
+            index,
+            on,
+        } => {
+            let l = build(db, left, cfg, annotate)?;
+            let t = db.table(table)?;
+            let entry = db
+                .index(index)
+                .ok_or_else(|| PipError::NotFound(format!("index '{index}'")))?;
+            let l_key = on
+                .iter()
+                .map(|(a, _)| l.schema().index_of(a))
+                .collect::<Result<Vec<_>>>()?;
+            let r_key = on
+                .iter()
+                .map(|(_, b)| t.schema().index_of(b))
+                .collect::<Result<Vec<_>>>()?;
+            let seek_pair = on
+                .iter()
+                .position(|(_, b)| b == &entry.column)
+                .ok_or_else(|| {
+                    PipError::Schema(format!(
+                        "index '{index}' on column '{}' serves no key of the join",
+                        entry.column
+                    ))
+                })?;
+            let schema = l.schema().join(t.schema())?;
+            let pairs: Vec<String> = on.iter().map(|(a, b)| format!("{a}={b}")).collect();
+            let tail: Vec<u32> = (entry.index.covered_rows() as usize..t.len())
+                .map(|i| i as u32)
+                .collect();
+            Ok(OpNode::new(
+                IndexNestedLoopJoinOp {
+                    left: l,
+                    table: t,
+                    index: Arc::clone(&entry.index),
+                    l_key,
+                    r_key,
+                    seek_pair,
+                    tail,
+                    probe: None,
+                    candidates: Candidates::List(Vec::new()),
+                    cand_pos: 0,
+                },
+                schema,
+                format!(
+                    "IndexNestedLoopJoin: {} (probe={table} via {index})",
+                    pairs.join(" AND ")
+                ),
                 false,
             ))
         }
@@ -543,6 +637,142 @@ impl<'a> Operator<'a> for ScanOp {
 
     fn children(&self) -> Vec<&OpNode<'a>> {
         Vec::new()
+    }
+}
+
+/// Render the seek range of an index scan for EXPLAIN.
+fn bound_label(column: &str, lo: &Option<(Value, bool)>, hi: &Option<(Value, bool)>) -> String {
+    match (lo, hi) {
+        (None, None) => format!("{column} unbounded"),
+        (Some((v, inc)), None) => format!("{column} {} {v}", if *inc { ">=" } else { ">" }),
+        (None, Some((v, inc))) => format!("{column} {} {v}", if *inc { "<=" } else { "<" }),
+        (Some((lv, li)), Some((hv, hi_inc))) => format!(
+            "{lv} {} {column} {} {hv}",
+            if *li { "<=" } else { "<" },
+            if *hi_inc { "<=" } else { "<" }
+        ),
+    }
+}
+
+/// Index-driven base-table access: candidate rows come from one ordered
+/// seek (ascending row order, symbolic cells always included), then the
+/// *full* predicate re-decides every candidate — semantically identical
+/// to `Filter(Scan)`, row-for-row and condition-for-condition, just
+/// skipping rows the index proves cannot match.
+struct IndexRangeScanOp<'a> {
+    table: Arc<CTable>,
+    db: &'a Database,
+    predicate: ScalarExpr,
+    schema: Schema,
+    ids: Vec<u32>,
+    pos: usize,
+}
+
+impl<'a> Operator<'a> for IndexRangeScanOp<'a> {
+    fn next(&mut self) -> Result<Option<CRow>> {
+        while let Some(&id) = self.ids.get(self.pos) {
+            self.pos += 1;
+            let row = self.table.rows()[id as usize].clone();
+            let outcome = compile_predicate(&self.predicate, &self.schema, &row.cells, self.db)?;
+            if let Some(r) = filter_row(row, outcome) {
+                return Ok(Some(r));
+            }
+        }
+        Ok(None)
+    }
+
+    fn children(&self) -> Vec<&OpNode<'a>> {
+        Vec::new()
+    }
+}
+
+/// Index nested-loop join: for every probe (left) row, candidate base
+/// rows come from an equality seek on the indexed key column instead of
+/// a hash bucket. Candidates arrive in ascending base order with the
+/// symbolic-key rows merged in — the same candidate set and order a
+/// [`HashJoinOp`] would visit — and every key pair is then re-decided
+/// exactly as the hash join does (const keys filter, symbolic keys
+/// hoist equality atoms), so the output is bit-identical.
+struct IndexNestedLoopJoinOp<'a> {
+    left: OpNode<'a>,
+    table: Arc<CTable>,
+    index: Arc<OrderedIndex>,
+    l_key: Vec<usize>,
+    r_key: Vec<usize>,
+    /// Which `on` pair the index serves.
+    seek_pair: usize,
+    /// Base rows past the index watermark (snapshot skew): always
+    /// candidates, decided by the key checks like any other row.
+    tail: Vec<u32>,
+    probe: Option<CRow>,
+    candidates: Candidates,
+    cand_pos: usize,
+}
+
+impl IndexNestedLoopJoinOp<'_> {
+    /// Candidate base-row indices for `probe`, ascending.
+    fn candidates_for(&self, probe: &CRow) -> Candidates {
+        match probe.cells[self.l_key[self.seek_pair]].as_const() {
+            None => Candidates::All(self.table.len()),
+            Some(key) => {
+                let mut ids = self.index.equal_candidates(key);
+                ids.extend_from_slice(&self.tail);
+                ids.retain(|&id| (id as usize) < self.table.len());
+                Candidates::List(ids.into_iter().map(|id| id as usize).collect())
+            }
+        }
+    }
+}
+
+impl<'a> Operator<'a> for IndexNestedLoopJoinOp<'a> {
+    fn next(&mut self) -> Result<Option<CRow>> {
+        loop {
+            if self.probe.is_none() {
+                self.probe = self.left.next_row()?;
+                match &self.probe {
+                    None => return Ok(None),
+                    Some(p) => {
+                        self.candidates = self.candidates_for(p);
+                        self.cand_pos = 0;
+                    }
+                }
+            }
+            let probe = self.probe.as_ref().expect("checked");
+            'cands: while let Some(idx) = self.candidates.get(self.cand_pos) {
+                let r = &self.table.rows()[idx];
+                self.cand_pos += 1;
+                // Conjoin conditions first (product), then decide keys
+                // (select) — mirroring HashJoinOp exactly.
+                let Some(joined) = join_rows(probe, r) else {
+                    continue;
+                };
+                let mut atoms: Vec<Atom> = Vec::new();
+                for (&li, &ri) in self.l_key.iter().zip(&self.r_key) {
+                    let (l, rc) = (&probe.cells[li], &r.cells[ri]);
+                    match (l.as_const(), rc.as_const()) {
+                        (Some(a), Some(b)) => {
+                            if !a.sql_eq(b) {
+                                continue 'cands;
+                            }
+                        }
+                        _ => atoms.push(Atom::new(l.clone(), pip_expr::CmpOp::Eq, rc.clone())),
+                    }
+                }
+                let out = if atoms.is_empty() {
+                    Some(joined)
+                } else {
+                    filter_row(joined, algebra::SelectOutcome::Conditional(atoms))
+                };
+                if let Some(row) = out {
+                    return Ok(Some(row));
+                }
+            }
+            self.probe = None;
+        }
+    }
+
+    fn children(&self) -> Vec<&OpNode<'a>> {
+        vec![&self.left]
     }
 }
 

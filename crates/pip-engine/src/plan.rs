@@ -197,6 +197,34 @@ pub enum Plan {
     },
     /// Keep the first `n` rows.
     Limit { input: Box<Plan>, n: usize },
+    /// Seek an ordered secondary index for the rows of `table` whose
+    /// indexed column may fall inside `[lo, hi]` (the seek
+    /// over-approximates: symbolic cells and out-of-order constants are
+    /// always candidates), then re-apply the full `predicate` per
+    /// candidate. Semantically identical to
+    /// `Select { input: Scan(table), predicate }` — candidates stream in
+    /// ascending row id, so results are row- and bit-identical to the
+    /// full scan.
+    IndexScan {
+        table: String,
+        index: String,
+        column: String,
+        /// Lower bound as `(value, inclusive)`; `None` = unbounded.
+        lo: Option<(Value, bool)>,
+        /// Upper bound as `(value, inclusive)`; `None` = unbounded.
+        hi: Option<(Value, bool)>,
+        /// The complete original predicate, re-checked per candidate.
+        predicate: ScalarExpr,
+    },
+    /// Probe an ordered index on `table` once per left row instead of
+    /// building a hash table. Semantically identical to
+    /// `EquiJoin { left, right: Scan(table), on }`.
+    IndexJoin {
+        left: Box<Plan>,
+        table: String,
+        index: String,
+        on: Vec<(String, String)>,
+    },
 }
 
 impl Plan {
@@ -234,19 +262,47 @@ impl Plan {
                 format!("Sort: [{}]", ks.join(", "))
             }
             Plan::Limit { n, .. } => format!("Limit: {n}"),
+            Plan::IndexScan {
+                table,
+                index,
+                column,
+                lo,
+                hi,
+                ..
+            } => {
+                let mut range = String::new();
+                if let Some((v, inc)) = lo {
+                    range.push_str(&format!("{v:?} {} ", if *inc { "<=" } else { "<" }));
+                }
+                range.push_str(column);
+                if let Some((v, inc)) = hi {
+                    range.push_str(&format!(" {} {v:?}", if *inc { "<=" } else { "<" }));
+                }
+                format!("IndexScan: {table} via {index} ({range})")
+            }
+            Plan::IndexJoin {
+                table, index, on, ..
+            } => {
+                let pairs: Vec<String> = on.iter().map(|(a, b)| format!("{a}={b}")).collect();
+                format!(
+                    "IndexJoin: {} (probe={table} via {index})",
+                    pairs.join(" AND ")
+                )
+            }
         }
     }
 
     /// Child plans in operator order (left before right).
     pub fn children(&self) -> Vec<&Plan> {
         match self {
-            Plan::Scan(_) => Vec::new(),
+            Plan::Scan(_) | Plan::IndexScan { .. } => Vec::new(),
             Plan::Select { input, .. }
             | Plan::Project { input, .. }
             | Plan::Aggregate { input, .. }
             | Plan::Sort { input, .. }
             | Plan::Limit { input, .. } => vec![input],
             Plan::Distinct(input) | Plan::Conf(input) => vec![input],
+            Plan::IndexJoin { left, .. } => vec![left],
             Plan::Product { left, right }
             | Plan::EquiJoin { left, right, .. }
             | Plan::Union { left, right }

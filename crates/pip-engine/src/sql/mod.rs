@@ -53,6 +53,18 @@ pub fn run_statement(db: &Database, stmt: Statement, cfg: &SamplerConfig) -> Res
             db.create_table(&name, schema)?;
             Ok(CTable::empty(Schema::empty()))
         }
+        Statement::CreateIndex {
+            name,
+            table,
+            column,
+        } => {
+            db.create_index(&name, &table, &column)?;
+            Ok(CTable::empty(Schema::empty()))
+        }
+        Statement::DropIndex { name } => {
+            db.drop_index(&name)?;
+            Ok(CTable::empty(Schema::empty()))
+        }
         Statement::Insert { table, rows } => {
             let schema = db.table(&table)?.schema().clone();
             let empty_cells: Vec<Equation> = Vec::new();

@@ -4,12 +4,14 @@
 //! the paper's evaluation):
 //!
 //! ```text
-//! stmt      := create | insert | select | explain | analyze
+//! stmt      := create | drop | insert | select | explain | analyze
 //! explain   := EXPLAIN [ANALYZE] select
 //!            | EXPLAIN '(' option (',' option)* ')' select
 //! option    := ANALYZE | FORMAT (TEXT | JSON)
 //! analyze   := ANALYZE [name]        -- refresh optimizer statistics
 //! create    := CREATE TABLE name '(' col type (',' col type)* ')'
+//!            | CREATE INDEX name ON table '(' col ')'
+//! drop      := DROP INDEX name
 //! insert    := INSERT INTO name VALUES tuple (',' tuple)*
 //! select    := SELECT target (',' target)* FROM from_item (',' from_item)*
 //!              [WHERE pred] [GROUP BY col (',' col)*]
@@ -48,6 +50,17 @@ pub enum Statement {
     CreateTable {
         name: String,
         columns: Vec<(String, DataType)>,
+    },
+    /// `CREATE INDEX name ON table (column)` — ordered secondary index
+    /// over one deterministic Int/Float column.
+    CreateIndex {
+        name: String,
+        table: String,
+        column: String,
+    },
+    /// `DROP INDEX name`.
+    DropIndex {
+        name: String,
     },
     Insert {
         table: String,
@@ -158,8 +171,16 @@ impl Parser {
 
     fn statement(&mut self) -> Result<Statement> {
         if self.eat_kw("create") {
+            if self.eat_kw("index") {
+                return self.create_index();
+            }
             self.expect_kw("table")?;
             return self.create_table();
+        }
+        if self.eat_kw("drop") {
+            self.expect_kw("index")?;
+            let name = self.ident()?;
+            return Ok(Statement::DropIndex { name });
         }
         if self.eat_kw("insert") {
             self.expect_kw("into")?;
@@ -218,7 +239,7 @@ impl Parser {
             return Ok(Statement::Analyze { table });
         }
         Err(PipError::Sql(format!(
-            "expected CREATE, INSERT, SELECT, EXPLAIN or ANALYZE, found {:?}",
+            "expected CREATE, DROP, INSERT, SELECT, EXPLAIN or ANALYZE, found {:?}",
             self.peek()
         )))
     }
@@ -245,6 +266,20 @@ impl Parser {
         }
         self.expect(Token::RParen)?;
         Ok(Statement::CreateTable { name, columns })
+    }
+
+    fn create_index(&mut self) -> Result<Statement> {
+        let name = self.ident()?;
+        self.expect_kw("on")?;
+        let table = self.ident()?;
+        self.expect(Token::LParen)?;
+        let column = self.ident()?;
+        self.expect(Token::RParen)?;
+        Ok(Statement::CreateIndex {
+            name,
+            table,
+            column,
+        })
     }
 
     fn insert(&mut self) -> Result<Statement> {
@@ -640,6 +675,30 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert!(parse("CREATE TABLE t (a BLOB)").is_err());
+    }
+
+    #[test]
+    fn create_and_drop_index() {
+        assert_eq!(
+            parse("CREATE INDEX idx_price ON orders (price);").unwrap(),
+            Statement::CreateIndex {
+                name: "idx_price".into(),
+                table: "orders".into(),
+                column: "price".into(),
+            }
+        );
+        assert_eq!(
+            parse("DROP INDEX idx_price").unwrap(),
+            Statement::DropIndex {
+                name: "idx_price".into()
+            }
+        );
+        // Single-column only; missing pieces are syntax errors.
+        assert!(parse("CREATE INDEX i ON t (a, b)").is_err());
+        assert!(parse("CREATE INDEX i ON t").is_err());
+        assert!(parse("CREATE INDEX ON t (a)").is_err());
+        assert!(parse("DROP TABLE t").is_err());
+        assert!(parse("DROP INDEX").is_err());
     }
 
     #[test]

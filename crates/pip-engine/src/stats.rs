@@ -23,7 +23,7 @@
 use std::collections::HashSet;
 
 use pip_core::{DataType, Result, Value};
-use pip_ctable::CTable;
+use pip_ctable::{CRow, CTable};
 use pip_expr::CmpOp;
 
 use crate::catalog::Database;
@@ -33,6 +33,115 @@ use crate::plan::{Plan, ScalarExpr};
 /// Selectivity assumed for predicates the estimator cannot resolve to
 /// column statistics (neither too optimistic nor row-preserving).
 const DEFAULT_SELECTIVITY: f64 = 0.5;
+
+/// Random-access penalty for index probes relative to a sequential
+/// scan's per-row touch: candidate row ids come back in ascending order
+/// but are not contiguous, so each fetch pays an extra indirection.
+const INDEX_PROBE_COST: f64 = 1.5;
+
+/// Bucket budget for per-column equi-depth histograms.
+const HISTOGRAM_BUCKETS: usize = 32;
+
+/// An equi-depth histogram over the deterministic numeric cells of one
+/// column: `bounds` has one more entry than `counts`, bucket `i` covers
+/// `[bounds[i], bounds[i+1]]` and holds `counts[i]` values. Buckets are
+/// built to equal depth at `ANALYZE` time (so skew shows up as narrow
+/// buckets, not mis-estimates); incremental INSERT maintenance bumps the
+/// covering bucket in place and widens the edge bounds as needed, which
+/// drifts toward unequal depth until the staleness threshold triggers a
+/// rebuild.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    pub bounds: Vec<f64>,
+    pub counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Build an equi-depth histogram over (up to [`HISTOGRAM_BUCKETS`]
+    /// buckets of) the given values. Returns `None` for no values.
+    /// Bucket boundaries never split a run of equal values, so
+    /// `fraction_le(v)` is exact at every boundary value.
+    pub fn equi_depth(mut values: Vec<f64>) -> Option<Histogram> {
+        if values.is_empty() {
+            return None;
+        }
+        values.sort_by(f64::total_cmp);
+        let n = values.len();
+        let b = HISTOGRAM_BUCKETS.min(n);
+        let mut bounds = vec![values[0]];
+        let mut counts = Vec::with_capacity(b);
+        let mut start = 0usize;
+        for i in 0..b {
+            let mut end = ((i + 1) * n) / b;
+            if end <= start {
+                continue;
+            }
+            while end < n && values[end] == values[end - 1] {
+                end += 1;
+            }
+            counts.push((end - start) as u64);
+            bounds.push(values[end - 1]);
+            start = end;
+            if start >= n {
+                break;
+            }
+        }
+        Some(Histogram { bounds, counts })
+    }
+
+    /// Total values held.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Estimated fraction of values `<= x`, with linear interpolation
+    /// inside the covering bucket.
+    pub fn fraction_le(&self, x: f64) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for (i, &cnt) in self.counts.iter().enumerate() {
+            let lo = self.bounds[i];
+            let hi = self.bounds[i + 1];
+            if x >= hi {
+                acc += cnt as f64;
+                continue;
+            }
+            if x >= lo && hi > lo {
+                acc += (x - lo) / (hi - lo) * cnt as f64;
+            }
+            break;
+        }
+        acc / total as f64
+    }
+
+    /// Incremental INSERT maintenance: count `x` in its covering bucket,
+    /// widening the edge bounds when it falls outside the histogram.
+    pub fn bump(&mut self, x: f64) {
+        if self.counts.is_empty() {
+            return;
+        }
+        if x < self.bounds[0] {
+            self.bounds[0] = x;
+            self.counts[0] += 1;
+            return;
+        }
+        let last = self.bounds.len() - 1;
+        if x > self.bounds[last] {
+            self.bounds[last] = x;
+            *self.counts.last_mut().expect("non-empty") += 1;
+            return;
+        }
+        for i in 0..self.counts.len() {
+            if x <= self.bounds[i + 1] {
+                self.counts[i] += 1;
+                return;
+            }
+        }
+    }
+}
 
 /// Per-column statistics of one analyzed table.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,6 +159,9 @@ pub struct ColumnStats {
     pub min: Option<f64>,
     /// Maximum over deterministic numeric cells.
     pub max: Option<f64>,
+    /// Equi-depth histogram over deterministic numeric cells (absent
+    /// when the column has none, or the statistics predate histograms).
+    pub histogram: Option<Histogram>,
 }
 
 impl ColumnStats {
@@ -99,9 +211,11 @@ impl TableStats {
                 n_distinct: 0.0,
                 min: None,
                 max: None,
+                histogram: None,
             })
             .collect();
         let mut distinct: Vec<HashSet<Value>> = vec![HashSet::new(); columns.len()];
+        let mut numeric: Vec<Vec<f64>> = vec![Vec::new(); columns.len()];
         let mut conditional_rows = 0u64;
         for row in table.rows() {
             if !row.condition.is_trivially_true() {
@@ -116,15 +230,17 @@ impl TableStats {
                         if let Ok(x) = v.as_f64() {
                             col.min = Some(col.min.map_or(x, |m| m.min(x)));
                             col.max = Some(col.max.map_or(x, |m| m.max(x)));
+                            numeric[i].push(x);
                         }
                     }
                     None => col.n_symbolic += 1,
                 }
             }
         }
-        for (col, seen) in columns.iter_mut().zip(&distinct) {
+        for ((col, seen), values) in columns.iter_mut().zip(&distinct).zip(numeric) {
             // Every symbolic cell may realize a distinct value.
             col.n_distinct = seen.len() as f64 + col.n_symbolic as f64;
+            col.histogram = Histogram::equi_depth(values);
         }
         TableStats {
             table: name.to_string(),
@@ -141,20 +257,43 @@ impl TableStats {
     /// COLUMN_STALENESS × analyzed_rows` a full recollection runs.
     pub const COLUMN_STALENESS: f64 = 1.2;
 
-    /// Cheap incremental maintenance for an `INSERT` of `added` rows
-    /// (`added_conditional` of them carrying non-trivial conditions):
-    /// bump the row counts in place and re-stamp the entry at the
-    /// post-insert catalog version. Column-level statistics (NDV,
-    /// min/max, deterministic/symbolic split) are left as collected —
-    /// [`TableStats::columns_stale`] reports when the drift has grown
-    /// past the recollection threshold.
-    pub fn apply_insert(&self, added: u64, added_conditional: u64, version: u64) -> TableStats {
-        TableStats {
-            rows: self.rows + added,
-            conditional_rows: self.conditional_rows + added_conditional,
-            version,
-            ..self.clone()
+    /// Cheap incremental maintenance for an `INSERT` of the given rows:
+    /// bump the row counts, the per-column deterministic/symbolic split,
+    /// min/max bounds and histogram bucket counts in place, and re-stamp
+    /// the entry at the post-insert catalog version. NDV is left as
+    /// collected (a fresh value is indistinguishable from a repeat
+    /// without the full distinct set) —
+    /// [`TableStats::columns_stale`] reports when the accumulated drift
+    /// has grown past the recollection threshold.
+    pub fn apply_insert(&self, added: &[CRow], version: u64) -> TableStats {
+        let mut out = self.clone();
+        out.version = version;
+        out.rows += added.len() as u64;
+        out.conditional_rows += added
+            .iter()
+            .filter(|r| !r.condition.is_trivially_true())
+            .count() as u64;
+        for row in added {
+            for (i, cell) in row.cells.iter().enumerate() {
+                let Some(col) = out.columns.get_mut(i) else {
+                    continue;
+                };
+                match cell.as_const() {
+                    Some(v) => {
+                        col.n_deterministic += 1;
+                        if let Ok(x) = v.as_f64() {
+                            col.min = Some(col.min.map_or(x, |m| m.min(x)));
+                            col.max = Some(col.max.map_or(x, |m| m.max(x)));
+                            if let Some(h) = &mut col.histogram {
+                                h.bump(x);
+                            }
+                        }
+                    }
+                    None => col.n_symbolic += 1,
+                }
+            }
         }
+        out
     }
 
     /// True when enough rows arrived since the last full collection that
@@ -183,12 +322,26 @@ pub struct PlanEst {
 }
 
 /// A column of some sub-plan resolved back to base-table statistics.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 struct ColProfile {
     ndv: f64,
     min: Option<f64>,
     max: Option<f64>,
     sym_frac: f64,
+    histogram: Option<Histogram>,
+}
+
+/// Base-table column statistics as a [`ColProfile`].
+fn table_column_profile(db: &Database, table: &str, name: &str) -> Option<ColProfile> {
+    let stats = db.table_stats(table).ok()?;
+    let c = stats.column(name)?;
+    Some(ColProfile {
+        ndv: c.n_distinct.max(1.0),
+        min: c.min,
+        max: c.max,
+        sym_frac: c.symbolic_fraction(),
+        histogram: c.histogram.clone(),
+    })
 }
 
 /// Resolve a column of `plan`'s output to base-table statistics by
@@ -196,15 +349,17 @@ struct ColProfile {
 /// when the column is computed or renamed (e.g. post-join `.right`).
 fn column_profile(db: &Database, plan: &Plan, name: &str) -> Option<ColProfile> {
     match plan {
-        Plan::Scan(table) => {
-            let stats = db.table_stats(table).ok()?;
-            let c = stats.column(name)?;
-            Some(ColProfile {
-                ndv: c.n_distinct.max(1.0),
-                min: c.min,
-                max: c.max,
-                sym_frac: c.symbolic_fraction(),
-            })
+        Plan::Scan(table) => table_column_profile(db, table, name),
+        Plan::IndexScan { table, .. } => table_column_profile(db, table, name),
+        Plan::IndexJoin { left, table, .. } => {
+            let on_left = plan_schema(db, left)
+                .map(|s| s.index_of(name).is_ok())
+                .unwrap_or(false);
+            if on_left {
+                column_profile(db, left, name)
+            } else {
+                table_column_profile(db, table, name)
+            }
         }
         Plan::Select { input, .. }
         | Plan::Distinct(input)
@@ -239,8 +394,20 @@ fn column_profile(db: &Database, plan: &Plan, name: &str) -> Option<ColProfile> 
     }
 }
 
-/// Fraction of the `[min, max]` range selected by `col θ value`.
+/// Fraction of the column's deterministic values selected by
+/// `col θ value`: equi-depth histogram buckets when collected (robust
+/// to skew), otherwise uniform interpolation over `[min, max]`.
 fn range_fraction(op: CmpOp, profile: &ColProfile, value: f64) -> f64 {
+    if let Some(h) = &profile.histogram {
+        if h.total() > 0 {
+            let frac = match op {
+                CmpOp::Lt | CmpOp::Le => h.fraction_le(value),
+                CmpOp::Gt | CmpOp::Ge => 1.0 - h.fraction_le(value),
+                CmpOp::Eq | CmpOp::Ne => return DEFAULT_SELECTIVITY,
+            };
+            return frac.clamp(0.0, 1.0);
+        }
+    }
     let (Some(min), Some(max)) = (profile.min, profile.max) else {
         return DEFAULT_SELECTIVITY;
     };
@@ -359,6 +526,23 @@ pub fn estimate(db: &Database, plan: &Plan) -> Result<PlanEst> {
     let width = plan_schema(db, plan)?.len() as f64;
     let rows = match plan {
         Plan::Scan(name) => db.table_stats(name)?.rows as f64,
+        // Estimate-parity: an index access path must carry *exactly* the
+        // estimate of the logical shape it replaces, so the cost-based
+        // choice between them compares like with like.
+        Plan::IndexScan {
+            table, predicate, ..
+        } => {
+            let base = Plan::Scan(table.clone());
+            db.table_stats(table)?.rows as f64 * predicate_selectivity(db, &base, predicate)
+        }
+        Plan::IndexJoin {
+            left, table, on, ..
+        } => {
+            let base = Plan::Scan(table.clone());
+            let l = estimate(db, left)?.rows;
+            let r = estimate(db, &base)?.rows;
+            l * r * equijoin_selectivity(db, left, &base, on)
+        }
         Plan::Select { input, predicate } => {
             let in_est = estimate(db, input)?;
             in_est.rows * predicate_selectivity(db, input, predicate)
@@ -459,6 +643,26 @@ fn cost_rec(
     let mat = target == ExecTarget::Materializing;
     let cost = match plan {
         Plan::Scan(_) => est.rows * (r + c * est.width),
+        Plan::IndexScan { table, .. } => {
+            // Binary-search the ordered entries, then touch only the
+            // estimated matches: each pays the random-access penalty for
+            // the candidate fetch plus the residual predicate check and
+            // the output clone. Competes against Select-over-Scan's
+            // n·(2r + c·width)-ish full pass.
+            let n = (db.table_stats(table)?.rows as f64).max(2.0);
+            n.log2() * r + est.rows * INDEX_PROBE_COST * (2.0 * r + c * est.width)
+        }
+        Plan::IndexJoin { left, table, .. } => {
+            // No build phase: each left row binary-searches the ordered
+            // index, and every candidate pays the random-access penalty
+            // before joining. Competes against HashJoin's build-n +
+            // probe cost.
+            let (l, lc) = cost_rec(db, left, target, m)?;
+            let n = (db.table_stats(table)?.rows as f64).max(2.0);
+            lc + l.rows * r * (1.0 + n.log2())
+                + est.rows * INDEX_PROBE_COST * (r + c)
+                + est.rows * (r + c * est.width)
+        }
         Plan::Select { input, .. } => {
             let (in_est, in_cost) = cost_rec(db, input, target, m)?;
             // Streaming: predicate evaluation only (the row passes
@@ -696,6 +900,122 @@ mod tests {
         // The materializing join is product-then-select: far costlier.
         let cjm = plan_cost(&db, &join, ExecTarget::Materializing, &m).unwrap();
         assert!(cj < cjm, "streaming {cj} vs materializing {cjm}");
+    }
+
+    #[test]
+    fn histogram_tracks_skew_where_uniform_interpolation_fails() {
+        // 90 values at 0..9, 10 values spread over 1000..1009: uniform
+        // min/max interpolation puts "v < 100" at ~10%, the histogram
+        // knows it's 90%.
+        let db = Database::new();
+        db.create_table("skew", Schema::of(&[("v", DataType::Float)]))
+            .unwrap();
+        let mut vals = Vec::new();
+        for i in 0..90i64 {
+            vals.push(tuple![(i % 10) as f64]);
+        }
+        for i in 0..10i64 {
+            vals.push(tuple![1000.0 + i as f64]);
+        }
+        db.insert_tuples("skew", &vals).unwrap();
+        let scan = Plan::Scan("skew".into());
+        let p = ScalarExpr::col("v").lt(ScalarExpr::lit(100.0));
+        let sel = predicate_selectivity(&db, &scan, &p);
+        assert!((sel - 0.9).abs() < 0.05, "histogram should see skew: {sel}");
+
+        let stats = db.table_stats("skew").unwrap();
+        let h = stats.column("v").unwrap().histogram.as_ref().unwrap();
+        assert_eq!(h.total(), 100);
+        assert_eq!(h.bounds.len(), h.counts.len() + 1);
+        assert!((h.fraction_le(9.0) - 0.9).abs() < 1e-9);
+        assert_eq!(h.fraction_le(1009.0), 1.0);
+        assert_eq!(h.fraction_le(-1.0), 0.0);
+    }
+
+    #[test]
+    fn apply_insert_maintains_histogram_and_reports_staleness() {
+        let db = stats_db();
+        let before = db.table_stats("t").unwrap();
+        let h0 = before.column("v").unwrap().histogram.clone().unwrap();
+        assert_eq!(h0.total(), 100);
+
+        // Delta maintenance: new rows land in histogram buckets (edge
+        // bounds widen for out-of-range values) without a rescan.
+        let added: Vec<CRow> = (0..10i64)
+            .map(|i| {
+                CRow::unconditional(vec![
+                    Equation::val(i % 10),
+                    Equation::val(500.0 + i as f64),
+                    Equation::val(0i64),
+                ])
+            })
+            .collect();
+        let after = before.apply_insert(&added, before.version + 1);
+        assert_eq!(after.rows, 110);
+        let v = after.column("v").unwrap();
+        let h1 = v.histogram.as_ref().unwrap();
+        assert_eq!(h1.total(), 110, "every inserted value is counted");
+        assert_eq!(v.max, Some(509.0), "max widened by delta maintenance");
+        assert_eq!(
+            *h1.bounds.last().unwrap(),
+            509.0,
+            "edge bucket widened to cover out-of-range inserts"
+        );
+        assert!(!after.columns_stale(), "10% growth is under threshold");
+
+        // Past the staleness threshold the columns stop being trusted.
+        let mut lots = Vec::new();
+        for _ in 0..3 {
+            lots.extend(added.iter().cloned());
+        }
+        let stale = after.apply_insert(&lots, after.version + 1);
+        assert!(stale.columns_stale(), "40% growth exceeds threshold");
+    }
+
+    #[test]
+    fn histogram_survives_through_live_insert_path() {
+        // The catalog's own insert path routes through apply_insert; the
+        // cached stats entry must keep a consistent histogram.
+        let db = stats_db();
+        let _ = db.table_stats("t").unwrap();
+        db.insert_tuples("d", &[tuple![42i64, 42.0]]).unwrap();
+        let stats = db.table_stats("d").unwrap();
+        let h = stats.column("w").unwrap().histogram.as_ref().unwrap();
+        assert_eq!(h.total(), 11);
+        assert_eq!(stats.rows, 11);
+    }
+
+    #[test]
+    fn index_plan_estimates_match_logical_equivalents() {
+        let db = stats_db();
+        // IndexScan carries the same estimate as Select-over-Scan.
+        let pred = ScalarExpr::col("v").lt(ScalarExpr::lit(25.0));
+        let logical = PlanBuilder::scan("t").select(pred.clone()).unwrap().build();
+        let index = Plan::IndexScan {
+            table: "t".into(),
+            index: "ix".into(),
+            column: "v".into(),
+            lo: None,
+            hi: Some((pip_core::Value::Float(25.0), false)),
+            predicate: pred,
+        };
+        let a = estimate(&db, &logical).unwrap();
+        let b = estimate(&db, &index).unwrap();
+        assert_eq!(a.rows.to_bits(), b.rows.to_bits(), "estimate parity");
+
+        // IndexJoin carries the same estimate as the equi-join it replaces.
+        let logical = PlanBuilder::scan("t")
+            .equi_join(PlanBuilder::scan("d"), vec![("k", "j")])
+            .build();
+        let index = Plan::IndexJoin {
+            left: Box::new(Plan::Scan("t".into())),
+            table: "d".into(),
+            index: "ix".into(),
+            on: vec![("k".into(), "j".into())],
+        };
+        let a = estimate(&db, &logical).unwrap();
+        let b = estimate(&db, &index).unwrap();
+        assert_eq!(a.rows.to_bits(), b.rows.to_bits(), "estimate parity");
     }
 
     #[test]

@@ -1,0 +1,283 @@
+//! Property suite: secondary-index access paths are invisible except
+//! for speed.
+//!
+//! Under random mutation streams — deterministic tuples, conditional
+//! rows, symbolic cells landing in the indexed column — a query routed
+//! through `IndexRangeScan`/`IndexNestedLoopJoin` must return exactly
+//! the rows (cells *and* conditions) of the pre-index full-scan plan,
+//! and its Monte-Carlo estimates must be bit-identical at 1, 2, and 4
+//! sampler threads. A crash (reopening the data directory with no
+//! clean shutdown) must rebuild the index byte-identically.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use pip_core::{tuple, DataType, Schema, Value};
+use pip_ctable::CRow;
+use pip_engine::prelude::*;
+use pip_engine::OptimizerConfig;
+use pip_expr::{atoms, Conjunction, Equation};
+use pip_sampling::SamplerConfig;
+use proptest::prelude::*;
+
+fn no_index_cfg() -> OptimizerConfig {
+    OptimizerConfig {
+        use_indexes: false,
+        ..OptimizerConfig::default()
+    }
+}
+
+/// Fresh database with an indexed fact table `t(k INT, v FLOAT)` and a
+/// small dimension table `d(dk INT, dv FLOAT)`.
+fn indexed_db() -> Database {
+    let db = Database::new();
+    db.create_table(
+        "t",
+        Schema::of(&[("k", DataType::Int), ("v", DataType::Float)]),
+    )
+    .unwrap();
+    db.create_table(
+        "d",
+        Schema::of(&[("dk", DataType::Int), ("dv", DataType::Float)]),
+    )
+    .unwrap();
+    let rows: Vec<_> = (0..6i64).map(|i| tuple![i * 5, i as f64]).collect();
+    db.insert_tuples("d", &rows).unwrap();
+    db.create_index("idx_k", "t", "k").unwrap();
+    db
+}
+
+/// One mutation from the random stream, applied to the indexed table:
+/// plain tuples, conditional rows with deterministic keys, and rows
+/// whose *key cell* is symbolic (which the index must route to its
+/// always-candidate list).
+fn mutate(db: &Database, m: u64) {
+    match m % 5 {
+        0 | 1 => db
+            .insert_tuples("t", &[tuple![(m % 40) as i64, m as f64 * 0.5]])
+            .unwrap(),
+        2 => db
+            .insert_tuples(
+                "t",
+                &[
+                    tuple![((m * 7) % 40) as i64, -(m as f64)],
+                    tuple![((m * 11) % 40) as i64, 0.25],
+                ],
+            )
+            .unwrap(),
+        3 => {
+            // Conditional row, deterministic key: indexed, but its
+            // condition must survive the index path untouched.
+            let v = db
+                .create_variable("Normal", &[m as f64, 1.0 + (m % 3) as f64])
+                .unwrap();
+            db.insert_rows(
+                "t",
+                vec![CRow::new(
+                    vec![Equation::val((m % 40) as i64), Equation::from(v.clone())],
+                    Conjunction::single(atoms::gt(Equation::from(v), m as f64 - 0.5)),
+                )],
+            )
+            .unwrap();
+        }
+        _ => {
+            // Symbolic key cell: invisible to the ordered entries, so
+            // the index must treat the row as an always-candidate.
+            let v = db.create_variable("Uniform", &[0.0, 40.0]).unwrap();
+            db.insert_rows(
+                "t",
+                vec![CRow::unconditional(vec![
+                    Equation::from(v),
+                    Equation::val(m as f64),
+                ])],
+            )
+            .unwrap();
+        }
+    }
+}
+
+/// The two plans under test: a range selection on the indexed column
+/// and an index-nested-loop-join candidate probing it.
+fn range_plan(lo: i64, hi: i64) -> Plan {
+    PlanBuilder::scan("t")
+        .select(
+            ScalarExpr::col("k")
+                .ge(ScalarExpr::lit(lo))
+                .and(ScalarExpr::col("k").lt(ScalarExpr::lit(hi))),
+        )
+        .unwrap()
+        .build()
+}
+
+fn join_plan() -> Plan {
+    PlanBuilder::scan("d")
+        .equi_join(PlanBuilder::scan("t"), vec![("dk", "k")])
+        .build()
+}
+
+/// The forced index twin of [`range_plan`] — same predicate, seeks
+/// `idx_k` instead of scanning.
+fn forced_index_scan(lo: i64, hi: i64) -> Plan {
+    let Plan::Select { predicate, .. } = range_plan(lo, hi) else {
+        unreachable!()
+    };
+    Plan::IndexScan {
+        table: "t".into(),
+        index: "idx_k".into(),
+        column: "k".into(),
+        lo: Some((Value::Int(lo), true)),
+        hi: Some((Value::Int(hi), false)),
+        predicate,
+    }
+}
+
+/// The forced index twin of [`join_plan`].
+fn forced_index_join() -> Plan {
+    Plan::IndexJoin {
+        left: Box::new(Plan::Scan("d".into())),
+        table: "t".into(),
+        index: "idx_k".into(),
+        on: vec![("dk".into(), "k".into())],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Index-path results are row-identical — same cells, same
+    /// conditions, same order — to the full-scan plan, whatever the
+    /// mutation history and whether or not statistics were refreshed.
+    #[test]
+    fn index_paths_match_full_scan_rows(
+        stream in prop::collection::vec(0u64..1000, 5..40),
+        lo in 0i64..30,
+        span in 1i64..15,
+        analyze in 0u8..2,
+    ) {
+        let db = indexed_db();
+        for (i, m) in stream.iter().enumerate() {
+            mutate(&db, m.wrapping_add(i as u64));
+        }
+        if analyze == 1 {
+            db.analyze_all().unwrap();
+        }
+        let cfg = SamplerConfig::default();
+        // Forced index plans: every case exercises the index operators
+        // regardless of what the cost model would pick.
+        let pairs = [
+            (range_plan(lo, lo + span), forced_index_scan(lo, lo + span)),
+            (join_plan(), forced_index_join()),
+        ];
+        for (logical, forced) in pairs {
+            let scan = optimize_with(&db, logical.clone(), &no_index_cfg()).unwrap();
+            let a = execute(&db, &scan, &cfg).unwrap();
+            let b = execute(&db, &forced, &cfg).unwrap();
+            prop_assert_eq!(a, b);
+            // And whatever the whole pipeline picks agrees too.
+            let chosen = optimize(&db, logical).unwrap();
+            let c = execute(&db, &chosen, &cfg).unwrap();
+            let a = execute(&db, &scan, &cfg).unwrap();
+            prop_assert_eq!(a, c);
+        }
+    }
+
+    /// Monte-Carlo estimates through the index path are bit-identical
+    /// to the full-scan path at 1, 2, and 4 sampler threads.
+    #[test]
+    fn estimates_bit_identical_across_threads(
+        stream in prop::collection::vec(0u64..1000, 10..30),
+        lo in 0i64..30,
+    ) {
+        let db = indexed_db();
+        for (i, m) in stream.iter().enumerate() {
+            mutate(&db, m.wrapping_add(i as u64));
+        }
+        db.analyze_all().unwrap();
+        let agg = PlanBuilder::scan("t")
+            .select(
+                ScalarExpr::col("k")
+                    .ge(ScalarExpr::lit(lo))
+                    .and(ScalarExpr::col("k").lt(ScalarExpr::lit(lo + 8))),
+            )
+            .unwrap()
+            .aggregate(vec![], vec![AggFunc::ExpectedSum("v".into()), AggFunc::ExpectedCount])
+            .build();
+        let scan = optimize_with(&db, agg.clone(), &no_index_cfg()).unwrap();
+        let indexed = optimize(&db, agg).unwrap();
+        for threads in [1usize, 2, 4] {
+            let cfg = SamplerConfig::default().with_threads(threads);
+            let a = execute(&db, &scan, &cfg).unwrap();
+            let b = execute(&db, &indexed, &cfg).unwrap();
+            let bits = |t: &pip_ctable::CTable| -> Vec<u64> {
+                t.rows()
+                    .iter()
+                    .flat_map(|r| r.cells.iter())
+                    .map(|c| {
+                        c.as_const()
+                            .and_then(|v| v.as_f64().ok())
+                            .map_or(u64::MAX, f64::to_bits)
+                    })
+                    .collect()
+            };
+            prop_assert_eq!(bits(&a), bits(&b));
+        }
+    }
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("pip-index-eq-{tag}-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Byte-level index equality: same column, same coverage, same ordered
+/// `(key, row)` entries, same always-candidate list.
+fn assert_index_bytes_equal(a: &pip_ctable::OrderedIndex, b: &pip_ctable::OrderedIndex) {
+    assert_eq!(a.column(), b.column());
+    assert_eq!(a.covered_rows(), b.covered_rows());
+    assert_eq!(a.entries(), b.entries());
+    assert_eq!(a.others(), b.others());
+}
+
+/// A crash — the data directory reopened with no clean shutdown, WAL
+/// tail and all — rebuilds every index byte-identically, and queries
+/// through the recovered index match the pre-crash scan path.
+#[test]
+fn index_survives_crash_recovery_byte_identically() {
+    let dir = tmp_dir("crash");
+    let pre = {
+        let db = Database::open(&dir).unwrap();
+        db.create_table(
+            "t",
+            Schema::of(&[("k", DataType::Int), ("v", DataType::Float)]),
+        )
+        .unwrap();
+        db.create_table(
+            "d",
+            Schema::of(&[("dk", DataType::Int), ("dv", DataType::Float)]),
+        )
+        .unwrap();
+        db.create_index("idx_k", "t", "k").unwrap();
+        db.create_index("idx_gone", "d", "dk").unwrap();
+        db.drop_index("idx_gone").unwrap();
+        for m in 0..60 {
+            mutate(&db, m * 13 + 1);
+        }
+        db.index("idx_k").unwrap().index
+        // Drop without checkpoint: recovery must come from snapshot+WAL.
+    };
+    let (db, _info) = Database::recover(&dir).unwrap();
+    assert_eq!(db.index_names(), vec!["idx_k".to_string()], "catalog");
+    let post = db.index("idx_k").unwrap().index;
+    assert_index_bytes_equal(&pre, &post);
+    // The recovered index serves the same rows as a full scan.
+    let cfg = SamplerConfig::default();
+    let scan = optimize_with(&db, range_plan(5, 20), &no_index_cfg()).unwrap();
+    assert_eq!(
+        execute(&db, &scan, &cfg).unwrap(),
+        execute(&db, &forced_index_scan(5, 20), &cfg).unwrap()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

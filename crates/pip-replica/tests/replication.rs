@@ -202,6 +202,42 @@ fn empty_follower_catches_up_over_the_live_tail() {
 }
 
 #[test]
+fn follower_replays_index_ddl_byte_identically() {
+    let (pd, fd) = (tmp_dir("idx-p"), tmp_dir("idx-f"));
+    let primary = seed_primary(&pd, 5);
+    // Live index DDL in the replicated stream: one index that stays,
+    // one created and dropped, with inserts landing before and after
+    // the CREATE so the follower exercises both build and maintenance.
+    primary.create_index("idx_k", "obs", "k").unwrap();
+    primary.create_index("idx_gone", "obs", "k").unwrap();
+    primary.drop_index("idx_gone").unwrap();
+    let repl = Replication::primary(Arc::clone(&primary), "127.0.0.1:0").unwrap();
+    let addr = repl.local_addr().unwrap().to_string();
+
+    let follower = open(&fd);
+    let frepl = Replication::follower(Arc::clone(&follower), &addr);
+    for i in 5..24 {
+        mutate(&primary, i);
+    }
+    wait_caught_up(&frepl, &primary);
+    assert_bit_identical(&primary, &follower);
+
+    assert_eq!(follower.index_names(), vec!["idx_k".to_string()]);
+    let (p, f) = (
+        primary.index("idx_k").unwrap().index,
+        follower.index("idx_k").unwrap().index,
+    );
+    assert_eq!(p.column(), f.column(), "indexed column position");
+    assert_eq!(p.covered_rows(), f.covered_rows(), "coverage");
+    assert_eq!(p.entries(), f.entries(), "ordered (key, row) entries");
+    assert_eq!(p.others(), f.others(), "always-candidate rows");
+
+    frepl.shutdown();
+    repl.shutdown();
+    cleanup(&[&pd, &fd]);
+}
+
+#[test]
 fn checkpointed_primary_serves_snapshot_catch_up() {
     let (pd, fd) = (tmp_dir("snap-p"), tmp_dir("snap-f"));
     let primary = seed_primary(&pd, 8);

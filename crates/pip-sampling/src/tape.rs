@@ -54,10 +54,46 @@ pub enum TapeOp {
     Neg(u32),
 }
 
+/// Opcode of a [`TapeOp`] without its operands, for run segmentation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpKind {
+    Const,
+    Load,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Neg,
+}
+
+/// A maximal run of consecutive instructions sharing one opcode:
+/// instructions `start..end` of the tape.
+#[derive(Debug, Clone, Copy)]
+struct Run {
+    kind: OpKind,
+    start: u32,
+    end: u32,
+}
+
 /// A register-based flattening of one [`Equation`].
+///
+/// Besides the instruction list, a compiled tape carries a sealed
+/// *run-segmented* form: operands unpacked into flat arrays plus the
+/// maximal runs of identical opcodes, so the scalar evaluation loop
+/// dispatches once per run instead of once per instruction. Real
+/// expressions compile into long same-opcode stretches (all the loads,
+/// then the products, then the sum chain), which turns the per-sample
+/// hot loop of a [`GroupKernel`] into a handful of predictable branches.
 #[derive(Debug, Clone, Default)]
 pub struct Tape {
     ops: Vec<TapeOp>,
+    runs: Vec<Run>,
+    /// First operand (register index), or slot for `Load`, per instruction.
+    a: Vec<u32>,
+    /// Second operand (register index) per instruction; 0 when unused.
+    b: Vec<u32>,
+    /// Constant payload per instruction; 0.0 when unused.
+    c: Vec<f64>,
 }
 
 /// The one runtime error a tape can raise — identical text to
@@ -74,7 +110,61 @@ impl Tape {
     pub fn compile(expr: &Equation, slots: &SlotMap) -> Option<Tape> {
         let mut tape = Tape::default();
         tape.emit(expr, slots)?;
+        tape.seal();
         Some(tape)
+    }
+
+    /// Build the run-segmented form from the instruction list.
+    fn seal(&mut self) {
+        let n = self.ops.len();
+        self.a = vec![0; n];
+        self.b = vec![0; n];
+        self.c = vec![0.0; n];
+        self.runs.clear();
+        for (i, op) in self.ops.iter().enumerate() {
+            let kind = match *op {
+                TapeOp::Const(v) => {
+                    self.c[i] = v;
+                    OpKind::Const
+                }
+                TapeOp::Load(s) => {
+                    self.a[i] = s;
+                    OpKind::Load
+                }
+                TapeOp::Add(x, y) => {
+                    self.a[i] = x;
+                    self.b[i] = y;
+                    OpKind::Add
+                }
+                TapeOp::Sub(x, y) => {
+                    self.a[i] = x;
+                    self.b[i] = y;
+                    OpKind::Sub
+                }
+                TapeOp::Mul(x, y) => {
+                    self.a[i] = x;
+                    self.b[i] = y;
+                    OpKind::Mul
+                }
+                TapeOp::Div(x, y) => {
+                    self.a[i] = x;
+                    self.b[i] = y;
+                    OpKind::Div
+                }
+                TapeOp::Neg(x) => {
+                    self.a[i] = x;
+                    OpKind::Neg
+                }
+            };
+            match self.runs.last_mut() {
+                Some(r) if r.kind == kind => r.end += 1,
+                _ => self.runs.push(Run {
+                    kind,
+                    start: i as u32,
+                    end: i as u32 + 1,
+                }),
+            }
+        }
     }
 
     fn emit(&mut self, expr: &Equation, slots: &SlotMap) -> Option<u32> {
@@ -125,28 +215,56 @@ impl Tape {
     /// Evaluate over one sample. `regs` is caller-provided scratch,
     /// resized as needed. Bit-identical to [`Equation::eval_f64`] on the
     /// assignment the slot buffer encodes.
+    ///
+    /// The loop walks the run-segmented form: one opcode dispatch per
+    /// run, then a tight operand loop. Instructions execute in exactly
+    /// the original order (runs partition the tape), so results — and
+    /// which division errors first — match the per-instruction loop.
     pub fn eval(&self, slots: &[f64], regs: &mut Vec<f64>) -> Result<f64> {
+        let last = self.ops.len().checked_sub(1).expect("non-empty tape");
         regs.clear();
-        regs.reserve(self.ops.len());
-        for op in &self.ops {
-            let v = match *op {
-                TapeOp::Const(c) => c,
-                TapeOp::Load(s) => slots[s as usize],
-                TapeOp::Add(a, b) => regs[a as usize] + regs[b as usize],
-                TapeOp::Sub(a, b) => regs[a as usize] - regs[b as usize],
-                TapeOp::Mul(a, b) => regs[a as usize] * regs[b as usize],
-                TapeOp::Div(a, b) => {
-                    let d = regs[b as usize];
-                    if d == 0.0 {
-                        return Err(div_by_zero());
+        regs.resize(self.ops.len(), 0.0);
+        for run in &self.runs {
+            let (s, e) = (run.start as usize, run.end as usize);
+            match run.kind {
+                OpKind::Const => regs[s..e].copy_from_slice(&self.c[s..e]),
+                OpKind::Load => {
+                    for i in s..e {
+                        regs[i] = slots[self.a[i] as usize];
                     }
-                    regs[a as usize] / d
                 }
-                TapeOp::Neg(a) => -regs[a as usize],
-            };
-            regs.push(v);
+                OpKind::Add => {
+                    for i in s..e {
+                        regs[i] = regs[self.a[i] as usize] + regs[self.b[i] as usize];
+                    }
+                }
+                OpKind::Sub => {
+                    for i in s..e {
+                        regs[i] = regs[self.a[i] as usize] - regs[self.b[i] as usize];
+                    }
+                }
+                OpKind::Mul => {
+                    for i in s..e {
+                        regs[i] = regs[self.a[i] as usize] * regs[self.b[i] as usize];
+                    }
+                }
+                OpKind::Div => {
+                    for i in s..e {
+                        let d = regs[self.b[i] as usize];
+                        if d == 0.0 {
+                            return Err(div_by_zero());
+                        }
+                        regs[i] = regs[self.a[i] as usize] / d;
+                    }
+                }
+                OpKind::Neg => {
+                    for i in s..e {
+                        regs[i] = -regs[self.a[i] as usize];
+                    }
+                }
+            }
         }
-        Ok(*regs.last().expect("non-empty tape"))
+        Ok(regs[last])
     }
 
     /// Evaluate over a columnar sample block: lane `s` reads column
@@ -255,9 +373,21 @@ impl Tape {
 #[derive(Debug, Clone)]
 enum AtomProgram {
     Const(bool),
-    SlotCmpConst { slot: u32, op: CmpOp, c: f64 },
-    SlotCmpSlot { l: u32, op: CmpOp, r: u32 },
-    Cmp { left: Tape, op: CmpOp, right: Tape },
+    SlotCmpConst {
+        slot: u32,
+        op: CmpOp,
+        c: f64,
+    },
+    SlotCmpSlot {
+        l: u32,
+        op: CmpOp,
+        r: u32,
+    },
+    Cmp {
+        left: Box<Tape>,
+        op: CmpOp,
+        right: Box<Tape>,
+    },
 }
 
 /// A compiled conjunction of atoms, short-circuiting in atom order.
@@ -304,9 +434,9 @@ impl CondTape {
                 _ => {
                     n_regs = n_regs.max(left.n_regs()).max(right.n_regs());
                     AtomProgram::Cmp {
-                        left,
+                        left: Box::new(left),
                         op: atom.op,
-                        right,
+                        right: Box::new(right),
                     }
                 }
             };
@@ -641,6 +771,47 @@ mod tests {
         let mut regs = Vec::new();
         assert!(tape.eval(&[0.0], &mut regs).is_err());
         assert_eq!(tape.eval(&[2.0], &mut regs).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn run_segmentation_partitions_the_tape() {
+        let v = x();
+        let w = x();
+        // Load, Load, Mul, Const, Mul, Add → several multi-op runs.
+        let expr =
+            Equation::from(v.clone()) * Equation::from(w.clone()) + Equation::from(v.clone()) * 2.0;
+        let slots = slots_for(&[v, w]);
+        let tape = Tape::compile(&expr, &slots).unwrap();
+        // Runs cover every instruction exactly once, in order.
+        let mut next = 0u32;
+        for run in &tape.runs {
+            assert_eq!(run.start, next);
+            assert!(run.end > run.start);
+            next = run.end;
+        }
+        assert_eq!(next as usize, tape.ops.len());
+        // Adjacent runs never share an opcode (runs are maximal).
+        for pair in tape.runs.windows(2) {
+            assert_ne!(pair[0].kind, pair[1].kind);
+        }
+        assert!(tape.runs.len() < tape.ops.len(), "no segmentation at all");
+    }
+
+    #[test]
+    fn run_segmented_eval_errors_on_earliest_division() {
+        let v = x();
+        let w = x();
+        // Two divisions in one run: the first zero divisor (instruction
+        // order) must raise, exactly like the per-instruction loop.
+        let expr = Equation::val(1.0) / Equation::from(v.clone())
+            + Equation::val(1.0) / Equation::from(w.clone());
+        let slots = slots_for(&[v, w]);
+        let tape = Tape::compile(&expr, &slots).unwrap();
+        let mut regs = Vec::new();
+        assert!(tape.eval(&[0.0, 1.0], &mut regs).is_err());
+        assert!(tape.eval(&[1.0, 0.0], &mut regs).is_err());
+        let ok = tape.eval(&[2.0, 4.0], &mut regs).unwrap();
+        assert_eq!(ok, 0.75);
     }
 
     #[test]

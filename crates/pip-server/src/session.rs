@@ -64,7 +64,7 @@ pub enum StreamQuery {
     /// collected table back via [`Session::note_streamed`] under `key`
     /// so later identical queries hit the cache.
     Live {
-        plan: Plan,
+        plan: Box<Plan>,
         cfg: SamplerConfig,
         key: String,
     },
@@ -223,7 +223,7 @@ impl Session {
                 }
                 let optimized = optimize(&self.db, plan)?;
                 Ok(StreamQuery::Live {
-                    plan: optimized,
+                    plan: Box::new(optimized),
                     cfg: self.cfg.clone(),
                     key,
                 })

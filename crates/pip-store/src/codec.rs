@@ -404,6 +404,17 @@ pub enum CatalogRecord {
     Drop {
         name: String,
     },
+    /// `CREATE INDEX name ON table (column)` — the definition only;
+    /// index *contents* are rebuilt from the table on recovery.
+    CreateIndex {
+        name: String,
+        table: String,
+        column: String,
+    },
+    /// `DROP INDEX name`.
+    DropIndex {
+        name: String,
+    },
 }
 
 /// A WAL entry: the mutation plus the catalog version *after* it —
@@ -455,6 +466,22 @@ pub fn encode_entry(e: &WalEntry) -> Json {
         )]),
         CatalogRecord::Drop { name } => Json::Object(vec![(
             "drop".into(),
+            Json::Object(vec![("name".into(), Json::String(name.clone()))]),
+        )]),
+        CatalogRecord::CreateIndex {
+            name,
+            table,
+            column,
+        } => Json::Object(vec![(
+            "create_index".into(),
+            Json::Object(vec![
+                ("name".into(), Json::String(name.clone())),
+                ("table".into(), Json::String(table.clone())),
+                ("column".into(), Json::String(column.clone())),
+            ]),
+        )]),
+        CatalogRecord::DropIndex { name } => Json::Object(vec![(
+            "drop_index".into(),
             Json::Object(vec![("name".into(), Json::String(name.clone()))]),
         )]),
     };
@@ -522,6 +549,22 @@ pub fn decode_entry(v: &Json, registry: &DistributionRegistry) -> Result<WalEntr
         }
     } else if let Some(body) = op.get("drop") {
         CatalogRecord::Drop {
+            name: name_of(body)?,
+        }
+    } else if let Some(body) = op.get("create_index") {
+        let field = |key: &str| -> Result<String> {
+            body.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| corrupt("index field", body))
+        };
+        CatalogRecord::CreateIndex {
+            name: field("name")?,
+            table: field("table")?,
+            column: field("column")?,
+        }
+    } else if let Some(body) = op.get("drop_index") {
+        CatalogRecord::DropIndex {
             name: name_of(body)?,
         }
     } else {
@@ -681,6 +724,14 @@ mod tests {
             },
             CatalogRecord::Drop {
                 name: "orders".into(),
+            },
+            CatalogRecord::CreateIndex {
+                name: "orders_price".into(),
+                table: "orders".into(),
+                column: "price".into(),
+            },
+            CatalogRecord::DropIndex {
+                name: "orders_price".into(),
             },
         ] {
             let entry = WalEntry {

@@ -37,7 +37,9 @@ pub mod tail;
 pub mod wal;
 
 pub use codec::{CatalogRecord, WalEntry};
-pub use snapshot::{snapshot_from_bytes, snapshot_to_bytes, Snapshot, SnapshotTable};
+pub use snapshot::{
+    snapshot_from_bytes, snapshot_to_bytes, Snapshot, SnapshotIndex, SnapshotTable,
+};
 pub use store::{Durability, Recovered, Store};
 pub use tail::{TailFrame, TailRead, WalCursor};
 pub use wal::crc32;

@@ -36,6 +36,15 @@ pub struct SnapshotTable {
     pub stats: Option<Json>,
 }
 
+/// One secondary-index definition in a snapshot. Only the definition is
+/// persisted; index contents are rebuilt from the table at recovery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotIndex {
+    pub name: String,
+    pub table: String,
+    pub column: String,
+}
+
 /// Everything a checkpoint persists.
 #[derive(Debug, Clone)]
 pub struct Snapshot {
@@ -46,6 +55,10 @@ pub struct Snapshot {
     pub next_var_id: u64,
     /// Tables sorted by name.
     pub tables: Vec<SnapshotTable>,
+    /// Secondary-index definitions sorted by name. Checkpoints delete
+    /// the WAL generations that carried the `CREATE INDEX` records, so
+    /// definitions must ride in the snapshot itself.
+    pub indexes: Vec<SnapshotIndex>,
 }
 
 pub(crate) fn snapshot_path(dir: &Path, gen: u64) -> PathBuf {
@@ -70,6 +83,21 @@ fn encode_snapshot(s: &Snapshot) -> Json {
                             ("name".into(), Json::String(t.name.clone())),
                             ("table".into(), encode_table(&t.table)),
                             ("stats".into(), t.stats.clone().unwrap_or(Json::Null)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "indexes".into(),
+            Json::Array(
+                s.indexes
+                    .iter()
+                    .map(|i| {
+                        Json::Object(vec![
+                            ("name".into(), Json::String(i.name.clone())),
+                            ("table".into(), Json::String(i.table.clone())),
+                            ("column".into(), Json::String(i.column.clone())),
                         ])
                     })
                     .collect(),
@@ -103,10 +131,28 @@ fn decode_snapshot(v: &Json, registry: &DistributionRegistry) -> Result<Snapshot
             stats,
         });
     }
+    // Absent in pre-index snapshots: decode to no indexes.
+    let mut indexes = Vec::new();
+    if let Some(list) = v.get("indexes").and_then(Json::as_array) {
+        for i in list {
+            let field = |key: &str| -> Result<String> {
+                i.get(key)
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(bad)
+            };
+            indexes.push(SnapshotIndex {
+                name: field("name")?,
+                table: field("table")?,
+                column: field("column")?,
+            });
+        }
+    }
     Ok(Snapshot {
         version,
         next_var_id,
         tables,
+        indexes,
     })
 }
 
@@ -242,11 +288,17 @@ mod tests {
                     Json::Number("1".into()),
                 )])),
             }],
+            indexes: vec![SnapshotIndex {
+                name: "t_a".into(),
+                table: "t".into(),
+                column: "a".into(),
+            }],
         };
         write_snapshot(&dir, 4, &snap).unwrap();
         let back = read_snapshot(&dir, 4, &reg).unwrap();
         assert_eq!(back.version, 12);
         assert_eq!(back.next_var_id, 99);
+        assert_eq!(back.indexes, snap.indexes);
         assert_eq!(back.tables.len(), 1);
         assert_eq!(*back.tables[0].table, t);
         assert_eq!(
@@ -273,6 +325,7 @@ mod tests {
                 table: Arc::new(t),
                 stats: None,
             }],
+            indexes: vec![],
         };
         // A snapshot read_snapshot would refuse must fail the write —
         // once the old generations are cleaned up, an unreadable
@@ -331,6 +384,7 @@ mod tests {
                         table: Arc::new(t),
                         stats: None,
                     }],
+                    indexes: vec![],
                 },
             )
             .unwrap_or_else(|e| panic!("WAL accepts {ops}-op chain but snapshot refuses: {e}"));
@@ -347,6 +401,7 @@ mod tests {
             version: 1,
             next_var_id: 1,
             tables: vec![],
+            indexes: vec![],
         };
         write_snapshot(&dir, 2, &snap).unwrap();
         let path = snapshot_path(&dir, 2);

@@ -91,6 +91,10 @@ pub struct Recovered {
     /// persisted at the last checkpoint (absent when the WAL suffix
     /// mutated the table — those statistics would be stale).
     pub tables: Vec<(String, CTable, Option<Json>)>,
+    /// Secondary-index definitions as `(name, table, column)` tuples,
+    /// sorted by index name. Only the *definitions* are durable; index
+    /// contents are rebuilt from the recovered tables by the engine.
+    pub indexes: Vec<(String, String, String)>,
     /// Catalog version at the recovery point (highest stamp seen).
     pub version: u64,
     /// Highest variable id in use anywhere in the recovered catalog;
@@ -149,6 +153,7 @@ fn scan_generations(dir: &Path) -> Result<(Vec<u64>, Vec<u64>)> {
 /// semantics disagree — surfaced as corruption, never papered over.
 fn apply(
     tables: &mut std::collections::BTreeMap<String, (CTable, Option<Json>)>,
+    indexes: &mut std::collections::BTreeMap<String, (String, String)>,
     record: CatalogRecord,
 ) -> Result<()> {
     match record {
@@ -164,6 +169,10 @@ fn apply(
             }
         }
         CatalogRecord::RegisterTable { name, table } => {
+            // A wholesale replacement may change the schema out from
+            // under dependent indexes; their definitions die with the
+            // old contents (mirrors the engine's register_table).
+            indexes.retain(|_, (t, _)| t != &name);
             tables.insert(name, (table, None));
         }
         CatalogRecord::Insert { name, rows } => {
@@ -179,6 +188,30 @@ fn apply(
             if tables.remove(&name).is_none() {
                 return Err(PipError::corrupt(format!(
                     "WAL drops unknown table '{name}'"
+                )));
+            }
+            indexes.retain(|_, (table, _)| table != &name);
+        }
+        CatalogRecord::CreateIndex {
+            name,
+            table,
+            column,
+        } => {
+            if !tables.contains_key(&table) {
+                return Err(PipError::corrupt(format!(
+                    "WAL creates index '{name}' on unknown table '{table}'"
+                )));
+            }
+            if indexes.insert(name.clone(), (table, column)).is_some() {
+                return Err(PipError::corrupt(format!(
+                    "WAL creates index '{name}' twice"
+                )));
+            }
+        }
+        CatalogRecord::DropIndex { name } => {
+            if indexes.remove(&name).is_none() {
+                return Err(PipError::corrupt(format!(
+                    "WAL drops unknown index '{name}'"
                 )));
             }
         }
@@ -243,6 +276,8 @@ impl Store {
 
         let mut tables: std::collections::BTreeMap<String, (CTable, Option<Json>)> =
             std::collections::BTreeMap::new();
+        let mut indexes: std::collections::BTreeMap<String, (String, String)> =
+            std::collections::BTreeMap::new();
         let mut version = 0;
         let mut max_var_id = 0;
         if let Some(snap) = base_snapshot {
@@ -251,6 +286,9 @@ impl Store {
             for t in snap.tables {
                 let table = std::sync::Arc::try_unwrap(t.table).unwrap_or_else(|a| (*a).clone());
                 tables.insert(t.name, (table, t.stats));
+            }
+            for i in snap.indexes {
+                indexes.insert(i.name, (i.table, i.column));
             }
         }
         // The retained WAL chain starts at the base snapshot: a follower
@@ -306,7 +344,7 @@ impl Store {
                 if let CatalogRecord::CreateVariable { id, .. } = &entry.record {
                     max_var_id = max_var_id.max(*id);
                 }
-                apply(&mut tables, entry.record)?;
+                apply(&mut tables, &mut indexes, entry.record)?;
                 replayed += 1;
             }
             active = Some((g, r.valid_bytes));
@@ -337,6 +375,10 @@ impl Store {
             tables: tables
                 .into_iter()
                 .map(|(name, (table, stats))| (name, table, stats))
+                .collect(),
+            indexes: indexes
+                .into_iter()
+                .map(|(name, (table, column))| (name, table, column))
                 .collect(),
             version,
             max_var_id,
@@ -618,6 +660,7 @@ mod tests {
                     table: Arc::new(t),
                     stats: None,
                 }],
+                indexes: vec![],
             })
             .unwrap();
         assert_eq!(gen, 1);
@@ -680,6 +723,7 @@ mod tests {
                         table: Arc::new(CTable::empty(schema)),
                         stats: None,
                     }],
+                    indexes: vec![],
                 },
             )
             .unwrap();
@@ -879,6 +923,92 @@ mod tests {
             Store::open(&dir, &registry),
             Err(PipError::Corrupt(_))
         ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn index_definitions_survive_wal_replay_and_checkpoint() {
+        let dir = tmp_dir("idxdefs");
+        let registry = reg();
+        let schema = Schema::of(&[("a", DataType::Int)]);
+        {
+            let (store, _) = Store::open(&dir, &registry).unwrap();
+            store
+                .append(&entry(
+                    1,
+                    CatalogRecord::CreateTable {
+                        name: "t".into(),
+                        schema: schema.clone(),
+                    },
+                ))
+                .unwrap();
+            store
+                .append(&entry(
+                    2,
+                    CatalogRecord::CreateIndex {
+                        name: "idx_a".into(),
+                        table: "t".into(),
+                        column: "a".into(),
+                    },
+                ))
+                .unwrap();
+            store
+                .append(&entry(
+                    3,
+                    CatalogRecord::CreateIndex {
+                        name: "idx_gone".into(),
+                        table: "t".into(),
+                        column: "a".into(),
+                    },
+                ))
+                .unwrap();
+            store
+                .append(&entry(
+                    4,
+                    CatalogRecord::DropIndex {
+                        name: "idx_gone".into(),
+                    },
+                ))
+                .unwrap();
+        }
+        // WAL-only recovery replays the definitions.
+        let (store, recovered) = Store::open(&dir, &registry).unwrap();
+        assert_eq!(
+            recovered.indexes,
+            vec![("idx_a".into(), "t".into(), "a".into())]
+        );
+        // ...and a checkpoint carries them in the snapshot once the old
+        // WAL generations are gone.
+        store
+            .checkpoint(&Snapshot {
+                version: 4,
+                next_var_id: 1,
+                tables: vec![SnapshotTable {
+                    name: "t".into(),
+                    table: Arc::new(CTable::empty(schema)),
+                    stats: None,
+                }],
+                indexes: vec![crate::snapshot::SnapshotIndex {
+                    name: "idx_a".into(),
+                    table: "t".into(),
+                    column: "a".into(),
+                }],
+            })
+            .unwrap();
+        drop(store);
+        let (store, recovered) = Store::open(&dir, &registry).unwrap();
+        assert_eq!(recovered.snapshot_gen, 1);
+        assert_eq!(
+            recovered.indexes,
+            vec![("idx_a".into(), "t".into(), "a".into())]
+        );
+        // Dropping the table takes its dependent definitions with it.
+        store
+            .append(&entry(5, CatalogRecord::Drop { name: "t".into() }))
+            .unwrap();
+        drop(store);
+        let (_, recovered) = Store::open(&dir, &registry).unwrap();
+        assert!(recovered.indexes.is_empty());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -371,6 +371,7 @@ mod tests {
                     table: Arc::new(t),
                     stats: None,
                 }],
+                indexes: vec![],
             })
             .unwrap();
         assert_eq!(store.oldest_retained(), (1, 1));
