@@ -47,6 +47,16 @@ struct Staleness {
 }
 
 #[derive(Serialize)]
+struct WaitRow {
+    /// `SET REPLICATION WAIT` mode: "0" (async), "1", or "majority".
+    wait: String,
+    writes: usize,
+    mean_ms: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+#[derive(Serialize)]
 struct Summary {
     cores: usize,
     speedup_comparable: bool,
@@ -56,6 +66,9 @@ struct Summary {
     bit_identical: bool,
     serving: Vec<ServingRow>,
     staleness: Staleness,
+    /// Sync-commit write latency under the WAIT ladder (single client;
+    /// each reply is withheld until the required follower ACKs arrive).
+    wait_ladder: Vec<WaitRow>,
 }
 
 struct Node {
@@ -286,6 +299,70 @@ fn main() {
         &staleness,
     );
 
+    // ---- Sync-commit ladder: write latency under WAIT 0/1/MAJORITY. --
+    // One client writes through the primary's TCP front-end; under
+    // WAIT n the reply is parked until n follower ACKs cover the write,
+    // so the round-trip IS the sync-commit latency. With 4 followers,
+    // MAJORITY needs (4+1)/2 = 2 ACKs — between WAIT 1 (fastest
+    // follower) and WAIT 4 (slowest).
+    let ladder_writes = if quick { 20usize } else { 100 };
+    println!(
+        "\n# Sync-commit write latency: WAIT ladder, {} followers attached",
+        followers.len()
+    );
+    pip_bench::header(&["wait", "writes", "mean_ms", "p50_ms", "p99_ms"]);
+    let mut wait_ladder = Vec::new();
+    {
+        let (mut reader, mut writer) = connect(primary.server.addr());
+        for mode in ["0", "1", "MAJORITY"] {
+            let set = roundtrip(
+                &mut reader,
+                &mut writer,
+                &format!("SET REPLICATION WAIT {mode}"),
+            );
+            assert!(set[0].starts_with("OK replication_wait="), "{set:?}");
+            let wait = set[0]
+                .rsplit('=')
+                .next()
+                .expect("mode echoed back")
+                .to_string();
+            let mut lat_ms = Vec::with_capacity(ladder_writes);
+            for i in 0..ladder_writes {
+                let t0 = Instant::now();
+                let reply = roundtrip(
+                    &mut reader,
+                    &mut writer,
+                    &format!("QUERY INSERT INTO t VALUES ('w{mode}', {i}.25)"),
+                );
+                assert!(reply[0].starts_with("OK"), "sync write failed: {reply:?}");
+                lat_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+            }
+            lat_ms.sort_by(f64::total_cmp);
+            let mean_ms = lat_ms.iter().sum::<f64>() / lat_ms.len() as f64;
+            let p50_ms = lat_ms[lat_ms.len() / 2];
+            let p99_ms = lat_ms[(lat_ms.len() * 99 / 100).min(lat_ms.len() - 1)];
+            let row = WaitRow {
+                wait,
+                writes: ladder_writes,
+                mean_ms,
+                p50_ms,
+                p99_ms,
+            };
+            pip_bench::row(
+                &[
+                    row.wait.clone(),
+                    format!("{ladder_writes}"),
+                    format!("{mean_ms:.3}"),
+                    format!("{p50_ms:.3}"),
+                    format!("{p99_ms:.3}"),
+                ],
+                &row,
+            );
+            wait_ladder.push(row);
+        }
+    }
+    wait_converged(&pdb, &followers);
+
     if cores == 1 {
         println!(
             "# note: single-core host — replicas share the CPU, so speedup \
@@ -302,6 +379,7 @@ fn main() {
         bit_identical: true,
         serving,
         staleness,
+        wait_ladder,
     };
     let json = serde_json::to_string(&summary).expect("summary json");
     if std::env::var("PIP_BENCH_JSON").as_deref() == Ok("1") {

@@ -36,6 +36,10 @@ pub enum PipError {
     /// A stored catalog payload failed to decode (corrupt or from an
     /// incompatible format version).
     Corrupt(String),
+    /// A deposed replication primary refusing writes: a newer epoch
+    /// holds the feed. Renders with a bare `fenced` prefix so clients
+    /// (and the wire protocol's `ERR fenced` contract) can match on it.
+    Fenced(String),
 }
 
 impl fmt::Display for PipError {
@@ -52,6 +56,7 @@ impl fmt::Display for PipError {
             PipError::InvalidParameter(m) => write!(f, "invalid parameter: {m}"),
             PipError::Io(m) => write!(f, "I/O error: {m}"),
             PipError::Corrupt(m) => write!(f, "corrupt store: {m}"),
+            PipError::Fenced(m) => write!(f, "fenced: {m}"),
         }
     }
 }
@@ -82,6 +87,11 @@ impl PipError {
     /// Build a [`PipError::Corrupt`] from anything printable.
     pub fn corrupt(msg: impl fmt::Display) -> Self {
         PipError::Corrupt(msg.to_string())
+    }
+
+    /// Build a [`PipError::Fenced`] from anything printable.
+    pub fn fenced(msg: impl fmt::Display) -> Self {
+        PipError::Fenced(msg.to_string())
     }
 }
 

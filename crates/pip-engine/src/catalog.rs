@@ -101,6 +101,14 @@ pub struct Database {
     /// feeds its followers from the WAL, and unlogged mutations would
     /// silently never reach them.
     durability_pinned: AtomicBool,
+    /// Fenced mode: a deposed primary that heard a higher replication
+    /// epoch. Like `read_only` it refuses every logical mutation, but
+    /// with a distinguishable `fenced` error — a client write that
+    /// raced a failover must learn it may have been lost, not just
+    /// "this node is a follower". Reads keep working (stale is still
+    /// useful); `apply_replicated` bypasses it so the node can rejoin
+    /// the new primary's feed.
+    fenced: AtomicBool,
 }
 
 impl Default for Database {
@@ -126,6 +134,7 @@ impl Database {
             store: OnceLock::new(),
             read_only: AtomicBool::new(false),
             durability_pinned: AtomicBool::new(false),
+            fenced: AtomicBool::new(false),
         }
     }
 
@@ -257,7 +266,25 @@ impl Database {
         self.read_only.load(Ordering::Acquire)
     }
 
+    /// Fence (or unfence) the catalog — see the `fenced` field. A
+    /// fenced catalog refuses writes with [`PipError::Fenced`] even
+    /// when not read-only.
+    pub fn set_fenced(&self, fenced: bool) {
+        self.fenced.store(fenced, Ordering::Release);
+    }
+
+    /// True when a higher replication epoch deposed this node.
+    pub fn is_fenced(&self) -> bool {
+        self.fenced.load(Ordering::Acquire)
+    }
+
     fn check_writable(&self) -> Result<()> {
+        if self.is_fenced() {
+            return Err(PipError::fenced(
+                "a newer replication epoch deposed this primary; \
+                 writes go to the new primary",
+            ));
+        }
         if self.is_read_only() {
             return Err(PipError::Unsupported(
                 "catalog is read-only (replication follower); writes go to the \

@@ -1,0 +1,229 @@
+//! Deterministic, seed-driven fault injection for the replication feed.
+//!
+//! The chaos suite needs failures that are *reproducible*: same seed,
+//! same schedule of dropped, delayed, duplicated and severed messages.
+//! A [`FaultInjector`] is consulted by the primary's feed threads once
+//! per outgoing protocol message; its decisions come from a SplitMix64
+//! stream seeded at construction, so a failing run is replayed exactly
+//! by its seed. On top of the probabilistic stream sits an explicit
+//! **partition** switch: while partitioned, every send (and every new
+//! feed connection) fails, which models a network cut between primary
+//! and followers — heal it and the followers' reconnect/backoff
+//! machinery re-attaches and resumes from their applied versions.
+//!
+//! Injected *storage* failures ride on [`pip_store::FaultHook`] instead
+//! ([`wal_fault_hook`] builds a seeded one), so WAL append/sync failures
+//! are exercised through the exact production rollback paths.
+//!
+//! Dropped frames are not silent data loss: the follower's apply path
+//! enforces contiguous version stamps, so a missing frame surfaces as a
+//! detected gap, the connection drops, and the reconnect re-ships the
+//! missing suffix. That detect-and-resync loop is precisely what the
+//! chaos suite proves out.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// What to do with one outgoing feed message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendPlan {
+    /// Ship it normally.
+    Deliver,
+    /// Silently discard it (the follower detects the gap and resyncs).
+    Drop,
+    /// Ship it twice (the follower rejects the replay and resyncs).
+    Duplicate,
+    /// Sleep this long, then ship it (stalls heartbeats too — the
+    /// follower's heartbeat-loss detector is driven by exactly this).
+    Delay(Duration),
+    /// Fail the send: the connection is torn down as if the network
+    /// broke mid-write.
+    Sever,
+}
+
+/// Per-message fault probabilities, in permille (0–1000).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultConfig {
+    pub drop_per_mille: u16,
+    pub duplicate_per_mille: u16,
+    pub delay_per_mille: u16,
+    /// Injected delays are uniform in `1..=max_delay_ms`.
+    pub max_delay_ms: u64,
+    pub sever_per_mille: u16,
+}
+
+/// SplitMix64: tiny, seedable, and plenty for fault schedules.
+#[derive(Debug)]
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next() % n
+        }
+    }
+}
+
+/// The seed-driven decision stream plus the partition switch.
+#[derive(Debug)]
+pub struct FaultInjector {
+    cfg: FaultConfig,
+    rng: Mutex<SplitMix64>,
+    partitioned: AtomicBool,
+}
+
+impl FaultInjector {
+    pub fn new(seed: u64, cfg: FaultConfig) -> Arc<FaultInjector> {
+        Arc::new(FaultInjector {
+            cfg,
+            rng: Mutex::new(SplitMix64(seed)),
+            partitioned: AtomicBool::new(false),
+        })
+    }
+
+    /// Cut the feed: every send fails and new feed connections are
+    /// refused until [`FaultInjector::heal`].
+    pub fn partition(&self) {
+        self.partitioned.store(true, Ordering::Release);
+    }
+
+    /// Reconnect the network halves.
+    pub fn heal(&self) {
+        self.partitioned.store(false, Ordering::Release);
+    }
+
+    pub fn is_partitioned(&self) -> bool {
+        self.partitioned.load(Ordering::Acquire)
+    }
+
+    /// Decide the fate of one outgoing message. Consumes RNG state —
+    /// deterministic for a fixed seed and call sequence.
+    pub fn plan_send(&self) -> SendPlan {
+        if self.is_partitioned() {
+            return SendPlan::Sever;
+        }
+        let mut rng = self.rng.lock().unwrap_or_else(|e| e.into_inner());
+        let roll = rng.below(1000) as u16;
+        let c = &self.cfg;
+        if roll < c.drop_per_mille {
+            SendPlan::Drop
+        } else if roll < c.drop_per_mille + c.duplicate_per_mille {
+            SendPlan::Duplicate
+        } else if roll < c.drop_per_mille + c.duplicate_per_mille + c.delay_per_mille {
+            let ms = 1 + rng.below(c.max_delay_ms.max(1));
+            SendPlan::Delay(Duration::from_millis(ms))
+        } else if roll
+            < c.drop_per_mille + c.duplicate_per_mille + c.delay_per_mille + c.sever_per_mille
+        {
+            SendPlan::Sever
+        } else {
+            SendPlan::Deliver
+        }
+    }
+}
+
+/// Build a seeded [`pip_store::FaultHook`] that fails WAL appends /
+/// syncs with the given permille probabilities. Install with
+/// [`pip_store::Store::set_fault_hook`]; the store turns a firing into
+/// the same refusal / rollback a real disk error takes.
+pub fn wal_fault_hook(
+    seed: u64,
+    append_per_mille: u16,
+    sync_per_mille: u16,
+) -> pip_store::FaultHook {
+    let rng = Mutex::new(SplitMix64(seed));
+    Arc::new(move |point| {
+        let mut rng = rng.lock().unwrap_or_else(|e| e.into_inner());
+        let roll = rng.below(1000) as u16;
+        match point {
+            pip_store::FaultPoint::Append => roll < append_per_mille,
+            pip_store::FaultPoint::Sync => roll < sync_per_mille,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plans(seed: u64, cfg: FaultConfig, n: usize) -> Vec<SendPlan> {
+        let inj = FaultInjector::new(seed, cfg);
+        (0..n).map(|_| inj.plan_send()).collect()
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let cfg = FaultConfig {
+            drop_per_mille: 100,
+            duplicate_per_mille: 100,
+            delay_per_mille: 100,
+            max_delay_ms: 5,
+            sever_per_mille: 50,
+        };
+        assert_eq!(plans(42, cfg, 500), plans(42, cfg, 500));
+        assert_ne!(
+            plans(42, cfg, 500),
+            plans(43, cfg, 500),
+            "different seeds should diverge"
+        );
+    }
+
+    #[test]
+    fn zero_config_always_delivers() {
+        for p in plans(7, FaultConfig::default(), 200) {
+            assert_eq!(p, SendPlan::Deliver);
+        }
+    }
+
+    #[test]
+    fn partition_overrides_everything() {
+        let inj = FaultInjector::new(1, FaultConfig::default());
+        inj.partition();
+        assert!(inj.is_partitioned());
+        assert_eq!(inj.plan_send(), SendPlan::Sever);
+        inj.heal();
+        assert_eq!(inj.plan_send(), SendPlan::Deliver);
+    }
+
+    #[test]
+    fn wal_hook_is_deterministic() {
+        let a: Vec<bool> = {
+            let h = wal_fault_hook(9, 300, 300);
+            (0..100)
+                .map(|i| {
+                    h(if i % 2 == 0 {
+                        pip_store::FaultPoint::Append
+                    } else {
+                        pip_store::FaultPoint::Sync
+                    })
+                })
+                .collect()
+        };
+        let b: Vec<bool> = {
+            let h = wal_fault_hook(9, 300, 300);
+            (0..100)
+                .map(|i| {
+                    h(if i % 2 == 0 {
+                        pip_store::FaultPoint::Append
+                    } else {
+                        pip_store::FaultPoint::Sync
+                    })
+                })
+                .collect()
+        };
+        assert_eq!(a, b);
+        assert!(a.iter().any(|&x| x), "300 permille should fire sometimes");
+        assert!(!a.iter().all(|&x| x), "and not always");
+    }
+}

@@ -1,14 +1,36 @@
-//! The follower side: a background applier that connects to the
-//! primary, catches up (snapshot and/or frames), and then applies the
-//! live tail, acknowledging progress.
+//! The follower side: a background applier that connects to a primary,
+//! catches up (snapshot and/or frames), and then applies the live tail,
+//! acknowledging progress.
 //!
 //! The applier reconnects with capped exponential backoff whenever the
-//! connection drops; each HELLO reports the follower's current applied
-//! version, so a reconnect resumes exactly where the last connection
-//! left off (frames are applied one at a time and each apply is durable
-//! before the next, so the applied version is always an exact log
-//! prefix — a SIGKILL mid-catch-up loses nothing but unacked work the
-//! primary will re-send).
+//! connection drops, and **re-points**: it is configured with a list of
+//! candidate primary addresses and rotates through them on every failed
+//! attempt, so after a failover it finds the promoted node by itself —
+//! no restart, no operator. Each HELLO reports the follower's current
+//! applied version, so a reconnect resumes exactly where the last
+//! connection left off (frames are applied one at a time and each apply
+//! is durable before the next, so the applied version is always an
+//! exact log prefix — a SIGKILL mid-catch-up loses nothing but unacked
+//! work the primary will re-send).
+//!
+//! **Epochs.** The primary announces its epoch in the heartbeat that
+//! opens every connection. A primary whose epoch is *behind* the
+//! follower's is a deposed node still talking — the follower drops it
+//! and rotates on. A higher epoch is adopted (and persisted when the
+//! catalog is durable): a failover happened and this is the new
+//! lineage. Every frame must carry the adopted epoch.
+//!
+//! **Contiguity.** The apply path enforces the WAL stamp contract —
+//! `CREATE_VARIABLE` records arrive at the current version, every other
+//! record at exactly `current + 1`. A violation means the transport
+//! dropped, duplicated or reordered a frame (the fault injector does
+//! all three on purpose); the connection is dropped as corrupt and the
+//! reconnect re-ships the suffix. Divergence is detected, never applied.
+//!
+//! **Heartbeat loss.** The feed idles with a heartbeat every
+//! [`HEARTBEAT_EVERY`]; a follower that hears nothing for 3 intervals
+//! declares the primary lost (STATS `connected=false`) and begins
+//! re-point/backoff.
 //!
 //! `promote()` seals the feed: the applier thread exits, never
 //! reconnects, and the catalog's read-only gate opens. From that moment
@@ -16,28 +38,44 @@
 
 use std::io::BufWriter;
 use std::net::{Shutdown, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use pip_core::Result;
 use pip_engine::Database;
-use pip_store::{codec, snapshot_from_bytes};
+use pip_expr::VarId;
+use pip_store::{codec, snapshot_from_bytes, CatalogRecord};
 
+use crate::primary::HEARTBEAT_EVERY;
 use crate::proto::{read_message, write_message, write_preamble, Message};
+use crate::waiters::WaitHub;
 
 /// First reconnect delay; doubles per failure up to [`MAX_BACKOFF`].
 const INITIAL_BACKOFF: Duration = Duration::from_millis(50);
 /// Reconnect delay cap.
 const MAX_BACKOFF: Duration = Duration::from_secs(2);
-/// ACK at least every this many applied frames even without a heartbeat,
-/// so the primary's lag view stays fresh during bulk catch-up.
+/// ACK at least every this many applied frames during bulk catch-up, so
+/// the primary's lag view stays fresh without an ack per frame. (At the
+/// tip — applied version caught up to the primary's announced one — the
+/// follower acks every frame immediately instead: that ack is what
+/// releases a `SET REPLICATION WAIT` write parked on the primary, so
+/// its latency is the sync-commit latency.)
 const ACK_EVERY_FRAMES: usize = 64;
+/// Missed-heartbeat horizon: silence past this long drops the
+/// connection (3 heartbeat intervals).
+const HEARTBEAT_LOSS: Duration = Duration::from_millis(3 * 200);
 
 /// Shared state of a replication follower.
 pub(crate) struct FollowerState {
     pub(crate) db: Arc<Database>,
-    pub(crate) primary_addr: String,
+    /// Candidate primary addresses; the applier rotates through them on
+    /// connection failure (the re-point machinery).
+    pub(crate) candidates: Vec<String>,
+    /// Index of the candidate currently (or last) tried.
+    current: AtomicUsize,
+    /// Replication epoch adopted from the primary's announcements.
+    pub(crate) epoch: AtomicU64,
     /// Highest version the primary has reported (via heartbeats and
     /// applied frames); staleness = this minus the local version.
     pub(crate) primary_version: AtomicU64,
@@ -47,20 +85,31 @@ pub(crate) struct FollowerState {
     pub(crate) sealed: AtomicBool,
     /// Live socket, kept so sealing can unblock a parked read.
     stream: Mutex<Option<TcpStream>>,
+    /// Parked `WAIT VERSION` waits, poked on every apply.
+    pub(crate) hub: Arc<WaitHub>,
 }
 
 impl FollowerState {
     /// Mark the catalog read-only and start the applier thread. The
     /// thread owns the connection lifecycle; this never blocks.
-    pub(crate) fn start(db: Arc<Database>, primary_addr: &str) -> Arc<FollowerState> {
+    /// `candidates` must be non-empty; the first entry is tried first.
+    pub(crate) fn start(db: Arc<Database>, candidates: Vec<String>) -> Arc<FollowerState> {
+        assert!(
+            !candidates.is_empty(),
+            "follower needs at least one primary address"
+        );
         db.set_read_only(true);
+        let epoch = db.store().map_or(0, |s| s.epoch());
         let state = Arc::new(FollowerState {
             db,
-            primary_addr: primary_addr.to_string(),
+            candidates,
+            current: AtomicUsize::new(0),
+            epoch: AtomicU64::new(epoch),
             primary_version: AtomicU64::new(0),
             connected: AtomicBool::new(false),
             sealed: AtomicBool::new(false),
             stream: Mutex::new(None),
+            hub: WaitHub::new(),
         });
         let run_state = Arc::clone(&state);
         std::thread::Builder::new()
@@ -78,10 +127,37 @@ impl FollowerState {
             .saturating_sub(self.db.version())
     }
 
+    /// The candidate address the applier is currently pointed at.
+    pub(crate) fn target(&self) -> &str {
+        &self.candidates[self.current.load(Ordering::Acquire) % self.candidates.len()]
+    }
+
+    /// Rotate to the next candidate (called after a failed attempt or a
+    /// dropped connection).
+    fn rotate(&self) {
+        self.current.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Register a parked wait for `applied_version >= version`. Returns
+    /// `true` when already satisfied (nothing parked); otherwise the
+    /// callback fires from the hub.
+    pub(crate) fn register_version_wait(
+        self: &Arc<Self>,
+        version: u64,
+        timeout: Duration,
+        done: crate::waiters::WaitDone,
+    ) -> bool {
+        let db = Arc::clone(&self.db);
+        self.hub
+            .register(Box::new(move || db.version() >= version), timeout, done)
+    }
+
     /// Seal the feed and stop the applier. Does not touch the read-only
-    /// gate — `promote()` and `shutdown()` differ only there.
+    /// gate — `promote()` and `shutdown()` differ only there. Parked
+    /// `WAIT VERSION` waits fail (their version may never arrive now).
     pub(crate) fn seal(&self) {
         self.sealed.store(true, Ordering::Release);
+        self.hub.shutdown();
         let guard = self.stream.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(stream) = guard.as_ref() {
             let _ = stream.shutdown(Shutdown::Both);
@@ -92,32 +168,54 @@ impl FollowerState {
 fn apply_loop(state: Arc<FollowerState>) {
     let mut backoff = INITIAL_BACKOFF;
     while !state.sealed.load(Ordering::Acquire) {
-        let stream = match TcpStream::connect(&state.primary_addr) {
+        let stream = match TcpStream::connect(state.target()) {
             Ok(s) => s,
             Err(_) => {
+                state.rotate();
                 std::thread::sleep(backoff);
                 backoff = (backoff * 2).min(MAX_BACKOFF);
                 continue;
             }
         };
-        backoff = INITIAL_BACKOFF;
         *state.stream.lock().unwrap_or_else(|e| e.into_inner()) =
             Some(stream.try_clone().expect("clone replication stream"));
         state.connected.store(true, Ordering::Release);
-        if let Err(e) = serve_connection(&state, stream) {
-            if !state.sealed.load(Ordering::Acquire) {
-                eprintln!("replication: connection to primary lost: {e}");
-            }
-        }
+        let served = serve_connection(&state, stream);
         state.connected.store(false, Ordering::Release);
         *state.stream.lock().unwrap_or_else(|e| e.into_inner()) = None;
+        match served {
+            // A connection that made progress earns the next attempt a
+            // fresh backoff; one refused at (or before) the handshake —
+            // a fenced or stale primary — rotates to the next candidate.
+            Ok(progressed) => {
+                if progressed {
+                    backoff = INITIAL_BACKOFF;
+                } else {
+                    state.rotate();
+                }
+            }
+            Err(e) => {
+                if !state.sealed.load(Ordering::Acquire) {
+                    eprintln!("replication: connection to primary lost: {e}");
+                }
+                state.rotate();
+            }
+        }
+        if !state.sealed.load(Ordering::Acquire) {
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(MAX_BACKOFF);
+        }
     }
 }
 
 /// Drive one connection: HELLO, then apply whatever the primary sends
-/// until the stream breaks or the feed is sealed.
-fn serve_connection(state: &Arc<FollowerState>, stream: TcpStream) -> Result<()> {
+/// until the stream breaks, the heartbeat horizon passes, or the feed
+/// is sealed. `Ok(true)` means the connection made apply progress.
+fn serve_connection(state: &Arc<FollowerState>, stream: TcpStream) -> Result<bool> {
     let mut reader = stream.try_clone()?;
+    // Bound reads so silence is observable: wake at heartbeat cadence
+    // and give up at the loss horizon.
+    stream.set_read_timeout(Some(HEARTBEAT_EVERY))?;
     let mut out = BufWriter::new(stream);
     write_preamble(&mut out)?;
     write_message(
@@ -125,16 +223,49 @@ fn serve_connection(state: &Arc<FollowerState>, stream: TcpStream) -> Result<()>
         &Message::Hello {
             gen: state.db.store().map_or(0, |s| s.generation()),
             version: state.db.version(),
+            epoch: state.epoch.load(Ordering::Acquire),
+            watermark: VarId::watermark(),
         },
     )?;
     use std::io::Write as _;
     out.flush()?;
 
+    let mut progressed = false;
     let mut since_ack = 0usize;
+    let mut last_heard = Instant::now();
+    // Consecutive heartbeats whose version is ahead of ours with no
+    // frame in between. One can be a benign race (a write landing after
+    // the primary's batch read but before its heartbeat); two in a row
+    // means frames went missing on the wire with the feed now idle —
+    // the one loss shape the contiguity check can't see, because the
+    // next frame never comes. Resync instead of stalling.
+    let mut stale_heartbeats = 0u32;
     loop {
-        let msg = read_message(&mut reader)?;
+        let msg = match read_message(&mut reader) {
+            Ok(m) => m,
+            Err(pip_core::PipError::Io(_)) if last_heard.elapsed() < HEARTBEAT_LOSS => {
+                // Most likely the read timeout: keep listening until the
+                // loss horizon. (A genuinely broken socket keeps failing
+                // and trips the horizon ~600ms later at the worst.)
+                if state.sealed.load(Ordering::Acquire) {
+                    return Ok(progressed);
+                }
+                continue;
+            }
+            Err(e) => {
+                return if last_heard.elapsed() >= HEARTBEAT_LOSS {
+                    Err(pip_core::PipError::io(format!(
+                        "heartbeat lost ({}ms of silence)",
+                        last_heard.elapsed().as_millis()
+                    )))
+                } else {
+                    Err(e)
+                };
+            }
+        };
+        last_heard = Instant::now();
         if state.sealed.load(Ordering::Acquire) {
-            return Ok(());
+            return Ok(progressed);
         }
         match msg {
             Message::Snapshot(bytes) => {
@@ -142,31 +273,75 @@ fn serve_connection(state: &Arc<FollowerState>, stream: TcpStream) -> Result<()>
                 let version = snapshot.version;
                 state.db.install_snapshot(snapshot)?;
                 bump_primary_floor(state, version);
-                write_message(&mut out, &Message::Ack(state.db.version()))?;
-                out.flush()?;
+                progressed = true;
+                stale_heartbeats = 0;
+                state.hub.poke();
+                ack(state, &mut out)?;
                 since_ack = 0;
             }
-            Message::Frame(bytes) => {
-                let text = std::str::from_utf8(&bytes).map_err(|_| {
+            Message::Frame { epoch, payload } => {
+                let ours = state.epoch.load(Ordering::Acquire);
+                if epoch != ours {
+                    return Err(pip_core::PipError::corrupt(format!(
+                        "replicated frame stamped epoch {epoch}, expected {ours}"
+                    )));
+                }
+                let text = std::str::from_utf8(&payload).map_err(|_| {
                     pip_core::PipError::corrupt("replicated WAL frame is not UTF-8")
                 })?;
                 let json = serde_json::from_str(text).map_err(|e| {
                     pip_core::PipError::corrupt(format!("replicated WAL frame: {e}"))
                 })?;
                 let entry = codec::decode_entry(&json, state.db.registry())?;
+                check_contiguous(state.db.version(), &entry)?;
                 bump_primary_floor(state, entry.version);
                 state.db.apply_replicated(&entry)?;
+                progressed = true;
+                stale_heartbeats = 0;
+                state.hub.poke();
                 since_ack += 1;
-                if since_ack >= ACK_EVERY_FRAMES {
-                    write_message(&mut out, &Message::Ack(state.db.version()))?;
-                    out.flush()?;
+                let at_tip = state.db.version() >= state.primary_version.load(Ordering::Acquire);
+                if at_tip || since_ack >= ACK_EVERY_FRAMES {
+                    ack(state, &mut out)?;
                     since_ack = 0;
                 }
             }
-            Message::Heartbeat(v) => {
-                bump_primary_floor(state, v);
-                write_message(&mut out, &Message::Ack(state.db.version()))?;
-                out.flush()?;
+            Message::Heartbeat {
+                epoch,
+                version,
+                watermark,
+            } => {
+                let ours = state.epoch.load(Ordering::Acquire);
+                if epoch < ours {
+                    // A deposed primary still talking. Not an error loud
+                    // enough to log — just leave and rotate.
+                    return Ok(false);
+                }
+                if epoch > ours {
+                    // Failover happened: adopt (and persist) the new
+                    // lineage's epoch.
+                    if let Some(store) = state.db.store() {
+                        store.set_epoch(epoch)?;
+                    }
+                    state.epoch.store(epoch, Ordering::Release);
+                }
+                // The primary's allocator position covers ids its
+                // catch-up skip may never ship (the unreferenced-id fix).
+                VarId::reserve_through(watermark.saturating_sub(1));
+                bump_primary_floor(state, version);
+                if version > state.db.version() {
+                    stale_heartbeats += 1;
+                    if stale_heartbeats >= 2 {
+                        return Err(pip_core::PipError::corrupt(format!(
+                            "primary idles at version {version} but only {} arrived — \
+                             frames were lost in transit",
+                            state.db.version()
+                        )));
+                    }
+                } else {
+                    stale_heartbeats = 0;
+                }
+                ack(state, &mut out)?;
                 since_ack = 0;
             }
             other => {
@@ -176,6 +351,37 @@ fn serve_connection(state: &Arc<FollowerState>, stream: TcpStream) -> Result<()>
             }
         }
     }
+}
+
+/// Enforce the WAL stamp contract on an arriving frame (see module
+/// docs): `CREATE_VARIABLE` at the current version, everything else at
+/// exactly `current + 1`. Catches transport drops, duplicates and
+/// reorders before they can touch the catalog.
+fn check_contiguous(current: u64, entry: &codec::WalEntry) -> Result<()> {
+    let expected_ok = match entry.record {
+        CatalogRecord::CreateVariable { .. } => entry.version == current,
+        _ => entry.version == current + 1,
+    };
+    if expected_ok {
+        Ok(())
+    } else {
+        Err(pip_core::PipError::corrupt(format!(
+            "replication feed not contiguous: entry version {} against applied version {current}",
+            entry.version
+        )))
+    }
+}
+
+fn ack(state: &FollowerState, out: &mut impl std::io::Write) -> Result<()> {
+    write_message(
+        out,
+        &Message::Ack {
+            version: state.db.version(),
+            watermark: VarId::watermark(),
+        },
+    )?;
+    out.flush()?;
+    Ok(())
 }
 
 /// Raise the observed primary version (never lower it — heartbeats and

@@ -21,38 +21,62 @@
 //! is bit-identical to the primary: same f64 bits, same variable
 //! identities, same version counter.
 //!
-//! **Staleness model.** Replication is asynchronous: a read on a
-//! follower sees some exact prefix of the primary's history, never a
-//! torn state. The follower's applied version (in its STATS) tells
-//! clients *which* prefix; read-your-writes routing is "remember the
-//! version your write returned, query a replica whose applied version
-//! has reached it".
+//! **Staleness model.** Replication is asynchronous by default: a read
+//! on a follower sees some exact prefix of the primary's history, never
+//! a torn state. Two opt-in strengthenings sit on top:
 //!
-//! **Promotion.** [`Replication::promote`] seals the feed and opens the
-//! follower's write gate. Its durable log is an exact prefix of the old
-//! primary's, so no acknowledged-and-replicated mutation is lost; any
-//! acknowledged-but-unshipped suffix stays in the old primary's data
-//! directory (asynchronous replication's usual contract).
+//! * `SET REPLICATION WAIT n` (or `MAJORITY`) on the primary withholds a
+//!   mutation's reply until *n* followers have ACKed its version — see
+//!   [`Replication::register_ack_wait`]. A timeout degrades to an error
+//!   reply, never a hang.
+//! * `WAIT VERSION v` on a follower blocks until its applied version
+//!   reaches `v` — read-your-writes routing is "remember the version
+//!   your write returned, `WAIT VERSION` it on the replica you query".
+//!
+//! **Failover.** [`Replication::promote`] seals the feed, opens the
+//! write gate, and mints a new **replication epoch** (persisted in the
+//! data directory). When the node was built with a listen address
+//! ([`Replication::follower_promotable`]) it starts serving the feed
+//! itself and announces the new epoch to its old candidate primaries —
+//! a deposed primary that hears the higher epoch **fences** itself
+//! (writes answer `ERR fenced`, the feed stops, followers are kicked so
+//! they re-point). Followers rotate through their candidate list on
+//! every connection failure, so the cluster converges on the promoted
+//! node without restarts.
 
+pub mod faults;
 pub mod proto;
 
 mod follower;
 mod primary;
+mod waiters;
 
 use std::net::SocketAddr;
-use std::sync::Arc;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
 
 use pip_core::{PipError, Result};
 use pip_engine::Database;
+use pip_expr::VarId;
 
+use faults::FaultInjector;
 use follower::FollowerState;
 use primary::PrimaryState;
+pub use waiters::WaitDone;
 
-/// A running replication role attached to a [`Database`]. Dropping the
-/// handle does not stop the background threads — call
-/// [`Replication::shutdown`].
+/// How long the post-promotion courtesy HELLO gives each old candidate.
+const DEPOSE_DIAL_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// A running replication role attached to a [`Database`]. The role can
+/// change at runtime — [`Replication::promote`] swaps a follower into a
+/// primary in place. Dropping the handle does not stop the background
+/// threads — call [`Replication::shutdown`].
 pub struct Replication {
-    inner: Inner,
+    inner: RwLock<Inner>,
+    /// Address a promoted follower will serve the feed on (from
+    /// [`Replication::follower_promotable`]).
+    promote_listen: Option<String>,
 }
 
 enum Inner {
@@ -66,22 +90,46 @@ impl Replication {
     /// (unlogged mutations could never reach followers).
     pub fn primary(db: Arc<Database>, addr: &str) -> Result<Replication> {
         Ok(Replication {
-            inner: Inner::Primary(PrimaryState::start(db, addr)?),
+            inner: RwLock::new(Inner::Primary(PrimaryState::start(db, addr)?)),
+            promote_listen: None,
         })
     }
 
-    /// Start a follower of the primary at `primary_addr`: marks the
-    /// database read-only and begins catching up in the background,
-    /// reconnecting with backoff for as long as the primary is away.
-    pub fn follower(db: Arc<Database>, primary_addr: &str) -> Replication {
+    /// Start a follower: marks the database read-only and begins
+    /// catching up in the background, reconnecting with backoff for as
+    /// long as the primary is away. `primary_addrs` is a comma-separated
+    /// candidate list; the follower rotates through it on every failed
+    /// connection, which is how it finds a promoted node after failover.
+    pub fn follower(db: Arc<Database>, primary_addrs: &str) -> Replication {
+        Self::follower_promotable(db, primary_addrs, None)
+    }
+
+    /// [`Replication::follower`], plus a listen address the node will
+    /// bind if it is ever promoted — without one, `PROMOTE` still opens
+    /// the write gate but the node cannot feed followers of its own.
+    pub fn follower_promotable(
+        db: Arc<Database>,
+        primary_addrs: &str,
+        listen_addr: Option<&str>,
+    ) -> Replication {
+        let candidates: Vec<String> = primary_addrs
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
         Replication {
-            inner: Inner::Follower(FollowerState::start(db, primary_addr)),
+            inner: RwLock::new(Inner::Follower(FollowerState::start(db, candidates))),
+            promote_listen: listen_addr.map(str::to_string),
         }
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, Inner> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
     }
 
     /// The primary's bound replication address (`None` on a follower).
     pub fn local_addr(&self) -> Option<SocketAddr> {
-        match &self.inner {
+        match &*self.read() {
             Inner::Primary(p) => Some(p.addr),
             Inner::Follower(_) => None,
         }
@@ -90,10 +138,10 @@ impl Replication {
     /// `"primary"` or `"replica"`; a promoted follower reports
     /// `"primary"` from the moment [`Replication::promote`] returns.
     pub fn role(&self) -> &'static str {
-        match &self.inner {
+        match &*self.read() {
             Inner::Primary(_) => "primary",
             Inner::Follower(f) => {
-                if f.sealed.load(std::sync::atomic::Ordering::Acquire) {
+                if f.sealed.load(Ordering::Acquire) {
                     "primary"
                 } else {
                     "replica"
@@ -107,25 +155,72 @@ impl Replication {
         self.role() == "replica"
     }
 
-    /// Seal the feed and flip a follower writable. Everything applied so
-    /// far — an exact prefix of the primary's log — stays; the node
-    /// accepts writes before this returns. Errors on a primary.
-    pub fn promote(&self) -> Result<()> {
-        match &self.inner {
-            Inner::Primary(_) => Err(PipError::Unsupported(
-                "PROMOTE: this node is already the primary".into(),
-            )),
-            Inner::Follower(f) => {
-                f.seal();
-                f.db.set_read_only(false);
-                Ok(())
-            }
+    /// The replication epoch this node currently serves or follows.
+    pub fn epoch(&self) -> u64 {
+        match &*self.read() {
+            Inner::Primary(p) => p.epoch.load(Ordering::Acquire),
+            Inner::Follower(f) => f.epoch.load(Ordering::Acquire),
         }
+    }
+
+    /// True once a higher epoch deposed this primary (always false on a
+    /// follower — a deposed follower just switches primaries).
+    pub fn is_fenced(&self) -> bool {
+        match &*self.read() {
+            Inner::Primary(p) => p.fenced.load(Ordering::Acquire),
+            Inner::Follower(_) => false,
+        }
+    }
+
+    /// Promote a follower: seal the feed, mint and persist a new epoch,
+    /// open the write gate, and — when a listen address was configured —
+    /// start serving the feed and notify the old candidates so the
+    /// deposed primary fences itself. Errors on a node that is already
+    /// the primary.
+    pub fn promote(&self) -> Result<()> {
+        let mut inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        let follower = match &*inner {
+            Inner::Primary(_) => {
+                return Err(PipError::Unsupported(
+                    "PROMOTE: this node is already the primary".into(),
+                ))
+            }
+            Inner::Follower(f) => Arc::clone(f),
+        };
+        follower.seal();
+        let db = Arc::clone(&follower.db);
+        let new_epoch = follower.epoch.load(Ordering::Acquire) + 1;
+        if let Some(store) = db.store() {
+            store.set_epoch(new_epoch)?;
+        }
+        db.set_fenced(false);
+        db.set_read_only(false);
+        let Some(listen) = self.promote_listen.as_deref() else {
+            // No feed address: the node is writable but cannot replicate
+            // onward. Keep the sealed follower (role() says "primary").
+            return Ok(());
+        };
+        if db.store().is_none() {
+            return Ok(());
+        }
+        let primary = PrimaryState::start(db, listen)?;
+        *inner = Inner::Primary(primary);
+        drop(inner);
+        // Courtesy deposition notice: tell the old candidates the epoch
+        // moved on, so the deposed primary fences *now* instead of when
+        // a re-pointing follower happens to tell it. Best-effort — a
+        // dead primary learns on restart from any HELLO it receives.
+        let candidates = follower.candidates.clone();
+        std::thread::Builder::new()
+            .name("pip-repl-depose".into())
+            .spawn(move || depose_old_primaries(&candidates, new_epoch))
+            .expect("spawn deposition thread");
+        Ok(())
     }
 
     /// Followers currently attached (always 0 on a follower).
     pub fn follower_count(&self) -> usize {
-        match &self.inner {
+        match &*self.read() {
             Inner::Primary(p) => p.follower_count(),
             Inner::Follower(_) => 0,
         }
@@ -133,7 +228,7 @@ impl Replication {
 
     /// The catalog version this node has applied.
     pub fn applied_version(&self) -> u64 {
-        match &self.inner {
+        match &*self.read() {
             Inner::Primary(p) => p.db.version(),
             Inner::Follower(f) => f.db.version(),
         }
@@ -143,7 +238,7 @@ impl Replication {
     /// the primary it is; on a primary, how far behind its slowest
     /// attached follower is. 0 when fully caught up (or alone).
     pub fn replication_lag(&self) -> u64 {
-        match &self.inner {
+        match &*self.read() {
             Inner::Primary(p) => p.max_lag(),
             Inner::Follower(f) => f.lag(),
         }
@@ -152,19 +247,127 @@ impl Replication {
     /// True while a follower has a live connection to its primary
     /// (always true on a primary — it is its own feed).
     pub fn connected(&self) -> bool {
-        match &self.inner {
+        match &*self.read() {
             Inner::Primary(_) => true,
-            Inner::Follower(f) => f.connected.load(std::sync::atomic::Ordering::Acquire),
+            Inner::Follower(f) => f.connected.load(Ordering::Acquire),
+        }
+    }
+
+    /// The lowest version every attached follower has acked; `None` on a
+    /// follower (shown as STATS `acked_min=` on primaries).
+    pub fn acked_min(&self) -> Option<u64> {
+        match &*self.read() {
+            Inner::Primary(p) => Some(p.acked_min()),
+            Inner::Follower(_) => None,
+        }
+    }
+
+    /// Follower ACKs that constitute a majority of the cluster (this
+    /// node plus its attached followers): with f followers the cluster
+    /// has f+1 voters, a majority is ⌊(f+1)/2⌋+1 of them, and the
+    /// primary's own vote is free — leaving ⌊(f+1)/2⌋ follower ACKs.
+    pub fn majority_need(&self) -> usize {
+        self.follower_count().div_ceil(2)
+    }
+
+    /// Park a wait for `need` follower ACKs at `version` (the machinery
+    /// behind `SET REPLICATION WAIT n`). Returns `true` when the quorum
+    /// already holds — nothing parked, `done` not consumed. Otherwise
+    /// `done(true)` fires when it assembles, `done(false)` on timeout or
+    /// shutdown. On a follower the wait is vacuously satisfied.
+    pub fn register_ack_wait(
+        &self,
+        version: u64,
+        need: usize,
+        timeout: Duration,
+        done: WaitDone,
+    ) -> bool {
+        match &*self.read() {
+            Inner::Primary(p) => p.register_ack_wait(version, need, timeout, done),
+            Inner::Follower(_) => true,
+        }
+    }
+
+    /// Park a wait for this node's applied version to reach `version`
+    /// (the machinery behind `WAIT VERSION`). Same contract as
+    /// [`Replication::register_ack_wait`]. Works on either role; on a
+    /// primary the version only advances with local writes.
+    pub fn register_version_wait(&self, version: u64, timeout: Duration, done: WaitDone) -> bool {
+        match &*self.read() {
+            Inner::Primary(p) => {
+                let db = Arc::clone(&p.db);
+                p.hub
+                    .register(Box::new(move || db.version() >= version), timeout, done)
+            }
+            Inner::Follower(f) => f.register_version_wait(version, timeout, done),
+        }
+    }
+
+    /// Blocking form of [`Replication::register_version_wait`] for
+    /// callers without a parking mechanism (embedded sessions): true iff
+    /// the version arrived before the timeout.
+    pub fn wait_version_blocking(&self, version: u64, timeout: Duration) -> bool {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let done: WaitDone = Box::new(move |ok| {
+            let _ = tx.send(ok);
+        });
+        if self.register_version_wait(version, timeout, done) {
+            return true;
+        }
+        rx.recv().unwrap_or(false)
+    }
+
+    /// Install (or clear) a fault injector on the primary's feed. The
+    /// chaos suite's hook; a no-op on a follower.
+    pub fn set_fault_injector(&self, injector: Option<Arc<FaultInjector>>) {
+        if let Inner::Primary(p) = &*self.read() {
+            *p.faults.lock().unwrap_or_else(|e| e.into_inner()) = injector;
         }
     }
 
     /// Stop the background threads: a primary stops accepting and drops
     /// every follower; a follower seals its feed (read-only gate is left
-    /// as-is — this is shutdown, not promotion).
+    /// as-is — this is shutdown, not promotion). Parked waits fail.
     pub fn shutdown(&self) {
-        match &self.inner {
+        match &*self.read() {
             Inner::Primary(p) => p.shutdown(),
             Inner::Follower(f) => f.seal(),
+        }
+    }
+}
+
+/// Dial each old candidate and present a HELLO carrying the new epoch;
+/// a live deposed primary fences itself on receipt. Errors are ignored
+/// — an unreachable candidate is dead or partitioned, and the epoch
+/// check on its next HELLO exchange fences it anyway.
+fn depose_old_primaries(candidates: &[String], epoch: u64) {
+    use std::io::Write as _;
+    for addr in candidates {
+        let Ok(sock_addrs) = std::net::ToSocketAddrs::to_socket_addrs(&addr.as_str()) else {
+            continue;
+        };
+        for sock in sock_addrs {
+            let Ok(stream) = std::net::TcpStream::connect_timeout(&sock, DEPOSE_DIAL_TIMEOUT)
+            else {
+                continue;
+            };
+            let mut out = std::io::BufWriter::new(stream);
+            let sent = proto::write_preamble(&mut out)
+                .and_then(|()| {
+                    proto::write_message(
+                        &mut out,
+                        &proto::Message::Hello {
+                            gen: 0,
+                            version: 0,
+                            epoch,
+                            watermark: VarId::watermark(),
+                        },
+                    )
+                })
+                .and_then(|()| out.flush().map_err(PipError::from));
+            if sent.is_ok() {
+                break;
+            }
         }
     }
 }

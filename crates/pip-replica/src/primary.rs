@@ -3,7 +3,7 @@
 //!
 //! One handler thread per follower runs the catch-up decision and the
 //! tail loop; a companion thread drains the follower's ACKs. The
-//! catch-up decision on HELLO `{gen, version: W}`:
+//! catch-up decision on HELLO `{gen, version: W, ..}`:
 //!
 //! * `W >=` the retained base's version ([`Store::oldest_retained`]) —
 //!   the WAL chain still reaches the follower's state: tail from the
@@ -23,14 +23,30 @@
 //! are stamped at the version current when they were allocated, without
 //! a bump. A follower reporting `W` has applied the mutation that set
 //! version `W` but possibly not trailing `CREATE_VARIABLE` records also
-//! stamped `W`; the skip drops those records for that follower. That is
-//! safe for every variable that any shipped row ever references (the
-//! follower's apply path re-reserves ids embedded in rows), and the
-//! residual case — a variable allocated on the primary, never referenced
-//! by any later mutation, straddling the reconnect boundary — can at
-//! worst let a *promoted* follower hand out an id the old primary had
-//! allocated but never used. Re-sending `<= W` instead would re-apply
-//! the version-`W` mutation itself (a double insert): strictly worse.
+//! stamped `W`; the skip drops those records for that follower. Dropping
+//! the *record* is safe — every variable any shipped row references is
+//! re-reserved by the apply path — and the residual id-collision risk
+//! (a variable allocated on the primary, never referenced by any later
+//! mutation, straddling the reconnect boundary) is closed by the
+//! **watermark exchange**: every HEARTBEAT carries the primary's
+//! [`VarId::watermark`], and the follower reserves through it, so even a
+//! promoted follower can never re-hand-out an id the old primary
+//! allocated but never used. (HELLO/ACK carry the follower's watermark
+//! for the mirror-image case of an old primary rejoining as a
+//! follower.)
+//!
+//! **Epoch fencing.** The primary announces its replication epoch in the
+//! heartbeat sent right after HELLO and stamps it into every frame. A
+//! HELLO carrying a *higher* epoch is a deposition notice from a freshly
+//! promoted node: the primary fences itself — the catalog refuses writes
+//! with `ERR fenced`, every attached follower is disconnected so its
+//! re-point machinery finds the new primary, and the higher epoch is
+//! persisted so a restart stays fenced.
+//!
+//! **Synchronous acknowledgement.** Per-follower acked-version counters
+//! feed the [`WaitHub`]: `SET REPLICATION WAIT n` parks a session's
+//! reply until `n` followers have acked the write's version (see
+//! [`PrimaryState::register_ack_wait`]).
 
 use std::io::{BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -40,16 +56,21 @@ use std::time::{Duration, Instant};
 
 use pip_core::Result;
 use pip_engine::Database;
+use pip_expr::VarId;
 use pip_store::{snapshot_to_bytes, Store, TailRead, WalCursor};
 
+use crate::faults::{FaultInjector, SendPlan};
 use crate::proto::{read_message, read_preamble, write_message, Message};
+use crate::waiters::WaitHub;
 
 /// Frames per tail read; bounds per-batch memory and ACK latency.
 const BATCH_FRAMES: usize = 256;
 /// Idle poll interval when fully caught up.
 const IDLE_POLL: Duration = Duration::from_millis(10);
-/// Heartbeat cadence while idle.
-const HEARTBEAT_EVERY: Duration = Duration::from_millis(200);
+/// Heartbeat cadence while idle. The follower treats 3 missed intervals
+/// as a lost primary (see `follower.rs`), so this is one third of the
+/// failure-detection horizon.
+pub(crate) const HEARTBEAT_EVERY: Duration = Duration::from_millis(200);
 
 /// One attached follower, as the primary sees it.
 pub(crate) struct FollowerConn {
@@ -62,14 +83,26 @@ pub(crate) struct FollowerConn {
 /// Shared state of a replicating primary.
 pub(crate) struct PrimaryState {
     pub(crate) db: Arc<Database>,
+    pub(crate) store: Arc<Store>,
     pub(crate) addr: SocketAddr,
     pub(crate) shutdown: AtomicBool,
+    /// Replication epoch this primary serves under (mirrors the store's
+    /// persisted epoch; cached for the hot feed path).
+    pub(crate) epoch: AtomicU64,
+    /// Set when a higher epoch deposed this primary (see module docs).
+    pub(crate) fenced: AtomicBool,
     pub(crate) followers: Mutex<Vec<Arc<FollowerConn>>>,
+    /// Parked ACK-quorum waits (`SET REPLICATION WAIT n`).
+    pub(crate) hub: Arc<WaitHub>,
+    /// Chaos-suite fault injection on the feed; `None` in production.
+    pub(crate) faults: Mutex<Option<Arc<FaultInjector>>>,
 }
 
 impl PrimaryState {
     /// Bind the replication listener and start the accept loop. The
-    /// catalog must be durable — the WAL is the feed.
+    /// catalog must be durable — the WAL is the feed. The epoch served
+    /// is whatever the store has persisted (0 for a never-promoted
+    /// lineage).
     pub(crate) fn start(db: Arc<Database>, addr: &str) -> Result<Arc<PrimaryState>> {
         let store = Arc::clone(db.store().ok_or_else(|| {
             pip_core::PipError::Unsupported(
@@ -81,11 +114,17 @@ impl PrimaryState {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         listener.set_nonblocking(true)?;
+        let epoch = store.epoch();
         let state = Arc::new(PrimaryState {
             db,
+            store: Arc::clone(&store),
             addr: local,
             shutdown: AtomicBool::new(false),
+            epoch: AtomicU64::new(epoch),
+            fenced: AtomicBool::new(false),
             followers: Mutex::new(Vec::new()),
+            hub: WaitHub::new(),
+            faults: Mutex::new(None),
         });
         let accept_state = Arc::clone(&state);
         std::thread::Builder::new()
@@ -95,9 +134,10 @@ impl PrimaryState {
         Ok(state)
     }
 
-    /// Stop accepting and unblock every handler.
+    /// Stop accepting and unblock every handler; parked waits fail.
     pub(crate) fn shutdown(&self) {
         self.shutdown.store(true, Ordering::Release);
+        self.hub.shutdown();
         for conn in self
             .followers
             .lock()
@@ -127,6 +167,74 @@ impl PrimaryState {
             .map(|f| version.saturating_sub(f.acked.load(Ordering::Acquire)))
             .max()
             .unwrap_or(0)
+    }
+
+    /// The lowest version every attached follower has acked (equals the
+    /// primary's own version when no follower is attached).
+    pub(crate) fn acked_min(&self) -> u64 {
+        self.followers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|f| f.acked.load(Ordering::Acquire))
+            .min()
+            .unwrap_or_else(|| self.db.version())
+    }
+
+    /// Followers whose acked version has reached `version`.
+    pub(crate) fn count_acked(&self, version: u64) -> usize {
+        self.followers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .filter(|f| f.acked.load(Ordering::Acquire) >= version)
+            .count()
+    }
+
+    /// Register a parked wait for `need` follower ACKs at `version`.
+    /// Returns `true` when already satisfied (no parking happened; the
+    /// callback was NOT consumed is not possible — it is consumed only
+    /// when parked). Otherwise `done(true)` fires when the quorum
+    /// assembles, `done(false)` on timeout or shutdown.
+    pub(crate) fn register_ack_wait(
+        self: &Arc<Self>,
+        version: u64,
+        need: usize,
+        timeout: Duration,
+        done: crate::waiters::WaitDone,
+    ) -> bool {
+        let state = Arc::clone(self);
+        self.hub.register(
+            Box::new(move || state.count_acked(version) >= need),
+            timeout,
+            done,
+        )
+    }
+
+    /// Depose this primary: a node with `epoch` higher than ours owns
+    /// the feed now. Persist the higher epoch, refuse further writes
+    /// with `ERR fenced`, and disconnect every follower so their
+    /// re-point machinery finds the new primary.
+    pub(crate) fn fence(&self, epoch: u64) {
+        let _ = self.store.set_epoch(epoch);
+        self.epoch.fetch_max(epoch, Ordering::AcqRel);
+        self.fenced.store(true, Ordering::Release);
+        self.db.set_fenced(true);
+        for conn in self
+            .followers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+        {
+            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+
+    fn injector(&self) -> Option<Arc<FaultInjector>> {
+        self.faults
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
     }
 }
 
@@ -161,13 +269,40 @@ fn serve_follower(state: &Arc<PrimaryState>, store: &Arc<Store>, stream: TcpStre
     read_preamble(&mut reader)?;
     let hello = read_message(&mut reader)?;
     let Message::Hello {
-        version: wire_w, ..
+        version: wire_w,
+        epoch: peer_epoch,
+        watermark: peer_watermark,
+        ..
     } = hello
     else {
         return Err(pip_core::PipError::corrupt(
             "replication connection did not open with HELLO",
         ));
     };
+    // The peer may be (or have fed) a primary in a past life; ids it
+    // allocated must never be re-handed-out here.
+    VarId::reserve_through(peer_watermark.saturating_sub(1));
+    if peer_epoch > state.epoch.load(Ordering::Acquire) {
+        // A newer primary exists: this HELLO is its deposition notice.
+        state.fence(peer_epoch);
+        return Err(pip_core::PipError::fenced(format!(
+            "deposed by replication epoch {peer_epoch}"
+        )));
+    }
+    if state.fenced.load(Ordering::Acquire) {
+        // A fenced primary's unshipped suffix may diverge from the new
+        // lineage — it must not feed anyone.
+        return Err(pip_core::PipError::fenced(
+            "this node was deposed; it no longer serves the feed",
+        ));
+    }
+    if let Some(inj) = state.injector() {
+        if inj.is_partitioned() {
+            return Err(pip_core::PipError::io(
+                "injected partition refuses the connection",
+            ));
+        }
+    }
 
     let conn = Arc::new(FollowerConn {
         acked: AtomicU64::new(wire_w),
@@ -181,12 +316,15 @@ fn serve_follower(state: &Arc<PrimaryState>, store: &Arc<Store>, stream: TcpStre
     // Drain ACKs on a dedicated thread so slow frame writes never stall
     // acknowledgement bookkeeping (and vice versa).
     let ack_conn = Arc::clone(&conn);
+    let ack_hub = Arc::clone(&state.hub);
     std::thread::Builder::new()
         .name("pip-repl-acks".into())
         .spawn(move || {
             while let Ok(msg) = read_message(&mut reader) {
-                if let Message::Ack(v) = msg {
-                    ack_conn.acked.store(v, Ordering::Release);
+                if let Message::Ack { version, watermark } = msg {
+                    ack_conn.acked.fetch_max(version, Ordering::AcqRel);
+                    VarId::reserve_through(watermark.saturating_sub(1));
+                    ack_hub.poke();
                 }
             }
         })
@@ -200,6 +338,26 @@ fn serve_follower(state: &Arc<PrimaryState>, store: &Arc<Store>, stream: TcpStre
     result
 }
 
+/// Send one message through the fault injector (when installed).
+fn send(state: &PrimaryState, out: &mut impl Write, msg: &Message) -> Result<()> {
+    let Some(inj) = state.injector() else {
+        return write_message(out, msg);
+    };
+    match inj.plan_send() {
+        SendPlan::Deliver => write_message(out, msg),
+        SendPlan::Drop => Ok(()),
+        SendPlan::Duplicate => {
+            write_message(out, msg)?;
+            write_message(out, msg)
+        }
+        SendPlan::Delay(d) => {
+            std::thread::sleep(d);
+            write_message(out, msg)
+        }
+        SendPlan::Sever => Err(pip_core::PipError::io("injected feed failure")),
+    }
+}
+
 fn feed_loop(
     state: &Arc<PrimaryState>,
     store: &Arc<Store>,
@@ -208,30 +366,44 @@ fn feed_loop(
 ) -> Result<()> {
     let mut out = BufWriter::new(stream.try_clone()?);
     let (mut cursor, mut skip_through) = catch_up_plan(state, store, &mut out, hello_version)?;
-    // Tell the follower where the primary stands right away, so lag is
+    // Announce the epoch and where the primary stands right away, so
+    // the follower adopts the epoch before any frame and lag is
     // measurable before the first idle heartbeat.
-    write_message(&mut out, &Message::Heartbeat(state.db.version()))?;
+    send(state, &mut out, &heartbeat(state))?;
     out.flush()?;
 
     let mut last_heartbeat = Instant::now();
     while !state.shutdown.load(Ordering::Acquire) {
+        if state.fenced.load(Ordering::Acquire) {
+            return Err(pip_core::PipError::fenced(
+                "this node was deposed; the feed stops",
+            ));
+        }
         match store.read_wal_frames(cursor, BATCH_FRAMES) {
             Ok(TailRead::Frames {
                 frames,
                 cursor: next,
             }) => {
                 let idle = frames.is_empty();
+                let epoch = state.epoch.load(Ordering::Acquire);
                 for f in &frames {
                     if f.version <= skip_through {
                         continue; // prefix the follower already applied
                     }
-                    write_message(&mut out, &Message::Frame(f.payload.clone()))?;
+                    send(
+                        state,
+                        &mut out,
+                        &Message::Frame {
+                            epoch,
+                            payload: f.payload.clone(),
+                        },
+                    )?;
                 }
                 out.flush()?;
                 cursor = next;
                 if idle {
                     if last_heartbeat.elapsed() >= HEARTBEAT_EVERY {
-                        write_message(&mut out, &Message::Heartbeat(state.db.version()))?;
+                        send(state, &mut out, &heartbeat(state))?;
                         out.flush()?;
                         last_heartbeat = Instant::now();
                     }
@@ -248,6 +420,14 @@ fn feed_loop(
         }
     }
     Ok(())
+}
+
+fn heartbeat(state: &PrimaryState) -> Message {
+    Message::Heartbeat {
+        epoch: state.epoch.load(Ordering::Acquire),
+        version: state.db.version(),
+        watermark: VarId::watermark(),
+    }
 }
 
 /// Decide how a follower at version `w` catches up; returns the cursor
@@ -270,7 +450,7 @@ fn catch_up_plan(
 fn send_snapshot(state: &Arc<PrimaryState>, out: &mut impl Write) -> Result<(WalCursor, u64)> {
     let (snapshot, cursor) = state.db.capture_replication_snapshot()?;
     let bytes = snapshot_to_bytes(&snapshot)?;
-    write_message(out, &Message::Snapshot(bytes))?;
+    send(state, out, &Message::Snapshot(bytes))?;
     out.flush()?;
     Ok((cursor, 0))
 }

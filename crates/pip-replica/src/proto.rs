@@ -2,17 +2,33 @@
 //! stream over one TCP connection per follower.
 //!
 //! ```text
-//! connection :=  MAGIC(8 = "PIPREPL1")  message*      (follower writes first)
+//! connection :=  MAGIC(8 = "PIPREPL2")  message*      (follower writes first)
 //! message    :=  kind(u8) len(u32 LE) crc32(u32 LE) payload(len bytes)
 //! ```
 //!
-//! | kind | name      | direction          | payload                         |
-//! |------|-----------|--------------------|---------------------------------|
-//! | 1    | HELLO     | follower → primary | gen(u64 LE) version(u64 LE)     |
-//! | 2    | SNAPSHOT  | primary → follower | one snapshot JSON document      |
-//! | 3    | FRAME     | primary → follower | one WAL-entry JSON document     |
-//! | 4    | HEARTBEAT | primary → follower | primary version(u64 LE)         |
-//! | 5    | ACK       | follower → primary | applied version(u64 LE)         |
+//! | kind | name      | direction          | payload                                            |
+//! |------|-----------|--------------------|----------------------------------------------------|
+//! | 1    | HELLO     | follower → primary | gen(u64) version(u64) epoch(u64) watermark(u64)    |
+//! | 2    | SNAPSHOT  | primary → follower | one snapshot JSON document                         |
+//! | 3    | FRAME     | primary → follower | epoch(u64 LE) + one WAL-entry JSON document        |
+//! | 4    | HEARTBEAT | primary → follower | epoch(u64) version(u64) watermark(u64)             |
+//! | 5    | ACK       | follower → primary | version(u64) watermark(u64)                        |
+//!
+//! All integers are little-endian. Three fields were added over the v1
+//! protocol (hence the magic bump — a v1 peer is refused cleanly at the
+//! preamble instead of misparsing payloads):
+//!
+//! * **epoch** — the replication generation minted by `PROMOTE`. The
+//!   primary announces its epoch in the first HEARTBEAT and stamps it
+//!   into every FRAME; a follower refuses a primary whose epoch is
+//!   behind its own (it is talking to a deposed node) and a primary that
+//!   hears a *higher* epoch in HELLO fences itself — that HELLO is the
+//!   new primary's deposition notice.
+//! * **watermark** — the sender's variable-id allocator position
+//!   ([`pip_expr::VarId::watermark`]). Each side reserves through the
+//!   other's watermark, which closes the unreferenced-variable-id
+//!   collision the catch-up prefix-skip used to leave open (see
+//!   `primary.rs`).
 //!
 //! `SNAPSHOT` and `FRAME` payloads are exactly the byte strings the
 //! store's codecs produce ([`pip_store::snapshot_to_bytes`] and the WAL
@@ -28,7 +44,7 @@ use pip_core::{PipError, Result};
 use pip_store::crc32;
 
 /// Connection preamble, written by the follower before its HELLO.
-pub const REPL_MAGIC: &[u8; 8] = b"PIPREPL1";
+pub const REPL_MAGIC: &[u8; 8] = b"PIPREPL2";
 
 /// Upper bound on one message payload (mirrors the WAL frame cap; a
 /// snapshot over this would have been refused at write time too).
@@ -37,20 +53,33 @@ const MAX_PAYLOAD: u32 = 1 << 30;
 /// One replication protocol message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
-    /// Follower's opening: its active local WAL generation and applied
-    /// catalog version. The primary decides frame vs snapshot catch-up
-    /// from the version; the generation is informational (logged, and
-    /// room for smarter retention negotiation later).
-    Hello { gen: u64, version: u64 },
+    /// Follower's opening: its active local WAL generation, applied
+    /// catalog version, replication epoch, and variable-id watermark.
+    /// The primary decides frame vs snapshot catch-up from the version;
+    /// an epoch *ahead* of the primary's fences the primary (this is
+    /// how a freshly promoted node deposes its predecessor); the
+    /// generation is informational.
+    Hello {
+        gen: u64,
+        version: u64,
+        epoch: u64,
+        watermark: u64,
+    },
     /// Full-catalog state; the follower replaces everything with it.
     Snapshot(Vec<u8>),
-    /// One WAL entry in log order.
-    Frame(Vec<u8>),
-    /// Primary's current catalog version, sent when the feed is idle so
-    /// the follower can measure staleness without traffic.
-    Heartbeat(u64),
-    /// Follower's applied catalog version.
-    Ack(u64),
+    /// One WAL entry in log order, stamped with the primary's epoch.
+    Frame { epoch: u64, payload: Vec<u8> },
+    /// Primary's epoch, current catalog version, and variable-id
+    /// watermark. Sent immediately after HELLO (the epoch announcement)
+    /// and when the feed is idle, so the follower can measure staleness
+    /// without traffic.
+    Heartbeat {
+        epoch: u64,
+        version: u64,
+        watermark: u64,
+    },
+    /// Follower's applied catalog version and variable-id watermark.
+    Ack { version: u64, watermark: u64 },
 }
 
 impl Message {
@@ -58,35 +87,57 @@ impl Message {
         match self {
             Message::Hello { .. } => 1,
             Message::Snapshot(_) => 2,
-            Message::Frame(_) => 3,
-            Message::Heartbeat(_) => 4,
-            Message::Ack(_) => 5,
+            Message::Frame { .. } => 3,
+            Message::Heartbeat { .. } => 4,
+            Message::Ack { .. } => 5,
         }
     }
 }
 
-fn u64_payload(v: u64) -> Vec<u8> {
-    v.to_le_bytes().to_vec()
+fn u64s(fields: &[u64]) -> Vec<u8> {
+    let mut p = Vec::with_capacity(fields.len() * 8);
+    for f in fields {
+        p.extend_from_slice(&f.to_le_bytes());
+    }
+    p
 }
 
-fn payload_u64(payload: &[u8], what: &str) -> Result<u64> {
-    let bytes: [u8; 8] = payload
-        .try_into()
-        .map_err(|_| PipError::corrupt(format!("replication {what} payload is not 8 bytes")))?;
-    Ok(u64::from_le_bytes(bytes))
+fn payload_u64s<const N: usize>(payload: &[u8], what: &str) -> Result<[u64; N]> {
+    if payload.len() != N * 8 {
+        return Err(PipError::corrupt(format!(
+            "replication {what} payload is not {} bytes",
+            N * 8
+        )));
+    }
+    let mut out = [0u64; N];
+    for (i, v) in out.iter_mut().enumerate() {
+        *v = u64::from_le_bytes(payload[i * 8..(i + 1) * 8].try_into().unwrap());
+    }
+    Ok(out)
 }
 
 /// Write one message (kind + length + checksum + payload).
 pub fn write_message(w: &mut impl Write, msg: &Message) -> Result<()> {
     let payload: Vec<u8> = match msg {
-        Message::Hello { gen, version } => {
-            let mut p = Vec::with_capacity(16);
-            p.extend_from_slice(&gen.to_le_bytes());
-            p.extend_from_slice(&version.to_le_bytes());
+        Message::Hello {
+            gen,
+            version,
+            epoch,
+            watermark,
+        } => u64s(&[*gen, *version, *epoch, *watermark]),
+        Message::Snapshot(bytes) => bytes.clone(),
+        Message::Frame { epoch, payload } => {
+            let mut p = Vec::with_capacity(8 + payload.len());
+            p.extend_from_slice(&epoch.to_le_bytes());
+            p.extend_from_slice(payload);
             p
         }
-        Message::Snapshot(bytes) | Message::Frame(bytes) => bytes.clone(),
-        Message::Heartbeat(v) | Message::Ack(v) => u64_payload(*v),
+        Message::Heartbeat {
+            epoch,
+            version,
+            watermark,
+        } => u64s(&[*epoch, *version, *watermark]),
+        Message::Ack { version, watermark } => u64s(&[*version, *watermark]),
     };
     if payload.len() > MAX_PAYLOAD as usize {
         return Err(PipError::io(format!(
@@ -124,20 +175,39 @@ pub fn read_message(r: &mut impl Read) -> Result<Message> {
     }
     match kind {
         1 => {
-            if payload.len() != 16 {
-                return Err(PipError::corrupt(
-                    "replication HELLO payload is not 16 bytes",
-                ));
-            }
+            let [gen, version, epoch, watermark] = payload_u64s::<4>(&payload, "HELLO")?;
             Ok(Message::Hello {
-                gen: u64::from_le_bytes(payload[..8].try_into().unwrap()),
-                version: u64::from_le_bytes(payload[8..].try_into().unwrap()),
+                gen,
+                version,
+                epoch,
+                watermark,
             })
         }
         2 => Ok(Message::Snapshot(payload)),
-        3 => Ok(Message::Frame(payload)),
-        4 => Ok(Message::Heartbeat(payload_u64(&payload, "HEARTBEAT")?)),
-        5 => Ok(Message::Ack(payload_u64(&payload, "ACK")?)),
+        3 => {
+            if payload.len() < 8 {
+                return Err(PipError::corrupt(
+                    "replication FRAME payload is shorter than its epoch stamp",
+                ));
+            }
+            let epoch = u64::from_le_bytes(payload[..8].try_into().unwrap());
+            Ok(Message::Frame {
+                epoch,
+                payload: payload[8..].to_vec(),
+            })
+        }
+        4 => {
+            let [epoch, version, watermark] = payload_u64s::<3>(&payload, "HEARTBEAT")?;
+            Ok(Message::Heartbeat {
+                epoch,
+                version,
+                watermark,
+            })
+        }
+        5 => {
+            let [version, watermark] = payload_u64s::<2>(&payload, "ACK")?;
+            Ok(Message::Ack { version, watermark })
+        }
         other => Err(PipError::corrupt(format!(
             "unknown replication message kind {other}"
         ))),
@@ -178,11 +248,23 @@ mod tests {
             Message::Hello {
                 gen: 3,
                 version: 17,
+                epoch: 2,
+                watermark: 41,
             },
             Message::Snapshot(b"{\"format\":1}".to_vec()),
-            Message::Frame(b"{\"v\":9,\"op\":{}}".to_vec()),
-            Message::Heartbeat(42),
-            Message::Ack(41),
+            Message::Frame {
+                epoch: 7,
+                payload: b"{\"v\":9,\"op\":{}}".to_vec(),
+            },
+            Message::Heartbeat {
+                epoch: 7,
+                version: 42,
+                watermark: 13,
+            },
+            Message::Ack {
+                version: 41,
+                watermark: 13,
+            },
         ] {
             assert_eq!(round_trip(msg.clone()), msg);
         }
@@ -191,7 +273,14 @@ mod tests {
     #[test]
     fn corruption_is_detected() {
         let mut buf = Vec::new();
-        write_message(&mut buf, &Message::Frame(b"payload".to_vec())).unwrap();
+        write_message(
+            &mut buf,
+            &Message::Frame {
+                epoch: 1,
+                payload: b"payload".to_vec(),
+            },
+        )
+        .unwrap();
         let last = buf.len() - 1;
         buf[last] ^= 0x01;
         assert!(matches!(
@@ -200,7 +289,14 @@ mod tests {
         ));
         // Unknown kind.
         let mut buf = Vec::new();
-        write_message(&mut buf, &Message::Ack(1)).unwrap();
+        write_message(
+            &mut buf,
+            &Message::Ack {
+                version: 1,
+                watermark: 0,
+            },
+        )
+        .unwrap();
         buf[0] = 99;
         assert!(matches!(
             read_message(&mut &buf[..]),
@@ -211,6 +307,18 @@ mod tests {
         write_message(&mut buf, &Message::Snapshot(vec![1, 2, 3])).unwrap();
         buf.truncate(buf.len() - 2);
         assert!(read_message(&mut &buf[..]).is_err());
+        // FRAME shorter than its epoch stamp.
+        let mut buf = Vec::new();
+        let short = [3u8].to_vec(); // kind FRAME, 3-byte payload
+        let mut msg = vec![3u8];
+        msg.extend_from_slice(&(short.len() as u32).to_le_bytes());
+        msg.extend_from_slice(&crc32(&short).to_le_bytes());
+        msg.extend_from_slice(&short);
+        buf.extend_from_slice(&msg);
+        assert!(matches!(
+            read_message(&mut &buf[..]),
+            Err(PipError::Corrupt(_))
+        ));
     }
 
     #[test]
@@ -220,6 +328,11 @@ mod tests {
         read_preamble(&mut &buf[..]).unwrap();
         assert!(matches!(
             read_preamble(&mut &b"GET / HT"[..]),
+            Err(PipError::Corrupt(_))
+        ));
+        // The v1 magic is refused too — the field layout changed.
+        assert!(matches!(
+            read_preamble(&mut &b"PIPREPL1"[..]),
             Err(PipError::Corrupt(_))
         ));
     }

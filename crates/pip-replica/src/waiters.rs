@@ -1,0 +1,264 @@
+//! A small registry of parked waits with deadlines, shared by the
+//! primary (ACK-quorum waits behind `SET REPLICATION WAIT n`) and the
+//! follower (`WAIT VERSION` read-your-writes waits).
+//!
+//! A waiter is a *predicate* over replication state plus a completion
+//! callback. Callers register; replication progress (`ACK` drained,
+//! frame applied) pokes the hub; a lazily spawned monitor thread
+//! re-evaluates predicates and enforces deadlines, firing each callback
+//! exactly once — `true` when the predicate held, `false` on deadline
+//! (or hub shutdown). Callbacks run on the monitor thread, outside the
+//! hub lock, so they may do real work (stage a reply, re-enqueue a
+//! connection) but must not re-enter the hub synchronously.
+//!
+//! This is what lets a server session *park* instead of blocking: the
+//! scheduler worker registers the waiter and moves on; nothing sits on
+//! a thread while the quorum assembles.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Completion callback: `true` = predicate satisfied, `false` =
+/// deadline passed (or the hub shut down). Re-exported at the crate
+/// root for callers registering parked waits.
+pub type WaitDone = Box<dyn FnOnce(bool) + Send>;
+
+struct Waiter {
+    pred: Box<dyn Fn() -> bool + Send>,
+    deadline: Instant,
+    done: WaitDone,
+}
+
+#[derive(Default)]
+struct HubInner {
+    waiters: Vec<Waiter>,
+    monitor_running: bool,
+    shutdown: bool,
+}
+
+/// The wait registry. Cheap when idle: no thread exists until the first
+/// waiter actually has to park.
+#[derive(Default)]
+pub(crate) struct WaitHub {
+    inner: Mutex<HubInner>,
+    poked: Condvar,
+}
+
+impl WaitHub {
+    pub(crate) fn new() -> Arc<WaitHub> {
+        Arc::new(WaitHub::default())
+    }
+
+    /// Register a wait. If `pred` already holds (checked under the hub
+    /// lock, so no poke can slip between check and registration),
+    /// returns `true` WITHOUT storing the waiter — the caller completes
+    /// inline. Otherwise the waiter parks and `done` will be fired by
+    /// the monitor thread; returns `false`.
+    pub(crate) fn register(
+        self: &Arc<Self>,
+        pred: Box<dyn Fn() -> bool + Send>,
+        timeout: Duration,
+        done: WaitDone,
+    ) -> bool {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if pred() {
+            return true;
+        }
+        if inner.shutdown {
+            drop(inner);
+            done(false);
+            return false;
+        }
+        inner.waiters.push(Waiter {
+            pred,
+            deadline: Instant::now() + timeout,
+            done,
+        });
+        if !inner.monitor_running {
+            inner.monitor_running = true;
+            let hub = Arc::clone(self);
+            std::thread::Builder::new()
+                .name("pip-repl-wait".into())
+                .spawn(move || monitor_loop(&hub))
+                .expect("spawn replication wait monitor");
+        }
+        self.poked.notify_all();
+        false
+    }
+
+    /// Blocking convenience for callers without a parking mechanism:
+    /// true iff the predicate held before timeout.
+    #[cfg(test)]
+    pub(crate) fn wait_blocking(
+        self: &Arc<Self>,
+        pred: Box<dyn Fn() -> bool + Send>,
+        timeout: Duration,
+    ) -> bool {
+        let (tx, rx) = std::sync::mpsc::channel();
+        if self.register(
+            pred,
+            timeout,
+            Box::new(move |ok| {
+                let _ = tx.send(ok);
+            }),
+        ) {
+            return true;
+        }
+        rx.recv().unwrap_or(false)
+    }
+
+    /// Replication made progress: wake the monitor to re-check.
+    pub(crate) fn poke(&self) {
+        self.poked.notify_all();
+    }
+
+    /// Fail every parked waiter and refuse new ones.
+    pub(crate) fn shutdown(&self) {
+        let drained = {
+            let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            inner.shutdown = true;
+            std::mem::take(&mut inner.waiters)
+        };
+        self.poked.notify_all();
+        for w in drained {
+            (w.done)(false);
+        }
+    }
+}
+
+fn monitor_loop(hub: &Arc<WaitHub>) {
+    let mut inner = hub.inner.lock().unwrap_or_else(|e| e.into_inner());
+    loop {
+        // Fire what can fire: satisfied predicates and blown deadlines.
+        let now = Instant::now();
+        let mut fired: Vec<(WaitDone, bool)> = Vec::new();
+        let mut keep = Vec::with_capacity(inner.waiters.len());
+        for w in inner.waiters.drain(..) {
+            if (w.pred)() {
+                fired.push((w.done, true));
+            } else if now >= w.deadline {
+                fired.push((w.done, false));
+            } else {
+                keep.push(w);
+            }
+        }
+        inner.waiters = keep;
+        if !fired.is_empty() {
+            drop(inner);
+            for (done, ok) in fired {
+                done(ok);
+            }
+            inner = hub.inner.lock().unwrap_or_else(|e| e.into_inner());
+        }
+        if inner.shutdown || inner.waiters.is_empty() {
+            // Retire the thread; the next register respawns one.
+            inner.monitor_running = false;
+            return;
+        }
+        let next_deadline = inner
+            .waiters
+            .iter()
+            .map(|w| w.deadline)
+            .min()
+            .expect("non-empty");
+        // Cap the sleep: predicates observe state (acked counters)
+        // whose every change pokes us, but a capped wait costs little
+        // and shrugs off a lost notification.
+        let sleep = next_deadline
+            .saturating_duration_since(Instant::now())
+            .min(Duration::from_millis(50));
+        let (next, _) = self_wait(hub, inner, sleep);
+        inner = next;
+    }
+}
+
+fn self_wait<'a>(
+    hub: &'a WaitHub,
+    guard: std::sync::MutexGuard<'a, HubInner>,
+    dur: Duration,
+) -> (std::sync::MutexGuard<'a, HubInner>, bool) {
+    let (g, t) = hub
+        .poked
+        .wait_timeout(guard, dur)
+        .unwrap_or_else(|e| e.into_inner());
+    (g, t.timed_out())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+    #[test]
+    fn satisfied_at_registration_completes_inline() {
+        let hub = WaitHub::new();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let f = Arc::clone(&fired);
+        let inline = hub.register(
+            Box::new(|| true),
+            Duration::from_secs(5),
+            Box::new(move |_| {
+                f.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
+        assert!(inline, "pre-satisfied wait must not park");
+        assert_eq!(fired.load(Ordering::SeqCst), 0, "callback not consumed");
+    }
+
+    #[test]
+    fn poke_fires_a_parked_waiter() {
+        let hub = WaitHub::new();
+        let flag = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = std::sync::mpsc::channel();
+        let pred_flag = Arc::clone(&flag);
+        let inline = hub.register(
+            Box::new(move || pred_flag.load(Ordering::SeqCst)),
+            Duration::from_secs(10),
+            Box::new(move |ok| {
+                let _ = tx.send(ok);
+            }),
+        );
+        assert!(!inline);
+        flag.store(true, Ordering::SeqCst);
+        hub.poke();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(true));
+    }
+
+    #[test]
+    fn deadline_fires_false() {
+        let hub = WaitHub::new();
+        let (tx, rx) = std::sync::mpsc::channel();
+        hub.register(
+            Box::new(|| false),
+            Duration::from_millis(30),
+            Box::new(move |ok| {
+                let _ = tx.send(ok);
+            }),
+        );
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(false));
+    }
+
+    #[test]
+    fn blocking_wait_round_trips() {
+        let hub = WaitHub::new();
+        assert!(hub.wait_blocking(Box::new(|| true), Duration::from_secs(1)));
+        assert!(!hub.wait_blocking(Box::new(|| false), Duration::from_millis(20)));
+    }
+
+    #[test]
+    fn shutdown_fails_parked_waiters() {
+        let hub = WaitHub::new();
+        let (tx, rx) = std::sync::mpsc::channel();
+        hub.register(
+            Box::new(|| false),
+            Duration::from_secs(30),
+            Box::new(move |ok| {
+                let _ = tx.send(ok);
+            }),
+        );
+        hub.shutdown();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(false));
+        // New registrations fail immediately.
+        assert!(!hub.wait_blocking(Box::new(|| false), Duration::from_secs(30)));
+    }
+}

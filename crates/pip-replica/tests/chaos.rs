@@ -1,0 +1,496 @@
+//! The chaos suite: deterministic fault injection, failover, fencing,
+//! and the synchronous-acknowledgement machinery, all over real TCP on
+//! loopback.
+//!
+//! The headline invariant (proptested under randomized fault schedules
+//! and partition/heal/kill/promote sequences): **no write acknowledged
+//! under `WAIT n ≥ 1` is ever absent after a single-node failure plus
+//! failover**, and the surviving state answers the probe suite
+//! bit-identically at 1, 2 and 4 sampler threads.
+//!
+//! Every schedule is seed-driven ([`pip_replica::faults`]); a failing
+//! case reports its seed, and re-running with that seed replays the
+//! exact same fault plan.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use pip_core::tuple;
+use pip_expr::VarId;
+use pip_replica::faults::{FaultConfig, FaultInjector};
+use pip_replica::{proto, Replication};
+
+mod common;
+use common::*;
+
+/// Pick a loopback address that is free right now. There is a window
+/// between probing and binding, but distinct ephemeral ports per probe
+/// make collisions vanishingly rare for a test process.
+fn free_addr() -> String {
+    let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    l.local_addr().unwrap().to_string()
+}
+
+/// Fault rates aggressive enough to exercise every plan kind within a
+/// ~50-message exchange, mild enough that convergence stays quick.
+fn chaotic() -> FaultConfig {
+    FaultConfig {
+        drop_per_mille: 90,
+        duplicate_per_mille: 100,
+        delay_per_mille: 60,
+        max_delay_ms: 25,
+        sever_per_mille: 30,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Acknowledged-write durability across failover, under chaos
+// ---------------------------------------------------------------------
+
+/// One full chaos scenario for a given seed: write under `WAIT 1`
+/// through an injected-fault feed with a partition/heal cycle and
+/// checkpoints mixed in, then kill the primary, promote the follower,
+/// and check every acknowledged write survived.
+fn acked_writes_survive_failover(seed: u64) {
+    let (pd, fd) = (tmp_dir("chaos-p"), tmp_dir("chaos-f"));
+    let primary = seed_primary(&pd, 4);
+    let repl = Replication::primary(Arc::clone(&primary), "127.0.0.1:0").unwrap();
+    let addr = repl.local_addr().unwrap().to_string();
+    let injector = FaultInjector::new(seed, chaotic());
+    repl.set_fault_injector(Some(Arc::clone(&injector)));
+
+    let follower = open(&fd);
+    let frepl = Replication::follower(Arc::clone(&follower), &addr);
+
+    let mut highest_acked = 0u64;
+    let mut acked = 0usize;
+    for i in 4..16 {
+        mutate(&primary, i);
+        let version = primary.version();
+        // A generous deadline when the feed is (nominally) up: injected
+        // severs force reconnects that re-ship the suffix, so the ACK
+        // always arrives eventually. While partitioned the wait *must*
+        // time out — don't sit through the full deadline proving it.
+        let deadline = if injector.is_partitioned() {
+            Duration::from_millis(700)
+        } else {
+            Duration::from_secs(10)
+        };
+        let got = wait_acks(&repl, version, 1, deadline);
+        if got {
+            highest_acked = highest_acked.max(version);
+            acked += 1;
+        }
+        assert!(
+            !(got && injector.is_partitioned()),
+            "seed {seed}: a write was acked across an active partition"
+        );
+        match i {
+            9 => injector.partition(),
+            11 => injector.heal(),
+            7 | 13 => {
+                primary.checkpoint().unwrap();
+            }
+            _ => {}
+        }
+    }
+    injector.heal();
+    assert!(acked > 0, "seed {seed}: no write ever acknowledged");
+
+    // Even with faults still firing, detect-and-resync must converge.
+    wait_caught_up(&frepl, &primary);
+    assert_bit_identical(&primary, &follower);
+
+    // Single-node failure: the primary dies. Promote the follower.
+    repl.shutdown();
+    frepl.promote().unwrap();
+    assert_eq!(frepl.role(), "primary");
+    assert!(
+        follower.version() >= highest_acked,
+        "seed {seed}: write acked at version {highest_acked} is absent after failover \
+         (survivor stops at {})",
+        follower.version()
+    );
+    // The survivor keeps serving: writes version forward from here.
+    let before = follower.version();
+    follower
+        .insert_tuples("obs", &[tuple![3.5, 77i64]])
+        .unwrap();
+    assert!(follower.version() > before);
+
+    frepl.shutdown();
+    cleanup(&[&pd, &fd]);
+}
+
+#[test]
+fn acked_writes_survive_failover_fixed_seeds() {
+    // The CI fixed-seed set; each replays an exact fault schedule.
+    for seed in [2, 7, 1984] {
+        acked_writes_survive_failover(seed);
+    }
+}
+
+/// CI's randomized round: the workflow picks a fresh seed per run, logs
+/// it, and passes it in through `PIP_CHAOS_SEED` — so a red run is
+/// replayable locally with the exact same fault schedule. A no-op when
+/// the variable is unset (the fixed-seed and proptest rounds cover
+/// local runs).
+#[test]
+fn logged_random_seed_survives_failover() {
+    if let Ok(seed) = std::env::var("PIP_CHAOS_SEED") {
+        let seed: u64 = seed.parse().expect("PIP_CHAOS_SEED must be a u64");
+        eprintln!("chaos: replaying logged seed {seed}");
+        acked_writes_survive_failover(seed);
+    }
+}
+
+mod randomized {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(2))]
+
+        /// Same scenario, randomized seed — proptest prints the seed on
+        /// failure, and `acked_writes_survive_failover(seed)` replays it.
+        #[test]
+        fn acked_writes_survive_failover_random_seed(seed in 0u64..1_000_000) {
+            acked_writes_survive_failover(seed);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Epoch fencing and follower re-point
+// ---------------------------------------------------------------------
+
+/// The full failover minuet: primary A, promotable follower B, bystander
+/// follower C. Promoting B mints a new epoch; A fences itself the moment
+/// it hears it (writes answer `ERR fenced`), and C re-points to B
+/// without a restart.
+#[test]
+fn promotion_fences_the_deposed_primary_and_repoints_followers() {
+    let (ad, bd, cd) = (tmp_dir("fence-a"), tmp_dir("fence-b"), tmp_dir("fence-c"));
+    let a = seed_primary(&ad, 8);
+    let arepl = Replication::primary(Arc::clone(&a), "127.0.0.1:0").unwrap();
+    let a_addr = arepl.local_addr().unwrap().to_string();
+    let b_addr = free_addr();
+
+    let b = open(&bd);
+    let brepl = Replication::follower_promotable(Arc::clone(&b), &a_addr, Some(&b_addr));
+    let c = open(&cd);
+    // C knows both candidates; it attaches to A first.
+    let crepl = Replication::follower(Arc::clone(&c), &format!("{a_addr},{b_addr}"));
+    wait_caught_up(&brepl, &a);
+    wait_caught_up(&crepl, &a);
+    assert_eq!(arepl.epoch(), 0);
+
+    // Failover: B takes over (A is still up — the deposition notice must
+    // fence it, not a crash).
+    brepl.promote().unwrap();
+    assert_eq!(brepl.role(), "primary");
+    assert_eq!(brepl.epoch(), 1, "promotion mints the next epoch");
+    assert_eq!(
+        brepl.local_addr().unwrap().to_string(),
+        b_addr,
+        "promoted node serves the feed on its configured address"
+    );
+
+    // A hears the higher epoch and seals itself.
+    wait_until(
+        "the deposed primary to fence itself",
+        Duration::from_secs(10),
+        || arepl.is_fenced(),
+    );
+    let err = a.insert_tuples("obs", &[tuple![1.0, 1i64]]).unwrap_err();
+    assert!(
+        err.to_string().starts_with("fenced"),
+        "deposed primary must answer writes with a fenced error, got: {err}"
+    );
+    // Reads still work on the fenced node.
+    assert!(probe_bits(&a, 1).len() > 1);
+
+    // B accepts writes; C re-points to B and applies them — no restart.
+    for i in 8..14 {
+        mutate(&b, i);
+    }
+    wait_until(
+        "the bystander to re-point to the new primary",
+        Duration::from_secs(20),
+        || crepl.applied_version() >= b.version() && crepl.epoch() == 1,
+    );
+    assert_bit_identical(&b, &c);
+
+    // Split-brain attempt: the deposed primary cannot feed anyone. A
+    // follower pointed only at A connects, is refused, and never applies
+    // a thing past A's sealed state.
+    let dd = tmp_dir("fence-d");
+    let d = open(&dd);
+    let drepl = Replication::follower(Arc::clone(&d), &a_addr);
+    std::thread::sleep(Duration::from_millis(400));
+    assert_eq!(d.version(), 0, "a fenced primary must not serve the feed");
+    drepl.shutdown();
+
+    crepl.shutdown();
+    brepl.shutdown();
+    arepl.shutdown();
+    cleanup(&[&ad, &bd, &cd, &dd]);
+}
+
+/// A dead first candidate is skipped: the follower rotates through its
+/// candidate list until it finds a live primary.
+#[test]
+fn follower_rotates_past_dead_candidates() {
+    let (pd, fd) = (tmp_dir("rotate-p"), tmp_dir("rotate-f"));
+    let primary = seed_primary(&pd, 6);
+    let repl = Replication::primary(Arc::clone(&primary), "127.0.0.1:0").unwrap();
+    let live = repl.local_addr().unwrap().to_string();
+    let dead = free_addr(); // nothing listens here
+
+    let follower = open(&fd);
+    let frepl = Replication::follower(Arc::clone(&follower), &format!("{dead},{live}"));
+    wait_caught_up(&frepl, &primary);
+    assert_bit_identical(&primary, &follower);
+
+    frepl.shutdown();
+    repl.shutdown();
+    cleanup(&[&pd, &fd]);
+}
+
+// ---------------------------------------------------------------------
+// Heartbeat-loss detection
+// ---------------------------------------------------------------------
+
+/// A feed that goes silent (every message held by an injected delay
+/// longer than the 3-interval loss horizon) must flip the follower to
+/// `connected=false` and into re-point/backoff — and once the faults
+/// stop, the follower must reconnect and converge.
+#[test]
+fn heartbeat_loss_disconnects_and_recovers() {
+    let (pd, fd) = (tmp_dir("hb-p"), tmp_dir("hb-f"));
+    let primary = seed_primary(&pd, 6);
+    let repl = Replication::primary(Arc::clone(&primary), "127.0.0.1:0").unwrap();
+    let addr = repl.local_addr().unwrap().to_string();
+
+    let follower = open(&fd);
+    let frepl = Replication::follower(Arc::clone(&follower), &addr);
+    wait_caught_up(&frepl, &primary);
+    wait_until(
+        "the follower to report connected",
+        Duration::from_secs(5),
+        || frepl.connected(),
+    );
+
+    // Every send now sleeps 1.5–2.5s — well past the 600ms loss horizon
+    // — so from the follower's side the primary simply goes quiet.
+    repl.set_fault_injector(Some(FaultInjector::new(
+        11,
+        FaultConfig {
+            delay_per_mille: 1000,
+            max_delay_ms: 2500,
+            ..FaultConfig::default()
+        },
+    )));
+    // (The delay plan floors at 1ms; force the long tail by waiting for
+    // the disconnect rather than asserting a specific delay.)
+    wait_until(
+        "heartbeat loss to disconnect the follower",
+        Duration::from_secs(20),
+        || !frepl.connected(),
+    );
+
+    // Faults off: the reconnect loop finds the primary again and drains
+    // whatever landed meanwhile.
+    repl.set_fault_injector(None);
+    for i in 6..12 {
+        mutate(&primary, i);
+    }
+    wait_caught_up(&frepl, &primary);
+    wait_until("the follower to reconnect", Duration::from_secs(10), || {
+        frepl.connected()
+    });
+    assert_bit_identical(&primary, &follower);
+
+    frepl.shutdown();
+    repl.shutdown();
+    cleanup(&[&pd, &fd]);
+}
+
+// ---------------------------------------------------------------------
+// Synchronous acknowledgement: WAIT n / MAJORITY / WAIT VERSION
+// ---------------------------------------------------------------------
+
+#[test]
+fn ack_waits_complete_time_out_and_count_majorities() {
+    let (pd, f1d, f2d) = (tmp_dir("wait-p"), tmp_dir("wait-f1"), tmp_dir("wait-f2"));
+    let primary = seed_primary(&pd, 4);
+    let repl = Replication::primary(Arc::clone(&primary), "127.0.0.1:0").unwrap();
+    let addr = repl.local_addr().unwrap().to_string();
+
+    // No followers: WAIT 1 can never be satisfied — it must time out
+    // with `false`, not hang.
+    mutate(&primary, 4);
+    assert!(
+        !wait_acks(&repl, primary.version(), 1, Duration::from_millis(200)),
+        "WAIT 1 with zero followers must time out"
+    );
+    // Degenerate quorum: a majority of a single-node cluster is the
+    // primary itself — zero follower ACKs, satisfied inline.
+    assert_eq!(repl.majority_need(), 0);
+    assert!(wait_acks(
+        &repl,
+        primary.version(),
+        repl.majority_need(),
+        Duration::from_millis(200)
+    ));
+
+    let f1 = open(&f1d);
+    let r1 = Replication::follower(Arc::clone(&f1), &addr);
+    wait_caught_up(&r1, &primary);
+    wait_until("one follower attached", Duration::from_secs(5), || {
+        repl.follower_count() == 1
+    });
+
+    // One follower: WAIT 1 and WAIT MAJORITY (= 1) complete.
+    mutate(&primary, 5);
+    let v = primary.version();
+    assert!(wait_acks(&repl, v, 1, Duration::from_secs(10)));
+    assert_eq!(repl.majority_need(), 1);
+    assert!(wait_acks(
+        &repl,
+        v,
+        repl.majority_need(),
+        Duration::from_secs(10)
+    ));
+    // WAIT 2 exceeds the fleet: times out.
+    assert!(!wait_acks(&repl, v, 2, Duration::from_millis(300)));
+    // acked_min surfaces the slowest follower's progress (here: caught
+    // up, so it equals the primary's version).
+    wait_until(
+        "acked_min to reach the write",
+        Duration::from_secs(10),
+        || repl.acked_min() == Some(v),
+    );
+
+    let f2 = open(&f2d);
+    let r2 = Replication::follower(Arc::clone(&f2), &addr);
+    wait_caught_up(&r2, &primary);
+    wait_until("two followers attached", Duration::from_secs(5), || {
+        repl.follower_count() == 2
+    });
+    // Three-node cluster: majority is 2 voters, one of them the primary.
+    assert_eq!(repl.majority_need(), 1);
+    mutate(&primary, 6);
+    assert!(wait_acks(
+        &repl,
+        primary.version(),
+        2,
+        Duration::from_secs(10)
+    ));
+
+    // WAIT VERSION on a follower: read-your-writes routing. Already
+    // applied → inline true; future version → blocks until it arrives.
+    let target = primary.version();
+    assert!(r1.wait_version_blocking(target, Duration::from_secs(10)));
+    let future = target + 1;
+    let waiter = {
+        let r1 = Arc::new(r1);
+        let handle = Arc::clone(&r1);
+        let j = std::thread::spawn(move || {
+            handle.wait_version_blocking(future, Duration::from_secs(10))
+        });
+        mutate(&primary, 7);
+        assert!(
+            j.join().unwrap(),
+            "WAIT VERSION must fire when the write ships"
+        );
+        r1
+    };
+    // And a version that never comes times out false.
+    assert!(!waiter.wait_version_blocking(primary.version() + 50, Duration::from_millis(250)));
+
+    waiter.shutdown();
+    r2.shutdown();
+    repl.shutdown();
+    cleanup(&[&pd, &f1d, &f2d]);
+}
+
+// ---------------------------------------------------------------------
+// Variable-id watermark exchange (the catch-up skip collision fix)
+// ---------------------------------------------------------------------
+
+/// A heartbeat's watermark must advance the local allocator: speak the
+/// protocol as a fake primary and announce an allocator position far
+/// ahead — the follower must never hand out ids below it again.
+#[test]
+fn heartbeat_watermark_reserves_follower_ids() {
+    let fd = tmp_dir("wm-f");
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let follower = open(&fd);
+    let frepl = Replication::follower(Arc::clone(&follower), &addr);
+
+    let (mut conn, _) = listener.accept().unwrap();
+    proto::read_preamble(&mut conn).unwrap();
+    let hello = proto::read_message(&mut conn).unwrap();
+    let proto::Message::Hello { watermark, .. } = hello else {
+        panic!("follower must open with HELLO, got {hello:?}");
+    };
+    assert!(watermark >= 1, "HELLO carries the allocator position");
+
+    let far_ahead = VarId::watermark() + 10_000;
+    proto::write_message(
+        &mut conn,
+        &proto::Message::Heartbeat {
+            epoch: 0,
+            version: 0,
+            watermark: far_ahead,
+        },
+    )
+    .unwrap();
+    // The ACK round-trip proves the heartbeat was processed.
+    let ack = proto::read_message(&mut conn).unwrap();
+    assert!(matches!(ack, proto::Message::Ack { .. }));
+    assert!(
+        VarId::watermark() >= far_ahead,
+        "follower must reserve through the primary's announced watermark"
+    );
+
+    frepl.shutdown();
+    cleanup(&[&fd]);
+}
+
+/// The mirror image: a HELLO's watermark must advance the primary's
+/// allocator (an old primary rejoining as a follower brings ids nobody
+/// else has seen).
+#[test]
+fn hello_watermark_reserves_primary_ids() {
+    let pd = tmp_dir("wm-p");
+    let primary = seed_primary(&pd, 2);
+    let repl = Replication::primary(Arc::clone(&primary), "127.0.0.1:0").unwrap();
+    let addr = repl.local_addr().unwrap();
+
+    let far_ahead = VarId::watermark() + 10_000;
+    let mut conn = std::net::TcpStream::connect(addr).unwrap();
+    proto::write_preamble(&mut conn).unwrap();
+    proto::write_message(
+        &mut conn,
+        &proto::Message::Hello {
+            gen: 1,
+            version: primary.version(),
+            epoch: 0,
+            watermark: far_ahead,
+        },
+    )
+    .unwrap();
+    // The opening heartbeat proves the HELLO was accepted and processed.
+    let first = proto::read_message(&mut conn).unwrap();
+    assert!(matches!(first, proto::Message::Heartbeat { .. }));
+    assert!(
+        VarId::watermark() >= far_ahead,
+        "primary must reserve through a rejoining peer's watermark"
+    );
+
+    repl.shutdown();
+    cleanup(&[&pd]);
+}

@@ -1,0 +1,192 @@
+//! Helpers shared by the replication and chaos test suites: scratch
+//! dirs, a deterministic mutation generator, and the bit-identity probe
+//! that is the load-bearing assertion throughout — a caught-up follower
+//! must answer the probe-query suite with exactly the bytes the primary
+//! produces, at 1, 2, and 4 sampler threads.
+
+// Each test binary compiles its own copy; not all of them use every
+// helper.
+#![allow(dead_code)]
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pip_core::{tuple, DataType, Schema};
+use pip_ctable::CRow;
+use pip_engine::{execute, scalar_result, AggFunc, Database, PlanBuilder};
+use pip_expr::{atoms, Conjunction, Equation};
+use pip_replica::Replication;
+use pip_sampling::SamplerConfig;
+
+/// Unique scratch directory per call (tests run in parallel threads of
+/// one process, so a static counter disambiguates within the pid).
+pub fn tmp_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("pip-replica-{tag}-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+pub fn open(dir: &PathBuf) -> Arc<Database> {
+    Arc::new(Database::open(dir).unwrap())
+}
+
+/// One deterministic mutation, varied by `i`: plain tuples, conditional
+/// rows over fresh variables, and the occasional new table.
+pub fn mutate(db: &Database, i: u64) {
+    match i % 4 {
+        0 => db
+            .insert_tuples("obs", &[tuple![i as f64 * 0.5, i as i64]])
+            .unwrap(),
+        1 => {
+            let v = db
+                .create_variable("Normal", &[i as f64, 1.0 + (i % 3) as f64])
+                .unwrap();
+            db.insert_rows(
+                "obs",
+                vec![CRow::new(
+                    vec![Equation::from(v.clone()), Equation::val(i as f64)],
+                    Conjunction::single(atoms::gt(Equation::from(v), i as f64 - 0.5)),
+                )],
+            )
+            .unwrap();
+        }
+        2 => db
+            .insert_tuples(
+                "obs",
+                &[tuple![-(i as f64), (i * 7) as i64], tuple![0.25, i as i64]],
+            )
+            .unwrap(),
+        _ => {
+            let v = db
+                .create_variable("Uniform", &[0.0, 1.0 + i as f64])
+                .unwrap();
+            db.insert_rows(
+                "obs",
+                vec![CRow::new(
+                    vec![Equation::from(v.clone()), Equation::val(-1.0)],
+                    Conjunction::single(atoms::lt(Equation::from(v), 0.75 * i as f64)),
+                )],
+            )
+            .unwrap();
+        }
+    }
+}
+
+pub fn seed_primary(dir: &PathBuf, mutations: u64) -> Arc<Database> {
+    let db = open(dir);
+    db.create_table(
+        "obs",
+        Schema::of(&[("x", DataType::Symbolic), ("k", DataType::Int)]),
+    )
+    .unwrap();
+    for i in 0..mutations {
+        mutate(&db, i);
+    }
+    db
+}
+
+/// The probe suite: an expectation aggregate and a confidence head, both
+/// Monte-Carlo sampled. Returns the f64 bit patterns of every cell that
+/// could possibly wobble.
+pub fn probe_bits(db: &Database, threads: usize) -> Vec<u64> {
+    let cfg = SamplerConfig::default().with_threads(threads);
+    let mut bits = Vec::new();
+    let sum = PlanBuilder::scan("obs")
+        .aggregate(
+            vec![],
+            vec![AggFunc::ExpectedSum("x".into()), AggFunc::ExpectedCount],
+        )
+        .build();
+    let t = execute(db, &sum, &cfg).unwrap();
+    for row in t.rows() {
+        for cell in &row.cells {
+            bits.push(
+                cell.as_const()
+                    .and_then(|v| v.as_f64().ok())
+                    .map_or(u64::MAX, f64::to_bits),
+            );
+        }
+    }
+    bits.push(scalar_result(&execute(db, &sum, &cfg).unwrap()).map_or(u64::MAX, f64::to_bits));
+    let conf = PlanBuilder::scan("obs").conf().build();
+    let t = execute(db, &conf, &cfg).unwrap();
+    for row in t.rows() {
+        for cell in &row.cells {
+            bits.push(
+                cell.as_const()
+                    .and_then(|v| v.as_f64().ok())
+                    .map_or(u64::MAX, f64::to_bits),
+            );
+        }
+    }
+    bits
+}
+
+/// Assert the follower is indistinguishable from the primary: version,
+/// table bits, variable identities, and probe answers at 1/2/4 threads.
+pub fn assert_bit_identical(primary: &Database, follower: &Database) {
+    assert_eq!(follower.version(), primary.version(), "version counter");
+    let (pt, ft) = (
+        primary.table("obs").unwrap(),
+        follower.table("obs").unwrap(),
+    );
+    assert_eq!(*pt, *ft, "c-table state");
+    assert_eq!(
+        pt.variables(),
+        ft.variables(),
+        "variable identities survive the wire"
+    );
+    for threads in [1, 2, 4] {
+        assert_eq!(
+            probe_bits(primary, threads),
+            probe_bits(follower, threads),
+            "probe suite diverges at {threads} sampler threads"
+        );
+    }
+}
+
+/// Wait until the follower has applied the primary's current version.
+pub fn wait_caught_up(repl: &Replication, primary: &Database) {
+    let target = primary.version();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while repl.applied_version() < target {
+        assert!(
+            Instant::now() < deadline,
+            "follower stuck at version {} (primary at {target})",
+            repl.applied_version()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Spin until `cond` holds or the deadline passes; panics with `what`.
+pub fn wait_until(what: &str, timeout: Duration, cond: impl Fn() -> bool) {
+    let deadline = Instant::now() + timeout;
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Blocking ACK-quorum wait (the test-side stand-in for a parked server
+/// session under `SET REPLICATION WAIT n`).
+pub fn wait_acks(repl: &Replication, version: u64, need: usize, timeout: Duration) -> bool {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let done: pip_replica::WaitDone = Box::new(move |ok| {
+        let _ = tx.send(ok);
+    });
+    if repl.register_ack_wait(version, need, timeout, done) {
+        return true;
+    }
+    rx.recv().unwrap_or(false)
+}
+
+pub fn cleanup(dirs: &[&PathBuf]) {
+    for d in dirs {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}

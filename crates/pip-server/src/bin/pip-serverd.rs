@@ -4,7 +4,8 @@
 //! pip-serverd [--addr HOST:PORT] [--data-dir DIR]
 //!             [--durability off|wal|sync] [--checkpoint-bytes N]
 //!             [--workers N] [--queue N]
-//!             [--replication-addr HOST:PORT | --replicate-from HOST:PORT]
+//!             [--replication-addr HOST:PORT]
+//!             [--replicate-from HOST:PORT[,HOST:PORT...]]
 //! ```
 //!
 //! `--workers` sizes the scheduler fleet executing queries (0 = auto:
@@ -21,16 +22,24 @@
 //!
 //! Replication roles (see the `pip-replica` crate):
 //!
-//! * `--replication-addr` makes this node a **primary**: it binds a
-//!   second listener (printed as `REPLICATING <addr>`) and ships its WAL
-//!   to any follower that connects. Requires `--data-dir`, and pins
+//! * `--replication-addr` alone makes this node a **primary**: it binds
+//!   a second listener (printed as `REPLICATING <addr>`) and ships its
+//!   WAL to any follower that connects. Requires `--data-dir`, and pins
 //!   durability on (`SET DURABILITY OFF` is refused while replicating).
-//! * `--replicate-from` makes this node a **follower** of the primary's
-//!   replication address: the catalog is read-only (queries, `EXEC`, and
-//!   sampling are served as usual; mutations answer `ERR`) and tracks
-//!   the primary's log. With `--data-dir`, applied state is durable, so
-//!   a restart resumes from its local prefix instead of re-transferring.
-//!   The `PROMOTE` protocol verb seals the feed and flips it writable.
+//! * `--replicate-from` makes this node a **follower**: the catalog is
+//!   read-only (queries, `EXEC`, and sampling are served as usual;
+//!   mutations answer `ERR`) and tracks the primary's log. The value
+//!   may be a comma-separated candidate list — the follower rotates
+//!   through it with backoff until one serves it, and re-points
+//!   automatically when a candidate refuses it (fenced, deposed, or
+//!   stale). With `--data-dir`, applied state is durable, so a restart
+//!   resumes from its local prefix instead of re-transferring.
+//! * **Both together** make a **promotable follower**: it follows the
+//!   candidate list, and the `PROMOTE` protocol verb seals the feed,
+//!   mints the next replication epoch, flips the catalog writable, and
+//!   starts serving the feed on `--replication-addr` — surviving
+//!   followers re-point to it, and the deposed primary is fenced.
+//!   Requires `--data-dir` (the post-promotion feed is the WAL).
 
 use std::io::Write;
 use std::sync::Arc;
@@ -44,7 +53,7 @@ fn usage() -> ! {
         "usage: pip-serverd [--addr HOST:PORT] [--data-dir DIR] \
          [--durability off|wal|sync] [--checkpoint-bytes N] \
          [--workers N] [--queue N] \
-         [--replication-addr HOST:PORT | --replicate-from HOST:PORT]"
+         [--replication-addr HOST:PORT] [--replicate-from HOST:PORT[,HOST:PORT...]]"
     );
     std::process::exit(2);
 }
@@ -81,13 +90,15 @@ fn main() {
             _ => usage(),
         }
     }
-    if replication_addr.is_some() && replicate_from.is_some() {
-        eprintln!("pip-serverd: --replication-addr and --replicate-from are mutually exclusive");
-        std::process::exit(2);
-    }
     if replication_addr.is_some() && data_dir.is_none() {
         eprintln!("pip-serverd: --replication-addr requires --data-dir (the WAL is the feed)");
         std::process::exit(2);
+    }
+    if let Some(from) = &replicate_from {
+        if from.split(',').all(|c| c.trim().is_empty()) {
+            eprintln!("pip-serverd: --replicate-from needs at least one HOST:PORT candidate");
+            std::process::exit(2);
+        }
     }
 
     let db = match &data_dir {
@@ -116,20 +127,30 @@ fn main() {
     };
     let db = Arc::new(db);
 
-    options.replication = if let Some(repl_addr) = &replication_addr {
-        let repl = Replication::primary(Arc::clone(&db), repl_addr).unwrap_or_else(|e| {
-            eprintln!("pip-serverd: cannot start replication on {repl_addr}: {e}");
-            std::process::exit(1);
-        });
-        println!(
-            "REPLICATING {}",
-            repl.local_addr().expect("primary address")
-        );
-        Some(Arc::new(repl))
-    } else {
-        replicate_from
-            .as_ref()
-            .map(|from| Arc::new(Replication::follower(Arc::clone(&db), from)))
+    options.replication = match (&replication_addr, &replicate_from) {
+        (Some(repl_addr), None) => {
+            let repl = Replication::primary(Arc::clone(&db), repl_addr).unwrap_or_else(|e| {
+                eprintln!("pip-serverd: cannot start replication on {repl_addr}: {e}");
+                std::process::exit(1);
+            });
+            println!(
+                "REPLICATING {}",
+                repl.local_addr().expect("primary address")
+            );
+            Some(Arc::new(repl))
+        }
+        (listen, Some(from)) => {
+            let repl = Replication::follower_promotable(Arc::clone(&db), from, listen.as_deref());
+            eprintln!(
+                "pip-serverd: following {from}{}",
+                match listen {
+                    Some(l) => format!(" (promotable; would serve the feed on {l})"),
+                    None => String::new(),
+                }
+            );
+            Some(Arc::new(repl))
+        }
+        (None, None) => None,
     };
 
     let handle = serve(db, addr.as_str(), options).unwrap_or_else(|e| {

@@ -11,8 +11,11 @@
 //! ANALYZE [<table>]        refresh optimizer statistics (SQL passthrough)
 //! SET <key> <value>        THREADS | SEED | SAMPLES | EPSILON | DELTA | COMPILE | REUSE
 //!                          | DURABILITY (catalog-wide: OFF | WAL | SYNC)
+//!                          | REPLICATION WAIT 0|<n>|MAJORITY (sync acks)
+//!                          | REPLICATION TIMEOUT <ms>
 //! CHECKPOINT               snapshot the catalog, start a fresh WAL
-//! PROMOTE                  seal a follower's replication feed, go writable
+//! PROMOTE                  failover: mint a new epoch, go writable, serve the feed
+//! WAIT VERSION <v> [<ms>]  block until this node has applied version v
 //! STATS                    session counters and sampler settings
 //! PING                     liveness probe
 //! QUIT                     close the connection
@@ -26,10 +29,21 @@
 //! On a replicated node, `STATS` also reports `version=` (the catalog
 //! version this node serves — on the primary the write counter, on a
 //! follower the applied version; clients wanting read-your-writes pick
-//! a replica whose version has reached their write's), `role=`
-//! (`primary`/`replica`), and `replication_lag=`. `PROMOTE` is the
-//! failover verb: on a follower it seals the replication feed and opens
-//! the write gate; on a primary (or a standalone node) it is an error.
+//! a replica whose version has reached their write's — or just issue
+//! `WAIT VERSION`), `role=` (`primary`/`replica`), `epoch=` (the
+//! replication generation, bumped by every `PROMOTE`), `wait=` (the
+//! session's `SET REPLICATION WAIT` setting), `replication_lag=`, and on
+//! the primary `acked_min=` (the lowest version every attached follower
+//! has acknowledged) plus `fenced=true` once a newer epoch deposed it.
+//! `PROMOTE` is the failover verb: on a follower it seals the
+//! replication feed, mints a new epoch, and opens the write gate; on a
+//! primary (or a standalone node) it is an error.
+//!
+//! With `SET REPLICATION WAIT n` (or `MAJORITY`) active, a mutation's
+//! `OK` is withheld until n followers acknowledged the resulting catalog
+//! version; past `SET REPLICATION TIMEOUT` the reply degrades to
+//! `ERR repl_timeout ...` — the write itself is durable and replicating
+//! either way, only the synchronous confirmation timed out.
 //!
 //! `ANALYZE` is the SQL statement on the wire: `ANALYZE [<table>]`
 //! routes through the QUERY handler unchanged, so `QUERY ANALYZE t` and
@@ -51,19 +65,31 @@ use std::sync::Arc;
 
 use pip_ctable::{CRow, CTable};
 
-use crate::session::{Session, StreamQuery};
+use crate::session::{ReplWait, Session, StreamQuery};
 
 /// A parsed client request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Command {
     Query(String),
     Stream(String),
-    Prepare { name: String, sql: String },
+    Prepare {
+        name: String,
+        sql: String,
+    },
     Exec(String),
     Deallocate(String),
-    Set { key: String, value: String },
+    Set {
+        key: String,
+        value: String,
+    },
     Checkpoint,
     Promote,
+    /// `WAIT VERSION <v> [<timeout_ms>]` — read-your-writes routing:
+    /// block until this node's applied catalog version reaches `v`.
+    WaitVersion {
+        version: u64,
+        timeout_ms: Option<u64>,
+    },
     Stats,
     Ping,
     Quit,
@@ -115,12 +141,40 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
         }
         "CHECKPOINT" => Ok(Command::Checkpoint),
         "PROMOTE" => Ok(Command::Promote),
+        "WAIT" => {
+            // WAIT VERSION <v> [<timeout_ms>]
+            let mut words = rest.split_whitespace();
+            if !words
+                .next()
+                .is_some_and(|w| w.eq_ignore_ascii_case("VERSION"))
+            {
+                return Err("usage: WAIT VERSION <version> [<timeout_ms>]".into());
+            }
+            let version = words
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or("WAIT VERSION expects an integer version")?;
+            let timeout_ms = match words.next() {
+                None => None,
+                Some(t) => Some(
+                    t.parse()
+                        .map_err(|_| "WAIT VERSION timeout expects milliseconds")?,
+                ),
+            };
+            if words.next().is_some() {
+                return Err("usage: WAIT VERSION <version> [<timeout_ms>]".into());
+            }
+            Ok(Command::WaitVersion {
+                version,
+                timeout_ms,
+            })
+        }
         "STATS" => Ok(Command::Stats),
         "PING" => Ok(Command::Ping),
         "QUIT" | "EXIT" => Ok(Command::Quit),
         "" => Err("empty request".into()),
         other => Err(format!(
-            "unknown command '{other}' (try QUERY/STREAM/PREPARE/EXEC/SET/CHECKPOINT/PROMOTE/STATS/PING/QUIT)"
+            "unknown command '{other}' (try QUERY/STREAM/PREPARE/EXEC/SET/CHECKPOINT/PROMOTE/WAIT/STATS/PING/QUIT)"
         )),
     }
 }
@@ -298,8 +352,43 @@ fn apply_set(session: &mut Session, key: &str, value: &str) -> Result<String, St
                 Err(e) => Err(e.to_string()),
             }
         }
+        "REPLICATION" => {
+            // SET REPLICATION WAIT 0|<n>|MAJORITY  — ACKs per mutation
+            // SET REPLICATION TIMEOUT <ms>         — wait deadline
+            let (verb, arg) = value
+                .split_once(char::is_whitespace)
+                .map(|(v, a)| (v, a.trim()))
+                .ok_or("usage: SET REPLICATION WAIT 0|<n>|MAJORITY or SET REPLICATION TIMEOUT <ms>")?;
+            if verb.eq_ignore_ascii_case("WAIT") {
+                if session.replication().is_none() {
+                    return Err("SET REPLICATION WAIT: this node is not replicating".into());
+                }
+                let wait = if arg.eq_ignore_ascii_case("MAJORITY") {
+                    ReplWait::Majority
+                } else {
+                    match arg.parse::<u32>() {
+                        Ok(0) => ReplWait::Off,
+                        Ok(n) => ReplWait::Count(n),
+                        Err(_) => return Err("REPLICATION WAIT expects 0, a count, or MAJORITY".into()),
+                    }
+                };
+                session.repl_wait = wait;
+                Ok(format!("OK replication_wait={wait}"))
+            } else if verb.eq_ignore_ascii_case("TIMEOUT") {
+                let ms: u64 = arg
+                    .parse()
+                    .map_err(|_| "REPLICATION TIMEOUT expects milliseconds")?;
+                if ms == 0 {
+                    return Err("REPLICATION TIMEOUT must be positive".into());
+                }
+                session.repl_wait_timeout = std::time::Duration::from_millis(ms);
+                Ok(format!("OK replication_timeout_ms={ms}"))
+            } else {
+                Err("usage: SET REPLICATION WAIT 0|<n>|MAJORITY or SET REPLICATION TIMEOUT <ms>".into())
+            }
+        }
         other => Err(format!(
-            "unknown setting '{other}' (THREADS, SEED, SAMPLES, EPSILON, DELTA, COMPILE, REUSE, DURABILITY)"
+            "unknown setting '{other}' (THREADS, SEED, SAMPLES, EPSILON, DELTA, COMPILE, REUSE, DURABILITY, REPLICATION)"
         )),
     }
 }
@@ -364,12 +453,47 @@ pub fn handle_command(session: &mut Session, cmd: Command) -> Reply {
             None => Reply::err("PROMOTE: this node is not replicating"),
             Some(repl) => match repl.promote() {
                 Ok(()) => Reply::line(format!(
-                    "OK promoted role=primary version={}",
+                    "OK promoted role=primary epoch={} version={}",
+                    repl.epoch(),
                     session.database().version()
                 )),
                 Err(e) => Reply::err(e),
             },
         },
+        Command::WaitVersion {
+            version,
+            timeout_ms,
+        } => {
+            // Blocking fallback for embedded sessions; the TCP reactor
+            // parks the connection through the wait hub instead of
+            // holding a worker thread here.
+            let timeout = timeout_ms
+                .map(std::time::Duration::from_millis)
+                .unwrap_or(session.repl_wait_timeout);
+            match session.replication() {
+                None => {
+                    // A standalone node is its own (only) replica.
+                    if session.database().version() >= version {
+                        Reply::line(format!("OK version={}", session.database().version()))
+                    } else {
+                        Reply::err(format!(
+                            "repl_timeout waiting for version {version} (applied {}, not replicating)",
+                            session.database().version()
+                        ))
+                    }
+                }
+                Some(repl) => {
+                    if repl.wait_version_blocking(version, timeout) {
+                        Reply::line(format!("OK version={}", repl.applied_version()))
+                    } else {
+                        Reply::err(format!(
+                            "repl_timeout waiting for version {version} (applied {})",
+                            repl.applied_version()
+                        ))
+                    }
+                }
+            }
+        }
         Command::Stats => {
             let s = session.stats();
             let durability = match session.database().durability() {
@@ -384,15 +508,26 @@ pub fn handle_command(session: &mut Session, cmd: Command) -> Reply {
             // how far behind (follower) / ahead of the slowest follower
             // (primary) this node is.
             let replication = match session.replication() {
-                Some(repl) if repl.role() == "primary" => format!(
-                    " version={} role=primary followers={} replication_lag={}",
-                    session.database().version(),
-                    repl.follower_count(),
-                    repl.replication_lag(),
-                ),
+                Some(repl) if repl.role() == "primary" => {
+                    let acked_min = repl
+                        .acked_min()
+                        .map(|v| format!(" acked_min={v}"))
+                        .unwrap_or_default();
+                    let fenced = if repl.is_fenced() { " fenced=true" } else { "" };
+                    format!(
+                        " version={} role=primary epoch={} wait={} followers={} replication_lag={}{acked_min}{fenced}",
+                        session.database().version(),
+                        repl.epoch(),
+                        session.repl_wait,
+                        repl.follower_count(),
+                        repl.replication_lag(),
+                    )
+                }
                 Some(repl) => format!(
-                    " version={} role=replica applied_version={} replication_lag={} connected={}",
+                    " version={} role=replica epoch={} wait={} applied_version={} replication_lag={} connected={}",
                     session.database().version(),
+                    repl.epoch(),
+                    session.repl_wait,
                     repl.applied_version(),
                     repl.replication_lag(),
                     repl.connected(),

@@ -31,6 +31,17 @@
 //!   pinning a worker forever). The reactor keeps serving every other
 //!   connection throughout — a slow reader stalls only itself.
 //!
+//! **Parking** (synchronous replication): a session under
+//! `SET REPLICATION WAIT` gets its mutation replies withheld until
+//! enough follower ACKs arrive, and `WAIT VERSION` on a follower blocks
+//! until the feed catches up — but neither holds a worker thread. The
+//! slice registers with the replication wait hub, leaves `running` set
+//! and the admission slot held, and returns; the hub's callback stages
+//! the decided reply (the original on success, `ERR repl_timeout ...`
+//! past the deadline), releases the slot, and re-enqueues any pipeline
+//! that built up behind the parked command. One reactor + a bounded
+//! fleet thus serves any number of concurrently-waiting sessions.
+//!
 //! Shutdown drains: the listener closes first, established connections
 //! stop being read, already-queued commands run to completion and their
 //! replies flush, then sockets close — no response is truncated
@@ -50,7 +61,7 @@ use epoll::{Epoll, WakePipe, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 
 use crate::protocol::{self, Command};
 use crate::scheduler::{Scheduler, ServingCounters, Work};
-use crate::session::SessionManager;
+use crate::session::{ReplWait, SessionManager};
 
 /// Hard cap on one request line. Anything longer is rejected (and the
 /// oversized line discarded as it streams in) instead of buffering
@@ -174,7 +185,21 @@ pub(crate) struct Conn {
     out_cv: Condvar,
     shared: Arc<ReactorShared>,
     serving: Arc<ServingCounters>,
+    /// Needed off the worker path: a parked command's wake callback
+    /// ([`Conn::unpark`]) re-enqueues the connection itself.
+    scheduler: Arc<Scheduler>,
     limits: Limits,
+}
+
+/// What one executed command left behind.
+enum SliceOutcome {
+    /// The reply is staged (or streamed); `close` = QUIT semantics.
+    Done { close: bool },
+    /// The reply is withheld: the command registered with the
+    /// replication wait hub and the connection is parked — `running`
+    /// stays set, the admission slot stays held, and [`Conn::unpark`]
+    /// finishes the slice when the wait resolves.
+    Parked,
 }
 
 impl Conn {
@@ -208,6 +233,45 @@ impl Conn {
                 .unwrap_or_else(|e| e.into_inner());
             out = next;
         }
+    }
+
+    /// Complete a parked command: stage its decided reply, release the
+    /// admission slot it held across the wait, and settle the `running`
+    /// flag exactly as [`Work::run_slice`]'s tail would have (settled
+    /// BEFORE the reactor is notified — same reap-ordering argument).
+    ///
+    /// Runs on the replication wait-hub's monitor thread, not a
+    /// scheduler worker, so commands that pipelined up behind the
+    /// parked one are re-enqueued here rather than by returning
+    /// runnable.
+    fn unpark(self: Arc<Self>, text: String, admitted: bool) {
+        let _ = self.stage(text.as_bytes());
+        if admitted {
+            self.serving.finish();
+        }
+        let again = {
+            let mut st = self.st.lock().unwrap_or_else(|e| e.into_inner());
+            if self.broken.load(Ordering::Acquire) {
+                self.drop_pending(&mut st);
+            }
+            if st.pending.is_empty() {
+                st.running = false;
+                false
+            } else {
+                true
+            }
+        };
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            // The reactor is draining (its drain loop revisits every
+            // connection on its own tick) or already gone; enqueueing
+            // or notifying now could park a `Conn` reference in a
+            // queue nobody will ever drain again.
+            return;
+        }
+        if again {
+            self.scheduler.enqueue(Arc::clone(&self) as Arc<dyn Work>);
+        }
+        self.shared.notify(&self);
     }
 
     /// Drop every queued command, releasing held admission slots.
@@ -273,7 +337,7 @@ impl Work for Conn {
                 if admitted {
                     self.serving.start();
                 }
-                let close = {
+                let outcome = {
                     let mut session = self.session.lock().unwrap_or_else(|e| e.into_inner());
                     match cmd {
                         Command::Stream(sql) => {
@@ -286,14 +350,117 @@ impl Work for Conn {
                             // connection (broken/evicted) — nothing
                             // left to tell the peer.
                             let _ = protocol::handle_stream(&mut session, &sql, &mut w);
-                            false
+                            SliceOutcome::Done { close: false }
+                        }
+                        Command::WaitVersion {
+                            version,
+                            timeout_ms,
+                        } if session.replication().is_some() => {
+                            // Park through the wait hub instead of the
+                            // blocking fallback in `handle_command`:
+                            // the worker is released immediately and
+                            // the reply is staged when the version
+                            // lands (or the timeout fires).
+                            let repl = Arc::clone(session.replication().expect("guard"));
+                            let timeout = timeout_ms
+                                .map(Duration::from_millis)
+                                .unwrap_or(session.repl_wait_timeout);
+                            let me = Arc::clone(&self);
+                            let r = Arc::clone(&repl);
+                            let done = Box::new(move |ok: bool| {
+                                let applied = r.applied_version();
+                                let text = if ok {
+                                    format!("OK version={applied}\n")
+                                } else {
+                                    format!(
+                                        "ERR repl_timeout waiting for version {version} (applied {applied})\n"
+                                    )
+                                };
+                                me.unpark(text, admitted);
+                            });
+                            if repl.register_version_wait(version, timeout, done) {
+                                let _ = self.stage(
+                                    format!("OK version={}\n", repl.applied_version()).as_bytes(),
+                                );
+                                SliceOutcome::Done { close: false }
+                            } else {
+                                SliceOutcome::Parked
+                            }
                         }
                         cmd => {
+                            let v0 = session.database().version();
                             let reply = protocol::handle_command(&mut session, cmd);
-                            let _ = self.stage(reply.text.as_bytes());
-                            reply.close
+                            // Synchronous replication: a session under
+                            // `SET REPLICATION WAIT` has this primary
+                            // withhold a mutation's reply until enough
+                            // followers ACKed the resulting version.
+                            // Detection is the catalog-version delta
+                            // across the command — only a successful
+                            // write advances it. (Concurrent writers
+                            // may inflate v1; ACKs are monotone in
+                            // version, so waiting on a later version
+                            // still covers this write.)
+                            let gate = match (session.repl_wait, session.replication()) {
+                                (ReplWait::Off, _) | (_, None) => None,
+                                (wait, Some(repl)) if repl.role() == "primary" => {
+                                    let v1 = session.database().version();
+                                    (v1 > v0 && !reply.close).then(|| {
+                                        let need = match wait {
+                                            ReplWait::Count(n) => n as usize,
+                                            ReplWait::Majority => repl.majority_need(),
+                                            ReplWait::Off => 0,
+                                        };
+                                        (Arc::clone(repl), v1, need)
+                                    })
+                                }
+                                _ => None,
+                            };
+                            match gate {
+                                Some((repl, v1, need)) if need > 0 => {
+                                    let timeout = session.repl_wait_timeout;
+                                    let inline = reply.text.clone();
+                                    let me = Arc::clone(&self);
+                                    let text = reply.text;
+                                    let done = Box::new(move |ok: bool| {
+                                        let text = if ok {
+                                            text
+                                        } else {
+                                            format!(
+                                                "ERR repl_timeout write committed at version {v1} but {need} follower ack(s) did not arrive in {}ms (the write is durable and replicating; only the synchronous confirmation timed out)\n",
+                                                timeout.as_millis()
+                                            )
+                                        };
+                                        me.unpark(text, admitted);
+                                    });
+                                    if repl.register_ack_wait(v1, need, timeout, done) {
+                                        // Already acked by the time the
+                                        // write returned — reply now.
+                                        let _ = self.stage(inline.as_bytes());
+                                        SliceOutcome::Done { close: false }
+                                    } else {
+                                        SliceOutcome::Parked
+                                    }
+                                }
+                                _ => {
+                                    let _ = self.stage(reply.text.as_bytes());
+                                    SliceOutcome::Done { close: reply.close }
+                                }
+                            }
                         }
                     }
+                };
+                let close = match outcome {
+                    SliceOutcome::Parked => {
+                        // The park: return not-runnable WITHOUT
+                        // settling `running` and WITHOUT releasing the
+                        // admission slot. The scheduler forgets the
+                        // connection, `ingest` cannot re-enqueue it
+                        // (running is still set), and no worker thread
+                        // is held across the wait. `Conn::unpark`
+                        // finishes what this slice started.
+                        return false;
+                    }
+                    SliceOutcome::Done { close } => close,
                 };
                 if admitted {
                     self.serving.finish();
@@ -503,6 +670,7 @@ impl Reactor {
             out_cv: Condvar::new(),
             shared: Arc::clone(&self.shared),
             serving: Arc::clone(&self.serving),
+            scheduler: Arc::clone(&self.scheduler),
             limits: self.limits,
         });
         if self

@@ -15,6 +15,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use pip_core::{PipError, Result};
 use pip_ctable::CTable;
@@ -36,6 +37,33 @@ struct PreparedStatement {
     /// result-cache key.
     generation: u64,
 }
+
+/// The session's synchronous-replication setting (`SET REPLICATION
+/// WAIT ...`): how many follower ACKs a mutation's reply waits for.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ReplWait {
+    /// Asynchronous (the default): reply as soon as the write is local.
+    #[default]
+    Off,
+    /// Wait for this many follower ACKs.
+    Count(u32),
+    /// Wait for a cluster majority, re-counted per write against the
+    /// follower fleet attached at that moment.
+    Majority,
+}
+
+impl std::fmt::Display for ReplWait {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplWait::Off => write!(f, "0"),
+            ReplWait::Count(n) => write!(f, "{n}"),
+            ReplWait::Majority => write!(f, "majority"),
+        }
+    }
+}
+
+/// Default deadline for `SET REPLICATION WAIT` and `WAIT VERSION`.
+pub const DEFAULT_REPL_WAIT_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// Counters reported by the `STATS` command.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -78,6 +106,12 @@ pub struct Session {
     db: Arc<Database>,
     /// Session-local sampler configuration.
     pub cfg: SamplerConfig,
+    /// Follower ACKs a mutation's reply waits for (`SET REPLICATION
+    /// WAIT`); reported as `wait=` in STATS.
+    pub repl_wait: ReplWait,
+    /// Deadline for replication waits (`SET REPLICATION TIMEOUT`); past
+    /// it the reply degrades to `ERR repl_timeout ...`.
+    pub repl_wait_timeout: Duration,
     prepared: Lru<String, PreparedStatement>,
     results: Lru<String, Arc<CTable>>,
     next_generation: u64,
@@ -375,6 +409,8 @@ impl SessionManager {
             id: self.next_id.fetch_add(1, Ordering::Relaxed),
             db: Arc::clone(&self.db),
             cfg: self.default_cfg.clone(),
+            repl_wait: ReplWait::default(),
+            repl_wait_timeout: DEFAULT_REPL_WAIT_TIMEOUT,
             prepared: Lru::new(self.prepared_capacity),
             results: Lru::new(self.result_capacity),
             next_generation: 0,

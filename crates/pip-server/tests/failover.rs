@@ -268,6 +268,221 @@ fn two_followers_then_kill_primary_and_promote() {
     }
 }
 
+/// Reserve a loopback port for a daemon that binds it later (the
+/// promotable follower's `--replication-addr` must be known to its
+/// peers before promotion happens).
+fn free_port() -> String {
+    let l = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    format!("127.0.0.1:{}", l.local_addr().expect("addr").port())
+}
+
+/// Poll STATS until `line` satisfies `pred`.
+fn wait_stats(c: &mut Client, what: &str, pred: impl Fn(&str) -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let line = c.ok("STATS")[0].clone();
+        if pred(&line) {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for {what}: {line}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn sync_waits_quorum_and_wait_version_over_the_wire() {
+    let (pd, fd) = (tmp_dir("sync-p"), tmp_dir("sync-f"));
+    let primary = Daemon::spawn(&pd, &["--replication-addr", "127.0.0.1:0"]);
+    let feed = primary.repl_addr.clone().expect("REPLICATING banner");
+    let follower = Daemon::spawn(&fd, &["--replicate-from", &feed]);
+
+    let mut pc = Client::connect(&primary.addr);
+    let mut fc = Client::connect(&follower.addr);
+    load_workload(&mut pc);
+    wait_stats(&mut pc, "follower registration", |l| {
+        stat_field(l, "followers") == Some(1)
+    });
+
+    // Synchronous mode on: the write's reply is withheld until the
+    // follower ACKs the resulting version, so by the time OK arrives
+    // the follower is guaranteed to hold the write.
+    assert_eq!(pc.ok("SET REPLICATION WAIT 1")[0], "OK replication_wait=1");
+    pc.ok("QUERY INSERT INTO orders VALUES ('sync', 'NY', 1.5)");
+    let version = pc.stat("version");
+    assert!(
+        fc.stat("applied_version") >= version,
+        "an acked WAIT-1 write must already be on the follower"
+    );
+    let stats = pc.ok("STATS")[0].clone();
+    assert!(stats.contains(" wait=1"), "{stats}");
+    assert!(stats.contains(" epoch=0"), "{stats}");
+    assert!(
+        stat_field(&stats, "acked_min") == Some(version),
+        "acked_min should have caught the confirming ack: {stats}"
+    );
+
+    // Quorum mode: one follower means majority needs exactly one ack.
+    assert_eq!(
+        pc.ok("SET REPLICATION WAIT MAJORITY")[0],
+        "OK replication_wait=majority"
+    );
+    pc.ok("QUERY INSERT INTO orders VALUES ('quorum', 'LA', 2.5)");
+    assert!(pc.ok("STATS")[0].contains(" wait=majority"));
+
+    // An unsatisfiable quorum degrades to ERR repl_timeout — and the
+    // write itself still lands (locally and on the follower): only the
+    // synchronous confirmation is lost, never the data.
+    assert_eq!(
+        pc.ok("SET REPLICATION TIMEOUT 250")[0],
+        "OK replication_timeout_ms=250"
+    );
+    assert_eq!(pc.ok("SET REPLICATION WAIT 2")[0], "OK replication_wait=2");
+    let v_before = pc.stat("version");
+    // Pipeline a PING behind the doomed write: the reply order must be
+    // preserved across the park (ERR first, PONG second), proving the
+    // parked command neither blocks a worker nor loses its place.
+    pc.writer
+        .write_all(b"QUERY INSERT INTO orders VALUES ('late', 'SF', 3.5)\nPING\n")
+        .expect("write");
+    let err = pc.read_line();
+    assert!(err.starts_with("ERR repl_timeout"), "{err}");
+    assert!(err.contains("2 follower ack(s)"), "{err}");
+    assert_eq!(pc.read_line(), "PONG");
+    assert_eq!(pc.stat("version"), v_before + 1, "the write itself landed");
+    wait_applied(&mut fc, v_before + 1);
+
+    // Back to async: replies return immediately again.
+    assert_eq!(pc.ok("SET REPLICATION WAIT 0")[0], "OK replication_wait=0");
+    pc.ok("QUERY INSERT INTO orders VALUES ('async', 'NY', 4.5)");
+    let version = pc.stat("version");
+
+    // WAIT VERSION on the follower: read-your-writes routing. Already
+    // applied -> immediate OK; a version still in flight parks until
+    // the feed delivers it; an impossible version times out.
+    wait_applied(&mut fc, version);
+    let ok = fc.ok(&format!("WAIT VERSION {version}"));
+    assert_eq!(stat_field(&ok[0], "version"), Some(version));
+    fc.writer
+        .write_all(format!("WAIT VERSION {}\n", version + 1).as_bytes())
+        .expect("write");
+    pc.ok("QUERY INSERT INTO orders VALUES ('rw', 'LA', 5.5)");
+    let released = fc.read_line();
+    assert!(released.starts_with("OK version="), "{released}");
+    assert!(
+        stat_field(&released, "version").expect("version field") > version,
+        "{released}"
+    );
+    let timed_out = fc.send(&format!("WAIT VERSION {} 200", version + 999));
+    assert!(
+        timed_out[0].starts_with("ERR repl_timeout"),
+        "{timed_out:?}"
+    );
+
+    drop(pc);
+    drop(fc);
+    follower.kill();
+    primary.kill();
+    for d in [&pd, &fd] {
+        std::fs::remove_dir_all(d).unwrap();
+    }
+}
+
+#[test]
+fn promote_fences_deposed_primary_and_repoints_follower_across_processes() {
+    let (ad, bd, cd) = (tmp_dir("fence-a"), tmp_dir("fence-b"), tmp_dir("fence-c"));
+    let a = Daemon::spawn(&ad, &["--replication-addr", "127.0.0.1:0"]);
+    let feed_a = a.repl_addr.clone().expect("REPLICATING banner");
+    // B is promotable: it follows A, and on PROMOTE starts serving the
+    // feed on a pre-agreed port that C already has in its candidate
+    // list.
+    let feed_b = free_port();
+    let b = Daemon::spawn(
+        &bd,
+        &["--replicate-from", &feed_a, "--replication-addr", &feed_b],
+    );
+    let candidates = format!("{feed_a},{feed_b}");
+    let c = Daemon::spawn(&cd, &["--replicate-from", &candidates]);
+
+    let mut ac = Client::connect(&a.addr);
+    let mut bc = Client::connect(&b.addr);
+    let mut cc = Client::connect(&c.addr);
+    load_workload(&mut ac);
+    let version = ac.stat("version");
+    wait_applied(&mut bc, version);
+    wait_applied(&mut cc, version);
+
+    // Failover without killing A — the live deposed-primary case.
+    let promoted = bc.ok("PROMOTE");
+    assert!(promoted[0].contains("role=primary"), "{promoted:?}");
+    assert!(promoted[0].contains("epoch=1"), "{promoted:?}");
+
+    // B's deposition notice fences A: read-only, writes answer
+    // ERR fenced, STATS says so.
+    wait_stats(&mut ac, "old primary fenced", |l| l.contains("fenced=true"));
+    let denied = ac.send("QUERY INSERT INTO orders VALUES ('split', 'NY', 9.9)");
+    assert!(denied[0].starts_with("ERR fenced"), "{denied:?}");
+    let reads = ac.ok("QUERY SELECT cust FROM orders");
+    assert!(
+        reads[0].starts_with("OK"),
+        "fenced != dead: reads still serve"
+    );
+
+    // C rotates off the fenced A and re-points to B on its own; B's
+    // writes then flow to C under the new epoch.
+    bc.ok("QUERY INSERT INTO orders VALUES ('after', 'LA', create_variable('Normal', 3, 1))");
+    let grown = bc.stat("version");
+    wait_applied(&mut cc, grown);
+    wait_stats(&mut cc, "epoch adoption", |l| l.contains(" epoch=1"));
+    assert_eq!(
+        run_queries(&mut bc),
+        run_queries(&mut cc),
+        "re-pointed follower diverges from the promoted primary"
+    );
+
+    drop(ac);
+    drop(bc);
+    drop(cc);
+    a.kill();
+    b.kill();
+    c.kill();
+    for d in [&ad, &bd, &cd] {
+        std::fs::remove_dir_all(d).unwrap();
+    }
+}
+
+#[test]
+fn primary_sigkill_flips_follower_connected_false() {
+    let (pd, fd) = (tmp_dir("hb-p"), tmp_dir("hb-f"));
+    let primary = Daemon::spawn(&pd, &["--replication-addr", "127.0.0.1:0"]);
+    let feed = primary.repl_addr.clone().expect("REPLICATING banner");
+    let follower = Daemon::spawn(&fd, &["--replicate-from", &feed]);
+
+    let mut pc = Client::connect(&primary.addr);
+    let mut fc = Client::connect(&follower.addr);
+    load_workload(&mut pc);
+    wait_applied(&mut fc, pc.stat("version"));
+    wait_stats(&mut fc, "initial connection", |l| {
+        l.contains("connected=true")
+    });
+
+    // SIGKILL the primary: within the heartbeat-loss horizon the
+    // follower reports the loss and keeps serving reads.
+    drop(pc);
+    primary.kill();
+    wait_stats(&mut fc, "heartbeat loss", |l| l.contains("connected=false"));
+    let reads = fc.ok("QUERY SELECT cust FROM orders");
+    assert!(reads[0].starts_with("OK"), "{reads:?}");
+
+    drop(fc);
+    follower.kill();
+    for d in [&pd, &fd] {
+        std::fs::remove_dir_all(d).unwrap();
+    }
+}
+
 #[test]
 fn follower_sigkilled_mid_catch_up_rejoins_cleanly() {
     let (pd, fd) = (tmp_dir("rejoin-p"), tmp_dir("rejoin-f"));

@@ -21,8 +21,8 @@
 //! files are ignored (and re-deleted) by the next recovery.
 
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU8, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
 
 use pip_core::{PipError, Result};
 use pip_ctable::CTable;
@@ -84,6 +84,26 @@ impl std::fmt::Display for Durability {
     }
 }
 
+/// Where inside a WAL append an injected fault fires. Used by the
+/// replication chaos suite to make storage fail deterministically at the
+/// two points a real disk can: before any bytes land ([`FaultPoint::Append`],
+/// the clean-refusal path) and after the frame is written but before it is
+/// stable ([`FaultPoint::Sync`], the rollback path — the writer truncates
+/// the unacknowledged frame back off so log and catalog agree).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPoint {
+    /// The `write_all` of a framed record.
+    Append,
+    /// The `sync_data` after a successful write (only reached at
+    /// [`Durability::Sync`]).
+    Sync,
+}
+
+/// A fault-injection hook consulted on every durable append. Returning
+/// `true` makes the store behave as if the corresponding I/O operation
+/// failed. Production code never installs one.
+pub type FaultHook = Arc<dyn Fn(FaultPoint) -> bool + Send + Sync>;
+
 /// The catalog state reconstructed by [`Store::open`].
 #[derive(Debug)]
 pub struct Recovered {
@@ -109,7 +129,6 @@ pub struct Recovered {
 }
 
 /// A durable catalog store bound to one data directory.
-#[derive(Debug)]
 pub struct Store {
     dir: PathBuf,
     durability: AtomicU8,
@@ -121,6 +140,39 @@ pub struct Store {
     /// this to decide frame catch-up vs snapshot catch-up; see
     /// [`Store::oldest_retained`].
     retained: Mutex<(u64, u64)>,
+    /// Replication epoch this data directory last served under (see
+    /// [`Store::epoch`]). Persisted in the `epoch` file; `0` until a
+    /// promotion ever minted one.
+    epoch: AtomicU64,
+    /// Optional fault-injection hook (see [`FaultHook`]).
+    fault_hook: Mutex<Option<FaultHook>>,
+}
+
+/// Path of the replication-epoch file.
+fn epoch_path(dir: &Path) -> PathBuf {
+    dir.join("epoch")
+}
+
+/// Read the persisted replication epoch, `0` when the file is absent.
+fn read_epoch(dir: &Path) -> Result<u64> {
+    match std::fs::read_to_string(epoch_path(dir)) {
+        Ok(s) => s
+            .trim()
+            .parse::<u64>()
+            .map_err(|_| PipError::corrupt(format!("epoch file holds non-numeric data: {s:?}"))),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(0),
+        Err(e) => Err(e.into()),
+    }
+}
+
+impl std::fmt::Debug for Store {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Store")
+            .field("dir", &self.dir)
+            .field("durability", &self.durability())
+            .field("epoch", &self.epoch())
+            .finish_non_exhaustive()
+    }
 }
 
 /// Generations present in a data directory, from its file names.
@@ -365,11 +417,14 @@ impl Store {
             WalWriter::create(&dir, active_gen)?
         };
 
+        let epoch = read_epoch(&dir)?;
         let store = Store {
             dir,
             durability: AtomicU8::new(Durability::Wal.as_u8()),
             wal: Mutex::new(wal),
             retained: Mutex::new(retained),
+            epoch: AtomicU64::new(epoch),
+            fault_hook: Mutex::new(None),
         };
         let recovered = Recovered {
             tables: tables
@@ -418,8 +473,48 @@ impl Store {
         if durability == Durability::Off {
             return crate::wal::validate_entry(entry);
         }
+        let hook = self
+            .fault_hook
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        if let Some(h) = &hook {
+            if h(FaultPoint::Append) {
+                return Err(PipError::Io("injected WAL append failure".into()));
+            }
+        }
+        let inject_sync = hook.map(|h| h(FaultPoint::Sync)).unwrap_or(false);
         let mut wal = self.wal.lock().unwrap_or_else(|e| e.into_inner());
-        wal.append(entry, durability == Durability::Sync)
+        wal.append_faulty(entry, durability == Durability::Sync, inject_sync)
+    }
+
+    /// Install (or with `None`, remove) the fault-injection hook
+    /// consulted by [`Store::append`]. Test-harness machinery — see
+    /// [`FaultHook`].
+    pub fn set_fault_hook(&self, hook: Option<FaultHook>) {
+        *self.fault_hook.lock().unwrap_or_else(|e| e.into_inner()) = hook;
+    }
+
+    /// Replication epoch this data directory last served under. `0`
+    /// means no promotion ever minted one; a follower adopts its
+    /// primary's epoch, and `PROMOTE` mints `epoch + 1`. Persisted so a
+    /// restarted deposed primary still refuses feeds from its past.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Raise the persisted replication epoch to `epoch` (monotonic:
+    /// lower values are ignored). Temp-file + rename, so a crash leaves
+    /// either the old or the new value, never a torn file.
+    pub fn set_epoch(&self, epoch: u64) -> Result<()> {
+        if epoch <= self.epoch.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let tmp = self.dir.join("epoch.tmp");
+        std::fs::write(&tmp, format!("{epoch}\n"))?;
+        std::fs::rename(&tmp, epoch_path(&self.dir))?;
+        self.epoch.fetch_max(epoch, Ordering::AcqRel);
+        Ok(())
     }
 
     /// Bytes of records in the active WAL generation (the background

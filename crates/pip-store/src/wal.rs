@@ -261,7 +261,22 @@ impl WalWriter {
 
     /// Append one entry. `sync` additionally forces the frame to stable
     /// storage before returning (the `SYNC` durability level).
+    #[cfg(test)]
     pub(crate) fn append(&mut self, entry: &WalEntry, sync: bool) -> Result<()> {
+        self.append_faulty(entry, sync, false)
+    }
+
+    /// [`WalWriter::append`] with an injectable sync failure: when
+    /// `inject_sync_failure` is set and `sync` is requested, the frame is
+    /// written and then rolled back exactly as a real failed `sync_data`
+    /// would be — the chaos suite's way of exercising the rollback path
+    /// on a healthy disk.
+    pub(crate) fn append_faulty(
+        &mut self,
+        entry: &WalEntry,
+        sync: bool,
+        inject_sync_failure: bool,
+    ) -> Result<()> {
         self.ensure_clean_tail()?;
         let payload = encode_payload(entry)?;
         let framed = frame(payload.as_bytes());
@@ -276,6 +291,10 @@ impl WalWriter {
             return Err(e.into());
         }
         if sync {
+            if inject_sync_failure {
+                self.truncate_to_tail();
+                return Err(PipError::Io("injected WAL sync failure".into()));
+            }
             if let Err(e) = self.file.sync_data() {
                 // The frame's bytes are complete but their durability is
                 // unknown and the caller will abort the mutation — drop
