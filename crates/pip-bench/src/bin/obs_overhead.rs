@@ -1,0 +1,169 @@
+//! Observability overhead on the fig6 hot path.
+//!
+//! Runs the Figure 6 join/aggregate workload (optimize +
+//! `execute_with_stats`, query and sample phases) with the process-wide
+//! observability switch toggled per trial — `pip_obs::set_enabled` gates
+//! histogram observation and span capture; counters and gauges always
+//! run — and reports the relative cost of metrics-on at 1, 2, and 4
+//! sampling threads.
+//!
+//! Gates (CI runs this in `PIP_BENCH_QUICK=1`):
+//!
+//! * metrics-on may cost at most 3% over metrics-off (min-of-trials,
+//!   interleaved on/off so drift hits both modes equally; sub-2ms
+//!   absolute deltas never fail the gate — that is timer noise, not
+//!   overhead);
+//! * the query answer must be bit-identical with observability on and
+//!   off at every thread count — instrumentation must never perturb
+//!   results.
+//!
+//! Output: TSV on stdout; one JSON row per thread count on stderr with
+//! `PIP_BENCH_JSON=1`; the summary is written to `PIP_BENCH_OBS_OUT`
+//! (default `BENCH_obs.json`).
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use pip_engine::{execute_with_stats, optimize, scalar_result, Database, Plan};
+use pip_sampling::SamplerConfig;
+use pip_workloads::plans;
+use pip_workloads::tpch::{generate, TpchConfig};
+
+#[derive(Serialize)]
+struct Row {
+    threads: usize,
+    obs_on_secs: f64,
+    obs_off_secs: f64,
+    overhead_pct: f64,
+    bit_identical: bool,
+}
+
+#[derive(Serialize)]
+struct Summary {
+    quick: bool,
+    scale: f64,
+    n_samples: usize,
+    trials: usize,
+    gate_pct: f64,
+    max_overhead_pct: f64,
+    all_bit_identical: bool,
+    rows: Vec<Row>,
+}
+
+/// One timed pass over the hot path: optimize + execute + scalar
+/// readback, exactly the work a served `QUERY` performs.
+fn timed_run(db: &Database, raw: &Plan, cfg: &SamplerConfig) -> (f64, u64) {
+    let t0 = Instant::now();
+    let plan = optimize(db, raw.clone()).expect("optimize");
+    let (table, _stats) = execute_with_stats(db, &plan, cfg).expect("execute");
+    let value = scalar_result(&table).expect("scalar");
+    (t0.elapsed().as_secs_f64(), value.to_bits())
+}
+
+fn main() {
+    let quick = pip_bench::quick();
+    let scale = pip_bench::scale() * if quick { 0.1 } else { 0.5 };
+    let n_samples = if quick { 2000 } else { 8000 };
+    let trials = if quick { 5 } else { 9 };
+    let gate_pct = 3.0;
+    // Below this absolute delta the relative gate is meaningless: a
+    // couple of milliseconds of scheduler jitter on a quick CI box must
+    // not read as "overhead".
+    let noise_floor_secs = 0.002;
+
+    let data = generate(&TpchConfig::scaled(scale, 0x42));
+    let sel = 0.1;
+    let db = plans::join_db(&data, sel).expect("join db");
+    let raw = plans::join_plan();
+
+    println!("# Observability overhead on the fig6 join workload (selectivity {sel})");
+    println!("# {trials} interleaved trials per mode, min-of-trials, {n_samples} samples");
+    pip_bench::header(&[
+        "threads",
+        "obs_on_secs",
+        "obs_off_secs",
+        "overhead_pct",
+        "bit_identical",
+    ]);
+
+    let mut rows = Vec::new();
+    for &threads in &[1usize, 2, 4] {
+        // Force genuine sampling (no exact-CDF shortcut), as fig6 does:
+        // the sampling loop IS the hot path being measured.
+        let mut cfg = SamplerConfig::fixed_samples(n_samples).with_threads(threads);
+        cfg.use_exact_cdf = false;
+        // Warm up both modes (page in data, compile kernels) before
+        // anything is timed.
+        pip_obs::set_enabled(true);
+        let _ = timed_run(&db, &raw, &cfg);
+        pip_obs::set_enabled(false);
+        let _ = timed_run(&db, &raw, &cfg);
+
+        let mut on_best = f64::INFINITY;
+        let mut off_best = f64::INFINITY;
+        let mut on_bits = 0u64;
+        let mut off_bits = 0u64;
+        for _ in 0..trials {
+            pip_obs::set_enabled(true);
+            let (secs, bits) = timed_run(&db, &raw, &cfg);
+            on_best = on_best.min(secs);
+            on_bits = bits;
+            pip_obs::set_enabled(false);
+            let (secs, bits) = timed_run(&db, &raw, &cfg);
+            off_best = off_best.min(secs);
+            off_bits = bits;
+        }
+        pip_obs::set_enabled(true);
+
+        let bit_identical = on_bits == off_bits;
+        let overhead_pct = (on_best - off_best) / off_best * 100.0;
+        assert!(
+            bit_identical,
+            "threads={threads}: observability changed the answer \
+             ({on_bits:#018x} vs {off_bits:#018x}) — instrumentation must be inert"
+        );
+        assert!(
+            overhead_pct <= gate_pct || on_best - off_best <= noise_floor_secs,
+            "threads={threads}: metrics-on overhead {overhead_pct:.2}% \
+             ({on_best:.4}s vs {off_best:.4}s) exceeds the {gate_pct}% gate"
+        );
+
+        let row = Row {
+            threads,
+            obs_on_secs: on_best,
+            obs_off_secs: off_best,
+            overhead_pct,
+            bit_identical,
+        };
+        pip_bench::row(
+            &[
+                format!("{threads}"),
+                format!("{on_best:.4}"),
+                format!("{off_best:.4}"),
+                format!("{overhead_pct:.2}"),
+                format!("{bit_identical}"),
+            ],
+            &row,
+        );
+        rows.push(row);
+    }
+
+    let summary = Summary {
+        quick,
+        scale,
+        n_samples,
+        trials,
+        gate_pct,
+        max_overhead_pct: rows
+            .iter()
+            .map(|r| r.overhead_pct)
+            .fold(f64::NEG_INFINITY, f64::max),
+        all_bit_identical: rows.iter().all(|r| r.bit_identical),
+        rows,
+    };
+    let json = serde_json::to_string(&summary).expect("summary json");
+    let path = std::env::var("PIP_BENCH_OBS_OUT").unwrap_or_else(|_| "BENCH_obs.json".into());
+    std::fs::write(&path, format!("{json}\n")).expect("write BENCH_obs.json");
+    println!("# wrote {path}");
+}

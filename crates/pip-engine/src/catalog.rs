@@ -109,6 +109,12 @@ pub struct Database {
     /// useful); `apply_replicated` bypasses it so the node can rejoin
     /// the new primary's feed.
     fenced: AtomicBool,
+    /// This database's observability registry: every layer that serves
+    /// this catalog (store, replication, server) registers its metric
+    /// families here, and the server's `METRICS` verb renders it.
+    obs: Arc<pip_obs::Registry>,
+    /// Engine-level metric handles registered in `obs`.
+    metrics: crate::metrics::EngineMetrics,
 }
 
 impl Default for Database {
@@ -125,6 +131,8 @@ impl Database {
 
     /// Build with a custom registry (user-defined distribution classes).
     pub fn with_registry(registry: DistributionRegistry) -> Self {
+        let obs = Arc::new(pip_obs::Registry::new());
+        let metrics = crate::metrics::EngineMetrics::register(&obs);
         Database {
             registry,
             tables: RwLock::new(HashMap::new()),
@@ -135,6 +143,8 @@ impl Database {
             read_only: AtomicBool::new(false),
             durability_pinned: AtomicBool::new(false),
             fenced: AtomicBool::new(false),
+            obs,
+            metrics,
         }
     }
 
@@ -209,9 +219,20 @@ impl Database {
             replayed: recovered.replayed,
             torn_tail: recovered.torn_tail,
         };
-        db.store
-            .set(Arc::new(store))
-            .expect("store attached exactly once");
+        let store = Arc::new(store);
+        store.attach_metrics(&db.obs);
+        {
+            // Derived gauges read leaf state through a weak handle so the
+            // registry (owned by this database) never keeps the store —
+            // or transitively the database — alive.
+            let weak = Arc::downgrade(&store);
+            db.obs.gauge_fn(
+                "pip_store_wal_bytes",
+                "Record bytes in the active WAL generation.",
+                move || weak.upgrade().map_or(0.0, |s| s.wal_bytes() as f64),
+            );
+        }
+        db.store.set(store).expect("store attached exactly once");
         Ok((db, info))
     }
 
@@ -341,7 +362,18 @@ impl Database {
 
     /// Bump the catalog generation, returning the new version.
     fn bump_version(&self) -> u64 {
+        self.metrics.mutations_total.inc();
         self.version.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// This database's observability registry (see the `obs` field).
+    pub fn obs_registry(&self) -> &Arc<pip_obs::Registry> {
+        &self.obs
+    }
+
+    /// Engine-level metric handles.
+    pub fn metrics(&self) -> &crate::metrics::EngineMetrics {
+        &self.metrics
     }
 
     /// Create an empty table. Errors if the name is taken.

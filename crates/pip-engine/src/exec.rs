@@ -64,14 +64,16 @@ pub fn execute_with_stats(
         .filter(|p| p.sampling)
         .map(|p| p.exclusive_secs)
         .sum();
-    Ok((
-        table,
-        QueryStats {
-            query_secs: (total - sample_secs).max(0.0),
-            sample_secs,
-            ops,
-        },
-    ))
+    let stats = QueryStats {
+        query_secs: (total - sample_secs).max(0.0),
+        sample_secs,
+        ops,
+    };
+    let m = db.metrics();
+    m.queries_total.inc();
+    m.query_phase_seconds.observe_secs(stats.query_secs);
+    m.sample_phase_seconds.observe_secs(stats.sample_secs);
+    Ok((table, stats))
 }
 
 /// Execute `plan` against `db` (pipelined executor).

@@ -14,6 +14,7 @@
 
 pub mod catalog;
 pub mod exec;
+pub mod metrics;
 pub mod optimize;
 pub mod persist;
 pub mod physical;
@@ -23,6 +24,7 @@ pub mod sql;
 pub mod stats;
 
 pub use catalog::{Database, RecoveryInfo};
+pub use metrics::EngineMetrics;
 // The durability knob travels with the catalog API.
 pub use exec::{
     execute, execute_materialized, execute_materialized_with_stats, execute_with_stats,

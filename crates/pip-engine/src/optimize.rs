@@ -200,6 +200,7 @@ pub fn optimize(db: &Database, plan: Plan) -> Result<Plan> {
 
 /// Optimize a plan under an explicit [`OptimizerConfig`].
 pub fn optimize_with(db: &Database, plan: Plan, cfg: &OptimizerConfig) -> Result<Plan> {
+    let start = std::time::Instant::now();
     let plan = push_selects(db, plan)?;
     let plan = if cfg.reorder_joins {
         reorder_pass(db, plan, cfg, true)?
@@ -213,10 +214,14 @@ pub fn optimize_with(db: &Database, plan: Plan, cfg: &OptimizerConfig) -> Result
     } else {
         plan
     };
-    match cfg.prune {
-        PruneMode::Never => Ok(plan),
-        _ => prune_columns(db, plan, None, 0.0, cfg),
-    }
+    let plan = match cfg.prune {
+        PruneMode::Never => plan,
+        _ => prune_columns(db, plan, None, 0.0, cfg)?,
+    };
+    let m = db.metrics();
+    m.optimize_seconds.observe_since(start);
+    m.note_plan(&plan);
+    Ok(plan)
 }
 
 /// The predicate-pushdown / select-fusion pass alone (no reordering or

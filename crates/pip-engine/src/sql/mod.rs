@@ -36,7 +36,10 @@ pub use parser::{parse, ExplainFormat, Statement};
 /// Parse and run one SQL statement. DDL/DML return an empty table;
 /// SELECT returns its result.
 pub fn run(db: &Database, sql: &str, cfg: &SamplerConfig) -> Result<CTable> {
-    run_statement(db, parse(sql)?, cfg)
+    let start = std::time::Instant::now();
+    let stmt = parse(sql)?;
+    db.metrics().parse_seconds.observe_since(start);
+    run_statement(db, stmt, cfg)
 }
 
 /// Run an already-parsed statement (the server's prepared-statement path

@@ -1,0 +1,171 @@
+//! Tiny leveled stderr logger.
+//!
+//! `PIP_LOG=error|warn|info|debug` picks the level (default `info`). Every
+//! line is prefixed with a UTC timestamp and the level so chaos-suite
+//! failures are diagnosable from captured CI stderr. Use through the crate
+//! macros:
+//!
+//! ```
+//! pip_obs::info!("listening on {}", "127.0.0.1:7432");
+//! pip_obs::warn!("follower {} dropped", 3);
+//! ```
+
+use std::fmt;
+use std::io::Write;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    Error = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+        }
+    }
+
+    fn from_env(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" | "trace" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+}
+
+const LEVEL_UNSET: u8 = u8::MAX;
+static LEVEL: AtomicU8 = AtomicU8::new(LEVEL_UNSET);
+
+fn current_level() -> Level {
+    let raw = LEVEL.load(Ordering::Relaxed);
+    if raw != LEVEL_UNSET {
+        return match raw {
+            0 => Level::Error,
+            1 => Level::Warn,
+            3 => Level::Debug,
+            _ => Level::Info,
+        };
+    }
+    let level = std::env::var("PIP_LOG")
+        .ok()
+        .and_then(|s| Level::from_env(&s))
+        .unwrap_or(Level::Info);
+    LEVEL.store(level as u8, Ordering::Relaxed);
+    level
+}
+
+/// Override the log level (tests, CLI flags). Takes precedence over
+/// `PIP_LOG` from then on.
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Whether a message at `level` would currently be emitted.
+#[inline]
+pub fn level_enabled(level: Level) -> bool {
+    level <= current_level()
+}
+
+/// Render a UNIX timestamp (seconds + millis) as `YYYY-MM-DDTHH:MM:SS.mmmZ`.
+fn format_utc(secs: u64, millis: u32) -> String {
+    // Civil-from-days (Howard Hinnant's algorithm) — no chrono available.
+    let days = (secs / 86_400) as i64;
+    let rem = secs % 86_400;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!(
+        "{:04}-{:02}-{:02}T{:02}:{:02}:{:02}.{:03}Z",
+        y,
+        m,
+        d,
+        rem / 3600,
+        (rem % 3600) / 60,
+        rem % 60,
+        millis
+    )
+}
+
+/// Emit one log line. Prefer the [`crate::error!`] / [`crate::warn!`] /
+/// [`crate::info!`] / [`crate::debug!`] macros.
+pub fn write(level: Level, args: fmt::Arguments<'_>) {
+    if !level_enabled(level) {
+        return;
+    }
+    let now = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap_or_default();
+    let ts = format_utc(now.as_secs(), now.subsec_millis());
+    let mut err = std::io::stderr().lock();
+    let _ = writeln!(err, "[{} {:5}] {}", ts, level.as_str(), args);
+}
+
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)*) => { $crate::log::write($crate::log::Level::Error, format_args!($($arg)*)) };
+}
+
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => { $crate::log::write($crate::log::Level::Warn, format_args!($($arg)*)) };
+}
+
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => { $crate::log::write($crate::log::Level::Info, format_args!($($arg)*)) };
+}
+
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => { $crate::log::write($crate::log::Level::Debug, format_args!($($arg)*)) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_ordering_gates_messages() {
+        set_level(Level::Warn);
+        assert!(level_enabled(Level::Error));
+        assert!(level_enabled(Level::Warn));
+        assert!(!level_enabled(Level::Info));
+        assert!(!level_enabled(Level::Debug));
+        set_level(Level::Debug);
+        assert!(level_enabled(Level::Debug));
+        set_level(Level::Info);
+    }
+
+    #[test]
+    fn utc_formatting_matches_known_instants() {
+        assert_eq!(format_utc(0, 0), "1970-01-01T00:00:00.000Z");
+        // 2026-08-09T00:00:00Z
+        assert_eq!(format_utc(1_786_233_600, 250), "2026-08-09T00:00:00.250Z");
+        assert_eq!(format_utc(951_827_696, 7), "2000-02-29T12:34:56.007Z");
+    }
+
+    #[test]
+    fn env_parsing_accepts_aliases() {
+        assert_eq!(Level::from_env("WARNING"), Some(Level::Warn));
+        assert_eq!(Level::from_env(" debug "), Some(Level::Debug));
+        assert_eq!(Level::from_env("bogus"), None);
+    }
+}

@@ -1,0 +1,130 @@
+//! Ring buffer of slow-query spans.
+//!
+//! `SET SLOWLOG <ms>` arms the threshold (0 disarms); every finished query
+//! span at or over it is pushed into a bounded ring, newest first on read.
+//! The ring is lock-protected but only queries that actually cross the
+//! threshold touch it, so the fast path stays a single relaxed load.
+
+use crate::span::QuerySpan;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Default ring capacity: enough to hold a burst of slow queries without
+/// unbounded memory.
+pub const DEFAULT_CAPACITY: usize = 128;
+
+#[derive(Debug)]
+pub struct SlowLog {
+    threshold_nanos: AtomicU64,
+    capacity: usize,
+    ring: Mutex<VecDeque<QuerySpan>>,
+}
+
+impl Default for SlowLog {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+impl SlowLog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            threshold_nanos: AtomicU64::new(0),
+            capacity: capacity.max(1),
+            ring: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Arm the slowlog at `ms` milliseconds; 0 disarms and clears the ring.
+    pub fn set_threshold_millis(&self, ms: u64) {
+        self.threshold_nanos
+            .store(ms.saturating_mul(1_000_000), Ordering::Relaxed);
+        if ms == 0 {
+            self.ring.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        }
+    }
+
+    pub fn threshold_millis(&self) -> u64 {
+        self.threshold_nanos.load(Ordering::Relaxed) / 1_000_000
+    }
+
+    /// Record `span` if the slowlog is armed and the span is slow enough.
+    /// Returns true if it was captured.
+    pub fn observe(&self, span: &QuerySpan) -> bool {
+        let t = self.threshold_nanos.load(Ordering::Relaxed);
+        if t == 0 || span.total_nanos < t {
+            return false;
+        }
+        let mut ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(span.clone());
+        true
+    }
+
+    /// Up to `n` most recent captured spans, newest first.
+    pub fn recent(&self, n: usize) -> Vec<QuerySpan> {
+        let ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        ring.iter().rev().take(n).cloned().collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.ring.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64, total_ms: u64) -> QuerySpan {
+        QuerySpan {
+            query_id: id,
+            total_nanos: total_ms * 1_000_000,
+            ..QuerySpan::default()
+        }
+    }
+
+    #[test]
+    fn disarmed_slowlog_captures_nothing() {
+        let log = SlowLog::new();
+        assert!(!log.observe(&span(1, 1_000)));
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn threshold_filters_and_ring_caps() {
+        let log = SlowLog::with_capacity(2);
+        log.set_threshold_millis(10);
+        assert!(!log.observe(&span(1, 9)));
+        assert!(log.observe(&span(2, 10)));
+        assert!(log.observe(&span(3, 50)));
+        assert!(log.observe(&span(4, 11)));
+        let recent = log.recent(10);
+        assert_eq!(
+            recent.iter().map(|s| s.query_id).collect::<Vec<_>>(),
+            vec![4, 3]
+        );
+        assert_eq!(log.recent(1).len(), 1);
+    }
+
+    #[test]
+    fn disarming_clears_the_ring() {
+        let log = SlowLog::new();
+        log.set_threshold_millis(1);
+        assert!(log.observe(&span(1, 5)));
+        log.set_threshold_millis(0);
+        assert!(log.is_empty());
+        assert_eq!(log.threshold_millis(), 0);
+    }
+}

@@ -87,6 +87,8 @@ pub(crate) struct FollowerState {
     stream: Mutex<Option<TcpStream>>,
     /// Parked `WAIT VERSION` waits, poked on every apply.
     pub(crate) hub: Arc<WaitHub>,
+    /// Apply/reconnect event counters and wait latency histograms.
+    pub(crate) metrics: crate::obs::ReplicaMetrics,
 }
 
 impl FollowerState {
@@ -100,6 +102,12 @@ impl FollowerState {
         );
         db.set_read_only(true);
         let epoch = db.store().map_or(0, |s| s.epoch());
+        let metrics = crate::obs::ReplicaMetrics::register(db.obs_registry());
+        let hub = WaitHub::new();
+        hub.attach_metrics(
+            Arc::clone(&metrics.wait_park_seconds),
+            Arc::clone(&metrics.wait_timeouts_total),
+        );
         let state = Arc::new(FollowerState {
             db,
             candidates,
@@ -109,7 +117,8 @@ impl FollowerState {
             connected: AtomicBool::new(false),
             sealed: AtomicBool::new(false),
             stream: Mutex::new(None),
-            hub: WaitHub::new(),
+            hub,
+            metrics,
         });
         let run_state = Arc::clone(&state);
         std::thread::Builder::new()
@@ -171,6 +180,7 @@ fn apply_loop(state: Arc<FollowerState>) {
         let stream = match TcpStream::connect(state.target()) {
             Ok(s) => s,
             Err(_) => {
+                state.metrics.reconnects_total.inc();
                 state.rotate();
                 std::thread::sleep(backoff);
                 backoff = (backoff * 2).min(MAX_BACKOFF);
@@ -196,8 +206,9 @@ fn apply_loop(state: Arc<FollowerState>) {
             }
             Err(e) => {
                 if !state.sealed.load(Ordering::Acquire) {
-                    eprintln!("replication: connection to primary lost: {e}");
+                    pip_obs::warn!("replication: connection to primary lost: {e}");
                 }
+                state.metrics.reconnects_total.inc();
                 state.rotate();
             }
         }
@@ -272,6 +283,7 @@ fn serve_connection(state: &Arc<FollowerState>, stream: TcpStream) -> Result<boo
                 let snapshot = snapshot_from_bytes(&bytes, state.db.registry())?;
                 let version = snapshot.version;
                 state.db.install_snapshot(snapshot)?;
+                state.metrics.snapshots_installed_total.inc();
                 bump_primary_floor(state, version);
                 progressed = true;
                 stale_heartbeats = 0;
@@ -296,6 +308,7 @@ fn serve_connection(state: &Arc<FollowerState>, stream: TcpStream) -> Result<boo
                 check_contiguous(state.db.version(), &entry)?;
                 bump_primary_floor(state, entry.version);
                 state.db.apply_replicated(&entry)?;
+                state.metrics.frames_applied_total.inc();
                 progressed = true;
                 stale_heartbeats = 0;
                 state.hub.poke();

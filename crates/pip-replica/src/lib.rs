@@ -48,6 +48,7 @@ pub mod faults;
 pub mod proto;
 
 mod follower;
+mod obs;
 mod primary;
 mod waiters;
 

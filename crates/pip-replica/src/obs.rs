@@ -1,0 +1,88 @@
+//! Replication-layer metric handles.
+//!
+//! One bundle per node role instance, registered into the database's
+//! registry. Registration is idempotent on (name, labels), so a node
+//! that lives through `FOLLOWER → PROMOTE → primary` keeps accumulating
+//! into the same series rather than forking new ones.
+//!
+//! The *derived* replication gauges (role, epoch, lag, applied version,
+//! follower count) are registered at the server layer against a
+//! `Weak<Replication>` — they outlive promote and must never create a
+//! registry → state cycle. This module only owns event counters and
+//! latency histograms tied to concrete feed activity.
+
+use std::sync::Arc;
+
+use pip_obs::{Counter, Histogram, Registry};
+
+/// Event counters and latency histograms for the replication feed.
+#[derive(Debug, Clone)]
+pub(crate) struct ReplicaMetrics {
+    /// WAL frames shipped to followers (all followers combined).
+    pub(crate) frames_shipped_total: Arc<Counter>,
+    /// Catch-up snapshots captured and sent by the primary.
+    pub(crate) snapshots_sent_total: Arc<Counter>,
+    /// ACK messages drained from followers.
+    pub(crate) acks_total: Arc<Counter>,
+    /// Frame-send to ACK round trip, per acknowledged frame.
+    pub(crate) ack_rtt_seconds: Arc<Histogram>,
+    /// Times this node was fenced by a higher epoch.
+    pub(crate) fencing_events_total: Arc<Counter>,
+    /// Follower connection attempts that failed or connections lost.
+    pub(crate) reconnects_total: Arc<Counter>,
+    /// WAL frames applied by the follower.
+    pub(crate) frames_applied_total: Arc<Counter>,
+    /// Catch-up snapshots installed by the follower.
+    pub(crate) snapshots_installed_total: Arc<Counter>,
+    /// Time parked in the wait hub (ACK-quorum and WAIT VERSION waits).
+    pub(crate) wait_park_seconds: Arc<Histogram>,
+    /// Parked waits that hit their deadline (or died at shutdown).
+    pub(crate) wait_timeouts_total: Arc<Counter>,
+}
+
+impl ReplicaMetrics {
+    pub(crate) fn register(r: &Registry) -> ReplicaMetrics {
+        ReplicaMetrics {
+            frames_shipped_total: r.counter(
+                "pip_replica_frames_shipped_total",
+                "WAL frames shipped to followers.",
+            ),
+            snapshots_sent_total: r.counter(
+                "pip_replica_snapshots_sent_total",
+                "Catch-up snapshots sent to followers.",
+            ),
+            acks_total: r.counter(
+                "pip_replica_acks_total",
+                "ACK messages received from followers.",
+            ),
+            ack_rtt_seconds: r.histogram(
+                "pip_replica_ack_rtt_seconds",
+                "Frame-send to ACK round-trip time.",
+            ),
+            fencing_events_total: r.counter(
+                "pip_replica_fencing_events_total",
+                "Times this node was fenced by a higher replication epoch.",
+            ),
+            reconnects_total: r.counter(
+                "pip_replica_reconnects_total",
+                "Follower connection attempts that failed or connections lost.",
+            ),
+            frames_applied_total: r.counter(
+                "pip_replica_frames_applied_total",
+                "Replicated WAL frames applied on this follower.",
+            ),
+            snapshots_installed_total: r.counter(
+                "pip_replica_snapshots_installed_total",
+                "Catch-up snapshots installed on this follower.",
+            ),
+            wait_park_seconds: r.histogram(
+                "pip_replica_wait_park_seconds",
+                "Time replication waits (ACK quorum, WAIT VERSION) spent parked.",
+            ),
+            wait_timeouts_total: r.counter(
+                "pip_replica_wait_timeouts_total",
+                "Parked replication waits that timed out or died at shutdown.",
+            ),
+        }
+    }
+}

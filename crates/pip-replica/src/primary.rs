@@ -48,6 +48,7 @@
 //! reply until `n` followers have acked the write's version (see
 //! [`PrimaryState::register_ack_wait`]).
 
+use std::collections::VecDeque;
 use std::io::{BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -72,12 +73,44 @@ const IDLE_POLL: Duration = Duration::from_millis(10);
 /// failure-detection horizon.
 pub(crate) const HEARTBEAT_EVERY: Duration = Duration::from_millis(200);
 
+/// Sent-frame timestamps retained for ACK round-trip measurement; past
+/// this many unacked frames new sends just go unmeasured (bulk catch-up
+/// RTTs would say more about batching than the wire anyway).
+const RTT_INFLIGHT_CAP: usize = 1024;
+
 /// One attached follower, as the primary sees it.
 pub(crate) struct FollowerConn {
     /// Highest version the follower has acknowledged applying.
     pub(crate) acked: AtomicU64,
     /// Socket handle kept for shutdown (unblocks the handler threads).
     stream: TcpStream,
+    /// (version, sent-at) pairs awaiting acknowledgement, for RTT.
+    inflight: Mutex<VecDeque<(u64, Instant)>>,
+}
+
+impl FollowerConn {
+    /// Remember when a frame left, so its ACK can be timed.
+    fn note_sent(&self, version: u64) {
+        if !pip_obs::enabled() {
+            return;
+        }
+        let mut q = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+        if q.len() < RTT_INFLIGHT_CAP {
+            q.push_back((version, Instant::now()));
+        }
+    }
+
+    /// Record the round trip of every sent frame `version` covers.
+    fn note_acked(&self, version: u64, rtt: &pip_obs::Histogram) {
+        let mut q = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+        while let Some(&(v, sent_at)) = q.front() {
+            if v > version {
+                break;
+            }
+            q.pop_front();
+            rtt.observe_since(sent_at);
+        }
+    }
 }
 
 /// Shared state of a replicating primary.
@@ -96,6 +129,8 @@ pub(crate) struct PrimaryState {
     pub(crate) hub: Arc<WaitHub>,
     /// Chaos-suite fault injection on the feed; `None` in production.
     pub(crate) faults: Mutex<Option<Arc<FaultInjector>>>,
+    /// Feed event counters and latency histograms.
+    pub(crate) metrics: crate::obs::ReplicaMetrics,
 }
 
 impl PrimaryState {
@@ -115,6 +150,12 @@ impl PrimaryState {
         let local = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let epoch = store.epoch();
+        let metrics = crate::obs::ReplicaMetrics::register(db.obs_registry());
+        let hub = WaitHub::new();
+        hub.attach_metrics(
+            Arc::clone(&metrics.wait_park_seconds),
+            Arc::clone(&metrics.wait_timeouts_total),
+        );
         let state = Arc::new(PrimaryState {
             db,
             store: Arc::clone(&store),
@@ -123,8 +164,9 @@ impl PrimaryState {
             epoch: AtomicU64::new(epoch),
             fenced: AtomicBool::new(false),
             followers: Mutex::new(Vec::new()),
-            hub: WaitHub::new(),
+            hub,
             faults: Mutex::new(None),
+            metrics,
         });
         let accept_state = Arc::clone(&state);
         std::thread::Builder::new()
@@ -216,6 +258,8 @@ impl PrimaryState {
     /// with `ERR fenced`, and disconnect every follower so their
     /// re-point machinery finds the new primary.
     pub(crate) fn fence(&self, epoch: u64) {
+        self.metrics.fencing_events_total.inc();
+        pip_obs::warn!("replication: deposed by epoch {epoch}; fencing writes");
         let _ = self.store.set_epoch(epoch);
         self.epoch.fetch_max(epoch, Ordering::AcqRel);
         self.fenced.store(true, Ordering::Release);
@@ -249,7 +293,7 @@ fn accept_loop(state: Arc<PrimaryState>, listener: TcpListener, store: Arc<Store
                     .spawn(move || {
                         if let Err(e) = serve_follower(&state, &store, stream) {
                             if !state.shutdown.load(Ordering::Acquire) {
-                                eprintln!("replication: follower {peer} dropped: {e}");
+                                pip_obs::warn!("replication: follower {peer} dropped: {e}");
                             }
                         }
                     })
@@ -307,6 +351,7 @@ fn serve_follower(state: &Arc<PrimaryState>, store: &Arc<Store>, stream: TcpStre
     let conn = Arc::new(FollowerConn {
         acked: AtomicU64::new(wire_w),
         stream: stream.try_clone()?,
+        inflight: Mutex::new(VecDeque::new()),
     });
     state
         .followers
@@ -317,12 +362,16 @@ fn serve_follower(state: &Arc<PrimaryState>, store: &Arc<Store>, stream: TcpStre
     // acknowledgement bookkeeping (and vice versa).
     let ack_conn = Arc::clone(&conn);
     let ack_hub = Arc::clone(&state.hub);
+    let acks_total = Arc::clone(&state.metrics.acks_total);
+    let ack_rtt = Arc::clone(&state.metrics.ack_rtt_seconds);
     std::thread::Builder::new()
         .name("pip-repl-acks".into())
         .spawn(move || {
             while let Ok(msg) = read_message(&mut reader) {
                 if let Message::Ack { version, watermark } = msg {
+                    acks_total.inc();
                     ack_conn.acked.fetch_max(version, Ordering::AcqRel);
+                    ack_conn.note_acked(version, &ack_rtt);
                     VarId::reserve_through(watermark.saturating_sub(1));
                     ack_hub.poke();
                 }
@@ -330,7 +379,7 @@ fn serve_follower(state: &Arc<PrimaryState>, store: &Arc<Store>, stream: TcpStre
         })
         .expect("spawn replication ack thread");
 
-    let result = feed_loop(state, store, &stream, wire_w);
+    let result = feed_loop(state, store, &stream, &conn, wire_w);
     let mut followers = state.followers.lock().unwrap_or_else(|e| e.into_inner());
     followers.retain(|c| !Arc::ptr_eq(c, &conn));
     drop(followers);
@@ -362,6 +411,7 @@ fn feed_loop(
     state: &Arc<PrimaryState>,
     store: &Arc<Store>,
     stream: &TcpStream,
+    conn: &Arc<FollowerConn>,
     hello_version: u64,
 ) -> Result<()> {
     let mut out = BufWriter::new(stream.try_clone()?);
@@ -398,6 +448,8 @@ fn feed_loop(
                             payload: f.payload.clone(),
                         },
                     )?;
+                    state.metrics.frames_shipped_total.inc();
+                    conn.note_sent(f.version);
                 }
                 out.flush()?;
                 cursor = next;
@@ -452,5 +504,6 @@ fn send_snapshot(state: &Arc<PrimaryState>, out: &mut impl Write) -> Result<(Wal
     let bytes = snapshot_to_bytes(&snapshot)?;
     send(state, out, &Message::Snapshot(bytes))?;
     out.flush()?;
+    state.metrics.snapshots_sent_total.inc();
     Ok((cursor, 0))
 }

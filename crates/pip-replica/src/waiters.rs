@@ -15,8 +15,10 @@
 //! scheduler worker registers the waiter and moves on; nothing sits on
 //! a thread while the quorum assembles.
 
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
+
+use pip_obs::{Counter, Histogram};
 
 /// Completion callback: `true` = predicate satisfied, `false` =
 /// deadline passed (or the hub shut down). Re-exported at the crate
@@ -25,8 +27,16 @@ pub type WaitDone = Box<dyn FnOnce(bool) + Send>;
 
 struct Waiter {
     pred: Box<dyn Fn() -> bool + Send>,
+    parked_at: Instant,
     deadline: Instant,
     done: WaitDone,
+}
+
+/// Metric handles the hub reports into once attached (park duration for
+/// every fired wait, a counter for the ones that fired `false`).
+struct HubObs {
+    park: Arc<Histogram>,
+    timeouts: Arc<Counter>,
 }
 
 #[derive(Default)]
@@ -42,11 +52,28 @@ struct HubInner {
 pub(crate) struct WaitHub {
     inner: Mutex<HubInner>,
     poked: Condvar,
+    obs: OnceLock<HubObs>,
 }
 
 impl WaitHub {
     pub(crate) fn new() -> Arc<WaitHub> {
         Arc::new(WaitHub::default())
+    }
+
+    /// Attach metric handles (first attachment wins; a node promoted
+    /// from follower to primary keeps its original hub handles).
+    pub(crate) fn attach_metrics(&self, park: Arc<Histogram>, timeouts: Arc<Counter>) {
+        let _ = self.obs.set(HubObs { park, timeouts });
+    }
+
+    /// Record one fired wait: how long it parked, and whether it failed.
+    fn note_fired(&self, parked_at: Instant, ok: bool) {
+        if let Some(obs) = self.obs.get() {
+            obs.park.observe_since(parked_at);
+            if !ok {
+                obs.timeouts.inc();
+            }
+        }
     }
 
     /// Register a wait. If `pred` already holds (checked under the hub
@@ -66,12 +93,17 @@ impl WaitHub {
         }
         if inner.shutdown {
             drop(inner);
+            if let Some(obs) = self.obs.get() {
+                obs.timeouts.inc();
+            }
             done(false);
             return false;
         }
+        let now = Instant::now();
         inner.waiters.push(Waiter {
             pred,
-            deadline: Instant::now() + timeout,
+            parked_at: now,
+            deadline: now + timeout,
             done,
         });
         if !inner.monitor_running {
@@ -121,6 +153,7 @@ impl WaitHub {
         };
         self.poked.notify_all();
         for w in drained {
+            self.note_fired(w.parked_at, false);
             (w.done)(false);
         }
     }
@@ -131,13 +164,13 @@ fn monitor_loop(hub: &Arc<WaitHub>) {
     loop {
         // Fire what can fire: satisfied predicates and blown deadlines.
         let now = Instant::now();
-        let mut fired: Vec<(WaitDone, bool)> = Vec::new();
+        let mut fired: Vec<(WaitDone, Instant, bool)> = Vec::new();
         let mut keep = Vec::with_capacity(inner.waiters.len());
         for w in inner.waiters.drain(..) {
             if (w.pred)() {
-                fired.push((w.done, true));
+                fired.push((w.done, w.parked_at, true));
             } else if now >= w.deadline {
-                fired.push((w.done, false));
+                fired.push((w.done, w.parked_at, false));
             } else {
                 keep.push(w);
             }
@@ -145,7 +178,8 @@ fn monitor_loop(hub: &Arc<WaitHub>) {
         inner.waiters = keep;
         if !fired.is_empty() {
             drop(inner);
-            for (done, ok) in fired {
+            for (done, parked_at, ok) in fired {
+                hub.note_fired(parked_at, ok);
                 done(ok);
             }
             inner = hub.inner.lock().unwrap_or_else(|e| e.into_inner());

@@ -118,10 +118,12 @@ impl BlockCache {
         match self.map.get(key) {
             Some(e) => {
                 self.hits += 1;
+                crate::obs::metrics().block_cache_hits_total.inc();
                 Some(e.clone())
             }
             None => {
                 self.misses += 1;
+                crate::obs::metrics().block_cache_misses_total.inc();
                 None
             }
         }
@@ -357,6 +359,7 @@ impl CompiledQuery {
             .map(|&i| GroupKernel::compile(&prep.samplers[i], &slots))
             .collect::<Option<Vec<_>>>()?;
         let expr = Tape::compile(expr, &slots)?;
+        crate::obs::metrics().kernel_compiles_total.inc();
         Some(CompiledQuery {
             slots,
             expr,

@@ -33,6 +33,7 @@ pub mod config;
 pub mod expectation;
 pub mod histogram;
 pub mod metropolis;
+pub mod obs;
 pub mod parallel;
 pub mod strategy;
 pub mod streaming;

@@ -212,6 +212,7 @@ impl GroupSampler {
                     100_000,
                 ) {
                     Ok(m) => {
+                        crate::obs::metrics().metropolis_escalations_total.inc();
                         self.frozen = Some((self.attempts, self.accepts));
                         self.metropolis = Some(m);
                         return self.metropolis.as_mut().expect("just set").sample_into(

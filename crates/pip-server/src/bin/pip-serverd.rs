@@ -4,9 +4,15 @@
 //! pip-serverd [--addr HOST:PORT] [--data-dir DIR]
 //!             [--durability off|wal|sync] [--checkpoint-bytes N]
 //!             [--workers N] [--queue N]
+//!             [--metrics-addr HOST:PORT]
 //!             [--replication-addr HOST:PORT]
 //!             [--replicate-from HOST:PORT[,HOST:PORT...]]
 //! ```
+//!
+//! `--metrics-addr` binds a Prometheus scrape endpoint (`GET /metrics`,
+//! printed as `METRICS <addr>`) exposing the same families as the
+//! `METRICS` protocol verb. Diagnostics go to stderr through the
+//! `pip-obs` logger; `PIP_LOG=error|warn|info|debug` sets the level.
 //!
 //! `--workers` sizes the scheduler fleet executing queries (0 = auto:
 //! the machine's available parallelism); `--queue` is the admission
@@ -52,13 +58,14 @@ fn usage() -> ! {
     eprintln!(
         "usage: pip-serverd [--addr HOST:PORT] [--data-dir DIR] \
          [--durability off|wal|sync] [--checkpoint-bytes N] \
-         [--workers N] [--queue N] \
+         [--workers N] [--queue N] [--metrics-addr HOST:PORT] \
          [--replication-addr HOST:PORT] [--replicate-from HOST:PORT[,HOST:PORT...]]"
     );
     std::process::exit(2);
 }
 
 fn main() {
+    pip_obs::init_start_time();
     let mut addr = "127.0.0.1:7432".to_string();
     let mut data_dir: Option<String> = None;
     let mut durability: Option<Durability> = None;
@@ -85,18 +92,19 @@ fn main() {
                     usage();
                 }
             }
+            "--metrics-addr" => options.metrics_addr = Some(value()),
             "--replication-addr" => replication_addr = Some(value()),
             "--replicate-from" => replicate_from = Some(value()),
             _ => usage(),
         }
     }
     if replication_addr.is_some() && data_dir.is_none() {
-        eprintln!("pip-serverd: --replication-addr requires --data-dir (the WAL is the feed)");
+        pip_obs::error!("--replication-addr requires --data-dir (the WAL is the feed)");
         std::process::exit(2);
     }
     if let Some(from) = &replicate_from {
         if from.split(',').all(|c| c.trim().is_empty()) {
-            eprintln!("pip-serverd: --replicate-from needs at least one HOST:PORT candidate");
+            pip_obs::error!("--replicate-from needs at least one HOST:PORT candidate");
             std::process::exit(2);
         }
     }
@@ -104,11 +112,11 @@ fn main() {
     let db = match &data_dir {
         Some(dir) => {
             let (db, info) = Database::recover(dir).unwrap_or_else(|e| {
-                eprintln!("pip-serverd: recovery of {dir} failed: {e}");
+                pip_obs::error!("recovery of {dir} failed: {e}");
                 std::process::exit(1);
             });
-            eprintln!(
-                "pip-serverd: recovered {dir}: version={} snapshot_gen={} replayed={}{}",
+            pip_obs::info!(
+                "recovered {dir}: version={} snapshot_gen={} replayed={}{}",
                 info.version,
                 info.snapshot_gen,
                 info.replayed,
@@ -130,7 +138,7 @@ fn main() {
     options.replication = match (&replication_addr, &replicate_from) {
         (Some(repl_addr), None) => {
             let repl = Replication::primary(Arc::clone(&db), repl_addr).unwrap_or_else(|e| {
-                eprintln!("pip-serverd: cannot start replication on {repl_addr}: {e}");
+                pip_obs::error!("cannot start replication on {repl_addr}: {e}");
                 std::process::exit(1);
             });
             println!(
@@ -141,8 +149,8 @@ fn main() {
         }
         (listen, Some(from)) => {
             let repl = Replication::follower_promotable(Arc::clone(&db), from, listen.as_deref());
-            eprintln!(
-                "pip-serverd: following {from}{}",
+            pip_obs::info!(
+                "following {from}{}",
                 match listen {
                     Some(l) => format!(" (promotable; would serve the feed on {l})"),
                     None => String::new(),
@@ -154,9 +162,12 @@ fn main() {
     };
 
     let handle = serve(db, addr.as_str(), options).unwrap_or_else(|e| {
-        eprintln!("pip-serverd: cannot bind {addr}: {e}");
+        pip_obs::error!("cannot bind {addr}: {e}");
         std::process::exit(1);
     });
+    if let Some(m) = handle.metrics_addr() {
+        println!("METRICS {m}");
+    }
     println!("LISTENING {}", handle.addr());
     std::io::stdout().flush().expect("stdout");
 

@@ -17,9 +17,16 @@
 //! PROMOTE                  failover: mint a new epoch, go writable, serve the feed
 //! WAIT VERSION <v> [<ms>]  block until this node has applied version v
 //! STATS                    session counters and sampler settings
+//! METRICS                  every metric family, Prometheus text format
+//! SLOWLOG [n]              most recent slow-query spans, newest first
 //! PING                     liveness probe
 //! QUIT                     close the connection
 //! ```
+//!
+//! `SET SLOWLOG <ms>` arms the server-wide slow-query log (0 disarms and
+//! clears it); `SLOWLOG [n]` reads back up to `n` captured spans with the
+//! full per-phase breakdown. `METRICS` dumps the same Prometheus text the
+//! optional `--metrics-addr` HTTP listener serves at `GET /metrics`.
 //!
 //! `SET DURABILITY` and `CHECKPOINT` require the server to have been
 //! opened over a data directory (`pip-serverd --data-dir`); unlike the
@@ -91,6 +98,12 @@ pub enum Command {
         timeout_ms: Option<u64>,
     },
     Stats,
+    /// `METRICS` — dump every registered metric family in Prometheus
+    /// text exposition format, terminated by `END`.
+    Metrics,
+    /// `SLOWLOG [n]` — read back up to `n` (default 16) captured
+    /// slow-query spans, newest first.
+    SlowLog(Option<usize>),
     Ping,
     Quit,
 }
@@ -170,11 +183,17 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
             })
         }
         "STATS" => Ok(Command::Stats),
+        "METRICS" => Ok(Command::Metrics),
+        "SLOWLOG" if rest.is_empty() => Ok(Command::SlowLog(None)),
+        "SLOWLOG" => rest
+            .parse()
+            .map(|n| Command::SlowLog(Some(n)))
+            .map_err(|_| "usage: SLOWLOG [<n>]".into()),
         "PING" => Ok(Command::Ping),
         "QUIT" | "EXIT" => Ok(Command::Quit),
         "" => Err("empty request".into()),
         other => Err(format!(
-            "unknown command '{other}' (try QUERY/STREAM/PREPARE/EXEC/SET/CHECKPOINT/PROMOTE/WAIT/STATS/PING/QUIT)"
+            "unknown command '{other}' (try QUERY/STREAM/PREPARE/EXEC/SET/CHECKPOINT/PROMOTE/WAIT/STATS/METRICS/SLOWLOG/PING/QUIT)"
         )),
     }
 }
@@ -387,8 +406,21 @@ fn apply_set(session: &mut Session, key: &str, value: &str) -> Result<String, St
                 Err("usage: SET REPLICATION WAIT 0|<n>|MAJORITY or SET REPLICATION TIMEOUT <ms>".into())
             }
         }
+        "SLOWLOG" => {
+            // Server-wide, like DURABILITY: one ring serves every session.
+            let ms: u64 = value
+                .parse()
+                .map_err(|_| "SLOWLOG expects a threshold in milliseconds (0 disarms)")?;
+            match session.slowlog() {
+                Some(log) => {
+                    log.set_threshold_millis(ms);
+                    Ok(format!("OK slowlog_ms={ms}"))
+                }
+                None => Err("SET SLOWLOG: no slow-query log on this session".into()),
+            }
+        }
         other => Err(format!(
-            "unknown setting '{other}' (THREADS, SEED, SAMPLES, EPSILON, DELTA, COMPILE, REUSE, DURABILITY, REPLICATION)"
+            "unknown setting '{other}' (THREADS, SEED, SAMPLES, EPSILON, DELTA, COMPILE, REUSE, DURABILITY, REPLICATION, SLOWLOG)"
         )),
     }
 }
@@ -549,7 +581,7 @@ pub fn handle_command(session: &mut Session, cmd: Command) -> Reply {
                 None => String::new(),
             };
             Reply::line(format!(
-                "OK session={} queries={} cache_hits={} prepared={} threads={} seed={} samples={}..{}{durability}{replication}{serving}",
+                "OK session={} queries={} cache_hits={} prepared={} threads={} seed={} samples={}..{}{durability}{replication}{serving} uptime_secs={:.0} queries_total={}",
                 session.id(),
                 s.queries,
                 s.cache_hits,
@@ -558,8 +590,36 @@ pub fn handle_command(session: &mut Session, cmd: Command) -> Reply {
                 session.cfg.world_seed,
                 session.cfg.min_samples,
                 session.cfg.max_samples,
+                pip_obs::uptime_secs(),
+                session.database().metrics().queries_total.get(),
             ))
         }
+        Command::Metrics => {
+            // The catalog's registry (server/engine/store/replication
+            // families) plus the process-global one (sampling runtime).
+            let mut text = String::new();
+            session.database().obs_registry().render_into(&mut text);
+            pip_obs::Registry::global().render_into(&mut text);
+            text.push_str("END\n");
+            Reply { text, close: false }
+        }
+        Command::SlowLog(n) => match session.slowlog() {
+            None => Reply::err("SLOWLOG: no slow-query log on this session"),
+            Some(log) => {
+                let spans = log.recent(n.unwrap_or(16));
+                let mut text = format!(
+                    "OK {} entries threshold_ms={}\n",
+                    spans.len(),
+                    log.threshold_millis()
+                );
+                for span in &spans {
+                    text.push_str(&span.render());
+                    text.push('\n');
+                }
+                text.push_str("END\n");
+                Reply { text, close: false }
+            }
+        },
         Command::Ping => Reply::line("PONG"),
         Command::Quit => Reply {
             text: "BYE\n".to_string(),

@@ -68,12 +68,14 @@ use crate::session::{ReplWait, SessionManager};
 /// unbounded client input.
 pub const MAX_REQUEST_BYTES: usize = 1 << 20;
 
-/// How long a worker may sit blocked on one connection's full output
-/// buffer before the connection is declared stuck and evicted.
-const WRITE_STALL_TIMEOUT: Duration = Duration::from_secs(30);
+/// Default for [`Limits::write_stall_timeout`]: how long a worker may
+/// sit blocked on one connection's full output buffer before the
+/// connection is declared stuck and evicted.
+pub(crate) const WRITE_STALL_TIMEOUT: Duration = Duration::from_secs(30);
 
 const TOKEN_LISTENER: u64 = u64::MAX;
 const TOKEN_WAKE: u64 = u64::MAX - 1;
+const TOKEN_METRICS: u64 = u64::MAX - 2;
 
 /// Sizing knobs the reactor and its connections share.
 #[derive(Clone, Copy)]
@@ -81,8 +83,11 @@ pub(crate) struct Limits {
     /// Parsed-but-unexecuted commands per connection before reads pause.
     pub max_pipeline: usize,
     /// Staged reply bytes per connection before the producing worker
-    /// blocks (and, past [`WRITE_STALL_TIMEOUT`], the peer is evicted).
+    /// blocks (and, past `write_stall_timeout`, the peer is evicted).
     pub max_outbound: usize,
+    /// How long a worker may sit blocked on one connection's full
+    /// output buffer before the peer is evicted as a stuck reader.
+    pub write_stall_timeout: Duration,
     /// How long shutdown waits for in-flight commands to finish and
     /// flush before force-closing the stragglers.
     pub drain_timeout: Duration,
@@ -129,8 +134,13 @@ impl ReactorShared {
 
 /// One decoded-but-unexecuted unit in a connection's FIFO.
 enum Pending {
-    /// A parsed command (`admitted` = it holds an admission slot).
-    Cmd { cmd: Command, admitted: bool },
+    /// A parsed command (`admitted` = it holds an admission slot,
+    /// stamped with its admission time for the wait histogram).
+    Cmd {
+        cmd: Command,
+        admitted: bool,
+        admitted_at: Option<Instant>,
+    },
     /// A reply decided at parse time (parse error, `ERR busy`,
     /// oversized request) — it still flows through the FIFO so replies
     /// leave in request order.
@@ -210,7 +220,7 @@ impl Conn {
             return Ok(());
         }
         let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
-        let deadline = Instant::now() + WRITE_STALL_TIMEOUT;
+        let deadline = Instant::now() + self.limits.write_stall_timeout;
         loop {
             if self.broken.load(Ordering::Acquire) {
                 return Err(io::ErrorKind::BrokenPipe.into());
@@ -224,6 +234,12 @@ impl Conn {
             if Instant::now() >= deadline {
                 // The peer stopped draining: evict it rather than pin
                 // a worker (and an admission slot) indefinitely.
+                self.serving.slow_reader_evictions.inc();
+                pip_obs::warn!(
+                    "evicting connection {}: reply backlog not drained in {:?}",
+                    self.token,
+                    self.limits.write_stall_timeout
+                );
                 self.broken.store(true, Ordering::Release);
                 return Err(io::ErrorKind::TimedOut.into());
             }
@@ -333,12 +349,22 @@ impl Work for Conn {
             Pending::Reply(text) => {
                 let _ = self.stage(text.as_bytes());
             }
-            Pending::Cmd { cmd, admitted } => {
+            Pending::Cmd {
+                cmd,
+                admitted,
+                admitted_at,
+            } => {
+                let wait_nanos = admitted_at.map_or(0, |t| t.elapsed().as_nanos() as u64);
                 if admitted {
                     self.serving.start();
+                    if let Some(t) = admitted_at {
+                        self.serving.admission_wait_seconds.observe_since(t);
+                    }
                 }
+                let slice_start = Instant::now();
                 let outcome = {
                     let mut session = self.session.lock().unwrap_or_else(|e| e.into_inner());
+                    session.note_admission_wait_nanos(wait_nanos);
                     match cmd {
                         Command::Stream(sql) => {
                             let mut w = ConnWriter {
@@ -367,6 +393,7 @@ impl Work for Conn {
                                 .unwrap_or(session.repl_wait_timeout);
                             let me = Arc::clone(&self);
                             let r = Arc::clone(&repl);
+                            let parked_at = Instant::now();
                             let done = Box::new(move |ok: bool| {
                                 let applied = r.applied_version();
                                 let text = if ok {
@@ -376,6 +403,7 @@ impl Work for Conn {
                                         "ERR repl_timeout waiting for version {version} (applied {applied})\n"
                                     )
                                 };
+                                me.serving.park_seconds.observe_since(parked_at);
                                 me.unpark(text, admitted);
                             });
                             if repl.register_version_wait(version, timeout, done) {
@@ -421,6 +449,7 @@ impl Work for Conn {
                                     let inline = reply.text.clone();
                                     let me = Arc::clone(&self);
                                     let text = reply.text;
+                                    let parked_at = Instant::now();
                                     let done = Box::new(move |ok: bool| {
                                         let text = if ok {
                                             text
@@ -430,6 +459,7 @@ impl Work for Conn {
                                                 timeout.as_millis()
                                             )
                                         };
+                                        me.serving.park_seconds.observe_since(parked_at);
                                         me.unpark(text, admitted);
                                     });
                                     if repl.register_ack_wait(v1, need, timeout, done) {
@@ -449,6 +479,7 @@ impl Work for Conn {
                         }
                     }
                 };
+                self.serving.slice_seconds.observe_since(slice_start);
                 let close = match outcome {
                     SliceOutcome::Parked => {
                         // The park: return not-runnable WITHOUT
@@ -507,10 +538,24 @@ pub(crate) struct Reactor {
     manager: Arc<SessionManager>,
     serving: Arc<ServingCounters>,
     listener: TcpListener,
+    /// Optional Prometheus scrape endpoint (`--metrics-addr`): plain
+    /// HTTP/1.0 `GET /metrics`, served by this same reactor thread.
+    metrics_listener: Option<TcpListener>,
     conns: HashMap<u64, Arc<Conn>>,
+    http_conns: HashMap<u64, HttpConn>,
     next_token: u64,
     active: Arc<AtomicUsize>,
     limits: Limits,
+}
+
+/// One scrape connection: buffered request head in, one response out,
+/// then close. Scrapes are tiny and rare, so no flow control beyond a
+/// request-size cap.
+struct HttpConn {
+    stream: TcpStream,
+    inbuf: Vec<u8>,
+    out: Vec<u8>,
+    pos: usize,
 }
 
 fn find_newline(haystack: &[u8]) -> Option<usize> {
@@ -522,8 +567,10 @@ fn oversize_reply() -> String {
 }
 
 impl Reactor {
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         listener: TcpListener,
+        metrics_listener: Option<TcpListener>,
         shared: Arc<ReactorShared>,
         scheduler: Arc<Scheduler>,
         manager: Arc<SessionManager>,
@@ -538,13 +585,19 @@ impl Reactor {
         shared
             .epoll
             .add(shared.wake.read_fd(), EPOLLIN, TOKEN_WAKE)?;
+        if let Some(ml) = &metrics_listener {
+            ml.set_nonblocking(true)?;
+            shared.epoll.add(ml.as_raw_fd(), EPOLLIN, TOKEN_METRICS)?;
+        }
         Ok(Reactor {
             shared,
             scheduler,
             manager,
             serving,
             listener,
+            metrics_listener,
             conns: HashMap::new(),
+            http_conns: HashMap::new(),
             next_token: 0,
             active,
             limits,
@@ -564,12 +617,15 @@ impl Reactor {
                 match ev.token {
                     TOKEN_WAKE => self.shared.wake.drain(),
                     TOKEN_LISTENER => self.accept_ready(draining),
+                    TOKEN_METRICS => self.accept_metrics(draining),
                     token => {
                         if let Some(conn) = self.conns.get(&token).cloned() {
                             if ev.events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR) != 0 {
                                 self.handle_readable(&conn);
                             }
                             self.update_conn(&conn);
+                        } else if self.http_conns.contains_key(&token) {
+                            self.step_http(token);
                         }
                     }
                 }
@@ -608,6 +664,10 @@ impl Reactor {
                 }
             }
         }
+        // Scrape connections hold no replies worth draining: close them.
+        for http in std::mem::take(&mut self.http_conns).into_values() {
+            let _ = self.shared.epoll.delete(http.stream.as_raw_fd());
+        }
         // Anything still registered at this point is force-closed.
         for conn in std::mem::take(&mut self.conns).into_values() {
             conn.broken.store(true, Ordering::Release);
@@ -633,6 +693,143 @@ impl Reactor {
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(_) => return,
             }
+        }
+    }
+
+    fn accept_metrics(&mut self, draining: bool) {
+        let Some(listener) = &self.metrics_listener else {
+            return;
+        };
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if draining || stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if self
+                        .shared
+                        .epoll
+                        .add(stream.as_raw_fd(), EPOLLIN | EPOLLRDHUP, token)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    self.http_conns.insert(
+                        token,
+                        HttpConn {
+                            stream,
+                            inbuf: Vec::new(),
+                            out: Vec::new(),
+                            pos: 0,
+                        },
+                    );
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Render the `GET /metrics` response body: the catalog registry
+    /// (server/engine/store/replication families) plus the process-wide
+    /// one (sampling runtime).
+    fn render_metrics(&self) -> String {
+        let mut body = String::new();
+        self.manager
+            .database()
+            .obs_registry()
+            .render_into(&mut body);
+        pip_obs::Registry::global().render_into(&mut body);
+        body
+    }
+
+    /// Drive one scrape connection: buffer the request head, answer one
+    /// response, close when it is flushed. Any protocol or socket
+    /// trouble just drops the connection — scrapes are best-effort.
+    fn step_http(&mut self, token: u64) {
+        let Some(mut http) = self.http_conns.remove(&token) else {
+            return;
+        };
+        let mut drop_conn = false;
+        let mut eof = false;
+        if http.out.is_empty() {
+            // Still reading the request head.
+            let mut buf = [0u8; 4096];
+            loop {
+                match (&http.stream).read(&mut buf) {
+                    Ok(0) => {
+                        drop_conn = http.inbuf.is_empty();
+                        eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        http.inbuf.extend_from_slice(&buf[..n]);
+                        if http.inbuf.len() > 16 * 1024 {
+                            drop_conn = true; // not a scrape request
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        drop_conn = true;
+                        break;
+                    }
+                }
+            }
+            let head_complete = eof
+                || http.inbuf.windows(4).any(|w| w == b"\r\n\r\n")
+                || http.inbuf.windows(2).any(|w| w == b"\n\n");
+            if !drop_conn && head_complete {
+                let request = String::from_utf8_lossy(&http.inbuf);
+                let target = request.split_whitespace().nth(1).unwrap_or("");
+                let is_get = request.starts_with("GET ") || request.starts_with("get ");
+                let (status, body) = if is_get && (target == "/metrics" || target == "/metrics/") {
+                    ("200 OK", self.render_metrics())
+                } else {
+                    (
+                        "404 Not Found",
+                        "not found (try GET /metrics)\n".to_string(),
+                    )
+                };
+                http.out = format!(
+                    "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                    body.len()
+                )
+                .into_bytes();
+                let _ = self
+                    .shared
+                    .epoll
+                    .modify(http.stream.as_raw_fd(), EPOLLOUT, token);
+            }
+        }
+        if !drop_conn && !http.out.is_empty() {
+            while http.pos < http.out.len() {
+                match (&http.stream).write(&http.out[http.pos..]) {
+                    Ok(0) => {
+                        drop_conn = true;
+                        break;
+                    }
+                    Ok(n) => http.pos += n,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        drop_conn = true;
+                        break;
+                    }
+                }
+            }
+            if http.pos == http.out.len() {
+                drop_conn = true; // response delivered
+            }
+        }
+        if drop_conn {
+            let _ = self.shared.epoll.delete(http.stream.as_raw_fd());
+        } else {
+            self.http_conns.insert(token, http);
         }
     }
 
@@ -681,6 +878,7 @@ impl Reactor {
         {
             return;
         }
+        self.serving.accepts.inc();
         self.active.fetch_add(1, Ordering::Relaxed);
         self.conns.insert(token, Arc::clone(&conn));
         self.update_conn(&conn); // flush the banner
@@ -702,7 +900,10 @@ impl Reactor {
                     self.ingest(conn, &[], true);
                     return;
                 }
-                Ok(n) => self.ingest(conn, &buf[..n], false),
+                Ok(n) => {
+                    self.serving.read_bytes.add(n as u64);
+                    self.ingest(conn, &buf[..n], false);
+                }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(_) => {
@@ -731,6 +932,7 @@ impl Reactor {
                 match find_newline(&data[i..]) {
                     Some(j) => {
                         st.skipping = false;
+                        self.serving.oversize_kills.inc();
                         st.pending.push_back(Pending::Reply(oversize_reply()));
                         i += j + 1;
                     }
@@ -741,6 +943,7 @@ impl Reactor {
                     Some(j) => {
                         if st.inbuf.len() + j > MAX_REQUEST_BYTES {
                             st.inbuf.clear();
+                            self.serving.oversize_kills.inc();
                             st.pending.push_back(Pending::Reply(oversize_reply()));
                         } else if st.inbuf.is_empty() {
                             enqueue_line(st, conn, &data[i..i + j], &self.serving);
@@ -772,6 +975,9 @@ impl Reactor {
             st.closing = true;
         }
         if st.pending.len() >= self.limits.max_pipeline {
+            if !st.read_paused {
+                self.serving.backpressure_pauses.inc();
+            }
             st.read_paused = true;
         }
         if !st.running && !st.pending.is_empty() && !self.broken(conn) {
@@ -784,6 +990,7 @@ impl Reactor {
     /// reads, and reap the connection once it is drained (or broken).
     fn update_conn(&mut self, conn: &Arc<Conn>) {
         let mut broke = false;
+        let mut flushed = 0u64;
         let unsent = {
             let mut out = conn.out.lock().unwrap_or_else(|e| e.into_inner());
             while out.pos < out.buf.len() {
@@ -792,7 +999,10 @@ impl Reactor {
                         broke = true;
                         break;
                     }
-                    Ok(n) => out.pos += n,
+                    Ok(n) => {
+                        out.pos += n;
+                        flushed += n as u64;
+                    }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                     Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                     Err(_) => {
@@ -812,6 +1022,9 @@ impl Reactor {
             }
             out.unsent()
         };
+        if flushed > 0 {
+            self.serving.flushed_bytes.add(flushed);
+        }
         if broke {
             conn.broken.store(true, Ordering::Release);
         }
@@ -877,6 +1090,7 @@ fn enqueue_line(st: &mut ConnState, conn: &Conn, line: &[u8], serving: &ServingC
     let Ok(text) = std::str::from_utf8(line) else {
         // Binary garbage: drop the connection, as the blocking server's
         // `read_line` did.
+        serving.utf8_kills.inc();
         conn.broken.store(true, Ordering::Release);
         return;
     };
@@ -901,6 +1115,7 @@ fn enqueue_line(st: &mut ConnState, conn: &Conn, line: &[u8], serving: &ServingC
                 st.pending.push_back(Pending::Cmd {
                     cmd,
                     admitted: expensive,
+                    admitted_at: expensive.then(Instant::now),
                 });
             }
         }

@@ -36,33 +36,67 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 use pip_core::Result;
 use pip_ctable::CTable;
+use pip_obs::{Counter, Gauge, Histogram, Registry};
 
 // ---------------------------------------------------------------------
 // Serving counters + admission control.
 // ---------------------------------------------------------------------
 
 /// Scheduler-wide serving counters, reported by `STATS` as
-/// `inflight=`/`queued=`/`admitted=`/`rejected=`/`batched=`.
+/// `inflight=`/`queued=`/`admitted=`/`rejected=`/`batched=` and scraped
+/// as the `pip_server_*` metric families — one set of atomics backs
+/// both (the pip-obs registry is the single source of truth).
 ///
-/// `admitted`, `rejected` and `batched` are monotonic totals; `queued`
-/// and `inflight` are gauges (`queued + inflight <= capacity` at all
-/// times — that inequality *is* the admission bound).
+/// `admitted`, `rejected`, `completed`, `cancelled` and `batched` are
+/// monotonic totals; `queued` and `inflight` are gauges
+/// (`queued + inflight <= capacity` at all times — that inequality *is*
+/// the admission bound, and `admitted == completed + cancelled +
+/// inflight + queued` at every instant — the accounting invariant the
+/// observability suite property-tests).
+///
+/// The admission decision itself rides on a separate private
+/// `AtomicUsize` CAS, never on the registry handles, so the global
+/// `pip_obs::set_enabled(false)` switch (which only gates histograms
+/// and spans) cannot perturb admission control.
 #[derive(Debug)]
 pub struct ServingCounters {
     capacity: usize,
     /// Admitted-but-incomplete expensive commands (queued + inflight).
     load: AtomicUsize,
-    queued: AtomicU64,
-    inflight: AtomicU64,
-    admitted: AtomicU64,
-    rejected: AtomicU64,
-    batched: AtomicU64,
+    queued: Arc<Gauge>,
+    inflight: Arc<Gauge>,
+    admitted: Arc<Counter>,
+    rejected: Arc<Counter>,
+    completed: Arc<Counter>,
+    cancelled: Arc<Counter>,
+    batched: Arc<Counter>,
+    dedup_leaders: Arc<Counter>,
+    /// Reactor-side event counters (accepted sockets, wire bytes, flow
+    /// control and protocol kills). They live here because every layer
+    /// that needs them — reactor, connections, sessions — already
+    /// shares this struct.
+    pub(crate) accepts: Arc<Counter>,
+    pub(crate) read_bytes: Arc<Counter>,
+    pub(crate) flushed_bytes: Arc<Counter>,
+    pub(crate) backpressure_pauses: Arc<Counter>,
+    pub(crate) slow_reader_evictions: Arc<Counter>,
+    pub(crate) oversize_kills: Arc<Counter>,
+    pub(crate) utf8_kills: Arc<Counter>,
+    /// Session-cache hit totals (result cache keyed by SQL + sampling
+    /// parameters + catalog version; prepared statements by name).
+    pub(crate) result_cache_hits: Arc<Counter>,
+    pub(crate) prepared_cache_hits: Arc<Counter>,
+    /// Latency histograms: admit → start, one command slice, and the
+    /// parked-reply duration of replication waits.
+    pub(crate) admission_wait_seconds: Arc<Histogram>,
+    pub(crate) slice_seconds: Arc<Histogram>,
+    pub(crate) park_seconds: Arc<Histogram>,
 }
 
 /// One consistent-enough reading of the counters for `STATS`.
@@ -72,20 +106,108 @@ pub struct ServingSnapshot {
     pub queued: u64,
     pub admitted: u64,
     pub rejected: u64,
+    pub completed: u64,
+    pub cancelled: u64,
     pub batched: u64,
+    pub evictions: u64,
+    pub oversize: u64,
     pub capacity: usize,
 }
 
 impl ServingCounters {
+    /// Standalone counters (embedded sessions, unit tests): registered
+    /// into a private registry nobody scrapes.
     pub fn new(capacity: usize) -> Self {
+        Self::register(capacity, &Registry::new())
+    }
+
+    /// Build the counters as `pip_server_*` families in `registry`, so
+    /// `METRICS` and `STATS` read the very same atomics. Registration is
+    /// idempotent on family names.
+    pub fn register(capacity: usize, r: &Registry) -> Self {
         ServingCounters {
             capacity: capacity.max(1),
             load: AtomicUsize::new(0),
-            queued: AtomicU64::new(0),
-            inflight: AtomicU64::new(0),
-            admitted: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            batched: AtomicU64::new(0),
+            queued: r.gauge(
+                "pip_server_queued",
+                "Admitted commands waiting for a scheduler worker.",
+            ),
+            inflight: r.gauge(
+                "pip_server_inflight",
+                "Admitted commands currently executing.",
+            ),
+            admitted: r.counter(
+                "pip_server_admitted_total",
+                "Expensive commands admitted past admission control.",
+            ),
+            rejected: r.counter(
+                "pip_server_rejected_total",
+                "Expensive commands refused with ERR busy at capacity.",
+            ),
+            completed: r.counter(
+                "pip_server_completed_total",
+                "Admitted commands that finished executing.",
+            ),
+            cancelled: r.counter(
+                "pip_server_cancelled_total",
+                "Admitted commands dropped before execution (close, QUIT, shutdown).",
+            ),
+            batched: r.counter(
+                "pip_server_dedup_follower_total",
+                "SELECTs served by joining another session's identical in-flight execution.",
+            ),
+            dedup_leaders: r.counter(
+                "pip_server_dedup_leader_total",
+                "Deduplicated SELECT executions led on behalf of other sessions.",
+            ),
+            accepts: r.counter(
+                "pip_server_accepts_total",
+                "Client connections accepted by the reactor.",
+            ),
+            read_bytes: r.counter(
+                "pip_server_read_bytes_total",
+                "Request bytes read off client sockets.",
+            ),
+            flushed_bytes: r.counter(
+                "pip_server_flushed_bytes_total",
+                "Reply bytes flushed to client sockets.",
+            ),
+            backpressure_pauses: r.counter(
+                "pip_server_backpressure_pauses_total",
+                "Times a connection's reads were paused by the pipeline cap.",
+            ),
+            slow_reader_evictions: r.counter(
+                "pip_server_slow_reader_evictions_total",
+                "Connections evicted for not draining their replies in time.",
+            ),
+            oversize_kills: r.counter(
+                "pip_server_oversize_kills_total",
+                "Request lines discarded for exceeding the size cap.",
+            ),
+            utf8_kills: r.counter(
+                "pip_server_utf8_kills_total",
+                "Connections dropped for sending non-UTF-8 request lines.",
+            ),
+            result_cache_hits: r.counter(
+                "pip_server_result_cache_hits_total",
+                "Queries answered from a session's sample-result cache.",
+            ),
+            prepared_cache_hits: r.counter(
+                "pip_server_prepared_cache_hits_total",
+                "EXECs that found their prepared plan cached.",
+            ),
+            admission_wait_seconds: r.histogram(
+                "pip_server_admission_wait_seconds",
+                "Time admitted commands waited between admission and execution.",
+            ),
+            slice_seconds: r.histogram(
+                "pip_server_slice_seconds",
+                "Execution time of one scheduler command slice.",
+            ),
+            park_seconds: r.histogram(
+                "pip_server_park_seconds",
+                "Time parked connections waited for replication to release a reply.",
+            ),
         }
     }
 
@@ -106,46 +228,57 @@ impl ServingCounters {
             })
             .is_ok();
         if admitted {
-            self.queued.fetch_add(1, Ordering::Relaxed);
-            self.admitted.fetch_add(1, Ordering::Relaxed);
+            self.queued.add(1);
+            self.admitted.inc();
         } else {
-            self.rejected.fetch_add(1, Ordering::Relaxed);
+            self.rejected.inc();
         }
         admitted
     }
 
     /// An admitted command starts executing: queued → inflight.
     pub fn start(&self) {
-        self.queued.fetch_sub(1, Ordering::Relaxed);
-        self.inflight.fetch_add(1, Ordering::Relaxed);
+        self.queued.sub(1);
+        self.inflight.add(1);
     }
 
     /// An executing command finished (successfully or not).
     pub fn finish(&self) {
-        self.inflight.fetch_sub(1, Ordering::Relaxed);
+        self.inflight.sub(1);
+        self.completed.inc();
         self.load.fetch_sub(1, Ordering::AcqRel);
     }
 
     /// An admitted command was dropped before execution (connection
     /// closed, `QUIT` ahead of it in the pipeline, shutdown).
     pub fn cancel_queued(&self) {
-        self.queued.fetch_sub(1, Ordering::Relaxed);
+        self.queued.sub(1);
+        self.cancelled.inc();
         self.load.fetch_sub(1, Ordering::AcqRel);
     }
 
     /// A session was served by joining another session's in-flight
     /// execution of the same work.
     pub fn note_batched(&self) {
-        self.batched.fetch_add(1, Ordering::Relaxed);
+        self.batched.inc();
+    }
+
+    /// A session led a deduplicated execution other sessions could join.
+    pub fn note_dedup_leader(&self) {
+        self.dedup_leaders.inc();
     }
 
     pub fn snapshot(&self) -> ServingSnapshot {
         ServingSnapshot {
-            inflight: self.inflight.load(Ordering::Relaxed),
-            queued: self.queued.load(Ordering::Relaxed),
-            admitted: self.admitted.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
-            batched: self.batched.load(Ordering::Relaxed),
+            inflight: self.inflight.get().max(0) as u64,
+            queued: self.queued.get().max(0) as u64,
+            admitted: self.admitted.get(),
+            rejected: self.rejected.get(),
+            completed: self.completed.get(),
+            cancelled: self.cancelled.get(),
+            batched: self.batched.get(),
+            evictions: self.slow_reader_evictions.get(),
+            oversize: self.oversize_kills.get(),
             capacity: self.capacity,
         }
     }

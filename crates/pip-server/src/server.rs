@@ -6,10 +6,11 @@
 use std::io;
 use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
 
 use pip_engine::Database;
+use pip_obs::{MonotonicClock, SlowLog};
 use pip_replica::Replication;
 use pip_sampling::SamplerConfig;
 
@@ -55,9 +56,16 @@ pub struct ServerOptions {
     /// blocks on the reader draining (slow readers stall only
     /// themselves, and are evicted if stuck too long).
     pub max_outbound_bytes: usize,
+    /// How long a worker may sit blocked on one connection's full
+    /// output buffer before the peer is evicted as a stuck reader.
+    pub write_stall_timeout: std::time::Duration,
     /// Graceful-shutdown drain budget: queued commands get this long to
     /// finish and flush before remaining connections are force-closed.
     pub drain_timeout: std::time::Duration,
+    /// Optional Prometheus scrape endpoint (e.g. `"127.0.0.1:9187"`):
+    /// `GET /metrics` answers the same families as the `METRICS` verb,
+    /// served by the reactor thread itself.
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for ServerOptions {
@@ -73,7 +81,9 @@ impl Default for ServerOptions {
             queue_capacity: 256,
             max_pipeline: 128,
             max_outbound_bytes: 8 << 20,
+            write_stall_timeout: crate::reactor::WRITE_STALL_TIMEOUT,
             drain_timeout: std::time::Duration::from_secs(5),
+            metrics_addr: None,
         }
     }
 }
@@ -82,6 +92,7 @@ impl Default for ServerOptions {
 /// closed, queued work drained, connections closed, threads joined).
 pub struct ServerHandle {
     addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     shared: Arc<ReactorShared>,
     scheduler: Arc<Scheduler>,
     serving: Arc<ServingCounters>,
@@ -95,6 +106,11 @@ impl ServerHandle {
     /// The bound address (useful with port 0).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bound metrics-scrape address, when one was requested.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// Connections currently being served.
@@ -148,6 +164,48 @@ impl Drop for ServerHandle {
     }
 }
 
+/// Derived replication gauges, computed at scrape time. The closures
+/// hold `Weak` references: the registry must not keep the replication
+/// role (and its threads) alive after the server drops it — and the
+/// very same series keep reporting after a `PROMOTE` swaps the role's
+/// internal state, since registration is idempotent by family name.
+fn register_replication_gauges(registry: &pip_obs::Registry, repl: &Arc<Replication>) {
+    let w: Weak<Replication> = Arc::downgrade(repl);
+    let r = w.clone();
+    registry.gauge_fn(
+        "pip_replica_role",
+        "Replication role: 1 = primary, 0 = replica.",
+        move || {
+            r.upgrade()
+                .map_or(0.0, |r| if r.role() == "primary" { 1.0 } else { 0.0 })
+        },
+    );
+    let r = w.clone();
+    registry.gauge_fn(
+        "pip_replica_epoch",
+        "Replication epoch (bumped by every PROMOTE).",
+        move || r.upgrade().map_or(0.0, |r| r.epoch() as f64),
+    );
+    let r = w.clone();
+    registry.gauge_fn(
+        "pip_replica_lag",
+        "Versions this node is behind (follower) or ahead of its slowest follower (primary).",
+        move || r.upgrade().map_or(0.0, |r| r.replication_lag() as f64),
+    );
+    let r = w.clone();
+    registry.gauge_fn(
+        "pip_replica_applied_version",
+        "Catalog version this node has applied.",
+        move || r.upgrade().map_or(0.0, |r| r.applied_version() as f64),
+    );
+    let r = w;
+    registry.gauge_fn(
+        "pip_replica_followers",
+        "Followers currently attached (primary only).",
+        move || r.upgrade().map_or(0.0, |r| r.follower_count() as f64),
+    );
+}
+
 /// Bind `addr` (e.g. `"127.0.0.1:0"`) and serve the shared catalog.
 pub fn serve(
     db: Arc<Database>,
@@ -156,13 +214,31 @@ pub fn serve(
 ) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
-    let serving = Arc::new(ServingCounters::new(options.queue_capacity));
+    let metrics_listener = match &options.metrics_addr {
+        Some(a) => Some(TcpListener::bind(a)?),
+        None => None,
+    };
+    let metrics_addr = match &metrics_listener {
+        Some(l) => Some(l.local_addr()?),
+        None => None,
+    };
+    // The serving counters live in the catalog's metric registry: STATS,
+    // the METRICS verb, and the HTTP scrape all read the same atomics.
+    let serving = Arc::new(ServingCounters::register(
+        options.queue_capacity,
+        db.obs_registry(),
+    ));
+    if let Some(repl) = &options.replication {
+        register_replication_gauges(db.obs_registry(), repl);
+    }
+    let slowlog = Arc::new(SlowLog::new());
     let dedup = Arc::new(DedupMap::new());
     let manager = Arc::new(
         SessionManager::new(db, options.default_config.clone())
             .with_cache_capacities(options.prepared_cache, options.result_cache)
             .with_replication(options.replication.clone())
-            .with_serving(Arc::clone(&serving), dedup),
+            .with_serving(Arc::clone(&serving), dedup)
+            .with_obs(Arc::new(MonotonicClock), slowlog),
     );
     let workers = match options.workers {
         0 => std::thread::available_parallelism()
@@ -203,6 +279,7 @@ pub fn serve(
 
     let reactor = Reactor::new(
         listener,
+        metrics_listener,
         Arc::clone(&shared),
         Arc::clone(&scheduler),
         Arc::clone(&manager),
@@ -211,6 +288,7 @@ pub fn serve(
         Limits {
             max_pipeline: options.max_pipeline.max(1),
             max_outbound: options.max_outbound_bytes.max(1),
+            write_stall_timeout: options.write_stall_timeout,
             drain_timeout: options.drain_timeout,
         },
     )?;
@@ -220,6 +298,7 @@ pub fn serve(
 
     Ok(ServerHandle {
         addr,
+        metrics_addr,
         shared,
         scheduler,
         serving,

@@ -17,10 +17,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use std::sync::Mutex;
+
 use pip_core::{PipError, Result};
 use pip_ctable::CTable;
 use pip_engine::sql::{self, Statement};
-use pip_engine::{optimize, Database, Plan};
+use pip_engine::{execute_with_stats, optimize, Database, Plan, QueryStats};
+use pip_obs::{Clock, MonotonicClock, SlowLog, SpanRecorder};
 use pip_replica::Replication;
 use pip_sampling::SamplerConfig;
 
@@ -122,6 +125,15 @@ pub struct Session {
     serving: Option<Arc<ServingCounters>>,
     /// Cross-session dedup of in-flight identical sampling work.
     dedup: Option<Arc<DedupMap>>,
+    /// Time source for query spans (injectable so tests can drive a
+    /// `ManualClock`).
+    clock: Arc<dyn Clock>,
+    /// Server-wide slow-query ring (`SET SLOWLOG <ms>` / `SLOWLOG [n]`);
+    /// `None` for embedded sessions.
+    slowlog: Option<Arc<SlowLog>>,
+    /// Admission wait of the command about to run, stamped by the
+    /// reactor and consumed into the next query's span.
+    pending_admission_wait_nanos: u64,
 }
 
 impl Session {
@@ -149,6 +161,36 @@ impl Session {
         SessionStats {
             prepared: self.prepared.len(),
             ..self.stats
+        }
+    }
+
+    /// The server-wide slow-query log, when attached.
+    pub fn slowlog(&self) -> Option<&Arc<SlowLog>> {
+        self.slowlog.as_ref()
+    }
+
+    /// Stamp the admission wait of the command about to run; consumed
+    /// into that command's span.
+    pub fn note_admission_wait_nanos(&mut self, nanos: u64) {
+        self.pending_admission_wait_nanos = nanos;
+    }
+
+    /// Open a span recorder when the slowlog is armed; `None` keeps the
+    /// hot path allocation-free.
+    fn span_recorder(&self, sql_text: &str) -> Option<SpanRecorder> {
+        let log = self.slowlog.as_ref()?;
+        if !pip_obs::enabled() || log.threshold_millis() == 0 {
+            return None;
+        }
+        let mut rec = SpanRecorder::start(Arc::clone(&self.clock), self.id, sql_text);
+        rec.span.admission_wait_nanos = self.pending_admission_wait_nanos;
+        Some(rec)
+    }
+
+    /// Finalize a span and offer it to the slowlog ring.
+    fn observe_span(&self, rec: SpanRecorder) {
+        if let Some(log) = &self.slowlog {
+            log.observe(&rec.finish());
         }
     }
 
@@ -188,9 +230,11 @@ impl Session {
             None => Ok(Arc::new(run()?)),
             Some(dedup) => {
                 let (result, followed) = dedup.run_shared(key, run);
-                if followed {
-                    if let Some(serving) = &self.serving {
+                if let Some(serving) = &self.serving {
+                    if followed {
                         serving.note_batched();
+                    } else {
+                        serving.note_dedup_leader();
                     }
                 }
                 result
@@ -202,26 +246,72 @@ impl Session {
     /// cache for `SELECT`s.
     pub fn query(&mut self, sql_text: &str) -> Result<QueryReply> {
         self.stats.queries += 1;
+        let mut rec = self.span_recorder(sql_text);
+        self.pending_admission_wait_nanos = 0;
         let stmt = sql::parse(sql_text)?;
+        if let Some(r) = rec.as_mut() {
+            r.span.parse_nanos = r.lap();
+        }
         match stmt {
             Statement::Select(_) => {
                 let key = format!("Q:{}{}", sql_text.trim(), self.cache_suffix());
                 if let Some(hit) = self.results.get(&key) {
                     self.stats.cache_hits += 1;
+                    if let Some(s) = &self.serving {
+                        s.result_cache_hits.inc();
+                    }
+                    let table = Arc::clone(hit);
+                    if let Some(mut r) = rec.take() {
+                        r.span.cache_hit = true;
+                        r.span.rows = table.len() as u64;
+                        self.observe_span(r);
+                    }
                     return Ok(QueryReply {
-                        table: Arc::clone(hit),
+                        table,
                         cached: true,
                     });
                 }
                 // The closure re-parses so it can be re-run verbatim if
                 // a dedup leader fails; parsing is noise next to the
-                // sampling it guards.
+                // sampling it guards. The stats slot carries the
+                // leader's phase timings out for the span — a dedup
+                // follower's closure never runs, so a `None` slot after
+                // the call marks the span as a follower.
                 let db = Arc::clone(&self.db);
                 let cfg = self.cfg.clone();
-                let table = self.run_select_shared(&key, move || {
-                    sql::run_statement(&db, sql::parse(sql_text)?, &cfg)
+                let stats_slot: Arc<Mutex<Option<(u64, QueryStats)>>> = Arc::new(Mutex::new(None));
+                let slot = Arc::clone(&stats_slot);
+                let table = self.run_select_shared(&key, move || match sql::parse(sql_text)? {
+                    Statement::Select(plan) => {
+                        let t0 = std::time::Instant::now();
+                        let optimized = optimize(&db, plan)?;
+                        let optimize_nanos = t0.elapsed().as_nanos() as u64;
+                        let (table, qs) = execute_with_stats(&db, &optimized, &cfg)?;
+                        *slot.lock().unwrap_or_else(|e| e.into_inner()) =
+                            Some((optimize_nanos, qs));
+                        Ok(table)
+                    }
+                    other => sql::run_statement(&db, other, &cfg),
                 })?;
                 self.results.put(key, Arc::clone(&table));
+                if let Some(mut r) = rec.take() {
+                    let wall = r.lap();
+                    match stats_slot.lock().unwrap_or_else(|e| e.into_inner()).take() {
+                        Some((optimize_nanos, qs)) => {
+                            r.span.optimize_nanos = optimize_nanos;
+                            r.span.execute_nanos = (qs.query_secs * 1e9) as u64;
+                            r.span.sample_nanos = (qs.sample_secs * 1e9) as u64;
+                        }
+                        None => {
+                            // Served by another session's leader: the
+                            // whole wait is accounted as execute time.
+                            r.span.dedup_follower = true;
+                            r.span.execute_nanos = wall;
+                        }
+                    }
+                    r.span.rows = table.len() as u64;
+                    self.observe_span(r);
+                }
                 Ok(QueryReply {
                     table,
                     cached: false,
@@ -231,6 +321,11 @@ impl Session {
                 // DDL/DML: the catalog version bump retires stale cache
                 // keys on its own.
                 let table = Arc::new(sql::run_statement(&self.db, other, &self.cfg)?);
+                if let Some(mut r) = rec.take() {
+                    r.span.execute_nanos = r.lap();
+                    r.span.rows = table.len() as u64;
+                    self.observe_span(r);
+                }
                 Ok(QueryReply {
                     table,
                     cached: false,
@@ -253,6 +348,9 @@ impl Session {
                 let key = format!("Q:{}{}", sql_text.trim(), self.cache_suffix());
                 if let Some(hit) = self.results.get(&key) {
                     self.stats.cache_hits += 1;
+                    if let Some(s) = &self.serving {
+                        s.result_cache_hits.inc();
+                    }
                     return Ok(StreamQuery::Cached(Arc::clone(hit)));
                 }
                 let optimized = optimize(&self.db, plan)?;
@@ -303,14 +401,30 @@ impl Session {
     pub fn exec_prepared(&mut self, name: &str) -> Result<QueryReply> {
         self.stats.queries += 1;
         let (plan, sql, generation) = match self.prepared.get(&name.to_string()) {
-            Some(p) => (Arc::clone(&p.plan), p.sql.clone(), p.generation),
+            Some(p) => {
+                if let Some(s) = &self.serving {
+                    s.prepared_cache_hits.inc();
+                }
+                (Arc::clone(&p.plan), p.sql.clone(), p.generation)
+            }
             None => return Err(PipError::NotFound(format!("prepared statement '{name}'"))),
         };
+        let mut rec = self.span_recorder(&sql);
+        self.pending_admission_wait_nanos = 0;
         let key = format!("E:{name}#{generation}{}", self.cache_suffix());
         if let Some(hit) = self.results.get(&key) {
             self.stats.cache_hits += 1;
+            if let Some(s) = &self.serving {
+                s.result_cache_hits.inc();
+            }
+            let table = Arc::clone(hit);
+            if let Some(mut r) = rec.take() {
+                r.span.cache_hit = true;
+                r.span.rows = table.len() as u64;
+                self.observe_span(r);
+            }
             return Ok(QueryReply {
-                table: Arc::clone(hit),
+                table,
                 cached: true,
             });
         }
@@ -323,13 +437,35 @@ impl Session {
         let shared_key = format!("Q:{sql}{}", self.cache_suffix());
         let db = Arc::clone(&self.db);
         let cfg = self.cfg.clone();
+        let stats_slot: Arc<Mutex<Option<(u64, QueryStats)>>> = Arc::new(Mutex::new(None));
+        let slot = Arc::clone(&stats_slot);
         let table = self.run_select_shared(&shared_key, move || {
             // Optimization is catalog-dependent (schema lookups), so it
             // runs per execution against the current catalog.
+            let t0 = std::time::Instant::now();
             let optimized = optimize(&db, (*plan).clone())?;
-            pip_engine::execute(&db, &optimized, &cfg)
+            let optimize_nanos = t0.elapsed().as_nanos() as u64;
+            let (table, qs) = execute_with_stats(&db, &optimized, &cfg)?;
+            *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some((optimize_nanos, qs));
+            Ok(table)
         })?;
         self.results.put(key, Arc::clone(&table));
+        if let Some(mut r) = rec.take() {
+            let wall = r.lap();
+            match stats_slot.lock().unwrap_or_else(|e| e.into_inner()).take() {
+                Some((optimize_nanos, qs)) => {
+                    r.span.optimize_nanos = optimize_nanos;
+                    r.span.execute_nanos = (qs.query_secs * 1e9) as u64;
+                    r.span.sample_nanos = (qs.sample_secs * 1e9) as u64;
+                }
+                None => {
+                    r.span.dedup_follower = true;
+                    r.span.execute_nanos = wall;
+                }
+            }
+            r.span.rows = table.len() as u64;
+            self.observe_span(r);
+        }
         Ok(QueryReply {
             table,
             cached: false,
@@ -355,6 +491,8 @@ pub struct SessionManager {
     replication: Option<Arc<Replication>>,
     serving: Option<Arc<ServingCounters>>,
     dedup: Option<Arc<DedupMap>>,
+    clock: Arc<dyn Clock>,
+    slowlog: Option<Arc<SlowLog>>,
 }
 
 impl SessionManager {
@@ -368,6 +506,8 @@ impl SessionManager {
             replication: None,
             serving: None,
             dedup: None,
+            clock: Arc::new(MonotonicClock),
+            slowlog: None,
         }
     }
 
@@ -391,6 +531,14 @@ impl SessionManager {
     pub fn with_serving(mut self, serving: Arc<ServingCounters>, dedup: Arc<DedupMap>) -> Self {
         self.serving = Some(serving);
         self.dedup = Some(dedup);
+        self
+    }
+
+    /// Attach the observability hooks: the span clock (injectable for
+    /// deterministic tests) and the server-wide slow-query ring.
+    pub fn with_obs(mut self, clock: Arc<dyn Clock>, slowlog: Arc<SlowLog>) -> Self {
+        self.clock = clock;
+        self.slowlog = Some(slowlog);
         self
     }
 
@@ -418,6 +566,9 @@ impl SessionManager {
             replication: self.replication.clone(),
             serving: self.serving.clone(),
             dedup: self.dedup.clone(),
+            clock: Arc::clone(&self.clock),
+            slowlog: self.slowlog.clone(),
+            pending_admission_wait_nanos: 0,
         }
     }
 }

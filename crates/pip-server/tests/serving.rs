@@ -357,6 +357,75 @@ fn slow_reader_stalls_only_itself() {
     }
     assert_eq!(slow.read_line(), "END 300 rows (fresh)");
     assert_eq!(slow.send("PING"), "PONG\n");
+    // This reader was slow, not stuck: it must not count as an eviction.
+    assert_eq!(server.serving().evictions, 0);
+}
+
+#[test]
+fn stuck_reader_is_evicted_and_counted() {
+    let server = start_server(ServerOptions {
+        workers: 2,
+        max_outbound_bytes: 16 * 1024,
+        // A test-sized stall budget (the production default is 30s).
+        write_stall_timeout: Duration::from_millis(200),
+        ..ServerOptions::default()
+    });
+    let mut setup = Client::connect(server.addr());
+    let r = setup.send("QUERY CREATE TABLE big (s TEXT)");
+    assert!(r.starts_with("OK"), "{r}");
+    // ~6 MB of reply: enough to overwhelm the 16 KB staging buffer AND
+    // whatever the kernel's socket buffers will absorb on loopback, so
+    // the producing worker really does block on the reader.
+    let cell = "x".repeat(10_000);
+    for _ in 0..20 {
+        let rows: Vec<String> = (0..30).map(|_| format!("('{cell}')")).collect();
+        let r = setup.send(&format!("QUERY INSERT INTO big VALUES {}", rows.join(", ")));
+        assert!(r.starts_with("OK"), "{r}");
+    }
+    assert_eq!(server.serving().evictions, 0);
+
+    // Ask for ~6 MB into a 16 KB staging buffer and never read a byte:
+    // the producing worker blocks, the stall deadline passes, and the
+    // connection is evicted (visible as the counter firing and the
+    // socket dying) instead of pinning the worker forever.
+    let stuck = Client::connect(server.addr());
+    (&stuck.writer)
+        .write_all(b"STREAM SELECT * FROM big\n")
+        .expect("write");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.serving().evictions == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(server.serving().evictions, 1, "stuck reader not evicted");
+
+    // The fleet recovered: other sessions keep being served.
+    let mut other = Client::connect(server.addr());
+    assert_eq!(other.send("PING"), "PONG\n");
+}
+
+#[test]
+fn oversized_request_lines_are_killed_and_counted() {
+    let server = start_server(ServerOptions::default());
+    let mut c = Client::connect(server.addr());
+    assert_eq!(server.serving().oversize, 0);
+
+    // One request line over the 1 MiB cap: discarded as it streams in,
+    // answered with a single ERR, counted once — and the connection
+    // stays usable for the next request.
+    let mut line = vec![b'P'; pip_server::server::MAX_REQUEST_BYTES + 1024];
+    line.push(b'\n');
+    c.writer.write_all(&line).expect("write oversized");
+    let reply = c.read_reply();
+    assert!(reply.starts_with("ERR request exceeds"), "{reply}");
+    assert_eq!(server.serving().oversize, 1);
+    assert_eq!(c.send("PING"), "PONG\n");
+
+    // A second oversized line on a fresh connection counts again.
+    let mut c2 = Client::connect(server.addr());
+    c2.writer.write_all(&line).expect("write oversized");
+    let reply = c2.read_reply();
+    assert!(reply.starts_with("ERR request exceeds"), "{reply}");
+    assert_eq!(server.serving().oversize, 2);
 }
 
 // ---------------------------------------------------------------------

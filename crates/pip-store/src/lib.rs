@@ -40,6 +40,6 @@ pub use codec::{CatalogRecord, WalEntry};
 pub use snapshot::{
     snapshot_from_bytes, snapshot_to_bytes, Snapshot, SnapshotIndex, SnapshotTable,
 };
-pub use store::{Durability, FaultHook, FaultPoint, Recovered, Store};
+pub use store::{Durability, FaultHook, FaultPoint, Recovered, Store, StoreMetrics};
 pub use tail::{TailFrame, TailRead, WalCursor};
 pub use wal::crc32;

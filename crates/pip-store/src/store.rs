@@ -22,7 +22,8 @@
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 use pip_core::{PipError, Result};
 use pip_ctable::CTable;
@@ -128,6 +129,63 @@ pub struct Recovered {
     pub torn_tail: bool,
 }
 
+/// WAL and checkpoint metric handles, registered into the owning
+/// database's [`pip_obs::Registry`] by [`Store::attach_metrics`]. Until
+/// attachment (bare stores in unit tests) nothing is recorded.
+#[derive(Debug)]
+pub struct StoreMetrics {
+    /// Full durable-append latency (lock + frame write + optional fsync).
+    pub wal_append_seconds: Arc<pip_obs::Histogram>,
+    /// Latency of the per-record `sync_data` at `Durability::Sync`.
+    pub wal_fsync_seconds: Arc<pip_obs::Histogram>,
+    /// Framed bytes appended to the WAL.
+    pub wal_appended_bytes_total: Arc<pip_obs::Counter>,
+    /// Completed checkpoints (both phases).
+    pub checkpoints_total: Arc<pip_obs::Counter>,
+    /// Checkpoint phase 1: seal the old generation, rotate to the new one
+    /// (runs under the engine's mutation lock).
+    pub checkpoint_seal_seconds: Arc<pip_obs::Histogram>,
+    /// Checkpoint phase 2: snapshot write + old-generation retirement.
+    pub checkpoint_snapshot_seconds: Arc<pip_obs::Histogram>,
+    /// Bytes of snapshot files written by checkpoints.
+    pub checkpoint_bytes_total: Arc<pip_obs::Counter>,
+}
+
+impl StoreMetrics {
+    fn register(r: &pip_obs::Registry) -> StoreMetrics {
+        StoreMetrics {
+            wal_append_seconds: r.histogram(
+                "pip_store_wal_append_seconds",
+                "Durable WAL append latency (write + fsync at SYNC).",
+            ),
+            wal_fsync_seconds: r.histogram(
+                "pip_store_wal_fsync_seconds",
+                "Per-record fsync latency at SYNC durability.",
+            ),
+            wal_appended_bytes_total: r.counter(
+                "pip_store_wal_appended_bytes_total",
+                "Framed bytes appended to the write-ahead log.",
+            ),
+            checkpoints_total: r.counter(
+                "pip_store_checkpoints_total",
+                "Completed checkpoints (seal + snapshot phases).",
+            ),
+            checkpoint_seal_seconds: r.histogram(
+                "pip_store_checkpoint_seal_seconds",
+                "Checkpoint phase 1 latency: seal old WAL generation and rotate.",
+            ),
+            checkpoint_snapshot_seconds: r.histogram(
+                "pip_store_checkpoint_snapshot_seconds",
+                "Checkpoint phase 2 latency: snapshot write and retirement.",
+            ),
+            checkpoint_bytes_total: r.counter(
+                "pip_store_checkpoint_bytes_total",
+                "Bytes of checkpoint snapshot files written.",
+            ),
+        }
+    }
+}
+
 /// A durable catalog store bound to one data directory.
 pub struct Store {
     dir: PathBuf,
@@ -146,6 +204,8 @@ pub struct Store {
     epoch: AtomicU64,
     /// Optional fault-injection hook (see [`FaultHook`]).
     fault_hook: Mutex<Option<FaultHook>>,
+    /// Metric handles, set once by [`Store::attach_metrics`].
+    metrics: OnceLock<StoreMetrics>,
 }
 
 /// Path of the replication-epoch file.
@@ -425,6 +485,7 @@ impl Store {
             retained: Mutex::new(retained),
             epoch: AtomicU64::new(epoch),
             fault_hook: Mutex::new(None),
+            metrics: OnceLock::new(),
         };
         let recovered = Recovered {
             tables: tables
@@ -484,8 +545,25 @@ impl Store {
             }
         }
         let inject_sync = hook.map(|h| h(FaultPoint::Sync)).unwrap_or(false);
+        let start = Instant::now();
         let mut wal = self.wal.lock().unwrap_or_else(|e| e.into_inner());
-        wal.append_faulty(entry, durability == Durability::Sync, inject_sync)
+        let (bytes, fsync_nanos) =
+            wal.append_faulty(entry, durability == Durability::Sync, inject_sync)?;
+        if let Some(m) = self.metrics.get() {
+            m.wal_append_seconds.observe_since(start);
+            m.wal_appended_bytes_total.add(bytes);
+            if fsync_nanos > 0 {
+                m.wal_fsync_seconds.observe_nanos(fsync_nanos);
+            }
+        }
+        Ok(())
+    }
+
+    /// Register this store's WAL/checkpoint metrics into `registry`.
+    /// Idempotent; later calls are no-ops. The engine's `Database` calls
+    /// this with its own registry right after recovery.
+    pub fn attach_metrics(&self, registry: &pip_obs::Registry) {
+        let _ = self.metrics.set(StoreMetrics::register(registry));
     }
 
     /// Install (or with `None`, remove) the fault-injection hook
@@ -571,6 +649,7 @@ impl Store {
     /// lands, recovery starts from the previous snapshot and replays the
     /// old generation's (synced, complete) WAL plus the new one.
     pub fn begin_checkpoint(&self) -> Result<u64> {
+        let start = Instant::now();
         let mut wal = self.wal.lock().unwrap_or_else(|e| e.into_inner());
         // A generation must not be sealed with garbage from a failed
         // append at its tail (were the snapshot write then to fail or
@@ -592,6 +671,9 @@ impl Store {
         // in a generation recovery ignores.
         let new_writer = WalWriter::create(&self.dir, new_gen)?;
         *wal = new_writer;
+        if let Some(m) = self.metrics.get() {
+            m.checkpoint_seal_seconds.observe_since(start);
+        }
         Ok(new_gen)
     }
 
@@ -600,6 +682,7 @@ impl Store {
     /// failure the store keeps operating on `gen`'s WAL with the
     /// previous snapshot as recovery base — nothing was deleted.
     pub fn finish_checkpoint(&self, gen: u64, snapshot: &Snapshot) -> Result<()> {
+        let start = Instant::now();
         write_snapshot(&self.dir, gen, snapshot)?;
         // The retained chain now starts here. Advance *before* deleting:
         // a tailer that consults the stale (smaller) base merely takes an
@@ -614,6 +697,13 @@ impl Store {
             }
             for g in wals.into_iter().filter(|&g| g < gen) {
                 let _ = std::fs::remove_file(wal_path(&self.dir, g));
+            }
+        }
+        if let Some(m) = self.metrics.get() {
+            m.checkpoint_snapshot_seconds.observe_since(start);
+            m.checkpoints_total.inc();
+            if let Ok(meta) = std::fs::metadata(snapshot_path(&self.dir, gen)) {
+                m.checkpoint_bytes_total.add(meta.len());
             }
         }
         Ok(())

@@ -263,20 +263,22 @@ impl WalWriter {
     /// storage before returning (the `SYNC` durability level).
     #[cfg(test)]
     pub(crate) fn append(&mut self, entry: &WalEntry, sync: bool) -> Result<()> {
-        self.append_faulty(entry, sync, false)
+        self.append_faulty(entry, sync, false).map(|_| ())
     }
 
     /// [`WalWriter::append`] with an injectable sync failure: when
     /// `inject_sync_failure` is set and `sync` is requested, the frame is
     /// written and then rolled back exactly as a real failed `sync_data`
     /// would be — the chaos suite's way of exercising the rollback path
-    /// on a healthy disk.
+    /// on a healthy disk. Returns the appended frame size and the
+    /// nanoseconds the fsync took (0 when not syncing), which the store
+    /// feeds into its WAL metrics.
     pub(crate) fn append_faulty(
         &mut self,
         entry: &WalEntry,
         sync: bool,
         inject_sync_failure: bool,
-    ) -> Result<()> {
+    ) -> Result<(u64, u64)> {
         self.ensure_clean_tail()?;
         let payload = encode_payload(entry)?;
         let framed = frame(payload.as_bytes());
@@ -290,11 +292,13 @@ impl WalWriter {
             self.truncate_to_tail();
             return Err(e.into());
         }
+        let mut fsync_nanos = 0u64;
         if sync {
             if inject_sync_failure {
                 self.truncate_to_tail();
                 return Err(PipError::Io("injected WAL sync failure".into()));
             }
+            let fsync_start = std::time::Instant::now();
             if let Err(e) = self.file.sync_data() {
                 // The frame's bytes are complete but their durability is
                 // unknown and the caller will abort the mutation — drop
@@ -302,9 +306,10 @@ impl WalWriter {
                 self.truncate_to_tail();
                 return Err(e.into());
             }
+            fsync_nanos = fsync_start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         }
         self.record_bytes += framed.len() as u64;
-        Ok(())
+        Ok((framed.len() as u64, fsync_nanos))
     }
 
     /// Restore the file to the last acknowledged frame boundary
